@@ -1,0 +1,63 @@
+/// \file
+/// Extension ablation (Section 7): the cache-update primitive applied
+/// to BOTH architectures. The paper strongly suggests SMP and
+/// processor designs support a direct cache-update primitive and
+/// notes "custom hardware performance may also be enhanced by this
+/// primitive" — HW2 quantifies that claim next to MP2.
+
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "bench/micro.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    int scale = 1;
+    if (argc > 1)
+        scale = std::atoi(argv[1]);
+
+    std::vector<machine::DesignPoint> dps = {
+        machine::hw1(), machine::hw2(), machine::mp1(), machine::mp2()};
+
+    mp::TablePrinter t(
+        "Ablation: the cache-update primitive applied to both "
+        "architectures (HW2 = HW1 + cache update; MP2 = MP1 + cache "
+        "update)");
+    t.set_header({"Metric", "HW1", "HW2", "MP1", "MP2"});
+
+    std::vector<std::string> put = {"PUT latency (us)"};
+    std::vector<std::string> ovh = {"PUT+sync ovh (us)"};
+    for (const auto& d : dps) {
+        put.push_back(mp::TablePrinter::num(bench::put_latency(d, 8), 1));
+        ovh.push_back(
+            mp::TablePrinter::num(bench::put_sync_overhead(d), 2));
+    }
+    t.add_row(put);
+    t.add_row(ovh);
+
+    // Application-level effect on two overhead-sensitive programs.
+    for (int ai : {3, 6}) { // Water, Sample
+        const auto& app = apps::all_apps()[static_cast<size_t>(ai)];
+        std::vector<std::string> row = {std::string(app.name) +
+                                        " 16p (ms)"};
+        for (const auto& d : dps) {
+            rma::SystemConfig cfg;
+            cfg.design = d;
+            cfg.nodes = 16;
+            cfg.procs_per_node = 1;
+            auto res = app.fn(cfg, scale);
+            row.push_back(
+                mp::TablePrinter::num(res.elapsed_us / 1000.0, 2));
+        }
+        t.add_row(row);
+    }
+    t.print();
+    t.write_csv("bench_ablation_cache_update.csv");
+    std::printf("\nExpected: cache update helps both designs; it closes\n"
+                "most of the proxy's gap (the paper's 7-25%% application\n"
+                "improvement) and gives custom hardware a smaller but\n"
+                "real boost, keeping the relative ordering.\n");
+    return 0;
+}

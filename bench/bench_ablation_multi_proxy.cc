@@ -1,0 +1,68 @@
+/// \file
+/// Extension ablation (Section 5.4): "Although multiple message
+/// proxies may help, the memory bus and network interface ultimately
+/// place a hard constraint on the number of processors that may be
+/// supported." This sweep adds a second (and fourth) proxy to each
+/// node under the Figure 9 configuration (4 SMP nodes x 4 compute
+/// processors) for the applications that saturated a single proxy.
+
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "machine/design_point.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    int scale = 1;
+    if (argc > 1)
+        scale = std::atoi(argv[1]);
+
+    const int kApps[] = {2, 3, 6, 9}; // Barnes, Water, Sample, Wator
+
+    mp::TablePrinter t(
+        "Ablation: proxies per node on 4 SMP nodes x 4 compute procs "
+        "(MP1). Entries: execution time (ms) / max per-proxy "
+        "utilization.");
+    t.set_header({"Program", "1 proxy", "2 proxies", "4 proxies",
+                  "HW1 reference"});
+
+    for (int ai : kApps) {
+        const auto& app = apps::all_apps()[static_cast<size_t>(ai)];
+        std::vector<std::string> row = {app.name};
+        for (int nproxies : {1, 2, 4}) {
+            rma::SystemConfig cfg;
+            cfg.design = machine::mp1();
+            cfg.nodes = 4;
+            cfg.procs_per_node = 4;
+            cfg.proxies_per_node = nproxies;
+            auto res = app.fn(cfg, scale);
+            if (!res.valid)
+                std::printf("WARNING: %s x%d self-check failed\n",
+                            app.name, nproxies);
+            double max_util = 0.0;
+            for (double u : res.run.agent_utilization)
+                max_util = std::max(max_util, u);
+            row.push_back(
+                mp::TablePrinter::num(res.elapsed_us / 1000.0, 2) +
+                " / " + mp::TablePrinter::num(max_util * 100.0, 0) + "%");
+        }
+        rma::SystemConfig hw;
+        hw.design = machine::hw1();
+        hw.nodes = 4;
+        hw.procs_per_node = 4;
+        auto href = app.fn(hw, scale);
+        row.push_back(mp::TablePrinter::num(href.elapsed_us / 1000.0, 2) +
+                      " ms");
+        t.add_row(row);
+    }
+    t.print();
+    t.write_csv("bench_ablation_multi_proxy.csv");
+    std::printf("\nExpected: a second proxy recovers a large part of the\n"
+                "single-proxy saturation loss for the hottest programs\n"
+                "(Sample), with diminishing returns at four proxies —\n"
+                "the residual gap to HW1 is per-message overhead, not\n"
+                "proxy occupancy.\n");
+    return 0;
+}

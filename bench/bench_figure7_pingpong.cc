@@ -1,0 +1,68 @@
+/// \file
+/// Reproduces Figure 7: ping-pong one-way latency and streaming
+/// bandwidth across message sizes, for raw PUTs (top) and
+/// active-message bulk stores (bottom), on all six design points.
+/// Paper shape: custom hardware wins at small sizes; DMA bandwidth
+/// and page pinning limit everyone at large sizes; HW0/MP0 flatten at
+/// their lower DMA rates.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/micro.h"
+#include "util/table.h"
+
+int
+main()
+{
+    auto dps = machine::all_design_points();
+    std::vector<size_t> sizes = {8,    32,    128,   512,   2048,
+                                 8192, 32768, 131072};
+
+    auto run_block = [&](const char* title, const char* unit,
+                         double (*fn)(const machine::DesignPoint&,
+                                      size_t)) {
+        mp::TablePrinter t(title);
+        std::vector<std::string> hdr = {"Bytes"};
+        for (const auto& d : dps)
+            hdr.push_back(d.name);
+        t.set_header(hdr);
+        for (size_t sz : sizes) {
+            std::vector<std::string> row = {
+                mp::TablePrinter::num(static_cast<int64_t>(sz))};
+            for (const auto& d : dps)
+                row.push_back(mp::TablePrinter::num(fn(d, sz), 1));
+            t.add_row(row);
+        }
+        t.print();
+        std::printf("(%s)\n", unit);
+        return t;
+    };
+
+    auto put_lat = [](const machine::DesignPoint& d, size_t sz) {
+        return bench::pingpong_half_rtt(d, sz, 4);
+    };
+    auto put_bw = [](const machine::DesignPoint& d, size_t sz) {
+        return bench::stream_bw(d, sz, 8);
+    };
+    auto am_lat = [](const machine::DesignPoint& d, size_t sz) {
+        return bench::am_store_half_rtt(d, sz, 4);
+    };
+    auto am_bw = [](const machine::DesignPoint& d, size_t sz) {
+        return bench::am_store_bw(d, sz, 8);
+    };
+
+    run_block("Figure 7a: PUT ping-pong one-way latency (us)", "us",
+              put_lat)
+        .write_csv("bench_figure7_put_latency.csv");
+    run_block("Figure 7b: PUT streaming bandwidth (MB/s)", "MB/s",
+              put_bw)
+        .write_csv("bench_figure7_put_bw.csv");
+    run_block("Figure 7c: AM-store ping-pong one-way latency (us)",
+              "us", am_lat)
+        .write_csv("bench_figure7_am_latency.csv");
+    run_block("Figure 7d: AM-store streaming bandwidth (MB/s)", "MB/s",
+              am_bw)
+        .write_csv("bench_figure7_am_bw.csv");
+    return 0;
+}

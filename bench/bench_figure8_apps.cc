@@ -1,0 +1,115 @@
+/// \file
+/// Reproduces Figure 8 (plus Table 5): self-relative speedups of the
+/// ten applications on 1-16 processors (one compute processor per
+/// node) for all six design points, relative to the single-processor
+/// HW1 execution time T(1).
+///
+/// Paper shape to reproduce: P-Ray is insensitive to the design
+/// point; Moldy/MM/FFT/Sampleb are bandwidth-sensitive (HW0 and MP0
+/// suffer); LU/Barnes-Hut/Water/Sample/Wator are overhead-sensitive
+/// (MP2 close to HW1; MP1 10-30% slower; SW1 37-100% slower).
+///
+/// Usage: bench_figure8_apps [--scale=N] [--maxp=P] [--apps=a,b,...]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "machine/design_point.h"
+#include "util/table.h"
+
+namespace {
+
+bool
+app_selected(const std::string& filter, const char* name)
+{
+    if (filter.empty())
+        return true;
+    std::string f = "," + filter + ",";
+    std::string n = "," + std::string(name) + ",";
+    return f.find(n) != std::string::npos;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int scale = 1;
+    int maxp = 16;
+    std::string filter;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--scale=", 8) == 0)
+            scale = std::atoi(argv[i] + 8);
+        else if (std::strncmp(argv[i], "--maxp=", 7) == 0)
+            maxp = std::atoi(argv[i] + 7);
+        else if (std::strncmp(argv[i], "--apps=", 7) == 0)
+            filter = argv[i] + 7;
+    }
+
+    auto dps = machine::all_design_points();
+    std::vector<int> procs;
+    for (int p = 1; p <= maxp; p *= 2)
+        procs.push_back(p);
+
+    // Table 5 header: applications and the (scaled) inputs.
+    mp::TablePrinter t5("Table 5: Applications (scaled inputs; see "
+                        "EXPERIMENTS.md for the mapping to the paper's "
+                        "sizes)");
+    t5.set_header({"Program", "Style"});
+    for (const auto& app : apps::all_apps()) {
+        if (!app_selected(filter, app.name))
+            continue;
+        t5.add_row({app.name, app.style});
+    }
+    t5.print();
+
+    for (const auto& app : apps::all_apps()) {
+        if (!app_selected(filter, app.name))
+            continue;
+        // Baseline: T(1) on HW1.
+        rma::SystemConfig base;
+        base.design = machine::hw1();
+        base.nodes = 1;
+        base.procs_per_node = 1;
+        auto r1 = app.fn(base, scale);
+        if (!r1.valid) {
+            std::printf("WARNING: %s baseline self-check FAILED\n",
+                        app.name);
+        }
+        double t1 = r1.elapsed_us;
+
+        mp::TablePrinter t(std::string("Figure 8: ") + app.name + " (" +
+                           app.style + ") speedup vs T(1)=" +
+                           mp::TablePrinter::num(t1 / 1000.0, 2) +
+                           " ms on HW1");
+        std::vector<std::string> hdr = {"Procs"};
+        for (const auto& d : dps)
+            hdr.push_back(d.name);
+        t.set_header(hdr);
+        bool all_valid = true;
+        for (int p : procs) {
+            std::vector<std::string> row = {
+                mp::TablePrinter::num(static_cast<int64_t>(p))};
+            for (const auto& d : dps) {
+                rma::SystemConfig cfg;
+                cfg.design = d;
+                cfg.nodes = p;
+                cfg.procs_per_node = 1;
+                auto r = app.fn(cfg, scale);
+                all_valid = all_valid && r.valid;
+                row.push_back(
+                    mp::TablePrinter::num(t1 / r.elapsed_us, 2));
+            }
+            t.add_row(row);
+        }
+        t.print();
+        t.write_csv(std::string("bench_figure8_") + app.name + ".csv");
+        if (!all_valid)
+            std::printf("WARNING: %s had self-check failures\n",
+                        app.name);
+    }
+    return 0;
+}

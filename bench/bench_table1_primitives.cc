@@ -1,0 +1,56 @@
+/// \file
+/// Reproduces Table 1: the primitive operations in the critical path
+/// of message-proxy communication and their values on the (modelled)
+/// IBM Model G30 SMP.
+
+#include "machine/design_point.h"
+#include "util/table.h"
+
+int
+main()
+{
+    auto dp = machine::mp0();
+    mp::TablePrinter t(
+        "Table 1: Primitive operations in the critical path of message "
+        "proxy based communication (IBM Model G30 values)");
+    t.set_header({"Variable", "Definition", "Value"});
+    t.add_row({"C", "time to service a cache miss",
+               mp::TablePrinter::num(dp.c_miss_us, 2) + " us"});
+    t.add_row({"U", "uncached access to the network adapter",
+               mp::TablePrinter::num(dp.u_access_us, 2) + " us"});
+    t.add_row({"V", "vm_att/vm_det cross-memory attach",
+               mp::TablePrinter::num(dp.v_att_us, 2) + " us"});
+    t.add_row({"P", "mean polling delay of the proxy loop",
+               mp::TablePrinter::num(dp.poll_us, 2) + " us"});
+    t.add_row({"S", "processor speed (multiple of 75 MHz)",
+               mp::TablePrinter::num(dp.speed, 1)});
+    t.add_row({"L", "network transit latency",
+               mp::TablePrinter::num(dp.net_lat_us, 2) + " us"});
+    t.print();
+    t.write_csv("bench_table1.csv");
+
+    mp::TablePrinter m("Derived one-word latency model (Section 4.1)");
+    m.set_header({"Operation", "Model", "Value (MP0, L=1us)"});
+    double get_model = 10 * dp.c_miss_us + 6 * dp.u_access_us +
+                       3 * dp.v_att_us + 3.6 / dp.speed +
+                       3 * dp.poll_us + 2 * dp.net_lat_us;
+    double put_model = 7 * dp.c_miss_us + 4 * dp.u_access_us +
+                       2 * dp.v_att_us + 2.2 / dp.speed +
+                       2 * dp.poll_us + dp.net_lat_us;
+    m.add_row({"GET", "10C + 6U + 3V + 3.6/S + 3P + 2L",
+               mp::TablePrinter::num(get_model, 2) + " us"});
+    m.add_row({"PUT", "7C + 4U + 2V + 2.2/S + 2P + L",
+               mp::TablePrinter::num(put_model, 2) + " us"});
+    m.add_row({"GET protection cost", "3C + 3V + 3P",
+               mp::TablePrinter::num(3 * dp.c_miss_us + 3 * dp.v_att_us +
+                                         3 * dp.poll_us,
+                                     2) +
+                   " us (paper: ~14 us)"});
+    m.add_row({"PUT protection cost", "3C + 2V + 2P",
+               mp::TablePrinter::num(3 * dp.c_miss_us + 2 * dp.v_att_us +
+                                         2 * dp.poll_us,
+                                     2) +
+                   " us (paper: ~10.3 us)"});
+    m.print();
+    return 0;
+}

@@ -1,0 +1,82 @@
+/// \file
+/// Reproduces Table 3: the simulation parameters of the six design
+/// points (HW0, HW1, MP0, MP1, MP2, SW1).
+
+#include <functional>
+
+#include "machine/design_point.h"
+#include "util/table.h"
+
+int
+main()
+{
+    auto dps = machine::all_design_points();
+    mp::TablePrinter t(
+        "Table 3: Simulation parameters for the design points");
+    std::vector<std::string> hdr = {"Parameter"};
+    for (const auto& d : dps)
+        hdr.push_back(d.name);
+    t.set_header(hdr);
+
+    auto row = [&](const std::string& name,
+                   const std::function<std::string(
+                       const machine::DesignPoint&)>& f) {
+        std::vector<std::string> r = {name};
+        for (const auto& d : dps)
+            r.push_back(f(d));
+        t.add_row(r);
+    };
+
+    row("Architecture", [](const machine::DesignPoint& d) {
+        return std::string(machine::arch_name(d.arch));
+    });
+    row("Cache miss latency (us)", [](const machine::DesignPoint& d) {
+        return mp::TablePrinter::num(d.c_miss_us, 2);
+    });
+    row("Proxy<->CPU miss w/ cache-update (us)",
+        [](const machine::DesignPoint& d) {
+            return d.cache_update ? mp::TablePrinter::num(d.c_update_us, 2)
+                                  : std::string("-");
+        });
+    row("Processor speed (x75 MHz)", [](const machine::DesignPoint& d) {
+        return mp::TablePrinter::num(d.speed, 1);
+    });
+    row("Compute-processor overhead (us)",
+        [](const machine::DesignPoint& d) {
+            return d.arch == machine::Arch::kProxy
+                       ? mp::TablePrinter::num(
+                             2.0 * d.proxy_miss() + d.insn(0.3), 2)
+                       : mp::TablePrinter::num(d.cpu_ovh_us, 2);
+        });
+    row("Adapter overhead (us)", [](const machine::DesignPoint& d) {
+        return d.arch == machine::Arch::kHardware
+                   ? mp::TablePrinter::num(d.adapter_ovh_us, 2)
+                   : std::string("-");
+    });
+    row("Syscall / interrupt (us)", [](const machine::DesignPoint& d) {
+        return d.arch == machine::Arch::kSyscall
+                   ? mp::TablePrinter::num(d.syscall_us, 1) + " / " +
+                         mp::TablePrinter::num(d.interrupt_us, 1)
+                   : std::string("-");
+    });
+    row("DMA bandwidth (MB/s)", [](const machine::DesignPoint& d) {
+        return mp::TablePrinter::num(d.dma_bw_mbs, 0);
+    });
+    row("Network latency (us)", [](const machine::DesignPoint& d) {
+        return mp::TablePrinter::num(d.net_lat_us, 2);
+    });
+    row("Network bandwidth (MB/s)", [](const machine::DesignPoint& d) {
+        return mp::TablePrinter::num(d.net_bw_mbs, 0);
+    });
+    row("Page-pin cost (us/page)", [](const machine::DesignPoint& d) {
+        return mp::TablePrinter::num(d.pin_page_us, 0);
+    });
+    row("Polling delay P (us)", [](const machine::DesignPoint& d) {
+        return d.arch == machine::Arch::kProxy
+                   ? mp::TablePrinter::num(d.poll_us, 1)
+                   : std::string("-");
+    });
+    t.print();
+    t.write_csv("bench_table3.csv");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/// \file
+/// Design-space exploration with the latency model and simulator —
+/// the forward-looking use the paper intends for its performance
+/// model ("the model can be used to predict message proxy performance
+/// on other SMP cluster architectures").
+///
+/// Sweeps hypothetical machines (faster proxies, cache-update
+/// hardware, slower networks) and reports one-word latencies from the
+/// closed-form model next to a full application run (Water), showing
+/// where the message-proxy design stops being competitive with custom
+/// hardware.
+///
+///   ./design_space
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "machine/design_point.h"
+
+namespace {
+
+double
+model_get(const machine::DesignPoint& d)
+{
+    double c = d.cache_update ? d.c_update_us : d.c_miss_us;
+    // 8 of the 10 GET misses are proxy<->compute transfers that the
+    // cache-update primitive accelerates.
+    double miss_term = d.cache_update ? 8 * c + 2 * d.c_miss_us
+                                      : 10 * d.c_miss_us;
+    return miss_term + 6 * d.u_access_us + 3 * d.v_att_us +
+           3.6 / d.speed + 3 * d.poll_us + 2 * d.net_lat_us;
+}
+
+} // namespace
+
+int
+main()
+{
+    struct Variant
+    {
+        std::string name;
+        machine::DesignPoint dp;
+    };
+    std::vector<Variant> variants;
+
+    variants.push_back({"MP1 (baseline proxy)", machine::mp1()});
+
+    auto v = machine::mp1();
+    v.speed = 8.0;
+    v.poll_us = 1.0;
+    variants.push_back({"proxy on 600 MHz core", v});
+
+    v = machine::mp2();
+    variants.push_back({"MP2 (cache update)", v});
+
+    v = machine::mp2();
+    v.c_update_us = 0.1;
+    v.poll_us = 0.5;
+    variants.push_back({"aggressive cache update", v});
+
+    v = machine::mp1();
+    v.net_lat_us = 5.0;
+    variants.push_back({"slow network (L=5us)", v});
+
+    v = machine::mp1();
+    v.dma_bw_mbs = 600.0;
+    v.net_bw_mbs = 1000.0;
+    variants.push_back({"gigabit-class links", v});
+
+    variants.push_back({"HW1 (custom hardware)", machine::hw1()});
+
+    std::printf("Design-space sweep: one-word GET model and the Water\n"
+                "application (16 ranks) under each variant.\n\n");
+    std::printf("%-26s %12s %14s %10s\n", "variant", "GET model",
+                "Water (ms)", "vs HW1");
+
+    double hw1_water = 0.0;
+    // Run HW1 first to establish the reference.
+    {
+        rma::SystemConfig cfg;
+        cfg.design = machine::hw1();
+        cfg.nodes = 16;
+        cfg.procs_per_node = 1;
+        hw1_water = apps::run_water(cfg, /*scale=*/2).elapsed_us;
+    }
+
+    for (const auto& var : variants) {
+        rma::SystemConfig cfg;
+        cfg.design = var.dp;
+        cfg.nodes = 16;
+        cfg.procs_per_node = 1;
+        auto res = apps::run_water(cfg, /*scale=*/2);
+        if (var.dp.arch == machine::Arch::kProxy) {
+            std::printf("%-26s %10.1fus %12.2fms %9.2fx\n",
+                        var.name.c_str(), model_get(var.dp),
+                        res.elapsed_us / 1000.0,
+                        res.elapsed_us / hw1_water);
+        } else {
+            std::printf("%-26s %12s %12.2fms %9.2fx\n",
+                        var.name.c_str(), "-",
+                        res.elapsed_us / 1000.0,
+                        res.elapsed_us / hw1_water);
+        }
+    }
+    std::printf("\nReading: a proxy with an aggressive cache-update\n"
+                "path approaches (or beats) the custom adapter, while\n"
+                "network latency hurts both designs equally — the\n"
+                "paper's conclusion that the proxy's bottleneck is SMP\n"
+                "cache-miss latency, not the network.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/// \file
+/// Two-sided message passing on the simulated cluster: the MPI-style
+/// layer's ping-pong, sweeping message sizes across the paper's
+/// architectures. Shows the eager/rendezvous protocol switchover and
+/// where each protected-communication design pays its costs — the
+/// paper's claim that RMA/RQ "form an efficient and convenient layer
+/// for implementing higher-level communication protocols such as
+/// Active Messages and MPI", demonstrated.
+///
+///   ./mpi_pingpong
+
+#include <cstdio>
+#include <vector>
+
+#include "am/am.h"
+#include "backend/factory.h"
+#include "machine/design_point.h"
+#include "mpi/mpi.h"
+#include "rma/system.h"
+
+namespace {
+
+double
+pingpong_us(const machine::DesignPoint& dp, size_t nbytes, int rounds)
+{
+    rma::SystemConfig cfg;
+    cfg.design = dp;
+    cfg.nodes = 2;
+    cfg.procs_per_node = 1;
+    double half_rtt = 0.0;
+    backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        mpi::Comm comm(ctx, ep);
+        // Rendezvous-path messages land with a one-sided store, so
+        // buffers come from the registered address space.
+        auto* buf = ctx.alloc_n<uint8_t>(nbytes + 8);
+        if (comm.rank() == 0) {
+            ctx.compute(1.0);
+            // warm-up round
+            comm.send(buf, nbytes, 1, 0);
+            comm.recv(buf, nbytes, 1, 0);
+            double t0 = ctx.now();
+            for (int r = 0; r < rounds; ++r) {
+                comm.send(buf, nbytes, 1, 0);
+                comm.recv(buf, nbytes, 1, 0);
+            }
+            half_rtt = (ctx.now() - t0) / (2.0 * rounds);
+        } else {
+            for (int r = 0; r < rounds + 1; ++r) {
+                comm.recv(buf, nbytes, 0, 0);
+                comm.send(buf, nbytes, 0, 0);
+            }
+        }
+    });
+    return half_rtt;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto dps = machine::all_design_points();
+    std::printf("MPI-style ping-pong one-way latency (us); the eager\n"
+                "-> rendezvous switch sits at %zu bytes.\n\n",
+                mpi::Comm::kEagerBytes);
+    std::printf("%8s", "bytes");
+    for (const auto& d : dps)
+        std::printf(" %8s", d.name.c_str());
+    std::printf("\n");
+    for (size_t n : {8u, 128u, 1024u, 4096u, 16384u, 131072u}) {
+        std::printf("%8zu", n);
+        for (const auto& d : dps)
+            std::printf(" %8.1f", pingpong_us(d, n, 4));
+        std::printf("\n");
+    }
+    std::printf("\nSmall messages: the architectures separate by\n"
+                "per-message overhead (HW < MP2 < MP1 < SW). Large\n"
+                "messages: everyone converges toward the DMA/pinning\n"
+                "bandwidth limits, and the protocol costs wash out.\n");
+    return 0;
+}

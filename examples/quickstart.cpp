@@ -1,0 +1,86 @@
+/// \file
+/// Quickstart: protected communication through a real message proxy.
+///
+/// Builds two "SMP nodes" in this process, each with a dedicated
+/// proxy thread polling lock-free command queues, and exercises the
+/// three primitives: PUT (remote write), GET (remote read), and ENQ
+/// (remote message queue) — plus the protection model (a segment not
+/// registered for remote access cannot be touched).
+///
+///   ./quickstart
+
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "proxy/runtime.h"
+
+int
+main()
+{
+    // --- topology: two nodes, one user endpoint each --------------
+    proxy::Node node0(0);
+    proxy::Node node1(1);
+    proxy::Endpoint& user0 = node0.create_endpoint();
+    proxy::Endpoint& user1 = node1.create_endpoint();
+    proxy::Node::connect(node0, node1);
+
+    // --- memory: node 1 exposes a segment, plus a private one -----
+    std::vector<uint8_t> shared_mem(4096, 0);
+    std::vector<uint8_t> private_mem(4096, 0xAA);
+    uint16_t shared_seg =
+        user1.register_segment(shared_mem.data(), shared_mem.size());
+    uint16_t private_seg = user1.register_segment(
+        private_mem.data(), private_mem.size(), /*remote_access=*/false);
+
+    node0.start();
+    node1.start();
+
+    // --- PUT: write 1 KB into node 1's shared segment -------------
+    std::vector<uint8_t> message(1024);
+    std::iota(message.begin(), message.end(), 0);
+    proxy::Flag delivered{0};
+    user0.put(message.data(), /*dst_node=*/1, shared_seg, /*offset=*/0,
+              static_cast<uint32_t>(message.size()), nullptr,
+              &delivered);
+    proxy::flag_wait_ge(delivered, 1);
+    std::printf("PUT:  1 KB delivered, first/last bytes: %u/%u\n",
+                shared_mem[0], shared_mem[1023]);
+
+    // --- GET: read it back ----------------------------------------
+    std::vector<uint8_t> readback(1024, 0);
+    proxy::Flag got{0};
+    user0.get(readback.data(), 1, shared_seg, 0, 1024, &got);
+    proxy::flag_wait_ge(got, 1);
+    std::printf("GET:  readback %s\n",
+                readback == message ? "matches" : "MISMATCH");
+
+    // --- ENQ: send a message into user1's receive queue -----------
+    const char text[] = "hello through the proxy";
+    user0.enq(text, sizeof(text), 1, user1.id());
+    std::vector<uint8_t> inbox;
+    while (!user1.try_recv(inbox)) {
+    }
+    std::printf("ENQ:  user1 received \"%s\"\n",
+                reinterpret_cast<const char*>(inbox.data()));
+
+    // --- protection: the private segment rejects remote access ----
+    uint8_t evil[16] = {0};
+    user0.put(evil, 1, private_seg, 0, sizeof(evil));
+    while (node1.stats().faults == 0) {
+    }
+    std::printf("PROT: write to the private segment was suppressed "
+                "(%llu fault(s) recorded, memory intact: %s)\n",
+                static_cast<unsigned long long>(node1.stats().faults),
+                private_mem[0] == 0xAA ? "yes" : "no");
+
+    std::printf("\nproxy stats: node0 sent %llu packets, node1 "
+                "consumed %llu commands+packets over %llu polls\n",
+                static_cast<unsigned long long>(
+                    node0.stats().packets_out),
+                static_cast<unsigned long long>(
+                    node1.stats().packets_in),
+                static_cast<unsigned long long>(node1.stats().polls));
+    return 0;
+}

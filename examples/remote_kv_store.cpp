@@ -1,0 +1,119 @@
+/// \file
+/// A small remote key-value store built on the message-proxy runtime
+/// — the kind of service the paper's remote-queue primitive was
+/// designed for.
+///
+/// The server node exposes a fixed-slot table as a remotely
+/// accessible segment. Clients on another node:
+///   - write values with one-sided PUTs directly into their slots,
+///   - read any slot with a GET,
+///   - and submit "update" commands through the server endpoint's
+///     message queue (ENQ); the server applies them when it polls.
+///
+///   ./remote_kv_store
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "proxy/runtime.h"
+
+namespace {
+
+constexpr int kSlots = 64;
+constexpr int kValueBytes = 48;
+
+struct Slot
+{
+    uint64_t version;
+    char value[kValueBytes];
+};
+
+struct UpdateCmd
+{
+    int32_t slot;
+    char value[kValueBytes];
+};
+
+} // namespace
+
+int
+main()
+{
+    proxy::Node server_node(0);
+    proxy::Node client_node(1);
+    proxy::Endpoint& server = server_node.create_endpoint();
+    proxy::Endpoint& client_a = client_node.create_endpoint();
+    proxy::Endpoint& client_b = client_node.create_endpoint();
+    proxy::Node::connect(server_node, client_node);
+
+    std::vector<Slot> table(kSlots, Slot{0, {0}});
+    uint16_t table_seg = server.register_segment(
+        table.data(), table.size() * sizeof(Slot));
+
+    server_node.start();
+    client_node.start();
+
+    // --- client A: one-sided PUTs into its own slots 0..7 ---------
+    proxy::Flag put_done{0};
+    for (int s = 0; s < 8; ++s) {
+        Slot v;
+        v.version = 1;
+        std::snprintf(v.value, sizeof(v.value), "alpha-%d", s);
+        client_a.put(&v, 0, table_seg,
+                     static_cast<uint64_t>(s) * sizeof(Slot),
+                     sizeof(Slot), &put_done);
+        // Source is a stack temporary: wait for hand-off before reuse.
+        proxy::flag_wait_ge(put_done, static_cast<uint64_t>(s) + 1);
+    }
+
+    // --- client B: queued updates the server applies --------------
+    for (int s = 8; s < 12; ++s) {
+        UpdateCmd cmd;
+        cmd.slot = s;
+        std::snprintf(cmd.value, sizeof(cmd.value), "queued-%d", s);
+        while (!client_b.enq(&cmd, sizeof(cmd), 0, server.id())) {
+            std::this_thread::yield();
+        }
+    }
+
+    // --- server: poll the queue and apply updates ------------------
+    std::vector<uint8_t> msg;
+    int applied = 0;
+    while (applied < 4) {
+        if (!server.try_recv(msg)) {
+            std::this_thread::yield();
+            continue;
+        }
+        UpdateCmd cmd;
+        std::memcpy(&cmd, msg.data(), sizeof(cmd));
+        Slot& slot = table[static_cast<size_t>(cmd.slot)];
+        std::memcpy(slot.value, cmd.value, sizeof(slot.value));
+        ++slot.version;
+        ++applied;
+    }
+
+    // --- client A: read everything back with GETs ------------------
+    std::vector<Slot> snapshot(kSlots);
+    proxy::Flag got{0};
+    client_a.get(snapshot.data(), 0, table_seg, 0,
+                 static_cast<uint32_t>(snapshot.size() * sizeof(Slot)),
+                 &got);
+    proxy::flag_wait_ge(got, 1);
+
+    std::printf("slot table after one-sided PUTs and queued updates:\n");
+    for (int s = 0; s < 12; ++s) {
+        std::printf("  [%2d] v%llu \"%s\"\n", s,
+                    static_cast<unsigned long long>(
+                        snapshot[static_cast<size_t>(s)].version),
+                    snapshot[static_cast<size_t>(s)].value);
+    }
+    std::printf("server stats: %llu packets in, %llu faults\n",
+                static_cast<unsigned long long>(
+                    server_node.stats().packets_in),
+                static_cast<unsigned long long>(
+                    server_node.stats().faults));
+    return 0;
+}

@@ -1,0 +1,136 @@
+/// \file
+/// Distributed work queue on the real message-proxy runtime, using
+/// the paper's Remote Queue primitive: a coordinator node owns a
+/// proxy-managed task queue; worker endpoints on other nodes pull
+/// tasks with remote DEQs and push results back with remote ENQs.
+/// The proxy is the only agent that ever touches the queue pointers,
+/// so no locks are needed anywhere — the paper's atomicity argument,
+/// live.
+///
+///   ./work_queue
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "proxy/runtime.h"
+
+namespace {
+
+struct Task
+{
+    int32_t id;
+    int32_t iterations;
+};
+
+struct Result
+{
+    int32_t id;
+    int32_t worker;
+    double value;
+};
+
+/// Toy workload: a few iterations of a logistic map.
+double
+crunch(const Task& t)
+{
+    double x = 0.4 + 1e-4 * t.id;
+    for (int i = 0; i < t.iterations; ++i)
+        x = 3.71 * x * (1.0 - x);
+    return x;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int kWorkers = 3;
+    constexpr int kTasks = 24;
+
+    proxy::Node coordinator(0);
+    proxy::Endpoint& boss = coordinator.create_endpoint();
+    int task_q = coordinator.create_queue();
+
+    std::vector<std::unique_ptr<proxy::Node>> worker_nodes;
+    std::vector<proxy::Endpoint*> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+        worker_nodes.push_back(std::make_unique<proxy::Node>(1 + w));
+        workers.push_back(&worker_nodes.back()->create_endpoint());
+        proxy::Node::connect(coordinator, *worker_nodes.back());
+    }
+
+    coordinator.start();
+    for (auto& n : worker_nodes)
+        n->start();
+
+    // Fill the queue with tasks plus one poison pill per worker.
+    for (int t = 0; t < kTasks; ++t) {
+        Task task{t, 1000 + 100 * t};
+        while (!boss.rq_enq(&task, sizeof(task), 0, task_q))
+            std::this_thread::yield();
+    }
+    for (int w = 0; w < kWorkers; ++w) {
+        Task pill{-1, 0};
+        while (!boss.rq_enq(&pill, sizeof(pill), 0, task_q))
+            std::this_thread::yield();
+    }
+
+    // Workers pull until poisoned and send results to the boss.
+    std::vector<std::thread> crew;
+    for (int w = 0; w < kWorkers; ++w) {
+        crew.emplace_back([&, w] {
+            proxy::Endpoint* me = workers[static_cast<size_t>(w)];
+            for (;;) {
+                Task task{};
+                proxy::Flag f{0};
+                while (!me->rq_deq(&task, sizeof(task), 0, task_q, &f))
+                    std::this_thread::yield();
+                proxy::flag_wait_ge(f, 1);
+                if (f.load() == 1) { // queue empty: retry
+                    std::this_thread::yield();
+                    continue;
+                }
+                if (task.id < 0)
+                    break;
+                Result r{task.id, w, crunch(task)};
+                while (!me->enq(&r, sizeof(r), 0, boss.id()))
+                    std::this_thread::yield();
+            }
+        });
+    }
+
+    // The boss collects the results.
+    int per_worker[kWorkers] = {0};
+    std::vector<uint8_t> msg;
+    for (int got = 0; got < kTasks;) {
+        if (!boss.try_recv(msg)) {
+            std::this_thread::yield();
+            continue;
+        }
+        Result r{};
+        std::memcpy(&r, msg.data(), sizeof(r));
+        ++per_worker[r.worker];
+        ++got;
+        if (got <= 4 || got == kTasks) {
+            std::printf("result %2d/%d: task %2d by worker %d -> %.6f\n",
+                        got, kTasks, r.id, r.worker, r.value);
+        } else if (got == 5) {
+            std::printf("...\n");
+        }
+    }
+    for (auto& t : crew)
+        t.join();
+
+    std::printf("\nwork distribution:");
+    for (int w = 0; w < kWorkers; ++w)
+        std::printf(" worker%d=%d", w, per_worker[w]);
+    std::printf("\ncoordinator proxy: %llu packets in, %llu out, "
+                "0 locks taken\n",
+                static_cast<unsigned long long>(
+                    coordinator.stats().packets_in.load()),
+                static_cast<unsigned long long>(
+                    coordinator.stats().packets_out.load()));
+    return 0;
+}

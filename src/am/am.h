@@ -1,0 +1,128 @@
+/// \file
+/// Active Messages on top of the RMA and RQ primitives (Section 5.1
+/// and Figure 6 of the paper).
+///
+/// am_request / am_reply ride on remote-queue ENQs; am_store (bulk
+/// store) is a PUT followed by an ENQ of a completion handler whose
+/// in-order delivery after the data reproduces the paper's "handler
+/// that detects completion of the PUT"; am_get is a GET plus local
+/// completion handler.
+///
+/// Usage is SPMD-symmetric: every rank constructs its Endpoint first
+/// thing (before any communication) and registers the same handlers
+/// in the same order, so handler ids agree across ranks.
+
+#ifndef MSGPROXY_AM_AM_H
+#define MSGPROXY_AM_AM_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rma/system.h"
+
+namespace am {
+
+class Endpoint;
+
+/// An incoming active message as seen by a handler.
+struct Msg
+{
+    Endpoint& ep;        ///< receiving endpoint (for replies)
+    int src;             ///< sending rank
+    const uint8_t* data; ///< payload (valid only during the handler)
+    size_t size;         ///< payload bytes
+
+    /// Sends a reply active message back to the requester.
+    void reply(int handler_id, const void* payload, size_t n) const;
+};
+
+/// Handler invoked at the receiving rank when a message is polled.
+using Handler = std::function<void(const Msg&)>;
+
+/// Per-rank active-message endpoint.
+class Endpoint
+{
+  public:
+    /// Creates the request and reply queues for this rank. Must run
+    /// on every rank before any communication.
+    explicit Endpoint(rma::Ctx& ctx);
+
+    Endpoint(const Endpoint&) = delete;
+    Endpoint& operator=(const Endpoint&) = delete;
+
+    /// Registers a handler; returns its id. All ranks must register
+    /// the same handlers in the same order.
+    int register_handler(Handler h);
+
+    /// Sends an active-message request to `dst`; the remote rank runs
+    /// handler `hid` with the payload when it polls. lsync (optional)
+    /// is incremented when the enqueue is acknowledged.
+    void request(int dst, int hid, const void* payload, size_t n,
+                 sim::Flag* lsync = nullptr);
+
+    /// Bulk store: PUTs [laddr, laddr+n) to (dst, raddr), then invokes
+    /// handler `hid` at dst (with the 8-byte `arg` as payload) after
+    /// the data has been delivered. hid < 0 skips the notification.
+    void store(int dst, const void* laddr, void* raddr, size_t n, int hid,
+               uint64_t arg = 0, sim::Flag* lsync = nullptr);
+
+    /// Bulk get: fetches [raddr, raddr+n) from dst into laddr; lsync
+    /// increments on local arrival.
+    void get(int dst, const void* raddr, void* laddr, size_t n,
+             sim::Flag* lsync);
+
+    /// Polls once: handles at most one pending message (requests have
+    /// priority over replies... the paper's RQ poll order). Returns
+    /// true if a message was handled.
+    bool poll();
+
+    /// Drains every pending message.
+    void poll_all();
+
+    /// Polls while waiting for `f` to reach `v` (the standard AM
+    /// progress loop: waiting always implies polling).
+    void poll_until(sim::Flag& f, uint64_t v);
+
+    /// Blocks until at least one new message arrives in any of this
+    /// rank's queues (event-driven; use in custom progress loops
+    /// after poll() returned false).
+    void wait_arrival();
+
+    /// Computes for `us` microseconds while polling every `slice_us`
+    /// (the standard technique long-running handler-based programs
+    /// use so that incoming protocol requests are serviced with
+    /// bounded delay).
+    void compute(double us, double slice_us = 50.0);
+
+    /// Messages handled so far.
+    uint64_t handled() const { return handled_; }
+
+    /// The underlying rank context.
+    rma::Ctx& ctx() { return ctx_; }
+
+  private:
+    friend struct Msg;
+
+    /// Wire header prepended to every AM payload.
+    struct WireHeader
+    {
+        int32_t hid;
+        int32_t src;
+    };
+
+    void send_on_queue(int dst, int qid, int hid, const void* payload,
+                       size_t n, sim::Flag* lsync);
+    bool poll_queue(int qid);
+
+    rma::Ctx& ctx_;
+    int request_qid_;
+    int reply_qid_;
+    std::vector<Handler> handlers_;
+    std::vector<uint8_t> scratch_;
+    uint64_t handled_ = 0;
+};
+
+} // namespace am
+
+#endif // MSGPROXY_AM_AM_H

@@ -1,0 +1,67 @@
+/// \file
+/// Shared helpers for the application implementations: the timed-
+/// region recorder and per-operation compute-cost constants.
+
+#ifndef MSGPROXY_APPS_APP_UTIL_H
+#define MSGPROXY_APPS_APP_UTIL_H
+
+#include <algorithm>
+#include <vector>
+
+#include "rma/system.h"
+
+namespace apps {
+
+/// Compute-cost constants, in microseconds, for the explicit
+/// compute() charges. The compute processors are the same across all
+/// design points (the paper's simulator models POWER2-class compute
+/// processors regardless of the communication architecture), so these
+/// are design-point independent.
+///
+/// The magnitudes are set so that the 16-processor message rates land
+/// in the range Table 6 reports (roughly 0.4-20 RMA/RQ operations per
+/// millisecond per processor depending on the application).
+struct Cost
+{
+    static constexpr double kFlop = 0.02;        ///< one fused op
+    static constexpr double kPairInteraction = 0.15; ///< n-body pair
+    static constexpr double kKeyCompare = 0.3; ///< sort compare+move
+                                                 ///< (cache-miss heavy)
+    static constexpr double kRayObject = 0.4;    ///< ray-sphere test
+    static constexpr double kTreeNode = 0.3; ///< tree-walk visit
+                                               ///< (pointer chasing)
+};
+
+/// Records the timed region across ranks (max end - min start).
+class Timer
+{
+  public:
+    explicit Timer(int nranks)
+        : start_(static_cast<size_t>(nranks), 0.0),
+          end_(static_cast<size_t>(nranks), 0.0)
+    {
+    }
+
+    /// Marks the start of the timed region on `rank`.
+    void start(int rank, double now) { start_[static_cast<size_t>(rank)] = now; }
+
+    /// Marks the end of the timed region on `rank`.
+    void end(int rank, double now) { end_[static_cast<size_t>(rank)] = now; }
+
+    /// Elapsed simulated microseconds of the region.
+    double
+    elapsed() const
+    {
+        double s = *std::min_element(start_.begin(), start_.end());
+        double e = *std::max_element(end_.begin(), end_.end());
+        return e - s;
+    }
+
+  private:
+    std::vector<double> start_;
+    std::vector<double> end_;
+};
+
+} // namespace apps
+
+#endif // MSGPROXY_APPS_APP_UTIL_H

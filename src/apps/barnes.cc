@@ -1,0 +1,364 @@
+/// \file
+/// Barnes-Hut: hierarchical 2-D n-body simulation in the CRL style
+/// (adapted from the SPLASH-2 code the paper uses). Body blocks are
+/// CRL regions (one per rank). Each iteration every rank reads all
+/// body blocks, builds a quadtree with centre-of-mass summaries,
+/// computes approximate forces for its bodies with a theta-opening
+/// tree walk, and writes its block back.
+///
+/// Self-check: the tree-walk force on a sample of bodies is compared
+/// against the exact direct sum (the theta approximation must stay
+/// within a few percent) and positions remain finite.
+
+#include "apps/apps.h"
+
+#include <cmath>
+#include <vector>
+
+#include "am/am.h"
+#include "apps/app_util.h"
+#include "backend/factory.h"
+#include "coll/coll.h"
+#include "crl/crl.h"
+
+namespace apps {
+
+namespace {
+
+constexpr int kBaseBodies = 1024;
+constexpr int kIters = 3;
+constexpr double kTheta = 0.6;
+constexpr double kSoft2 = 0.05;
+constexpr double kDt = 0.01;
+
+/// Quadtree node over [cx +- half, cy +- half].
+struct QNode
+{
+    double cx, cy, half;
+    double mass = 0.0;
+    double mx = 0.0, my = 0.0; ///< mass-weighted centroid accumulators
+    int body = -1;             ///< body index for leaves (-1: internal)
+    int child[4] = {-1, -1, -1, -1};
+    bool leaf = true;
+};
+
+class QuadTree
+{
+  public:
+    void
+    build(const std::vector<double>& x, const std::vector<double>& y,
+          const std::vector<double>& m)
+    {
+        nodes_.clear();
+        double lo = -1e9, hi = 1e9;
+        double minv = 1e30, maxv = -1e30;
+        for (double v : x) {
+            minv = std::min(minv, v);
+            maxv = std::max(maxv, v);
+        }
+        for (double v : y) {
+            minv = std::min(minv, v);
+            maxv = std::max(maxv, v);
+        }
+        lo = minv;
+        hi = maxv;
+        double half = (hi - lo) / 2 + 1e-6;
+        nodes_.push_back(QNode{(lo + hi) / 2, (lo + hi) / 2, half});
+        for (size_t i = 0; i < x.size(); ++i)
+            insert(0, static_cast<int>(i), x, y, 0);
+        summarize(0, x, y, m);
+        visits_ = 0;
+    }
+
+    /// Accumulates the approximate force on (px, py); returns the
+    /// number of visited nodes (for compute-cost charging).
+    void
+    force(double px, double py, int self,
+          const std::vector<double>& x, const std::vector<double>& y,
+          const std::vector<double>& m, double* fx, double* fy)
+    {
+        walk(0, px, py, self, x, y, m, fx, fy);
+    }
+
+    uint64_t visits() const { return visits_; }
+
+  private:
+    int
+    quadrant(const QNode& n, double px, double py) const
+    {
+        return (px >= n.cx ? 1 : 0) + (py >= n.cy ? 2 : 0);
+    }
+
+    void
+    insert(int ni, int body, const std::vector<double>& x,
+           const std::vector<double>& y, int depth)
+    {
+        QNode& n = nodes_[static_cast<size_t>(ni)];
+        if (n.leaf && n.body < 0) {
+            n.body = body;
+            return;
+        }
+        if (n.leaf) {
+            if (depth > 48) {
+                // Coincident points: drop into the same leaf slot by
+                // merging masses at summarize time (keep first).
+                return;
+            }
+            int old = n.body;
+            n.body = -1;
+            n.leaf = false;
+            insert_child(ni, old, x, y, depth);
+        }
+        insert_child(ni, body, x, y, depth);
+    }
+
+    void
+    insert_child(int ni, int body, const std::vector<double>& x,
+                 const std::vector<double>& y, int depth)
+    {
+        // NOTE: re-fetch the node after any push_back (reallocation).
+        int q = quadrant(nodes_[static_cast<size_t>(ni)],
+                         x[static_cast<size_t>(body)],
+                         y[static_cast<size_t>(body)]);
+        if (nodes_[static_cast<size_t>(ni)].child[q] < 0) {
+            QNode c;
+            const QNode& n = nodes_[static_cast<size_t>(ni)];
+            c.half = n.half / 2;
+            c.cx = n.cx + ((q & 1) ? c.half : -c.half);
+            c.cy = n.cy + ((q & 2) ? c.half : -c.half);
+            nodes_.push_back(c);
+            nodes_[static_cast<size_t>(ni)].child[q] =
+                static_cast<int>(nodes_.size()) - 1;
+        }
+        insert(nodes_[static_cast<size_t>(ni)].child[q], body, x, y,
+               depth + 1);
+    }
+
+    void
+    summarize(int ni, const std::vector<double>& x,
+              const std::vector<double>& y, const std::vector<double>& m)
+    {
+        QNode& n = nodes_[static_cast<size_t>(ni)];
+        if (n.leaf) {
+            if (n.body >= 0) {
+                n.mass = m[static_cast<size_t>(n.body)];
+                n.mx = x[static_cast<size_t>(n.body)] * n.mass;
+                n.my = y[static_cast<size_t>(n.body)] * n.mass;
+            }
+            return;
+        }
+        for (int q = 0; q < 4; ++q) {
+            int c = n.child[q];
+            if (c < 0)
+                continue;
+            summarize(c, x, y, m);
+            QNode& cn = nodes_[static_cast<size_t>(c)];
+            nodes_[static_cast<size_t>(ni)].mass += cn.mass;
+            nodes_[static_cast<size_t>(ni)].mx += cn.mx;
+            nodes_[static_cast<size_t>(ni)].my += cn.my;
+        }
+    }
+
+    void
+    walk(int ni, double px, double py, int self,
+         const std::vector<double>& x, const std::vector<double>& y,
+         const std::vector<double>& m, double* fx, double* fy)
+    {
+        const QNode& n = nodes_[static_cast<size_t>(ni)];
+        ++visits_;
+        if (n.mass <= 0.0)
+            return;
+        if (n.leaf) {
+            if (n.body < 0 || n.body == self)
+                return;
+            add_force(px, py, x[static_cast<size_t>(n.body)],
+                      y[static_cast<size_t>(n.body)],
+                      m[static_cast<size_t>(n.body)], fx, fy);
+            return;
+        }
+        double gx = n.mx / n.mass;
+        double gy = n.my / n.mass;
+        double dx = gx - px, dy = gy - py;
+        double dist = std::sqrt(dx * dx + dy * dy) + 1e-12;
+        if (2.0 * n.half / dist < kTheta) {
+            add_force(px, py, gx, gy, n.mass, fx, fy);
+            return;
+        }
+        for (int q = 0; q < 4; ++q)
+            if (n.child[q] >= 0)
+                walk(n.child[q], px, py, self, x, y, m, fx, fy);
+    }
+
+    static void
+    add_force(double px, double py, double qx, double qy, double mass,
+              double* fx, double* fy)
+    {
+        double dx = qx - px, dy = qy - py;
+        double r2 = dx * dx + dy * dy + kSoft2;
+        double inv = mass / (r2 * std::sqrt(r2));
+        *fx += dx * inv;
+        *fy += dy * inv;
+    }
+
+    std::vector<QNode> nodes_;
+    uint64_t visits_ = 0;
+};
+
+} // namespace
+
+AppResult
+run_barnes(const rma::SystemConfig& cfg, int scale)
+{
+    const int p = cfg.nodes * cfg.procs_per_node;
+    const int nbodies = std::max(p, kBaseBodies / scale);
+    const int chunk = (nbodies + p - 1) / p;
+    // Region layout per rank: chunk * (x, y, mass).
+    const size_t rbytes = static_cast<size_t>(chunk) * 3 * sizeof(double);
+
+    Timer timer(p);
+    double max_rel_err = 1e9;
+    double checksum = 0.0;
+
+    auto result = backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        const int me = ctx.rank();
+        const int lo = me * chunk;
+        const int hi = std::min(lo + chunk, nbodies);
+        const int nlocal = hi - lo;
+
+        crl.create(rbytes);
+        std::vector<double*> blocks(static_cast<size_t>(p));
+        for (int r = 0; r < p; ++r) {
+            blocks[static_cast<size_t>(r)] = static_cast<double*>(
+                crl.map(crl::Crl::region_id(r, 0), rbytes));
+        }
+        std::vector<double> vx(static_cast<size_t>(chunk), 0.0);
+        std::vector<double> vy(static_cast<size_t>(chunk), 0.0);
+
+        // Deterministic clustered initial distribution.
+        mp::Rng init(4242);
+        std::vector<double> ix(static_cast<size_t>(nbodies));
+        std::vector<double> iy(static_cast<size_t>(nbodies));
+        std::vector<double> im(static_cast<size_t>(nbodies));
+        for (int i = 0; i < nbodies; ++i) {
+            double ang = init.next_range(0.0, 6.28318);
+            double rad = std::pow(init.next_double(), 1.5) * 8.0;
+            ix[static_cast<size_t>(i)] = rad * std::cos(ang);
+            iy[static_cast<size_t>(i)] = rad * std::sin(ang);
+            im[static_cast<size_t>(i)] = init.next_range(0.5, 1.5);
+        }
+        crl.start_write(crl::Crl::region_id(me, 0));
+        for (int i = 0; i < nlocal; ++i) {
+            blocks[static_cast<size_t>(me)][i * 3] =
+                ix[static_cast<size_t>(lo + i)];
+            blocks[static_cast<size_t>(me)][i * 3 + 1] =
+                iy[static_cast<size_t>(lo + i)];
+            blocks[static_cast<size_t>(me)][i * 3 + 2] =
+                im[static_cast<size_t>(lo + i)];
+        }
+        crl.end_write(crl::Crl::region_id(me, 0));
+        coll.barrier();
+        timer.start(me, ctx.now());
+
+        QuadTree tree;
+        std::vector<double> ax(static_cast<size_t>(nbodies));
+        std::vector<double> ay(static_cast<size_t>(nbodies));
+        std::vector<double> am_(static_cast<size_t>(nbodies));
+
+        for (int it = 0; it < kIters; ++it) {
+            // Gather all bodies (coherent reads of every block).
+            for (int r = 0; r < p; ++r)
+                crl.start_read(crl::Crl::region_id(r, 0));
+            for (int r = 0; r < p; ++r) {
+                int rcount = std::min(chunk, nbodies - r * chunk);
+                for (int j = 0; j < rcount; ++j) {
+                    size_t g = static_cast<size_t>(r * chunk + j);
+                    ax[g] = blocks[static_cast<size_t>(r)][j * 3];
+                    ay[g] = blocks[static_cast<size_t>(r)][j * 3 + 1];
+                    am_[g] = blocks[static_cast<size_t>(r)][j * 3 + 2];
+                }
+            }
+            for (int r = 0; r < p; ++r)
+                crl.end_read(crl::Crl::region_id(r, 0));
+            // Snapshot is taken under the read hold; make sure every
+            // rank has its snapshot before anyone writes.
+            coll.barrier();
+
+            // Build the tree and walk it for the local bodies.
+            tree.build(ax, ay, am_);
+            ep.compute(static_cast<double>(nbodies) * Cost::kTreeNode);
+            std::vector<double> fx(static_cast<size_t>(nlocal), 0.0);
+            std::vector<double> fy(static_cast<size_t>(nlocal), 0.0);
+            for (int i = 0; i < nlocal; ++i) {
+                tree.force(ax[static_cast<size_t>(lo + i)],
+                           ay[static_cast<size_t>(lo + i)], lo + i, ax,
+                           ay, am_, &fx[static_cast<size_t>(i)],
+                           &fy[static_cast<size_t>(i)]);
+            }
+            ep.compute(static_cast<double>(tree.visits()) *
+                       Cost::kTreeNode);
+
+            // Integrate and publish.
+            crl.start_write(crl::Crl::region_id(me, 0));
+            for (int i = 0; i < nlocal; ++i) {
+                vx[static_cast<size_t>(i)] +=
+                    kDt * fx[static_cast<size_t>(i)];
+                vy[static_cast<size_t>(i)] +=
+                    kDt * fy[static_cast<size_t>(i)];
+                blocks[static_cast<size_t>(me)][i * 3] +=
+                    kDt * vx[static_cast<size_t>(i)];
+                blocks[static_cast<size_t>(me)][i * 3 + 1] +=
+                    kDt * vy[static_cast<size_t>(i)];
+            }
+            crl.end_write(crl::Crl::region_id(me, 0));
+            ctx.compute(static_cast<double>(nlocal) * 4.0 * Cost::kFlop);
+            coll.barrier();
+
+            // Self-check on the last iteration: tree force vs direct
+            // sum for the first local body.
+            if (it == kIters - 1 && nlocal > 0) {
+                double tfx = 0, tfy = 0;
+                tree.force(ax[static_cast<size_t>(lo)],
+                           ay[static_cast<size_t>(lo)], lo, ax, ay, am_,
+                           &tfx, &tfy);
+                double dfx = 0, dfy = 0;
+                for (int j = 0; j < nbodies; ++j) {
+                    if (j == lo)
+                        continue;
+                    double dx = ax[static_cast<size_t>(j)] -
+                                ax[static_cast<size_t>(lo)];
+                    double dy = ay[static_cast<size_t>(j)] -
+                                ay[static_cast<size_t>(lo)];
+                    double r2 = dx * dx + dy * dy + kSoft2;
+                    double inv =
+                        am_[static_cast<size_t>(j)] / (r2 * std::sqrt(r2));
+                    dfx += dx * inv;
+                    dfy += dy * inv;
+                }
+                double num = std::hypot(tfx - dfx, tfy - dfy);
+                double den = std::hypot(dfx, dfy) + 1e-12;
+                double err = num / den;
+                max_rel_err = coll.allreduce_max(err);
+            }
+        }
+
+        timer.end(me, ctx.now());
+        double ck = 0.0;
+        for (int i = 0; i < nlocal; ++i)
+            ck += blocks[static_cast<size_t>(me)][i * 3] +
+                  blocks[static_cast<size_t>(me)][i * 3 + 1];
+        checksum = coll.allreduce_sum(ck);
+        coll.barrier();
+    });
+
+    AppResult res;
+    res.elapsed_us = timer.elapsed();
+    res.checksum = checksum;
+    res.valid = std::isfinite(checksum) && max_rel_err < 0.15;
+    res.run = result;
+    return res;
+}
+
+} // namespace apps

@@ -1,0 +1,282 @@
+/// \file
+/// LU: blocked dense LU factorization (no pivoting; the test matrix
+/// is made diagonally dominant) in the CRL style, adapted from the
+/// CRL 1.0 distribution. Matrix blocks are CRL regions in a 2-D
+/// cyclic layout; the block owner computes, and coherence traffic
+/// moves the diagonal, row and column panels.
+
+#include "apps/apps.h"
+
+#include <cmath>
+#include <vector>
+
+#include "am/am.h"
+#include "apps/app_util.h"
+#include "backend/factory.h"
+#include "coll/coll.h"
+#include "crl/crl.h"
+#include "util/log.h"
+
+namespace apps {
+
+namespace {
+
+constexpr int kBaseN = 256;
+constexpr int kBlock = 16;
+
+/// 2-D cyclic processor grid: pr x pc with pr*pc == p.
+void
+proc_grid(int p, int* pr, int* pc)
+{
+    int r = 1;
+    while ((2 * r) * (2 * r) <= p)
+        r *= 2;
+    while (r > 1 && p % r != 0)
+        --r;
+    *pr = r;
+    *pc = p / r;
+}
+
+int
+owner_of(int bi, int bj, int pr, int pc)
+{
+    return (bi % pr) * pc + (bj % pc);
+}
+
+/// Creation index of block (bi, bj) at its home: the number of blocks
+/// with the same owner that precede it lexicographically.
+uint32_t
+block_index(int bi, int bj, int grid, int pr, int pc)
+{
+    int own = owner_of(bi, bj, pr, pc);
+    uint32_t idx = 0;
+    for (int i = 0; i < grid; ++i) {
+        for (int j = 0; j < grid; ++j) {
+            if (i == bi && j == bj)
+                return idx;
+            if (owner_of(i, j, pr, pc) == own)
+                ++idx;
+        }
+    }
+    MP_PANIC("block not found");
+}
+
+/// Deterministic diagonally-dominant test matrix.
+double
+a_init(int i, int j, int n)
+{
+    double v = std::sin(0.7 * i + 1.3 * j + 0.001 * i * j);
+    if (i == j)
+        v += 2.0 * n;
+    return v;
+}
+
+} // namespace
+
+AppResult
+run_lu(const rma::SystemConfig& cfg, int scale)
+{
+    return run_lu_block(cfg, scale, kBlock);
+}
+
+AppResult
+run_lu_block(const rma::SystemConfig& cfg, int scale, int block)
+{
+    const int p = cfg.nodes * cfg.procs_per_node;
+    const int b = block;
+    const int n = std::max(b * 2, kBaseN / scale / b * b);
+    const int grid = n / b;
+    MP_CHECK(n % b == 0, "matrix size must be a block multiple");
+    int pr, pc;
+    proc_grid(p, &pr, &pc);
+
+    const size_t bbytes = static_cast<size_t>(b) * b * sizeof(double);
+    Timer timer(p);
+    double residual = 1e9;
+
+    auto result = backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        const int me = ctx.rank();
+
+        auto rid = [&](int bi, int bj) {
+            return crl::Crl::region_id(
+                owner_of(bi, bj, pr, pc),
+                block_index(bi, bj, grid, pr, pc));
+        };
+
+        // Create owned regions (lexicographic order matches
+        // block_index), then map everything.
+        for (int bi = 0; bi < grid; ++bi)
+            for (int bj = 0; bj < grid; ++bj)
+                if (owner_of(bi, bj, pr, pc) == me)
+                    crl.create(bbytes);
+        std::vector<double*> blk(
+            static_cast<size_t>(grid) * static_cast<size_t>(grid));
+        for (int bi = 0; bi < grid; ++bi) {
+            for (int bj = 0; bj < grid; ++bj) {
+                blk[static_cast<size_t>(bi * grid + bj)] =
+                    static_cast<double*>(crl.map(rid(bi, bj), bbytes));
+            }
+        }
+        coll.barrier();
+
+        // Owner initializes its blocks.
+        for (int bi = 0; bi < grid; ++bi) {
+            for (int bj = 0; bj < grid; ++bj) {
+                if (owner_of(bi, bj, pr, pc) != me)
+                    continue;
+                double* a = blk[static_cast<size_t>(bi * grid + bj)];
+                crl.start_write(rid(bi, bj));
+                for (int i = 0; i < b; ++i)
+                    for (int j = 0; j < b; ++j)
+                        a[i * b + j] = a_init(bi * b + i, bj * b + j, n);
+                crl.end_write(rid(bi, bj));
+            }
+        }
+        coll.barrier();
+        timer.start(me, ctx.now());
+
+        for (int k = 0; k < grid; ++k) {
+            // Factor the diagonal block (Doolittle, unit lower).
+            if (owner_of(k, k, pr, pc) == me) {
+                double* akk = blk[static_cast<size_t>(k * grid + k)];
+                crl.start_write(rid(k, k));
+                for (int i = 0; i < b; ++i) {
+                    for (int j = i + 1; j < b; ++j) {
+                        double m = akk[j * b + i] / akk[i * b + i];
+                        akk[j * b + i] = m;
+                        for (int c = i + 1; c < b; ++c)
+                            akk[j * b + c] -= m * akk[i * b + c];
+                    }
+                }
+                crl.end_write(rid(k, k));
+                ctx.compute(Cost::kFlop * (2.0 / 3.0) * b * b * b);
+            }
+            coll.barrier();
+
+            // Row panel: A[k][j] = L_kk^-1 A[k][j]; column panel:
+            // A[i][k] = A[i][k] U_kk^-1.
+            for (int j = k + 1; j < grid; ++j) {
+                if (owner_of(k, j, pr, pc) != me)
+                    continue;
+                crl.start_read(rid(k, k));
+                const double* akk =
+                    blk[static_cast<size_t>(k * grid + k)];
+                double* akj = blk[static_cast<size_t>(k * grid + j)];
+                crl.start_write(rid(k, j));
+                for (int c = 0; c < b; ++c) {
+                    for (int i = 1; i < b; ++i) {
+                        double s = akj[i * b + c];
+                        for (int r = 0; r < i; ++r)
+                            s -= akk[i * b + r] * akj[r * b + c];
+                        akj[i * b + c] = s;
+                    }
+                }
+                crl.end_write(rid(k, j));
+                crl.end_read(rid(k, k));
+                ctx.compute(Cost::kFlop * b * b * b);
+            }
+            for (int i = k + 1; i < grid; ++i) {
+                if (owner_of(i, k, pr, pc) != me)
+                    continue;
+                crl.start_read(rid(k, k));
+                const double* akk =
+                    blk[static_cast<size_t>(k * grid + k)];
+                double* aik = blk[static_cast<size_t>(i * grid + k)];
+                crl.start_write(rid(i, k));
+                for (int r = 0; r < b; ++r) {
+                    for (int c = 0; c < b; ++c) {
+                        double s = aik[r * b + c];
+                        for (int t = 0; t < c; ++t)
+                            s -= aik[r * b + t] * akk[t * b + c];
+                        aik[r * b + c] = s / akk[c * b + c];
+                    }
+                }
+                crl.end_write(rid(i, k));
+                crl.end_read(rid(k, k));
+                ctx.compute(Cost::kFlop * b * b * b);
+            }
+            coll.barrier();
+
+            // Interior update: A[i][j] -= A[i][k] * A[k][j].
+            for (int i = k + 1; i < grid; ++i) {
+                for (int j = k + 1; j < grid; ++j) {
+                    if (owner_of(i, j, pr, pc) != me)
+                        continue;
+                    crl.start_read(rid(i, k));
+                    crl.start_read(rid(k, j));
+                    const double* aik =
+                        blk[static_cast<size_t>(i * grid + k)];
+                    const double* akj =
+                        blk[static_cast<size_t>(k * grid + j)];
+                    double* aij = blk[static_cast<size_t>(i * grid + j)];
+                    crl.start_write(rid(i, j));
+                    for (int r = 0; r < b; ++r)
+                        for (int t = 0; t < b; ++t) {
+                            double m = aik[r * b + t];
+                            for (int c = 0; c < b; ++c)
+                                aij[r * b + c] -= m * akj[t * b + c];
+                        }
+                    crl.end_write(rid(i, j));
+                    crl.end_read(rid(k, j));
+                    crl.end_read(rid(i, k));
+                    ctx.compute(Cost::kFlop * 2.0 * b * b * b);
+                }
+            }
+            coll.barrier();
+        }
+
+        timer.end(me, ctx.now());
+
+        // Validation on rank 0: || L*U - A || / ||A|| small.
+        if (me == 0) {
+            std::vector<double> lu(static_cast<size_t>(n) * n);
+            for (int bi = 0; bi < grid; ++bi) {
+                for (int bj = 0; bj < grid; ++bj) {
+                    crl.start_read(rid(bi, bj));
+                    const double* a =
+                        blk[static_cast<size_t>(bi * grid + bj)];
+                    for (int i = 0; i < b; ++i)
+                        for (int j = 0; j < b; ++j)
+                            lu[static_cast<size_t>(bi * b + i) * n +
+                               bj * b + j] = a[i * b + j];
+                    crl.end_read(rid(bi, bj));
+                }
+            }
+            double num = 0.0, den = 1e-30;
+            for (int i = 0; i < n; ++i) {
+                for (int j = 0; j < n; ++j) {
+                    double s = 0.0;
+                    int kmax = std::min(i, j);
+                    for (int t = 0; t <= kmax; ++t) {
+                        double l =
+                            (t == i) ? 1.0
+                                     : lu[static_cast<size_t>(i) * n + t];
+                        if (t > i)
+                            l = 0.0;
+                        double u = (t <= j)
+                                       ? lu[static_cast<size_t>(t) * n + j]
+                                       : 0.0;
+                        s += l * u;
+                    }
+                    double a0 = a_init(i, j, n);
+                    num += (s - a0) * (s - a0);
+                    den += a0 * a0;
+                }
+            }
+            residual = std::sqrt(num / den);
+        }
+        coll.barrier();
+    });
+
+    AppResult res;
+    res.elapsed_us = timer.elapsed();
+    res.checksum = residual;
+    res.valid = residual < 1e-9;
+    res.run = result;
+    return res;
+}
+
+} // namespace apps

@@ -1,0 +1,193 @@
+/// \file
+/// P-Ray: a sphere ray tracer in the Split-C style. Scene objects are
+/// distributed round-robin across ranks; a rank fetches an object's
+/// parameters with a small bulk get on first use and caches it for
+/// the rest of the render ("small and infrequent messages" — the
+/// paper's least communication-sensitive application). Image rows are
+/// partitioned across ranks; each pixel traces a primary ray and a
+/// shadow ray against every sphere.
+
+#include "apps/apps.h"
+
+#include <cmath>
+#include <vector>
+
+#include "apps/app_util.h"
+#include "backend/factory.h"
+#include "coll/coll.h"
+#include "splitc/splitc.h"
+
+namespace apps {
+
+namespace {
+
+constexpr int kBaseImage = 96;  ///< image is kBaseImage x kBaseImage
+constexpr int kBaseSpheres = 16;
+
+struct Sphere
+{
+    double cx, cy, cz, r;
+    double red, green, blue;
+    double pad = 0.0;
+};
+
+Sphere
+sphere_init(int i)
+{
+    mp::Rng rng(9000 + static_cast<uint64_t>(i));
+    Sphere s;
+    s.cx = rng.next_range(-6.0, 6.0);
+    s.cy = rng.next_range(-6.0, 6.0);
+    s.cz = rng.next_range(6.0, 18.0);
+    s.r = rng.next_range(0.5, 1.6);
+    s.red = rng.next_double();
+    s.green = rng.next_double();
+    s.blue = rng.next_double();
+    return s;
+}
+
+/// Ray-sphere intersection; returns the ray parameter t or a
+/// negative value on miss.
+double
+hit(const Sphere& s, double ox, double oy, double oz, double dx,
+    double dy, double dz)
+{
+    double lx = s.cx - ox, ly = s.cy - oy, lz = s.cz - oz;
+    double b = lx * dx + ly * dy + lz * dz;
+    double det = b * b - (lx * lx + ly * ly + lz * lz) + s.r * s.r;
+    if (det < 0.0)
+        return -1.0;
+    double sq = std::sqrt(det);
+    double t = b - sq;
+    if (t < 1e-6)
+        t = b + sq;
+    return t > 1e-6 ? t : -1.0;
+}
+
+} // namespace
+
+AppResult
+run_pray(const rma::SystemConfig& cfg, int scale)
+{
+    const int p = cfg.nodes * cfg.procs_per_node;
+    const int img = std::max(8, kBaseImage / scale);
+    const int nspheres = std::max(8, kBaseSpheres / scale);
+    const int rows = (img + p - 1) / p;
+
+    Timer timer(p);
+    double image_sum = 0.0;
+    bool fetch_ok = true;
+
+    auto result = backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        splitc::SplitC sc(ctx);
+        coll::Collective coll(ctx);
+        const int me = ctx.rank();
+
+        // Scene distribution: sphere i lives at rank i % p, slot i/p.
+        const int per_rank = (nspheres + p - 1) / p;
+        Sphere* local_objs = sc.all_spread_alloc<Sphere>(
+            "pray.scene", static_cast<size_t>(per_rank));
+        for (int i = me; i < nspheres; i += p)
+            local_objs[i / p] = sphere_init(i);
+        coll.barrier();
+        timer.start(me, ctx.now());
+
+        // Software object cache: fetch remote spheres on first use.
+        std::vector<Sphere> cache(static_cast<size_t>(nspheres));
+        std::vector<bool> cached(static_cast<size_t>(nspheres), false);
+        auto get_sphere = [&](int i) -> const Sphere& {
+            if (!cached[static_cast<size_t>(i)]) {
+                int owner = i % p;
+                if (owner == me) {
+                    cache[static_cast<size_t>(i)] = local_objs[i / p];
+                } else {
+                    sc.bulk_get(&cache[static_cast<size_t>(i)],
+                                sc.global<Sphere>("pray.scene", owner) +
+                                    (i / p),
+                                1);
+                }
+                cached[static_cast<size_t>(i)] = true;
+            }
+            return cache[static_cast<size_t>(i)];
+        };
+
+        const int lo = me * rows;
+        const int hi = std::min(lo + rows, img);
+        double local_sum = 0.0;
+        const double lx = -0.5, ly = 0.8, lz = -0.3; // light direction
+        for (int y = lo; y < hi; ++y) {
+            for (int x = 0; x < img; ++x) {
+                double dx = (x - img / 2) / static_cast<double>(img);
+                double dy = (y - img / 2) / static_cast<double>(img);
+                double dz = 1.0;
+                double norm = std::sqrt(dx * dx + dy * dy + dz * dz);
+                dx /= norm;
+                dy /= norm;
+                dz /= norm;
+                double best_t = 1e30;
+                int best = -1;
+                for (int i = 0; i < nspheres; ++i) {
+                    double t = hit(get_sphere(i), 0, 0, 0, dx, dy, dz);
+                    if (t > 0.0 && t < best_t) {
+                        best_t = t;
+                        best = i;
+                    }
+                }
+                ctx.compute(static_cast<double>(nspheres) *
+                            Cost::kRayObject);
+                double shade = 0.1; // ambient
+                if (best >= 0) {
+                    const Sphere& s = get_sphere(best);
+                    double px = dx * best_t, py = dy * best_t,
+                           pz = dz * best_t;
+                    double nx = (px - s.cx) / s.r,
+                           ny = (py - s.cy) / s.r,
+                           nz = (pz - s.cz) / s.r;
+                    double diff =
+                        std::max(0.0, -(nx * lx + ny * ly + nz * lz));
+                    // Shadow ray toward the light.
+                    bool shadowed = false;
+                    for (int i = 0; i < nspheres && !shadowed; ++i) {
+                        if (i == best)
+                            continue;
+                        if (hit(get_sphere(i), px, py, pz, -lx, -ly,
+                                -lz) > 0.0)
+                            shadowed = true;
+                    }
+                    ctx.compute(static_cast<double>(nspheres) *
+                                Cost::kRayObject);
+                    shade += shadowed ? 0.0 : diff;
+                    local_sum += shade * (s.red + s.green + s.blue);
+                } else {
+                    local_sum += shade;
+                }
+            }
+        }
+
+        coll.barrier();
+        timer.end(me, ctx.now());
+
+        // Fetched parameters must equal the deterministic generator.
+        for (int i = 0; i < nspheres; ++i) {
+            if (!cached[static_cast<size_t>(i)])
+                continue;
+            Sphere ref = sphere_init(i);
+            const Sphere& got = cache[static_cast<size_t>(i)];
+            if (got.cx != ref.cx || got.r != ref.r ||
+                got.blue != ref.blue) {
+                fetch_ok = false;
+            }
+        }
+        image_sum = coll.allreduce_sum(local_sum);
+        coll.barrier();
+    });
+
+    AppResult res;
+    res.elapsed_us = timer.elapsed();
+    res.checksum = image_sum;
+    res.valid = fetch_ok && std::isfinite(image_sum) && image_sum > 0.0;
+    res.run = result;
+    return res;
+}
+
+} // namespace apps

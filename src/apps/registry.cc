@@ -1,0 +1,23 @@
+#include "apps/apps.h"
+
+namespace apps {
+
+const std::vector<AppEntry>&
+all_apps()
+{
+    static const std::vector<AppEntry> entries = {
+        {"Moldy", "RMA", &run_moldy},
+        {"LU", "CRL", &run_lu},
+        {"Barnes-Hut", "CRL", &run_barnes},
+        {"Water", "CRL", &run_water},
+        {"MM", "Split-C", &run_mm},
+        {"FFT", "Split-C", &run_fft},
+        {"Sample", "Split-C", &run_sample},
+        {"Sampleb", "Split-C", &run_sampleb},
+        {"P-Ray", "Split-C", &run_pray},
+        {"Wator", "Split-C", &run_wator},
+    };
+    return entries;
+}
+
+} // namespace apps

@@ -1,0 +1,181 @@
+/// \file
+/// Sampleb: sample sort with bulk transfers (the paper's "version of
+/// sample sort that uses bulk transfers"). Identical algorithm to
+/// Sample, but buckets travel as single bulk stores into
+/// offset-negotiated landing areas instead of per-key messages.
+
+#include "apps/apps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "apps/app_util.h"
+#include "backend/factory.h"
+#include "coll/coll.h"
+#include "splitc/splitc.h"
+
+namespace apps {
+
+namespace {
+
+constexpr int kBaseKeysTotal = 32768;
+constexpr int kOversample = 8;
+
+} // namespace
+
+AppResult
+run_sampleb(const rma::SystemConfig& cfg, int scale)
+{
+    const int p = cfg.nodes * cfg.procs_per_node;
+    const int nlocal = std::max(16, kBaseKeysTotal / scale / p);
+    const int ntotal = nlocal * p;
+
+    Timer timer(p);
+    bool sorted_ok = false;
+    int64_t total_after = 0;
+
+    auto result = backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        splitc::SplitC sc(ctx);
+        coll::Collective coll(ctx);
+        const int me = ctx.rank();
+
+        std::vector<uint64_t> keys(static_cast<size_t>(nlocal));
+        mp::Rng kr(2000 + static_cast<uint64_t>(me));
+        for (auto& k : keys)
+            k = kr.next_u64() >> 1;
+
+        uint64_t* samples = sc.all_spread_alloc<uint64_t>(
+            "sb.smp",
+            static_cast<size_t>(kOversample) * static_cast<size_t>(p));
+        uint64_t* splitters =
+            sc.all_spread_alloc<uint64_t>("sb.spl", static_cast<size_t>(p));
+        // Per-source incoming bucket counts, then landing offsets.
+        int64_t* in_counts =
+            sc.all_spread_alloc<int64_t>("sb.cnt", static_cast<size_t>(p));
+        int64_t* my_offsets =
+            sc.all_spread_alloc<int64_t>("sb.off", static_cast<size_t>(p));
+        // Landing area: generous bound (3x expected average).
+        const size_t land_cap = static_cast<size_t>(nlocal) * 3 + 64;
+        uint64_t* land = sc.all_spread_alloc<uint64_t>("sb.land", land_cap);
+        for (int r = 0; r < p; ++r)
+            in_counts[r] = 0;
+        coll.barrier();
+        timer.start(me, ctx.now());
+
+        // Splitters (as in Sample).
+        std::vector<uint64_t> my_samples(static_cast<size_t>(kOversample));
+        for (int s = 0; s < kOversample; ++s)
+            my_samples[static_cast<size_t>(s)] = keys[static_cast<size_t>(
+                ctx.rng().next_below(static_cast<uint64_t>(nlocal)))];
+        auto g0 = sc.global<uint64_t>("sb.smp", 0) +
+                  static_cast<ptrdiff_t>(me * kOversample);
+        sc.store(g0, my_samples.data(), static_cast<size_t>(kOversample));
+        sc.all_store_sync(coll);
+        if (me == 0) {
+            std::sort(samples,
+                      samples + static_cast<size_t>(kOversample) * p);
+            for (int r = 0; r < p - 1; ++r)
+                splitters[r] =
+                    samples[static_cast<size_t>((r + 1) * kOversample)];
+            splitters[p - 1] = ~0ull;
+            ctx.compute(Cost::kKeyCompare * kOversample * p * 10.0);
+        }
+        coll.broadcast(splitters, static_cast<size_t>(p) * sizeof(uint64_t),
+                       0);
+
+        // Bucketize locally.
+        std::vector<std::vector<uint64_t>> bucket(static_cast<size_t>(p));
+        for (int i = 0; i < nlocal; ++i) {
+            uint64_t k = keys[static_cast<size_t>(i)];
+            int d = 0;
+            while (splitters[d] <= k)
+                ++d;
+            bucket[static_cast<size_t>(d)].push_back(k);
+        }
+        ctx.compute(Cost::kKeyCompare * static_cast<double>(nlocal) *
+                    std::log2(static_cast<double>(p) + 1.0));
+
+        // Announce bucket sizes to each destination.
+        for (int d = 0; d < p; ++d) {
+            int64_t c =
+                static_cast<int64_t>(bucket[static_cast<size_t>(d)].size());
+            auto g = sc.global<int64_t>("sb.cnt", d) + me;
+            sc.store(g, &c);
+        }
+        sc.all_store_sync(coll);
+
+        // Compute landing offsets for our senders and send them back.
+        int64_t off = 0;
+        for (int s = 0; s < p; ++s) {
+            auto g = sc.global<int64_t>("sb.off", s) + me;
+            sc.store(g, &off);
+            off += in_counts[s];
+        }
+        MP_CHECK(static_cast<size_t>(off) <= land_cap,
+                 "landing area overflow");
+        sc.all_store_sync(coll);
+
+        // Bulk-store each bucket at its negotiated offset (the local
+        // bucket is copied in place).
+        for (int d = 0; d < p; ++d) {
+            auto& b = bucket[static_cast<size_t>(d)];
+            if (b.empty())
+                continue;
+            if (d == me) {
+                std::memcpy(land + my_offsets[d], b.data(),
+                            b.size() * sizeof(uint64_t));
+                ctx.compute(static_cast<double>(ctx.design().lines(
+                                b.size() * sizeof(uint64_t))) *
+                            ctx.design().c_miss_us);
+                continue;
+            }
+            auto g = sc.global<uint64_t>("sb.land", d) +
+                     static_cast<ptrdiff_t>(my_offsets[d]);
+            sc.store(g, b.data(), b.size());
+        }
+        sc.all_store_sync(coll);
+
+        // Sort the received range.
+        int64_t nrecv = 0;
+        for (int s = 0; s < p; ++s)
+            nrecv += in_counts[s];
+        std::sort(land, land + nrecv);
+        double lg = std::log2(static_cast<double>(nrecv) + 2.0);
+        ctx.compute(Cost::kKeyCompare * static_cast<double>(nrecv) * lg);
+        coll.barrier();
+        timer.end(me, ctx.now());
+
+        // Validation (as in Sample).
+        bool local_sorted = std::is_sorted(land, land + nrecv);
+        uint64_t* boundary = sc.all_spread_alloc<uint64_t>("sb.bnd", 2);
+        boundary[0] = nrecv ? land[0] : 0;
+        boundary[1] = nrecv ? land[nrecv - 1] : ~0ull;
+        coll.barrier();
+        bool ordered = true;
+        if (me + 1 < p) {
+            uint64_t nxt_min =
+                sc.read(sc.global<uint64_t>("sb.bnd", me + 1));
+            if (nrecv && nxt_min < land[nrecv - 1])
+                ordered = false;
+        }
+        int64_t count = coll.allreduce_sum_i64(nrecv);
+        double ok = (local_sorted && ordered) ? 1.0 : 0.0;
+        double all_ok = -coll.allreduce_max(-ok);
+        if (me == 0) {
+            sorted_ok = all_ok > 0.5;
+            total_after = count;
+        }
+        coll.barrier();
+    });
+
+    AppResult res;
+    res.elapsed_us = timer.elapsed();
+    res.checksum = static_cast<double>(total_after);
+    res.valid = sorted_ok && total_after == ntotal;
+    res.run = result;
+    return res;
+}
+
+} // namespace apps

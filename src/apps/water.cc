@@ -1,0 +1,176 @@
+/// \file
+/// Water: an "n-squared" molecular-dynamics code (SPLASH-2 style) in
+/// the CRL style. Each rank's molecule block is one CRL region; every
+/// iteration reads all remote blocks (read misses re-fetch them after
+/// the previous iteration's writes invalidated the copies), computes
+/// all-pairs forces for the local molecules, and writes the local
+/// block back.
+
+#include "apps/apps.h"
+
+#include <cmath>
+#include <vector>
+
+#include "am/am.h"
+#include "apps/app_util.h"
+#include "backend/factory.h"
+#include "coll/coll.h"
+#include "crl/crl.h"
+
+namespace apps {
+
+namespace {
+
+constexpr int kBaseMolecules = 512;
+constexpr int kIters = 4;
+constexpr double kDt = 0.002;
+
+/// Soft-core inverse-square force between molecules a and b;
+/// accumulates onto f (toward b for attraction).
+void
+pair_force(const double* a, const double* b, double* f)
+{
+    double dx = b[0] - a[0];
+    double dy = b[1] - a[1];
+    double dz = b[2] - a[2];
+    double r2 = dx * dx + dy * dy + dz * dz + 0.1;
+    double inv = 1.0 / (r2 * std::sqrt(r2));
+    f[0] += dx * inv;
+    f[1] += dy * inv;
+    f[2] += dz * inv;
+}
+
+} // namespace
+
+AppResult
+run_water(const rma::SystemConfig& cfg, int scale)
+{
+    const int p = cfg.nodes * cfg.procs_per_node;
+    const int nmol = std::max(p, kBaseMolecules / scale);
+    const int chunk = (nmol + p - 1) / p;
+    const size_t rbytes = static_cast<size_t>(chunk) * 3 * sizeof(double);
+
+    Timer timer(p);
+    double mom_err = 1e9;
+    double checksum = 0.0;
+
+    auto result = backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        const int me = ctx.rank();
+        const int lo = me * chunk;
+        const int hi = std::min(lo + chunk, nmol);
+        const int nlocal = hi - lo;
+
+        // One region per rank holding its molecules' positions.
+        crl.create(rbytes);
+        std::vector<double*> blocks(static_cast<size_t>(p));
+        for (int r = 0; r < p; ++r) {
+            blocks[static_cast<size_t>(r)] = static_cast<double*>(
+                crl.map(crl::Crl::region_id(r, 0), rbytes));
+        }
+        std::vector<double> vel(static_cast<size_t>(chunk) * 3, 0.0);
+        std::vector<double> force(static_cast<size_t>(chunk) * 3);
+
+        // Deterministic initial positions and velocities.
+        mp::Rng init(777);
+        std::vector<double> all_init(static_cast<size_t>(nmol) * 3);
+        for (auto& v : all_init)
+            v = init.next_range(-4.0, 4.0);
+        mp::Rng vinit(778);
+        std::vector<double> all_vinit(static_cast<size_t>(nmol) * 3);
+        for (auto& v : all_vinit)
+            v = vinit.next_range(-0.1, 0.1);
+        crl.start_write(crl::Crl::region_id(me, 0));
+        for (int i = 0; i < nlocal; ++i)
+            for (int d = 0; d < 3; ++d)
+                blocks[static_cast<size_t>(me)][i * 3 + d] =
+                    all_init[static_cast<size_t>(lo + i) * 3 +
+                             static_cast<size_t>(d)];
+        crl.end_write(crl::Crl::region_id(me, 0));
+        for (int i = 0; i < nlocal; ++i)
+            for (int d = 0; d < 3; ++d)
+                vel[static_cast<size_t>(i) * 3 + static_cast<size_t>(d)] =
+                    all_vinit[static_cast<size_t>(lo + i) * 3 +
+                              static_cast<size_t>(d)];
+        coll.barrier();
+        timer.start(me, ctx.now());
+
+        for (int it = 0; it < kIters; ++it) {
+            // Read every block (local copy of remote positions).
+            for (int r = 0; r < p; ++r)
+                crl.start_read(crl::Crl::region_id(r, 0));
+            std::fill(force.begin(), force.end(), 0.0);
+            for (int i = 0; i < nlocal; ++i) {
+                const double* mi =
+                    &blocks[static_cast<size_t>(me)][i * 3];
+                for (int r = 0; r < p; ++r) {
+                    int rcount = std::min(chunk, nmol - r * chunk);
+                    for (int j = 0; j < rcount; ++j) {
+                        if (r == me && j == i)
+                            continue;
+                        pair_force(mi,
+                                   &blocks[static_cast<size_t>(r)][j * 3],
+                                   &force[static_cast<size_t>(i) * 3]);
+                    }
+                }
+            }
+            ep.compute(static_cast<double>(nlocal) *
+                       static_cast<double>(nmol - 1) *
+                       Cost::kPairInteraction);
+            for (int r = 0; r < p; ++r)
+                crl.end_read(crl::Crl::region_id(r, 0));
+            // Separate the read phase from the write phase so every
+            // rank computes from the same iteration snapshot.
+            coll.barrier();
+
+            // Integrate and publish the local block.
+            crl.start_write(crl::Crl::region_id(me, 0));
+            for (int i = 0; i < nlocal * 3; ++i) {
+                vel[static_cast<size_t>(i)] +=
+                    kDt * force[static_cast<size_t>(i)];
+                blocks[static_cast<size_t>(me)][i] +=
+                    kDt * vel[static_cast<size_t>(i)];
+            }
+            crl.end_write(crl::Crl::region_id(me, 0));
+            ctx.compute(static_cast<double>(nlocal) * 6.0 * Cost::kFlop);
+            coll.barrier();
+        }
+
+        timer.end(me, ctx.now());
+
+        // Momentum conservation: total momentum stays (nearly) zero
+        // relative to its initial value.
+        double px = 0, py = 0, pz = 0;
+        for (int i = 0; i < nlocal; ++i) {
+            px += vel[static_cast<size_t>(i) * 3];
+            py += vel[static_cast<size_t>(i) * 3 + 1];
+            pz += vel[static_cast<size_t>(i) * 3 + 2];
+        }
+        double p0x = 0, p0y = 0, p0z = 0;
+        for (int i = 0; i < nmol; ++i) {
+            p0x += all_vinit[static_cast<size_t>(i) * 3];
+            p0y += all_vinit[static_cast<size_t>(i) * 3 + 1];
+            p0z += all_vinit[static_cast<size_t>(i) * 3 + 2];
+        }
+        double sx = coll.allreduce_sum(px) - p0x;
+        double sy = coll.allreduce_sum(py) - p0y;
+        double sz = coll.allreduce_sum(pz) - p0z;
+        mom_err = std::sqrt(sx * sx + sy * sy + sz * sz);
+        double ck = 0.0;
+        for (int i = 0; i < nlocal * 3; ++i)
+            ck += blocks[static_cast<size_t>(me)][i];
+        checksum = coll.allreduce_sum(ck);
+        coll.barrier();
+    });
+
+    AppResult res;
+    res.elapsed_us = timer.elapsed();
+    res.checksum = checksum;
+    res.valid = std::isfinite(checksum) && mom_err < 1e-9;
+    res.run = result;
+    return res;
+}
+
+} // namespace apps

@@ -1,0 +1,177 @@
+/// \file
+/// Wator: an n-body simulation of fish in a current (Split-C). Fish
+/// are block-distributed; computing the forces on local fish requires
+/// the positions and masses of remote fish, read with fine-grained
+/// split-phase GETs ("Wator spends a significant amount of time using
+/// GETs to read the positions and masses of fish mapped remotely").
+/// Fish are fetched in small groups of four, giving the small-message
+/// high-rate traffic of the paper's Table 6.
+
+#include "apps/apps.h"
+
+#include <cmath>
+#include <vector>
+
+#include "apps/app_util.h"
+#include "backend/factory.h"
+#include "coll/coll.h"
+#include "splitc/splitc.h"
+
+namespace apps {
+
+namespace {
+
+constexpr int kBaseFish = 400; // the paper's input size
+constexpr int kIters = 4;
+constexpr int kFetchGroup = 4;
+constexpr double kDt = 0.005;
+
+struct Fish
+{
+    double x, y, mass;
+};
+
+} // namespace
+
+AppResult
+run_wator(const rma::SystemConfig& cfg, int scale)
+{
+    const int p = cfg.nodes * cfg.procs_per_node;
+    const int nfish = std::max(p * kFetchGroup, kBaseFish / scale);
+    const int chunk = (nfish + p - 1) / p;
+
+    Timer timer(p);
+    double mom_err = 1e9;
+    double checksum = 0.0;
+
+    auto result = backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        splitc::SplitC sc(ctx);
+        coll::Collective coll(ctx);
+        const int me = ctx.rank();
+        const int lo = me * chunk;
+        const int hi = std::min(lo + chunk, nfish);
+        const int nlocal = hi - lo;
+
+        Fish* mine = sc.all_spread_alloc<Fish>(
+            "wator.fish", static_cast<size_t>(chunk));
+        std::vector<double> vx(static_cast<size_t>(chunk), 0.0);
+        std::vector<double> vy(static_cast<size_t>(chunk), 0.0);
+
+        // Deterministic school of fish.
+        mp::Rng init(31415);
+        std::vector<Fish> all(static_cast<size_t>(nfish));
+        std::vector<double> v0(static_cast<size_t>(nfish) * 2);
+        for (int i = 0; i < nfish; ++i) {
+            all[static_cast<size_t>(i)].x = init.next_range(-10.0, 10.0);
+            all[static_cast<size_t>(i)].y = init.next_range(-10.0, 10.0);
+            all[static_cast<size_t>(i)].mass = init.next_range(0.5, 2.0);
+            v0[static_cast<size_t>(i) * 2] = init.next_range(-0.2, 0.2);
+            v0[static_cast<size_t>(i) * 2 + 1] =
+                init.next_range(-0.2, 0.2);
+        }
+        for (int i = 0; i < nlocal; ++i) {
+            mine[i] = all[static_cast<size_t>(lo + i)];
+            vx[static_cast<size_t>(i)] = v0[static_cast<size_t>(lo + i) * 2];
+            vy[static_cast<size_t>(i)] =
+                v0[static_cast<size_t>(lo + i) * 2 + 1];
+        }
+        coll.barrier();
+        timer.start(me, ctx.now());
+
+        std::vector<Fish> others(static_cast<size_t>(nfish));
+        std::vector<double> fx(static_cast<size_t>(nlocal));
+        std::vector<double> fy(static_cast<size_t>(nlocal));
+
+        for (int it = 0; it < kIters; ++it) {
+            // Fetch every remote fish in groups of kFetchGroup via
+            // split-phase GETs; local fish copied directly.
+            for (int r = 0; r < p; ++r) {
+                int rlo = r * chunk;
+                int rcount = std::min(chunk, nfish - rlo);
+                if (rcount <= 0)
+                    continue;
+                if (r == me) {
+                    for (int j = 0; j < rcount; ++j)
+                        others[static_cast<size_t>(rlo + j)] = mine[j];
+                    continue;
+                }
+                auto g = sc.global<Fish>("wator.fish", r);
+                for (int j = 0; j < rcount; j += kFetchGroup) {
+                    int cnt = std::min(kFetchGroup, rcount - j);
+                    sc.get_sp(&others[static_cast<size_t>(rlo + j)],
+                              g + j, static_cast<size_t>(cnt));
+                }
+            }
+            sc.sync();
+            // Fetch phase must complete everywhere before anyone
+            // integrates, or a slow rank could read post-update
+            // positions.
+            coll.barrier();
+
+            // All-pairs attraction plus a rotating current.
+            for (int i = 0; i < nlocal; ++i) {
+                double ax = 0.0, ay = 0.0;
+                const Fish& fi = others[static_cast<size_t>(lo + i)];
+                for (int j = 0; j < nfish; ++j) {
+                    if (j == lo + i)
+                        continue;
+                    const Fish& fj = others[static_cast<size_t>(j)];
+                    double dx = fj.x - fi.x;
+                    double dy = fj.y - fi.y;
+                    double r2 = dx * dx + dy * dy + 0.5;
+                    double inv = fj.mass / (r2 * std::sqrt(r2));
+                    ax += dx * inv;
+                    ay += dy * inv;
+                }
+                // Current: solid-body rotation about the origin.
+                ax += -0.05 * fi.y;
+                ay += 0.05 * fi.x;
+                fx[static_cast<size_t>(i)] = ax;
+                fy[static_cast<size_t>(i)] = ay;
+            }
+            ctx.compute(static_cast<double>(nlocal) *
+                        static_cast<double>(nfish - 1) *
+                        Cost::kPairInteraction * 4.0);
+
+            // Integrate (updates are local writes to our slice).
+            for (int i = 0; i < nlocal; ++i) {
+                vx[static_cast<size_t>(i)] +=
+                    kDt * fx[static_cast<size_t>(i)];
+                vy[static_cast<size_t>(i)] +=
+                    kDt * fy[static_cast<size_t>(i)];
+                mine[i].x += kDt * vx[static_cast<size_t>(i)];
+                mine[i].y += kDt * vy[static_cast<size_t>(i)];
+            }
+            ctx.compute(static_cast<double>(nlocal) * 4.0 * Cost::kFlop);
+            coll.barrier();
+        }
+
+        timer.end(me, ctx.now());
+
+        // The gravitational part conserves momentum when weighted by
+        // mass... our force omits m_i, so check mass-weighted momentum
+        // change equals the current's contribution only approximately:
+        // instead validate finiteness + deterministic checksum spread.
+        double px = 0.0, py = 0.0, ck = 0.0;
+        for (int i = 0; i < nlocal; ++i) {
+            px += mine[i].mass * vx[static_cast<size_t>(i)];
+            py += mine[i].mass * vy[static_cast<size_t>(i)];
+            ck += mine[i].x + mine[i].y;
+        }
+        double gx = coll.allreduce_sum(px);
+        double gy = coll.allreduce_sum(py);
+        mom_err = std::hypot(gx, gy);
+        checksum = coll.allreduce_sum(ck);
+        coll.barrier();
+    });
+
+    AppResult res;
+    res.elapsed_us = timer.elapsed();
+    res.checksum = checksum;
+    res.valid = std::isfinite(checksum) && std::isfinite(mom_err) &&
+                std::abs(checksum) < 1e9;
+    res.run = result;
+    return res;
+}
+
+} // namespace apps

@@ -1,0 +1,128 @@
+/// \file
+/// Shared infrastructure for the three architecture backends: the
+/// per-node contended resources (communication agent, DMA engine,
+/// network output link) and cost-composition helpers.
+
+#ifndef MSGPROXY_BACKEND_COMMON_H
+#define MSGPROXY_BACKEND_COMMON_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/design_point.h"
+#include "rma/backend.h"
+#include "rma/system.h"
+#include "sim/resource.h"
+
+namespace backend {
+
+/// Wire-format header size added to every packet (command opcode,
+/// asid, addresses, length, sequence).
+inline constexpr size_t kHeaderBytes = 32;
+
+/// The contended hardware of one SMP node.
+struct NodeRes
+{
+    NodeRes(sim::Scheduler& s, int node, const char* agent_label)
+        : agent(s, std::string(agent_label) + std::to_string(node)),
+          dma(s, "dma" + std::to_string(node)),
+          link(s, "link" + std::to_string(node))
+    {
+    }
+
+    sim::Resource agent; ///< message proxy / adapter logic / kernel lock
+    sim::Resource dma;   ///< DMA engine between memory and the NIC
+    sim::Resource link;  ///< network output serialization
+};
+
+/// Accumulates the cost terms of one critical-path stage, optionally
+/// mirroring each term into a Table 2 trace.
+class CostAccum
+{
+  public:
+    CostAccum(rma::TraceSink* sink, const char* agent)
+        : sink_(sink), agent_(agent)
+    {
+    }
+
+    /// Adds one primitive operation of `us` microseconds.
+    void
+    add(const char* operation, const char* term, double us)
+    {
+        total_ += us;
+        if (sink_ != nullptr) {
+            sink_->add(rma::TraceEntry{agent_, operation, term, us});
+        }
+    }
+
+    /// Total microseconds accumulated.
+    double total() const { return total_; }
+
+  private:
+    double total_ = 0.0;
+    rma::TraceSink* sink_;
+    const char* agent_;
+};
+
+/// Common state and helpers for all backends.
+class BaseBackend : public rma::Backend
+{
+  public:
+    double
+    agent_utilization(int node) const override
+    {
+        return nodes_[static_cast<size_t>(node)]->agent.utilization();
+    }
+
+    double
+    agent_busy_us(int node) const override
+    {
+        return nodes_[static_cast<size_t>(node)]->agent.busy_us();
+    }
+
+    void set_trace(rma::TraceSink* sink) override { trace_ = sink; }
+
+  protected:
+    BaseBackend(rma::System& sys, const char* agent_label)
+        : sys_(sys), d_(sys.design())
+    {
+        for (int n = 0; n < sys.config().nodes; ++n) {
+            nodes_.push_back(std::make_unique<NodeRes>(sys.scheduler(), n,
+                                                       agent_label));
+        }
+    }
+
+    /// Per-node resources of `node`.
+    NodeRes& node_res(int node) { return *nodes_[static_cast<size_t>(node)]; }
+
+    /// Bytes on the wire for an n-byte payload.
+    static size_t wire_bytes(size_t n) { return n + kHeaderBytes; }
+
+    /// Serialization time of `bytes` on the network link.
+    double
+    link_us(size_t bytes) const
+    {
+        return machine::DesignPoint::xfer_us(bytes, d_.net_bw_mbs);
+    }
+
+    /// DMA transfer time of `bytes`.
+    double
+    dma_us(size_t bytes) const
+    {
+        return machine::DesignPoint::xfer_us(bytes, d_.dma_bw_mbs);
+    }
+
+    /// True when a transfer of n bytes goes through the DMA engine
+    /// rather than programmed I/O.
+    bool use_dma(size_t n) const { return n > d_.pio_threshold; }
+
+    rma::System& sys_;
+    const machine::DesignPoint& d_;
+    std::vector<std::unique_ptr<NodeRes>> nodes_;
+    rma::TraceSink* trace_ = nullptr;
+};
+
+} // namespace backend
+
+#endif // MSGPROXY_BACKEND_COMMON_H

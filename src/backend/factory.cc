@@ -1,0 +1,40 @@
+#include "backend/factory.h"
+
+#include "backend/hw_backend.h"
+#include "backend/proxy_backend.h"
+#include "backend/sw_backend.h"
+#include "util/log.h"
+
+namespace backend {
+
+rma::BackendFactory
+factory()
+{
+    return [](rma::System& sys) -> std::unique_ptr<rma::Backend> {
+        switch (sys.design().arch) {
+          case machine::Arch::kProxy:
+            return std::make_unique<MessageProxyBackend>(sys);
+          case machine::Arch::kHardware:
+            return std::make_unique<CustomHardwareBackend>(sys);
+          case machine::Arch::kSyscall:
+            return std::make_unique<SyscallBackend>(sys);
+        }
+        MP_PANIC("unknown architecture");
+    };
+}
+
+std::unique_ptr<rma::System>
+make_system(const rma::SystemConfig& cfg)
+{
+    return std::make_unique<rma::System>(cfg, factory());
+}
+
+rma::RunResult
+run_app(const rma::SystemConfig& cfg,
+        const std::function<void(rma::Ctx&)>& app)
+{
+    auto sys = make_system(cfg);
+    return sys->run(app);
+}
+
+} // namespace backend

@@ -1,0 +1,29 @@
+/// \file
+/// Backend construction: maps a DesignPoint's architecture to the
+/// concrete backend implementation, and provides the one-call helpers
+/// the tests, benches and examples use to run simulated applications.
+
+#ifndef MSGPROXY_BACKEND_FACTORY_H
+#define MSGPROXY_BACKEND_FACTORY_H
+
+#include <functional>
+#include <memory>
+
+#include "rma/system.h"
+
+namespace backend {
+
+/// Returns the factory that creates the right backend for a System's
+/// configured architecture (Arch::kProxy / kHardware / kSyscall).
+rma::BackendFactory factory();
+
+/// Builds a System for `cfg` with the matching backend.
+std::unique_ptr<rma::System> make_system(const rma::SystemConfig& cfg);
+
+/// Builds a System, runs `app` on every rank, and returns the result.
+rma::RunResult run_app(const rma::SystemConfig& cfg,
+                       const std::function<void(rma::Ctx&)>& app);
+
+} // namespace backend
+
+#endif // MSGPROXY_BACKEND_FACTORY_H

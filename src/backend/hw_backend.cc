@@ -1,0 +1,406 @@
+#include "backend/hw_backend.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "sim/flag.h"
+#include "util/log.h"
+
+namespace backend {
+
+namespace {
+
+std::shared_ptr<std::vector<uint8_t>>
+snapshot(const void* p, size_t n)
+{
+    auto buf = std::make_shared<std::vector<uint8_t>>(n);
+    if (n > 0)
+        std::memcpy(buf->data(), p, n);
+    return buf;
+}
+
+} // namespace
+
+CustomHardwareBackend::CustomHardwareBackend(rma::System& sys)
+    : BaseBackend(sys, "adapter")
+{
+}
+
+double
+CustomHardwareBackend::line_move_us(size_t n) const
+{
+    // The protocol engine moves data line-at-a-time over the memory
+    // bus; each line is one coherent bus transaction (cheaper when the
+    // adapter can update processor caches directly — the HW2
+    // extension point).
+    return static_cast<double>(d_.lines(n)) * d_.proxy_miss();
+}
+
+void
+CustomHardwareBackend::submit(sim::SimThread& t, const rma::Op& op)
+{
+    // Command submission: a few uncached stores across the memory bus
+    // into the memory-mapped adapter (Table 3 compute-processor
+    // overhead).
+    t.advance(d_.cpu_ovh_us);
+
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    if (sn == dn) {
+        local_op(op);
+        return;
+    }
+    switch (op.kind) {
+      case rma::OpKind::kPut:
+        put_remote(op);
+        break;
+      case rma::OpKind::kGet:
+        get_remote(op);
+        break;
+      case rma::OpKind::kEnq:
+        enq_remote(op);
+        break;
+      case rma::OpKind::kDeq:
+        deq_remote(op);
+        break;
+    }
+}
+
+void
+CustomHardwareBackend::ship(int src_node, size_t wire,
+                            std::function<void(double)> deliver)
+{
+    node_res(src_node).link.submit(
+        link_us(wire), [this, deliver = std::move(deliver)] {
+            deliver(sys_.scheduler().now() + d_.net_lat_us);
+        });
+}
+
+void
+CustomHardwareBackend::stream_dma(int src_node, size_t nbytes,
+                                  std::function<void(double, bool)> arrived)
+{
+    NodeRes& s = node_res(src_node);
+    size_t chunk = d_.packet_bytes;
+    size_t nchunks = (nbytes + chunk - 1) / chunk;
+    auto cb = std::make_shared<std::function<void(double, bool)>>(
+        std::move(arrived));
+    for (size_t i = 0; i < nchunks; ++i) {
+        size_t this_chunk = (i + 1 == nchunks) ? nbytes - i * chunk : chunk;
+        bool last = (i + 1 == nchunks);
+        // Buffers are pre-pinned: the stream runs at engine bandwidth.
+        s.dma.submit(dma_us(this_chunk),
+                     [this, src_node, this_chunk, last, cb] {
+                         ship(src_node, wire_bytes(this_chunk),
+                              [cb, last](double arrival) {
+                                  (*cb)(arrival, last);
+                              });
+                     });
+    }
+}
+
+void
+CustomHardwareBackend::send_ack(int from_node, int to_node,
+                                sim::Flag* lsync, uint64_t amount)
+{
+    if (lsync == nullptr)
+        return;
+    node_res(from_node).agent.submit(
+        d_.insn(0.2), [this, from_node, to_node, lsync, amount] {
+            ship(from_node, kHeaderBytes,
+                 [this, to_node, lsync, amount](double arrival) {
+                     double svc = d_.adapter_ovh_us + d_.c_miss_us;
+                     node_res(to_node).agent.submit_after(
+                         arrival, svc,
+                         [lsync, amount] { lsync->add(amount); });
+                 });
+        });
+}
+
+void
+CustomHardwareBackend::put_remote(const rma::Op& op)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    double svc = d_.adapter_ovh_us +
+                 (dma ? d_.insn(0.2) : line_move_us(op.nbytes));
+
+    rma::Op o = op;
+    // Snapshot at submission: eager-send buffer semantics.
+    auto payload = snapshot(op.laddr, op.nbytes);
+    node_res(sn).agent.submit(svc, [this, o, sn, dn, dma, payload] {
+        auto done = [this, o, sn, dn, payload] {
+            bool ok = sys_.validate_remote(o.src_rank, o.dst_rank, o.raddr,
+                                           o.nbytes);
+            if (ok && o.nbytes > 0)
+                std::memmove(o.raddr, payload->data(), o.nbytes);
+            if (ok && o.notify_qid >= 0 &&
+                sys_.validate_queue(o.src_rank, o.dst_rank,
+                                    o.notify_qid)) {
+                sys_.deliver(o.dst_rank, o.notify_qid, *o.notify_msg);
+            }
+            if (o.rsync != nullptr)
+                o.rsync->add(1);
+            send_ack(dn, sn, o.lsync, 1);
+        };
+        if (!dma) {
+            ship(sn, wire_bytes(o.nbytes),
+                 [this, o, dn, done](double arrival) {
+                     double rsvc = d_.adapter_ovh_us +
+                                   line_move_us(o.nbytes) + d_.c_miss_us;
+                     node_res(dn).agent.submit_after(arrival, rsvc, done);
+                 });
+        } else {
+            stream_dma(sn, o.nbytes,
+                       [this, o, dn, done](double arrival, bool last) {
+                           double rsvc = last ? d_.adapter_ovh_us +
+                                                    d_.c_miss_us
+                                              : d_.insn(0.1);
+                           if (last) {
+                               node_res(dn).agent.submit_after(arrival,
+                                                               rsvc, done);
+                           } else {
+                               node_res(dn).agent.submit_after(arrival,
+                                                               rsvc);
+                           }
+                       });
+        }
+    });
+}
+
+void
+CustomHardwareBackend::get_remote(const rma::Op& op)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    double svc = d_.adapter_ovh_us;
+    rma::Op o = op;
+    node_res(sn).agent.submit(svc, [this, o, sn, dn, dma] {
+        ship(sn, kHeaderBytes, [this, o, sn, dn, dma](double arrival) {
+            double rsvc = d_.adapter_ovh_us +
+                          (dma ? d_.insn(0.2) : line_move_us(o.nbytes));
+            node_res(dn).agent.submit_after(arrival, rsvc, [this, o, sn,
+                                                            dn, dma] {
+                bool ok = sys_.validate_remote(o.src_rank, o.dst_rank,
+                                               o.raddr, o.nbytes);
+                if (!ok) {
+                    send_ack(dn, sn, o.lsync, 1);
+                    return;
+                }
+                auto payload = snapshot(o.raddr, o.nbytes);
+                if (o.rsync != nullptr)
+                    o.rsync->add(1);
+                auto deliver = [this, o, payload] {
+                    if (o.nbytes > 0)
+                        std::memmove(o.laddr, payload->data(), o.nbytes);
+                    if (o.lsync != nullptr)
+                        o.lsync->add(1);
+                };
+                if (!dma) {
+                    ship(dn, wire_bytes(o.nbytes),
+                         [this, o, sn, deliver](double arr2) {
+                             double lsvc = d_.adapter_ovh_us +
+                                           line_move_us(o.nbytes) +
+                                           d_.c_miss_us;
+                             node_res(sn).agent.submit_after(arr2, lsvc,
+                                                             deliver);
+                         });
+                } else {
+                    stream_dma(dn, o.nbytes,
+                               [this, o, sn, deliver](double arr2,
+                                                      bool last) {
+                                   double lsvc = last ? d_.adapter_ovh_us +
+                                                            d_.c_miss_us
+                                                      : d_.insn(0.1);
+                                   if (last) {
+                                       node_res(sn).agent.submit_after(
+                                           arr2, lsvc, deliver);
+                                   } else {
+                                       node_res(sn).agent.submit_after(
+                                           arr2, lsvc);
+                                   }
+                               });
+                }
+            });
+        });
+    });
+}
+
+void
+CustomHardwareBackend::enq_remote(const rma::Op& op)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    double svc = d_.adapter_ovh_us +
+                 (dma ? d_.insn(0.2) : line_move_us(op.nbytes));
+    rma::Op o = op;
+    auto payload = snapshot(op.laddr, op.nbytes);
+    node_res(sn).agent.submit(svc, [this, o, sn, dn, dma, payload] {
+        auto done = [this, o, sn, dn, payload] {
+            bool ok = sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+            if (ok) {
+                std::vector<uint8_t> msg = *payload;
+                if (!sys_.deliver(o.dst_rank, o.qid, std::move(msg))) {
+                    mp::warn("remote queue overflow (hw backend)");
+                }
+            }
+            if (o.rsync != nullptr)
+                o.rsync->add(1);
+            send_ack(dn, sn, o.lsync, 1);
+        };
+        auto tail_svc = [this](size_t n) {
+            // store data + hardware queue-pointer update
+            return d_.adapter_ovh_us + line_move_us(n) + 2.0 * d_.c_miss_us;
+        };
+        if (!dma) {
+            ship(sn, wire_bytes(o.nbytes),
+                 [this, o, dn, done, tail_svc](double arrival) {
+                     node_res(dn).agent.submit_after(
+                         arrival, tail_svc(o.nbytes), done);
+                 });
+        } else {
+            stream_dma(sn, o.nbytes,
+                       [this, o, dn, done, tail_svc](double arrival,
+                                                     bool last) {
+                           if (last) {
+                               node_res(dn).agent.submit_after(
+                                   arrival, tail_svc(0), done);
+                           } else {
+                               node_res(dn).agent.submit_after(
+                                   arrival, d_.insn(0.1));
+                           }
+                       });
+        }
+    });
+}
+
+void
+CustomHardwareBackend::deq_remote(const rma::Op& op)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+
+    rma::Op o = op;
+    node_res(sn).agent.submit(d_.adapter_ovh_us, [this, o, sn, dn] {
+        ship(sn, kHeaderBytes, [this, o, sn, dn](double arrival) {
+            double rsvc = d_.adapter_ovh_us + 2.0 * d_.c_miss_us;
+            node_res(dn).agent.submit_after(arrival, rsvc, [this, o, sn,
+                                                            dn] {
+                bool ok =
+                    sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+                std::vector<uint8_t> msg;
+                if (ok)
+                    sys_.queue(o.dst_rank, o.qid).pop(msg);
+                size_t got = std::min(msg.size(), o.nbytes);
+                auto payload = std::make_shared<std::vector<uint8_t>>(
+                    std::move(msg));
+                double gen = d_.adapter_ovh_us + line_move_us(got);
+                node_res(dn).agent.submit(gen, [this, o, sn, dn, got,
+                                                payload] {
+                    ship(dn, wire_bytes(got),
+                         [this, o, sn, got, payload](double arr2) {
+                             double lsvc = d_.adapter_ovh_us +
+                                           line_move_us(got) +
+                                           d_.c_miss_us;
+                             node_res(sn).agent.submit_after(
+                                 arr2, lsvc, [o, got, payload] {
+                                     if (got > 0) {
+                                         std::memmove(o.laddr,
+                                                      payload->data(),
+                                                      got);
+                                     }
+                                     if (o.lsync != nullptr) {
+                                         o.lsync->add(
+                                             1 + static_cast<uint64_t>(
+                                                     got));
+                                     }
+                                 });
+                         });
+                });
+            });
+        });
+    });
+}
+
+void
+CustomHardwareBackend::local_op(const rma::Op& op)
+{
+    const int n = sys_.node_of(op.src_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    double svc = d_.adapter_ovh_us + d_.c_miss_us +
+                 (dma ? d_.insn(0.2) : 2.0 * line_move_us(op.nbytes));
+
+    rma::Op o = op;
+    auto payload = (op.kind == rma::OpKind::kPut ||
+                    op.kind == rma::OpKind::kEnq)
+                       ? snapshot(op.laddr, op.nbytes)
+                       : nullptr;
+    auto finish = [this, o, payload] {
+        switch (o.kind) {
+          case rma::OpKind::kPut: {
+            bool ok = sys_.validate_remote(o.src_rank, o.dst_rank, o.raddr,
+                                           o.nbytes);
+            if (ok && o.nbytes > 0)
+                std::memmove(o.raddr, payload->data(), o.nbytes);
+            if (ok && o.notify_qid >= 0 &&
+                sys_.validate_queue(o.src_rank, o.dst_rank,
+                                    o.notify_qid)) {
+                sys_.deliver(o.dst_rank, o.notify_qid, *o.notify_msg);
+            }
+            break;
+          }
+          case rma::OpKind::kGet: {
+            bool ok = sys_.validate_remote(o.src_rank, o.dst_rank, o.raddr,
+                                           o.nbytes);
+            if (ok && o.nbytes > 0)
+                std::memmove(o.laddr, o.raddr, o.nbytes);
+            break;
+          }
+          case rma::OpKind::kEnq: {
+            bool ok = sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+            if (ok) {
+                sys_.deliver(o.dst_rank, o.qid, *payload);
+            }
+            break;
+          }
+          case rma::OpKind::kDeq: {
+            bool ok = sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+            std::vector<uint8_t> msg;
+            size_t got = 0;
+            if (ok && sys_.queue(o.dst_rank, o.qid).pop(msg)) {
+                got = std::min(msg.size(), o.nbytes);
+                if (got > 0)
+                    std::memcpy(o.laddr, msg.data(), got);
+            }
+            if (o.lsync != nullptr)
+                o.lsync->add(1 + static_cast<uint64_t>(got));
+            if (o.rsync != nullptr)
+                o.rsync->add(1);
+            return;
+          }
+        }
+        if (o.rsync != nullptr)
+            o.rsync->add(1);
+        if (o.lsync != nullptr)
+            o.lsync->add(1);
+    };
+
+    if (!dma) {
+        node_res(n).agent.submit(svc, finish);
+    } else {
+        node_res(n).agent.submit(svc, [this, n, o, finish] {
+            node_res(n).dma.submit(dma_us(o.nbytes), finish);
+        });
+    }
+}
+
+} // namespace backend

@@ -1,0 +1,51 @@
+/// \file
+/// The custom-hardware architecture (design points HW0, HW1).
+///
+/// SHRIMP / DEC Memory Channel class: the network adapter contains a
+/// hardware protocol engine with virtual-memory-mapped protection.
+/// Compute processors submit commands with a handful of memory-bus
+/// transactions (cpu_ovh); the adapter executes the RMA/RQ protocol,
+/// buffers are permanently pinned at setup time (no dynamic pinning),
+/// and DMA streams at full engine bandwidth.
+
+#ifndef MSGPROXY_BACKEND_HW_BACKEND_H
+#define MSGPROXY_BACKEND_HW_BACKEND_H
+
+#include "backend/common.h"
+
+namespace backend {
+
+/// Custom-hardware backend.
+class CustomHardwareBackend : public BaseBackend
+{
+  public:
+    /// Creates the per-node adapters for `sys`.
+    explicit CustomHardwareBackend(rma::System& sys);
+
+    void submit(sim::SimThread& t, const rma::Op& op) override;
+
+    double flag_poll_cost() const override { return d_.proxy_miss(); }
+
+    const char* agent_name() const override { return "adapter logic"; }
+
+  private:
+    void put_remote(const rma::Op& op);
+    void get_remote(const rma::Op& op);
+    void enq_remote(const rma::Op& op);
+    void deq_remote(const rma::Op& op);
+    void local_op(const rma::Op& op);
+
+    /// Per-line cost of the adapter moving data across the memory bus.
+    double line_move_us(size_t n) const;
+
+    void ship(int src_node, size_t wire,
+              std::function<void(double)> deliver);
+    void stream_dma(int src_node, size_t nbytes,
+                    std::function<void(double, bool)> arrived);
+    void send_ack(int from_node, int to_node, sim::Flag* lsync,
+                  uint64_t amount);
+};
+
+} // namespace backend
+
+#endif // MSGPROXY_BACKEND_HW_BACKEND_H

@@ -1,0 +1,664 @@
+#include "backend/proxy_backend.h"
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/flag.h"
+#include "util/log.h"
+
+namespace backend {
+
+namespace {
+
+const char* kUser = "User";
+const char* kLocalProxy = "Message Proxy (local)";
+const char* kRemoteProxy = "Message Proxy (remote)";
+const char* kNetwork = "Network";
+
+/// Copies n bytes from p into a fresh shared buffer.
+std::shared_ptr<std::vector<uint8_t>>
+snapshot(const void* p, size_t n)
+{
+    auto buf = std::make_shared<std::vector<uint8_t>>(n);
+    if (n > 0)
+        std::memcpy(buf->data(), p, n);
+    return buf;
+}
+
+} // namespace
+
+MessageProxyBackend::MessageProxyBackend(rma::System& sys)
+    : BaseBackend(sys, "proxy")
+{
+    per_node_ = std::max(1, sys.config().proxies_per_node);
+    extra_.resize(static_cast<size_t>(sys.config().nodes));
+    for (int n = 0; n < sys.config().nodes; ++n) {
+        for (int k = 1; k < per_node_; ++k) {
+            extra_[static_cast<size_t>(n)].push_back(
+                std::make_unique<sim::Resource>(
+                    sys.scheduler(),
+                    "proxy" + std::to_string(n) + "." +
+                        std::to_string(k)));
+        }
+    }
+}
+
+sim::Resource&
+MessageProxyBackend::proxy_of(int node, int rank)
+{
+    int k = rank % per_node_;
+    if (k == 0)
+        return node_res(node).agent;
+    return *extra_[static_cast<size_t>(node)][static_cast<size_t>(k - 1)];
+}
+
+double
+MessageProxyBackend::agent_utilization(int node) const
+{
+    double busy = nodes_[static_cast<size_t>(node)]->agent.busy_us();
+    for (const auto& p : extra_[static_cast<size_t>(node)])
+        busy += p->busy_us();
+    double now = sys_.scheduler().now();
+    return now > 0.0 ? busy / (now * per_node_) : 0.0;
+}
+
+double
+MessageProxyBackend::agent_busy_us(int node) const
+{
+    double busy = nodes_[static_cast<size_t>(node)]->agent.busy_us();
+    for (const auto& p : extra_[static_cast<size_t>(node)])
+        busy += p->busy_us();
+    return busy;
+}
+
+// ------------------------------------------------------------ cost builders
+
+double
+MessageProxyBackend::cost_user_submit()
+{
+    CostAccum a(trace_, kUser);
+    a.add("enqueue command, (read miss, write miss)", "2C",
+          2.0 * d_.proxy_miss());
+    a.add("write opcode and operands", "0.3/S", d_.insn(0.3));
+    return a.total();
+}
+
+double
+MessageProxyBackend::cost_proxy_command(const char* agent)
+{
+    CostAccum a(trace_, agent);
+    a.add("polling delay", "P", d_.poll_us);
+    a.add("vm_att to command queue", "V", d_.v_att_us);
+    a.add("dequeue entry, (read miss)", "C", d_.proxy_miss());
+    a.add("decode command", "0.5/S", d_.insn(0.5));
+    a.add("dispatch to send routine", "0.3/S", d_.insn(0.3));
+    return a.total();
+}
+
+double
+MessageProxyBackend::cost_send_header(const char* agent, double insns)
+{
+    CostAccum a(trace_, agent);
+    a.add("set up network packet header", "U + x/S",
+          d_.u_access_us + d_.insn(insns));
+    return a.total();
+}
+
+double
+MessageProxyBackend::cost_pio_read(const char* agent, size_t n)
+{
+    CostAccum a(trace_, agent);
+    a.add("fill in data, (read miss per line)", "lines*(C + U)",
+          static_cast<double>(d_.lines(n)) *
+              (d_.proxy_miss() + d_.u_access_us));
+    return a.total();
+}
+
+double
+MessageProxyBackend::cost_launch(const char* agent)
+{
+    CostAccum a(trace_, agent);
+    a.add("launch packet", "U", d_.u_access_us);
+    return a.total();
+}
+
+double
+MessageProxyBackend::cost_recv_header(const char* agent)
+{
+    CostAccum a(trace_, agent);
+    a.add("polling delay", "P", d_.poll_us);
+    a.add("read input packet header, (read miss)", "C", d_.c_miss_us);
+    a.add("decode packet, dispatch to handler", "0.4/S", d_.insn(0.4));
+    return a.total();
+}
+
+double
+MessageProxyBackend::cost_vmatt_checks(const char* agent)
+{
+    CostAccum a(trace_, agent);
+    a.add("compute remote address, check validity", "0.2/S", d_.insn(0.2));
+    a.add("vm_att to remote address space", "V", d_.v_att_us);
+    return a.total();
+}
+
+double
+MessageProxyBackend::cost_pio_store(const char* agent, size_t n)
+{
+    CostAccum a(trace_, agent);
+    a.add("copy data to destination, (write miss per line)",
+          "lines*(C + U)",
+          static_cast<double>(d_.lines(n)) *
+              (d_.proxy_miss() + d_.u_access_us));
+    return a.total();
+}
+
+double
+MessageProxyBackend::cost_set_flag(const char* agent, const char* which)
+{
+    CostAccum a(trace_, agent);
+    std::string op = std::string("set ") + which + ", (write miss)";
+    a.add(op.c_str(), "C", d_.proxy_miss());
+    return a.total();
+}
+
+// -------------------------------------------------------------- primitives
+
+void
+MessageProxyBackend::submit(sim::SimThread& t, const rma::Op& op)
+{
+    t.advance(cost_user_submit());
+
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    if (sn == dn) {
+        local_op(op);
+        return;
+    }
+    switch (op.kind) {
+      case rma::OpKind::kPut:
+        put_remote(op);
+        break;
+      case rma::OpKind::kGet:
+        get_remote(op);
+        break;
+      case rma::OpKind::kEnq:
+        enq_remote(op);
+        break;
+      case rma::OpKind::kDeq:
+        deq_remote(op);
+        break;
+    }
+}
+
+void
+MessageProxyBackend::ship(int src_node, size_t wire,
+                          std::function<void(double)> deliver)
+{
+    NodeRes& s = node_res(src_node);
+    double ser = link_us(wire);
+    s.link.submit(ser, [this, deliver = std::move(deliver)] {
+        if (trace_ != nullptr) {
+            trace_->add(
+                rma::TraceEntry{kNetwork, "transit time", "L",
+                                d_.net_lat_us});
+        }
+        deliver(sys_.scheduler().now() + d_.net_lat_us);
+    });
+}
+
+void
+MessageProxyBackend::stream_dma(int src_node, size_t nbytes,
+                                std::function<void(double, bool)> arrived)
+{
+    NodeRes& s = node_res(src_node);
+    size_t chunk = d_.packet_bytes;
+    size_t nchunks = (nbytes + chunk - 1) / chunk;
+    auto cb = std::make_shared<std::function<void(double, bool)>>(
+        std::move(arrived));
+    for (size_t i = 0; i < nchunks; ++i) {
+        size_t this_chunk = (i + 1 == nchunks) ? nbytes - i * chunk : chunk;
+        bool last = (i + 1 == nchunks);
+        // Pinning at both ends sits serially in the transfer stream
+        // (this reproduces the paper's peak-bandwidth model: 1 /
+        // (1/dma_bw + 2*pin/page) = 86.7 MB/s for MP1).
+        double svc = 2.0 * d_.pin_page_us *
+                         static_cast<double>(d_.pages(this_chunk)) +
+                     dma_us(this_chunk);
+        s.dma.submit(svc, [this, src_node, this_chunk, last, cb] {
+            ship(src_node, wire_bytes(this_chunk),
+                 [cb, last](double arrival) { (*cb)(arrival, last); });
+        });
+    }
+}
+
+void
+MessageProxyBackend::send_ack(int from_node, int from_rank, int to_node,
+                              int to_rank, sim::Flag* lsync,
+                              uint64_t amount)
+{
+    if (lsync == nullptr)
+        return; // nobody is waiting; the implementation elides the ack
+    CostAccum g(trace_, kRemoteProxy);
+    g.add("generate acknowledgment", "U + 0.3/S",
+          d_.u_access_us + d_.insn(0.3));
+    g.add("launch packet", "U", d_.u_access_us);
+    proxy_of(from_node, from_rank)
+        .submit(g.total(), [this, from_node, to_node, to_rank, lsync,
+                            amount] {
+            ship(from_node, kHeaderBytes,
+                 [this, to_node, to_rank, lsync, amount](double arrival) {
+                     double svc = cost_recv_header(kLocalProxy) +
+                                  cost_set_flag(kLocalProxy,
+                                                "local sync register");
+                     proxy_of(to_node, to_rank)
+                         .submit_after(arrival, svc, [lsync, amount] {
+                             lsync->add(amount);
+                         });
+                 });
+        });
+}
+
+void
+MessageProxyBackend::put_remote(const rma::Op& op)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    double svc = cost_proxy_command(kLocalProxy) +
+                 cost_send_header(kLocalProxy, 0.5);
+    if (dma) {
+        CostAccum a(trace_, kLocalProxy);
+        a.add("set up DMA transfer", "2U + 0.5/S",
+              2.0 * d_.u_access_us + d_.insn(0.5));
+        svc += a.total();
+    } else {
+        svc += cost_pio_read(kLocalProxy, op.nbytes) +
+               cost_launch(kLocalProxy);
+    }
+
+    rma::Op o = op;
+    // Snapshot the source at submission time: callers may reuse the
+    // buffer once submit returns (eager-send semantics).
+    auto payload = snapshot(op.laddr, op.nbytes);
+    proxy_of(sn, o.src_rank).submit(svc, [this, o, sn, dn, dma, payload] {
+        auto done = [this, o, sn, dn, payload] {
+            bool ok = sys_.validate_remote(o.src_rank, o.dst_rank, o.raddr,
+                                           o.nbytes);
+            if (ok && o.nbytes > 0)
+                std::memmove(o.raddr, payload->data(), o.nbytes);
+            if (ok && o.notify_qid >= 0 &&
+                sys_.validate_queue(o.src_rank, o.dst_rank, o.notify_qid)) {
+                sys_.deliver(o.dst_rank, o.notify_qid, *o.notify_msg);
+            }
+            if (o.rsync != nullptr)
+                o.rsync->add(1);
+            send_ack(dn, o.dst_rank, sn, o.src_rank, o.lsync, 1);
+        };
+        double notify_svc =
+            o.notify_qid >= 0
+                ? 2.0 * d_.proxy_miss() + d_.insn(0.2) +
+                      cost_pio_store(kRemoteProxy,
+                                     o.notify_msg ? o.notify_msg->size()
+                                                  : 0)
+                : 0.0;
+        if (!dma) {
+            ship(sn, wire_bytes(o.nbytes),
+                 [this, o, dn, done, notify_svc](double arrival) {
+                     double rsvc = cost_recv_header(kRemoteProxy) +
+                                   cost_vmatt_checks(kRemoteProxy) +
+                                   cost_pio_store(kRemoteProxy, o.nbytes) +
+                                   notify_svc +
+                                   cost_set_flag(kRemoteProxy,
+                                                 "remote sync register");
+                     proxy_of(dn, o.dst_rank).submit_after(arrival, rsvc, done);
+                 });
+        } else {
+            stream_dma(sn, o.nbytes,
+                       [this, o, dn, done, notify_svc](double arrival,
+                                                       bool last) {
+                           double rsvc =
+                               last ? cost_recv_header(kRemoteProxy) +
+                                          cost_vmatt_checks(kRemoteProxy) +
+                                          notify_svc +
+                                          cost_set_flag(
+                                              kRemoteProxy,
+                                              "remote sync register")
+                                    : d_.c_miss_us + d_.insn(0.3);
+                           if (last) {
+                               proxy_of(dn, o.dst_rank).submit_after(arrival, rsvc,
+                                                               done);
+                           } else {
+                               proxy_of(dn, o.dst_rank).submit_after(arrival,
+                                                               rsvc);
+                           }
+                       });
+        }
+    });
+}
+
+void
+MessageProxyBackend::get_remote(const rma::Op& op)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    double svc = cost_proxy_command(kLocalProxy) +
+                 cost_send_header(kLocalProxy, 0.5) +
+                 cost_launch(kLocalProxy);
+
+    rma::Op o = op;
+    proxy_of(sn, o.src_rank).submit(svc, [this, o, sn, dn, dma] {
+        ship(sn, kHeaderBytes, [this, o, sn, dn, dma](double arrival) {
+            // Remote proxy handles the GET request: validate, read the
+            // source data, and send the reply.
+            double rsvc = cost_recv_header(kRemoteProxy) +
+                          cost_vmatt_checks(kRemoteProxy);
+            if (dma) {
+                CostAccum a(trace_, kRemoteProxy);
+                a.add("set up DMA transfer", "2U + 0.5/S",
+                      2.0 * d_.u_access_us + d_.insn(0.5));
+                rsvc += a.total();
+            } else {
+                rsvc += cost_send_header(kRemoteProxy, 0.6) +
+                        cost_pio_read(kRemoteProxy, o.nbytes) +
+                        cost_launch(kRemoteProxy);
+            }
+            proxy_of(dn, o.dst_rank).submit_after(arrival, rsvc, [this, o, sn,
+                                                            dn, dma] {
+                bool ok = sys_.validate_remote(o.src_rank, o.dst_rank,
+                                               o.raddr, o.nbytes);
+                if (!ok) {
+                    // Protection fault: reply with an error packet so
+                    // the requester does not hang; no data moves.
+                    send_ack(dn, o.dst_rank, sn, o.src_rank, o.lsync, 1);
+                    return;
+                }
+                auto payload = snapshot(o.raddr, o.nbytes);
+                if (o.rsync != nullptr)
+                    o.rsync->add(1);
+                auto deliver = [this, o, payload] {
+                    if (o.nbytes > 0)
+                        std::memmove(o.laddr, payload->data(), o.nbytes);
+                    if (o.lsync != nullptr)
+                        o.lsync->add(1);
+                };
+                if (!dma) {
+                    ship(dn, wire_bytes(o.nbytes),
+                         [this, o, sn, deliver](double arr2) {
+                             double lsvc =
+                                 cost_recv_header(kLocalProxy) +
+                                 ccb_cost(kLocalProxy) +
+                                 cost_vmatt_checks(kLocalProxy) +
+                                 cost_pio_store(kLocalProxy, o.nbytes) +
+                                 cost_set_flag(kLocalProxy,
+                                               "local sync register");
+                             proxy_of(sn, o.src_rank).submit_after(arr2, lsvc,
+                                                             deliver);
+                         });
+                } else {
+                    stream_dma(dn, o.nbytes,
+                               [this, o, sn, deliver](double arr2,
+                                                      bool last) {
+                                   double lsvc =
+                                       last ? cost_recv_header(
+                                                  kLocalProxy) +
+                                                  ccb_cost(kLocalProxy) +
+                                                  cost_vmatt_checks(
+                                                      kLocalProxy) +
+                                                  cost_set_flag(
+                                                      kLocalProxy,
+                                                      "local sync "
+                                                      "register")
+                                            : d_.c_miss_us + d_.insn(0.3);
+                                   if (last) {
+                                       proxy_of(sn, o.src_rank).submit_after(
+                                           arr2, lsvc, deliver);
+                                   } else {
+                                       proxy_of(sn, o.src_rank).submit_after(
+                                           arr2, lsvc);
+                                   }
+                               });
+                }
+            });
+        });
+    });
+}
+
+void
+MessageProxyBackend::enq_remote(const rma::Op& op)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    double svc = cost_proxy_command(kLocalProxy) +
+                 cost_send_header(kLocalProxy, 0.5);
+    if (dma) {
+        CostAccum a(trace_, kLocalProxy);
+        a.add("set up DMA transfer", "2U + 0.5/S",
+              2.0 * d_.u_access_us + d_.insn(0.5));
+        svc += a.total();
+    } else {
+        svc += cost_pio_read(kLocalProxy, op.nbytes) +
+               cost_launch(kLocalProxy);
+    }
+
+    rma::Op o = op;
+    auto payload = snapshot(op.laddr, op.nbytes);
+    proxy_of(sn, o.src_rank).submit(svc, [this, o, sn, dn, dma, payload] {
+        auto done = [this, o, sn, dn, payload] {
+            bool ok = sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+            if (ok) {
+                std::vector<uint8_t> msg = *payload;
+                if (!sys_.deliver(o.dst_rank, o.qid, std::move(msg))) {
+                    mp::warn("remote queue overflow: rank " +
+                             std::to_string(o.dst_rank) + " qid " +
+                             std::to_string(o.qid));
+                }
+            }
+            if (o.rsync != nullptr)
+                o.rsync->add(1);
+            send_ack(dn, o.dst_rank, sn, o.src_rank, o.lsync, 1);
+        };
+        auto recv_tail = [this](size_t n) {
+            CostAccum a(trace_, kRemoteProxy);
+            a.add("update queue head/tail, (read miss, write miss)",
+                  "2C + 0.2/S", 2.0 * d_.proxy_miss() + d_.insn(0.2));
+            return cost_recv_header(kRemoteProxy) +
+                   cost_vmatt_checks(kRemoteProxy) +
+                   cost_pio_store(kRemoteProxy, n) + a.total() +
+                   cost_set_flag(kRemoteProxy, "remote sync register");
+        };
+        if (!dma) {
+            ship(sn, wire_bytes(o.nbytes),
+                 [this, o, dn, done, recv_tail](double arrival) {
+                     proxy_of(dn, o.dst_rank).submit_after(
+                         arrival, recv_tail(o.nbytes), done);
+                 });
+        } else {
+            stream_dma(
+                sn, o.nbytes,
+                [this, o, dn, done, recv_tail](double arrival, bool last) {
+                    if (last) {
+                        proxy_of(dn, o.dst_rank).submit_after(
+                            arrival, recv_tail(0), done);
+                    } else {
+                        proxy_of(dn, o.dst_rank).submit_after(
+                            arrival, d_.c_miss_us + d_.insn(0.3));
+                    }
+                });
+        }
+    });
+}
+
+void
+MessageProxyBackend::deq_remote(const rma::Op& op)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+
+    double svc = cost_proxy_command(kLocalProxy) +
+                 cost_send_header(kLocalProxy, 0.5) +
+                 cost_launch(kLocalProxy);
+
+    rma::Op o = op;
+    proxy_of(sn, o.src_rank).submit(svc, [this, o, sn, dn] {
+        ship(sn, kHeaderBytes, [this, o, sn, dn](double arrival) {
+            CostAccum a(trace_, kRemoteProxy);
+            a.add("update queue head/tail, (read miss, write miss)",
+                  "2C + 0.2/S", 2.0 * d_.proxy_miss() + d_.insn(0.2));
+            double rsvc = cost_recv_header(kRemoteProxy) +
+                          cost_vmatt_checks(kRemoteProxy) + a.total();
+            proxy_of(dn, o.dst_rank).submit_after(arrival, rsvc, [this, o, sn,
+                                                            dn] {
+                bool ok =
+                    sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+                std::vector<uint8_t> msg;
+                if (ok)
+                    sys_.queue(o.dst_rank, o.qid).pop(msg);
+                size_t got = std::min(msg.size(), o.nbytes);
+                auto payload = std::make_shared<std::vector<uint8_t>>(
+                    std::move(msg));
+                // Reply (with data when the queue had a message).
+                double gen = cost_send_header(kRemoteProxy, 0.6) +
+                             cost_pio_read(kRemoteProxy, got) +
+                             cost_launch(kRemoteProxy);
+                proxy_of(dn, o.dst_rank).submit(gen, [this, o, sn, dn, got,
+                                                payload] {
+                    ship(dn, wire_bytes(got),
+                         [this, o, sn, got, payload](double arr2) {
+                             double lsvc =
+                                 cost_recv_header(kLocalProxy) +
+                                 cost_vmatt_checks(kLocalProxy) +
+                                 cost_pio_store(kLocalProxy, got) +
+                                 cost_set_flag(kLocalProxy,
+                                               "local sync register");
+                             proxy_of(sn, o.src_rank).submit_after(
+                                 arr2, lsvc, [o, got, payload] {
+                                     if (got > 0) {
+                                         std::memmove(o.laddr,
+                                                      payload->data(),
+                                                      got);
+                                     }
+                                     if (o.lsync != nullptr) {
+                                         o.lsync->add(
+                                             1 + static_cast<uint64_t>(
+                                                     got));
+                                     }
+                                 });
+                         });
+                });
+            });
+        });
+    });
+}
+
+void
+MessageProxyBackend::local_op(const rma::Op& op)
+{
+    const int n = sys_.node_of(op.src_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    // Same-node transfer: the proxy moves the data memory-to-memory
+    // (vm_att to both address spaces; no network involvement).
+    double svc = cost_proxy_command(kLocalProxy) +
+                 cost_vmatt_checks(kLocalProxy);
+    if (!dma) {
+        CostAccum a(trace_, kLocalProxy);
+        a.add("copy data, (read miss + write miss per line)", "lines*2C",
+              2.0 * d_.proxy_miss() * static_cast<double>(
+                                          d_.lines(op.nbytes)));
+        svc += a.total();
+    } else {
+        CostAccum a(trace_, kLocalProxy);
+        a.add("pin source and destination pages", "2*pages*pin",
+              2.0 * d_.pin_page_us *
+                  static_cast<double>(d_.pages(op.nbytes)));
+        a.add("set up DMA transfer", "2U + 0.5/S",
+              2.0 * d_.u_access_us + d_.insn(0.5));
+        svc += a.total();
+    }
+    // Both sync flags are set directly by the local proxy.
+    svc += cost_set_flag(kLocalProxy, "remote sync register") +
+           cost_set_flag(kLocalProxy, "local sync register");
+
+    rma::Op o = op;
+    // Eager snapshot for source-carrying ops (PUT/ENQ).
+    auto payload = (op.kind == rma::OpKind::kPut ||
+                    op.kind == rma::OpKind::kEnq)
+                       ? snapshot(op.laddr, op.nbytes)
+                       : nullptr;
+    auto finish = [this, o, payload] {
+        switch (o.kind) {
+          case rma::OpKind::kPut: {
+            bool ok = sys_.validate_remote(o.src_rank, o.dst_rank, o.raddr,
+                                           o.nbytes);
+            if (ok && o.nbytes > 0)
+                std::memmove(o.raddr, payload->data(), o.nbytes);
+            if (ok && o.notify_qid >= 0 &&
+                sys_.validate_queue(o.src_rank, o.dst_rank,
+                                    o.notify_qid)) {
+                sys_.deliver(o.dst_rank, o.notify_qid, *o.notify_msg);
+            }
+            break;
+          }
+          case rma::OpKind::kGet: {
+            bool ok = sys_.validate_remote(o.src_rank, o.dst_rank, o.raddr,
+                                           o.nbytes);
+            if (ok && o.nbytes > 0)
+                std::memmove(o.laddr, o.raddr, o.nbytes);
+            break;
+          }
+          case rma::OpKind::kEnq: {
+            bool ok = sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+            if (ok) {
+                sys_.deliver(o.dst_rank, o.qid, *payload);
+            }
+            break;
+          }
+          case rma::OpKind::kDeq: {
+            bool ok = sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+            std::vector<uint8_t> msg;
+            size_t got = 0;
+            if (ok && sys_.queue(o.dst_rank, o.qid).pop(msg)) {
+                got = std::min(msg.size(), o.nbytes);
+                if (got > 0)
+                    std::memcpy(o.laddr, msg.data(), got);
+            }
+            if (o.lsync != nullptr)
+                o.lsync->add(1 + static_cast<uint64_t>(got));
+            if (o.rsync != nullptr)
+                o.rsync->add(1);
+            return;
+          }
+        }
+        if (o.rsync != nullptr)
+            o.rsync->add(1);
+        if (o.lsync != nullptr)
+            o.lsync->add(1);
+    };
+
+    if (!dma) {
+        proxy_of(n, o.src_rank).submit(svc, finish);
+    } else {
+        // The proxy sets up the transfer, the DMA engine streams it.
+        proxy_of(n, o.src_rank).submit(svc, [this, n, o, finish] {
+            node_res(n).dma.submit(dma_us(o.nbytes), finish);
+        });
+    }
+}
+
+double
+MessageProxyBackend::ccb_cost(const char* agent)
+{
+    CostAccum a(trace_, agent);
+    a.add("find local address in CCB, (read miss)", "C + 0.4/S",
+          d_.proxy_miss() + d_.insn(0.4));
+    return a.total();
+}
+
+} // namespace backend

@@ -1,0 +1,391 @@
+#include "backend/sw_backend.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "sim/flag.h"
+#include "util/log.h"
+
+namespace backend {
+
+namespace {
+
+std::shared_ptr<std::vector<uint8_t>>
+snapshot(const void* p, size_t n)
+{
+    auto buf = std::make_shared<std::vector<uint8_t>>(n);
+    if (n > 0)
+        std::memcpy(buf->data(), p, n);
+    return buf;
+}
+
+} // namespace
+
+SyscallBackend::SyscallBackend(rma::System& sys) : BaseBackend(sys, "kernel")
+{
+}
+
+double
+SyscallBackend::pio_us(size_t n) const
+{
+    return static_cast<double>(d_.lines(n)) *
+           (d_.c_miss_us + d_.u_access_us);
+}
+
+void
+SyscallBackend::with_lock(sim::SimThread& t, int node, double hold)
+{
+    double done_t = node_res(node).agent.submit(hold + lock_us());
+    double now = sys_.scheduler().now();
+    t.advance(done_t > now ? done_t - now : 0.0);
+}
+
+void
+SyscallBackend::interrupt_recv(int node, int victim_rank, double arrival,
+                               double handler_svc, std::function<void()> done)
+{
+    double svc = d_.interrupt_us + lock_us() + handler_svc;
+    sys_.add_stolen(victim_rank, svc);
+    node_res(node).agent.submit_after(arrival, svc, std::move(done));
+}
+
+void
+SyscallBackend::ship(int src_node, size_t wire,
+                     std::function<void(double)> deliver)
+{
+    node_res(src_node).link.submit(
+        link_us(wire), [this, deliver = std::move(deliver)] {
+            deliver(sys_.scheduler().now() + d_.net_lat_us);
+        });
+}
+
+void
+SyscallBackend::stream_dma(int src_node, size_t nbytes,
+                           std::function<void(double, bool)> arrived)
+{
+    NodeRes& s = node_res(src_node);
+    size_t chunk = d_.packet_bytes;
+    size_t nchunks = (nbytes + chunk - 1) / chunk;
+    auto cb = std::make_shared<std::function<void(double, bool)>>(
+        std::move(arrived));
+    for (size_t i = 0; i < nchunks; ++i) {
+        size_t this_chunk = (i + 1 == nchunks) ? nbytes - i * chunk : chunk;
+        bool last = (i + 1 == nchunks);
+        // Dynamic pinning at both ends sits in the transfer stream,
+        // exactly as in the message-proxy design (Table 4: both reach
+        // the same 86.7 MB/s peak).
+        double svc = 2.0 * d_.pin_page_us *
+                         static_cast<double>(d_.pages(this_chunk)) +
+                     dma_us(this_chunk);
+        s.dma.submit(svc, [this, src_node, this_chunk, last, cb] {
+            ship(src_node, wire_bytes(this_chunk),
+                 [cb, last](double arrival) { (*cb)(arrival, last); });
+        });
+    }
+}
+
+void
+SyscallBackend::send_ack(int from_node, int to_node, int victim_rank,
+                         sim::Flag* lsync, uint64_t amount)
+{
+    if (lsync == nullptr)
+        return;
+    // Ack generation happens inside the remote interrupt handler whose
+    // service already ran; only the wire and the local interrupt
+    // delivery remain.
+    ship(from_node, kHeaderBytes,
+         [this, to_node, victim_rank, lsync, amount](double arrival) {
+             double handler = d_.c_miss_us + d_.insn(0.3) + d_.c_miss_us;
+             interrupt_recv(to_node, victim_rank, arrival, handler,
+                            [lsync, amount] { lsync->add(amount); });
+         });
+}
+
+void
+SyscallBackend::submit(sim::SimThread& t, const rma::Op& op)
+{
+    // Trap into the kernel.
+    t.advance(d_.syscall_us);
+
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    if (sn == dn) {
+        local_op(op, t);
+        return;
+    }
+    switch (op.kind) {
+      case rma::OpKind::kPut:
+        put_remote(op, t);
+        break;
+      case rma::OpKind::kGet:
+        get_remote(op, t);
+        break;
+      case rma::OpKind::kEnq:
+        enq_remote(op, t);
+        break;
+      case rma::OpKind::kDeq:
+        deq_remote(op, t);
+        break;
+    }
+}
+
+void
+SyscallBackend::put_remote(const rma::Op& op, sim::SimThread& t)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    // The compute processor executes the send protocol in the kernel,
+    // holding the node lock: no overlap with computation.
+    double hold = d_.insn(0.5) + d_.u_access_us; // entry + header
+    if (dma) {
+        hold += 2.0 * d_.u_access_us + d_.insn(0.5); // DMA setup
+    } else {
+        hold += pio_us(op.nbytes) + d_.u_access_us; // data + launch
+    }
+    with_lock(t, sn, hold);
+
+    rma::Op o = op;
+    auto payload = snapshot(o.laddr, o.nbytes);
+    auto done = [this, o, sn, dn, payload] {
+        bool ok = sys_.validate_remote(o.src_rank, o.dst_rank, o.raddr,
+                                       o.nbytes);
+        if (ok && o.nbytes > 0)
+            std::memmove(o.raddr, payload->data(), o.nbytes);
+        if (ok && o.notify_qid >= 0 &&
+            sys_.validate_queue(o.src_rank, o.dst_rank, o.notify_qid)) {
+            sys_.deliver(o.dst_rank, o.notify_qid, *o.notify_msg);
+        }
+        if (o.rsync != nullptr)
+            o.rsync->add(1);
+        send_ack(dn, sn, o.src_rank, o.lsync, 1);
+    };
+    if (!dma) {
+        ship(sn, wire_bytes(o.nbytes), [this, o, dn, done](double arrival) {
+            double handler = d_.c_miss_us + d_.insn(0.5) +
+                             pio_us(o.nbytes) + d_.c_miss_us;
+            interrupt_recv(dn, o.dst_rank, arrival, handler, done);
+        });
+    } else {
+        auto chunks_done = std::make_shared<int>(0);
+        stream_dma(sn, o.nbytes,
+                   [this, o, dn, done](double arrival, bool last) {
+                       if (last) {
+                           double handler =
+                               d_.c_miss_us + d_.insn(0.5) + d_.c_miss_us;
+                           interrupt_recv(dn, o.dst_rank, arrival, handler,
+                                          done);
+                       }
+                       // Non-final chunks stream into memory via DMA
+                       // without per-chunk interrupts.
+                   });
+        (void)chunks_done;
+    }
+}
+
+void
+SyscallBackend::get_remote(const rma::Op& op, sim::SimThread& t)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    double hold = d_.insn(0.5) + 2.0 * d_.u_access_us; // header + launch
+    with_lock(t, sn, hold);
+
+    rma::Op o = op;
+    ship(sn, kHeaderBytes, [this, o, sn, dn, dma](double arrival) {
+        // Remote interrupt handler reads the data and generates the
+        // reply in kernel context.
+        double handler = d_.c_miss_us + d_.insn(0.5) +
+                         (dma ? 2.0 * d_.u_access_us + d_.insn(0.5)
+                              : pio_us(o.nbytes) + 2.0 * d_.u_access_us);
+        interrupt_recv(dn, o.dst_rank, arrival, handler, [this, o, sn, dn,
+                                                          dma] {
+            bool ok = sys_.validate_remote(o.src_rank, o.dst_rank, o.raddr,
+                                           o.nbytes);
+            if (!ok) {
+                send_ack(dn, sn, o.src_rank, o.lsync, 1);
+                return;
+            }
+            auto payload = snapshot(o.raddr, o.nbytes);
+            if (o.rsync != nullptr)
+                o.rsync->add(1);
+            auto deliver = [this, o, payload] {
+                if (o.nbytes > 0)
+                    std::memmove(o.laddr, payload->data(), o.nbytes);
+                if (o.lsync != nullptr)
+                    o.lsync->add(1);
+            };
+            if (!dma) {
+                ship(dn, wire_bytes(o.nbytes),
+                     [this, o, sn, deliver](double arr2) {
+                         double h2 = d_.c_miss_us + d_.insn(0.5) +
+                                     pio_us(o.nbytes) + d_.c_miss_us;
+                         interrupt_recv(sn, o.src_rank, arr2, h2, deliver);
+                     });
+            } else {
+                stream_dma(dn, o.nbytes,
+                           [this, o, sn, deliver](double arr2, bool last) {
+                               if (last) {
+                                   double h2 = d_.c_miss_us +
+                                               d_.insn(0.5) + d_.c_miss_us;
+                                   interrupt_recv(sn, o.src_rank, arr2, h2,
+                                                  deliver);
+                               }
+                           });
+            }
+        });
+    });
+}
+
+void
+SyscallBackend::enq_remote(const rma::Op& op, sim::SimThread& t)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+    const bool dma = use_dma(op.nbytes);
+
+    double hold = d_.insn(0.5) + d_.u_access_us;
+    if (dma) {
+        hold += 2.0 * d_.u_access_us + d_.insn(0.5);
+    } else {
+        hold += pio_us(op.nbytes) + d_.u_access_us;
+    }
+    with_lock(t, sn, hold);
+
+    rma::Op o = op;
+    auto payload = snapshot(o.laddr, o.nbytes);
+    auto done = [this, o, sn, dn, payload] {
+        bool ok = sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+        if (ok) {
+            std::vector<uint8_t> msg = *payload;
+            if (!sys_.deliver(o.dst_rank, o.qid, std::move(msg)))
+                mp::warn("remote queue overflow (sw backend)");
+        }
+        if (o.rsync != nullptr)
+            o.rsync->add(1);
+        send_ack(dn, sn, o.src_rank, o.lsync, 1);
+    };
+    if (!dma) {
+        ship(sn, wire_bytes(o.nbytes), [this, o, dn, done](double arrival) {
+            double handler = d_.c_miss_us + d_.insn(0.7) +
+                             pio_us(o.nbytes) + 3.0 * d_.c_miss_us;
+            interrupt_recv(dn, o.dst_rank, arrival, handler, done);
+        });
+    } else {
+        stream_dma(sn, o.nbytes,
+                   [this, o, dn, done](double arrival, bool last) {
+                       if (last) {
+                           double handler = d_.c_miss_us + d_.insn(0.7) +
+                                            3.0 * d_.c_miss_us;
+                           interrupt_recv(dn, o.dst_rank, arrival, handler,
+                                          done);
+                       }
+                   });
+    }
+}
+
+void
+SyscallBackend::deq_remote(const rma::Op& op, sim::SimThread& t)
+{
+    const int sn = sys_.node_of(op.src_rank);
+    const int dn = sys_.node_of(op.dst_rank);
+
+    double hold = d_.insn(0.5) + 2.0 * d_.u_access_us;
+    with_lock(t, sn, hold);
+
+    rma::Op o = op;
+    ship(sn, kHeaderBytes, [this, o, sn, dn](double arrival) {
+        double handler = d_.c_miss_us + d_.insn(0.7) + 2.0 * d_.c_miss_us;
+        interrupt_recv(dn, o.dst_rank, arrival, handler, [this, o, sn,
+                                                          dn] {
+            bool ok = sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+            std::vector<uint8_t> msg;
+            if (ok)
+                sys_.queue(o.dst_rank, o.qid).pop(msg);
+            size_t got = std::min(msg.size(), o.nbytes);
+            auto payload =
+                std::make_shared<std::vector<uint8_t>>(std::move(msg));
+            ship(dn, wire_bytes(got), [this, o, sn, got,
+                                       payload](double arr2) {
+                double h2 = d_.c_miss_us + d_.insn(0.5) + pio_us(got) +
+                            d_.c_miss_us;
+                interrupt_recv(sn, o.src_rank, arr2, h2, [o, got,
+                                                          payload] {
+                    if (got > 0)
+                        std::memmove(o.laddr, payload->data(), got);
+                    if (o.lsync != nullptr)
+                        o.lsync->add(1 + static_cast<uint64_t>(got));
+                });
+            });
+        });
+    });
+}
+
+void
+SyscallBackend::local_op(const rma::Op& op, sim::SimThread& t)
+{
+    const int n = sys_.node_of(op.src_rank);
+    // Same-node: the kernel performs the copy directly (no interrupt).
+    double copy =
+        2.0 * static_cast<double>(d_.lines(op.nbytes)) * d_.c_miss_us;
+    double hold = d_.insn(1.0) + copy + 2.0 * d_.c_miss_us;
+    with_lock(t, n, hold);
+
+    const rma::Op& o = op;
+    switch (o.kind) {
+      case rma::OpKind::kPut: {
+        bool ok = sys_.validate_remote(o.src_rank, o.dst_rank, o.raddr,
+                                       o.nbytes);
+        if (ok && o.nbytes > 0)
+            std::memmove(o.raddr, o.laddr, o.nbytes);
+        if (ok && o.notify_qid >= 0 &&
+            sys_.validate_queue(o.src_rank, o.dst_rank, o.notify_qid)) {
+            sys_.deliver(o.dst_rank, o.notify_qid, *o.notify_msg);
+        }
+        break;
+      }
+      case rma::OpKind::kGet: {
+        bool ok = sys_.validate_remote(o.src_rank, o.dst_rank, o.raddr,
+                                       o.nbytes);
+        if (ok && o.nbytes > 0)
+            std::memmove(o.laddr, o.raddr, o.nbytes);
+        break;
+      }
+      case rma::OpKind::kEnq: {
+        bool ok = sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+        if (ok) {
+            std::vector<uint8_t> msg(o.nbytes);
+            if (o.nbytes > 0)
+                std::memcpy(msg.data(), o.laddr, o.nbytes);
+            sys_.deliver(o.dst_rank, o.qid, std::move(msg));
+        }
+        break;
+      }
+      case rma::OpKind::kDeq: {
+        bool ok = sys_.validate_queue(o.src_rank, o.dst_rank, o.qid);
+        std::vector<uint8_t> msg;
+        size_t got = 0;
+        if (ok && sys_.queue(o.dst_rank, o.qid).pop(msg)) {
+            got = std::min(msg.size(), o.nbytes);
+            if (got > 0)
+                std::memcpy(o.laddr, msg.data(), got);
+        }
+        if (o.lsync != nullptr)
+            o.lsync->add(1 + static_cast<uint64_t>(got));
+        if (o.rsync != nullptr)
+            o.rsync->add(1);
+        return;
+      }
+    }
+    if (o.rsync != nullptr)
+        o.rsync->add(1);
+    if (o.lsync != nullptr)
+        o.lsync->add(1);
+}
+
+} // namespace backend

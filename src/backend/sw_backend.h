@@ -1,0 +1,64 @@
+/// \file
+/// The system-call architecture (design point SW1).
+///
+/// Outgoing communication enters the kernel through a system call;
+/// the compute processor itself executes the communication protocol
+/// while holding the node's kernel lock (no overlap with computation
+/// is possible). Incoming messages are delivered by interrupts that
+/// steal cycles from a compute processor. System-call and interrupt
+/// overheads are the aggressively optimized 6.5 us of Table 3.
+
+#ifndef MSGPROXY_BACKEND_SW_BACKEND_H
+#define MSGPROXY_BACKEND_SW_BACKEND_H
+
+#include "backend/common.h"
+
+namespace backend {
+
+/// System-call backend.
+class SyscallBackend : public BaseBackend
+{
+  public:
+    /// Creates the per-node kernel state for `sys`.
+    explicit SyscallBackend(rma::System& sys);
+
+    void submit(sim::SimThread& t, const rma::Op& op) override;
+
+    double flag_poll_cost() const override { return d_.c_miss_us; }
+
+    const char* agent_name() const override { return "kernel"; }
+
+  private:
+    /// Kernel lock acquire+release cost (SMP atomicity, Section 2).
+    double lock_us() const { return 1.0; }
+
+    /// Blocks `t` until the node kernel lock is free, holds it for
+    /// `hold` microseconds, and returns after release.
+    void with_lock(sim::SimThread& t, int node, double hold);
+
+    void put_remote(const rma::Op& op, sim::SimThread& t);
+    void get_remote(const rma::Op& op, sim::SimThread& t);
+    void enq_remote(const rma::Op& op, sim::SimThread& t);
+    void deq_remote(const rma::Op& op, sim::SimThread& t);
+    void local_op(const rma::Op& op, sim::SimThread& t);
+
+    /// Per-line PIO cost of the kernel moving data to/from the NIC.
+    double pio_us(size_t n) const;
+
+    /// Interrupt-driven receive: runs `handler_svc` microseconds of
+    /// kernel time on node `node` (stealing cycles from `victim_rank`)
+    /// starting at `arrival`, then calls `done`.
+    void interrupt_recv(int node, int victim_rank, double arrival,
+                        double handler_svc, std::function<void()> done);
+
+    void ship(int src_node, size_t wire,
+              std::function<void(double)> deliver);
+    void stream_dma(int src_node, size_t nbytes,
+                    std::function<void(double, bool)> arrived);
+    void send_ack(int from_node, int to_node, int victim_rank,
+                  sim::Flag* lsync, uint64_t amount);
+};
+
+} // namespace backend
+
+#endif // MSGPROXY_BACKEND_SW_BACKEND_H

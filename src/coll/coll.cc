@@ -1,0 +1,369 @@
+#include "coll/coll.h"
+
+#include <cstring>
+
+#include "am/am.h"
+#include "util/log.h"
+
+namespace coll {
+
+namespace {
+
+/// Names used on the bulletin board.
+std::string
+bar_name(int round)
+{
+    return "coll.bar." + std::to_string(round);
+}
+
+} // namespace
+
+int
+Collective::rounds_for(int p)
+{
+    int r = 0;
+    while ((1 << r) < p)
+        ++r;
+    return r;
+}
+
+Collective::Collective(rma::Ctx& ctx, am::Endpoint* ep)
+    : ctx_(ctx), ep_(ep), p_(ctx.nranks()), rounds_(rounds_for(p_))
+{
+    for (int k = 0; k < rounds_; ++k) {
+        sim::Flag* f = ctx_.new_flag();
+        bar_flags_.push_back(f);
+        ctx_.publish(bar_name(k), f);
+    }
+    peer_bar_flags_.resize(static_cast<size_t>(rounds_));
+
+    // Shared scratch region: per-rank reduction slots, scan carry,
+    // result slots, and a broadcast bounce buffer.
+    red_slots_ = ctx_.alloc_n<double>(static_cast<size_t>(p_) + 2);
+    red_slots_i64_ = ctx_.alloc_n<int64_t>(static_cast<size_t>(p_) + 2);
+    bounce_ = ctx_.alloc_n<uint8_t>(kBounceBytes);
+    red_flag_ = ctx_.new_flag();
+    bcast_flag_ = ctx_.new_flag();
+    scan_flag_ = ctx_.new_flag();
+
+    gather_area_ = ctx_.alloc_n<uint8_t>(kBounceBytes);
+    gather_flag_ = ctx_.new_flag();
+    ctx_.publish("coll.gatherarea", gather_area_);
+    ctx_.publish("coll.gatherflag", gather_flag_);
+    ctx_.publish("coll.redslots", red_slots_);
+    ctx_.publish("coll.redslots64", red_slots_i64_);
+    ctx_.publish("coll.bounce", bounce_);
+    ctx_.publish("coll.redflag", red_flag_);
+    ctx_.publish("coll.bcastflag", bcast_flag_);
+    ctx_.publish("coll.scanflag", scan_flag_);
+    ctx_.publish("coll.ackflag", ctx_.new_flag());
+}
+
+void
+Collective::wait(sim::Flag& f, uint64_t v)
+{
+    if (ep_ != nullptr) {
+        ep_->poll_until(f, v);
+    } else {
+        ctx_.wait_ge(f, v);
+    }
+}
+
+void
+Collective::barrier()
+{
+    ++generation_;
+    if (p_ == 1)
+        return;
+    int me = ctx_.rank();
+    for (int k = 0; k < rounds_; ++k) {
+        auto& peers = peer_bar_flags_[static_cast<size_t>(k)];
+        if (peers.empty()) {
+            peers.resize(static_cast<size_t>(p_), nullptr);
+        }
+        int partner = (me + (1 << k)) % p_;
+        if (peers[static_cast<size_t>(partner)] == nullptr) {
+            peers[static_cast<size_t>(partner)] =
+                static_cast<sim::Flag*>(ctx_.lookup(bar_name(k), partner));
+        }
+        // Pure-signal PUT: zero bytes, remote flag increment only.
+        ctx_.put(nullptr, partner, nullptr, 0, nullptr,
+                 peers[static_cast<size_t>(partner)]);
+        wait(*bar_flags_[static_cast<size_t>(k)], generation_);
+    }
+}
+
+void
+Collective::broadcast(void* buf, size_t n, int root)
+{
+    if (p_ == 1)
+        return;
+    MP_CHECK(n <= kBounceBytes,
+             "broadcast of " << n << " bytes exceeds bounce capacity");
+    int me = ctx_.rank();
+    if (me == root) {
+        for (int r = 0; r < p_; ++r) {
+            if (r == root)
+                continue;
+            auto* peer_bounce =
+                static_cast<uint8_t*>(ctx_.lookup("coll.bounce", r));
+            auto* peer_flag =
+                static_cast<sim::Flag*>(ctx_.lookup("coll.bcastflag", r));
+            ctx_.put(buf, r, peer_bounce, n, nullptr, peer_flag);
+        }
+    } else {
+        ++bcast_gen_;
+        wait(*bcast_flag_, bcast_gen_);
+        std::memcpy(buf, bounce_, n);
+        // Reading the landed data misses once per line.
+        ctx_.compute(static_cast<double>(ctx_.design().lines(n)) *
+                     ctx_.design().c_miss_us);
+    }
+}
+
+double
+Collective::allreduce_sum(double v)
+{
+    if (p_ == 1)
+        return v;
+    ++red_gen_;
+    int me = ctx_.rank();
+    if (me == 0) {
+        red_slots_[0] = v;
+        wait(*red_flag_,
+             static_cast<uint64_t>(p_ - 1) * red_gen_);
+        double acc = 0.0;
+        for (int r = 0; r < p_; ++r)
+            acc += red_slots_[r];
+        red_slots_[p_] = acc; // result slot
+        ctx_.compute(static_cast<double>(p_) * 0.05);
+        for (int r = 1; r < p_; ++r) {
+            auto* slots =
+                static_cast<double*>(ctx_.lookup("coll.redslots", r));
+            auto* flag =
+                static_cast<sim::Flag*>(ctx_.lookup("coll.bcastflag", r));
+            ctx_.put(&red_slots_[p_], r, &slots[p_], sizeof(double),
+                     nullptr, flag);
+        }
+        return acc;
+    }
+    auto* slots = static_cast<double*>(ctx_.lookup("coll.redslots", 0));
+    auto* flag = static_cast<sim::Flag*>(ctx_.lookup("coll.redflag", 0));
+    ctx_.put(&v, 0, &slots[me], sizeof(double), nullptr, flag);
+    ++bcast_gen_; // the result arrives on the broadcast flag
+    wait(*bcast_flag_, bcast_gen_);
+    return red_slots_[p_];
+}
+
+double
+Collective::allreduce_max(double v)
+{
+    if (p_ == 1)
+        return v;
+    ++red_gen_;
+    int me = ctx_.rank();
+    if (me == 0) {
+        red_slots_[0] = v;
+        wait(*red_flag_, static_cast<uint64_t>(p_ - 1) * red_gen_);
+        double acc = red_slots_[0];
+        for (int r = 1; r < p_; ++r)
+            acc = red_slots_[r] > acc ? red_slots_[r] : acc;
+        red_slots_[p_] = acc;
+        ctx_.compute(static_cast<double>(p_) * 0.05);
+        for (int r = 1; r < p_; ++r) {
+            auto* slots =
+                static_cast<double*>(ctx_.lookup("coll.redslots", r));
+            auto* flag =
+                static_cast<sim::Flag*>(ctx_.lookup("coll.bcastflag", r));
+            ctx_.put(&red_slots_[p_], r, &slots[p_], sizeof(double),
+                     nullptr, flag);
+        }
+        return acc;
+    }
+    auto* slots = static_cast<double*>(ctx_.lookup("coll.redslots", 0));
+    auto* flag = static_cast<sim::Flag*>(ctx_.lookup("coll.redflag", 0));
+    ctx_.put(&v, 0, &slots[me], sizeof(double), nullptr, flag);
+    ++bcast_gen_;
+    wait(*bcast_flag_, bcast_gen_);
+    return red_slots_[p_];
+}
+
+int64_t
+Collective::allreduce_sum_i64(int64_t v)
+{
+    if (p_ == 1)
+        return v;
+    ++red_gen_;
+    int me = ctx_.rank();
+    if (me == 0) {
+        red_slots_i64_[0] = v;
+        wait(*red_flag_, static_cast<uint64_t>(p_ - 1) * red_gen_);
+        int64_t acc = 0;
+        for (int r = 0; r < p_; ++r)
+            acc += red_slots_i64_[r];
+        red_slots_i64_[p_] = acc;
+        ctx_.compute(static_cast<double>(p_) * 0.05);
+        for (int r = 1; r < p_; ++r) {
+            auto* slots = static_cast<int64_t*>(
+                ctx_.lookup("coll.redslots64", r));
+            auto* flag =
+                static_cast<sim::Flag*>(ctx_.lookup("coll.bcastflag", r));
+            ctx_.put(&red_slots_i64_[p_], r, &slots[p_], sizeof(int64_t),
+                     nullptr, flag);
+        }
+        return acc;
+    }
+    auto* slots =
+        static_cast<int64_t*>(ctx_.lookup("coll.redslots64", 0));
+    auto* flag = static_cast<sim::Flag*>(ctx_.lookup("coll.redflag", 0));
+    ctx_.put(&v, 0, &slots[me], sizeof(int64_t), nullptr, flag);
+    ++bcast_gen_;
+    wait(*bcast_flag_, bcast_gen_);
+    return red_slots_i64_[p_];
+}
+
+void
+Collective::allreduce_sum_i64_vec(int64_t* vals, int n)
+{
+    if (p_ == 1)
+        return;
+    const size_t bytes = static_cast<size_t>(n) * sizeof(int64_t);
+    MP_CHECK(bytes * static_cast<size_t>(p_) <= kBounceBytes,
+             "vector reduction exceeds bounce capacity");
+    ++red_gen_;
+    int me = ctx_.rank();
+    if (me == 0) {
+        wait(*red_flag_, static_cast<uint64_t>(p_ - 1) * red_gen_);
+        auto* contrib = reinterpret_cast<int64_t*>(bounce_);
+        for (int r = 1; r < p_; ++r) {
+            for (int i = 0; i < n; ++i)
+                vals[i] += contrib[static_cast<size_t>(r) * n + i];
+        }
+        ctx_.compute(static_cast<double>(p_ * n) * 0.02);
+        for (int r = 1; r < p_; ++r) {
+            auto* peer_bounce =
+                static_cast<uint8_t*>(ctx_.lookup("coll.bounce", r));
+            auto* flag =
+                static_cast<sim::Flag*>(ctx_.lookup("coll.bcastflag", r));
+            ctx_.put(vals, r, peer_bounce, bytes, nullptr, flag);
+        }
+        return;
+    }
+    auto* root_bounce =
+        static_cast<uint8_t*>(ctx_.lookup("coll.bounce", 0));
+    auto* root_flag =
+        static_cast<sim::Flag*>(ctx_.lookup("coll.redflag", 0));
+    ctx_.put(vals, 0,
+             root_bounce + static_cast<size_t>(me) * bytes, bytes,
+             nullptr, root_flag);
+    ++bcast_gen_;
+    wait(*bcast_flag_, bcast_gen_);
+    std::memcpy(vals, bounce_, bytes);
+    ctx_.compute(static_cast<double>(ctx_.design().lines(bytes)) *
+                 ctx_.design().c_miss_us);
+}
+
+void
+Collective::allgather(const void* src, void* dst, size_t bytes)
+{
+    MP_CHECK(bytes * static_cast<size_t>(p_) <= kBounceBytes,
+             "allgather exceeds the landing capacity");
+    int me = ctx_.rank();
+    if (p_ == 1) {
+        std::memcpy(dst, src, bytes);
+        return;
+    }
+    // Everyone PUTs its block at offset me*bytes of every peer's
+    // landing area, then waits for p-1 arrivals.
+    for (int r = 0; r < p_; ++r) {
+        if (r == me)
+            continue;
+        auto* area =
+            static_cast<uint8_t*>(ctx_.lookup("coll.gatherarea", r));
+        auto* flag =
+            static_cast<sim::Flag*>(ctx_.lookup("coll.gatherflag", r));
+        ctx_.put(src, r, area + static_cast<size_t>(me) * bytes, bytes,
+                 nullptr, flag);
+    }
+    std::memcpy(gather_area_ + static_cast<size_t>(me) * bytes, src,
+                bytes);
+    gather_base_ += static_cast<uint64_t>(p_ - 1);
+    wait(*gather_flag_, gather_base_);
+    std::memcpy(dst, gather_area_, bytes * static_cast<size_t>(p_));
+    ctx_.compute(
+        static_cast<double>(
+            ctx_.design().lines(bytes * static_cast<size_t>(p_))) *
+        ctx_.design().c_miss_us);
+    // Landing areas may be reused next call only after every rank has
+    // read its copy.
+    barrier();
+}
+
+void
+Collective::alltoall(const void* src, void* dst, size_t bytes)
+{
+    MP_CHECK(bytes * static_cast<size_t>(p_) <= kBounceBytes,
+             "alltoall exceeds the landing capacity");
+    int me = ctx_.rank();
+    if (p_ == 1) {
+        std::memcpy(dst, src, bytes);
+        return;
+    }
+    const auto* s8 = static_cast<const uint8_t*>(src);
+    for (int r = 0; r < p_; ++r) {
+        if (r == me)
+            continue;
+        auto* area =
+            static_cast<uint8_t*>(ctx_.lookup("coll.gatherarea", r));
+        auto* flag =
+            static_cast<sim::Flag*>(ctx_.lookup("coll.gatherflag", r));
+        ctx_.put(s8 + static_cast<size_t>(r) * bytes, r,
+                 area + static_cast<size_t>(me) * bytes, bytes, nullptr,
+                 flag);
+    }
+    std::memcpy(gather_area_ + static_cast<size_t>(me) * bytes,
+                s8 + static_cast<size_t>(me) * bytes, bytes);
+    gather_base_ += static_cast<uint64_t>(p_ - 1);
+    wait(*gather_flag_, gather_base_);
+    std::memcpy(dst, gather_area_, bytes * static_cast<size_t>(p_));
+    ctx_.compute(
+        static_cast<double>(
+            ctx_.design().lines(bytes * static_cast<size_t>(p_))) *
+        ctx_.design().c_miss_us);
+    barrier();
+}
+
+int64_t
+Collective::scan_sum_i64(int64_t v)
+{
+    if (p_ == 1)
+        return v;
+    ++scan_gen_;
+    int me = ctx_.rank();
+    int64_t total = v;
+    if (me > 0) {
+        wait(*scan_flag_, scan_gen_);
+        total += red_slots_i64_[p_ + 1]; // carry slot
+        // Acknowledge consumption so the predecessor may overwrite the
+        // carry slot in the next scan.
+        auto* ack =
+            static_cast<sim::Flag*>(ctx_.lookup("coll.ackflag", me - 1));
+        ctx_.put(nullptr, me - 1, nullptr, 0, nullptr, ack);
+    }
+    if (me < p_ - 1) {
+        if (scan_gen_ > 1) {
+            auto* my_ack =
+                static_cast<sim::Flag*>(ctx_.lookup("coll.ackflag", me));
+            wait(*my_ack, scan_gen_ - 1);
+        }
+        auto* slots = static_cast<int64_t*>(
+            ctx_.lookup("coll.redslots64", me + 1));
+        auto* flag =
+            static_cast<sim::Flag*>(ctx_.lookup("coll.scanflag", me + 1));
+        ctx_.put(&total, me + 1, &slots[p_ + 1], sizeof(int64_t), nullptr,
+                 flag);
+    }
+    return total;
+}
+
+} // namespace coll

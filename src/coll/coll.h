@@ -1,0 +1,113 @@
+/// \file
+/// Collective communication on top of the RMA/RQ layer: barrier,
+/// broadcast, reductions, and scans (the paper's "collective
+/// communication library based on RMA and RQ that implements
+/// barriers, scans, and reductions").
+///
+/// Construction is SPMD-symmetric: every rank constructs its
+/// Collective before any use; internal buffers and flags are
+/// exchanged through the system bulletin board (setup-time address
+/// exchange).
+///
+/// When an am::Endpoint is attached, all internal waits service
+/// incoming active messages, so collectives can synchronize ranks
+/// that are simultaneously acting as CRL home nodes or AM servers.
+
+#ifndef MSGPROXY_COLL_COLL_H
+#define MSGPROXY_COLL_COLL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rma/system.h"
+
+namespace am {
+class Endpoint;
+} // namespace am
+
+namespace coll {
+
+/// Per-rank collectives handle.
+class Collective
+{
+  public:
+    /// Creates the collective state for this rank. `ep` (optional)
+    /// is polled while waiting inside collectives.
+    explicit Collective(rma::Ctx& ctx, am::Endpoint* ep = nullptr);
+
+    Collective(const Collective&) = delete;
+    Collective& operator=(const Collective&) = delete;
+
+    /// Dissemination barrier: O(log P) rounds of signal PUTs.
+    void barrier();
+
+    /// Broadcasts [buf, buf+n) from `root` to every rank.
+    void broadcast(void* buf, size_t n, int root);
+
+    /// Sum-reduction to all ranks.
+    double allreduce_sum(double v);
+
+    /// Max-reduction to all ranks.
+    double allreduce_max(double v);
+
+    /// Integer sum-reduction to all ranks.
+    int64_t allreduce_sum_i64(int64_t v);
+
+    /// Element-wise sum-reduction of an n-element vector to all ranks
+    /// (in place). One gather + one scatter instead of n scalar
+    /// reductions.
+    void allreduce_sum_i64_vec(int64_t* vals, int n);
+
+    /// Inclusive prefix sum: rank r receives sum of values of ranks
+    /// 0..r.
+    int64_t scan_sum_i64(int64_t v);
+
+    /// Allgather: every rank contributes `bytes` at `src`; `dst`
+    /// (p * bytes) receives all contributions in rank order.
+    void allgather(const void* src, void* dst, size_t bytes);
+
+    /// All-to-all: `src` holds p blocks of `bytes` (block r for rank
+    /// r); `dst` receives block-for-me from every rank, in rank
+    /// order.
+    void alltoall(const void* src, void* dst, size_t bytes);
+
+    /// Number of barriers completed (for tests).
+    uint64_t barriers() const { return generation_; }
+
+  private:
+    /// Waits for `f` to reach `v`, polling the endpoint if attached.
+    void wait(sim::Flag& f, uint64_t v);
+
+    /// Number of dissemination rounds for P ranks.
+    static int rounds_for(int p);
+
+    rma::Ctx& ctx_;
+    am::Endpoint* ep_;
+    int p_;
+    int rounds_;
+
+    // Barrier state: one counting flag per round.
+    std::vector<sim::Flag*> bar_flags_;
+    std::vector<std::vector<sim::Flag*>> peer_bar_flags_; // [round][rank]
+    uint64_t generation_ = 0;
+
+    // Reduction/broadcast bounce buffers.
+    static constexpr size_t kBounceBytes = 64 * 1024;
+    double* red_slots_;         ///< P doubles, written by each rank
+    int64_t* red_slots_i64_;    ///< P int64s
+    uint8_t* bounce_;           ///< broadcast landing area
+    sim::Flag* gather_flag_;    ///< counts allgather/alltoall arrivals
+    uint8_t* gather_area_;      ///< landing area for gather blocks
+    uint64_t gather_base_ = 0;  ///< consumed arrivals on gather_flag_
+    sim::Flag* red_flag_;       ///< counts arrivals at the root
+    sim::Flag* bcast_flag_;     ///< counts broadcast deliveries
+    sim::Flag* scan_flag_;      ///< counts scan hand-offs
+    int64_t scan_carry_ = 0;    ///< incoming prefix for scans
+    uint64_t red_gen_ = 0;
+    uint64_t bcast_gen_ = 0;
+    uint64_t scan_gen_ = 0;
+};
+
+} // namespace coll
+
+#endif // MSGPROXY_COLL_COLL_H

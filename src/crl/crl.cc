@@ -1,0 +1,467 @@
+#include "crl/crl.h"
+
+#include <cstring>
+
+#include "util/log.h"
+
+namespace crl {
+
+namespace {
+
+/// Serializes a trivially-copyable header plus an optional payload.
+template <typename H>
+std::vector<uint8_t>
+pack(const H& hdr, const uint8_t* payload, size_t n)
+{
+    std::vector<uint8_t> out(sizeof(H) + n);
+    std::memcpy(out.data(), &hdr, sizeof(H));
+    if (n > 0)
+        std::memcpy(out.data() + sizeof(H), payload, n);
+    return out;
+}
+
+template <typename H>
+H
+unpack(const am::Msg& m)
+{
+    MP_CHECK(m.size >= sizeof(H), "runt CRL message");
+    H h;
+    std::memcpy(&h, m.data, sizeof(H));
+    return h;
+}
+
+constexpr uint8_t kDowngradeShared = 0;
+constexpr uint8_t kDowngradeInvalid = 1;
+
+/// am_store notification argument: region id in the high bits, a
+/// small code in the low 16.
+uint64_t
+pack_arg(RegionId rid, uint16_t code)
+{
+    return (static_cast<uint64_t>(rid) << 16) | code;
+}
+
+RegionId
+arg_rid(uint64_t arg)
+{
+    return static_cast<RegionId>(arg >> 16);
+}
+
+uint16_t
+arg_code(uint64_t arg)
+{
+    return static_cast<uint16_t>(arg & 0xffff);
+}
+
+std::string
+master_key(RegionId rid)
+{
+    return "crl.m." + std::to_string(rid);
+}
+
+std::string
+buf_key(RegionId rid)
+{
+    return "crl.b." + std::to_string(rid);
+}
+
+} // namespace
+
+Crl::Crl(rma::Ctx& ctx, am::Endpoint& ep) : ctx_(ctx), ep_(ep)
+{
+    h_request_ = ep_.register_handler(
+        [this](const am::Msg& m) { on_request(m); });
+    h_flush_ =
+        ep_.register_handler([this](const am::Msg& m) { on_flush(m); });
+    h_writeback_ = ep_.register_handler(
+        [this](const am::Msg& m) { on_writeback(m); });
+    h_inv_ = ep_.register_handler([this](const am::Msg& m) { on_inv(m); });
+    h_invack_ =
+        ep_.register_handler([this](const am::Msg& m) { on_invack(m); });
+    h_fill_ =
+        ep_.register_handler([this](const am::Msg& m) { on_fill(m); });
+    h_flushack_ = ep_.register_handler(
+        [this](const am::Msg& m) { on_flushack(m); });
+    flushack_flag_ = ctx_.new_flag();
+}
+
+RegionId
+Crl::create(size_t bytes)
+{
+    RegionId rid = region_id(ctx_.rank(), next_index_++);
+    HomeRegion h;
+    h.master = static_cast<uint8_t*>(ctx_.alloc(bytes));
+    h.bytes = bytes;
+    std::memset(h.master, 0, bytes);
+    home_.emplace(rid, std::move(h));
+    // Publish the master address so owners can write back with a
+    // direct bulk store.
+    ctx_.publish(master_key(rid), home_[rid].master);
+    return rid;
+}
+
+void*
+Crl::map(RegionId rid, size_t bytes)
+{
+    MP_CHECK(local_.find(rid) == local_.end(),
+             "region " << rid << " already mapped");
+    LocalRegion lr;
+    lr.buf = static_cast<uint8_t*>(ctx_.alloc(bytes));
+    lr.bytes = bytes;
+    lr.fill_flag = ctx_.new_flag();
+    local_.emplace(rid, lr);
+    // Publish the cached-buffer address so the home can fill it with
+    // a direct bulk store.
+    ctx_.publish(buf_key(rid), lr.buf);
+    return lr.buf;
+}
+
+void*
+Crl::data(RegionId rid)
+{
+    return local(rid).buf;
+}
+
+Crl::LocalRegion&
+Crl::local(RegionId rid)
+{
+    auto it = local_.find(rid);
+    MP_CHECK(it != local_.end(), "region " << rid << " not mapped");
+    return it->second;
+}
+
+Crl::HomeRegion&
+Crl::home(RegionId rid)
+{
+    auto it = home_.find(rid);
+    MP_CHECK(it != home_.end(),
+             "rank " << ctx_.rank() << " is not home of region " << rid);
+    return it->second;
+}
+
+// ------------------------------------------------------------ access API
+
+void
+Crl::start_read(RegionId rid)
+{
+    LocalRegion& lr = local(rid);
+    if (lr.state != State::kInvalid) {
+        ++read_hits_;
+        ++lr.read_depth;
+        ctx_.compute(ctx_.design().insn(0.3)); // state check
+        return;
+    }
+    ++read_misses_;
+    ++lr.fills_expected;
+    ReqMsg req{rid, ctx_.rank(), static_cast<uint8_t>(ReqKind::kRead)};
+    auto msg = pack(req, nullptr, 0);
+    ep_.request(home_of(rid), h_request_, msg.data(), msg.size());
+    ep_.poll_until(*lr.fill_flag, lr.fills_expected);
+    ++lr.read_depth;
+}
+
+void
+Crl::end_read(RegionId rid)
+{
+    LocalRegion& lr = local(rid);
+    MP_CHECK(lr.read_depth > 0, "end_read without start_read");
+    --lr.read_depth;
+    ctx_.compute(ctx_.design().insn(0.2));
+    if (lr.read_depth == 0 && lr.inv_deferred) {
+        lr.inv_deferred = false;
+        lr.state = State::kInvalid;
+        CtlMsg ack{rid, ctx_.rank(), 0};
+        auto msg = pack(ack, nullptr, 0);
+        ep_.request(home_of(rid), h_invack_, msg.data(), msg.size());
+    }
+}
+
+void
+Crl::start_write(RegionId rid)
+{
+    LocalRegion& lr = local(rid);
+    MP_CHECK(lr.read_depth == 0,
+             "read-to-write upgrade while holding a read is not allowed");
+    MP_CHECK(!lr.write_open, "nested start_write");
+    if (lr.state == State::kModified) {
+        ++write_hits_;
+        lr.write_open = true;
+        ctx_.compute(ctx_.design().insn(0.3));
+        return;
+    }
+    ++write_misses_;
+    ++lr.fills_expected;
+    ReqMsg req{rid, ctx_.rank(), static_cast<uint8_t>(ReqKind::kWrite)};
+    auto msg = pack(req, nullptr, 0);
+    ep_.request(home_of(rid), h_request_, msg.data(), msg.size());
+    ep_.poll_until(*lr.fill_flag, lr.fills_expected);
+    lr.write_open = true;
+}
+
+void
+Crl::end_write(RegionId rid)
+{
+    LocalRegion& lr = local(rid);
+    MP_CHECK(lr.write_open, "end_write without start_write");
+    lr.write_open = false;
+    ctx_.compute(ctx_.design().insn(0.2));
+    if (lr.flush_deferred) {
+        // A home-initiated flush arrived mid-write: write back now.
+        lr.flush_deferred = false;
+        send_writeback(rid, lr);
+        lr.state = lr.deferred_downgrade == kDowngradeShared
+                       ? State::kShared
+                       : State::kInvalid;
+    }
+    if (lr.inv_deferred) {
+        lr.inv_deferred = false;
+        lr.state = State::kInvalid;
+        CtlMsg ack{rid, ctx_.rank(), 0};
+        auto msg = pack(ack, nullptr, 0);
+        ep_.request(home_of(rid), h_invack_, msg.data(), msg.size());
+    }
+}
+
+void
+Crl::send_writeback(RegionId rid, LocalRegion& lr)
+{
+    // Bulk-store the region data straight into the home's master
+    // copy; the writeback notification rides behind the data.
+    auto* master = static_cast<uint8_t*>(
+        ctx_.lookup(master_key(rid), home_of(rid)));
+    ep_.store(home_of(rid), lr.buf, master, lr.bytes, h_writeback_,
+              pack_arg(rid, static_cast<uint16_t>(ctx_.rank())));
+}
+
+void
+Crl::flush(RegionId rid)
+{
+    LocalRegion& lr = local(rid);
+    if (lr.state != State::kModified)
+        return;
+    MP_CHECK(!lr.write_open, "flush inside an open write");
+    ++flushacks_expected_;
+    ReqMsg req{rid, ctx_.rank(), static_cast<uint8_t>(ReqKind::kFlush)};
+    auto msg = pack(req, lr.buf, lr.bytes);
+    ep_.request(home_of(rid), h_request_, msg.data(), msg.size());
+    lr.state = State::kShared;
+    ep_.poll_until(*flushack_flag_, flushacks_expected_);
+}
+
+// --------------------------------------------------------- home protocol
+
+void
+Crl::enqueue_request(PendReq req, RegionId rid)
+{
+    HomeRegion& h = home(rid);
+    h.queue.push_back(std::move(req));
+    if (!h.busy)
+        serve_next(rid);
+}
+
+void
+Crl::serve_next(RegionId rid)
+{
+    HomeRegion& h = home(rid);
+    if (h.busy || h.queue.empty())
+        return;
+    h.busy = true;
+    h.cur = std::move(h.queue.front());
+    h.queue.pop_front();
+    ctx_.compute(ctx_.design().insn(0.5)); // directory lookup
+
+    switch (h.cur.kind) {
+      case ReqKind::kRead: {
+        if (h.owner >= 0) {
+            h.acks_left = 1;
+            CtlMsg fl{rid, kDowngradeShared, 0};
+            auto msg = pack(fl, nullptr, 0);
+            ep_.request(h.owner, h_flush_, msg.data(), msg.size());
+        } else {
+            grant_current(rid);
+        }
+        break;
+      }
+      case ReqKind::kWrite: {
+        int acks = 0;
+        for (int s : h.sharers) {
+            if (s == h.cur.requester)
+                continue;
+            CtlMsg inv{rid, 0, 0};
+            auto msg = pack(inv, nullptr, 0);
+            ep_.request(s, h_inv_, msg.data(), msg.size());
+            ++acks;
+        }
+        if (h.owner >= 0 && h.owner != h.cur.requester) {
+            CtlMsg fl{rid, kDowngradeInvalid, 0};
+            auto msg = pack(fl, nullptr, 0);
+            ep_.request(h.owner, h_flush_, msg.data(), msg.size());
+            ++acks;
+        }
+        h.acks_left = acks;
+        if (acks == 0)
+            grant_current(rid);
+        break;
+      }
+      case ReqKind::kFlush: {
+        if (h.owner == h.cur.requester) {
+            MP_CHECK(h.cur.flush_data.size() == h.bytes,
+                     "voluntary flush size mismatch");
+            std::memcpy(h.master, h.cur.flush_data.data(), h.bytes);
+            h.owner = -1;
+            h.sharers.insert(h.cur.requester);
+        }
+        CtlMsg ack{rid, 0, 0};
+        auto msg = pack(ack, nullptr, 0);
+        ep_.request(h.cur.requester, h_flushack_, msg.data(), msg.size());
+        h.busy = false;
+        serve_next(rid);
+        break;
+      }
+    }
+}
+
+void
+Crl::grant_current(RegionId rid)
+{
+    HomeRegion& h = home(rid);
+    PendReq cur = h.cur;
+    ctx_.compute(ctx_.design().insn(0.3));
+    constexpr uint16_t kFillShared = 0;
+    constexpr uint16_t kFillModified = 1;
+    constexpr uint16_t kFillModifiedNoData = 2;
+    if (cur.kind == ReqKind::kRead) {
+        h.sharers.insert(cur.requester);
+        auto* dst = static_cast<uint8_t*>(
+            ctx_.lookup(buf_key(rid), cur.requester));
+        ep_.store(cur.requester, h.master, dst, h.bytes, h_fill_,
+                  pack_arg(rid, kFillShared));
+    } else {
+        bool upgrade = h.sharers.count(cur.requester) > 0;
+        h.sharers.clear();
+        h.owner = cur.requester;
+        if (upgrade) {
+            // The requester's Shared copy is current: grant only.
+            CtlMsg fill{rid, kFillModifiedNoData, 0};
+            auto msg = pack(fill, nullptr, 0);
+            ep_.request(cur.requester, h_fill_, msg.data(), msg.size());
+        } else {
+            auto* dst = static_cast<uint8_t*>(
+                ctx_.lookup(buf_key(rid), cur.requester));
+            ep_.store(cur.requester, h.master, dst, h.bytes, h_fill_,
+                      pack_arg(rid, kFillModified));
+        }
+    }
+    h.busy = false;
+    serve_next(rid);
+}
+
+// ---------------------------------------------------------------- handlers
+
+void
+Crl::on_request(const am::Msg& m)
+{
+    auto req = unpack<ReqMsg>(m);
+    PendReq pr;
+    pr.kind = static_cast<ReqKind>(req.kind);
+    pr.requester = req.requester;
+    if (pr.kind == ReqKind::kFlush) {
+        pr.flush_data.assign(m.data + sizeof(ReqMsg), m.data + m.size);
+    }
+    enqueue_request(std::move(pr), req.rid);
+}
+
+void
+Crl::on_flush(const am::Msg& m)
+{
+    auto fl = unpack<CtlMsg>(m);
+    RegionId rid = fl.rid;
+    LocalRegion& lr = local(rid);
+    if (lr.write_open) {
+        // Defer until end_write; remember the downgrade type.
+        lr.flush_deferred = true;
+        lr.deferred_downgrade = fl.arg;
+        return;
+    }
+    // Write the current copy back (valid even if we already downgraded
+    // voluntarily: the buffer is unchanged since the last write).
+    send_writeback(rid, lr);
+    lr.state = (fl.arg == kDowngradeShared) ? State::kShared
+                                            : State::kInvalid;
+}
+
+void
+Crl::on_writeback(const am::Msg& m)
+{
+    // The data already landed in the master copy (fused store); this
+    // is the completion notification with (rid, old owner).
+    uint64_t arg;
+    MP_CHECK(m.size >= sizeof(arg), "runt writeback notification");
+    std::memcpy(&arg, m.data, sizeof(arg));
+    RegionId rid = arg_rid(arg);
+    int old_owner = static_cast<int>(arg_code(arg));
+    HomeRegion& h = home(rid);
+    MP_CHECK(h.busy && h.acks_left > 0, "unexpected writeback");
+    if (h.cur.kind == ReqKind::kRead) {
+        h.sharers.insert(old_owner); // old owner keeps a Shared copy
+    }
+    h.owner = -1;
+    if (--h.acks_left == 0)
+        grant_current(rid);
+}
+
+void
+Crl::on_inv(const am::Msg& m)
+{
+    auto inv = unpack<CtlMsg>(m);
+    LocalRegion& lr = local(inv.rid);
+    if (lr.read_depth > 0 || lr.write_open) {
+        lr.inv_deferred = true;
+        return;
+    }
+    lr.state = State::kInvalid;
+    CtlMsg ack{inv.rid, ctx_.rank(), 0};
+    auto msg = pack(ack, nullptr, 0);
+    ep_.request(home_of(inv.rid), h_invack_, msg.data(), msg.size());
+}
+
+void
+Crl::on_invack(const am::Msg& m)
+{
+    auto ack = unpack<CtlMsg>(m);
+    HomeRegion& h = home(ack.rid);
+    MP_CHECK(h.busy && h.acks_left > 0, "unexpected invack");
+    if (--h.acks_left == 0)
+        grant_current(ack.rid);
+}
+
+void
+Crl::on_fill(const am::Msg& m)
+{
+    // Either an am_store notification (8-byte arg: data already in the
+    // buffer) or a small grant-only control message (upgrade).
+    RegionId rid;
+    uint16_t code;
+    if (m.size == sizeof(uint64_t)) {
+        uint64_t arg;
+        std::memcpy(&arg, m.data, sizeof(arg));
+        rid = arg_rid(arg);
+        code = arg_code(arg);
+    } else {
+        auto fill = unpack<CtlMsg>(m);
+        rid = fill.rid;
+        code = static_cast<uint16_t>(fill.arg);
+    }
+    LocalRegion& lr = local(rid);
+    lr.state = (code == 0) ? State::kShared : State::kModified;
+    lr.fill_flag->add(1);
+}
+
+void
+Crl::on_flushack(const am::Msg& m)
+{
+    (void)unpack<CtlMsg>(m);
+    flushack_flag_->add(1);
+}
+
+} // namespace crl

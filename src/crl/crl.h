@@ -1,0 +1,212 @@
+/// \file
+/// CRL-style all-software distributed shared memory (Johnson,
+/// Kaashoek & Wallach, SOSP'95), the programming system used by the
+/// paper's LU, Barnes-Hut and Water applications.
+///
+/// Memory is organized into regions. Each region has a home rank that
+/// holds the master copy and a directory (current exclusive owner or
+/// sharer set). Ranks map regions into local cached buffers and
+/// bracket accesses with start_read/end_read and
+/// start_write/end_write; the library runs a home-serialized MSI
+/// protocol over Active Messages to keep copies coherent:
+///
+///   read miss:  requester -> home RREQ; home flushes the exclusive
+///               owner if any (owner downgrades to Shared and writes
+///               back), then FILLs the requester with the data.
+///   write miss: requester -> home WREQ; home invalidates all sharers
+///               (INV/INVACK) and flushes the owner, then grants
+///               exclusive ownership (data omitted when the requester
+///               already held a valid Shared copy — an upgrade).
+///   end_write:  lazy — the region stays Modified locally until some
+///               other rank's request forces a flush (CRL semantics).
+///
+/// Control messages are Active Messages; region data moves with
+/// bulk stores (PUTs) directly between the master copy and the cached
+/// buffers, with the completion handler piggybacked on the transfer —
+/// zero user-level copies, as in the original CRL. Every transition
+/// costs real simulated traffic through the architecture under test.
+
+#ifndef MSGPROXY_CRL_CRL_H
+#define MSGPROXY_CRL_CRL_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "am/am.h"
+#include "rma/system.h"
+
+namespace crl {
+
+/// Global region identifier: home rank in the high bits, per-home
+/// creation index in the low bits.
+using RegionId = uint32_t;
+
+/// Per-rank CRL instance. Construct symmetrically on every rank
+/// (after the shared am::Endpoint) before any region operation.
+class Crl
+{
+  public:
+    /// Attaches to `ep`; registers the protocol handlers.
+    Crl(rma::Ctx& ctx, am::Endpoint& ep);
+
+    Crl(const Crl&) = delete;
+    Crl& operator=(const Crl&) = delete;
+
+    /// Builds the region id for creation index `index` at `home`.
+    static RegionId
+    region_id(int home, uint32_t index)
+    {
+        return (static_cast<uint32_t>(home) << 20) | index;
+    }
+
+    /// Home rank of a region.
+    static int home_of(RegionId rid) { return static_cast<int>(rid >> 20); }
+
+    /// Creates a region of `bytes` homed at this rank; returns its id
+    /// (deterministic: the i-th creation at home h is region_id(h, i)).
+    RegionId create(size_t bytes);
+
+    /// Maps a region into this rank's address space; returns the
+    /// local cached buffer (stable for the lifetime of the mapping).
+    /// `bytes` must equal the creation size.
+    void* map(RegionId rid, size_t bytes);
+
+    /// Local cached buffer of a mapped region.
+    void* data(RegionId rid);
+
+    /// Begins a read access; blocks (polling) until a valid copy is
+    /// local.
+    void start_read(RegionId rid);
+
+    /// Ends a read access.
+    void end_read(RegionId rid);
+
+    /// Begins a write access; blocks until exclusive ownership.
+    void start_write(RegionId rid);
+
+    /// Ends a write access (lazy: no immediate writeback).
+    void end_write(RegionId rid);
+
+    /// Writes a Modified region back to its home and downgrades the
+    /// local copy to Shared. Blocks until the home acknowledges.
+    void flush(RegionId rid);
+
+    /// Services pending protocol messages (also happens inside every
+    /// blocking CRL call).
+    void poll() { ep_.poll_all(); }
+
+    // ----- statistics -----
+    uint64_t read_hits() const { return read_hits_; }
+    uint64_t read_misses() const { return read_misses_; }
+    uint64_t write_hits() const { return write_hits_; }
+    uint64_t write_misses() const { return write_misses_; }
+
+  private:
+    enum class State : uint8_t { kInvalid, kShared, kModified };
+
+    enum class ReqKind : uint8_t { kRead, kWrite, kFlush };
+
+    /// Locally mapped region.
+    struct LocalRegion
+    {
+        uint8_t* buf = nullptr;
+        size_t bytes = 0;
+        State state = State::kInvalid;
+        sim::Flag* fill_flag = nullptr;
+        uint64_t fills_expected = 0;
+        int read_depth = 0;
+        bool write_open = false;
+        /// Invalidation received while the region was held; acted on
+        /// at the matching end_read/end_write.
+        bool inv_deferred = false;
+        /// Home-initiated flush received mid-write; performed at
+        /// end_write with this downgrade target.
+        bool flush_deferred = false;
+        int32_t deferred_downgrade = 0;
+    };
+
+    /// A queued request at the home.
+    struct PendReq
+    {
+        ReqKind kind;
+        int requester;
+        std::vector<uint8_t> flush_data; ///< voluntary-flush payload
+    };
+
+    /// Home-side directory entry.
+    struct HomeRegion
+    {
+        uint8_t* master = nullptr; ///< registered master copy
+        size_t bytes = 0;
+        int owner = -1;
+        std::set<int> sharers;
+        std::deque<PendReq> queue;
+        bool busy = false;
+        int acks_left = 0;
+        PendReq cur;
+    };
+
+    // Wire messages (trivially copyable).
+    struct ReqMsg
+    {
+        RegionId rid;
+        int32_t requester;
+        uint8_t kind; // ReqKind
+    };
+    struct CtlMsg
+    {
+        RegionId rid;
+        int32_t arg;
+        uint8_t code; // per-handler meaning
+    };
+
+    LocalRegion& local(RegionId rid);
+    HomeRegion& home(RegionId rid);
+
+    // Home-side protocol steps.
+    void enqueue_request(PendReq req, RegionId rid);
+    void serve_next(RegionId rid);
+    void grant_current(RegionId rid);
+
+    /// Bulk-stores the local copy into the home's master and sends
+    /// the writeback notification behind the data.
+    void send_writeback(RegionId rid, LocalRegion& lr);
+
+    // Handlers.
+    void on_request(const am::Msg& m);   // RREQ/WREQ/voluntary flush
+    void on_flush(const am::Msg& m);     // home -> owner: downgrade
+    void on_writeback(const am::Msg& m); // owner -> home: data
+    void on_inv(const am::Msg& m);       // home -> sharer
+    void on_invack(const am::Msg& m);    // sharer -> home
+    void on_fill(const am::Msg& m);      // home -> requester
+    void on_flushack(const am::Msg& m);  // home -> flusher
+
+    rma::Ctx& ctx_;
+    am::Endpoint& ep_;
+
+    int h_request_;
+    int h_flush_;
+    int h_writeback_;
+    int h_inv_;
+    int h_invack_;
+    int h_fill_;
+    int h_flushack_;
+
+    uint32_t next_index_ = 0;
+    std::map<RegionId, LocalRegion> local_;
+    std::map<RegionId, HomeRegion> home_;
+    sim::Flag* flushack_flag_;
+    uint64_t flushacks_expected_ = 0;
+
+    uint64_t read_hits_ = 0;
+    uint64_t read_misses_ = 0;
+    uint64_t write_hits_ = 0;
+    uint64_t write_misses_ = 0;
+};
+
+} // namespace crl
+
+#endif // MSGPROXY_CRL_CRL_H

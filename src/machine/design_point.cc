@@ -1,0 +1,147 @@
+#include "machine/design_point.h"
+
+namespace machine {
+
+const char*
+arch_name(Arch a)
+{
+    switch (a) {
+      case Arch::kHardware:
+        return "custom-hardware";
+      case Arch::kProxy:
+        return "message-proxy";
+      case Arch::kSyscall:
+        return "system-call";
+    }
+    return "?";
+}
+
+DesignPoint
+hw0()
+{
+    DesignPoint d;
+    d.name = "HW0";
+    d.arch = Arch::kHardware;
+    d.c_miss_us = 0.5; // uniprocessor node: cheaper miss to the adapter
+    d.c_update_us = 0.5;
+    d.speed = 1.0;
+    d.cpu_ovh_us = 1.0;
+    d.adapter_ovh_us = 0.5;
+    d.dma_bw_mbs = 25.0;
+    d.net_lat_us = 1.0;
+    d.net_bw_mbs = 175.0;
+    d.pin_page_us = 0.0; // buffers permanently pinned at setup time
+    d.pio_threshold = 128; // pre-pinned DMA is cheap: use it early
+    return d;
+}
+
+DesignPoint
+hw1()
+{
+    DesignPoint d;
+    d.name = "HW1";
+    d.arch = Arch::kHardware;
+    d.c_miss_us = 1.0; // SMP node: coherence makes misses costlier
+    d.c_update_us = 1.0;
+    d.speed = 4.0;
+    d.cpu_ovh_us = 1.5;
+    d.adapter_ovh_us = 0.5;
+    d.dma_bw_mbs = 150.0;
+    d.net_lat_us = 1.0;
+    d.net_bw_mbs = 250.0;
+    d.pin_page_us = 0.0;
+    d.pio_threshold = 128;
+    return d;
+}
+
+DesignPoint
+hw2()
+{
+    DesignPoint d = hw1();
+    d.name = "HW2";
+    d.cache_update = true;
+    d.c_update_us = 0.25;
+    return d;
+}
+
+DesignPoint
+mp0()
+{
+    DesignPoint d;
+    d.name = "MP0";
+    d.arch = Arch::kProxy;
+    d.c_miss_us = 1.0;
+    d.c_update_us = 1.0;
+    d.u_access_us = 0.65;
+    d.v_att_us = 0.41;
+    d.poll_us = 3.0;
+    d.speed = 1.0; // 75 MHz PowerPC 601
+    d.dma_bw_mbs = 25.0;
+    d.net_lat_us = 1.0;
+    d.net_bw_mbs = 175.0;
+    d.pin_page_us = 10.0;
+    return d;
+}
+
+DesignPoint
+mp1()
+{
+    DesignPoint d = mp0();
+    d.name = "MP1";
+    d.speed = 4.0;  // next-generation proxy processor
+    d.poll_us = 2.0; // faster scan loop (instruction part speeds up;
+                     // the uncached probe component does not)
+    d.dma_bw_mbs = 150.0;
+    d.net_bw_mbs = 250.0;
+    return d;
+}
+
+DesignPoint
+mp2()
+{
+    DesignPoint d = mp1();
+    d.name = "MP2";
+    d.cache_update = true;
+    d.c_update_us = 0.25; // producer-prefetch style direct cache update
+    d.poll_us = 1.0;      // queue probes hit in the proxy's cache
+    return d;
+}
+
+DesignPoint
+sw1()
+{
+    DesignPoint d;
+    d.name = "SW1";
+    d.arch = Arch::kSyscall;
+    d.c_miss_us = 1.0;
+    d.c_update_us = 1.0;
+    d.u_access_us = 0.65;
+    d.speed = 4.0;
+    d.cpu_ovh_us = 1.5;
+    d.syscall_us = 6.5;   // aggressively optimized (cf. ~20 us in
+                          // Thekkath et al. on a 25 MHz MIPS)
+    d.interrupt_us = 6.5;
+    d.dma_bw_mbs = 150.0;
+    d.net_lat_us = 1.0;
+    d.net_bw_mbs = 250.0;
+    d.pin_page_us = 10.0;
+    return d;
+}
+
+std::vector<DesignPoint>
+all_design_points()
+{
+    return {hw0(), hw1(), mp0(), mp1(), mp2(), sw1()};
+}
+
+std::optional<DesignPoint>
+design_point_by_name(const std::string& name)
+{
+    for (auto& d : all_design_points()) {
+        if (d.name == name)
+            return d;
+    }
+    return std::nullopt;
+}
+
+} // namespace machine

@@ -1,0 +1,143 @@
+/// \file
+/// Machine parameterization: Table 1 cost primitives and the Table 3
+/// design points of the paper.
+///
+/// The paper models communication cost in terms of six machine
+/// primitives measured on the IBM Model G30 SMP:
+///   C  time to service a cache miss            (1.0 us on the G30)
+///   U  time for an uncached access to the NIC  (0.65 us)
+///   V  vm_att / vm_det address-space attach    (0.41 us)
+///   P  mean polling delay of the proxy loop    (3.0 us)
+///   S  processor speed as a multiple of 75 MHz (instruction time 1/S)
+///   L  network transit latency                 (~1 us)
+/// plus bandwidth parameters (DMA engine, network link) and software
+/// costs (system call, interrupt, page pinning).
+
+#ifndef MSGPROXY_MACHINE_DESIGN_POINT_H
+#define MSGPROXY_MACHINE_DESIGN_POINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace machine {
+
+/// The three architectures for protected communication (Section 2).
+enum class Arch {
+    kHardware, ///< custom protection hardware in the network adapter
+    kProxy,    ///< dedicated-processor message proxy (the paper's design)
+    kSyscall   ///< system calls + interrupts through the OS kernel
+};
+
+/// Human-readable architecture name.
+const char* arch_name(Arch a);
+
+/// One column of Table 3: a complete machine parameterization.
+struct DesignPoint
+{
+    std::string name; ///< "HW0", "HW1", "MP0", "MP1", "MP2", "SW1"
+    Arch arch = Arch::kProxy;
+
+    // ----- Table 1 primitives -----
+    double c_miss_us = 1.0;   ///< C: cache-miss latency (compute <-> agent)
+    double c_update_us = 1.0; ///< proxy<->compute miss with the MP2
+                              ///< cache-update primitive (== c_miss_us
+                              ///< when the primitive is absent)
+    double u_access_us = 0.65; ///< U: uncached access to the adapter FIFO
+    double v_att_us = 0.41;    ///< V: vm_att/vm_det cross-memory attach
+    double poll_us = 3.0;      ///< P: mean proxy polling delay
+    double speed = 1.0;        ///< S: processor speed, multiple of 75 MHz
+
+    // ----- Table 3 parameters -----
+    double cpu_ovh_us = 1.0;     ///< compute-processor submit overhead
+                                 ///< (hardware/syscall designs)
+    double adapter_ovh_us = 0.5; ///< hardware adapter per-packet overhead
+    double dma_bw_mbs = 25.0;    ///< DMA engine bandwidth, MB/s
+    double net_lat_us = 1.0;     ///< L: network transit latency
+    double net_bw_mbs = 175.0;   ///< network link bandwidth, MB/s
+    double syscall_us = 6.5;     ///< system-call overhead (SW design)
+    double interrupt_us = 6.5;   ///< interrupt overhead (SW design)
+    double pin_page_us = 10.0;   ///< dynamic page-pin cost (0: pre-pinned)
+
+    // ----- transfer-mechanism constants -----
+    bool cache_update = false;   ///< MP2 direct cache-update primitive
+    size_t pio_threshold = 512;  ///< bytes; larger transfers use DMA
+    size_t page_bytes = 4096;    ///< pinning granularity
+    size_t packet_bytes = 4096;  ///< network MTU (per-packet pipelining)
+    size_t line_bytes = 32;      ///< cache line (PIO moves line-at-a-time)
+
+    /// Instruction time for `insns` abstract instruction units
+    /// (the "0.5/S"-style terms of Table 2).
+    double insn(double units) const { return units / speed; }
+
+    /// Cache-miss cost between a compute processor and the
+    /// communication agent, honouring the MP2 cache-update primitive.
+    double
+    proxy_miss() const
+    {
+        return cache_update ? c_update_us : c_miss_us;
+    }
+
+    /// Number of cache lines covering `n` bytes (at least 1 for n>0).
+    size_t
+    lines(size_t n) const
+    {
+        return (n + line_bytes - 1) / line_bytes;
+    }
+
+    /// Number of pages covering `n` bytes.
+    size_t
+    pages(size_t n) const
+    {
+        return (n + page_bytes - 1) / page_bytes;
+    }
+
+    /// Microseconds to move `n` bytes at `mbs` MB/s (MB = 1e6 bytes).
+    static double
+    xfer_us(size_t n, double mbs)
+    {
+        return static_cast<double>(n) / mbs;
+    }
+};
+
+/// HW0: custom hardware, uniprocessor nodes, current-generation
+/// technology (SHRIMP-class).
+DesignPoint hw0();
+
+/// HW1: custom hardware, SMP nodes, next-generation parameters
+/// (higher DMA and network bandwidth, higher SMP cache-miss latency).
+DesignPoint hw1();
+
+/// HW2 (extension, Section 7): HW1 plus the direct cache-update
+/// primitive — the paper notes "custom hardware performance may also
+/// be enhanced by this primitive". Not part of the paper's Table 3;
+/// used by bench_ablation_cache_update.
+DesignPoint hw2();
+
+/// MP0: message proxy on current-generation hardware (the G30
+/// implementation of Section 4).
+DesignPoint mp0();
+
+/// MP1: message proxy on next-generation hardware (faster proxy
+/// processor, higher DMA and network bandwidth).
+DesignPoint mp1();
+
+/// MP2: MP1 plus the direct cache-update primitive (0.25 us misses
+/// between the message proxy and compute processors).
+DesignPoint mp2();
+
+/// SW1: system-call based communication with aggressively optimized
+/// 6.5 us system calls and interrupts, next-generation hardware.
+DesignPoint sw1();
+
+/// All six design points in Table 3 column order.
+std::vector<DesignPoint> all_design_points();
+
+/// Looks up a design point by name (case-sensitive).
+std::optional<DesignPoint> design_point_by_name(const std::string& name);
+
+} // namespace machine
+
+#endif // MSGPROXY_MACHINE_DESIGN_POINT_H

@@ -1,0 +1,296 @@
+#include "mpi/mpi.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/log.h"
+
+namespace mpi {
+
+namespace {
+
+/// CTS wire format: tells the sender where to store the data.
+struct CtsMsg
+{
+    uint64_t sender_cookie;
+    uint64_t raddr;
+    uint64_t allowed; ///< receiver buffer capacity
+    uint32_t recv_slot;
+};
+
+uint64_t
+pack_done_arg(uint32_t recv_slot, uint32_t bytes)
+{
+    return (static_cast<uint64_t>(recv_slot) << 32) | bytes;
+}
+
+} // namespace
+
+Comm::Comm(rma::Ctx& ctx, am::Endpoint& ep) : ctx_(ctx), ep_(ep)
+{
+    h_eager_ =
+        ep_.register_handler([this](const am::Msg& m) { on_eager(m); });
+    h_rts_ = ep_.register_handler([this](const am::Msg& m) { on_rts(m); });
+    h_cts_ = ep_.register_handler([this](const am::Msg& m) { on_cts(m); });
+    h_rdone_ = ep_.register_handler(
+        [this](const am::Msg& m) { on_rendezvous_done(m); });
+    progress_ = ctx_.new_flag();
+}
+
+int
+Comm::alloc_recv_slot()
+{
+    for (size_t i = 0; i < recvs_.size(); ++i) {
+        if (!recvs_[i].in_use)
+            return static_cast<int>(i);
+    }
+    recvs_.push_back(PostedRecv{});
+    return static_cast<int>(recvs_.size()) - 1;
+}
+
+int
+Comm::alloc_send_slot()
+{
+    for (size_t i = 0; i < sends_.size(); ++i) {
+        if (!sends_[i].in_use)
+            return static_cast<int>(i);
+    }
+    sends_.push_back(PendingSend{});
+    return static_cast<int>(sends_.size()) - 1;
+}
+
+Comm::PostedRecv*
+Comm::find_match(int src, int tag)
+{
+    PostedRecv* best = nullptr;
+    for (auto& pr : recvs_) {
+        if (pr.in_use && !pr.done && !pr.matched &&
+            match(pr.src, pr.tag, src, tag) &&
+            (best == nullptr || pr.seq < best->seq)) {
+            best = &pr;
+        }
+    }
+    return best;
+}
+
+// ------------------------------------------------------------------- sends
+
+Request
+Comm::isend(const void* buf, size_t n, int dst, int tag)
+{
+    if (n <= kEagerBytes) {
+        // Eager: the payload travels with the message; the buffer is
+        // reusable immediately (the AM layer snapshots at submit).
+        std::vector<uint8_t> msg(sizeof(WireHeader) + n);
+        WireHeader hdr{tag, static_cast<uint32_t>(n), 0};
+        std::memcpy(msg.data(), &hdr, sizeof(hdr));
+        if (n > 0)
+            std::memcpy(msg.data() + sizeof(hdr), buf, n);
+        ep_.request(dst, h_eager_, msg.data(), msg.size());
+        return Request{}; // already complete
+    }
+    int slot = alloc_send_slot();
+    PendingSend& ps = sends_[static_cast<size_t>(slot)];
+    ps.buf = buf;
+    ps.bytes = n;
+    ps.dst = dst;
+    ps.done = false;
+    ps.in_use = true;
+    WireHeader hdr{tag, static_cast<uint32_t>(n),
+                   static_cast<uint64_t>(slot)};
+    ep_.request(dst, h_rts_, &hdr, sizeof(hdr));
+    Request r;
+    r.idx = slot + 1'000'000; // send-space handle
+    return r;
+}
+
+void
+Comm::send(const void* buf, size_t n, int dst, int tag)
+{
+    Request r = isend(buf, n, dst, tag);
+    wait(r);
+}
+
+void
+Comm::on_rts(const am::Msg& m)
+{
+    WireHeader hdr;
+    std::memcpy(&hdr, m.data, sizeof(hdr));
+    Unexpected u;
+    u.src = m.src;
+    u.tag = hdr.tag;
+    u.cookie = hdr.cookie;
+    u.rendezvous = true;
+    u.bytes = hdr.bytes;
+    if (PostedRecv* pr = find_match(u.src, u.tag)) {
+        deliver(*pr, u);
+        return;
+    }
+    unexpected_.push_back(std::move(u));
+}
+
+void
+Comm::on_cts(const am::Msg& m)
+{
+    CtsMsg cts;
+    std::memcpy(&cts, m.data, sizeof(cts));
+    PendingSend& ps = sends_[static_cast<size_t>(cts.sender_cookie)];
+    size_t n = std::min(ps.bytes, static_cast<size_t>(cts.allowed));
+    // Zero-copy bulk store straight into the posted buffer, with the
+    // completion notification behind the data.
+    ep_.store(m.src, ps.buf, reinterpret_cast<void*>(cts.raddr), n,
+              h_rdone_,
+              pack_done_arg(cts.recv_slot, static_cast<uint32_t>(n)),
+              nullptr);
+    // Sender side completes at hand-off (buffer readable during the
+    // transfer; release on ack would need the lsync — we complete on
+    // the receiver's behalf below via the progress flag).
+    ps.done = true;
+    progress_->add(1);
+}
+
+void
+Comm::on_rendezvous_done(const am::Msg& m)
+{
+    uint64_t arg;
+    std::memcpy(&arg, m.data, sizeof(arg));
+    auto slot = static_cast<size_t>(arg >> 32);
+    auto bytes = static_cast<uint32_t>(arg & 0xffffffffu);
+    PostedRecv& pr = recvs_[slot];
+    MP_CHECK(pr.in_use, "rendezvous completion for idle slot");
+    pr.status.bytes = bytes;
+    pr.done = true;
+    ++received_;
+    progress_->add(1);
+}
+
+// ------------------------------------------------------------------ recvs
+
+Request
+Comm::irecv(void* buf, size_t max, int src, int tag)
+{
+    int slot = alloc_recv_slot();
+    PostedRecv& pr = recvs_[static_cast<size_t>(slot)];
+    pr.buf = buf;
+    pr.max = max;
+    pr.src = src;
+    pr.tag = tag;
+    pr.done = false;
+    pr.matched = false;
+    pr.in_use = true;
+    pr.status = Status{};
+    pr.seq = post_seq_++;
+
+    // Check the unexpected queue (arrival order) for a match.
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+        if (match(src, tag, it->src, it->tag)) {
+            Unexpected u = std::move(*it);
+            unexpected_.erase(it);
+            deliver(pr, u);
+            break;
+        }
+    }
+    Request r;
+    r.idx = slot;
+    return r;
+}
+
+void
+Comm::recv(void* buf, size_t max, int src, int tag, Status* st)
+{
+    Request r = irecv(buf, max, src, tag);
+    wait(r, st);
+}
+
+void
+Comm::on_eager(const am::Msg& m)
+{
+    WireHeader hdr;
+    std::memcpy(&hdr, m.data, sizeof(hdr));
+    Unexpected u;
+    u.src = m.src;
+    u.tag = hdr.tag;
+    u.cookie = 0;
+    u.rendezvous = false;
+    u.bytes = hdr.bytes;
+    u.data.assign(m.data + sizeof(hdr), m.data + m.size);
+    if (PostedRecv* pr = find_match(u.src, u.tag)) {
+        deliver(*pr, u);
+        return;
+    }
+    unexpected_.push_back(std::move(u));
+}
+
+void
+Comm::deliver(PostedRecv& pr, Unexpected& u)
+{
+    pr.matched = true;
+    pr.status.source = u.src;
+    pr.status.tag = u.tag;
+    if (!u.rendezvous) {
+        size_t n = std::min(pr.max, u.data.size());
+        if (n > 0)
+            std::memcpy(pr.buf, u.data.data(), n);
+        // The landed line costs were charged by the queue pop; the
+        // user-buffer copy is the receiver's own work.
+        ctx_.compute(static_cast<double>(ctx_.design().lines(n)) *
+                     ctx_.design().insn(0.1));
+        pr.status.bytes = n;
+        pr.done = true;
+        ++received_;
+        progress_->add(1);
+        return;
+    }
+    // Rendezvous: grant the sender our buffer.
+    CtsMsg cts;
+    cts.sender_cookie = u.cookie;
+    cts.raddr = reinterpret_cast<uint64_t>(pr.buf);
+    cts.allowed = pr.max;
+    cts.recv_slot = static_cast<uint32_t>(&pr - recvs_.data());
+    ep_.request(u.src, h_cts_, &cts, sizeof(cts));
+    // Completion arrives with the data (on_rendezvous_done).
+}
+
+// ------------------------------------------------------------ completion
+
+bool
+Comm::test(Request& req, Status* st)
+{
+    if (!req.active())
+        return true;
+    ep_.poll_all();
+    if (req.idx >= 1'000'000) {
+        PendingSend& ps =
+            sends_[static_cast<size_t>(req.idx - 1'000'000)];
+        if (!ps.done)
+            return false;
+        ps.in_use = false;
+        req.idx = -1;
+        return true;
+    }
+    PostedRecv& pr = recvs_[static_cast<size_t>(req.idx)];
+    if (!pr.done)
+        return false;
+    if (st != nullptr)
+        *st = pr.status;
+    pr.in_use = false;
+    req.idx = -1;
+    return true;
+}
+
+void
+Comm::wait(Request& req, Status* st)
+{
+    if (!req.active())
+        return;
+    sim::Flag& arr = ctx_.arrival_flag();
+    for (;;) {
+        uint64_t a0 = arr.value();
+        if (test(req, st))
+            return;
+        ctx_.wait_either(*progress_, progress_->value() + 1, arr,
+                         a0 + 1);
+    }
+}
+
+} // namespace mpi

@@ -1,0 +1,179 @@
+/// \file
+/// A small MPI-style message-passing layer on Active Messages —
+/// the paper positions RMA and RQ as "an efficient and convenient
+/// layer for implementing higher-level communication protocols such
+/// as Active Messages and MPI"; this module closes that loop.
+///
+/// Two-sided tagged send/receive with the classic dual protocol:
+///   eager:       payloads up to kEagerBytes travel inside the send
+///                message and land in the receiver's unexpected queue
+///                until a matching receive is posted;
+///   rendezvous:  larger sends announce themselves (RTS); the receiver
+///                replies with its posted buffer address (CTS); the
+///                data then moves with a single zero-copy bulk store.
+///
+/// Matching is (source, tag) with kAnySource / kAnyTag wildcards,
+/// FIFO-ordered per (source, tag) pair as MPI requires.
+
+#ifndef MSGPROXY_MPI_MPI_H
+#define MSGPROXY_MPI_MPI_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "am/am.h"
+#include "rma/system.h"
+
+namespace mpi {
+
+/// Wildcard source for recv.
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for recv.
+inline constexpr int kAnyTag = -1;
+
+/// Completed-receive metadata.
+struct Status
+{
+    int source = -1;
+    int tag = -1;
+    size_t bytes = 0;
+};
+
+/// Handle for a non-blocking operation.
+struct Request
+{
+    int idx = -1; ///< internal slot; -1 = inactive/complete
+
+    bool active() const { return idx >= 0; }
+};
+
+/// Per-rank communicator. Construct symmetrically on every rank (one
+/// per am::Endpoint); use only from the owning rank's thread.
+class Comm
+{
+  public:
+    /// Payload bound for the eager protocol.
+    static constexpr size_t kEagerBytes = 4096;
+
+    /// Attaches to `ep`; registers the protocol handlers.
+    Comm(rma::Ctx& ctx, am::Endpoint& ep);
+
+    Comm(const Comm&) = delete;
+    Comm& operator=(const Comm&) = delete;
+
+    /// This rank.
+    int rank() const { return ctx_.rank(); }
+    /// Number of ranks.
+    int size() const { return ctx_.nranks(); }
+
+    /// Blocking tagged send (returns when the payload has been handed
+    /// off: eagerly buffered at the receiver, or transferred to the
+    /// matched rendezvous buffer).
+    void send(const void* buf, size_t n, int dst, int tag);
+
+    /// Blocking tagged receive; returns the matched message's
+    /// metadata through `st` (optional). `max` bytes fit in `buf`;
+    /// longer messages are truncated to `max`.
+    void recv(void* buf, size_t max, int src, int tag,
+              Status* st = nullptr);
+
+    /// Non-blocking send; complete with wait().
+    Request isend(const void* buf, size_t n, int dst, int tag);
+
+    /// Non-blocking receive; complete with wait().
+    Request irecv(void* buf, size_t max, int src, int tag);
+
+    /// Blocks until `req` completes (polling the endpoint).
+    void wait(Request& req, Status* st = nullptr);
+
+    /// True when `req` has completed (non-blocking test; polls once).
+    bool test(Request& req, Status* st = nullptr);
+
+    /// Messages received so far (diagnostics).
+    uint64_t received() const { return received_; }
+
+  private:
+    struct WireHeader
+    {
+        int32_t tag;
+        uint32_t bytes;
+        uint64_t cookie; ///< sender request slot (rendezvous)
+    };
+
+    /// An arrived-but-unmatched eager message or rendezvous announce.
+    struct Unexpected
+    {
+        int src;
+        int tag;
+        uint64_t cookie;          ///< rendezvous: sender slot
+        bool rendezvous;
+        std::vector<uint8_t> data; ///< eager payload
+        size_t bytes;              ///< full message size
+    };
+
+    /// A posted receive.
+    struct PostedRecv
+    {
+        void* buf;
+        size_t max;
+        int src;
+        int tag;
+        bool done = false;
+        /// Matched to a message (rendezvous data may still be in
+        /// flight when done is false).
+        bool matched = false;
+        Status status;
+        bool in_use = false;
+        uint64_t seq = 0; ///< post order (for MPI matching order)
+    };
+
+    /// An outstanding send (rendezvous waits for the CTS+transfer).
+    struct PendingSend
+    {
+        const void* buf;
+        size_t bytes;
+        int dst;
+        bool done = false;
+        bool in_use = false;
+    };
+
+    static bool
+    match(int want_src, int want_tag, int src, int tag)
+    {
+        return (want_src == kAnySource || want_src == src) &&
+               (want_tag == kAnyTag || want_tag == tag);
+    }
+
+    int alloc_recv_slot();
+    int alloc_send_slot();
+
+    void on_eager(const am::Msg& m);
+    void on_rts(const am::Msg& m);
+    void on_cts(const am::Msg& m);
+    void on_rendezvous_done(const am::Msg& m);
+
+    /// Delivers an unexpected entry into a posted receive slot.
+    void deliver(PostedRecv& pr, Unexpected& u);
+
+    rma::Ctx& ctx_;
+    am::Endpoint& ep_;
+    int h_eager_;
+    int h_rts_;
+    int h_cts_;
+    int h_rdone_;
+
+    std::deque<Unexpected> unexpected_;
+    std::vector<PostedRecv> recvs_;
+    std::vector<PendingSend> sends_;
+    sim::Flag* progress_; ///< bumped whenever any request completes
+    uint64_t received_ = 0;
+    uint64_t post_seq_ = 0;
+
+    /// Earliest-posted live receive matching (src, tag), or nullptr.
+    PostedRecv* find_match(int src, int tag);
+};
+
+} // namespace mpi
+
+#endif // MSGPROXY_MPI_MPI_H

@@ -1,0 +1,600 @@
+#include "proxy/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+
+#include "util/log.h"
+
+namespace proxy {
+
+namespace {
+
+/// CPU relax in spin loops; falls back to yield so the runtime stays
+/// live-locked-free even on a single hardware thread.
+inline void
+relax(int& spins)
+{
+    ++spins;
+    if (spins < 64) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+    } else {
+        std::this_thread::yield();
+        spins = 0;
+    }
+}
+
+} // namespace
+
+void
+flag_wait_ge(const Flag& f, uint64_t v)
+{
+    int spins = 0;
+    while (f.load(std::memory_order_acquire) < v)
+        relax(spins);
+}
+
+// ---------------------------------------------------------------- Endpoint
+
+int
+Endpoint::node() const
+{
+    return node_.id();
+}
+
+uint16_t
+Endpoint::register_segment(void* base, size_t len, bool remote_access)
+{
+    MP_CHECK(!node_.running_.load(std::memory_order_acquire),
+             "segments must be registered before Node::start()");
+    Node::Segment seg;
+    seg.base = static_cast<uint8_t*>(base);
+    seg.len = len;
+    seg.remote_access = remote_access;
+    seg.owner_endpoint = id_;
+    node_.segments_.push_back(seg);
+    return static_cast<uint16_t>(node_.segments_.size() - 1);
+}
+
+bool
+Endpoint::put(const void* src, int dst_node, uint16_t dst_seg,
+              uint64_t dst_off, uint32_t len, Flag* lsync, Flag* rsync)
+{
+    Command c;
+    c.op = Command::Op::kPut;
+    c.dst_node = dst_node;
+    c.dst_seg = dst_seg;
+    c.dst_off = dst_off;
+    c.src = src;
+    c.len = len;
+    c.lsync = lsync;
+    c.rsync = rsync;
+    if (!cmdq_.try_push(c))
+        return false;
+    node_.note_command_posted(id_);
+    return true;
+}
+
+bool
+Endpoint::get(void* dst, int dst_node, uint16_t dst_seg, uint64_t dst_off,
+              uint32_t len, Flag* lsync)
+{
+    Command c;
+    c.op = Command::Op::kGet;
+    c.dst_node = dst_node;
+    c.dst_seg = dst_seg;
+    c.dst_off = dst_off;
+    c.dst = dst;
+    c.len = len;
+    c.lsync = lsync;
+    if (!cmdq_.try_push(c))
+        return false;
+    node_.note_command_posted(id_);
+    return true;
+}
+
+bool
+Endpoint::enq(const void* data, uint32_t len, int dst_node, int dst_user,
+              Flag* lsync)
+{
+    if (len > Command::kMaxEnqBytes)
+        return false; // single-packet small messages only
+    Command c;
+    c.op = Command::Op::kEnq;
+    c.dst_node = dst_node;
+    c.dst_user = dst_user;
+    c.len = len;
+    c.lsync = lsync;
+    if (len > 0)
+        std::memcpy(c.inline_data, data, len);
+    if (!cmdq_.try_push(std::move(c)))
+        return false;
+    node_.note_command_posted(id_);
+    return true;
+}
+
+bool
+Endpoint::try_recv(std::vector<uint8_t>& out)
+{
+    return recvq_.try_pop(out);
+}
+
+bool
+Endpoint::rq_enq(const void* data, uint32_t len, int dst_node, int qid,
+                 Flag* lsync)
+{
+    if (len > Command::kMaxEnqBytes)
+        return false;
+    Command c;
+    c.op = Command::Op::kRqEnq;
+    c.dst_node = dst_node;
+    c.dst_user = qid; // queue id rides in the dst_user field
+    c.len = len;
+    c.lsync = lsync;
+    if (len > 0)
+        std::memcpy(c.inline_data, data, len);
+    if (!cmdq_.try_push(std::move(c)))
+        return false;
+    node_.note_command_posted(id_);
+    return true;
+}
+
+bool
+Endpoint::rq_deq(void* dst, uint32_t max, int dst_node, int qid,
+                 Flag* lsync)
+{
+    Command c;
+    c.op = Command::Op::kRqDeq;
+    c.dst_node = dst_node;
+    c.dst_user = qid;
+    c.dst = dst;
+    c.len = max;
+    c.lsync = lsync;
+    if (!cmdq_.try_push(c))
+        return false;
+    node_.note_command_posted(id_);
+    return true;
+}
+
+// -------------------------------------------------------------------- Node
+
+Node::Node(int id, PollMode poll_mode)
+    : id_(id), poll_mode_(poll_mode)
+{
+}
+
+Node::~Node()
+{
+    stop();
+}
+
+Endpoint&
+Node::create_endpoint()
+{
+    MP_CHECK(!running_.load(std::memory_order_acquire),
+             "endpoints must be created before Node::start()");
+    endpoints_.push_back(
+        std::unique_ptr<Endpoint>(new Endpoint(*this, static_cast<int>(
+                                                          endpoints_.size()))));
+    return *endpoints_.back();
+}
+
+int
+Node::create_queue()
+{
+    MP_CHECK(!running_.load(std::memory_order_acquire),
+             "queues must be created before Node::start()");
+    rqueues_.emplace_back();
+    return static_cast<int>(rqueues_.size()) - 1;
+}
+
+void
+Node::connect(Node& a, Node& b)
+{
+    MP_CHECK(!a.running_.load() && !b.running_.load(),
+             "connect before start");
+    size_t need_a = static_cast<size_t>(b.id_) + 1;
+    size_t need_b = static_cast<size_t>(a.id_) + 1;
+    if (a.out_.size() < need_a)
+        a.out_.resize(need_a);
+    if (a.in_.size() < need_a)
+        a.in_.resize(need_a);
+    if (b.out_.size() < need_b)
+        b.out_.resize(need_b);
+    if (b.in_.size() < need_b)
+        b.in_.resize(need_b);
+    auto ab = std::make_shared<Channel>();
+    auto ba = std::make_shared<Channel>();
+    a.out_[static_cast<size_t>(b.id_)] = ab;
+    b.in_[static_cast<size_t>(a.id_)] = ab;
+    b.out_[static_cast<size_t>(a.id_)] = ba;
+    a.in_[static_cast<size_t>(b.id_)] = ba;
+}
+
+void
+Node::start()
+{
+    MP_CHECK(!running_.load(), "node already started");
+    running_.store(true, std::memory_order_release);
+    proxy_ = std::thread([this] { proxy_main(); });
+}
+
+void
+Node::stop()
+{
+    if (running_.exchange(false) && proxy_.joinable())
+        proxy_.join();
+}
+
+Node::Channel*
+Node::out_channel(int dst_node)
+{
+    if (dst_node < 0 || static_cast<size_t>(dst_node) >= out_.size())
+        return nullptr;
+    return out_[static_cast<size_t>(dst_node)].get();
+}
+
+bool
+Node::send_packet(int dst_node, std::unique_ptr<Packet> pkt)
+{
+    if (dst_node == id_) {
+        // Loopback: the proxy serves intra-node traffic directly.
+        // Request kinds that generate replies are deferred to the
+        // main loop so handling never recurses.
+        if (pkt->kind == Packet::Kind::kGetReq ||
+            pkt->kind == Packet::Kind::kRqDeqReq) {
+            deferred_reqs_.push_back(std::move(pkt));
+        } else {
+            handle_packet(*pkt);
+        }
+        return true;
+    }
+    Channel* ch = out_channel(dst_node);
+    if (ch == nullptr) {
+        ++stats_.faults;
+        return false; // unconnected destination
+    }
+    int spins = 0;
+    while (!ch->ring.try_push(std::move(pkt))) {
+        // Keep draining our own input while the peer's ring is full so
+        // two saturated proxies cannot deadlock. Requests that would
+        // generate new sends are deferred to the main loop.
+        bool progressed = false;
+        for (auto& in : in_) {
+            if (!in)
+                continue;
+            std::unique_ptr<Packet> p;
+            if (in->ring.try_pop(p)) {
+                progressed = true;
+                if (p->kind == Packet::Kind::kGetReq ||
+                    p->kind == Packet::Kind::kRqDeqReq) {
+                    deferred_reqs_.push_back(std::move(p));
+                } else {
+                    handle_packet(*p);
+                }
+            }
+        }
+        if (!progressed)
+            relax(spins);
+    }
+    ++stats_.packets_out;
+    return true;
+}
+
+void
+Node::handle_command(Endpoint& ep, const Command& cmd)
+{
+    ++stats_.commands;
+    switch (cmd.op) {
+      case Command::Op::kPut: {
+        const auto* src = static_cast<const uint8_t*>(cmd.src);
+        uint32_t sent = 0;
+        while (sent < cmd.len || cmd.len == 0) {
+            uint32_t frag = std::min(cmd.len - sent, kMtu);
+            auto pkt = std::make_unique<Packet>();
+            pkt->kind = Packet::Kind::kPutData;
+            pkt->src_node = id_;
+            pkt->src_user = ep.id();
+            pkt->seg = cmd.dst_seg;
+            pkt->off = cmd.dst_off + sent;
+            pkt->len = frag;
+            bool last = (sent + frag >= cmd.len);
+            pkt->flags = last ? 1 : 0;
+            pkt->ccb = last ? reinterpret_cast<uint64_t>(cmd.rsync) : 0;
+            if (frag > 0)
+                std::memcpy(pkt->payload, src + sent, frag);
+            send_packet(cmd.dst_node, std::move(pkt));
+            sent += frag;
+            if (cmd.len == 0)
+                break;
+        }
+        if (cmd.lsync != nullptr)
+            cmd.lsync->fetch_add(1, std::memory_order_release);
+        break;
+      }
+      case Command::Op::kGet: {
+        size_t idx;
+        if (!free_ccbs_.empty()) {
+            idx = free_ccbs_.back();
+            free_ccbs_.pop_back();
+        } else {
+            idx = ccbs_.size();
+            ccbs_.push_back(Ccb{});
+        }
+        ccbs_[idx] = Ccb{cmd.dst, cmd.len, cmd.lsync};
+        auto pkt = std::make_unique<Packet>();
+        pkt->kind = Packet::Kind::kGetReq;
+        pkt->src_node = id_;
+        pkt->src_user = ep.id();
+        pkt->seg = cmd.dst_seg;
+        pkt->off = cmd.dst_off;
+        pkt->len = cmd.len;
+        pkt->ccb = idx;
+        send_packet(cmd.dst_node, std::move(pkt));
+        break;
+      }
+      case Command::Op::kEnq: {
+        auto pkt = std::make_unique<Packet>();
+        pkt->kind = Packet::Kind::kEnqData;
+        pkt->src_node = id_;
+        pkt->src_user = ep.id();
+        pkt->seg = static_cast<uint16_t>(cmd.dst_user);
+        pkt->off = 0;
+        pkt->len = cmd.len;
+        pkt->flags = 1;
+        if (cmd.len > 0)
+            std::memcpy(pkt->payload, cmd.inline_data, cmd.len);
+        send_packet(cmd.dst_node, std::move(pkt));
+        if (cmd.lsync != nullptr)
+            cmd.lsync->fetch_add(1, std::memory_order_release);
+        break;
+      }
+      case Command::Op::kRqEnq: {
+        auto pkt = std::make_unique<Packet>();
+        pkt->kind = Packet::Kind::kRqEnqData;
+        pkt->src_node = id_;
+        pkt->src_user = ep.id();
+        pkt->seg = static_cast<uint16_t>(cmd.dst_user); // queue id
+        pkt->len = cmd.len;
+        pkt->flags = 1;
+        if (cmd.len > 0)
+            std::memcpy(pkt->payload, cmd.inline_data, cmd.len);
+        send_packet(cmd.dst_node, std::move(pkt));
+        if (cmd.lsync != nullptr)
+            cmd.lsync->fetch_add(1, std::memory_order_release);
+        break;
+      }
+      case Command::Op::kRqDeq: {
+        size_t idx;
+        if (!free_ccbs_.empty()) {
+            idx = free_ccbs_.back();
+            free_ccbs_.pop_back();
+        } else {
+            idx = ccbs_.size();
+            ccbs_.push_back(Ccb{});
+        }
+        ccbs_[idx] = Ccb{cmd.dst, cmd.len, cmd.lsync};
+        auto pkt = std::make_unique<Packet>();
+        pkt->kind = Packet::Kind::kRqDeqReq;
+        pkt->src_node = id_;
+        pkt->src_user = ep.id();
+        pkt->seg = static_cast<uint16_t>(cmd.dst_user);
+        pkt->len = cmd.len;
+        pkt->ccb = idx;
+        send_packet(cmd.dst_node, std::move(pkt));
+        break;
+      }
+      case Command::Op::kNop:
+        break;
+    }
+}
+
+void
+Node::handle_packet(Packet& pkt)
+{
+    ++stats_.packets_in;
+    switch (pkt.kind) {
+      case Packet::Kind::kPutData: {
+        if (pkt.seg >= segments_.size()) {
+            ++stats_.faults;
+            return;
+        }
+        const Segment& seg = segments_[pkt.seg];
+        if (!seg.remote_access || pkt.off + pkt.len > seg.len) {
+            ++stats_.faults;
+            return;
+        }
+        if (pkt.len > 0)
+            std::memcpy(seg.base + pkt.off, pkt.payload, pkt.len);
+        if ((pkt.flags & 1) != 0 && pkt.ccb != 0) {
+            // rsync flag lives in this node's address space.
+            reinterpret_cast<Flag*>(pkt.ccb)->fetch_add(
+                1, std::memory_order_release);
+        }
+        break;
+      }
+      case Packet::Kind::kGetReq: {
+        bool ok = pkt.seg < segments_.size();
+        const Segment* seg = ok ? &segments_[pkt.seg] : nullptr;
+        ok = ok && seg->remote_access && pkt.off + pkt.len <= seg->len;
+        if (!ok) {
+            ++stats_.faults;
+            // Fault reply: zero-length final fragment so the
+            // requester's lsync still fires.
+            auto rep = std::make_unique<Packet>();
+            rep->kind = Packet::Kind::kGetData;
+            rep->src_node = id_;
+            rep->len = 0;
+            rep->off = 0;
+            rep->flags = 1;
+            rep->ccb = pkt.ccb;
+            send_packet(pkt.src_node, std::move(rep));
+            return;
+        }
+        uint32_t sent = 0;
+        while (sent < pkt.len || pkt.len == 0) {
+            uint32_t frag = std::min(pkt.len - sent, kMtu);
+            auto rep = std::make_unique<Packet>();
+            rep->kind = Packet::Kind::kGetData;
+            rep->src_node = id_;
+            rep->len = frag;
+            rep->off = sent;
+            rep->flags = (sent + frag >= pkt.len) ? 1 : 0;
+            rep->ccb = pkt.ccb;
+            if (frag > 0)
+                std::memcpy(rep->payload, seg->base + pkt.off + sent,
+                            frag);
+            send_packet(pkt.src_node, std::move(rep));
+            sent += frag;
+            if (pkt.len == 0)
+                break;
+        }
+        break;
+      }
+      case Packet::Kind::kGetData: {
+        MP_CHECK(pkt.ccb < ccbs_.size(), "bad CCB in GET reply");
+        Ccb& ccb = ccbs_[pkt.ccb];
+        if (pkt.len > 0) {
+            std::memcpy(static_cast<uint8_t*>(ccb.dst) + pkt.off,
+                        pkt.payload, pkt.len);
+        }
+        ccb.remaining -= std::min(ccb.remaining, pkt.len);
+        if ((pkt.flags & 1) != 0) {
+            if (ccb.lsync != nullptr) {
+                ccb.lsync->fetch_add(1, std::memory_order_release);
+            }
+            free_ccbs_.push_back(static_cast<size_t>(pkt.ccb));
+        }
+        break;
+      }
+      case Packet::Kind::kEnqData: {
+        auto user = static_cast<size_t>(pkt.seg);
+        if (user >= endpoints_.size()) {
+            ++stats_.faults;
+            return;
+        }
+        if (!endpoints_[user]->recvq_.try_push(pkt.payload, pkt.len))
+            ++stats_.enq_drops;
+        break;
+      }
+      case Packet::Kind::kRqEnqData: {
+        auto qid = static_cast<size_t>(pkt.seg);
+        if (qid >= rqueues_.size()) {
+            ++stats_.faults;
+            return;
+        }
+        rqueues_[qid].emplace_back(pkt.payload, pkt.payload + pkt.len);
+        break;
+      }
+      case Packet::Kind::kRqDeqReq: {
+        auto rep = std::make_unique<Packet>();
+        rep->kind = Packet::Kind::kRqDeqData;
+        rep->src_node = id_;
+        rep->ccb = pkt.ccb;
+        rep->off = 0;
+        auto qid = static_cast<size_t>(pkt.seg);
+        if (qid >= rqueues_.size()) {
+            ++stats_.faults;
+            rep->len = 0;
+            rep->flags = 1 | 2; // final + empty
+        } else if (rqueues_[qid].empty()) {
+            rep->len = 0;
+            rep->flags = 1 | 2;
+        } else {
+            auto& msg = rqueues_[qid].front();
+            uint32_t n = std::min<uint32_t>(
+                {static_cast<uint32_t>(msg.size()), pkt.len, kMtu});
+            rep->len = n;
+            rep->flags = 1;
+            if (n > 0)
+                std::memcpy(rep->payload, msg.data(), n);
+            rqueues_[qid].pop_front();
+        }
+        send_packet(pkt.src_node, std::move(rep));
+        break;
+      }
+      case Packet::Kind::kRqDeqData: {
+        MP_CHECK(pkt.ccb < ccbs_.size(), "bad CCB in DEQ reply");
+        Ccb& ccb = ccbs_[pkt.ccb];
+        if (pkt.len > 0)
+            std::memcpy(ccb.dst, pkt.payload, pkt.len);
+        if (ccb.lsync != nullptr) {
+            ccb.lsync->fetch_add(1 + pkt.len,
+                                 std::memory_order_release);
+        }
+        free_ccbs_.push_back(static_cast<size_t>(pkt.ccb));
+        break;
+      }
+      case Packet::Kind::kAck:
+        break;
+    }
+}
+
+void
+Node::proxy_main()
+{
+    // Figure 5 of the paper: scan registered command queues and the
+    // network input round-robin, forever.
+    while (running_.load(std::memory_order_acquire)) {
+        ++stats_.polls;
+        bool progressed = false;
+
+        while (!deferred_reqs_.empty()) {
+            auto p = std::move(deferred_reqs_.front());
+            deferred_reqs_.pop_front();
+            handle_packet(*p);
+            progressed = true;
+        }
+
+        if (poll_mode_ == PollMode::kBitVector) {
+            // One probe covers every command queue: consume the mask,
+            // then drain exactly the flagged queues. A producer that
+            // enqueues after the exchange re-sets its bit, so nothing
+            // is lost.
+            uint64_t mask =
+                cmd_mask_.exchange(0, std::memory_order_acquire);
+            while (mask != 0) {
+                int i = __builtin_ctzll(mask);
+                mask &= mask - 1;
+                // Beyond 64 endpoints the bits alias (id mod 64):
+                // drain every endpoint sharing this bit.
+                for (size_t e = static_cast<size_t>(i);
+                     e < endpoints_.size(); e += 64) {
+                    Endpoint& ep = *endpoints_[e];
+                    Command cmd;
+                    while (ep.cmdq_.try_pop(cmd)) {
+                        handle_command(ep, cmd);
+                        progressed = true;
+                    }
+                }
+            }
+        } else {
+            for (auto& ep : endpoints_) {
+                Command cmd;
+                int budget = 8; // bounded batch per queue per scan
+                while (budget-- > 0 && ep->cmdq_.try_pop(cmd)) {
+                    handle_command(*ep, cmd);
+                    progressed = true;
+                }
+            }
+        }
+        for (auto& in : in_) {
+            if (!in)
+                continue;
+            std::unique_ptr<Packet> p;
+            int budget = 16;
+            while (budget-- > 0 && in->ring.try_pop(p)) {
+                handle_packet(*p);
+                progressed = true;
+            }
+        }
+        if (!progressed) {
+            // Idle: stay polite on oversubscribed hosts.
+            std::this_thread::yield();
+        }
+    }
+}
+
+} // namespace proxy

@@ -1,0 +1,300 @@
+/// \file
+/// The real (host-thread) message-proxy runtime: the Section 4
+/// implementation of the paper, realized with std::thread and the
+/// lock-free SPSC queues of spsc/ring_queue.h.
+///
+/// One Node models one SMP: a set of user endpoints plus a dedicated
+/// proxy thread that polls every endpoint's command queue and the
+/// inter-node channels round-robin, exactly like Figure 5 of the
+/// paper. Users submit PUT/GET/ENQ commands through their private
+/// command queues; the proxy validates segment permissions, moves the
+/// data (zero-copy between registered segments), and signals
+/// completion through atomic flags. The implementation is lock-free
+/// end-to-end, interrupt-free, and protected: a user can only reach
+/// remote memory through segments the owner registered for remote
+/// access.
+///
+/// Remote addresses are (node, segment, offset) triples, mirroring
+/// the paper's asid-relative addressing.
+
+#ifndef MSGPROXY_PROXY_RUNTIME_H
+#define MSGPROXY_PROXY_RUNTIME_H
+
+#include <atomic>
+#include <deque>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "spsc/ring_queue.h"
+
+namespace proxy {
+
+/// Completion flag: the runtime increments it with release ordering;
+/// users poll or spin with acquire ordering.
+using Flag = std::atomic<uint64_t>;
+
+/// Spin until flag >= v (with a CPU-relax hint).
+void flag_wait_ge(const Flag& f, uint64_t v);
+
+/// A communication command as it sits in a user command queue.
+struct Command
+{
+    enum class Op : uint8_t {
+        kNop,
+        kPut,
+        kGet,
+        kEnq,   ///< message to an endpoint's receive ring
+        kRqEnq, ///< append to a proxy-managed remote queue
+        kRqDeq  ///< dequeue from a proxy-managed remote queue
+    };
+
+    /// ENQ payloads are copied inline at submission (eager-send
+    /// semantics for small messages); PUT sources are referenced and
+    /// must stay valid until lsync fires (zero-copy semantics).
+    static constexpr uint32_t kMaxEnqBytes = 256;
+
+    Op op = Op::kNop;
+    int32_t dst_node = -1;
+    int32_t dst_user = -1;  ///< ENQ: receiving endpoint on dst_node
+    uint16_t dst_seg = 0;   ///< PUT/GET: target segment id
+    uint64_t dst_off = 0;   ///< PUT/GET: offset within the segment
+    const void* src = nullptr; ///< PUT: local source (referenced)
+    void* dst = nullptr;       ///< GET: local destination
+    uint32_t len = 0;
+    Flag* lsync = nullptr;
+    Flag* rsync = nullptr;
+    uint8_t inline_data[kMaxEnqBytes]; ///< ENQ payload (copied)
+};
+
+/// Runtime counters (per node). Atomic so user threads can observe
+/// them while the proxy runs.
+struct NodeStats
+{
+    std::atomic<uint64_t> commands{0}; ///< commands consumed
+    std::atomic<uint64_t> packets_in{0};
+    std::atomic<uint64_t> packets_out{0};
+    std::atomic<uint64_t> faults{0};    ///< violations suppressed
+    std::atomic<uint64_t> enq_drops{0}; ///< receive-ring overflows
+    std::atomic<uint64_t> polls{0};     ///< proxy loop iterations
+};
+
+class Node;
+
+/// A user process's interface to its node's message proxy.
+///
+/// Thread model: exactly one user thread may operate on an Endpoint
+/// (its command queue is single-producer; its receive ring is
+/// single-consumer).
+class Endpoint
+{
+  public:
+    /// Registers `len` bytes at `base` as segment usable by remote
+    /// nodes when `remote_access` is true. Returns the segment id
+    /// (node-wide address space, mirroring the paper's asid model).
+    uint16_t register_segment(void* base, size_t len,
+                              bool remote_access = true);
+
+    /// Asynchronous PUT into (node, segment, offset). lsync is
+    /// incremented when the command and data have been handed to the
+    /// wire (the source buffer is then reusable); rsync is a flag in
+    /// the destination node's address space, incremented there once
+    /// the data is in place. The source must stay valid until lsync
+    /// fires. Returns false when the command queue is full (retry).
+    bool put(const void* src, int dst_node, uint16_t dst_seg,
+             uint64_t dst_off, uint32_t len, Flag* lsync = nullptr,
+             Flag* rsync = nullptr);
+
+    /// Asynchronous GET from (node, segment, offset) into dst; lsync
+    /// increments when the data has arrived.
+    bool get(void* dst, int dst_node, uint16_t dst_seg, uint64_t dst_off,
+             uint32_t len, Flag* lsync = nullptr);
+
+    /// Asynchronous message enqueue to endpoint `dst_user` on
+    /// `dst_node`; the payload (at most Command::kMaxEnqBytes) is
+    /// copied at submission, so `data` is immediately reusable. lsync
+    /// increments when handed to the wire.
+    bool enq(const void* data, uint32_t len, int dst_node, int dst_user,
+             Flag* lsync = nullptr);
+
+    /// Non-blocking receive from this endpoint's message ring.
+    bool try_recv(std::vector<uint8_t>& out);
+
+    // ----- proxy-managed remote queues (the paper's RQ primitive) ---
+
+    /// Appends a message to remote queue `qid` on `dst_node`; lsync
+    /// increments when handed to the wire. Payload is copied at
+    /// submission (max Command::kMaxEnqBytes).
+    bool rq_enq(const void* data, uint32_t len, int dst_node, int qid,
+                Flag* lsync = nullptr);
+
+    /// Dequeues the head of remote queue `qid` on `dst_node` into
+    /// `dst` (up to `max` bytes). When the reply arrives, lsync is
+    /// incremented by 1 + bytes received (exactly 1 if the queue was
+    /// empty), mirroring the simulator's DEQ semantics.
+    bool rq_deq(void* dst, uint32_t max, int dst_node, int qid,
+                Flag* lsync);
+
+    /// Endpoint index on its node.
+    int id() const { return id_; }
+
+    /// Owning node id.
+    int node() const;
+
+    /// Diagnostic flag bumped on protection faults observed locally.
+    Flag& fault_flag() { return faults_; }
+
+  private:
+    friend class Node;
+
+    explicit Endpoint(Node& node, int id) : node_(node), id_(id) {}
+
+    Node& node_;
+    int id_;
+    spsc::RingQueue<Command, 256> cmdq_;
+    spsc::MsgRing<1 << 16> recvq_;
+    Flag faults_{0};
+};
+
+/// One simulated SMP node with a dedicated proxy thread.
+class Node
+{
+  public:
+    /// How the proxy discovers non-empty command queues.
+    enum class PollMode {
+        kScanAll,  ///< probe every queue head each loop (Figure 5)
+        kBitVector ///< cooperative shared bit vector: producers set
+                   ///< their bit on enqueue and the proxy probes all
+                   ///< queues in one load (the Section 4.1
+                   ///< acceleration; supports up to 64 endpoints)
+    };
+
+    /// Creates node `id`. Call connect() to wire nodes together, then
+    /// start() to launch the proxy.
+    explicit Node(int id, PollMode poll_mode = PollMode::kBitVector);
+    ~Node();
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    /// Creates a user endpoint (before start()).
+    Endpoint& create_endpoint();
+
+    /// Creates a proxy-managed remote queue on this node (before
+    /// start()); returns its id. Any endpoint on any connected node
+    /// may rq_enq/rq_deq it; the owning proxy serializes access —
+    /// this is the paper's Remote Queue with the proxy as the single
+    /// trusted manipulator of the queue pointers.
+    int create_queue();
+
+    /// Wires a full-duplex channel between two nodes (before start()
+    /// on either).
+    static void connect(Node& a, Node& b);
+
+    /// Launches the proxy thread.
+    void start();
+
+    /// Stops the proxy thread (also called by the destructor).
+    void stop();
+
+    /// Node id.
+    int id() const { return id_; }
+
+    /// Runtime counters (readable while running; approximate).
+    const NodeStats& stats() const { return stats_; }
+
+  private:
+    friend class Endpoint;
+
+    /// Maximum payload carried by one wire packet.
+    static constexpr uint32_t kMtu = 1024;
+
+    struct Packet
+    {
+        enum class Kind : uint8_t {
+            kPutData,   ///< payload -> segment memory
+            kGetReq,    ///< request for data
+            kGetData,   ///< reply payload -> CCB destination
+            kEnqData,   ///< payload -> endpoint receive ring
+            kRqEnqData, ///< payload -> proxy-managed remote queue
+            kRqDeqReq,  ///< dequeue request (ccb identifies requester)
+            kRqDeqData, ///< dequeue reply (flags bit1: queue was empty)
+            kAck        ///< rsync/lsync acknowledgment
+        };
+        Kind kind;
+        uint8_t flags = 0; ///< bit0: last fragment
+        int32_t src_node;
+        int32_t src_user;
+        uint16_t seg;
+        uint32_t len;
+        uint64_t off;
+        uint64_t ccb;      ///< requester cookie for GET replies / acks
+        uint8_t payload[kMtu];
+    };
+
+    struct Channel
+    {
+        spsc::RingQueue<std::unique_ptr<Packet>, 1024> ring;
+    };
+
+    struct Segment
+    {
+        uint8_t* base;
+        size_t len;
+        bool remote_access;
+        int owner_endpoint;
+    };
+
+    /// Outstanding GET bookkeeping (proxy-thread private).
+    struct Ccb
+    {
+        void* dst;
+        uint32_t remaining;
+        Flag* lsync;
+    };
+
+    /// Producer-side half of the bit-vector protocol: marks endpoint
+    /// `user` as having pending commands (no-op in kScanAll mode).
+    void
+    note_command_posted(int user)
+    {
+        if (poll_mode_ == PollMode::kBitVector) {
+            cmd_mask_.fetch_or(uint64_t{1} << (user & 63),
+                               std::memory_order_release);
+        }
+    }
+
+    void proxy_main();
+    void handle_command(Endpoint& ep, const Command& cmd);
+    void handle_packet(Packet& pkt);
+    bool send_packet(int dst_node, std::unique_ptr<Packet> pkt);
+    Channel* out_channel(int dst_node);
+
+    int id_;
+    std::vector<std::unique_ptr<Endpoint>> endpoints_;
+    std::vector<Segment> segments_;
+    // out_[n] / in_[n]: channels to/from node n (nullptr: unconnected)
+    std::vector<std::shared_ptr<Channel>> out_;
+    std::vector<std::shared_ptr<Channel>> in_;
+    std::vector<Ccb> ccbs_;
+    /// Proxy-managed remote queues (only the proxy thread touches
+    /// them after start()).
+    std::vector<std::deque<std::vector<uint8_t>>> rqueues_;
+    std::vector<size_t> free_ccbs_;
+    /// GET requests deferred while draining inside send_packet (they
+    /// would generate new sends and could recurse unboundedly).
+    std::deque<std::unique_ptr<Packet>> deferred_reqs_;
+    NodeStats stats_;
+    PollMode poll_mode_;
+    /// Shared command-queue occupancy bits (bit i: endpoint i may
+    /// have commands). Producers set with release; the proxy clears
+    /// before draining so arrivals are never lost.
+    std::atomic<uint64_t> cmd_mask_{0};
+    std::thread proxy_;
+    std::atomic<bool> running_{false};
+};
+
+} // namespace proxy
+
+#endif // MSGPROXY_PROXY_RUNTIME_H

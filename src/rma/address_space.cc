@@ -1,0 +1,85 @@
+#include "rma/address_space.h"
+
+#include <cstdint>
+
+#include "util/log.h"
+
+namespace rma {
+
+void*
+AddressSpace::alloc(size_t n, bool shared)
+{
+    MP_CHECK(n > 0, "zero-byte allocation in rank " << owner_);
+    // Over-allocate to carve out a 64-byte aligned base.
+    size_t padded = n + 64;
+    auto storage = std::make_unique<char[]>(padded);
+    auto raw = reinterpret_cast<uintptr_t>(storage.get());
+    uintptr_t aligned = (raw + 63) & ~static_cast<uintptr_t>(63);
+    char* base = reinterpret_cast<char*>(aligned);
+
+    Segment seg;
+    seg.base = base;
+    seg.len = n;
+    seg.shared = shared;
+    seg.storage = std::move(storage);
+    segments_.push_back(std::move(seg));
+    registered_bytes_ += n;
+    return base;
+}
+
+void
+AddressSpace::register_segment(void* p, size_t n, bool shared)
+{
+    MP_CHECK(p != nullptr && n > 0, "bad segment registration");
+    Segment seg;
+    seg.base = static_cast<char*>(p);
+    seg.len = n;
+    seg.shared = shared;
+    segments_.push_back(std::move(seg));
+    registered_bytes_ += n;
+}
+
+bool
+AddressSpace::grant(const void* addr, int rank)
+{
+    Segment* seg = find_mutable(const_cast<void*>(addr));
+    if (seg == nullptr)
+        return false;
+    seg->grants.insert(rank);
+    return true;
+}
+
+bool
+AddressSpace::check(int accessor, const void* addr, size_t n) const
+{
+    if (accessor == owner_)
+        return find(addr, n) != nullptr;
+    const Segment* seg = find(addr, n);
+    if (seg == nullptr)
+        return false;
+    return seg->shared || seg->grants.count(accessor) > 0;
+}
+
+const AddressSpace::Segment*
+AddressSpace::find(const void* addr, size_t n) const
+{
+    const char* p = static_cast<const char*>(addr);
+    for (const auto& seg : segments_) {
+        if (p >= seg.base && p + n <= seg.base + seg.len)
+            return &seg;
+    }
+    return nullptr;
+}
+
+AddressSpace::Segment*
+AddressSpace::find_mutable(const void* addr)
+{
+    const char* p = static_cast<const char*>(addr);
+    for (auto& seg : segments_) {
+        if (p >= seg.base && p < seg.base + seg.len)
+            return &seg;
+    }
+    return nullptr;
+}
+
+} // namespace rma

@@ -1,0 +1,89 @@
+/// \file
+/// Per-rank simulated address spaces with segment-level protection.
+///
+/// In the paper, remote addresses are relative to an address space
+/// identified by an asid; "the system faults a process that tries to
+/// access an address space without first getting permission to do so."
+/// Here every rank owns an AddressSpace: a set of registered segments,
+/// each either shared with all ranks or restricted to an explicit
+/// grant list. Backends validate each remote access against the
+/// target's segment table at handling time; violations are recorded
+/// as faults and the access is suppressed.
+
+#ifndef MSGPROXY_RMA_ADDRESS_SPACE_H
+#define MSGPROXY_RMA_ADDRESS_SPACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rma {
+
+/// A recorded protection violation.
+struct Fault
+{
+    int accessor_rank;  ///< rank that attempted the access
+    int owner_rank;     ///< asid whose space was targeted
+    const void* addr;   ///< first byte of the attempted access
+    size_t nbytes;      ///< attempted length
+    double time_us;     ///< simulated time of the attempt
+};
+
+/// The registered memory of one simulated rank.
+class AddressSpace
+{
+  public:
+    /// Creates the address space for `owner_rank`.
+    explicit AddressSpace(int owner_rank) : owner_(owner_rank) {}
+
+    AddressSpace(const AddressSpace&) = delete;
+    AddressSpace& operator=(const AddressSpace&) = delete;
+    AddressSpace(AddressSpace&&) = default;
+    AddressSpace& operator=(AddressSpace&&) = default;
+
+    /// Allocates and registers `n` bytes. If `shared` is true any rank
+    /// may access the segment; otherwise only ranks granted later may.
+    /// Returned storage is 64-byte aligned and owned by this object.
+    void* alloc(size_t n, bool shared);
+
+    /// Registers caller-owned memory as a segment (not freed here).
+    void register_segment(void* p, size_t n, bool shared);
+
+    /// Grants `rank` access to the segment containing `addr`.
+    /// Returns false if `addr` is not inside a registered segment.
+    bool grant(const void* addr, int rank);
+
+    /// True if `accessor` may touch [addr, addr+n) in this space.
+    /// The owner may always access its own segments.
+    bool check(int accessor, const void* addr, size_t n) const;
+
+    /// Total bytes registered.
+    size_t registered_bytes() const { return registered_bytes_; }
+
+    /// Owning rank (the asid).
+    int owner() const { return owner_; }
+
+  private:
+    struct Segment
+    {
+        char* base;
+        size_t len;
+        bool shared;
+        std::set<int> grants;
+        std::unique_ptr<char[]> storage; ///< null for register_segment
+    };
+
+    const Segment* find(const void* addr, size_t n) const;
+    Segment* find_mutable(const void* addr);
+
+    int owner_;
+    size_t registered_bytes_ = 0;
+    std::vector<Segment> segments_;
+};
+
+} // namespace rma
+
+#endif // MSGPROXY_RMA_ADDRESS_SPACE_H

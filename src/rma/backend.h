@@ -1,0 +1,79 @@
+/// \file
+/// Abstract interface that the three protected-communication
+/// architectures implement (Section 2): custom hardware, message
+/// proxies, and system-call based communication.
+
+#ifndef MSGPROXY_RMA_BACKEND_H
+#define MSGPROXY_RMA_BACKEND_H
+
+#include <string>
+#include <vector>
+
+#include "rma/op.h"
+
+namespace sim {
+class SimThread;
+} // namespace sim
+
+namespace rma {
+
+/// One row of the Table 2 critical-path trace: a primitive operation
+/// executed by some agent, its symbolic cost term, and its value.
+struct TraceEntry
+{
+    std::string agent;     ///< "User", "Message Proxy (local)", ...
+    std::string operation; ///< e.g. "dequeue entry, (read miss)"
+    std::string term;      ///< e.g. "C", "U + 0.6/S"
+    double us;             ///< evaluated cost in microseconds
+};
+
+/// Receives critical-path trace entries when tracing is enabled.
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /// Records one trace row.
+    virtual void add(TraceEntry entry) = 0;
+};
+
+/// A protected-communication architecture.
+///
+/// A backend owns the communication agents of every node (proxies,
+/// adapters, DMA engines, network links) as simulation resources. The
+/// System calls submit() from the issuing rank's SimThread; the
+/// backend charges the compute-processor overhead synchronously (by
+/// advancing the thread) and schedules the asynchronous remainder:
+/// data movement at the correct simulated instants and lsync/rsync
+/// flag updates on completion.
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /// Transports one operation. Called on the submitting thread.
+    virtual void submit(sim::SimThread& t, const Op& op) = 0;
+
+    /// Microseconds a compute processor spends detecting a sync-flag
+    /// update (the "read local sync register (read miss)" term).
+    virtual double flag_poll_cost() const = 0;
+
+    /// Utilization of node `n`'s communication agent (message proxy
+    /// service loop, or adapter input+output logic) — Table 6.
+    virtual double agent_utilization(int node) const = 0;
+
+    /// Busy microseconds of node `n`'s communication agent.
+    virtual double agent_busy_us(int node) const = 0;
+
+    /// Name of the communication agent for reporting.
+    virtual const char* agent_name() const = 0;
+
+    /// Enables critical-path tracing (Table 2); entries for
+    /// subsequently submitted operations go to `sink`. Pass nullptr to
+    /// disable. Default: tracing unsupported, silently ignored.
+    virtual void set_trace(TraceSink* sink) { (void)sink; }
+};
+
+} // namespace rma
+
+#endif // MSGPROXY_RMA_BACKEND_H

@@ -1,0 +1,61 @@
+/// \file
+/// The four communication primitives of the paper's Section 3:
+/// remote memory access (PUT/GET) and remote queues (ENQ/DEQ).
+
+#ifndef MSGPROXY_RMA_OP_H
+#define MSGPROXY_RMA_OP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sim {
+class Flag;
+} // namespace sim
+
+namespace rma {
+
+/// Operation kind.
+enum class OpKind : uint8_t {
+    kPut, ///< copy nbytes from laddr to (asid, raddr)
+    kGet, ///< copy nbytes from (asid, raddr) to laddr
+    kEnq, ///< atomically append an nbytes message to (asid, qid)
+    kDeq  ///< dequeue the head message of (asid, qid) into laddr
+};
+
+/// Human-readable op-kind name.
+const char* op_kind_name(OpKind k);
+
+/// A decoded communication command, as it sits in a user's command
+/// queue. Addresses are raw host pointers: all simulated address
+/// spaces live inside this process, and the segment table of the
+/// target asid decides whether access is permitted (Section 3's
+/// protection model).
+struct Op
+{
+    OpKind kind = OpKind::kPut;
+    int src_rank = 0;        ///< submitting process
+    int dst_rank = 0;        ///< asid: logical target address space
+    void* laddr = nullptr;   ///< local buffer (source for PUT/ENQ,
+                             ///< destination for GET/DEQ)
+    void* raddr = nullptr;   ///< remote address (PUT/GET only)
+    int qid = -1;            ///< remote queue id (ENQ/DEQ only)
+    size_t nbytes = 0;       ///< transfer size
+    sim::Flag* lsync = nullptr; ///< local completion flag (incremented)
+    sim::Flag* rsync = nullptr; ///< remote completion flag (incremented)
+
+    /// PUT only: optional piggybacked notification. When >= 0, the
+    /// message `notify_msg` is enqueued on (dst_rank, notify_qid)
+    /// after the data has been stored — the fused form of the paper's
+    /// "PUT followed by an ENQ of a handler that detects completion
+    /// of the PUT" (used by the Active Message bulk store). The fused
+    /// form keeps the notification ordered behind the data even on
+    /// the DMA path.
+    int notify_qid = -1;
+    std::shared_ptr<std::vector<uint8_t>> notify_msg;
+};
+
+} // namespace rma
+
+#endif // MSGPROXY_RMA_OP_H

@@ -1,0 +1,81 @@
+/// \file
+/// Remote queue (RQ) storage.
+///
+/// A remote queue is a message-granularity FIFO owned by one rank;
+/// ENQ atomically appends a message to the tail of a queue in another
+/// rank's address space, and DEQ removes the head. The owning rank may
+/// also poll its own queues locally (this is what the Active Message
+/// layer does to receive requests).
+
+#ifndef MSGPROXY_RMA_REMOTE_QUEUE_H
+#define MSGPROXY_RMA_REMOTE_QUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace rma {
+
+/// One message-oriented FIFO.
+class RemoteQueue
+{
+  public:
+    /// Creates a queue. capacity_bytes == 0 means unbounded.
+    explicit RemoteQueue(size_t capacity_bytes = 0)
+        : capacity_(capacity_bytes)
+    {
+    }
+
+    /// Appends a message; returns false (and counts a drop) when the
+    /// queue is bounded and full.
+    bool
+    push(std::vector<uint8_t> msg)
+    {
+        if (capacity_ != 0 && bytes_ + msg.size() > capacity_) {
+            ++drops_;
+            return false;
+        }
+        bytes_ += msg.size();
+        ++enqueued_;
+        msgs_.push_back(std::move(msg));
+        return true;
+    }
+
+    /// Removes the head message into `out`; false when empty.
+    bool
+    pop(std::vector<uint8_t>& out)
+    {
+        if (msgs_.empty())
+            return false;
+        out = std::move(msgs_.front());
+        msgs_.pop_front();
+        bytes_ -= out.size();
+        ++dequeued_;
+        return true;
+    }
+
+    /// Number of queued messages.
+    size_t size() const { return msgs_.size(); }
+    /// Queued payload bytes.
+    size_t bytes() const { return bytes_; }
+    /// True when no message is queued.
+    bool empty() const { return msgs_.empty(); }
+    /// Messages rejected because the queue was full.
+    uint64_t drops() const { return drops_; }
+    /// Messages accepted so far.
+    uint64_t enqueued() const { return enqueued_; }
+    /// Messages removed so far.
+    uint64_t dequeued() const { return dequeued_; }
+
+  private:
+    size_t capacity_;
+    size_t bytes_ = 0;
+    uint64_t drops_ = 0;
+    uint64_t enqueued_ = 0;
+    uint64_t dequeued_ = 0;
+    std::deque<std::vector<uint8_t>> msgs_;
+};
+
+} // namespace rma
+
+#endif // MSGPROXY_RMA_REMOTE_QUEUE_H

@@ -1,0 +1,456 @@
+#include "rma/system.h"
+
+#include <cstring>
+
+#include "util/log.h"
+
+namespace rma {
+
+const char*
+op_kind_name(OpKind k)
+{
+    switch (k) {
+      case OpKind::kPut:
+        return "PUT";
+      case OpKind::kGet:
+        return "GET";
+      case OpKind::kEnq:
+        return "ENQ";
+      case OpKind::kDeq:
+        return "DEQ";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------- Ctx
+
+Ctx::Ctx(System& sys, int rank, uint64_t seed)
+    : sys_(sys), rank_(rank), rng_(seed)
+{
+}
+
+int
+Ctx::nranks() const
+{
+    return sys_.nranks();
+}
+
+int
+Ctx::node() const
+{
+    return sys_.node_of(rank_);
+}
+
+const machine::DesignPoint&
+Ctx::design() const
+{
+    return sys_.design();
+}
+
+double
+Ctx::now() const
+{
+    return sys_.scheduler().now();
+}
+
+void*
+Ctx::alloc(size_t n, bool shared)
+{
+    return sys_.space(rank_).alloc(n, shared);
+}
+
+bool
+Ctx::grant(const void* addr, int rank)
+{
+    return sys_.space(rank_).grant(addr, rank);
+}
+
+sim::Flag*
+Ctx::new_flag()
+{
+    return sys_.new_flag();
+}
+
+int
+Ctx::make_queue(size_t capacity_bytes)
+{
+    return sys_.make_queue(rank_, capacity_bytes);
+}
+
+bool
+Ctx::try_deq_local(int qid, std::vector<uint8_t>& out)
+{
+    const auto& d = design();
+    RemoteQueue& q = sys_.queue(rank_, qid);
+    if (q.empty()) {
+        // Polling an unchanged queue head hits in the cache.
+        thread_->advance(d.insn(0.1));
+        return false;
+    }
+    bool ok = q.pop(out);
+    MP_CHECK(ok, "non-empty queue failed to pop");
+    // The entry was written by the communication agent: the head line
+    // (and each payload line) misses unless the agent updated our
+    // cache directly (the MP2 primitive).
+    double per_line = d.proxy_miss();
+    double cost = d.insn(0.3) +
+                  per_line * static_cast<double>(d.lines(out.size()) + 1);
+    // In the system-call architecture the queue lives in kernel
+    // buffers: retrieving a message costs a trap.
+    if (d.arch == machine::Arch::kSyscall)
+        cost += d.syscall_us;
+    thread_->advance(cost);
+    return true;
+}
+
+size_t
+Ctx::queue_depth(int qid) const
+{
+    return sys_.queue(rank_, qid).size();
+}
+
+void
+Ctx::submit(const Op& op)
+{
+    MP_CHECK(thread_ != nullptr, "Ctx used before run()");
+    MP_CHECK(op.dst_rank >= 0 && op.dst_rank < sys_.nranks(),
+             "bad asid " << op.dst_rank);
+    sys_.traffic().note_op(op.kind, op.src_rank, op.nbytes);
+    sys_.backend().submit(*thread_, op);
+}
+
+void
+Ctx::put(const void* laddr, int asid, void* raddr, size_t n,
+         sim::Flag* lsync, sim::Flag* rsync)
+{
+    Op op;
+    op.kind = OpKind::kPut;
+    op.src_rank = rank_;
+    op.dst_rank = asid;
+    op.laddr = const_cast<void*>(laddr);
+    op.raddr = raddr;
+    op.nbytes = n;
+    op.lsync = lsync;
+    op.rsync = rsync;
+    submit(op);
+}
+
+void
+Ctx::put_notify(const void* laddr, int asid, void* raddr, size_t n,
+                int notify_qid, const void* notify, size_t notify_n,
+                sim::Flag* lsync, sim::Flag* rsync)
+{
+    Op op;
+    op.kind = OpKind::kPut;
+    op.src_rank = rank_;
+    op.dst_rank = asid;
+    op.laddr = const_cast<void*>(laddr);
+    op.raddr = raddr;
+    op.nbytes = n;
+    op.lsync = lsync;
+    op.rsync = rsync;
+    op.notify_qid = notify_qid;
+    op.notify_msg = std::make_shared<std::vector<uint8_t>>(notify_n);
+    if (notify_n > 0) {
+        std::memcpy(op.notify_msg->data(), notify, notify_n);
+    }
+    // The notification is a remote-queue operation in its own right
+    // (the paper's am_store is a PUT followed by an ENQ).
+    sys_.traffic().note_op(OpKind::kEnq, rank_, notify_n);
+    submit(op);
+}
+
+void
+Ctx::get(void* laddr, int asid, const void* raddr, size_t n,
+         sim::Flag* lsync, sim::Flag* rsync)
+{
+    Op op;
+    op.kind = OpKind::kGet;
+    op.src_rank = rank_;
+    op.dst_rank = asid;
+    op.laddr = laddr;
+    op.raddr = const_cast<void*>(raddr);
+    op.nbytes = n;
+    op.lsync = lsync;
+    op.rsync = rsync;
+    submit(op);
+}
+
+void
+Ctx::enq(const void* laddr, int asid, int qid, size_t n, sim::Flag* lsync,
+         sim::Flag* rsync)
+{
+    Op op;
+    op.kind = OpKind::kEnq;
+    op.src_rank = rank_;
+    op.dst_rank = asid;
+    op.laddr = const_cast<void*>(laddr);
+    op.qid = qid;
+    op.nbytes = n;
+    op.lsync = lsync;
+    op.rsync = rsync;
+    submit(op);
+}
+
+void
+Ctx::deq(void* laddr, int asid, int qid, size_t n, sim::Flag* lsync)
+{
+    Op op;
+    op.kind = OpKind::kDeq;
+    op.src_rank = rank_;
+    op.dst_rank = asid;
+    op.laddr = laddr;
+    op.qid = qid;
+    op.nbytes = n;
+    op.lsync = lsync;
+    submit(op);
+}
+
+void
+Ctx::put_blocking(const void* laddr, int asid, void* raddr, size_t n)
+{
+    sim::Flag* f = scratch_flag();
+    put(laddr, asid, raddr, n, f, nullptr);
+    wait_ge(*f, 1);
+    release_scratch(f);
+}
+
+void
+Ctx::get_blocking(void* laddr, int asid, const void* raddr, size_t n)
+{
+    sim::Flag* f = scratch_flag();
+    get(laddr, asid, raddr, n, f, nullptr);
+    wait_ge(*f, 1);
+    release_scratch(f);
+}
+
+void
+Ctx::enq_blocking(const void* laddr, int asid, int qid, size_t n)
+{
+    sim::Flag* f = scratch_flag();
+    enq(laddr, asid, qid, n, f, nullptr);
+    wait_ge(*f, 1);
+    release_scratch(f);
+}
+
+void
+Ctx::compute(double us)
+{
+    MP_CHECK(us >= 0.0, "negative compute time");
+    double extra = sys_.take_stolen(rank_);
+    thread_->advance(us + extra);
+}
+
+void
+Ctx::wait_ge(sim::Flag& f, uint64_t v)
+{
+    f.wait_ge(*thread_, v);
+    thread_->advance(sys_.backend().flag_poll_cost());
+}
+
+void
+Ctx::wait_either(sim::Flag& a, uint64_t va, sim::Flag& b, uint64_t vb)
+{
+    while (a.value() < va && b.value() < vb) {
+        a.add_waiter(*thread_, va);
+        b.add_waiter(*thread_, vb);
+        thread_->block();
+    }
+    thread_->advance(sys_.backend().flag_poll_cost());
+}
+
+sim::Flag&
+Ctx::arrival_flag()
+{
+    return sys_.arrival_flag(rank_);
+}
+
+void
+Ctx::yield()
+{
+    thread_->advance(0.0);
+}
+
+void
+Ctx::publish(const std::string& name, void* ptr)
+{
+    sys_.board_put(name, rank_, ptr);
+}
+
+void*
+Ctx::lookup(const std::string& name, int rank)
+{
+    void* p = sys_.board_get(name, rank);
+    while (p == nullptr) {
+        compute(0.1);
+        p = sys_.board_get(name, rank);
+    }
+    return p;
+}
+
+sim::Flag*
+Ctx::scratch_flag()
+{
+    if (!scratch_free_.empty()) {
+        sim::Flag* f = scratch_free_.back();
+        scratch_free_.pop_back();
+        f->reset();
+        return f;
+    }
+    return sys_.new_flag();
+}
+
+void
+Ctx::release_scratch(sim::Flag* f)
+{
+    scratch_free_.push_back(f);
+}
+
+// ------------------------------------------------------------------- System
+
+System::System(SystemConfig cfg, const BackendFactory& factory)
+    : cfg_(cfg), traffic_(cfg.nodes * cfg.procs_per_node)
+{
+    MP_CHECK(cfg_.nodes > 0 && cfg_.procs_per_node > 0,
+             "bad cluster shape " << cfg_.nodes << "x"
+                                  << cfg_.procs_per_node);
+    int n = nranks();
+    spaces_.reserve(static_cast<size_t>(n));
+    queues_.resize(static_cast<size_t>(n));
+    stolen_.assign(static_cast<size_t>(n), 0.0);
+    for (int r = 0; r < n; ++r) {
+        spaces_.push_back(std::make_unique<AddressSpace>(r));
+        arrival_.push_back(std::make_unique<sim::Flag>());
+        ctxs_.push_back(std::unique_ptr<Ctx>(
+            new Ctx(*this, r, cfg_.seed * 0x1000193ull + 0x9e37ull +
+                                  static_cast<uint64_t>(r))));
+    }
+    backend_ = factory(*this);
+    MP_CHECK(backend_ != nullptr, "backend factory returned null");
+}
+
+System::~System() = default;
+
+RemoteQueue&
+System::queue(int rank, int qid)
+{
+    auto& qs = queues_[static_cast<size_t>(rank)];
+    MP_CHECK(qid >= 0 && static_cast<size_t>(qid) < qs.size(),
+             "bad queue id " << qid << " for rank " << rank);
+    return *qs[static_cast<size_t>(qid)];
+}
+
+int
+System::make_queue(int rank, size_t capacity_bytes)
+{
+    auto& qs = queues_[static_cast<size_t>(rank)];
+    qs.push_back(std::make_unique<RemoteQueue>(capacity_bytes));
+    return static_cast<int>(qs.size()) - 1;
+}
+
+bool
+System::deliver(int rank, int qid, std::vector<uint8_t> msg)
+{
+    bool ok = queue(rank, qid).push(std::move(msg));
+    arrival_flag(rank).add(1);
+    return ok;
+}
+
+bool
+System::validate_remote(int accessor, int owner, const void* addr, size_t n)
+{
+    // Zero-byte operations are pure signals (flag-only PUTs used by
+    // barriers): no address is dereferenced, nothing to protect.
+    if (n == 0)
+        return true;
+    if (space(owner).check(accessor, addr, n))
+        return true;
+    faults_.push_back(
+        Fault{accessor, owner, addr, n, sched_.now()});
+    return false;
+}
+
+bool
+System::validate_queue(int accessor, int owner, int qid)
+{
+    auto& qs = queues_[static_cast<size_t>(owner)];
+    if (qid >= 0 && static_cast<size_t>(qid) < qs.size())
+        return true;
+    faults_.push_back(Fault{accessor, owner, nullptr,
+                            static_cast<size_t>(qid), sched_.now()});
+    return false;
+}
+
+sim::Flag*
+System::new_flag()
+{
+    flags_.push_back(std::make_unique<sim::Flag>());
+    return flags_.back().get();
+}
+
+void
+System::add_stolen(int rank, double us)
+{
+    stolen_[static_cast<size_t>(rank)] += us;
+}
+
+double
+System::take_stolen(int rank)
+{
+    double t = stolen_[static_cast<size_t>(rank)];
+    stolen_[static_cast<size_t>(rank)] = 0.0;
+    return t;
+}
+
+void*
+System::board_get(const std::string& name, int rank) const
+{
+    auto it = board_.find(name);
+    if (it == board_.end())
+        return nullptr;
+    return it->second[static_cast<size_t>(rank)];
+}
+
+void
+System::board_put(const std::string& name, int rank, void* ptr)
+{
+    auto it = board_.find(name);
+    if (it == board_.end()) {
+        it = board_
+                 .emplace(name, std::vector<void*>(
+                                    static_cast<size_t>(nranks()),
+                                    nullptr))
+                 .first;
+    }
+    MP_CHECK(it->second[static_cast<size_t>(rank)] == nullptr,
+             "double publish of '" << name << "' by rank " << rank);
+    it->second[static_cast<size_t>(rank)] = ptr;
+}
+
+RunResult
+System::run(const std::function<void(Ctx&)>& app)
+{
+    MP_CHECK(!ran_, "System::run may only be called once");
+    ran_ = true;
+    for (int r = 0; r < nranks(); ++r) {
+        Ctx* c = ctxs_[static_cast<size_t>(r)].get();
+        sim::SimThread& t = sched_.spawn(
+            "rank" + std::to_string(r),
+            [c, &app](sim::SimThread&) { app(*c); });
+        c->bind(t);
+    }
+    sched_.run();
+    elapsed_us_ = sched_.now();
+
+    RunResult res;
+    res.elapsed_us = elapsed_us_;
+    res.ops = traffic_.ops();
+    res.avg_msg_bytes = traffic_.avg_msg_bytes();
+    res.rate_per_proc_ms = traffic_.rate_per_proc_ms(elapsed_us_);
+    res.faults = faults_.size();
+    for (int nd = 0; nd < cfg_.nodes; ++nd)
+        res.agent_utilization.push_back(backend_->agent_utilization(nd));
+    return res;
+}
+
+} // namespace rma

@@ -1,0 +1,334 @@
+/// \file
+/// The simulated SMP cluster: ranks, address spaces, remote queues,
+/// and the per-rank Ctx API that applications program against.
+///
+/// A System owns one simulation run: a discrete-event scheduler, one
+/// SimThread per rank (compute processor), per-rank address spaces and
+/// remote queues, a Backend implementing one of the three protected-
+/// communication architectures, and traffic accounting. Ranks map to
+/// SMP nodes round-robin-contiguously: node(r) = r / procs_per_node.
+
+#ifndef MSGPROXY_RMA_SYSTEM_H
+#define MSGPROXY_RMA_SYSTEM_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/design_point.h"
+#include "rma/address_space.h"
+#include "rma/backend.h"
+#include "rma/op.h"
+#include "rma/remote_queue.h"
+#include "rma/traffic.h"
+#include "sim/flag.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace rma {
+
+class System;
+
+/// Cluster-run configuration.
+struct SystemConfig
+{
+    machine::DesignPoint design; ///< machine parameters (Table 3)
+    int nodes = 2;               ///< SMP nodes in the cluster
+    int procs_per_node = 1;      ///< compute processors per node
+    /// Message proxies per node (proxy architecture only). The paper
+    /// notes "multiple message proxies may help" when one proxy is
+    /// over-utilized (Section 5.4); ranks are statically partitioned
+    /// across proxies.
+    int proxies_per_node = 1;
+    uint64_t seed = 1;           ///< base seed for per-rank RNGs
+};
+
+/// Creates the Backend for a System; provided by the backend library
+/// (backend::factory()) so that rma stays independent of the concrete
+/// architecture implementations.
+using BackendFactory = std::function<std::unique_ptr<Backend>(System&)>;
+
+/// Result of one simulated application run.
+struct RunResult
+{
+    double elapsed_us = 0.0;       ///< simulated wall time of the run
+    uint64_t ops = 0;              ///< transported RMA/RQ operations
+    double avg_msg_bytes = 0.0;    ///< Table 6: average message size
+    double rate_per_proc_ms = 0.0; ///< Table 6: per-processor op rate
+    std::vector<double> agent_utilization; ///< per node, Table 6
+    uint64_t faults = 0;           ///< protection violations recorded
+};
+
+/// Per-rank application-facing handle. One Ctx exists per rank; the
+/// application body receives it and must only use it from its own
+/// simulated thread.
+class Ctx
+{
+  public:
+    /// Rank of this process (also its asid).
+    int rank() const { return rank_; }
+    /// Total ranks in the run.
+    int nranks() const;
+    /// SMP node this rank lives on.
+    int node() const;
+    /// The owning system.
+    System& system() { return sys_; }
+    /// Machine parameters of this run.
+    const machine::DesignPoint& design() const;
+    /// Current simulated time (microseconds).
+    double now() const;
+    /// Deterministic per-rank random stream.
+    mp::Rng& rng() { return rng_; }
+
+    // ----- memory -----
+
+    /// Allocates `n` bytes in this rank's address space. shared=true
+    /// registers the segment as accessible by every rank; otherwise
+    /// access requires an explicit grant().
+    void* alloc(size_t n, bool shared = true);
+
+    /// Typed allocation of `count` elements.
+    template <typename T>
+    T*
+    alloc_n(size_t count, bool shared = true)
+    {
+        return static_cast<T*>(alloc(count * sizeof(T), shared));
+    }
+
+    /// Grants `rank` access to the private segment containing addr.
+    bool grant(const void* addr, int rank);
+
+    /// Allocates a completion flag (owned by the system).
+    sim::Flag* new_flag();
+
+    // ----- remote queues -----
+
+    /// Creates a remote queue owned by this rank; returns its qid.
+    /// capacity_bytes == 0 means unbounded.
+    int make_queue(size_t capacity_bytes = 0);
+
+    /// Polls a local queue (cheap when empty). On success moves the
+    /// head message into `out` and charges the receive cost.
+    bool try_deq_local(int qid, std::vector<uint8_t>& out);
+
+    /// Number of messages currently in a local queue (free to read:
+    /// models the cached head/tail compare of the polling loop).
+    size_t queue_depth(int qid) const;
+
+    // ----- asynchronous primitives (Section 3) -----
+
+    /// PUT: copy n bytes from laddr to (asid, raddr). lsync increments
+    /// when delivery is acknowledged; rsync increments at the target
+    /// when the data is stored.
+    void put(const void* laddr, int asid, void* raddr, size_t n,
+             sim::Flag* lsync = nullptr, sim::Flag* rsync = nullptr);
+
+    /// PUT with a piggybacked notification: after the data is stored
+    /// at the target, `notify` (notify_n bytes) is enqueued on the
+    /// target's queue `notify_qid`. Equivalent to PUT-then-ENQ with
+    /// guaranteed ordering (the Active Message bulk-store pattern).
+    void put_notify(const void* laddr, int asid, void* raddr, size_t n,
+                    int notify_qid, const void* notify, size_t notify_n,
+                    sim::Flag* lsync = nullptr,
+                    sim::Flag* rsync = nullptr);
+
+    /// GET: copy n bytes from (asid, raddr) to laddr. lsync increments
+    /// when the data has been stored locally; rsync increments at the
+    /// target when the data has been read.
+    void get(void* laddr, int asid, const void* raddr, size_t n,
+             sim::Flag* lsync = nullptr, sim::Flag* rsync = nullptr);
+
+    /// ENQ: atomically append an n-byte message to (asid, qid). lsync
+    /// increments when the enqueue is acknowledged; rsync (optional)
+    /// increments at the target on enqueue.
+    void enq(const void* laddr, int asid, int qid, size_t n,
+             sim::Flag* lsync = nullptr, sim::Flag* rsync = nullptr);
+
+    /// DEQ: dequeue the head message of (asid, qid) into laddr (up to
+    /// n bytes). lsync increments by 1 + bytes received when the data
+    /// arrives, or by exactly 1 if the remote queue was empty.
+    void deq(void* laddr, int asid, int qid, size_t n,
+             sim::Flag* lsync = nullptr);
+
+    // ----- blocking convenience wrappers -----
+
+    /// PUT and wait for the delivery acknowledgment.
+    void put_blocking(const void* laddr, int asid, void* raddr, size_t n);
+
+    /// GET and wait for local arrival.
+    void get_blocking(void* laddr, int asid, const void* raddr, size_t n);
+
+    /// ENQ and wait for the acknowledgment.
+    void enq_blocking(const void* laddr, int asid, int qid, size_t n);
+
+    // ----- time -----
+
+    /// Advances simulated time by `us` of local computation (plus any
+    /// interrupt time stolen by the SW architecture's handlers).
+    void compute(double us);
+
+    /// Blocks until flag >= v, then charges the flag-read cost.
+    void wait_ge(sim::Flag& f, uint64_t v);
+
+    /// Blocks until a >= va OR b >= vb, then charges one flag read.
+    /// Used by layered libraries to wait for a completion flag while
+    /// staying responsive to incoming messages.
+    void wait_either(sim::Flag& a, uint64_t va, sim::Flag& b, uint64_t vb);
+
+    /// Flag bumped whenever a message lands in any of this rank's
+    /// remote queues (arrival notification for polling loops).
+    sim::Flag& arrival_flag();
+
+    /// Yields without advancing time (lets pending events at the
+    /// current instant run; used by polling loops in tests).
+    void yield();
+
+    // ----- setup-time address exchange -----
+
+    /// Publishes a pointer under (name, this rank) on the system-wide
+    /// bulletin board. Models the address exchange parallel runtimes
+    /// perform at program initialization; costs no simulated time.
+    void publish(const std::string& name, void* ptr);
+
+    /// Blocks (in small compute steps) until `rank` has published
+    /// `name`, then returns the pointer.
+    void* lookup(const std::string& name, int rank);
+
+    /// Typed lookup.
+    template <typename T>
+    T*
+    lookup_as(const std::string& name, int rank)
+    {
+        return static_cast<T*>(lookup(name, rank));
+    }
+
+  private:
+    friend class System;
+
+    Ctx(System& sys, int rank, uint64_t seed);
+
+    /// Binds the rank's simulated thread (set by System::run).
+    void bind(sim::SimThread& t) { thread_ = &t; }
+
+    void submit(const Op& op);
+    sim::Flag* scratch_flag();
+    void release_scratch(sim::Flag* f);
+
+    System& sys_;
+    int rank_;
+    mp::Rng rng_;
+    sim::SimThread* thread_ = nullptr;
+    std::vector<sim::Flag*> scratch_free_;
+};
+
+/// One simulated cluster run.
+class System
+{
+  public:
+    /// Builds the cluster; `factory` creates the architecture backend
+    /// (use backend::factory()).
+    System(SystemConfig cfg, const BackendFactory& factory);
+    ~System();
+
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    /// Configuration.
+    const SystemConfig& config() const { return cfg_; }
+    /// Machine parameters.
+    const machine::DesignPoint& design() const { return cfg_.design; }
+    /// Total ranks (nodes * procs_per_node).
+    int nranks() const { return cfg_.nodes * cfg_.procs_per_node; }
+    /// Node housing `rank`.
+    int node_of(int rank) const { return rank / cfg_.procs_per_node; }
+
+    /// The event scheduler.
+    sim::Scheduler& scheduler() { return sched_; }
+    /// The architecture backend.
+    Backend& backend() { return *backend_; }
+    /// Traffic accounting.
+    Traffic& traffic() { return traffic_; }
+
+    /// Address space of `rank`.
+    AddressSpace& space(int rank)
+    {
+        return *spaces_[static_cast<size_t>(rank)];
+    }
+
+    /// Remote queue `qid` of `rank` (must exist).
+    RemoteQueue& queue(int rank, int qid);
+
+    /// Creates a queue owned by `rank`; returns its qid.
+    int make_queue(int rank, size_t capacity_bytes);
+
+    /// Delivers a message into (rank, qid) and bumps the rank's
+    /// arrival flag. All backend queue deliveries go through here.
+    /// Returns false when the (bounded) queue was full.
+    bool deliver(int rank, int qid, std::vector<uint8_t> msg);
+
+    /// Arrival-notification flag of `rank`.
+    sim::Flag& arrival_flag(int rank)
+    {
+        return *arrival_[static_cast<size_t>(rank)];
+    }
+
+    /// Validates a remote memory access at handling time; records a
+    /// fault and returns false on a protection violation.
+    bool validate_remote(int accessor, int owner, const void* addr,
+                         size_t n);
+
+    /// Validates a remote queue access at handling time.
+    bool validate_queue(int accessor, int owner, int qid);
+
+    /// Recorded protection violations.
+    const std::vector<Fault>& faults() const { return faults_; }
+
+    /// Allocates a completion flag owned by the system.
+    sim::Flag* new_flag();
+
+    /// SW architecture: adds interrupt-handler time stolen from
+    /// `rank`'s processor; drained by the rank's next compute().
+    void add_stolen(int rank, double us);
+
+    /// Drains and returns the accumulated stolen time of `rank`.
+    double take_stolen(int rank);
+
+    /// Runs `app` on every rank to completion; returns run statistics.
+    /// May be called once per System.
+    RunResult run(const std::function<void(Ctx&)>& app);
+
+    /// Simulated time at the end of run().
+    double elapsed_us() const { return elapsed_us_; }
+
+    /// Ctx of `rank` (valid during and after run()).
+    Ctx& ctx(int rank) { return *ctxs_[static_cast<size_t>(rank)]; }
+
+    /// Bulletin-board slot for (name, rank); nullptr if unpublished.
+    void* board_get(const std::string& name, int rank) const;
+
+    /// Publishes (name, rank) -> ptr on the bulletin board.
+    void board_put(const std::string& name, int rank, void* ptr);
+
+  private:
+    SystemConfig cfg_;
+    sim::Scheduler sched_;
+    Traffic traffic_;
+    std::vector<std::unique_ptr<AddressSpace>> spaces_;
+    std::vector<std::vector<std::unique_ptr<RemoteQueue>>> queues_;
+    std::vector<std::unique_ptr<Ctx>> ctxs_;
+    std::vector<std::unique_ptr<sim::Flag>> arrival_;
+    std::vector<std::unique_ptr<sim::Flag>> flags_;
+    std::vector<double> stolen_;
+    std::vector<Fault> faults_;
+    std::unique_ptr<Backend> backend_;
+    std::map<std::string, std::vector<void*>> board_;
+    double elapsed_us_ = 0.0;
+    bool ran_ = false;
+};
+
+} // namespace rma
+
+#endif // MSGPROXY_RMA_SYSTEM_H

@@ -1,0 +1,86 @@
+/// \file
+/// Message-traffic accounting (Table 6 of the paper).
+///
+/// Backends report every RMA/RQ operation they transport; the harness
+/// derives average message size, per-processor message rate, and —
+/// together with the communication agents' busy time — interface
+/// utilization.
+
+#ifndef MSGPROXY_RMA_TRAFFIC_H
+#define MSGPROXY_RMA_TRAFFIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rma/op.h"
+#include "util/stats.h"
+
+namespace rma {
+
+/// Per-run traffic statistics.
+class Traffic
+{
+  public:
+    /// Creates accounting for `nranks` ranks.
+    explicit Traffic(int nranks) : per_rank_ops_(nranks, 0) {}
+
+    /// Records one transported operation originated by `src_rank`.
+    void
+    note_op(OpKind kind, int src_rank, size_t nbytes)
+    {
+        ++ops_;
+        ++per_rank_ops_[static_cast<size_t>(src_rank)];
+        ++by_kind_[static_cast<size_t>(kind)];
+        bytes_ += nbytes;
+        msg_size_.add(static_cast<double>(nbytes));
+    }
+
+    /// Total transported operations.
+    uint64_t ops() const { return ops_; }
+    /// Transported operations of one kind.
+    uint64_t ops_of(OpKind k) const
+    {
+        return by_kind_[static_cast<size_t>(k)];
+    }
+    /// Total payload bytes.
+    uint64_t bytes() const { return bytes_; }
+
+    /// Average message size in bytes (Table 6 column 1).
+    double
+    avg_msg_bytes() const
+    {
+        return msg_size_.count() ? msg_size_.mean() : 0.0;
+    }
+
+    /// Per-processor message rate in ops per millisecond over a run of
+    /// `elapsed_us` (Table 6 column 2).
+    double
+    rate_per_proc_ms(double elapsed_us) const
+    {
+        if (elapsed_us <= 0.0 || per_rank_ops_.empty())
+            return 0.0;
+        double per_proc = static_cast<double>(ops_) /
+                          static_cast<double>(per_rank_ops_.size());
+        return per_proc / (elapsed_us / 1000.0);
+    }
+
+    /// Message-size distribution.
+    const mp::Summary& msg_size() const { return msg_size_; }
+
+    /// Operations originated by one rank.
+    uint64_t rank_ops(int r) const
+    {
+        return per_rank_ops_[static_cast<size_t>(r)];
+    }
+
+  private:
+    uint64_t ops_ = 0;
+    uint64_t bytes_ = 0;
+    uint64_t by_kind_[4] = {0, 0, 0, 0};
+    std::vector<uint64_t> per_rank_ops_;
+    mp::Summary msg_size_;
+};
+
+} // namespace rma
+
+#endif // MSGPROXY_RMA_TRAFFIC_H

@@ -1,0 +1,110 @@
+/// \file
+/// Pollable synchronization flags.
+///
+/// The paper's RMA/RQ primitives signal completion through local and
+/// remote synchronization flags (lsync / rsync). sim::Flag is the
+/// simulated counterpart: a monotonically observable 64-bit value that
+/// SimThreads can block on until it reaches a threshold.
+
+#ifndef MSGPROXY_SIM_FLAG_H
+#define MSGPROXY_SIM_FLAG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace sim {
+
+/// A 64-bit completion flag with blocking waiters.
+///
+/// All methods must be called from simulation context (an event
+/// callback or a running SimThread).
+class Flag
+{
+  public:
+    Flag() = default;
+
+    Flag(const Flag&) = delete;
+    Flag& operator=(const Flag&) = delete;
+
+    /// Current value.
+    uint64_t value() const { return value_; }
+
+    /// Sets the value and wakes waiters whose threshold is reached.
+    void
+    set(uint64_t v)
+    {
+        value_ = v;
+        wake_satisfied();
+    }
+
+    /// Adds `d` to the value and wakes satisfied waiters.
+    void
+    add(uint64_t d)
+    {
+        value_ += d;
+        wake_satisfied();
+    }
+
+    /// Blocks `t` until value() >= v.
+    void
+    wait_ge(SimThread& t, uint64_t v)
+    {
+        while (value_ < v) {
+            waiters_.push_back(Waiter{&t, v});
+            t.block();
+        }
+    }
+
+    /// Registers `t` to be woken once when value() >= v, without
+    /// blocking. Used to wait on several flags at once: register on
+    /// each, block once, re-check, repeat. Wakes may be spurious
+    /// (entries left from earlier registrations), so callers must
+    /// always re-check their condition after t.block() returns.
+    void
+    add_waiter(SimThread& t, uint64_t v)
+    {
+        waiters_.push_back(Waiter{&t, v});
+    }
+
+    /// Resets the value to zero without waking anyone. Only valid when
+    /// there are no waiters (checked).
+    void
+    reset()
+    {
+        if (!waiters_.empty())
+            waiters_.clear();
+        value_ = 0;
+    }
+
+  private:
+    struct Waiter
+    {
+        SimThread* thread;
+        uint64_t threshold;
+    };
+
+    void
+    wake_satisfied()
+    {
+        // Waiters re-check the condition in wait_ge's loop, so waking
+        // is allowed to be conservative; we remove only satisfied ones.
+        size_t kept = 0;
+        for (size_t i = 0; i < waiters_.size(); ++i) {
+            if (value_ >= waiters_[i].threshold) {
+                waiters_[i].thread->wake();
+            } else {
+                waiters_[kept++] = waiters_[i];
+            }
+        }
+        waiters_.resize(kept);
+    }
+
+    uint64_t value_ = 0;
+    std::vector<Waiter> waiters_;
+};
+
+} // namespace sim
+
+#endif // MSGPROXY_SIM_FLAG_H

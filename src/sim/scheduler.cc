@@ -1,0 +1,163 @@
+#include "sim/scheduler.h"
+
+#include <cstdint>
+
+#include "util/log.h"
+
+namespace sim {
+
+// ---------------------------------------------------------------- SimThread
+
+SimThread::SimThread(Scheduler& sched, std::string name,
+                     std::function<void(SimThread&)> body)
+    : sched_(sched), name_(std::move(name)), body_(std::move(body)),
+      stack_(new char[kStackBytes])
+{
+}
+
+void
+SimThread::trampoline(unsigned int hi, unsigned int lo)
+{
+    auto* self = reinterpret_cast<SimThread*>(
+        (static_cast<uintptr_t>(hi) << 32) |
+        static_cast<uintptr_t>(lo));
+    self->body_(*self);
+    self->state_ = State::kFinished;
+    // uc_link returns control to the scheduler context.
+}
+
+void
+SimThread::resume_from_scheduler()
+{
+    MP_CHECK(state_ == State::kCreated || state_ == State::kBlocked,
+             "resume of thread '" << name_ << "' in wrong state");
+    if (state_ == State::kCreated) {
+        MP_CHECK(getcontext(&ctx_) == 0, "getcontext failed");
+        ctx_.uc_stack.ss_sp = stack_.get();
+        ctx_.uc_stack.ss_size = kStackBytes;
+        ctx_.uc_link = &sched_ctx_;
+        auto self = reinterpret_cast<uintptr_t>(this);
+        makecontext(&ctx_, reinterpret_cast<void (*)()>(&trampoline), 2,
+                    static_cast<unsigned int>(self >> 32),
+                    static_cast<unsigned int>(self & 0xffffffffu));
+    }
+    state_ = State::kRunning;
+    MP_CHECK(swapcontext(&sched_ctx_, &ctx_) == 0, "swapcontext failed");
+    MP_CHECK(state_ == State::kBlocked || state_ == State::kFinished,
+             "thread '" << name_ << "' returned in wrong state");
+}
+
+void
+SimThread::yield_to_scheduler()
+{
+    state_ = State::kBlocked;
+    MP_CHECK(swapcontext(&ctx_, &sched_ctx_) == 0, "swapcontext failed");
+}
+
+void
+SimThread::advance(Time dt)
+{
+    MP_CHECK(dt >= 0.0, "advance by negative time " << dt);
+    sched_.schedule_in(dt, [this] { resume_from_scheduler(); });
+    yield_to_scheduler();
+}
+
+void
+SimThread::block()
+{
+    if (wake_pending_) {
+        // A wake raced ahead of the block; consume it and continue.
+        wake_pending_ = false;
+        return;
+    }
+    blocked_waiting_ = true;
+    yield_to_scheduler();
+    blocked_waiting_ = false;
+}
+
+void
+SimThread::wake()
+{
+    if (!blocked_waiting_) {
+        // Thread has not blocked yet (it is the running thread, or is
+        // sleeping in advance()); latch the wake so a later block()
+        // consumes it.
+        wake_pending_ = true;
+        return;
+    }
+    if (wake_pending_)
+        return; // resume already scheduled
+    wake_pending_ = true;
+    sched_.schedule_in(0.0, [this] {
+        if (!blocked_waiting_) {
+            // The thread consumed the wake before this event ran.
+            wake_pending_ = false;
+            return;
+        }
+        wake_pending_ = false;
+        resume_from_scheduler();
+    });
+}
+
+// ---------------------------------------------------------------- Scheduler
+
+Scheduler::Scheduler() = default;
+
+Scheduler::~Scheduler() = default;
+
+void
+Scheduler::schedule_at(Time t, std::function<void()> fn)
+{
+    MP_CHECK(t >= now_ - 1e-9,
+             "event scheduled in the past: " << t << " < " << now_);
+    queue_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+}
+
+void
+Scheduler::schedule_in(Time dt, std::function<void()> fn)
+{
+    schedule_at(now_ + dt, std::move(fn));
+}
+
+SimThread&
+Scheduler::spawn(std::string name, std::function<void(SimThread&)> body)
+{
+    threads_.push_back(std::unique_ptr<SimThread>(
+        new SimThread(*this, std::move(name), std::move(body))));
+    SimThread* t = threads_.back().get();
+    schedule_in(0.0, [t] { t->resume_from_scheduler(); });
+    return *t;
+}
+
+void
+Scheduler::run()
+{
+    MP_CHECK(!running_, "Scheduler::run is not reentrant");
+    running_ = true;
+    while (!queue_.empty()) {
+        Event ev = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        now_ = ev.time;
+        ++events_executed_;
+        ev.fn();
+    }
+    running_ = false;
+
+    std::string stuck;
+    for (const auto& t : threads_) {
+        if (t->state_ != SimThread::State::kFinished) {
+            stuck += " '" + t->name_ + "'";
+            if (t->blocked_waiting_)
+                stuck += "(block)";
+            else
+                stuck += "(sleep)";
+        }
+    }
+    if (!stuck.empty()) {
+        MP_PANIC("simulation deadlock: threads still blocked with no "
+                 "pending events:"
+                 << stuck);
+    }
+}
+
+} // namespace sim

@@ -1,0 +1,171 @@
+/// \file
+/// Discrete-event simulation kernel.
+///
+/// This plays the role CSIM played in the paper's evaluation: it
+/// provides simulated time, an event queue, cooperative processes
+/// (SimThread), and FIFO service facilities (sim::Resource) with
+/// utilization accounting. Simulated time is in microseconds, the
+/// unit the paper's latency model is expressed in.
+///
+/// Determinism: events are ordered by (time, insertion sequence), and
+/// at most one SimThread executes at any host instant — processes are
+/// ucontext coroutines the scheduler switches into and out of — so a
+/// run is a pure function of its inputs.
+
+#ifndef MSGPROXY_SIM_SCHEDULER_H
+#define MSGPROXY_SIM_SCHEDULER_H
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+/// Simulated time in microseconds.
+using Time = double;
+
+class Scheduler;
+
+/// A cooperative simulated process backed by a ucontext coroutine.
+///
+/// Application ranks run as SimThreads so that ordinary C++ code
+/// (including deep call stacks and recursion) can block on simulated
+/// events anywhere. Exactly one SimThread runs at a time; control
+/// alternates between the scheduler and the running coroutine.
+///
+/// Tear-down note: if a Scheduler is destroyed while a SimThread is
+/// still blocked (only possible after a panic or when run() was never
+/// called), the coroutine's stack is freed without unwinding — local
+/// destructors on that stack do not run.
+class SimThread
+{
+  public:
+    ~SimThread() = default;
+
+    SimThread(const SimThread&) = delete;
+    SimThread& operator=(const SimThread&) = delete;
+
+    /// Advances simulated time by `dt` microseconds (models
+    /// computation on the owning processor).
+    void advance(Time dt);
+
+    /// Blocks until another event calls wake() on this thread. May
+    /// wake spuriously (a latched earlier wake); callers must re-check
+    /// their condition in a loop.
+    void block();
+
+    /// Schedules this thread to resume at the current simulated time.
+    /// Must be called from scheduler context (an event callback or
+    /// another running SimThread).
+    void wake();
+
+    /// The scheduler this thread belongs to.
+    Scheduler& scheduler() { return sched_; }
+
+    /// Diagnostic name.
+    const std::string& name() const { return name_; }
+
+  private:
+    friend class Scheduler;
+
+    enum class State { kCreated, kRunning, kBlocked, kFinished };
+
+    static constexpr size_t kStackBytes = 1024 * 1024;
+
+    SimThread(Scheduler& sched, std::string name,
+              std::function<void(SimThread&)> body);
+
+    /// Coroutine entry point (pointer split across two ints for
+    /// makecontext).
+    static void trampoline(unsigned int hi, unsigned int lo);
+
+    /// Switches into this coroutine until it blocks or finishes.
+    /// Called only from scheduler context.
+    void resume_from_scheduler();
+
+    /// Switches back to the scheduler. Called on the coroutine.
+    void yield_to_scheduler();
+
+    Scheduler& sched_;
+    std::string name_;
+    std::function<void(SimThread&)> body_;
+
+    State state_ = State::kCreated;
+    /// True while suspended inside block() (vs sleeping in advance()).
+    bool blocked_waiting_ = false;
+    /// Latched wake that arrived before/outside block().
+    bool wake_pending_ = false;
+
+    ucontext_t ctx_{};
+    ucontext_t sched_ctx_{};
+    std::unique_ptr<char[]> stack_;
+};
+
+/// The event queue and simulation clock.
+class Scheduler
+{
+  public:
+    Scheduler();
+    ~Scheduler();
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /// Current simulated time in microseconds.
+    Time now() const { return now_; }
+
+    /// Schedules `fn` to run at absolute time `t` (must be >= now).
+    void schedule_at(Time t, std::function<void()> fn);
+
+    /// Schedules `fn` to run `dt` microseconds from now.
+    void schedule_in(Time dt, std::function<void()> fn);
+
+    /// Creates a simulated process. The body starts executing at the
+    /// current simulated time once run() proceeds.
+    SimThread& spawn(std::string name, std::function<void(SimThread&)> body);
+
+    /// Runs the simulation until the event queue is empty and all
+    /// spawned threads have finished. Panics if threads remain blocked
+    /// with no pending events (deadlock).
+    void run();
+
+    /// Number of events executed so far (for tests and debugging).
+    uint64_t events_executed() const { return events_executed_; }
+
+  private:
+    friend class SimThread;
+
+    struct Event
+    {
+        Time time;
+        uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct EventOrder
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+    std::vector<std::unique_ptr<SimThread>> threads_;
+    Time now_ = 0.0;
+    uint64_t seq_ = 0;
+    uint64_t events_executed_ = 0;
+    bool running_ = false;
+};
+
+} // namespace sim
+
+#endif // MSGPROXY_SIM_SCHEDULER_H

@@ -1,0 +1,210 @@
+/// \file
+/// Split-C-style programming layer (Culler et al., Supercomputing'93)
+/// on top of the RMA primitives: global pointers, spread (block-
+/// distributed) arrays, split-phase gets/puts with sync(), one-way
+/// stores with all_store_sync(), and blocking sugar.
+///
+/// The paper's MM, FFT, Sample, Sampleb, P-Ray and Wator applications
+/// are written against this layer.
+
+#ifndef MSGPROXY_SPLITC_SPLITC_H
+#define MSGPROXY_SPLITC_SPLITC_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coll/coll.h"
+#include "rma/system.h"
+#include "util/log.h"
+
+namespace splitc {
+
+/// A global pointer: (rank, local address in that rank's space).
+template <typename T>
+struct GlobalPtr
+{
+    int rank = -1;
+    T* addr = nullptr;
+
+    /// Pointer arithmetic within the same rank.
+    GlobalPtr<T>
+    operator+(ptrdiff_t d) const
+    {
+        return GlobalPtr<T>{rank, addr + d};
+    }
+
+    /// True when the pointee lives on the calling rank.
+    bool local_to(int my_rank) const { return rank == my_rank; }
+};
+
+/// Per-rank Split-C context.
+class SplitC
+{
+  public:
+    /// Creates the layer. Construct symmetrically on every rank.
+    explicit SplitC(rma::Ctx& ctx)
+        : ctx_(ctx), sp_flag_(ctx.new_flag()), store_flag_(ctx.new_flag()),
+          issued_to_(static_cast<size_t>(ctx.nranks()), 0)
+    {
+        ctx_.publish("splitc.storeflag", store_flag_);
+    }
+
+    SplitC(const SplitC&) = delete;
+    SplitC& operator=(const SplitC&) = delete;
+
+    /// The underlying rank context.
+    rma::Ctx& ctx() { return ctx_; }
+
+    // ----- spread arrays -----
+
+    /// Collectively allocates a spread array: every rank contributes
+    /// `elems_per_rank` elements under the same `name`. Returns the
+    /// local base. Use global() to address other ranks' slices.
+    template <typename T>
+    T*
+    all_spread_alloc(const std::string& name, size_t elems_per_rank)
+    {
+        T* base = ctx_.alloc_n<T>(elems_per_rank);
+        ctx_.publish("splitc." + name, base);
+        return base;
+    }
+
+    /// Global pointer to the start of `rank`'s slice of `name`.
+    template <typename T>
+    GlobalPtr<T>
+    global(const std::string& name, int rank)
+    {
+        void* p = ctx_.lookup("splitc." + name, rank);
+        return GlobalPtr<T>{rank, static_cast<T*>(p)};
+    }
+
+    // ----- split-phase operations (Split-C's ":=") -----
+
+    /// Split-phase get of `elems` elements; completes at sync().
+    template <typename T>
+    void
+    get_sp(T* dst, GlobalPtr<T> src, size_t elems = 1)
+    {
+        ++sp_issued_;
+        ctx_.get(dst, src.rank, src.addr, elems * sizeof(T), sp_flag_);
+    }
+
+    /// Split-phase put of `elems` elements; completes at sync().
+    template <typename T>
+    void
+    put_sp(GlobalPtr<T> dst, const T* src, size_t elems = 1)
+    {
+        ++sp_issued_;
+        ctx_.put(src, dst.rank, dst.addr, elems * sizeof(T), sp_flag_);
+    }
+
+    /// Waits for every outstanding split-phase operation.
+    void
+    sync()
+    {
+        ctx_.wait_ge(*sp_flag_, sp_issued_);
+    }
+
+    /// Outstanding split-phase operations.
+    uint64_t
+    pending() const
+    {
+        return sp_issued_ - sp_flag_->value();
+    }
+
+    // ----- one-way stores (Split-C's ":-") -----
+
+    /// One-way store: no local completion tracking; globally fenced
+    /// by all_store_sync().
+    template <typename T>
+    void
+    store(GlobalPtr<T> dst, const T* src, size_t elems = 1)
+    {
+        ++issued_to_[static_cast<size_t>(dst.rank)];
+        sim::Flag* remote_flag = remote_store_flag(dst.rank);
+        ctx_.put(src, dst.rank, dst.addr, elems * sizeof(T), nullptr,
+                 remote_flag);
+    }
+
+    /// Global fence: returns once every store issued by every rank
+    /// has been delivered. Collective.
+    void
+    all_store_sync(coll::Collective& coll)
+    {
+        // Everyone learns how many stores target it (one vector
+        // reduction), then waits for that many arrivals.
+        std::vector<int64_t> totals(issued_to_.begin(), issued_to_.end());
+        coll.allreduce_sum_i64_vec(totals.data(), ctx_.nranks());
+        uint64_t expect_me = static_cast<uint64_t>(
+            totals[static_cast<size_t>(ctx_.rank())]);
+        std::fill(issued_to_.begin(), issued_to_.end(), 0);
+        store_fence_base_ += expect_me;
+        ctx_.wait_ge(*store_flag_, store_fence_base_);
+        coll.barrier();
+    }
+
+    // ----- blocking sugar -----
+
+    /// Blocking single-element read.
+    template <typename T>
+    T
+    read(GlobalPtr<T> p)
+    {
+        T v;
+        ctx_.get_blocking(&v, p.rank, p.addr, sizeof(T));
+        return v;
+    }
+
+    /// Blocking single-element write (waits for the remote ack).
+    template <typename T>
+    void
+    write(GlobalPtr<T> p, const T& v)
+    {
+        ctx_.put_blocking(&v, p.rank, p.addr, sizeof(T));
+    }
+
+    /// Blocking bulk get.
+    template <typename T>
+    void
+    bulk_get(T* dst, GlobalPtr<T> src, size_t elems)
+    {
+        ctx_.get_blocking(dst, src.rank, src.addr, elems * sizeof(T));
+    }
+
+    /// Blocking bulk put.
+    template <typename T>
+    void
+    bulk_put(GlobalPtr<T> dst, const T* src, size_t elems)
+    {
+        ctx_.put_blocking(src, dst.rank, dst.addr, elems * sizeof(T));
+    }
+
+  private:
+    sim::Flag*
+    remote_store_flag(int rank)
+    {
+        if (store_flags_.empty())
+            store_flags_.assign(static_cast<size_t>(ctx_.nranks()),
+                                nullptr);
+        auto& f = store_flags_[static_cast<size_t>(rank)];
+        if (f == nullptr) {
+            f = static_cast<sim::Flag*>(
+                ctx_.lookup("splitc.storeflag", rank));
+        }
+        return f;
+    }
+
+    rma::Ctx& ctx_;
+    sim::Flag* sp_flag_;
+    uint64_t sp_issued_ = 0;
+    sim::Flag* store_flag_;
+    uint64_t store_fence_base_ = 0;
+    std::vector<uint64_t> issued_to_;
+    std::vector<sim::Flag*> store_flags_;
+};
+
+} // namespace splitc
+
+#endif // MSGPROXY_SPLITC_SPLITC_H

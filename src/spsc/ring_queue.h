@@ -1,0 +1,201 @@
+/// \file
+/// Lock-free single-producer/single-consumer ring queues.
+///
+/// This is the data structure at the heart of the paper's message
+/// proxy: "the command queues are single-producer, single-consumer
+/// queues, [so] the queue synchronization can be enforced by a
+/// full/empty flag in each queue entry" — no locks, no atomic RMW
+/// operations, just acquire/release ordering on the per-slot flag.
+///
+/// One thread may push and one (other) thread may pop, concurrently.
+
+#ifndef MSGPROXY_SPSC_RING_QUEUE_H
+#define MSGPROXY_SPSC_RING_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace spsc {
+
+/// Fixed-capacity lock-free SPSC queue of T.
+///
+/// Capacity must be a power of two. Each slot carries the paper's
+/// full/empty flag: the producer only writes empty slots and the
+/// consumer only reads full ones, so head and tail indices stay
+/// thread-local (no shared counters at all).
+template <typename T, size_t kCapacity>
+class RingQueue
+{
+    static_assert((kCapacity & (kCapacity - 1)) == 0,
+                  "capacity must be a power of two");
+    static_assert(kCapacity >= 2, "capacity too small");
+
+  public:
+    RingQueue() = default;
+
+    RingQueue(const RingQueue&) = delete;
+    RingQueue& operator=(const RingQueue&) = delete;
+
+    /// Producer: attempts to enqueue; returns false when full.
+    bool
+    try_push(T value)
+    {
+        Slot& s = slots_[tail_ & kMask];
+        if (s.full.load(std::memory_order_acquire))
+            return false; // consumer has not drained this slot yet
+        s.value = std::move(value);
+        s.full.store(true, std::memory_order_release);
+        ++tail_;
+        return true;
+    }
+
+    /// Consumer: attempts to dequeue; returns false when empty.
+    bool
+    try_pop(T& out)
+    {
+        Slot& s = slots_[head_ & kMask];
+        if (!s.full.load(std::memory_order_acquire))
+            return false;
+        out = std::move(s.value);
+        s.full.store(false, std::memory_order_release);
+        ++head_;
+        return true;
+    }
+
+    /// Consumer: true when the next slot holds no message. This is
+    /// the proxy's cheap poll: a single acquire load that stays in
+    /// cache while the queue is idle.
+    bool
+    empty() const
+    {
+        return !slots_[head_ & kMask].full.load(
+            std::memory_order_acquire);
+    }
+
+    /// Capacity in elements.
+    static constexpr size_t capacity() { return kCapacity; }
+
+  private:
+    static constexpr size_t kMask = kCapacity - 1;
+
+    struct alignas(64) Slot
+    {
+        std::atomic<bool> full{false};
+        T value{};
+    };
+
+    Slot slots_[kCapacity];
+    /// Producer-local cursor (only the producer thread touches it).
+    alignas(64) size_t tail_ = 0;
+    /// Consumer-local cursor (only the consumer thread touches it).
+    alignas(64) size_t head_ = 0;
+};
+
+/// Variable-length message ring: a byte ring carrying length-prefixed
+/// records, with the same SPSC full/empty-flag discipline applied to
+/// a record header slot. Used for the user-level receive queues where
+/// message sizes vary.
+template <size_t kBytes>
+class MsgRing
+{
+    static_assert((kBytes & (kBytes - 1)) == 0,
+                  "capacity must be a power of two");
+
+  public:
+    MsgRing() = default;
+
+    MsgRing(const MsgRing&) = delete;
+    MsgRing& operator=(const MsgRing&) = delete;
+
+    /// Producer: appends an n-byte message; false when there is not
+    /// enough contiguous credit.
+    bool
+    try_push(const void* data, uint32_t n)
+    {
+        uint32_t need = record_bytes(n);
+        if (need > kBytes / 2)
+            return false; // message larger than the ring supports
+        uint64_t head = head_.load(std::memory_order_acquire);
+        if (tail_ + need - head > kBytes)
+            return false; // full
+        // Write payload then publish the header (release).
+        uint64_t pos = tail_ + kHeaderBytes;
+        const auto* src = static_cast<const uint8_t*>(data);
+        for (uint32_t i = 0; i < n; ++i)
+            buf_[(pos + i) & kMask] = src[i];
+        hdr_at(tail_).store(
+            (static_cast<uint64_t>(1) << 63) | n,
+            std::memory_order_release);
+        tail_ += need;
+        return true;
+    }
+
+    /// Consumer: pops the head message into out (resized); false when
+    /// empty.
+    template <typename Vec>
+    bool
+    try_pop(Vec& out)
+    {
+        uint64_t h = hdr_at(chead_).load(std::memory_order_acquire);
+        if ((h >> 63) == 0)
+            return false;
+        auto n = static_cast<uint32_t>(h & 0xffffffffu);
+        out.resize(n);
+        uint64_t pos = chead_ + kHeaderBytes;
+        for (uint32_t i = 0; i < n; ++i)
+            out[i] = buf_[(pos + i) & kMask];
+        hdr_at(chead_).store(0, std::memory_order_release);
+        chead_ += record_bytes(n);
+        head_.store(chead_, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer: true when no message is queued.
+    bool
+    empty() const
+    {
+        return (hdr_at(chead_).load(std::memory_order_acquire) >> 63) ==
+               0;
+    }
+
+  private:
+    static constexpr size_t kMask = kBytes - 1;
+    static constexpr uint32_t kHeaderBytes = 8;
+
+    static uint32_t
+    record_bytes(uint32_t n)
+    {
+        // Header + payload, rounded to the header alignment.
+        return kHeaderBytes +
+               ((n + kHeaderBytes - 1) / kHeaderBytes) * kHeaderBytes;
+    }
+
+    std::atomic<uint64_t>&
+    hdr_at(uint64_t pos)
+    {
+        return *reinterpret_cast<std::atomic<uint64_t>*>(
+            &buf_[pos & kMask]);
+    }
+
+    const std::atomic<uint64_t>&
+    hdr_at(uint64_t pos) const
+    {
+        return *reinterpret_cast<const std::atomic<uint64_t>*>(
+            &buf_[pos & kMask]);
+    }
+
+    alignas(64) uint8_t buf_[kBytes] = {};
+    /// Producer-local write cursor.
+    alignas(64) uint64_t tail_ = 0;
+    /// Consumer-local read cursor, mirrored to head_ for the
+    /// producer's space accounting.
+    alignas(64) uint64_t chead_ = 0;
+    std::atomic<uint64_t> head_{0};
+};
+
+} // namespace spsc
+
+#endif // MSGPROXY_SPSC_RING_QUEUE_H

@@ -1,0 +1,86 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace mp {
+
+namespace {
+
+LogLevel
+initial_level()
+{
+    const char* env = std::getenv("MSGPROXY_LOG");
+    if (env == nullptr)
+        return LogLevel::kWarn;
+    if (std::strcmp(env, "quiet") == 0)
+        return LogLevel::kQuiet;
+    if (std::strcmp(env, "inform") == 0)
+        return LogLevel::kInform;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::kDebug;
+    return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+
+} // namespace
+
+LogLevel
+log_level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(const char* severity, const std::string& msg)
+{
+    std::fprintf(stderr, "%s: %s\n", severity, msg.c_str());
+}
+
+void
+panic_impl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatal_impl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace detail
+
+void
+warn(const std::string& msg)
+{
+    if (log_level() >= LogLevel::kWarn)
+        detail::emit("warn", msg);
+}
+
+void
+inform(const std::string& msg)
+{
+    if (log_level() >= LogLevel::kInform)
+        detail::emit("info", msg);
+}
+
+void
+debug(const std::string& msg)
+{
+    if (log_level() >= LogLevel::kDebug)
+        detail::emit("debug", msg);
+}
+
+} // namespace mp

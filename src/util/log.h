@@ -1,0 +1,79 @@
+/// \file
+/// Lightweight logging and invariant-checking utilities.
+///
+/// Follows the gem5 convention of distinguishing programmer errors
+/// (MP_PANIC: a bug in this library, aborts) from user errors
+/// (MP_FATAL: bad configuration or arguments, exits cleanly) and
+/// non-fatal diagnostics (mp::warn / mp::inform).
+
+#ifndef MSGPROXY_UTIL_LOG_H
+#define MSGPROXY_UTIL_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mp {
+
+/// Verbosity levels for diagnostic output.
+enum class LogLevel { kQuiet = 0, kWarn = 1, kInform = 2, kDebug = 3 };
+
+/// Returns the process-wide log level (default kWarn; override with
+/// the MSGPROXY_LOG environment variable: quiet|warn|inform|debug).
+LogLevel log_level();
+
+/// Overrides the process-wide log level.
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+/// Emits one formatted diagnostic line with a severity prefix.
+void emit(const char* severity, const std::string& msg);
+
+/// Prints the message and aborts; used by MP_PANIC for internal bugs.
+[[noreturn]] void panic_impl(const char* file, int line,
+                             const std::string& msg);
+
+/// Prints the message and exits(1); used by MP_FATAL for user errors.
+[[noreturn]] void fatal_impl(const char* file, int line,
+                             const std::string& msg);
+
+} // namespace detail
+
+/// Warns about a condition that may indicate incorrect behaviour.
+void warn(const std::string& msg);
+
+/// Informational message the user should see but not worry about.
+void inform(const std::string& msg);
+
+/// Debug-level message, suppressed unless MSGPROXY_LOG=debug.
+void debug(const std::string& msg);
+
+} // namespace mp
+
+/// Aborts on an internal invariant violation (a bug in this library).
+#define MP_PANIC(msg)                                                      \
+    do {                                                                   \
+        std::ostringstream mp_oss_;                                        \
+        mp_oss_ << msg;                                                    \
+        ::mp::detail::panic_impl(__FILE__, __LINE__, mp_oss_.str());       \
+    } while (0)
+
+/// Exits on a user error (bad configuration, invalid arguments).
+#define MP_FATAL(msg)                                                      \
+    do {                                                                   \
+        std::ostringstream mp_oss_;                                        \
+        mp_oss_ << msg;                                                    \
+        ::mp::detail::fatal_impl(__FILE__, __LINE__, mp_oss_.str());       \
+    } while (0)
+
+/// Checks an invariant that must hold regardless of user input.
+#define MP_CHECK(cond, msg)                                                \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            MP_PANIC("check failed: " #cond ": " << msg);                  \
+        }                                                                  \
+    } while (0)
+
+#endif // MSGPROXY_UTIL_LOG_H

@@ -1,0 +1,112 @@
+/// \file
+/// Deterministic pseudo-random number generation (xoshiro256**).
+///
+/// Simulation runs must be reproducible across hosts and compilers, so
+/// all stochastic behaviour in the library (workload generators, Monte
+/// Carlo kernels, randomized polling jitter) draws from this generator
+/// rather than std::mt19937 or std::uniform_*_distribution, whose
+/// outputs are not pinned down by the standard in the same way across
+/// implementations for the distribution adaptors.
+
+#ifndef MSGPROXY_UTIL_RNG_H
+#define MSGPROXY_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace mp {
+
+/// xoshiro256** generator with splitmix64 seeding.
+///
+/// Passes BigCrush; period 2^256 - 1. Cheap enough to embed one
+/// instance per simulated rank so that parallel runs are deterministic
+/// regardless of execution interleaving.
+class Rng
+{
+  public:
+    /// Constructs a generator from a 64-bit seed via splitmix64.
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /// Re-seeds the generator deterministically.
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (auto& word : state_) {
+            // splitmix64 step: decorrelates consecutive seeds.
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    uint64_t
+    next_u64()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Returns a uniform integer in [0, bound). bound must be > 0.
+    /// Uses Lemire's multiply-shift rejection method (unbiased).
+    uint64_t
+    next_below(uint64_t bound)
+    {
+        uint64_t x = next_u64();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        uint64_t lo = static_cast<uint64_t>(m);
+        if (lo < bound) {
+            uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = next_u64();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<uint64_t>(m);
+            }
+        }
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /// Returns a uniform double in [0, 1).
+    double
+    next_double()
+    {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Returns a uniform double in [lo, hi).
+    double
+    next_range(double lo, double hi)
+    {
+        return lo + (hi - lo) * next_double();
+    }
+
+    /// Returns a uniform integer in [lo, hi] inclusive.
+    int64_t
+    next_int(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+                        next_below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace mp
+
+#endif // MSGPROXY_UTIL_RNG_H

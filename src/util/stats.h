@@ -1,0 +1,158 @@
+/// \file
+/// Statistics accumulators used throughout the simulator and the
+/// benchmark harness: scalar summary statistics and fixed-bucket
+/// histograms, plus a time-weighted accumulator for utilization.
+
+#ifndef MSGPROXY_UTIL_STATS_H
+#define MSGPROXY_UTIL_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mp {
+
+/// Accumulates count / mean / variance / min / max of a sample stream
+/// in O(1) space (Welford's algorithm for numerical stability).
+class Summary
+{
+  public:
+    /// Adds one observation.
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    /// Number of observations.
+    uint64_t count() const { return n_; }
+    /// Sum of all observations (0 when empty).
+    double sum() const { return sum_; }
+    /// Sample mean (0 when empty).
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /// Smallest observation (+inf when empty).
+    double min() const { return min_; }
+    /// Largest observation (-inf when empty).
+    double max() const { return max_; }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    /// Sample standard deviation.
+    double stddev() const { return std::sqrt(variance()); }
+
+    /// Discards all observations.
+    void
+    reset()
+    {
+        *this = Summary{};
+    }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted accumulator for busy/idle accounting.
+///
+/// A sim::Resource reports periods during which it is busy; dividing
+/// accumulated busy time by elapsed time yields the utilization that
+/// Table 6 of the paper reports for adapters and message proxies.
+class BusyTime
+{
+  public:
+    /// Records a busy interval of the given duration (microseconds).
+    void add_busy(double duration_us) { busy_us_ += duration_us; }
+
+    /// Total accumulated busy time in microseconds.
+    double busy_us() const { return busy_us_; }
+
+    /// Utilization over an observation window [0, end_us].
+    double
+    utilization(double end_us) const
+    {
+        return end_us > 0.0 ? busy_us_ / end_us : 0.0;
+    }
+
+    /// Discards accumulated busy time.
+    void reset() { busy_us_ = 0.0; }
+
+  private:
+    double busy_us_ = 0.0;
+};
+
+/// Fixed-width-bucket histogram over [lo, hi); out-of-range samples
+/// land in saturating underflow/overflow buckets.
+class Histogram
+{
+  public:
+    /// Creates a histogram of `buckets` equal-width bins over [lo, hi).
+    Histogram(double lo, double hi, int buckets)
+        : lo_(lo), hi_(hi), counts_(static_cast<size_t>(buckets), 0)
+    {
+    }
+
+    /// Adds one observation.
+    void
+    add(double x)
+    {
+        ++total_;
+        if (x < lo_) {
+            ++underflow_;
+        } else if (x >= hi_) {
+            ++overflow_;
+        } else {
+            auto idx = static_cast<size_t>((x - lo_) / (hi_ - lo_) *
+                                           static_cast<double>(counts_.size()));
+            idx = std::min(idx, counts_.size() - 1);
+            ++counts_[idx];
+        }
+    }
+
+    /// Count in bucket i.
+    uint64_t bucket(size_t i) const { return counts_[i]; }
+    /// Number of buckets.
+    size_t buckets() const { return counts_.size(); }
+    /// Observations below the range.
+    uint64_t underflow() const { return underflow_; }
+    /// Observations at or above the range.
+    uint64_t overflow() const { return overflow_; }
+    /// Total observations.
+    uint64_t total() const { return total_; }
+
+    /// Inclusive lower edge of bucket i.
+    double
+    bucket_lo(size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                         static_cast<double>(counts_.size());
+    }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace mp
+
+#endif // MSGPROXY_UTIL_STATS_H

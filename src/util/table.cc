@@ -1,0 +1,98 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/log.h"
+
+namespace mp {
+
+TablePrinter::TablePrinter(std::string caption) : caption_(std::move(caption))
+{
+}
+
+void
+TablePrinter::set_header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+TablePrinter::add_row(std::vector<std::string> cols)
+{
+    MP_CHECK(cols.size() == header_.size(),
+             "row width " << cols.size() << " != header width "
+                          << header_.size());
+    rows_.push_back(std::move(cols));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::num(int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    return buf;
+}
+
+void
+TablePrinter::print(std::FILE* out) const
+{
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::fprintf(out, "\n%s\n", caption_.c_str());
+    auto rule = [&] {
+        for (size_t c = 0; c < width.size(); ++c) {
+            std::fprintf(out, "+%s", std::string(width[c] + 2, '-').c_str());
+        }
+        std::fprintf(out, "+\n");
+    };
+    auto line = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            std::fprintf(out, "| %-*s ", static_cast<int>(width[c]),
+                         row[c].c_str());
+        }
+        std::fprintf(out, "|\n");
+    };
+    rule();
+    line(header_);
+    rule();
+    for (const auto& row : rows_)
+        line(row);
+    rule();
+}
+
+bool
+TablePrinter::write_csv(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot open CSV output file " + path);
+        return false;
+    }
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            std::fprintf(f, "%s%s", c ? "," : "", row[c].c_str());
+        }
+        std::fprintf(f, "\n");
+    };
+    emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace mp

@@ -1,0 +1,51 @@
+/// \file
+/// ASCII table and CSV emission for the benchmark harness.
+///
+/// Every bench binary regenerates one table or figure from the paper;
+/// TablePrinter renders the human-readable form and can mirror the
+/// same rows to a CSV file for plotting.
+
+#ifndef MSGPROXY_UTIL_TABLE_H
+#define MSGPROXY_UTIL_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mp {
+
+/// Builds a column-aligned ASCII table incrementally and prints it.
+class TablePrinter
+{
+  public:
+    /// Creates a table with the given caption (printed above the rows).
+    explicit TablePrinter(std::string caption);
+
+    /// Sets the header row. Must be called before add_row.
+    void set_header(std::vector<std::string> cols);
+
+    /// Appends one data row; the column count must match the header.
+    void add_row(std::vector<std::string> cols);
+
+    /// Convenience: formats a double with the given precision.
+    static std::string num(double v, int precision = 2);
+
+    /// Convenience: formats an integer.
+    static std::string num(int64_t v);
+
+    /// Renders the table to `out` (defaults to stdout).
+    void print(std::FILE* out = stdout) const;
+
+    /// Writes the header and rows as CSV to `path`. Returns false and
+    /// warns (does not abort) if the file cannot be opened.
+    bool write_csv(const std::string& path) const;
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mp
+
+#endif // MSGPROXY_UTIL_TABLE_H

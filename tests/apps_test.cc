@@ -1,0 +1,170 @@
+/// \file
+/// Application self-check tests: every Table 5 application must
+/// produce numerically valid results (LU residual, FFT vs direct DFT,
+/// sorted output, force-approximation error, momentum conservation,
+/// replica consistency) on single- and multi-node runs across
+/// architectures, and must show parallel speedup on a compute-heavy
+/// workload.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "apps/apps.h"
+#include "machine/design_point.h"
+
+namespace {
+
+rma::SystemConfig
+cfg_for(const std::string& dp_name, int nodes, int ppn = 1)
+{
+    rma::SystemConfig cfg;
+    auto dp = machine::design_point_by_name(dp_name);
+    EXPECT_TRUE(dp.has_value());
+    cfg.design = *dp;
+    cfg.nodes = nodes;
+    cfg.procs_per_node = ppn;
+    return cfg;
+}
+
+// (app index, design point, nodes)
+using Param = std::tuple<int, std::string, int>;
+
+class AppValidity : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(AppValidity, SelfCheckPasses)
+{
+    auto [app_idx, dp, nodes] = GetParam();
+    const auto& entry = apps::all_apps()[static_cast<size_t>(app_idx)];
+    auto cfg = cfg_for(dp, nodes);
+    auto res = entry.fn(cfg, /*scale=*/4);
+    EXPECT_TRUE(res.valid) << entry.name << " on " << dp << " with "
+                           << nodes << " nodes: checksum "
+                           << res.checksum;
+    EXPECT_GT(res.elapsed_us, 0.0);
+    EXPECT_EQ(res.run.faults, 0u);
+}
+
+std::string
+param_name(const ::testing::TestParamInfo<Param>& info)
+{
+    const auto& entry =
+        apps::all_apps()[static_cast<size_t>(std::get<0>(info.param))];
+    std::string n = entry.name;
+    for (auto& c : n)
+        if (c == '-')
+            c = '_';
+    return n + "_" + std::get<1>(info.param) + "_n" +
+           std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AppValidity,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values(std::string("HW1"),
+                                         std::string("MP1")),
+                       ::testing::Values(1, 4)),
+    param_name);
+
+// A second architecture sweep on a single representative app per
+// style keeps the matrix tractable while covering MP0/MP2/SW1/HW0.
+class AppArchSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::string>>
+{
+};
+
+TEST_P(AppArchSweep, SelfCheckPasses)
+{
+    auto [app_idx, dp] = GetParam();
+    const auto& entry = apps::all_apps()[static_cast<size_t>(app_idx)];
+    auto cfg = cfg_for(dp, 4);
+    auto res = entry.fn(cfg, /*scale=*/4);
+    EXPECT_TRUE(res.valid) << entry.name << " on " << dp;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Styles, AppArchSweep,
+    ::testing::Combine(::testing::Values(0, 1, 6), // Moldy, LU, Sample
+                       ::testing::Values(std::string("HW0"),
+                                         std::string("MP0"),
+                                         std::string("MP2"),
+                                         std::string("SW1"))),
+    [](const auto& info) {
+        const auto& entry =
+            apps::all_apps()[static_cast<size_t>(std::get<0>(info.param))];
+        std::string n = entry.name;
+        for (auto& c : n)
+            if (c == '-')
+                c = '_';
+        return n + "_" + std::get<1>(info.param);
+    });
+
+class AppSmpNodes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AppSmpNodes, RunsOnMultiProcessorNodes)
+{
+    const auto& entry =
+        apps::all_apps()[static_cast<size_t>(GetParam())];
+    auto cfg = cfg_for("MP1", /*nodes=*/2, /*ppn=*/2);
+    auto res = entry.fn(cfg, /*scale=*/4);
+    EXPECT_TRUE(res.valid) << entry.name << " on 2x2";
+    EXPECT_EQ(res.run.faults, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoByTwo, AppSmpNodes, ::testing::Range(0, 10),
+                         [](const auto& info) {
+                             std::string n =
+                                 apps::all_apps()[static_cast<size_t>(
+                                                      info.param)]
+                                     .name;
+                             for (auto& c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(AppBehaviour, LuSpeedsUpWithMoreProcessors)
+{
+    auto r1 = apps::run_lu(cfg_for("HW1", 1), /*scale=*/1);
+    auto r4 = apps::run_lu(cfg_for("HW1", 4), /*scale=*/1);
+    ASSERT_TRUE(r1.valid);
+    ASSERT_TRUE(r4.valid);
+    EXPECT_GT(r1.elapsed_us / r4.elapsed_us, 1.5)
+        << "1p: " << r1.elapsed_us << " us, 4p: " << r4.elapsed_us;
+}
+
+TEST(AppBehaviour, WaterSpeedsUpWithMoreProcessors)
+{
+    auto r1 = apps::run_water(cfg_for("HW1", 1), /*scale=*/2);
+    auto r4 = apps::run_water(cfg_for("HW1", 4), /*scale=*/2);
+    ASSERT_TRUE(r1.valid);
+    ASSERT_TRUE(r4.valid);
+    EXPECT_GT(r1.elapsed_us / r4.elapsed_us, 1.5);
+}
+
+TEST(AppBehaviour, SampleIsCommunicationBound)
+{
+    // Sample's fine-grained messages make MP1 visibly slower than
+    // HW1 (the paper's headline comparison).
+    auto hw = apps::run_sample(cfg_for("HW1", 4), /*scale=*/4);
+    auto mp = apps::run_sample(cfg_for("MP1", 4), /*scale=*/4);
+    ASSERT_TRUE(hw.valid);
+    ASSERT_TRUE(mp.valid);
+    EXPECT_GT(mp.elapsed_us, hw.elapsed_us);
+}
+
+TEST(AppBehaviour, TrafficStatisticsAreReasonable)
+{
+    auto res = apps::run_wator(cfg_for("MP1", 4), /*scale=*/2);
+    ASSERT_TRUE(res.valid);
+    EXPECT_GT(res.run.ops, 100u);
+    // Wator's messages are small (a handful of fish records).
+    EXPECT_LT(res.run.avg_msg_bytes, 512.0);
+}
+
+} // namespace

@@ -1,0 +1,362 @@
+/// \file
+/// Tests for the CRL distributed-shared-memory layer: coherence state
+/// transitions, read/write visibility, invalidation, deferred
+/// protocol actions while regions are held, and a randomized
+/// sequential-consistency property test.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "am/am.h"
+#include "backend/factory.h"
+#include "coll/coll.h"
+#include "crl/crl.h"
+#include "machine/design_point.h"
+#include "rma/system.h"
+
+namespace {
+
+rma::SystemConfig
+cfg_for(const std::string& dp_name, int nodes = 2, int ppn = 1)
+{
+    rma::SystemConfig cfg;
+    auto dp = machine::design_point_by_name(dp_name);
+    EXPECT_TRUE(dp.has_value());
+    cfg.design = *dp;
+    cfg.nodes = nodes;
+    cfg.procs_per_node = ppn;
+    return cfg;
+}
+
+class CrlAllBackends : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CrlAllBackends, WriteThenRemoteReadSeesData)
+{
+    auto cfg = cfg_for(GetParam());
+    backend::run_app(cfg, [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        // Rank 0 homes one region of 100 doubles.
+        crl::RegionId rid = crl::Crl::region_id(0, 0);
+        if (ctx.rank() == 0)
+            crl.create(100 * sizeof(double));
+        auto* buf =
+            static_cast<double*>(crl.map(rid, 100 * sizeof(double)));
+        coll.barrier();
+
+        if (ctx.rank() == 0) {
+            crl.start_write(rid);
+            for (int i = 0; i < 100; ++i)
+                buf[i] = i * 1.5;
+            crl.end_write(rid);
+        }
+        coll.barrier();
+        if (ctx.rank() == 1) {
+            crl.start_read(rid);
+            for (int i = 0; i < 100; ++i)
+                EXPECT_DOUBLE_EQ(buf[i], i * 1.5);
+            crl.end_read(rid);
+        }
+        coll.barrier();
+        EXPECT_EQ(ctx.system().faults().size(), 0u);
+    });
+}
+
+TEST_P(CrlAllBackends, WriteInvalidatesRemoteSharedCopy)
+{
+    auto cfg = cfg_for(GetParam());
+    backend::run_app(cfg, [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        crl::RegionId rid = crl::Crl::region_id(0, 0);
+        if (ctx.rank() == 0)
+            crl.create(sizeof(int64_t));
+        auto* v = static_cast<int64_t*>(crl.map(rid, sizeof(int64_t)));
+        coll.barrier();
+
+        // Round 1: rank 0 writes 11; both read it.
+        if (ctx.rank() == 0) {
+            crl.start_write(rid);
+            *v = 11;
+            crl.end_write(rid);
+        }
+        coll.barrier();
+        crl.start_read(rid);
+        EXPECT_EQ(*v, 11);
+        crl.end_read(rid);
+        coll.barrier();
+
+        // Round 2: rank 1 writes 22 (must invalidate rank 0's copy);
+        // rank 0 then reads and must see 22.
+        if (ctx.rank() == 1) {
+            crl.start_write(rid);
+            *v = 22;
+            crl.end_write(rid);
+        }
+        coll.barrier();
+        if (ctx.rank() == 0) {
+            crl.start_read(rid);
+            EXPECT_EQ(*v, 22);
+            crl.end_read(rid);
+        }
+        coll.barrier();
+    });
+}
+
+TEST_P(CrlAllBackends, HitsAndMissesAreCounted)
+{
+    auto cfg = cfg_for(GetParam());
+    uint64_t rh[2], rm[2], wh[2], wm[2];
+    backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        crl::RegionId rid = crl::Crl::region_id(1, 0);
+        if (ctx.rank() == 1)
+            crl.create(64);
+        crl.map(rid, 64);
+        coll.barrier();
+        if (ctx.rank() == 0) {
+            crl.start_write(rid); // miss
+            crl.end_write(rid);
+            crl.start_write(rid); // hit (still Modified)
+            crl.end_write(rid);
+            crl.start_read(rid); // hit (Modified readable)
+            crl.end_read(rid);
+        }
+        coll.barrier();
+        rh[ctx.rank()] = crl.read_hits();
+        rm[ctx.rank()] = crl.read_misses();
+        wh[ctx.rank()] = crl.write_hits();
+        wm[ctx.rank()] = crl.write_misses();
+    });
+    EXPECT_EQ(wm[0], 1u);
+    EXPECT_EQ(wh[0], 1u);
+    EXPECT_EQ(rh[0], 1u);
+    EXPECT_EQ(rm[0], 0u);
+}
+
+TEST_P(CrlAllBackends, ConcurrentReadersThenWriter)
+{
+    auto cfg = cfg_for(GetParam(), /*nodes=*/4);
+    backend::run_app(cfg, [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        crl::RegionId rid = crl::Crl::region_id(0, 0);
+        if (ctx.rank() == 0)
+            crl.create(sizeof(int64_t));
+        auto* v = static_cast<int64_t*>(crl.map(rid, sizeof(int64_t)));
+        coll.barrier();
+
+        if (ctx.rank() == 0) {
+            crl.start_write(rid);
+            *v = 7;
+            crl.end_write(rid);
+        }
+        coll.barrier();
+        // All four ranks read concurrently (sharers grow to 4).
+        crl.start_read(rid);
+        EXPECT_EQ(*v, 7);
+        crl.end_read(rid);
+        coll.barrier();
+        // Rank 3 writes; every other rank must then see the update.
+        if (ctx.rank() == 3) {
+            crl.start_write(rid);
+            *v = 8;
+            crl.end_write(rid);
+        }
+        coll.barrier();
+        crl.start_read(rid);
+        EXPECT_EQ(*v, 8);
+        crl.end_read(rid);
+        coll.barrier();
+    });
+}
+
+TEST_P(CrlAllBackends, FlushWritesBackToHome)
+{
+    auto cfg = cfg_for(GetParam());
+    backend::run_app(cfg, [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        crl::RegionId rid = crl::Crl::region_id(0, 0);
+        if (ctx.rank() == 0)
+            crl.create(sizeof(int64_t));
+        auto* v = static_cast<int64_t*>(crl.map(rid, sizeof(int64_t)));
+        coll.barrier();
+        if (ctx.rank() == 1) {
+            crl.start_write(rid);
+            *v = 99;
+            crl.end_write(rid);
+            crl.flush(rid);
+        }
+        coll.barrier();
+        if (ctx.rank() == 0) {
+            crl.start_read(rid);
+            EXPECT_EQ(*v, 99);
+            crl.end_read(rid);
+        }
+        coll.barrier();
+    });
+}
+
+TEST_P(CrlAllBackends, ManyRegionsRoundRobinHomes)
+{
+    auto cfg = cfg_for(GetParam(), /*nodes=*/4);
+    backend::run_app(cfg, [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        const int regions_per_rank = 4;
+        const size_t bytes = 16 * sizeof(int64_t);
+        for (int i = 0; i < regions_per_rank; ++i)
+            crl.create(bytes);
+        std::vector<crl::RegionId> rids;
+        for (int h = 0; h < ctx.nranks(); ++h) {
+            for (int i = 0; i < regions_per_rank; ++i) {
+                rids.push_back(
+                    crl::Crl::region_id(h, static_cast<uint32_t>(i)));
+                crl.map(rids.back(), bytes);
+            }
+        }
+        coll.barrier();
+        // Each rank writes a signature into "its" column of regions.
+        for (size_t k = 0; k < rids.size(); ++k) {
+            if (static_cast<int>(k) % ctx.nranks() != ctx.rank())
+                continue;
+            auto* p = static_cast<int64_t*>(crl.data(rids[k]));
+            crl.start_write(rids[k]);
+            for (int j = 0; j < 16; ++j)
+                p[j] = static_cast<int64_t>(k * 100 + j);
+            crl.end_write(rids[k]);
+        }
+        coll.barrier();
+        // Everyone verifies every region.
+        for (size_t k = 0; k < rids.size(); ++k) {
+            auto* p = static_cast<int64_t*>(crl.data(rids[k]));
+            crl.start_read(rids[k]);
+            for (int j = 0; j < 16; ++j)
+                ASSERT_EQ(p[j], static_cast<int64_t>(k * 100 + j));
+            crl.end_read(rids[k]);
+        }
+        coll.barrier();
+    });
+}
+
+TEST_P(CrlAllBackends, SharedToModifiedUpgradeSendsNoData)
+{
+    auto cfg = cfg_for(GetParam());
+    uint64_t bytes_with_upgrade = 0, bytes_cold = 0;
+    // Run A: read-then-write (upgrade path: the grant carries no
+    // payload). Run B: write from Invalid (full data fill).
+    for (int variant = 0; variant < 2; ++variant) {
+        auto sys = backend::make_system(cfg);
+        sys->run([&](rma::Ctx& ctx) {
+            am::Endpoint ep(ctx);
+            crl::Crl crl(ctx, ep);
+            coll::Collective coll(ctx, &ep);
+            crl::RegionId rid = crl::Crl::region_id(0, 0);
+            const size_t bytes = 2048;
+            if (ctx.rank() == 0)
+                crl.create(bytes);
+            crl.map(rid, bytes);
+            coll.barrier();
+            if (ctx.rank() == 1) {
+                if (variant == 0) {
+                    crl.start_read(rid); // acquire a Shared copy
+                    crl.end_read(rid);
+                }
+                crl.start_write(rid);
+                crl.end_write(rid);
+            }
+            coll.barrier();
+        });
+        uint64_t total = sys->traffic().bytes();
+        if (variant == 0)
+            bytes_with_upgrade = total;
+        else
+            bytes_cold = total;
+    }
+    // The upgrade run paid for one fill during the read; the write
+    // itself moved no data, so it transfers no more than the cold
+    // write (which fills 2 KB) plus control chatter.
+    EXPECT_LT(bytes_with_upgrade, bytes_cold + 2048);
+}
+
+// Randomized sequential-consistency property: ranks take turns (via
+// barriers) doing random writes/reads to random regions; a shadow
+// array tracks the last committed value, and every read must observe
+// it.
+TEST_P(CrlAllBackends, RandomizedCoherenceProperty)
+{
+    auto cfg = cfg_for(GetParam(), /*nodes=*/4);
+    backend::run_app(cfg, [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        const int nregions = 6;
+        if (ctx.rank() == 0) {
+            for (int i = 0; i < nregions; ++i)
+                crl.create(sizeof(int64_t));
+        }
+        std::vector<crl::RegionId> rids;
+        std::vector<int64_t*> ptr;
+        for (int i = 0; i < nregions; ++i) {
+            rids.push_back(crl::Crl::region_id(0, static_cast<uint32_t>(i)));
+            ptr.push_back(static_cast<int64_t*>(
+                crl.map(rids.back(), sizeof(int64_t))));
+        }
+        coll.barrier();
+        // Shared shadow of committed values (host memory, test-only).
+        static int64_t shadow[6];
+        if (ctx.rank() == 0) {
+            for (int i = 0; i < nregions; ++i)
+                shadow[i] = 0;
+        }
+        coll.barrier();
+
+        mp::Rng rng(1234); // same stream on all ranks
+        for (int step = 0; step < 30; ++step) {
+            int writer = static_cast<int>(rng.next_below(
+                static_cast<uint64_t>(ctx.nranks())));
+            int region = static_cast<int>(
+                rng.next_below(static_cast<uint64_t>(nregions)));
+            int64_t value = static_cast<int64_t>(rng.next_u64() >> 1);
+            if (ctx.rank() == writer) {
+                crl.start_write(rids[static_cast<size_t>(region)]);
+                *ptr[static_cast<size_t>(region)] = value;
+                crl.end_write(rids[static_cast<size_t>(region)]);
+                shadow[region] = value;
+            }
+            coll.barrier();
+            // A random subset of ranks read a random region.
+            int reader_region = static_cast<int>(
+                rng.next_below(static_cast<uint64_t>(nregions)));
+            if ((rng.next_u64() & 1) == 0 ||
+                ctx.rank() == (writer + 1) % ctx.nranks()) {
+                crl.start_read(rids[static_cast<size_t>(reader_region)]);
+                ASSERT_EQ(*ptr[static_cast<size_t>(reader_region)],
+                          shadow[reader_region])
+                    << "step " << step << " region " << reader_region;
+                crl.end_read(rids[static_cast<size_t>(reader_region)]);
+            }
+            coll.barrier();
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesignPoints, CrlAllBackends,
+                         ::testing::Values("HW0", "HW1", "MP0", "MP1",
+                                           "MP2", "SW1"),
+                         [](const auto& info) { return info.param; });
+
+} // namespace

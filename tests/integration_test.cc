@@ -1,0 +1,263 @@
+/// \file
+/// Cross-layer integration tests: application traffic shapes must
+/// match the paper's Table 6 characterization; a DEQ-based
+/// work-stealing pattern exercises remote dequeues under contention;
+/// a mixed workload runs every layer (MPI + CRL + Split-C + AM +
+/// collectives) in one simulation; and the sim kernel's composite
+/// wait primitive is pinned down.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "am/am.h"
+#include "apps/apps.h"
+#include "backend/factory.h"
+#include "coll/coll.h"
+#include "crl/crl.h"
+#include "machine/design_point.h"
+#include "mpi/mpi.h"
+#include "rma/system.h"
+#include "sim/flag.h"
+#include "splitc/splitc.h"
+
+namespace {
+
+rma::SystemConfig
+cfg_for(const std::string& dp_name, int nodes, int ppn = 1)
+{
+    rma::SystemConfig cfg;
+    cfg.design = *machine::design_point_by_name(dp_name);
+    cfg.nodes = nodes;
+    cfg.procs_per_node = ppn;
+    return cfg;
+}
+
+// ------------------------------------------------- Table 6 traffic shapes
+
+struct TrafficShape
+{
+    int app_index;
+    double min_avg_bytes;
+    double max_avg_bytes;
+};
+
+class AppTrafficShape : public ::testing::TestWithParam<TrafficShape>
+{
+};
+
+TEST_P(AppTrafficShape, AverageMessageSizeInCharacteristicRange)
+{
+    auto p = GetParam();
+    const auto& app = apps::all_apps()[static_cast<size_t>(p.app_index)];
+    auto res = app.fn(cfg_for("MP1", 8), /*scale=*/2);
+    ASSERT_TRUE(res.valid) << app.name;
+    EXPECT_GE(res.run.avg_msg_bytes, p.min_avg_bytes) << app.name;
+    EXPECT_LE(res.run.avg_msg_bytes, p.max_avg_bytes) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table6, AppTrafficShape,
+    ::testing::Values(
+        // Moldy broadcasts coordinate blocks: large messages.
+        TrafficShape{0, 400.0, 20000.0},
+        // Sample sends key pairs: tiny messages (paper: ~29 B).
+        TrafficShape{6, 8.0, 64.0},
+        // Wator fetches small fish groups (paper: 40 B).
+        TrafficShape{9, 24.0, 256.0},
+        // MM moves whole block-rows: very large messages.
+        TrafficShape{4, 4096.0, 1e9},
+        // P-Ray fetches single sphere records (paper: 29 B).
+        TrafficShape{8, 16.0, 128.0}),
+    [](const auto& info) {
+        std::string n = apps::all_apps()[static_cast<size_t>(
+                                             info.param.app_index)]
+                            .name;
+        for (auto& c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+// ----------------------------------------------------- DEQ work stealing
+
+TEST(Integration, RemoteDeqWorkStealing)
+{
+    // Rank 0 owns a task queue; workers DEQ tasks remotely until a
+    // poison pill arrives. Every task must be executed exactly once.
+    const int p = 4;
+    const int kTasks = 60;
+    auto cfg = cfg_for("MP1", p);
+    std::vector<int> executed(kTasks, 0);
+    backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        coll::Collective coll(ctx);
+        int qid = ctx.make_queue();
+        coll.barrier();
+        if (ctx.rank() == 0) {
+            for (int t = 0; t < kTasks; ++t) {
+                int64_t task = t;
+                ctx.enq_blocking(&task, 0, qid, sizeof(task));
+            }
+            // One poison pill per worker.
+            for (int w = 1; w < p; ++w) {
+                int64_t pill = -1;
+                ctx.enq_blocking(&pill, 0, qid, sizeof(pill));
+            }
+            coll.barrier();
+        } else {
+            for (;;) {
+                int64_t task = -2;
+                sim::Flag* f = ctx.new_flag();
+                ctx.deq(&task, 0, qid, sizeof(task), f);
+                ctx.wait_ge(*f, 1);
+                if (f->value() == 1) {
+                    // Queue momentarily empty: retry after a pause.
+                    ctx.compute(20.0);
+                    continue;
+                }
+                if (task < 0)
+                    break; // poison pill
+                executed[static_cast<size_t>(task)]++;
+                ctx.compute(15.0); // "process" the task
+            }
+            coll.barrier();
+        }
+    });
+    for (int t = 0; t < kTasks; ++t)
+        EXPECT_EQ(executed[static_cast<size_t>(t)], 1) << "task " << t;
+}
+
+// -------------------------------------------------- all layers together
+
+TEST(Integration, EveryLayerCoexistsInOneRun)
+{
+    auto cfg = cfg_for("MP2", 4);
+    auto res = backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        crl::Crl crl(ctx, ep);
+        mpi::Comm comm(ctx, ep);
+        splitc::SplitC sc(ctx);
+        coll::Collective coll(ctx, &ep);
+        const int me = ctx.rank();
+        const int p = ctx.nranks();
+
+        // Split-C: spread array, neighbour writes.
+        int64_t* arr = sc.all_spread_alloc<int64_t>("mix.arr", 4);
+        for (int i = 0; i < 4; ++i)
+            arr[i] = me;
+        coll.barrier();
+        sc.write(sc.global<int64_t>("mix.arr", (me + 1) % p) + 1,
+                 static_cast<int64_t>(100 + me));
+        coll.barrier();
+        EXPECT_EQ(arr[1], 100 + (me + p - 1) % p);
+
+        // CRL: a shared counter region incremented by everyone.
+        crl::RegionId rid = crl::Crl::region_id(0, 0);
+        if (me == 0)
+            crl.create(sizeof(int64_t));
+        auto* counter =
+            static_cast<int64_t*>(crl.map(rid, sizeof(int64_t)));
+        coll.barrier();
+        for (int round = 0; round < p; ++round) {
+            if (round == me) {
+                crl.start_write(rid);
+                *counter += me + 1;
+                crl.end_write(rid);
+            }
+            coll.barrier();
+        }
+        crl.start_read(rid);
+        EXPECT_EQ(*counter, p * (p + 1) / 2);
+        crl.end_read(rid);
+
+        // MPI: ring shift of the Split-C values.
+        int64_t out = arr[0], in = -1;
+        int nxt = (me + 1) % p, prv = (me + p - 1) % p;
+        mpi::Request r = comm.irecv(&in, sizeof(in), prv, 42);
+        comm.send(&out, sizeof(out), nxt, 42);
+        comm.wait(r);
+        EXPECT_EQ(in, prv);
+
+        // Reduction over everything.
+        int64_t sum = coll.allreduce_sum_i64(in);
+        EXPECT_EQ(sum, p * (p - 1) / 2);
+        coll.barrier();
+    });
+    EXPECT_EQ(res.faults, 0u);
+}
+
+// ------------------------------------------------------- sim wait_either
+
+TEST(SimKernel, WaitEitherWakesOnFirstOfTwoFlags)
+{
+    rma::SystemConfig cfg = cfg_for("MP1", 1);
+    backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        sim::Flag* a = ctx.new_flag();
+        sim::Flag* b = ctx.new_flag();
+        ctx.system().scheduler().schedule_in(
+            50.0, [b] { b->add(1); });
+        ctx.system().scheduler().schedule_in(
+            500.0, [a] { a->add(1); });
+        double t0 = ctx.now();
+        ctx.wait_either(*a, 1, *b, 1);
+        double waited = ctx.now() - t0;
+        // Woken by b at t+50, not by a at t+500.
+        EXPECT_GE(waited, 50.0);
+        EXPECT_LT(waited, 100.0);
+        // The later flag still fires; wait for it too.
+        ctx.wait_ge(*a, 1);
+        EXPECT_GE(ctx.now() - t0, 500.0);
+    });
+}
+
+TEST(SimKernel, WaitEitherAlreadySatisfiedReturnsImmediately)
+{
+    rma::SystemConfig cfg = cfg_for("MP1", 1);
+    backend::run_app(cfg, [&](rma::Ctx& ctx) {
+        sim::Flag* a = ctx.new_flag();
+        sim::Flag* b = ctx.new_flag();
+        a->set(5);
+        double t0 = ctx.now();
+        ctx.wait_either(*a, 3, *b, 1);
+        // Only the flag-read cost is charged.
+        EXPECT_LT(ctx.now() - t0, 2.0);
+    });
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTimesAndChecksums)
+{
+    // The simulation must be a pure function of its configuration:
+    // any nondeterminism (host pointers leaking into timing, map
+    // iteration order, uninitialized reads) shows up here.
+    for (int app_idx : {1, 3, 6}) { // LU, Water, Sample
+        const auto& app =
+            apps::all_apps()[static_cast<size_t>(app_idx)];
+        auto cfg = cfg_for("MP1", 4);
+        auto r1 = app.fn(cfg, /*scale=*/4);
+        auto r2 = app.fn(cfg, /*scale=*/4);
+        EXPECT_DOUBLE_EQ(r1.elapsed_us, r2.elapsed_us) << app.name;
+        EXPECT_DOUBLE_EQ(r1.checksum, r2.checksum) << app.name;
+        EXPECT_EQ(r1.run.ops, r2.run.ops) << app.name;
+    }
+}
+
+TEST(Determinism, SeedChangesRandomizedAppsOnly)
+{
+    // The RNG seed feeds per-rank streams: Monte-Carlo apps change,
+    // deterministic kernels (LU) do not.
+    auto cfg_a = cfg_for("MP1", 4);
+    auto cfg_b = cfg_a;
+    cfg_b.seed = 777;
+    auto lu_a = apps::run_lu(cfg_a, 4);
+    auto lu_b = apps::run_lu(cfg_b, 4);
+    EXPECT_DOUBLE_EQ(lu_a.checksum, lu_b.checksum);
+    auto mo_a = apps::run_moldy(cfg_a, 4);
+    auto mo_b = apps::run_moldy(cfg_b, 4);
+    EXPECT_NE(mo_a.checksum, mo_b.checksum);
+}
+
+} // namespace

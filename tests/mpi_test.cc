@@ -1,0 +1,231 @@
+/// \file
+/// Tests for the MPI-style layer: blocking and non-blocking tagged
+/// send/receive, eager vs rendezvous protocol selection, matching
+/// order, wildcards, truncation, and a ring exchange — across all
+/// design points.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "am/am.h"
+#include "backend/factory.h"
+#include "coll/coll.h"
+#include "machine/design_point.h"
+#include "mpi/mpi.h"
+#include "rma/system.h"
+
+namespace {
+
+rma::SystemConfig
+cfg_for(const std::string& dp_name, int nodes = 2, int ppn = 1)
+{
+    rma::SystemConfig cfg;
+    auto dp = machine::design_point_by_name(dp_name);
+    EXPECT_TRUE(dp.has_value());
+    cfg.design = *dp;
+    cfg.nodes = nodes;
+    cfg.procs_per_node = ppn;
+    return cfg;
+}
+
+class MpiAllBackends : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MpiAllBackends, BlockingSendRecvSmall)
+{
+    backend::run_app(cfg_for(GetParam()), [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        mpi::Comm comm(ctx, ep);
+        if (comm.rank() == 0) {
+            double v[4] = {1.5, 2.5, 3.5, 4.5};
+            comm.send(v, sizeof(v), 1, /*tag=*/7);
+        } else {
+            double v[4] = {0, 0, 0, 0};
+            mpi::Status st;
+            comm.recv(v, sizeof(v), 0, 7, &st);
+            EXPECT_EQ(st.source, 0);
+            EXPECT_EQ(st.tag, 7);
+            EXPECT_EQ(st.bytes, sizeof(v));
+            EXPECT_DOUBLE_EQ(v[3], 4.5);
+        }
+    });
+}
+
+TEST_P(MpiAllBackends, RendezvousLargeMessage)
+{
+    backend::run_app(cfg_for(GetParam()), [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        mpi::Comm comm(ctx, ep);
+        const size_t n = 64 * 1024; // well above kEagerBytes
+        if (comm.rank() == 0) {
+            // Rendezvous buffers must be in the registered address
+            // space (the data lands with a one-sided bulk store).
+            auto* buf = ctx.alloc_n<uint8_t>(n);
+            for (size_t i = 0; i < n; ++i)
+                buf[i] = static_cast<uint8_t>(i * 7);
+            comm.send(buf, n, 1, 3);
+        } else {
+            auto* buf = ctx.alloc_n<uint8_t>(n);
+            std::memset(buf, 0, n);
+            mpi::Status st;
+            comm.recv(buf, n, 0, 3, &st);
+            EXPECT_EQ(st.bytes, n);
+            for (size_t i = 0; i < n; i += 4097)
+                ASSERT_EQ(buf[i], static_cast<uint8_t>(i * 7));
+        }
+    });
+}
+
+TEST_P(MpiAllBackends, UnexpectedMessagesBufferUntilPosted)
+{
+    backend::run_app(cfg_for(GetParam()), [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        mpi::Comm comm(ctx, ep);
+        if (comm.rank() == 0) {
+            for (int i = 0; i < 5; ++i) {
+                int v = 100 + i;
+                comm.send(&v, sizeof(v), 1, i);
+            }
+        } else {
+            ctx.compute(500.0); // let everything arrive unexpected
+            // Receive in reverse tag order: matching is by tag, not
+            // arrival order.
+            for (int i = 4; i >= 0; --i) {
+                int v = 0;
+                comm.recv(&v, sizeof(v), 0, i);
+                EXPECT_EQ(v, 100 + i);
+            }
+        }
+    });
+}
+
+TEST_P(MpiAllBackends, SameTagMatchesInSendOrder)
+{
+    backend::run_app(cfg_for(GetParam()), [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        mpi::Comm comm(ctx, ep);
+        if (comm.rank() == 0) {
+            for (int i = 0; i < 8; ++i) {
+                int v = i;
+                comm.send(&v, sizeof(v), 1, 5);
+            }
+        } else {
+            for (int i = 0; i < 8; ++i) {
+                int v = -1;
+                comm.recv(&v, sizeof(v), 0, 5);
+                EXPECT_EQ(v, i) << "message order violated";
+            }
+        }
+    });
+}
+
+TEST_P(MpiAllBackends, AnySourceAnyTagWildcards)
+{
+    backend::run_app(cfg_for(GetParam(), /*nodes=*/4), [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        mpi::Comm comm(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        if (comm.rank() != 0) {
+            int v = 1000 + comm.rank();
+            comm.send(&v, sizeof(v), 0, comm.rank() * 10);
+        } else {
+            int seen_mask = 0;
+            for (int i = 0; i < 3; ++i) {
+                int v = 0;
+                mpi::Status st;
+                comm.recv(&v, sizeof(v), mpi::kAnySource, mpi::kAnyTag,
+                          &st);
+                EXPECT_EQ(v, 1000 + st.source);
+                EXPECT_EQ(st.tag, st.source * 10);
+                seen_mask |= 1 << st.source;
+            }
+            EXPECT_EQ(seen_mask, 0b1110);
+        }
+        coll.barrier();
+    });
+}
+
+TEST_P(MpiAllBackends, NonBlockingOverlap)
+{
+    backend::run_app(cfg_for(GetParam()), [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        mpi::Comm comm(ctx, ep);
+        const size_t n = 2048;
+        if (comm.rank() == 0) {
+            std::vector<int> a(n / 4), b(n / 4);
+            std::iota(a.begin(), a.end(), 0);
+            std::iota(b.begin(), b.end(), 5000);
+            mpi::Request r1 = comm.isend(a.data(), n, 1, 1);
+            mpi::Request r2 = comm.isend(b.data(), n, 1, 2);
+            comm.wait(r1);
+            comm.wait(r2);
+        } else {
+            std::vector<int> a(n / 4, -1), b(n / 4, -1);
+            // Post both receives up front (tags distinguish them).
+            mpi::Request r2 = comm.irecv(b.data(), n, 0, 2);
+            mpi::Request r1 = comm.irecv(a.data(), n, 0, 1);
+            ctx.compute(25.0); // overlapped "work"
+            comm.wait(r1);
+            comm.wait(r2);
+            EXPECT_EQ(a[10], 10);
+            EXPECT_EQ(b[10], 5010);
+        }
+    });
+}
+
+TEST_P(MpiAllBackends, TruncationKeepsPrefix)
+{
+    backend::run_app(cfg_for(GetParam()), [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        mpi::Comm comm(ctx, ep);
+        if (comm.rank() == 0) {
+            uint8_t big[256];
+            for (int i = 0; i < 256; ++i)
+                big[i] = static_cast<uint8_t>(i);
+            comm.send(big, sizeof(big), 1, 0);
+        } else {
+            uint8_t small[64];
+            mpi::Status st;
+            comm.recv(small, sizeof(small), 0, 0, &st);
+            EXPECT_EQ(st.bytes, 64u);
+            EXPECT_EQ(small[63], 63);
+        }
+    });
+}
+
+TEST_P(MpiAllBackends, RingExchange)
+{
+    backend::run_app(cfg_for(GetParam(), /*nodes=*/4), [](rma::Ctx& ctx) {
+        am::Endpoint ep(ctx);
+        mpi::Comm comm(ctx, ep);
+        coll::Collective coll(ctx, &ep);
+        int me = comm.rank();
+        int p = comm.size();
+        // Pass a token around the ring, accumulating rank ids.
+        int64_t token = 0;
+        if (me == 0) {
+            token = 1;
+            comm.send(&token, sizeof(token), 1 % p, 9);
+            comm.recv(&token, sizeof(token), (p - 1) % p, 9);
+            // token visited every rank once.
+            EXPECT_EQ(token, 1 + (p - 1) * p / 2);
+        } else {
+            comm.recv(&token, sizeof(token), me - 1, 9);
+            token += me;
+            comm.send(&token, sizeof(token), (me + 1) % p, 9);
+        }
+        coll.barrier();
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesignPoints, MpiAllBackends,
+                         ::testing::Values("HW0", "HW1", "MP0", "MP1",
+                                           "MP2", "SW1"),
+                         [](const auto& info) { return info.param; });
+
+} // namespace

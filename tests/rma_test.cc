@@ -1,0 +1,375 @@
+/// \file
+/// Tests for the RMA/RQ layer across all three backends: data
+/// delivery, sync-flag semantics, protection enforcement, remote
+/// queues, intra-node fast paths, and latency ordering between the
+/// architectures (HW < MP, MP2 < MP1 for small messages).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "backend/factory.h"
+#include "machine/design_point.h"
+#include "rma/system.h"
+
+namespace {
+
+rma::SystemConfig
+cfg_for(const std::string& dp_name, int nodes = 2, int ppn = 1)
+{
+    rma::SystemConfig cfg;
+    auto dp = machine::design_point_by_name(dp_name);
+    EXPECT_TRUE(dp.has_value());
+    cfg.design = *dp;
+    cfg.nodes = nodes;
+    cfg.procs_per_node = ppn;
+    return cfg;
+}
+
+// Exchange-pattern helper: both ranks allocate a buffer and publish
+// the pointer through a shared rendezvous array owned by the system
+// test (plain C++ memory, set up before communication starts).
+struct Rendezvous
+{
+    void* bufs[64] = {nullptr};
+    sim::Flag* flags[64] = {nullptr};
+    int qids[64] = {-1};
+};
+
+class RmaAllBackends : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RmaAllBackends, PutDeliversDataAndFlags)
+{
+    auto cfg = cfg_for(GetParam());
+    Rendezvous rv;
+    auto res = backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        const size_t n = 64;
+        char* buf = ctx.alloc_n<char>(n);
+        rv.bufs[ctx.rank()] = buf;
+        if (ctx.rank() == 0) {
+            sim::Flag* lsync = ctx.new_flag();
+            sim::Flag* rsync = ctx.new_flag();
+            rv.flags[1] = rsync;
+            std::memset(buf, 0x5a, n);
+            ctx.compute(1.0); // let rank 1 allocate
+            ctx.put(buf, 1, rv.bufs[1], n, lsync, rsync);
+            ctx.wait_ge(*lsync, 1);
+            EXPECT_EQ(lsync->value(), 1u);
+        } else {
+            std::memset(buf, 0, n);
+            // Wait until rank 0 publishes the rsync flag and it fires.
+            while (rv.flags[1] == nullptr)
+                ctx.compute(0.5);
+            ctx.wait_ge(*rv.flags[1], 1);
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(buf[i], 0x5a);
+        }
+    });
+    EXPECT_EQ(res.faults, 0u);
+    EXPECT_GT(res.elapsed_us, 0.0);
+}
+
+TEST_P(RmaAllBackends, GetFetchesRemoteData)
+{
+    auto cfg = cfg_for(GetParam());
+    Rendezvous rv;
+    backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        const size_t n = 128;
+        uint8_t* buf = ctx.alloc_n<uint8_t>(n);
+        rv.bufs[ctx.rank()] = buf;
+        if (ctx.rank() == 1) {
+            for (size_t i = 0; i < n; ++i)
+                buf[i] = static_cast<uint8_t>(i * 3 + 1);
+            // Stay alive until rank 0 reads (GET needs no action here,
+            // but keep memory warm past the read).
+            ctx.compute(500.0);
+        } else {
+            std::memset(buf, 0, n);
+            ctx.compute(2.0); // rank 1 fills its buffer
+            ctx.get_blocking(buf, 1, rv.bufs[1], n);
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(buf[i], static_cast<uint8_t>(i * 3 + 1));
+        }
+    });
+}
+
+TEST_P(RmaAllBackends, LargePutUsesDmaAndDelivers)
+{
+    auto cfg = cfg_for(GetParam());
+    Rendezvous rv;
+    backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        const size_t n = 64 * 1024; // far above the PIO threshold
+        uint8_t* buf = ctx.alloc_n<uint8_t>(n);
+        rv.bufs[ctx.rank()] = buf;
+        if (ctx.rank() == 0) {
+            for (size_t i = 0; i < n; ++i)
+                buf[i] = static_cast<uint8_t>(i & 0xff);
+            ctx.compute(1.0);
+            ctx.put_blocking(buf, 1, rv.bufs[1], n);
+        } else {
+            std::memset(buf, 0, n);
+            ctx.compute(1.0);
+            // Delivery is asynchronous: wait for rank 0's blocking put
+            // to complete by simply finishing after a long compute.
+            ctx.compute(1e6);
+            for (size_t i = 0; i < n; i += 997)
+                EXPECT_EQ(buf[i], static_cast<uint8_t>(i & 0xff));
+        }
+    });
+}
+
+TEST_P(RmaAllBackends, EnqDeqRoundTrip)
+{
+    auto cfg = cfg_for(GetParam());
+    Rendezvous rv;
+    backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        if (ctx.rank() == 1) {
+            rv.qids[1] = ctx.make_queue();
+            std::vector<uint8_t> msg;
+            while (!ctx.try_deq_local(rv.qids[1], msg))
+                ctx.compute(1.0);
+            ASSERT_EQ(msg.size(), 5u);
+            EXPECT_EQ(std::memcmp(msg.data(), "hello", 5), 0);
+        } else {
+            while (rv.qids[1] < 0)
+                ctx.compute(0.5);
+            ctx.enq_blocking("hello", 1, rv.qids[1], 5);
+        }
+    });
+}
+
+TEST_P(RmaAllBackends, RemoteDeqPullsMessage)
+{
+    auto cfg = cfg_for(GetParam());
+    Rendezvous rv;
+    backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        if (ctx.rank() == 0) {
+            rv.qids[0] = ctx.make_queue();
+            ctx.enq_blocking("abcdefgh", 0, rv.qids[0], 8); // self-enq
+            ctx.compute(1000.0);
+        } else {
+            while (rv.qids[0] < 0)
+                ctx.compute(0.5);
+            ctx.compute(200.0); // let rank 0 enqueue
+            char buf[16] = {0};
+            sim::Flag* f = ctx.new_flag();
+            ctx.deq(buf, 0, rv.qids[0], sizeof(buf), f);
+            ctx.wait_ge(*f, 1);
+            EXPECT_EQ(f->value(), 9u); // 1 + 8 bytes
+            EXPECT_EQ(std::memcmp(buf, "abcdefgh", 8), 0);
+        }
+    });
+}
+
+TEST_P(RmaAllBackends, RemoteDeqOnEmptyQueueSignalsEmpty)
+{
+    auto cfg = cfg_for(GetParam());
+    Rendezvous rv;
+    backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        if (ctx.rank() == 0) {
+            rv.qids[0] = ctx.make_queue();
+            ctx.compute(1000.0);
+        } else {
+            while (rv.qids[0] < 0)
+                ctx.compute(0.5);
+            char buf[8];
+            sim::Flag* f = ctx.new_flag();
+            ctx.deq(buf, 0, rv.qids[0], sizeof(buf), f);
+            ctx.wait_ge(*f, 1);
+            EXPECT_EQ(f->value(), 1u); // empty: no payload bytes
+        }
+    });
+}
+
+TEST_P(RmaAllBackends, ProtectionFaultOnPrivateSegment)
+{
+    auto cfg = cfg_for(GetParam());
+    Rendezvous rv;
+    auto res = backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        const size_t n = 32;
+        if (ctx.rank() == 1) {
+            // Private allocation: no other rank granted.
+            uint8_t* buf =
+                static_cast<uint8_t*>(ctx.alloc(n, /*shared=*/false));
+            std::memset(buf, 0x77, n);
+            rv.bufs[1] = buf;
+            ctx.compute(2000.0);
+            // Data must be untouched by rank 0's attempted PUT.
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(buf[i], 0x77);
+        } else {
+            while (rv.bufs[1] == nullptr)
+                ctx.compute(0.5);
+            uint8_t src[32];
+            std::memset(src, 0x11, sizeof(src));
+            ctx.system().space(0).register_segment(src, sizeof(src), true);
+            ctx.put_blocking(src, 1, rv.bufs[1], n);
+        }
+    });
+    EXPECT_EQ(res.faults, 1u);
+}
+
+TEST_P(RmaAllBackends, GrantAllowsAccessToPrivateSegment)
+{
+    auto cfg = cfg_for(GetParam());
+    Rendezvous rv;
+    auto res = backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        const size_t n = 32;
+        if (ctx.rank() == 1) {
+            uint8_t* buf =
+                static_cast<uint8_t*>(ctx.alloc(n, /*shared=*/false));
+            std::memset(buf, 0, n);
+            ctx.grant(buf, 0);
+            rv.bufs[1] = buf;
+            ctx.compute(2000.0);
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(buf[i], 0x11);
+        } else {
+            while (rv.bufs[1] == nullptr)
+                ctx.compute(0.5);
+            uint8_t* src = ctx.alloc_n<uint8_t>(n);
+            std::memset(src, 0x11, n);
+            ctx.put_blocking(src, 1, rv.bufs[1], n);
+        }
+    });
+    EXPECT_EQ(res.faults, 0u);
+}
+
+TEST_P(RmaAllBackends, IntraNodeTransferWorks)
+{
+    auto cfg = cfg_for(GetParam(), /*nodes=*/1, /*ppn=*/2);
+    Rendezvous rv;
+    backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        const size_t n = 256;
+        uint8_t* buf = ctx.alloc_n<uint8_t>(n);
+        rv.bufs[ctx.rank()] = buf;
+        if (ctx.rank() == 0) {
+            std::memset(buf, 0xab, n);
+            ctx.compute(1.0);
+            ctx.put_blocking(buf, 1, rv.bufs[1], n);
+        } else {
+            std::memset(buf, 0, n);
+            ctx.compute(5000.0);
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(buf[i], 0xab);
+        }
+    });
+}
+
+TEST_P(RmaAllBackends, ManyOutstandingPutsAllComplete)
+{
+    auto cfg = cfg_for(GetParam());
+    Rendezvous rv;
+    backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        const int k = 50;
+        int32_t* buf = ctx.alloc_n<int32_t>(k);
+        rv.bufs[ctx.rank()] = buf;
+        if (ctx.rank() == 0) {
+            for (int i = 0; i < k; ++i)
+                buf[i] = i * 7;
+            ctx.compute(1.0);
+            sim::Flag* lsync = ctx.new_flag();
+            auto* dst = static_cast<int32_t*>(rv.bufs[1]);
+            for (int i = 0; i < k; ++i)
+                ctx.put(&buf[i], 1, &dst[i], sizeof(int32_t), lsync);
+            ctx.wait_ge(*lsync, k);
+        } else {
+            std::memset(buf, 0xff, sizeof(int32_t) * k);
+            ctx.compute(1e5);
+            for (int i = 0; i < k; ++i)
+                EXPECT_EQ(buf[i], i * 7);
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesignPoints, RmaAllBackends,
+                         ::testing::Values("HW0", "HW1", "MP0", "MP1",
+                                           "MP2", "SW1"),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------- latency
+
+double
+one_word_put_latency(const std::string& dp)
+{
+    auto cfg = cfg_for(dp);
+    Rendezvous rv;
+    double latency = 0.0;
+    backend::run_app(cfg, [&rv, &latency](rma::Ctx& ctx) {
+        double* buf = ctx.alloc_n<double>(1);
+        rv.bufs[ctx.rank()] = buf;
+        if (ctx.rank() == 0) {
+            ctx.compute(1.0);
+            double t0 = ctx.now();
+            ctx.put_blocking(buf, 1, rv.bufs[1], sizeof(double));
+            latency = ctx.now() - t0;
+        } else {
+            ctx.compute(100.0);
+        }
+    });
+    return latency;
+}
+
+TEST(RmaLatency, ArchitectureOrderingMatchesPaper)
+{
+    double hw1 = one_word_put_latency("HW1");
+    double mp1 = one_word_put_latency("MP1");
+    double mp2 = one_word_put_latency("MP2");
+    double sw1 = one_word_put_latency("SW1");
+    // Table 4 ordering: HW < MP2 < MP1 < SW for small messages.
+    EXPECT_LT(hw1, mp2);
+    EXPECT_LT(mp2, mp1);
+    EXPECT_LT(mp1, sw1);
+    // And the magnitudes are in the paper's ballpark (us).
+    EXPECT_NEAR(hw1, 10.6, 4.0);
+    EXPECT_NEAR(mp1, 26.6, 6.0);
+    EXPECT_NEAR(mp2, 16.9, 5.0);
+    EXPECT_NEAR(sw1, 36.1, 9.0);
+}
+
+TEST(RmaTraffic, CountsOpsAndSizes)
+{
+    auto cfg = cfg_for("MP1");
+    Rendezvous rv;
+    auto res = backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        uint8_t* buf = ctx.alloc_n<uint8_t>(256);
+        rv.bufs[ctx.rank()] = buf;
+        if (ctx.rank() == 0) {
+            ctx.compute(1.0);
+            for (int i = 0; i < 10; ++i)
+                ctx.put_blocking(buf, 1, rv.bufs[1], 100);
+        } else {
+            ctx.compute(2000.0);
+        }
+    });
+    EXPECT_EQ(res.ops, 10u);
+    EXPECT_DOUBLE_EQ(res.avg_msg_bytes, 100.0);
+    EXPECT_GT(res.rate_per_proc_ms, 0.0);
+}
+
+TEST(RmaUtilization, ProxyBusyTimeIsTracked)
+{
+    auto cfg = cfg_for("MP1");
+    Rendezvous rv;
+    auto res = backend::run_app(cfg, [&rv](rma::Ctx& ctx) {
+        uint8_t* buf = ctx.alloc_n<uint8_t>(64);
+        rv.bufs[ctx.rank()] = buf;
+        if (ctx.rank() == 0) {
+            ctx.compute(1.0);
+            for (int i = 0; i < 20; ++i)
+                ctx.put_blocking(buf, 1, rv.bufs[1], 64);
+        } else {
+            ctx.compute(3000.0);
+        }
+    });
+    ASSERT_EQ(res.agent_utilization.size(), 2u);
+    EXPECT_GT(res.agent_utilization[0], 0.0);
+    EXPECT_GT(res.agent_utilization[1], 0.0);
+    EXPECT_LT(res.agent_utilization[0], 1.0);
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+/// \file
+/// Unit tests for the discrete-event kernel: event ordering, the
+/// SimThread process model (advance/block/wake semantics), Flag
+/// waiters, and Resource FIFO/utilization behaviour.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/flag.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+TEST(Scheduler, EventsRunInTimeOrder)
+{
+    sim::Scheduler s;
+    std::vector<int> order;
+    s.schedule_at(5.0, [&] { order.push_back(2); });
+    s.schedule_at(1.0, [&] { order.push_back(1); });
+    s.schedule_at(9.0, [&] { order.push_back(3); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(s.now(), 9.0);
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder)
+{
+    sim::Scheduler s;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        s.schedule_at(3.0, [&order, i] { order.push_back(i); });
+    s.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, NestedScheduling)
+{
+    sim::Scheduler s;
+    double inner_time = -1.0;
+    s.schedule_at(2.0, [&] {
+        s.schedule_in(3.0, [&] { inner_time = s.now(); });
+    });
+    s.run();
+    EXPECT_DOUBLE_EQ(inner_time, 5.0);
+}
+
+TEST(SimThread, AdvanceMovesTime)
+{
+    sim::Scheduler s;
+    std::vector<double> stamps;
+    s.spawn("t", [&](sim::SimThread& t) {
+        stamps.push_back(s.now());
+        t.advance(10.0);
+        stamps.push_back(s.now());
+        t.advance(2.5);
+        stamps.push_back(s.now());
+    });
+    s.run();
+    ASSERT_EQ(stamps.size(), 3u);
+    EXPECT_DOUBLE_EQ(stamps[0], 0.0);
+    EXPECT_DOUBLE_EQ(stamps[1], 10.0);
+    EXPECT_DOUBLE_EQ(stamps[2], 12.5);
+}
+
+TEST(SimThread, TwoThreadsInterleaveDeterministically)
+{
+    sim::Scheduler s;
+    std::vector<std::pair<char, double>> log;
+    s.spawn("a", [&](sim::SimThread& t) {
+        for (int i = 0; i < 3; ++i) {
+            log.push_back({'a', s.now()});
+            t.advance(2.0);
+        }
+    });
+    s.spawn("b", [&](sim::SimThread& t) {
+        for (int i = 0; i < 2; ++i) {
+            log.push_back({'b', s.now()});
+            t.advance(3.0);
+        }
+    });
+    s.run();
+    // a@0, b@0, a@2, b@3, a@4
+    ASSERT_EQ(log.size(), 5u);
+    EXPECT_EQ(log[0].first, 'a');
+    EXPECT_EQ(log[1].first, 'b');
+    EXPECT_EQ(log[2].first, 'a');
+    EXPECT_DOUBLE_EQ(log[2].second, 2.0);
+    EXPECT_EQ(log[3].first, 'b');
+    EXPECT_DOUBLE_EQ(log[3].second, 3.0);
+    EXPECT_EQ(log[4].first, 'a');
+    EXPECT_DOUBLE_EQ(log[4].second, 4.0);
+}
+
+TEST(SimThread, BlockAndWakeFromEvent)
+{
+    sim::Scheduler s;
+    double woke_at = -1.0;
+    sim::SimThread& t = s.spawn("sleeper", [&](sim::SimThread& self) {
+        self.block();
+        woke_at = s.now();
+    });
+    s.schedule_at(7.0, [&] { t.wake(); });
+    s.run();
+    EXPECT_DOUBLE_EQ(woke_at, 7.0);
+}
+
+TEST(SimThread, WakeBeforeBlockIsNotLost)
+{
+    sim::Scheduler s;
+    bool finished = false;
+    s.spawn("t", [&](sim::SimThread& self) {
+        self.wake(); // self-wake latches
+        self.block(); // consumes the latched wake, no deadlock
+        finished = true;
+    });
+    s.run();
+    EXPECT_TRUE(finished);
+}
+
+TEST(Flag, WaitGeBlocksUntilSet)
+{
+    sim::Scheduler s;
+    sim::Flag f;
+    double resumed = -1.0;
+    s.spawn("w", [&](sim::SimThread& t) {
+        f.wait_ge(t, 3);
+        resumed = s.now();
+    });
+    s.schedule_at(1.0, [&] { f.add(1); });
+    s.schedule_at(2.0, [&] { f.add(1); });
+    s.schedule_at(8.0, [&] { f.add(1); });
+    s.run();
+    EXPECT_DOUBLE_EQ(resumed, 8.0);
+    EXPECT_EQ(f.value(), 3u);
+}
+
+TEST(Flag, AlreadySatisfiedDoesNotBlock)
+{
+    sim::Scheduler s;
+    sim::Flag f;
+    f.set(10);
+    bool done = false;
+    s.spawn("w", [&](sim::SimThread& t) {
+        f.wait_ge(t, 5);
+        done = true;
+    });
+    s.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Flag, MultipleWaitersWithDifferentThresholds)
+{
+    sim::Scheduler s;
+    sim::Flag f;
+    double t1 = -1.0, t2 = -1.0;
+    s.spawn("w1", [&](sim::SimThread& t) {
+        f.wait_ge(t, 1);
+        t1 = s.now();
+    });
+    s.spawn("w2", [&](sim::SimThread& t) {
+        f.wait_ge(t, 2);
+        t2 = s.now();
+    });
+    s.schedule_at(4.0, [&] { f.add(1); });
+    s.schedule_at(9.0, [&] { f.add(1); });
+    s.run();
+    EXPECT_DOUBLE_EQ(t1, 4.0);
+    EXPECT_DOUBLE_EQ(t2, 9.0);
+}
+
+TEST(Resource, IdleServerServesImmediately)
+{
+    sim::Scheduler s;
+    sim::Resource r(s, "srv");
+    double done_at = -1.0;
+    s.schedule_at(1.0, [&] {
+        r.submit(5.0, [&] { done_at = s.now(); });
+    });
+    s.run();
+    EXPECT_DOUBLE_EQ(done_at, 6.0);
+    EXPECT_DOUBLE_EQ(r.busy_us(), 5.0);
+}
+
+TEST(Resource, FifoQueueing)
+{
+    sim::Scheduler s;
+    sim::Resource r(s, "srv");
+    std::vector<double> done;
+    s.schedule_at(0.0, [&] {
+        r.submit(10.0, [&] { done.push_back(s.now()); });
+        r.submit(5.0, [&] { done.push_back(s.now()); });
+        r.submit(1.0, [&] { done.push_back(s.now()); });
+    });
+    s.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_DOUBLE_EQ(done[0], 10.0);
+    EXPECT_DOUBLE_EQ(done[1], 15.0);
+    EXPECT_DOUBLE_EQ(done[2], 16.0);
+    EXPECT_EQ(r.jobs(), 3u);
+    // Second job waited 10, third waited 15.
+    EXPECT_DOUBLE_EQ(r.wait_stats().max(), 15.0);
+}
+
+TEST(Resource, SubmitAfterHonoursReadyTime)
+{
+    sim::Scheduler s;
+    sim::Resource r(s, "srv");
+    double done_at = -1.0;
+    s.schedule_at(0.0, [&] {
+        r.submit_after(20.0, 3.0, [&] { done_at = s.now(); });
+    });
+    s.run();
+    EXPECT_DOUBLE_EQ(done_at, 23.0);
+}
+
+TEST(Resource, UtilizationAccounting)
+{
+    sim::Scheduler s;
+    sim::Resource r(s, "srv");
+    s.schedule_at(0.0, [&] { r.submit(25.0); });
+    s.schedule_at(100.0, [&] {});
+    s.run();
+    EXPECT_DOUBLE_EQ(s.now(), 100.0);
+    EXPECT_DOUBLE_EQ(r.utilization(), 0.25);
+}
+
+TEST(Scheduler, ManyThreadsManyEvents)
+{
+    sim::Scheduler s;
+    int sum = 0;
+    for (int i = 0; i < 16; ++i) {
+        s.spawn("t" + std::to_string(i), [&sum, i](sim::SimThread& t) {
+            for (int k = 0; k < 50; ++k)
+                t.advance(static_cast<double>(i % 3) + 0.5);
+            sum += 1;
+        });
+    }
+    s.run();
+    EXPECT_EQ(sum, 16);
+    EXPECT_GT(s.events_executed(), 16u * 50u);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+/// \file
+/// Unit tests for the util library: RNG determinism and
+/// distributional sanity, statistics accumulators, table printing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    mp::Rng a(42);
+    mp::Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    mp::Rng a(7);
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(a.next_u64());
+    a.reseed(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    mp::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues)
+{
+    mp::Rng r(3);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = r.next_below(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    mp::Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.next_double();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextIntInclusiveBounds)
+{
+    mp::Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        int64_t v = r.next_int(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Summary, BasicMoments)
+{
+    mp::Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyIsSane)
+{
+    mp::Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, ResetClears)
+{
+    mp::Summary s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+}
+
+TEST(BusyTime, Utilization)
+{
+    mp::BusyTime b;
+    b.add_busy(25.0);
+    b.add_busy(25.0);
+    EXPECT_DOUBLE_EQ(b.utilization(200.0), 0.25);
+    EXPECT_DOUBLE_EQ(b.utilization(0.0), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    mp::Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(5.5);
+    h.add(9.999);
+    h.add(10.0);
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+TEST(TablePrinter, FormatsAndCsv)
+{
+    mp::TablePrinter t("Caption");
+    t.set_header({"a", "b"});
+    t.add_row({"1", "x"});
+    t.add_row({mp::TablePrinter::num(3.14159, 2),
+               mp::TablePrinter::num(static_cast<int64_t>(42))});
+
+    std::string path = "/tmp/mp_table_test.csv";
+    ASSERT_TRUE(t.write_csv(path));
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[256];
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "a,b\n");
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "1,x\n");
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "3.14,42\n");
+    std::fclose(f);
+}
+
+TEST(TablePrinter, NumFormatting)
+{
+    EXPECT_EQ(mp::TablePrinter::num(1.005, 1), "1.0");
+    EXPECT_EQ(mp::TablePrinter::num(static_cast<int64_t>(-7)), "-7");
+    EXPECT_EQ(mp::TablePrinter::num(2.0, 0), "2");
+}
+
+} // namespace
