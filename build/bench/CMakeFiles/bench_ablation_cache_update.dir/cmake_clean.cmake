@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cache_update.dir/bench_ablation_cache_update.cc.o"
+  "CMakeFiles/bench_ablation_cache_update.dir/bench_ablation_cache_update.cc.o.d"
+  "bench_ablation_cache_update"
+  "bench_ablation_cache_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cache_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

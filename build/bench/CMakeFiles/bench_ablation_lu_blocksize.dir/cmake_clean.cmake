@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lu_blocksize.dir/bench_ablation_lu_blocksize.cc.o"
+  "CMakeFiles/bench_ablation_lu_blocksize.dir/bench_ablation_lu_blocksize.cc.o.d"
+  "bench_ablation_lu_blocksize"
+  "bench_ablation_lu_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lu_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_multi_proxy.cc" "bench/CMakeFiles/bench_ablation_multi_proxy.dir/bench_ablation_multi_proxy.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_multi_proxy.dir/bench_ablation_multi_proxy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/crl/CMakeFiles/mp_crl.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/mp_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/mp_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/mp_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/rma/CMakeFiles/mp_rma.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multi_proxy.dir/bench_ablation_multi_proxy.cc.o"
+  "CMakeFiles/bench_ablation_multi_proxy.dir/bench_ablation_multi_proxy.cc.o.d"
+  "bench_ablation_multi_proxy"
+  "bench_ablation_multi_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multi_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_polling.dir/bench_ablation_polling.cc.o"
+  "CMakeFiles/bench_ablation_polling.dir/bench_ablation_polling.cc.o.d"
+  "bench_ablation_polling"
+  "bench_ablation_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_proxy_load.dir/bench_ablation_proxy_load.cc.o"
+  "CMakeFiles/bench_ablation_proxy_load.dir/bench_ablation_proxy_load.cc.o.d"
+  "bench_ablation_proxy_load"
+  "bench_ablation_proxy_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_proxy_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

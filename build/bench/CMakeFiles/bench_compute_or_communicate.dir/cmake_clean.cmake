@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compute_or_communicate.dir/bench_compute_or_communicate.cc.o"
+  "CMakeFiles/bench_compute_or_communicate.dir/bench_compute_or_communicate.cc.o.d"
+  "bench_compute_or_communicate"
+  "bench_compute_or_communicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compute_or_communicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

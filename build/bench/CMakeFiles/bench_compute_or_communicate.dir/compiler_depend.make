@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_compute_or_communicate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_compute_or_communicate.
+# This may be replaced when dependencies are built.

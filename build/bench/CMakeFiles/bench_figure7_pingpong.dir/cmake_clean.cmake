@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7_pingpong.dir/bench_figure7_pingpong.cc.o"
+  "CMakeFiles/bench_figure7_pingpong.dir/bench_figure7_pingpong.cc.o.d"
+  "bench_figure7_pingpong"
+  "bench_figure7_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

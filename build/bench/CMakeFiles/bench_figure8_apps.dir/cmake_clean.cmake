@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure8_apps.dir/bench_figure8_apps.cc.o"
+  "CMakeFiles/bench_figure8_apps.dir/bench_figure8_apps.cc.o.d"
+  "bench_figure8_apps"
+  "bench_figure8_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure9_smp4x4.dir/bench_figure9_smp4x4.cc.o"
+  "CMakeFiles/bench_figure9_smp4x4.dir/bench_figure9_smp4x4.cc.o.d"
+  "bench_figure9_smp4x4"
+  "bench_figure9_smp4x4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure9_smp4x4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

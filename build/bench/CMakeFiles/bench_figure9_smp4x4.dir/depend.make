@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figure9_smp4x4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_validation.dir/bench_model_validation.cc.o"
+  "CMakeFiles/bench_model_validation.dir/bench_model_validation.cc.o.d"
+  "bench_model_validation"
+  "bench_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

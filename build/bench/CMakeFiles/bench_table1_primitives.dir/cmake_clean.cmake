@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_primitives.dir/bench_table1_primitives.cc.o"
+  "CMakeFiles/bench_table1_primitives.dir/bench_table1_primitives.cc.o.d"
+  "bench_table1_primitives"
+  "bench_table1_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_get_trace.dir/bench_table2_get_trace.cc.o"
+  "CMakeFiles/bench_table2_get_trace.dir/bench_table2_get_trace.cc.o.d"
+  "bench_table2_get_trace"
+  "bench_table2_get_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_get_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_design_points.dir/bench_table3_design_points.cc.o"
+  "CMakeFiles/bench_table3_design_points.dir/bench_table3_design_points.cc.o.d"
+  "bench_table3_design_points"
+  "bench_table3_design_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_design_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_micro.dir/bench_table4_micro.cc.o"
+  "CMakeFiles/bench_table4_micro.dir/bench_table4_micro.cc.o.d"
+  "bench_table4_micro"
+  "bench_table4_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

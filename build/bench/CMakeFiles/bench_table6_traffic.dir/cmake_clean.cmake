@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_traffic.dir/bench_table6_traffic.cc.o"
+  "CMakeFiles/bench_table6_traffic.dir/bench_table6_traffic.cc.o.d"
+  "bench_table6_traffic"
+  "bench_table6_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_diffusion.dir/heat_diffusion.cpp.o"
+  "CMakeFiles/heat_diffusion.dir/heat_diffusion.cpp.o.d"
+  "heat_diffusion"
+  "heat_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

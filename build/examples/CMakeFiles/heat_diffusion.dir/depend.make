@@ -1,0 +1,2 @@
+# Empty dependencies file for heat_diffusion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_pingpong.dir/mpi_pingpong.cpp.o"
+  "CMakeFiles/mpi_pingpong.dir/mpi_pingpong.cpp.o.d"
+  "mpi_pingpong"
+  "mpi_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

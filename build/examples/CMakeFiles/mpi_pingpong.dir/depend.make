@@ -1,0 +1,2 @@
+# Empty dependencies file for mpi_pingpong.
+# This may be replaced when dependencies are built.

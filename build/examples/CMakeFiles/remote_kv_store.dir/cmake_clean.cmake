@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_kv_store.dir/remote_kv_store.cpp.o"
+  "CMakeFiles/remote_kv_store.dir/remote_kv_store.cpp.o.d"
+  "remote_kv_store"
+  "remote_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_queue.dir/work_queue.cpp.o"
+  "CMakeFiles/work_queue.dir/work_queue.cpp.o.d"
+  "work_queue"
+  "work_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

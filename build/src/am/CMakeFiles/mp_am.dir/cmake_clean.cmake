@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_am.dir/am.cc.o"
+  "CMakeFiles/mp_am.dir/am.cc.o.d"
+  "libmp_am.a"
+  "libmp_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mp_am.
+# This may be replaced when dependencies are built.

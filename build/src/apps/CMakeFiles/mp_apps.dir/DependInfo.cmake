@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes.cc" "src/apps/CMakeFiles/mp_apps.dir/barnes.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/barnes.cc.o.d"
+  "/root/repo/src/apps/fft.cc" "src/apps/CMakeFiles/mp_apps.dir/fft.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/fft.cc.o.d"
+  "/root/repo/src/apps/lu.cc" "src/apps/CMakeFiles/mp_apps.dir/lu.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/lu.cc.o.d"
+  "/root/repo/src/apps/mm.cc" "src/apps/CMakeFiles/mp_apps.dir/mm.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/mm.cc.o.d"
+  "/root/repo/src/apps/moldy.cc" "src/apps/CMakeFiles/mp_apps.dir/moldy.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/moldy.cc.o.d"
+  "/root/repo/src/apps/pray.cc" "src/apps/CMakeFiles/mp_apps.dir/pray.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/pray.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/mp_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/sample.cc" "src/apps/CMakeFiles/mp_apps.dir/sample.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/sample.cc.o.d"
+  "/root/repo/src/apps/sampleb.cc" "src/apps/CMakeFiles/mp_apps.dir/sampleb.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/sampleb.cc.o.d"
+  "/root/repo/src/apps/water.cc" "src/apps/CMakeFiles/mp_apps.dir/water.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/water.cc.o.d"
+  "/root/repo/src/apps/wator.cc" "src/apps/CMakeFiles/mp_apps.dir/wator.cc.o" "gcc" "src/apps/CMakeFiles/mp_apps.dir/wator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crl/CMakeFiles/mp_crl.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/mp_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/mp_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/mp_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/rma/CMakeFiles/mp_rma.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

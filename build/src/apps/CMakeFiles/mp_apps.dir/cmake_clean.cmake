@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_apps.dir/barnes.cc.o"
+  "CMakeFiles/mp_apps.dir/barnes.cc.o.d"
+  "CMakeFiles/mp_apps.dir/fft.cc.o"
+  "CMakeFiles/mp_apps.dir/fft.cc.o.d"
+  "CMakeFiles/mp_apps.dir/lu.cc.o"
+  "CMakeFiles/mp_apps.dir/lu.cc.o.d"
+  "CMakeFiles/mp_apps.dir/mm.cc.o"
+  "CMakeFiles/mp_apps.dir/mm.cc.o.d"
+  "CMakeFiles/mp_apps.dir/moldy.cc.o"
+  "CMakeFiles/mp_apps.dir/moldy.cc.o.d"
+  "CMakeFiles/mp_apps.dir/pray.cc.o"
+  "CMakeFiles/mp_apps.dir/pray.cc.o.d"
+  "CMakeFiles/mp_apps.dir/registry.cc.o"
+  "CMakeFiles/mp_apps.dir/registry.cc.o.d"
+  "CMakeFiles/mp_apps.dir/sample.cc.o"
+  "CMakeFiles/mp_apps.dir/sample.cc.o.d"
+  "CMakeFiles/mp_apps.dir/sampleb.cc.o"
+  "CMakeFiles/mp_apps.dir/sampleb.cc.o.d"
+  "CMakeFiles/mp_apps.dir/water.cc.o"
+  "CMakeFiles/mp_apps.dir/water.cc.o.d"
+  "CMakeFiles/mp_apps.dir/wator.cc.o"
+  "CMakeFiles/mp_apps.dir/wator.cc.o.d"
+  "libmp_apps.a"
+  "libmp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_backend.dir/factory.cc.o"
+  "CMakeFiles/mp_backend.dir/factory.cc.o.d"
+  "CMakeFiles/mp_backend.dir/hw_backend.cc.o"
+  "CMakeFiles/mp_backend.dir/hw_backend.cc.o.d"
+  "CMakeFiles/mp_backend.dir/proxy_backend.cc.o"
+  "CMakeFiles/mp_backend.dir/proxy_backend.cc.o.d"
+  "CMakeFiles/mp_backend.dir/sw_backend.cc.o"
+  "CMakeFiles/mp_backend.dir/sw_backend.cc.o.d"
+  "libmp_backend.a"
+  "libmp_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/coll.cc" "src/coll/CMakeFiles/mp_coll.dir/coll.cc.o" "gcc" "src/coll/CMakeFiles/mp_coll.dir/coll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/am/CMakeFiles/mp_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/rma/CMakeFiles/mp_rma.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mp_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

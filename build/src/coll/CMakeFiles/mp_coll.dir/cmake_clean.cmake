@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_coll.dir/coll.cc.o"
+  "CMakeFiles/mp_coll.dir/coll.cc.o.d"
+  "libmp_coll.a"
+  "libmp_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mp_coll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_crl.dir/crl.cc.o"
+  "CMakeFiles/mp_crl.dir/crl.cc.o.d"
+  "libmp_crl.a"
+  "libmp_crl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_crl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

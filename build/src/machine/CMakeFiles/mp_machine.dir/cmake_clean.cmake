@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_machine.dir/design_point.cc.o"
+  "CMakeFiles/mp_machine.dir/design_point.cc.o.d"
+  "libmp_machine.a"
+  "libmp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

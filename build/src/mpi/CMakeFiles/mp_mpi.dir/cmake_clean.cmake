@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_mpi.dir/mpi.cc.o"
+  "CMakeFiles/mp_mpi.dir/mpi.cc.o.d"
+  "libmp_mpi.a"
+  "libmp_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

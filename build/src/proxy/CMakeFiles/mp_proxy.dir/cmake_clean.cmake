@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_proxy.dir/runtime.cc.o"
+  "CMakeFiles/mp_proxy.dir/runtime.cc.o.d"
+  "libmp_proxy.a"
+  "libmp_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mp_proxy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rma/address_space.cc" "src/rma/CMakeFiles/mp_rma.dir/address_space.cc.o" "gcc" "src/rma/CMakeFiles/mp_rma.dir/address_space.cc.o.d"
+  "/root/repo/src/rma/system.cc" "src/rma/CMakeFiles/mp_rma.dir/system.cc.o" "gcc" "src/rma/CMakeFiles/mp_rma.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_rma.dir/address_space.cc.o"
+  "CMakeFiles/mp_rma.dir/address_space.cc.o.d"
+  "CMakeFiles/mp_rma.dir/system.cc.o"
+  "CMakeFiles/mp_rma.dir/system.cc.o.d"
+  "libmp_rma.a"
+  "libmp_rma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

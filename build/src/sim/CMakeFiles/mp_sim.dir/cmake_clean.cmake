@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_sim.dir/scheduler.cc.o"
+  "CMakeFiles/mp_sim.dir/scheduler.cc.o.d"
+  "libmp_sim.a"
+  "libmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

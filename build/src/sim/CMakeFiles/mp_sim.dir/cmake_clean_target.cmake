@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmp_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_util.dir/log.cc.o"
+  "CMakeFiles/mp_util.dir/log.cc.o.d"
+  "CMakeFiles/mp_util.dir/table.cc.o"
+  "CMakeFiles/mp_util.dir/table.cc.o.d"
+  "libmp_util.a"
+  "libmp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_coll_test.dir/am_coll_test.cc.o"
+  "CMakeFiles/am_coll_test.dir/am_coll_test.cc.o.d"
+  "am_coll_test"
+  "am_coll_test.pdb"
+  "am_coll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_coll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

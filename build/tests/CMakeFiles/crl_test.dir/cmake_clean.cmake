@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crl_test.dir/crl_test.cc.o"
+  "CMakeFiles/crl_test.dir/crl_test.cc.o.d"
+  "crl_test"
+  "crl_test.pdb"
+  "crl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

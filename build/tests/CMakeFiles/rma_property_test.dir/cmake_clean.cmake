@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_property_test.dir/rma_property_test.cc.o"
+  "CMakeFiles/rma_property_test.dir/rma_property_test.cc.o.d"
+  "rma_property_test"
+  "rma_property_test.pdb"
+  "rma_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

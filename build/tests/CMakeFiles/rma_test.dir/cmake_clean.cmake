@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_test.dir/rma_test.cc.o"
+  "CMakeFiles/rma_test.dir/rma_test.cc.o.d"
+  "rma_test"
+  "rma_test.pdb"
+  "rma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

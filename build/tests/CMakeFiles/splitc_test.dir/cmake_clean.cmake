@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitc_test.dir/splitc_test.cc.o"
+  "CMakeFiles/splitc_test.dir/splitc_test.cc.o.d"
+  "splitc_test"
+  "splitc_test.pdb"
+  "splitc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
