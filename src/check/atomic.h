@@ -1,0 +1,185 @@
+/// \file
+/// Instrumented atomic / plain cells for the interleaving explorer
+/// (check/sched.h), and the `CheckedAtomics` policy that plugs them
+/// into the spsc:: queues.
+///
+/// check::Atomic<T> mirrors the std::atomic<T> load/store surface.
+/// Under an active Sim it (1) yields to the scheduler before every
+/// operation — the schedule points the explorer branches on — and
+/// (2) maintains the happens-before machinery: a release store
+/// attaches the storing thread's vector clock to the cell, an
+/// acquire load joins the attached clock into the loading thread's
+/// clock, and a relaxed store *clears* the attached clock (an
+/// acquire load that reads a relaxed store synchronizes with
+/// nothing).
+///
+/// check::CheckedPlainCell<T> guards non-atomic payload data with
+/// FastTrack-style epoch checks: an access racing with an earlier
+/// access it does not happen-after is reported to the Sim. Outside a
+/// Sim both types degrade to plain behaviour, so checked structures
+/// can be constructed/inspected freely before and after explore().
+
+#ifndef MSGPROXY_CHECK_ATOMIC_H
+#define MSGPROXY_CHECK_ATOMIC_H
+
+#include <atomic>
+#include <string>
+#include <typeinfo>
+#include <utility>
+
+#include "check/sched.h"
+
+namespace check {
+
+namespace detail {
+
+/// Per-cell access history for plain (non-atomic) race detection.
+struct PlainMeta
+{
+    int last_writer = -1;
+    uint64_t last_write_epoch = 0;
+    /// reads.c[t]: epoch of thread t's last read since the last write.
+    VectorClock reads;
+};
+
+inline void
+on_plain_write(PlainMeta& m, const char* type_name)
+{
+    Sim* sim = Sim::current();
+    if (sim == nullptr)
+        return;
+    int t = sim->current_thread();
+    VectorClock& ct = sim->current_clock();
+    if (m.last_writer >= 0 && m.last_writer != t &&
+        ct.c[m.last_writer] < m.last_write_epoch) {
+        sim->report_race(
+            std::string("plain write races with earlier write (cell type ") +
+            type_name + ")");
+    }
+    for (int u = 0; u < kMaxThreads; ++u) {
+        if (u != t && m.reads.c[u] > ct.c[u]) {
+            sim->report_race(
+                std::string("plain write races with earlier read (cell type ") +
+                type_name + ")");
+            break;
+        }
+    }
+    m.last_writer = t;
+    m.last_write_epoch = sim->tick();
+    m.reads.clear();
+}
+
+inline void
+on_plain_read(PlainMeta& m, const char* type_name)
+{
+    Sim* sim = Sim::current();
+    if (sim == nullptr)
+        return;
+    int t = sim->current_thread();
+    VectorClock& ct = sim->current_clock();
+    if (m.last_writer >= 0 && m.last_writer != t &&
+        ct.c[m.last_writer] < m.last_write_epoch) {
+        sim->report_race(
+            std::string("plain read races with earlier write (cell type ") +
+            type_name + ")");
+    }
+    m.reads.c[t] = sim->tick();
+}
+
+} // namespace detail
+
+/// Checked analogue of std::atomic<T> (load/store subset).
+template <typename T>
+class Atomic
+{
+  public:
+    Atomic() noexcept = default;
+    explicit Atomic(T v) noexcept : v_(v) {}
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T
+    load(std::memory_order mo = std::memory_order_seq_cst) const
+    {
+        Sim* sim = Sim::current();
+        if (sim == nullptr)
+            return v_;
+        sim->yield(); // schedule point: explore orders around this load
+        if (mo != std::memory_order_relaxed)
+            sim->current_clock().join(rel_); // acquire: synchronize-with
+        return v_;
+    }
+
+    void
+    store(T v, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        Sim* sim = Sim::current();
+        if (sim == nullptr) {
+            v_ = v;
+            return;
+        }
+        sim->yield(); // schedule point
+        if (mo == std::memory_order_release ||
+            mo == std::memory_order_acq_rel ||
+            mo == std::memory_order_seq_cst) {
+            rel_ = sim->current_clock(); // publish our history
+        } else {
+            rel_.clear(); // relaxed store publishes nothing
+        }
+        v_ = v;
+    }
+
+  private:
+    T v_{};
+    /// Clock attached by the most recent (release) store.
+    VectorClock rel_;
+};
+
+/// Checked analogue of spsc::PlainCell<T>: plain data accesses with
+/// happens-before race detection.
+template <typename T>
+class CheckedPlainCell
+{
+  public:
+    CheckedPlainCell() = default;
+
+    void
+    put(T v)
+    {
+        detail::on_plain_write(meta_, typeid(T).name());
+        v_ = std::move(v);
+    }
+
+    T
+    take()
+    {
+        // A move-out mutates the cell: treat as a write (conflicts
+        // with both reads and writes).
+        detail::on_plain_write(meta_, typeid(T).name());
+        return std::move(v_);
+    }
+
+    T
+    get() const
+    {
+        detail::on_plain_read(meta_, typeid(T).name());
+        return v_;
+    }
+
+  private:
+    T v_{};
+    mutable detail::PlainMeta meta_;
+};
+
+/// Atomics policy instantiating spsc:: queues under the checker.
+struct CheckedAtomics
+{
+    template <typename U>
+    using atomic_type = check::Atomic<U>;
+    template <typename U>
+    using plain_type = check::CheckedPlainCell<U>;
+};
+
+} // namespace check
+
+#endif // MSGPROXY_CHECK_ATOMIC_H

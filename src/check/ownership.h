@@ -1,0 +1,77 @@
+/// \file
+/// Thread-ownership lint: debug-build assertions that enforce the
+/// single-producer / single-consumer contracts of the proxy runtime
+/// (who may touch an Endpoint's command queue and receive ring, and
+/// that segments/rqueues/ccbs are proxy-thread-only once a Node is
+/// running).
+///
+/// Enforcement is compiled in only when MSGPROXY_CHECK_OWNERSHIP is
+/// defined (CMake: -DMSGPROXY_CHECK_OWNERSHIP=ON); otherwise every
+/// method is an empty inline and the only cost is one dormant
+/// std::atomic per guarded role. A violation calls MP_PANIC (abort):
+/// it is a bug in the caller, exactly like a TSan-reported race.
+
+#ifndef MSGPROXY_CHECK_OWNERSHIP_H
+#define MSGPROXY_CHECK_OWNERSHIP_H
+
+#include <atomic>
+#include <thread>
+
+#include "util/log.h"
+
+namespace check {
+
+/// Records which OS thread owns one role (producer side, consumer
+/// side, proxy loop) of a shared structure and asserts that the same
+/// thread keeps playing it.
+class ThreadOwner
+{
+  public:
+    /// Asserts the calling thread owns this role. The first caller
+    /// binds the role to itself; use release() (or bind()) when
+    /// ownership is legitimately handed to another thread.
+    void
+    assert_owner([[maybe_unused]] const char* what)
+    {
+#ifdef MSGPROXY_CHECK_OWNERSHIP
+        std::thread::id self = std::this_thread::get_id();
+        std::thread::id unbound{};
+        if (owner_.compare_exchange_strong(unbound, self,
+                                           std::memory_order_acq_rel))
+            return; // first toucher binds the role
+        if (unbound != self) {
+            MP_PANIC("thread-ownership violation: "
+                     << what << " (owner thread " << unbound
+                     << ", violator " << self << ")");
+        }
+#endif
+    }
+
+    /// Forcibly binds the role to the calling thread.
+    void
+    bind()
+    {
+#ifdef MSGPROXY_CHECK_OWNERSHIP
+        owner_.store(std::this_thread::get_id(),
+                     std::memory_order_release);
+#endif
+    }
+
+    /// Unbinds the role; the next assert_owner() caller re-binds it.
+    void
+    release()
+    {
+#ifdef MSGPROXY_CHECK_OWNERSHIP
+        owner_.store(std::thread::id{}, std::memory_order_release);
+#endif
+    }
+
+  private:
+    /// Present unconditionally so the layout does not depend on the
+    /// macro (dormant when enforcement is compiled out).
+    std::atomic<std::thread::id> owner_{};
+};
+
+} // namespace check
+
+#endif // MSGPROXY_CHECK_OWNERSHIP_H

@@ -1,0 +1,254 @@
+#include "check/sched.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace check {
+
+namespace {
+
+/// Thrown through a simulated thread to unwind it when an execution
+/// is aborted (step limit). Thread bodies must be exception-safe.
+struct StopExecution
+{
+};
+
+thread_local Sim* g_current = nullptr;
+thread_local int g_tid = 0;
+
+} // namespace
+
+std::string
+Result::summary() const
+{
+    std::ostringstream os;
+    os << "executions=" << executions
+       << (exhausted ? " (exhaustive)" : " (truncated)");
+    if (step_limit_hit)
+        os << " [step limit hit: unbounded schedule?]";
+    os << ", races=" << races.size();
+    for (const auto& r : races)
+        os << "\n  race: " << r.what;
+    return os.str();
+}
+
+Sim*
+Sim::current()
+{
+    return g_current;
+}
+
+Sim::Sim(const Options& opts, const std::vector<size_t>& prefix,
+         uint64_t rng_state)
+    : opts_(opts), prefix_(prefix), rng_(rng_state ? rng_state : 1)
+{
+}
+
+Sim::~Sim()
+{
+    // run_all() joins; this is a backstop for setup() throwing.
+    for (auto& t : threads_)
+        if (t.th.joinable()) {
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                aborting_ = true;
+                active_ = static_cast<int>(&t - threads_.data()) + 1;
+            }
+            cv_.notify_all();
+            t.th.join();
+        }
+}
+
+void
+Sim::spawn(std::function<void()> body)
+{
+    MP_CHECK(threads_.size() + 1 < kMaxThreads,
+             "check::Sim: too many simulated threads");
+    int tid = static_cast<int>(threads_.size()) + 1;
+    // The new thread inherits everything the init context has done so
+    // far (setup writes happen-before every simulated access).
+    clocks_[tid] = clocks_[0];
+    clocks_[tid].c[tid]++;
+    threads_.emplace_back();
+    threads_.back().body = std::move(body);
+    threads_.back().th = std::thread([this, tid] { thread_main(tid); });
+}
+
+int
+Sim::current_thread() const
+{
+    return g_tid;
+}
+
+VectorClock&
+Sim::current_clock()
+{
+    return clocks_[g_tid];
+}
+
+uint64_t
+Sim::tick()
+{
+    return ++clocks_[g_tid].c[g_tid];
+}
+
+void
+Sim::report_race(const std::string& what)
+{
+    for (const auto& r : races_)
+        if (r.what == what)
+            return;
+    races_.push_back(Race{what});
+}
+
+uint64_t
+Sim::rng_next()
+{
+    // xorshift64: deterministic, seedable, good enough for schedule
+    // sampling.
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    return rng_;
+}
+
+size_t
+Sim::pick(size_t n_choices)
+{
+    size_t pos = choices_.size();
+    size_t c;
+    if (pos < prefix_.size()) {
+        c = prefix_[pos]; // replaying a recorded prefix
+    } else if (opts_.mode == Options::Mode::kRandom) {
+        c = rng_next() % n_choices;
+    } else {
+        c = 0; // first untried branch; backtracking advances it
+    }
+    MP_CHECK(c < n_choices, "check::Sim: corrupt schedule prefix");
+    choices_.push_back(c);
+    widths_.push_back(n_choices);
+    return c;
+}
+
+void
+Sim::yield()
+{
+    int tid = g_tid;
+    if (tid == 0)
+        return; // init context is never scheduled
+    std::unique_lock<std::mutex> lk(m_);
+    if (aborting_)
+        throw StopExecution{};
+    active_ = -1;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return active_ == tid; });
+    if (aborting_)
+        throw StopExecution{};
+}
+
+void
+Sim::thread_main(int tid)
+{
+    g_current = this;
+    g_tid = tid;
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [&] { return active_ == tid; });
+    }
+    if (!aborting_) {
+        try {
+            threads_[static_cast<size_t>(tid) - 1].body();
+        } catch (const StopExecution&) {
+            // unwound by an aborted execution; nothing to do
+        }
+    }
+    std::lock_guard<std::mutex> lk(m_);
+    threads_[static_cast<size_t>(tid) - 1].done = true;
+    active_ = -1;
+    cv_.notify_all();
+}
+
+void
+Sim::run_all()
+{
+    for (;;) {
+        // Simulated threads never block (lock-free histories), so
+        // every not-yet-finished thread is runnable.
+        std::vector<int> runnable;
+        for (size_t i = 0; i < threads_.size(); ++i)
+            if (!threads_[i].done)
+                runnable.push_back(static_cast<int>(i) + 1);
+        if (runnable.empty())
+            break;
+        size_t idx = 0;
+        if (runnable.size() > 1 && !aborting_)
+            idx = pick(runnable.size());
+        int tid = runnable[idx];
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            active_ = tid;
+            cv_.notify_all();
+            cv_.wait(lk, [&] { return active_ == -1; });
+        }
+        if (++steps_ > opts_.max_steps && !aborting_) {
+            aborting_ = true;
+            step_limit_hit_ = true;
+        }
+    }
+    for (auto& t : threads_)
+        if (t.th.joinable())
+            t.th.join();
+    // Everything the simulated threads did happens-before the init
+    // context's post-run inspection.
+    for (int i = 1; i < kMaxThreads; ++i)
+        clocks_[0].join(clocks_[i]);
+}
+
+Result
+explore(const Options& opts, const std::function<void(Sim&)>& setup)
+{
+    Result res;
+    std::set<std::string> seen;
+    std::vector<size_t> prefix;
+    uint64_t rng_state = opts.seed ? opts.seed : 1;
+
+    for (;;) {
+        Sim sim(opts, prefix, rng_state);
+        g_current = &sim;
+        g_tid = 0;
+        setup(sim);
+        sim.run_all();
+        g_current = nullptr;
+
+        ++res.executions;
+        res.step_limit_hit = res.step_limit_hit || sim.step_limit_hit_;
+        for (const auto& r : sim.races_)
+            if (seen.insert(r.what).second)
+                res.races.push_back(r);
+
+        if (opts.mode == Options::Mode::kRandom) {
+            rng_state = sim.rng_;
+            if (res.executions >= opts.random_executions)
+                break;
+        } else {
+            // Depth-first backtracking: advance the deepest choice
+            // point that still has an untried alternative.
+            prefix.assign(sim.choices_.begin(), sim.choices_.end());
+            while (!prefix.empty() &&
+                   prefix.back() + 1 >= sim.widths_[prefix.size() - 1])
+                prefix.pop_back();
+            if (prefix.empty()) {
+                res.exhausted = true;
+                break;
+            }
+            prefix.back()++;
+            if (res.executions >= opts.max_executions)
+                break; // tree not exhausted; res.exhausted stays false
+        }
+    }
+    return res;
+}
+
+} // namespace check

@@ -1,0 +1,197 @@
+/// \file
+/// Deterministic interleaving explorer for two-to-three-thread
+/// lock-free histories (a miniature Loom/Relacy in the spirit of the
+/// dynamic partial-order tools): simulated threads run as real
+/// std::threads under a baton scheduler, so exactly one runs at a
+/// time and the scheduler decides, at every atomic operation, which
+/// thread advances next. Schedules are enumerated exhaustively by
+/// depth-first backtracking over the choice points (or sampled with a
+/// seeded RNG), so an ordering bug is found deterministically instead
+/// of probabilistically.
+///
+/// Memory model: operations execute sequentially consistently per
+/// location (the baton serializes them), and the acquire/release
+/// semantics are checked with vector-clock happens-before tracking —
+/// a release store publishes the storing thread's clock, an acquire
+/// load joins the clock published by the store it reads, and every
+/// *plain* (non-atomic) access is checked against the last write/read
+/// epochs of its cell. A protocol that relies on an ordering weaker
+/// than it declares therefore shows up as a data race on the payload
+/// cells in some explored schedule — precisely the failure TSan would
+/// need luck to trigger. (Store buffering / relaxed value staleness
+/// is not modeled; this checker validates the release/acquire
+/// discipline, not relaxed-only algorithms.)
+///
+/// Usage (see tests/check_test.cc):
+///
+///     check::Options opts;                 // exhaustive by default
+///     check::Result r = check::explore(opts, [](check::Sim& sim) {
+///         auto q = std::make_shared<spsc::RingQueue<
+///             int, 2, check::CheckedAtomics>>();
+///         sim.spawn([q] { /* producer: bounded attempts only */ });
+///         sim.spawn([q] { /* consumer: bounded attempts only */ });
+///     });
+///     ASSERT_TRUE(r.ok()) << r.summary();
+///
+/// Thread bodies must be *bounded* (no unbounded retry loops): the
+/// explorer enumerates every schedule, and an infinite spin gives an
+/// infinite schedule (a per-execution step limit aborts runaways and
+/// reports them).
+
+#ifndef MSGPROXY_CHECK_SCHED_H
+#define MSGPROXY_CHECK_SCHED_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace check {
+
+/// Maximum simulated threads per execution, including the implicit
+/// "init" context (index 0) that runs setup and teardown.
+constexpr int kMaxThreads = 4;
+
+/// Component-wise vector clock over kMaxThreads contexts.
+struct VectorClock
+{
+    uint64_t c[kMaxThreads] = {};
+
+    void
+    join(const VectorClock& o)
+    {
+        for (int i = 0; i < kMaxThreads; ++i)
+            if (o.c[i] > c[i])
+                c[i] = o.c[i];
+    }
+
+    void
+    clear()
+    {
+        for (auto& x : c)
+            x = 0;
+    }
+};
+
+/// One detected happens-before violation.
+struct Race
+{
+    std::string what; ///< description (dedup key across executions)
+};
+
+struct Options
+{
+    enum class Mode { kExhaustive, kRandom };
+
+    Mode mode = Mode::kExhaustive;
+    /// Random mode: RNG seed and number of sampled executions.
+    uint64_t seed = 1;
+    size_t random_executions = 1000;
+    /// Exhaustive mode: stop after this many executions even if the
+    /// schedule tree is not exhausted (Result::exhausted tells).
+    size_t max_executions = 200000;
+    /// Per-execution scheduling-step bound; schedules longer than
+    /// this are aborted (Result::step_limit_hit).
+    size_t max_steps = 100000;
+};
+
+struct Result
+{
+    size_t executions = 0;
+    bool exhausted = false;     ///< exhaustive mode covered the tree
+    bool step_limit_hit = false;
+    std::vector<Race> races;    ///< deduplicated across executions
+
+    bool ok() const { return races.empty() && !step_limit_hit; }
+
+    /// Human-readable digest for test failure messages.
+    std::string summary() const;
+};
+
+/// One execution's scheduler + happens-before state. Created by
+/// explore() for every schedule; user code only calls spawn() (from
+/// the setup callback) — the instrumented cells in check/atomic.h
+/// call everything else.
+class Sim
+{
+  public:
+    /// The Sim owning the calling thread, or nullptr when the caller
+    /// runs outside an exploration (instrumented cells then degrade
+    /// to plain behaviour).
+    static Sim* current();
+
+    /// Registers a simulated thread (setup phase only; at most
+    /// kMaxThreads - 1 of them).
+    void spawn(std::function<void()> body);
+
+    /// Schedule point: hands the baton back to the scheduler and
+    /// blocks until this thread is picked again. No-op on the init
+    /// context.
+    void yield();
+
+    /// Index of the calling context (0 = init).
+    int current_thread() const;
+
+    /// The calling context's clock. Bumps of the caller's own
+    /// component are done via tick().
+    VectorClock& current_clock();
+
+    /// Increments the calling context's own clock component and
+    /// returns the new value (the epoch of an access made now).
+    uint64_t tick();
+
+    /// Records a happens-before violation (deduplicated by `what`).
+    void report_race(const std::string& what);
+
+  private:
+    friend Result explore(const Options& opts,
+                          const std::function<void(Sim&)>& setup);
+
+    explicit Sim(const Options& opts, const std::vector<size_t>& prefix,
+                 uint64_t rng_state);
+    ~Sim();
+
+    void run_all();
+    void thread_main(int tid);
+    size_t pick(size_t n_choices);
+    uint64_t rng_next();
+
+    struct ThreadRec
+    {
+        std::thread th;
+        std::function<void()> body;
+        bool done = false;
+    };
+
+    const Options& opts_;
+    const std::vector<size_t>& prefix_; ///< replayed choice prefix
+    std::vector<size_t> choices_;       ///< choices made this run
+    std::vector<size_t> widths_;        ///< alternatives per choice
+    uint64_t rng_;
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    int active_ = -1; ///< -1: scheduler owns the baton
+    bool aborting_ = false;
+    size_t steps_ = 0;
+    bool step_limit_hit_ = false;
+
+    std::vector<ThreadRec> threads_; ///< simulated threads (tid - 1)
+    VectorClock clocks_[kMaxThreads];
+    std::vector<Race> races_;
+};
+
+/// Runs `setup` once per schedule: it must allocate the state under
+/// test (shared_ptr captured by the thread bodies, so it survives
+/// until the last body is destroyed) and spawn the simulated
+/// threads. Explores schedules per `opts` and returns the merged
+/// result.
+Result explore(const Options& opts,
+               const std::function<void(Sim&)>& setup);
+
+} // namespace check
+
+#endif // MSGPROXY_CHECK_SCHED_H

@@ -62,6 +62,7 @@ bool
 Endpoint::put(const void* src, int dst_node, uint16_t dst_seg,
               uint64_t dst_off, uint32_t len, Flag* lsync, Flag* rsync)
 {
+    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
     Command c;
     c.op = Command::Op::kPut;
     c.dst_node = dst_node;
@@ -81,6 +82,7 @@ bool
 Endpoint::get(void* dst, int dst_node, uint16_t dst_seg, uint64_t dst_off,
               uint32_t len, Flag* lsync)
 {
+    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
     Command c;
     c.op = Command::Op::kGet;
     c.dst_node = dst_node;
@@ -99,6 +101,7 @@ bool
 Endpoint::enq(const void* data, uint32_t len, int dst_node, int dst_user,
               Flag* lsync)
 {
+    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
     if (len > Command::kMaxEnqBytes)
         return false; // single-packet small messages only
     Command c;
@@ -118,6 +121,7 @@ Endpoint::enq(const void* data, uint32_t len, int dst_node, int dst_user,
 bool
 Endpoint::try_recv(std::vector<uint8_t>& out)
 {
+    recv_owner_.assert_owner("Endpoint receive ring (single consumer)");
     return recvq_.try_pop(out);
 }
 
@@ -125,6 +129,7 @@ bool
 Endpoint::rq_enq(const void* data, uint32_t len, int dst_node, int qid,
                  Flag* lsync)
 {
+    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
     if (len > Command::kMaxEnqBytes)
         return false;
     Command c;
@@ -145,6 +150,7 @@ bool
 Endpoint::rq_deq(void* dst, uint32_t max, int dst_node, int qid,
                  Flag* lsync)
 {
+    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
     Command c;
     c.op = Command::Op::kRqDeq;
     c.dst_node = dst_node;
@@ -224,8 +230,10 @@ Node::start()
 void
 Node::stop()
 {
-    if (running_.exchange(false) && proxy_.joinable())
+    if (running_.exchange(false) && proxy_.joinable()) {
         proxy_.join();
+        proxy_owner_.release(); // a restarted proxy thread re-binds
+    }
 }
 
 Node::Channel*
@@ -286,6 +294,7 @@ Node::send_packet(int dst_node, std::unique_ptr<Packet> pkt)
 void
 Node::handle_command(Endpoint& ep, const Command& cmd)
 {
+    proxy_owner_.assert_owner("Node command handling (proxy thread only)");
     ++stats_.commands;
     switch (cmd.op) {
       case Command::Op::kPut: {
@@ -394,6 +403,7 @@ Node::handle_command(Endpoint& ep, const Command& cmd)
 void
 Node::handle_packet(Packet& pkt)
 {
+    proxy_owner_.assert_owner("Node segments/rqueues/ccbs (proxy thread only)");
     ++stats_.packets_in;
     switch (pkt.kind) {
       case Packet::Kind::kPutData: {
@@ -535,6 +545,7 @@ Node::handle_packet(Packet& pkt)
 void
 Node::proxy_main()
 {
+    proxy_owner_.bind(); // the loop below is the sole owner of proxy state
     // Figure 5 of the paper: scan registered command queues and the
     // network input round-robin, forever.
     while (running_.load(std::memory_order_acquire)) {

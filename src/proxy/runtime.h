@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/ownership.h"
 #include "spsc/ring_queue.h"
 
 namespace proxy {
@@ -145,6 +146,16 @@ class Endpoint
     /// Diagnostic flag bumped on protection faults observed locally.
     Flag& fault_flag() { return faults_; }
 
+    /// Ownership-lint escape hatch (MSGPROXY_CHECK_OWNERSHIP builds):
+    /// unbinds both SPSC roles so the endpoint can be handed to
+    /// another thread. Call only while no operation is in flight.
+    void
+    release_ownership()
+    {
+        cmd_owner_.release();
+        recv_owner_.release();
+    }
+
   private:
     friend class Node;
 
@@ -155,6 +166,10 @@ class Endpoint
     spsc::RingQueue<Command, 256> cmdq_;
     spsc::MsgRing<1 << 16> recvq_;
     Flag faults_{0};
+    /// Lint: the one user thread allowed to produce into cmdq_.
+    check::ThreadOwner cmd_owner_;
+    /// Lint: the one user thread allowed to consume recvq_.
+    check::ThreadOwner recv_owner_;
 };
 
 /// One simulated SMP node with a dedicated proxy thread.
@@ -291,6 +306,9 @@ class Node
     /// have commands). Producers set with release; the proxy clears
     /// before draining so arrivals are never lost.
     std::atomic<uint64_t> cmd_mask_{0};
+    /// Lint: segments_/rqueues_/ccbs_ are proxy-thread-only while
+    /// running (bound at proxy_main entry).
+    check::ThreadOwner proxy_owner_;
     std::thread proxy_;
     std::atomic<bool> running_{false};
 };

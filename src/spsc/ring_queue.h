@@ -8,6 +8,20 @@
 /// operations, just acquire/release ordering on the per-slot flag.
 ///
 /// One thread may push and one (other) thread may pop, concurrently.
+///
+/// Both queues are parameterized over an *atomics policy* so the
+/// identical protocol code can run either on real `std::atomic`
+/// (production; the default instantiation compiles to exactly the
+/// code it did before the policy existed) or on `check::CheckedAtomics`
+/// (src/check/), whose instrumented cells let the deterministic
+/// interleaving checker explore every two-thread schedule and verify
+/// the acquire/release protocol by happens-before race detection.
+///
+/// The memory orders of the protocol are likewise injected through an
+/// `Orders` policy. Production code always uses `DefaultOrders`
+/// (publish = release, observe = acquire); the weakened variants
+/// exist solely so mutation tests can prove the checker detects a
+/// broken protocol (see tests/check_test.cc).
 
 #ifndef MSGPROXY_SPSC_RING_QUEUE_H
 #define MSGPROXY_SPSC_RING_QUEUE_H
@@ -20,13 +34,72 @@
 
 namespace spsc {
 
+/// A non-atomic storage cell. The indirection exists so the checking
+/// policy can observe plain (data) accesses for race detection; this
+/// default is a zero-cost transparent wrapper.
+template <typename T>
+class PlainCell
+{
+  public:
+    PlainCell() = default;
+
+    /// Writes the cell (data access, no ordering of its own).
+    void put(T v) { v_ = std::move(v); }
+
+    /// Moves the value out of the cell.
+    T take() { return std::move(v_); }
+
+    /// Reads the cell by value (for trivially copyable payloads).
+    T get() const { return v_; }
+
+  private:
+    T v_{};
+};
+
+/// Production atomics policy: real std::atomic, transparent data
+/// cells. Instantiating the queues with this policy is bit-for-bit
+/// the pre-policy code.
+struct RealAtomics
+{
+    template <typename U>
+    using atomic_type = std::atomic<U>;
+    template <typename U>
+    using plain_type = PlainCell<U>;
+};
+
+/// The shipped memory-ordering discipline of the SPSC protocol:
+/// `publish` orders every flag/header store that transfers slot
+/// ownership to the other thread; `observe` orders every load that
+/// tests such a flag/header.
+struct DefaultOrders
+{
+    static constexpr std::memory_order publish = std::memory_order_release;
+    static constexpr std::memory_order observe = std::memory_order_acquire;
+};
+
+/// Mutation-testing order sets: deliberately broken protocols used to
+/// demonstrate that the interleaving checker has teeth. Never use in
+/// production code.
+struct RelaxedPublishOrders
+{
+    static constexpr std::memory_order publish = std::memory_order_relaxed;
+    static constexpr std::memory_order observe = std::memory_order_acquire;
+};
+
+struct RelaxedObserveOrders
+{
+    static constexpr std::memory_order publish = std::memory_order_release;
+    static constexpr std::memory_order observe = std::memory_order_relaxed;
+};
+
 /// Fixed-capacity lock-free SPSC queue of T.
 ///
 /// Capacity must be a power of two. Each slot carries the paper's
 /// full/empty flag: the producer only writes empty slots and the
 /// consumer only reads full ones, so head and tail indices stay
 /// thread-local (no shared counters at all).
-template <typename T, size_t kCapacity>
+template <typename T, size_t kCapacity, typename Policy = RealAtomics,
+          typename Orders = DefaultOrders>
 class RingQueue
 {
     static_assert((kCapacity & (kCapacity - 1)) == 0,
@@ -44,10 +117,10 @@ class RingQueue
     try_push(T value)
     {
         Slot& s = slots_[tail_ & kMask];
-        if (s.full.load(std::memory_order_acquire))
+        if (s.full.load(Orders::observe))
             return false; // consumer has not drained this slot yet
-        s.value = std::move(value);
-        s.full.store(true, std::memory_order_release);
+        s.value.put(std::move(value));
+        s.full.store(true, Orders::publish);
         ++tail_;
         return true;
     }
@@ -57,10 +130,10 @@ class RingQueue
     try_pop(T& out)
     {
         Slot& s = slots_[head_ & kMask];
-        if (!s.full.load(std::memory_order_acquire))
+        if (!s.full.load(Orders::observe))
             return false;
-        out = std::move(s.value);
-        s.full.store(false, std::memory_order_release);
+        out = s.value.take();
+        s.full.store(false, Orders::publish);
         ++head_;
         return true;
     }
@@ -71,8 +144,7 @@ class RingQueue
     bool
     empty() const
     {
-        return !slots_[head_ & kMask].full.load(
-            std::memory_order_acquire);
+        return !slots_[head_ & kMask].full.load(Orders::observe);
     }
 
     /// Capacity in elements.
@@ -83,8 +155,8 @@ class RingQueue
 
     struct alignas(64) Slot
     {
-        std::atomic<bool> full{false};
-        T value{};
+        typename Policy::template atomic_type<bool> full{false};
+        typename Policy::template plain_type<T> value{};
     };
 
     Slot slots_[kCapacity];
@@ -98,11 +170,25 @@ class RingQueue
 /// records, with the same SPSC full/empty-flag discipline applied to
 /// a record header slot. Used for the user-level receive queues where
 /// message sizes vary.
-template <size_t kBytes>
+///
+/// Record headers live in a dedicated `atomic<uint64_t>` array — one
+/// entry per 8-byte-aligned record start — rather than being
+/// reinterpret_cast overlays on the byte buffer (which was undefined
+/// behaviour: unaligned-capable placement aside, accessing bytes
+/// through an atomic they were never constructed as violates strict
+/// aliasing). Record positions are always multiples of kHeaderBytes,
+/// so headers of live records never collide. The wire format and
+/// capacity accounting are unchanged: a record still charges
+/// kHeaderBytes + padded payload against the byte capacity (the 8
+/// bytes at the record start stay reserved even though the header no
+/// longer lives there).
+template <size_t kBytes, typename Policy = RealAtomics,
+          typename Orders = DefaultOrders>
 class MsgRing
 {
     static_assert((kBytes & (kBytes - 1)) == 0,
                   "capacity must be a power of two");
+    static_assert(kBytes >= 16, "capacity too small");
 
   public:
     MsgRing() = default;
@@ -118,17 +204,16 @@ class MsgRing
         uint32_t need = record_bytes(n);
         if (need > kBytes / 2)
             return false; // message larger than the ring supports
-        uint64_t head = head_.load(std::memory_order_acquire);
+        uint64_t head = head_.load(Orders::observe);
         if (tail_ + need - head > kBytes)
             return false; // full
         // Write payload then publish the header (release).
         uint64_t pos = tail_ + kHeaderBytes;
         const auto* src = static_cast<const uint8_t*>(data);
         for (uint32_t i = 0; i < n; ++i)
-            buf_[(pos + i) & kMask] = src[i];
+            buf_[(pos + i) & kMask].put(src[i]);
         hdr_at(tail_).store(
-            (static_cast<uint64_t>(1) << 63) | n,
-            std::memory_order_release);
+            (static_cast<uint64_t>(1) << 63) | n, Orders::publish);
         tail_ += need;
         return true;
     }
@@ -139,17 +224,17 @@ class MsgRing
     bool
     try_pop(Vec& out)
     {
-        uint64_t h = hdr_at(chead_).load(std::memory_order_acquire);
+        uint64_t h = hdr_at(chead_).load(Orders::observe);
         if ((h >> 63) == 0)
             return false;
         auto n = static_cast<uint32_t>(h & 0xffffffffu);
         out.resize(n);
         uint64_t pos = chead_ + kHeaderBytes;
         for (uint32_t i = 0; i < n; ++i)
-            out[i] = buf_[(pos + i) & kMask];
-        hdr_at(chead_).store(0, std::memory_order_release);
+            out[i] = buf_[(pos + i) & kMask].get();
+        hdr_at(chead_).store(0, Orders::publish);
         chead_ += record_bytes(n);
-        head_.store(chead_, std::memory_order_release);
+        head_.store(chead_, Orders::publish);
         return true;
     }
 
@@ -157,13 +242,13 @@ class MsgRing
     bool
     empty() const
     {
-        return (hdr_at(chead_).load(std::memory_order_acquire) >> 63) ==
-               0;
+        return (hdr_at(chead_).load(Orders::observe) >> 63) == 0;
     }
 
   private:
     static constexpr size_t kMask = kBytes - 1;
     static constexpr uint32_t kHeaderBytes = 8;
+    static constexpr size_t kHdrSlots = kBytes / kHeaderBytes;
 
     static uint32_t
     record_bytes(uint32_t n)
@@ -173,27 +258,29 @@ class MsgRing
                ((n + kHeaderBytes - 1) / kHeaderBytes) * kHeaderBytes;
     }
 
-    std::atomic<uint64_t>&
+    typename Policy::template atomic_type<uint64_t>&
     hdr_at(uint64_t pos)
     {
-        return *reinterpret_cast<std::atomic<uint64_t>*>(
-            &buf_[pos & kMask]);
+        return hdr_[(pos & kMask) / kHeaderBytes];
     }
 
-    const std::atomic<uint64_t>&
+    const typename Policy::template atomic_type<uint64_t>&
     hdr_at(uint64_t pos) const
     {
-        return *reinterpret_cast<const std::atomic<uint64_t>*>(
-            &buf_[pos & kMask]);
+        return hdr_[(pos & kMask) / kHeaderBytes];
     }
 
-    alignas(64) uint8_t buf_[kBytes] = {};
+    alignas(64) typename Policy::template plain_type<uint8_t>
+        buf_[kBytes] = {};
+    /// Per-record full/empty headers, indexed by record start / 8.
+    alignas(64) typename Policy::template atomic_type<uint64_t>
+        hdr_[kHdrSlots] = {};
     /// Producer-local write cursor.
     alignas(64) uint64_t tail_ = 0;
     /// Consumer-local read cursor, mirrored to head_ for the
     /// producer's space accounting.
     alignas(64) uint64_t chead_ = 0;
-    std::atomic<uint64_t> head_{0};
+    typename Policy::template atomic_type<uint64_t> head_{0};
 };
 
 } // namespace spsc

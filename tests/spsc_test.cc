@@ -1,0 +1,192 @@
+/// \file
+/// Edge-case and stress coverage for the SPSC queues: MsgRing
+/// wraparound/full/oversize boundaries and long-running two-thread
+/// streams for both queues (the TSan workload — this binary carries
+/// the `sanitize-ok` ctest label and runs under every sanitizer
+/// configuration of tools/check.sh).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "spsc/ring_queue.h"
+
+namespace {
+
+// For MsgRing<kBytes>, a record costs 8 (header) + payload rounded up
+// to 8; a push is rejected when the record would exceed kBytes/2.
+constexpr uint32_t
+record_bytes(uint32_t n)
+{
+    return 8 + ((n + 7) / 8) * 8;
+}
+
+std::vector<uint8_t>
+pattern(uint32_t n, uint32_t salt)
+{
+    std::vector<uint8_t> v(n);
+    for (uint32_t i = 0; i < n; ++i)
+        v[i] = static_cast<uint8_t>(salt * 31 + i * 7 + 3);
+    return v;
+}
+
+// --------------------------------------------------- MsgRing edges
+
+TEST(MsgRingEdge, OversizeRejectedEvenWhenEmpty)
+{
+    spsc::MsgRing<64> r;
+    // record_bytes(25) = 40 > 64/2: too big for this ring, ever.
+    auto big = pattern(25, 1);
+    EXPECT_FALSE(r.try_push(big.data(), 25));
+    EXPECT_TRUE(r.empty());
+    // record_bytes(24) = 32 == 64/2: the largest admissible message.
+    auto ok = pattern(24, 2);
+    EXPECT_TRUE(r.try_push(ok.data(), 24));
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(r.try_pop(out));
+    EXPECT_EQ(out, ok);
+}
+
+TEST(MsgRingEdge, ExactFullRejectsAndRecovers)
+{
+    spsc::MsgRing<64> r;
+    // Four records of 16 bytes fill the ring to exactly 64 bytes.
+    ASSERT_EQ(record_bytes(8), 16u);
+    for (uint32_t i = 0; i < 4; ++i) {
+        auto msg = pattern(8, i);
+        ASSERT_TRUE(r.try_push(msg.data(), 8)) << i;
+    }
+    auto extra = pattern(8, 99);
+    EXPECT_FALSE(r.try_push(extra.data(), 8)); // exactly full
+    EXPECT_FALSE(r.try_push(extra.data(), 0)); // even a 0-byte record
+
+    // Draining one record frees exactly one record's credit.
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(r.try_pop(out));
+    EXPECT_EQ(out, pattern(8, 0));
+    EXPECT_TRUE(r.try_push(extra.data(), 8));
+    EXPECT_FALSE(r.try_push(extra.data(), 8)); // full again
+
+    // FIFO continues across the full/drain cycle.
+    for (uint32_t i = 1; i < 4; ++i) {
+        ASSERT_TRUE(r.try_pop(out));
+        EXPECT_EQ(out, pattern(8, i));
+    }
+    ASSERT_TRUE(r.try_pop(out));
+    EXPECT_EQ(out, pattern(8, 99));
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(MsgRingEdge, ZeroLengthMessages)
+{
+    spsc::MsgRing<32> r;
+    EXPECT_TRUE(r.try_push(nullptr, 0));
+    EXPECT_FALSE(r.empty());
+    std::vector<uint8_t> out(3, 7);
+    ASSERT_TRUE(r.try_pop(out));
+    EXPECT_TRUE(out.empty());
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(MsgRingEdge, PayloadWrapsAcrossRingBoundary)
+{
+    spsc::MsgRing<64> r;
+    std::vector<uint8_t> out;
+    // Advance the cursors so the next record's payload straddles the
+    // end of the byte ring: two 32-byte records leave tail_ = 64; the
+    // third record's payload occupies positions 72..95, i.e. ring
+    // offsets 8..31 after wrapping.
+    for (uint32_t i = 0; i < 2; ++i) {
+        auto msg = pattern(24, i);
+        ASSERT_TRUE(r.try_push(msg.data(), 24));
+        ASSERT_TRUE(r.try_pop(out));
+        ASSERT_EQ(out, msg);
+    }
+    auto wrapped = pattern(24, 42);
+    ASSERT_TRUE(r.try_push(wrapped.data(), 24));
+    ASSERT_TRUE(r.try_pop(out));
+    EXPECT_EQ(out, wrapped);
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(MsgRingEdge, ManyLapsPreserveFifoAndContent)
+{
+    spsc::MsgRing<128> r;
+    std::vector<uint8_t> out;
+    uint32_t popped = 0;
+    uint32_t pushed = 0;
+    // Mixed sizes force every alignment/wrap combination over many
+    // laps of the 128-byte ring.
+    while (popped < 500) {
+        uint32_t n = pushed % 41;
+        auto msg = pattern(n, pushed);
+        if (record_bytes(n) <= 64 && r.try_push(msg.data(), n))
+            ++pushed;
+        while (r.try_pop(out)) {
+            uint32_t exp = popped % 41;
+            ASSERT_EQ(out.size(), exp);
+            ASSERT_EQ(out, pattern(exp, popped));
+            ++popped;
+        }
+    }
+}
+
+// ------------------------------------------------ two-thread stress
+
+TEST(SpscStress, RingQueueMillionOps)
+{
+    // >= 1M push + 1M pop ops through a small ring, checking strict
+    // FIFO. The TSan run of this test is the sampled-interleaving
+    // complement to the exhaustive checker in check_test.cc.
+    constexpr uint64_t kOps = 1'000'000;
+    auto q = std::make_unique<spsc::RingQueue<uint64_t, 64>>();
+    std::thread producer([&] {
+        for (uint64_t i = 0; i < kOps; ++i)
+            while (!q->try_push(i))
+                std::this_thread::yield();
+    });
+    uint64_t expect = 0;
+    while (expect < kOps) {
+        uint64_t v;
+        if (q->try_pop(v)) {
+            ASSERT_EQ(v, expect);
+            ++expect;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(q->empty());
+}
+
+TEST(SpscStress, MsgRingMillionOps)
+{
+    // 500k messages = 1M push/pop ops, sizes cycling through every
+    // alignment class, content verified byte-for-byte.
+    constexpr uint32_t kMsgs = 500'000;
+    auto r = std::make_unique<spsc::MsgRing<8192>>();
+    std::thread producer([&] {
+        std::vector<uint8_t> msg;
+        for (uint32_t i = 0; i < kMsgs; ++i) {
+            uint32_t n = i % 61;
+            msg = pattern(n, i);
+            while (!r->try_push(msg.data(), n))
+                std::this_thread::yield();
+        }
+    });
+    std::vector<uint8_t> out;
+    for (uint32_t i = 0; i < kMsgs; ++i) {
+        while (!r->try_pop(out))
+            std::this_thread::yield();
+        uint32_t n = i % 61;
+        ASSERT_EQ(out.size(), n);
+        ASSERT_EQ(out, pattern(n, i));
+    }
+    producer.join();
+    EXPECT_TRUE(r->empty());
+}
+
+} // namespace
