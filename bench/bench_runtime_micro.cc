@@ -68,7 +68,9 @@ BENCHMARK(BM_MsgRingPushPop)->Arg(16)->Arg(256)->Arg(2048);
 /// Shared two-node fixture for the end-to-end benchmarks.
 struct Pair
 {
-    Pair() : n0(0), n1(1)
+    Pair()
+        : n0(proxy::NodeConfig{.id = 0}),
+          n1(proxy::NodeConfig{.id = 1})
     {
         ep0 = &n0.create_endpoint();
         ep1 = &n1.create_endpoint();
@@ -169,9 +171,10 @@ BM_ProxyPollModes(benchmark::State& state)
     // One active endpoint among many idle ones: quantifies the
     // Section 4.1 bit-vector queue-scan acceleration on the real
     // runtime (arg0: idle endpoints, arg1: 1 = bit vector).
-    auto mode = state.range(1) != 0 ? proxy::Node::PollMode::kBitVector
-                                    : proxy::Node::PollMode::kScanAll;
-    proxy::Node n0(0, mode), n1(1, mode);
+    auto mode = state.range(1) != 0 ? proxy::PollMode::kBitVector
+                                    : proxy::PollMode::kScanAll;
+    proxy::Node n0(proxy::NodeConfig{.id = 0, .poll_mode = mode});
+    proxy::Node n1(proxy::NodeConfig{.id = 1, .poll_mode = mode});
     proxy::Endpoint* active = &n0.create_endpoint();
     for (int i = 0; i < state.range(0); ++i)
         n0.create_endpoint(); // idle

@@ -20,8 +20,8 @@ int
 main()
 {
     // --- topology: two nodes, one user endpoint each --------------
-    proxy::Node node0(0);
-    proxy::Node node1(1);
+    proxy::Node node0(proxy::NodeConfig{.id = 0});
+    proxy::Node node1(proxy::NodeConfig{.id = 1});
     proxy::Endpoint& user0 = node0.create_endpoint();
     proxy::Endpoint& user1 = node1.create_endpoint();
     proxy::Node::connect(node0, node1);

@@ -42,8 +42,8 @@ struct UpdateCmd
 int
 main()
 {
-    proxy::Node server_node(0);
-    proxy::Node client_node(1);
+    proxy::Node server_node(proxy::NodeConfig{.id = 0});
+    proxy::Node client_node(proxy::NodeConfig{.id = 1});
     proxy::Endpoint& server = server_node.create_endpoint();
     proxy::Endpoint& client_a = client_node.create_endpoint();
     proxy::Endpoint& client_b = client_node.create_endpoint();

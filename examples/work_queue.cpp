@@ -49,14 +49,15 @@ main()
     constexpr int kWorkers = 3;
     constexpr int kTasks = 24;
 
-    proxy::Node coordinator(0);
+    proxy::Node coordinator(proxy::NodeConfig{.id = 0});
     proxy::Endpoint& boss = coordinator.create_endpoint();
     int task_q = coordinator.create_queue();
 
     std::vector<std::unique_ptr<proxy::Node>> worker_nodes;
     std::vector<proxy::Endpoint*> workers;
     for (int w = 0; w < kWorkers; ++w) {
-        worker_nodes.push_back(std::make_unique<proxy::Node>(1 + w));
+        worker_nodes.push_back(std::make_unique<proxy::Node>(
+            proxy::NodeConfig{.id = 1 + w}));
         workers.push_back(&worker_nodes.back()->create_endpoint());
         proxy::Node::connect(coordinator, *worker_nodes.back());
     }
@@ -129,8 +130,8 @@ main()
     std::printf("\ncoordinator proxy: %llu packets in, %llu out, "
                 "0 locks taken\n",
                 static_cast<unsigned long long>(
-                    coordinator.stats().packets_in.load()),
+                    coordinator.stats().packets_in),
                 static_cast<unsigned long long>(
-                    coordinator.stats().packets_out.load()));
+                    coordinator.stats().packets_out));
     return 0;
 }

@@ -1,8 +1,8 @@
 #include "proxy/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
-#include <deque>
 
 #include "util/log.h"
 
@@ -10,30 +10,87 @@ namespace proxy {
 
 namespace {
 
-/// CPU relax in spin loops; falls back to yield so the runtime stays
-/// live-locked-free even on a single hardware thread.
+/// CPU-relax hint for the pause stage of the backoff machine.
 inline void
-relax(int& spins)
+cpu_pause()
 {
-    ++spins;
-    if (spins < 64) {
 #if defined(__x86_64__)
-        __builtin_ia32_pause();
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
 #endif
-    } else {
-        std::this_thread::yield();
-        spins = 0;
-    }
+}
+
+/// Single-writer counter bump: every ProxyStats counter is written
+/// by exactly one proxy thread, so a relaxed load+store is enough
+/// (and cheaper than an atomic RMW on the poll-loop hot path).
+inline void
+bump(std::atomic<uint64_t>& c, uint64_t n = 1)
+{
+    c.store(c.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
 }
 
 } // namespace
 
-void
-flag_wait_ge(const Flag& f, uint64_t v)
+PollParams::PollParams()
 {
-    int spins = 0;
+    // On a single-hardware-thread host the producer and the proxy
+    // time-share one core: any spinning only steals the producer's
+    // timeslice, so yield immediately (the pre-adaptive behaviour).
+    static const unsigned hw = std::thread::hardware_concurrency();
+    const bool solo = hw <= 1;
+    spin_iters = solo ? 0 : 64;
+    pause_iters = solo ? 0 : 512;
+    yield_iters_before_sleep = 0;
+    sleep_us = 0;
+}
+
+void
+Backoff::idle()
+{
+    ++n_;
+    if (n_ <= p_.spin_iters)
+        return; // stage 1: tight re-poll
+    if (n_ <= p_.spin_iters + p_.pause_iters) {
+        cpu_pause(); // stage 2: relax the pipeline, stay on-core
+        return;
+    }
+    if (p_.sleep_us > 0 &&
+        n_ > static_cast<uint64_t>(p_.spin_iters) + p_.pause_iters +
+                 p_.yield_iters_before_sleep) {
+        // stage 4 (opt-in): long-idle, genuinely get off the core.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(p_.sleep_us));
+        return;
+    }
+    std::this_thread::yield(); // stage 3: cede the core per quantum
+}
+
+void
+flag_wait_ge(const Flag& f, uint64_t v, const PollParams& pp)
+{
+    Backoff bo(pp);
     while (f.load(std::memory_order_acquire) < v)
-        relax(spins);
+        bo.idle();
+}
+
+const char*
+SubmitStatus::name() const
+{
+    switch (code_) {
+      case kOk: return "kOk";
+      case kQueueFull: return "kQueueFull";
+      case kTooLarge: return "kTooLarge";
+      case kBadTarget: return "kBadTarget";
+    }
+    return "<invalid>";
+}
+
+std::ostream&
+operator<<(std::ostream& os, SubmitStatus s)
+{
+    return os << s.name();
 }
 
 // ---------------------------------------------------------------- Endpoint
@@ -58,11 +115,22 @@ Endpoint::register_segment(void* base, size_t len, bool remote_access)
     return static_cast<uint16_t>(node_.segments_.size() - 1);
 }
 
-bool
+SubmitStatus
+Endpoint::submit(Command&& c)
+{
+    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
+    if (!node_.valid_target(c.dst_node))
+        return SubmitStatus::kBadTarget;
+    if (!cmdq_.try_push(std::move(c)))
+        return SubmitStatus::kQueueFull;
+    node_.note_command_posted(id_);
+    return SubmitStatus::kOk;
+}
+
+SubmitStatus
 Endpoint::put(const void* src, int dst_node, uint16_t dst_seg,
               uint64_t dst_off, uint32_t len, Flag* lsync, Flag* rsync)
 {
-    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
     Command c;
     c.op = Command::Op::kPut;
     c.dst_node = dst_node;
@@ -72,17 +140,13 @@ Endpoint::put(const void* src, int dst_node, uint16_t dst_seg,
     c.len = len;
     c.lsync = lsync;
     c.rsync = rsync;
-    if (!cmdq_.try_push(c))
-        return false;
-    node_.note_command_posted(id_);
-    return true;
+    return submit(std::move(c));
 }
 
-bool
+SubmitStatus
 Endpoint::get(void* dst, int dst_node, uint16_t dst_seg, uint64_t dst_off,
               uint32_t len, Flag* lsync)
 {
-    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
     Command c;
     c.op = Command::Op::kGet;
     c.dst_node = dst_node;
@@ -91,19 +155,17 @@ Endpoint::get(void* dst, int dst_node, uint16_t dst_seg, uint64_t dst_off,
     c.dst = dst;
     c.len = len;
     c.lsync = lsync;
-    if (!cmdq_.try_push(c))
-        return false;
-    node_.note_command_posted(id_);
-    return true;
+    return submit(std::move(c));
 }
 
-bool
+SubmitStatus
 Endpoint::enq(const void* data, uint32_t len, int dst_node, int dst_user,
               Flag* lsync)
 {
-    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
     if (len > Command::kMaxEnqBytes)
-        return false; // single-packet small messages only
+        return SubmitStatus::kTooLarge; // single-packet messages only
+    if (dst_user < 0)
+        return SubmitStatus::kBadTarget;
     Command c;
     c.op = Command::Op::kEnq;
     c.dst_node = dst_node;
@@ -112,10 +174,7 @@ Endpoint::enq(const void* data, uint32_t len, int dst_node, int dst_user,
     c.lsync = lsync;
     if (len > 0)
         std::memcpy(c.inline_data, data, len);
-    if (!cmdq_.try_push(std::move(c)))
-        return false;
-    node_.note_command_posted(id_);
-    return true;
+    return submit(std::move(c));
 }
 
 bool
@@ -125,13 +184,14 @@ Endpoint::try_recv(std::vector<uint8_t>& out)
     return recvq_.try_pop(out);
 }
 
-bool
+SubmitStatus
 Endpoint::rq_enq(const void* data, uint32_t len, int dst_node, int qid,
                  Flag* lsync)
 {
-    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
     if (len > Command::kMaxEnqBytes)
-        return false;
+        return SubmitStatus::kTooLarge;
+    if (qid < 0)
+        return SubmitStatus::kBadTarget;
     Command c;
     c.op = Command::Op::kRqEnq;
     c.dst_node = dst_node;
@@ -140,17 +200,15 @@ Endpoint::rq_enq(const void* data, uint32_t len, int dst_node, int qid,
     c.lsync = lsync;
     if (len > 0)
         std::memcpy(c.inline_data, data, len);
-    if (!cmdq_.try_push(std::move(c)))
-        return false;
-    node_.note_command_posted(id_);
-    return true;
+    return submit(std::move(c));
 }
 
-bool
+SubmitStatus
 Endpoint::rq_deq(void* dst, uint32_t max, int dst_node, int qid,
                  Flag* lsync)
 {
-    cmd_owner_.assert_owner("Endpoint command queue (single producer)");
+    if (qid < 0)
+        return SubmitStatus::kBadTarget;
     Command c;
     c.op = Command::Op::kRqDeq;
     c.dst_node = dst_node;
@@ -158,16 +216,24 @@ Endpoint::rq_deq(void* dst, uint32_t max, int dst_node, int qid,
     c.dst = dst;
     c.len = max;
     c.lsync = lsync;
-    if (!cmdq_.try_push(c))
-        return false;
-    node_.note_command_posted(id_);
-    return true;
+    return submit(std::move(c));
 }
 
 // -------------------------------------------------------------------- Node
 
+Node::Node(const NodeConfig& cfg)
+    : cfg_(cfg)
+{
+    MP_CHECK(cfg_.num_proxies >= 1 && cfg_.num_proxies <= 64,
+             "num_proxies must be in [1, 64], got " << cfg_.num_proxies);
+    for (int p = 0; p < cfg_.num_proxies; ++p) {
+        proxies_.push_back(std::make_unique<Proxy>());
+        proxies_.back()->index = p;
+    }
+}
+
 Node::Node(int id, PollMode poll_mode)
-    : id_(id), poll_mode_(poll_mode)
+    : Node(NodeConfig{.id = id, .poll_mode = poll_mode})
 {
 }
 
@@ -181,9 +247,10 @@ Node::create_endpoint()
 {
     MP_CHECK(!running_.load(std::memory_order_acquire),
              "endpoints must be created before Node::start()");
-    endpoints_.push_back(
-        std::unique_ptr<Endpoint>(new Endpoint(*this, static_cast<int>(
-                                                          endpoints_.size()))));
+    int id = static_cast<int>(endpoints_.size());
+    endpoints_.push_back(std::unique_ptr<Endpoint>(
+        new Endpoint(*this, id, id % cfg_.num_proxies,
+                     cfg_.cmd_queue_depth, cfg_.recv_ring_bytes)));
     return *endpoints_.back();
 }
 
@@ -201,110 +268,246 @@ Node::connect(Node& a, Node& b)
 {
     MP_CHECK(!a.running_.load() && !b.running_.load(),
              "connect before start");
-    size_t need_a = static_cast<size_t>(b.id_) + 1;
-    size_t need_b = static_cast<size_t>(a.id_) + 1;
-    if (a.out_.size() < need_a)
-        a.out_.resize(need_a);
-    if (a.in_.size() < need_a)
-        a.in_.resize(need_a);
-    if (b.out_.size() < need_b)
-        b.out_.resize(need_b);
-    if (b.in_.size() < need_b)
-        b.in_.resize(need_b);
-    auto ab = std::make_shared<Channel>();
-    auto ba = std::make_shared<Channel>();
-    a.out_[static_cast<size_t>(b.id_)] = ab;
-    b.in_[static_cast<size_t>(a.id_)] = ab;
-    b.out_[static_cast<size_t>(a.id_)] = ba;
-    a.in_[static_cast<size_t>(b.id_)] = ba;
+    MP_CHECK(a.cfg_.id != b.cfg_.id, "connect needs distinct nodes");
+    auto ensure = [](Node& n, int peer) {
+        auto need = static_cast<size_t>(peer) + 1;
+        if (n.out_.size() < need) {
+            n.out_.resize(need);
+            n.in_.resize(need);
+            n.peer_proxies_.resize(need, 0);
+        }
+    };
+    ensure(a, b.cfg_.id);
+    ensure(b, a.cfg_.id);
+    auto aid = static_cast<size_t>(a.cfg_.id);
+    auto bid = static_cast<size_t>(b.cfg_.id);
+    MP_CHECK(a.out_[bid].empty() && b.out_[aid].empty(),
+             "nodes " << a.cfg_.id << " and " << b.cfg_.id
+                      << " already connected");
+    a.peer_proxies_[bid] = b.cfg_.num_proxies;
+    b.peer_proxies_[aid] = a.cfg_.num_proxies;
+    const auto pa = static_cast<size_t>(a.cfg_.num_proxies);
+    const auto pb = static_cast<size_t>(b.cfg_.num_proxies);
+    // One ring per (sending proxy, receiving proxy) pair and
+    // direction: no ring end is ever shared between two proxies.
+    a.out_[bid].resize(pa * pb);
+    b.in_[aid].resize(pa * pb);
+    for (size_t p = 0; p < pa; ++p) {
+        for (size_t q = 0; q < pb; ++q) {
+            auto ch = std::make_shared<Channel>();
+            a.out_[bid][p * pb + q] = ch;
+            b.in_[aid][p * pb + q] = ch;
+        }
+    }
+    b.out_[aid].resize(pb * pa);
+    a.in_[bid].resize(pb * pa);
+    for (size_t p = 0; p < pb; ++p) {
+        for (size_t q = 0; q < pa; ++q) {
+            auto ch = std::make_shared<Channel>();
+            b.out_[aid][p * pa + q] = ch;
+            a.in_[bid][p * pa + q] = ch;
+        }
+    }
 }
 
 void
 Node::start()
 {
     MP_CHECK(!running_.load(), "node already started");
+    const auto P = static_cast<size_t>(cfg_.num_proxies);
+    // Cross-proxy loopback rings (a proxy serves itself directly, so
+    // the diagonal stays null). Idempotent across stop()/start().
+    if (P > 1) {
+        auto self = static_cast<size_t>(cfg_.id);
+        if (out_.size() <= self) {
+            out_.resize(self + 1);
+            in_.resize(self + 1);
+            peer_proxies_.resize(self + 1, 0);
+        }
+        if (out_[self].empty()) {
+            out_[self].resize(P * P);
+            in_[self].resize(P * P);
+            for (size_t p = 0; p < P; ++p) {
+                for (size_t q = 0; q < P; ++q) {
+                    if (p == q)
+                        continue;
+                    auto ch = std::make_shared<Channel>();
+                    out_[self][p * P + q] = ch;
+                    in_[self][p * P + q] = ch;
+                }
+            }
+        }
+    }
+    // Per-proxy receive lists: every ring whose consumer end this
+    // proxy owns, across all peers (and the loopback matrix).
+    for (auto& pr : proxies_) {
+        pr->rx.clear();
+        for (auto& row : in_) {
+            if (row.empty())
+                continue;
+            size_t peer_p = row.size() / P;
+            for (size_t sp = 0; sp < peer_p; ++sp) {
+                Channel* ch =
+                    row[sp * P + static_cast<size_t>(pr->index)].get();
+                if (ch != nullptr)
+                    pr->rx.push_back(ch);
+            }
+        }
+    }
     running_.store(true, std::memory_order_release);
-    proxy_ = std::thread([this] { proxy_main(); });
+    for (auto& pr : proxies_)
+        pr->thread = std::thread([this, p = pr.get()] { proxy_main(*p); });
 }
 
 void
 Node::stop()
 {
-    if (running_.exchange(false) && proxy_.joinable()) {
-        proxy_.join();
-        proxy_owner_.release(); // a restarted proxy thread re-binds
+    if (!running_.exchange(false))
+        return;
+    for (auto& pr : proxies_) {
+        if (pr->thread.joinable()) {
+            pr->thread.join();
+            pr->owner.release(); // a restarted proxy thread re-binds
+        }
     }
 }
 
-Node::Channel*
-Node::out_channel(int dst_node)
+NodeStats
+Node::stats() const
 {
-    if (dst_node < 0 || static_cast<size_t>(dst_node) >= out_.size())
-        return nullptr;
-    return out_[static_cast<size_t>(dst_node)].get();
+    NodeStats s;
+    for (const auto& pr : proxies_) {
+        const ProxyStats& ps = pr->stats;
+        s.commands += ps.commands.load(std::memory_order_relaxed);
+        s.packets_in += ps.packets_in.load(std::memory_order_relaxed);
+        s.packets_out += ps.packets_out.load(std::memory_order_relaxed);
+        s.faults += ps.faults.load(std::memory_order_relaxed);
+        s.enq_drops += ps.enq_drops.load(std::memory_order_relaxed);
+        s.polls += ps.polls.load(std::memory_order_relaxed);
+        s.idle_transitions +=
+            ps.idle_transitions.load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
+const ProxyStats&
+Node::proxy_stats(int proxy) const
+{
+    MP_CHECK(proxy >= 0 && proxy < cfg_.num_proxies,
+             "proxy index " << proxy << " out of range");
+    return proxies_[static_cast<size_t>(proxy)]->stats;
 }
 
 bool
-Node::send_packet(int dst_node, std::unique_ptr<Packet> pkt)
+Node::valid_target(int dst_node) const
 {
-    if (dst_node == id_) {
-        // Loopback: the proxy serves intra-node traffic directly.
-        // Request kinds that generate replies are deferred to the
-        // main loop so handling never recurses.
+    if (dst_node == cfg_.id)
+        return true;
+    return dst_node >= 0 &&
+           static_cast<size_t>(dst_node) < peer_proxies_.size() &&
+           peer_proxies_[static_cast<size_t>(dst_node)] > 0;
+}
+
+int
+Node::peer_proxy_count(int dst_node) const
+{
+    if (dst_node == cfg_.id)
+        return cfg_.num_proxies;
+    return peer_proxies_[static_cast<size_t>(dst_node)];
+}
+
+Node::Channel*
+Node::out_channel(const Proxy& self, int dst_node, int dst_proxy)
+{
+    if (dst_node < 0 || static_cast<size_t>(dst_node) >= out_.size())
+        return nullptr;
+    auto& row = out_[static_cast<size_t>(dst_node)];
+    if (row.empty())
+        return nullptr;
+    auto dst_p = static_cast<size_t>(peer_proxy_count(dst_node));
+    return row[static_cast<size_t>(self.index) * dst_p +
+               static_cast<size_t>(dst_proxy)]
+        .get();
+}
+
+bool
+Node::drain_inputs(Proxy& self, bool defer_requests)
+{
+    bool progressed = false;
+    for (Channel* ch : self.rx) {
+        std::unique_ptr<Packet> p;
+        int budget = 16;
+        while (budget-- > 0 && ch->ring.try_pop(p)) {
+            progressed = true;
+            if (defer_requests &&
+                (p->kind == Packet::Kind::kGetReq ||
+                 p->kind == Packet::Kind::kRqDeqReq)) {
+                self.deferred.push_back(std::move(p));
+            } else {
+                handle_packet(self, *p);
+            }
+        }
+    }
+    return progressed;
+}
+
+bool
+Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
+                  std::unique_ptr<Packet> pkt)
+{
+    if (dst_node == cfg_.id && dst_proxy == self.index) {
+        // Loopback to this very proxy: serve directly. Request kinds
+        // that generate replies are deferred to the main loop so
+        // handling never recurses.
         if (pkt->kind == Packet::Kind::kGetReq ||
             pkt->kind == Packet::Kind::kRqDeqReq) {
-            deferred_reqs_.push_back(std::move(pkt));
+            self.deferred.push_back(std::move(pkt));
         } else {
-            handle_packet(*pkt);
+            handle_packet(self, *pkt);
         }
         return true;
     }
-    Channel* ch = out_channel(dst_node);
+    Channel* ch = out_channel(self, dst_node, dst_proxy);
     if (ch == nullptr) {
-        ++stats_.faults;
+        bump(self.stats.faults);
         return false; // unconnected destination
     }
-    int spins = 0;
-    while (!ch->ring.try_push(std::move(pkt))) {
-        // Keep draining our own input while the peer's ring is full so
-        // two saturated proxies cannot deadlock. Requests that would
-        // generate new sends are deferred to the main loop.
-        bool progressed = false;
-        for (auto& in : in_) {
-            if (!in)
-                continue;
-            std::unique_ptr<Packet> p;
-            if (in->ring.try_pop(p)) {
-                progressed = true;
-                if (p->kind == Packet::Kind::kGetReq ||
-                    p->kind == Packet::Kind::kRqDeqReq) {
-                    deferred_reqs_.push_back(std::move(p));
-                } else {
-                    handle_packet(*p);
-                }
-            }
-        }
-        if (!progressed)
-            relax(spins);
+    // This proxy is the ring's only producer, so once full() clears
+    // the push cannot fail (probing first also avoids consuming the
+    // packet on a failed try_push, which takes its argument by
+    // value). Keep draining our own input while the peer's ring is
+    // full so two saturated proxies cannot deadlock; requests that
+    // would generate new sends are deferred to the main loop.
+    Backoff bo(cfg_.poll);
+    while (ch->ring.full()) {
+        if (drain_inputs(self, /*defer_requests=*/true))
+            bo.reset();
+        else
+            bo.idle();
     }
-    ++stats_.packets_out;
+    ch->ring.try_push(std::move(pkt));
+    bump(self.stats.packets_out);
     return true;
 }
 
 void
-Node::handle_command(Endpoint& ep, const Command& cmd)
+Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
 {
-    proxy_owner_.assert_owner("Node command handling (proxy thread only)");
-    ++stats_.commands;
+    self.owner.assert_owner("Node command handling (proxy thread only)");
+    bump(self.stats.commands);
+    const int dst_p = peer_proxy_count(cmd.dst_node);
     switch (cmd.op) {
       case Command::Op::kPut: {
+        // Route by target segment so all fragments of one PUT ride
+        // one FIFO ring (rsync cannot pass its payload).
+        const int dstprox = cmd.dst_seg % dst_p;
         const auto* src = static_cast<const uint8_t*>(cmd.src);
         uint32_t sent = 0;
         while (sent < cmd.len || cmd.len == 0) {
             uint32_t frag = std::min(cmd.len - sent, kMtu);
             auto pkt = std::make_unique<Packet>();
             pkt->kind = Packet::Kind::kPutData;
-            pkt->src_node = id_;
+            pkt->src_node = cfg_.id;
             pkt->src_user = ep.id();
             pkt->seg = cmd.dst_seg;
             pkt->off = cmd.dst_off + sent;
@@ -314,7 +517,7 @@ Node::handle_command(Endpoint& ep, const Command& cmd)
             pkt->ccb = last ? reinterpret_cast<uint64_t>(cmd.rsync) : 0;
             if (frag > 0)
                 std::memcpy(pkt->payload, src + sent, frag);
-            send_packet(cmd.dst_node, std::move(pkt));
+            send_packet(self, cmd.dst_node, dstprox, std::move(pkt));
             sent += frag;
             if (cmd.len == 0)
                 break;
@@ -325,29 +528,32 @@ Node::handle_command(Endpoint& ep, const Command& cmd)
       }
       case Command::Op::kGet: {
         size_t idx;
-        if (!free_ccbs_.empty()) {
-            idx = free_ccbs_.back();
-            free_ccbs_.pop_back();
+        if (!self.free_ccbs.empty()) {
+            idx = self.free_ccbs.back();
+            self.free_ccbs.pop_back();
         } else {
-            idx = ccbs_.size();
-            ccbs_.push_back(Ccb{});
+            idx = self.ccbs.size();
+            self.ccbs.push_back(Ccb{});
         }
-        ccbs_[idx] = Ccb{cmd.dst, cmd.len, cmd.lsync};
+        self.ccbs[idx] = Ccb{cmd.dst, cmd.len, cmd.lsync};
         auto pkt = std::make_unique<Packet>();
         pkt->kind = Packet::Kind::kGetReq;
-        pkt->src_node = id_;
+        pkt->src_node = cfg_.id;
         pkt->src_user = ep.id();
         pkt->seg = cmd.dst_seg;
         pkt->off = cmd.dst_off;
         pkt->len = cmd.len;
-        pkt->ccb = idx;
-        send_packet(cmd.dst_node, std::move(pkt));
+        // The cookie carries the issuing proxy in its high half so
+        // the reply routes straight back to the CCB's owner.
+        pkt->ccb = (static_cast<uint64_t>(self.index) << 32) | idx;
+        send_packet(self, cmd.dst_node, cmd.dst_seg % dst_p,
+                    std::move(pkt));
         break;
       }
       case Command::Op::kEnq: {
         auto pkt = std::make_unique<Packet>();
         pkt->kind = Packet::Kind::kEnqData;
-        pkt->src_node = id_;
+        pkt->src_node = cfg_.id;
         pkt->src_user = ep.id();
         pkt->seg = static_cast<uint16_t>(cmd.dst_user);
         pkt->off = 0;
@@ -355,7 +561,10 @@ Node::handle_command(Endpoint& ep, const Command& cmd)
         pkt->flags = 1;
         if (cmd.len > 0)
             std::memcpy(pkt->payload, cmd.inline_data, cmd.len);
-        send_packet(cmd.dst_node, std::move(pkt));
+        // Route to the proxy that owns the receiving endpoint: it is
+        // the single producer of that receive ring.
+        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p,
+                    std::move(pkt));
         if (cmd.lsync != nullptr)
             cmd.lsync->fetch_add(1, std::memory_order_release);
         break;
@@ -363,36 +572,40 @@ Node::handle_command(Endpoint& ep, const Command& cmd)
       case Command::Op::kRqEnq: {
         auto pkt = std::make_unique<Packet>();
         pkt->kind = Packet::Kind::kRqEnqData;
-        pkt->src_node = id_;
+        pkt->src_node = cfg_.id;
         pkt->src_user = ep.id();
         pkt->seg = static_cast<uint16_t>(cmd.dst_user); // queue id
         pkt->len = cmd.len;
         pkt->flags = 1;
         if (cmd.len > 0)
             std::memcpy(pkt->payload, cmd.inline_data, cmd.len);
-        send_packet(cmd.dst_node, std::move(pkt));
+        // Route to the queue's owning proxy (qid mod num_proxies):
+        // it alone manipulates the queue, the paper's atomicity rule.
+        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p,
+                    std::move(pkt));
         if (cmd.lsync != nullptr)
             cmd.lsync->fetch_add(1, std::memory_order_release);
         break;
       }
       case Command::Op::kRqDeq: {
         size_t idx;
-        if (!free_ccbs_.empty()) {
-            idx = free_ccbs_.back();
-            free_ccbs_.pop_back();
+        if (!self.free_ccbs.empty()) {
+            idx = self.free_ccbs.back();
+            self.free_ccbs.pop_back();
         } else {
-            idx = ccbs_.size();
-            ccbs_.push_back(Ccb{});
+            idx = self.ccbs.size();
+            self.ccbs.push_back(Ccb{});
         }
-        ccbs_[idx] = Ccb{cmd.dst, cmd.len, cmd.lsync};
+        self.ccbs[idx] = Ccb{cmd.dst, cmd.len, cmd.lsync};
         auto pkt = std::make_unique<Packet>();
         pkt->kind = Packet::Kind::kRqDeqReq;
-        pkt->src_node = id_;
+        pkt->src_node = cfg_.id;
         pkt->src_user = ep.id();
         pkt->seg = static_cast<uint16_t>(cmd.dst_user);
         pkt->len = cmd.len;
-        pkt->ccb = idx;
-        send_packet(cmd.dst_node, std::move(pkt));
+        pkt->ccb = (static_cast<uint64_t>(self.index) << 32) | idx;
+        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p,
+                    std::move(pkt));
         break;
       }
       case Command::Op::kNop:
@@ -401,19 +614,20 @@ Node::handle_command(Endpoint& ep, const Command& cmd)
 }
 
 void
-Node::handle_packet(Packet& pkt)
+Node::handle_packet(Proxy& self, Packet& pkt)
 {
-    proxy_owner_.assert_owner("Node segments/rqueues/ccbs (proxy thread only)");
-    ++stats_.packets_in;
+    self.owner.assert_owner(
+        "Node segments/rqueues/ccbs (proxy thread only)");
+    bump(self.stats.packets_in);
     switch (pkt.kind) {
       case Packet::Kind::kPutData: {
         if (pkt.seg >= segments_.size()) {
-            ++stats_.faults;
+            bump(self.stats.faults);
             return;
         }
         const Segment& seg = segments_[pkt.seg];
         if (!seg.remote_access || pkt.off + pkt.len > seg.len) {
-            ++stats_.faults;
+            bump(self.stats.faults);
             return;
         }
         if (pkt.len > 0)
@@ -426,21 +640,22 @@ Node::handle_packet(Packet& pkt)
         break;
       }
       case Packet::Kind::kGetReq: {
+        const int req_proxy = static_cast<int>(pkt.ccb >> 32);
         bool ok = pkt.seg < segments_.size();
         const Segment* seg = ok ? &segments_[pkt.seg] : nullptr;
         ok = ok && seg->remote_access && pkt.off + pkt.len <= seg->len;
         if (!ok) {
-            ++stats_.faults;
+            bump(self.stats.faults);
             // Fault reply: zero-length final fragment so the
             // requester's lsync still fires.
             auto rep = std::make_unique<Packet>();
             rep->kind = Packet::Kind::kGetData;
-            rep->src_node = id_;
+            rep->src_node = cfg_.id;
             rep->len = 0;
             rep->off = 0;
             rep->flags = 1;
             rep->ccb = pkt.ccb;
-            send_packet(pkt.src_node, std::move(rep));
+            send_packet(self, pkt.src_node, req_proxy, std::move(rep));
             return;
         }
         uint32_t sent = 0;
@@ -448,7 +663,7 @@ Node::handle_packet(Packet& pkt)
             uint32_t frag = std::min(pkt.len - sent, kMtu);
             auto rep = std::make_unique<Packet>();
             rep->kind = Packet::Kind::kGetData;
-            rep->src_node = id_;
+            rep->src_node = cfg_.id;
             rep->len = frag;
             rep->off = sent;
             rep->flags = (sent + frag >= pkt.len) ? 1 : 0;
@@ -456,7 +671,7 @@ Node::handle_packet(Packet& pkt)
             if (frag > 0)
                 std::memcpy(rep->payload, seg->base + pkt.off + sent,
                             frag);
-            send_packet(pkt.src_node, std::move(rep));
+            send_packet(self, pkt.src_node, req_proxy, std::move(rep));
             sent += frag;
             if (pkt.len == 0)
                 break;
@@ -464,8 +679,11 @@ Node::handle_packet(Packet& pkt)
         break;
       }
       case Packet::Kind::kGetData: {
-        MP_CHECK(pkt.ccb < ccbs_.size(), "bad CCB in GET reply");
-        Ccb& ccb = ccbs_[pkt.ccb];
+        MP_CHECK(static_cast<int>(pkt.ccb >> 32) == self.index,
+                 "GET reply routed to the wrong proxy");
+        const auto slot = static_cast<size_t>(pkt.ccb & 0xffffffffu);
+        MP_CHECK(slot < self.ccbs.size(), "bad CCB in GET reply");
+        Ccb& ccb = self.ccbs[slot];
         if (pkt.len > 0) {
             std::memcpy(static_cast<uint8_t*>(ccb.dst) + pkt.off,
                         pkt.payload, pkt.len);
@@ -475,44 +693,55 @@ Node::handle_packet(Packet& pkt)
             if (ccb.lsync != nullptr) {
                 ccb.lsync->fetch_add(1, std::memory_order_release);
             }
-            free_ccbs_.push_back(static_cast<size_t>(pkt.ccb));
+            self.free_ccbs.push_back(slot);
         }
         break;
       }
       case Packet::Kind::kEnqData: {
         auto user = static_cast<size_t>(pkt.seg);
         if (user >= endpoints_.size()) {
-            ++stats_.faults;
+            bump(self.stats.faults);
             return;
         }
+        MP_CHECK(endpoints_[user]->proxy() == self.index,
+                 "ENQ routed to a proxy that does not own endpoint "
+                     << user);
         if (!endpoints_[user]->recvq_.try_push(pkt.payload, pkt.len))
-            ++stats_.enq_drops;
+            bump(self.stats.enq_drops);
         break;
       }
       case Packet::Kind::kRqEnqData: {
         auto qid = static_cast<size_t>(pkt.seg);
         if (qid >= rqueues_.size()) {
-            ++stats_.faults;
+            bump(self.stats.faults);
             return;
         }
+        MP_CHECK(static_cast<int>(qid) % cfg_.num_proxies == self.index,
+                 "RQ ENQ routed to a proxy that does not own queue "
+                     << qid);
         rqueues_[qid].emplace_back(pkt.payload, pkt.payload + pkt.len);
         break;
       }
       case Packet::Kind::kRqDeqReq: {
+        const int req_proxy = static_cast<int>(pkt.ccb >> 32);
         auto rep = std::make_unique<Packet>();
         rep->kind = Packet::Kind::kRqDeqData;
-        rep->src_node = id_;
+        rep->src_node = cfg_.id;
         rep->ccb = pkt.ccb;
         rep->off = 0;
         auto qid = static_cast<size_t>(pkt.seg);
         if (qid >= rqueues_.size()) {
-            ++stats_.faults;
+            bump(self.stats.faults);
             rep->len = 0;
             rep->flags = 1 | 2; // final + empty
         } else if (rqueues_[qid].empty()) {
             rep->len = 0;
             rep->flags = 1 | 2;
         } else {
+            MP_CHECK(static_cast<int>(qid) % cfg_.num_proxies ==
+                         self.index,
+                     "RQ DEQ routed to a proxy that does not own queue "
+                         << qid);
             auto& msg = rqueues_[qid].front();
             uint32_t n = std::min<uint32_t>(
                 {static_cast<uint32_t>(msg.size()), pkt.len, kMtu});
@@ -522,19 +751,22 @@ Node::handle_packet(Packet& pkt)
                 std::memcpy(rep->payload, msg.data(), n);
             rqueues_[qid].pop_front();
         }
-        send_packet(pkt.src_node, std::move(rep));
+        send_packet(self, pkt.src_node, req_proxy, std::move(rep));
         break;
       }
       case Packet::Kind::kRqDeqData: {
-        MP_CHECK(pkt.ccb < ccbs_.size(), "bad CCB in DEQ reply");
-        Ccb& ccb = ccbs_[pkt.ccb];
+        MP_CHECK(static_cast<int>(pkt.ccb >> 32) == self.index,
+                 "DEQ reply routed to the wrong proxy");
+        const auto slot = static_cast<size_t>(pkt.ccb & 0xffffffffu);
+        MP_CHECK(slot < self.ccbs.size(), "bad CCB in DEQ reply");
+        Ccb& ccb = self.ccbs[slot];
         if (pkt.len > 0)
             std::memcpy(ccb.dst, pkt.payload, pkt.len);
         if (ccb.lsync != nullptr) {
             ccb.lsync->fetch_add(1 + pkt.len,
                                  std::memory_order_release);
         }
-        free_ccbs_.push_back(static_cast<size_t>(pkt.ccb));
+        self.free_ccbs.push_back(slot);
         break;
       }
       case Packet::Kind::kAck:
@@ -543,67 +775,74 @@ Node::handle_packet(Packet& pkt)
 }
 
 void
-Node::proxy_main()
+Node::proxy_main(Proxy& self)
 {
-    proxy_owner_.bind(); // the loop below is the sole owner of proxy state
-    // Figure 5 of the paper: scan registered command queues and the
-    // network input round-robin, forever.
+    self.owner.bind(); // sole owner of this proxy's shard of state
+    const auto P = static_cast<size_t>(cfg_.num_proxies);
+    const auto me = static_cast<size_t>(self.index);
+    Backoff bo(cfg_.poll);
+    bool was_idle = false;
+    // Figure 5 of the paper: scan this proxy's command queues and
+    // its network inputs round-robin, forever.
     while (running_.load(std::memory_order_acquire)) {
-        ++stats_.polls;
+        bump(self.stats.polls);
         bool progressed = false;
 
-        while (!deferred_reqs_.empty()) {
-            auto p = std::move(deferred_reqs_.front());
-            deferred_reqs_.pop_front();
-            handle_packet(*p);
+        while (!self.deferred.empty()) {
+            auto p = std::move(self.deferred.front());
+            self.deferred.pop_front();
+            handle_packet(self, *p);
             progressed = true;
         }
 
-        if (poll_mode_ == PollMode::kBitVector) {
-            // One probe covers every command queue: consume the mask,
-            // then drain exactly the flagged queues. A producer that
-            // enqueues after the exchange re-sets its bit, so nothing
-            // is lost.
+        if (cfg_.poll_mode == PollMode::kBitVector) {
+            // One probe covers every command queue of this proxy:
+            // consume the mask, then drain exactly the flagged
+            // queues. A producer that enqueues after the exchange
+            // re-sets its bit, so nothing is lost.
             uint64_t mask =
-                cmd_mask_.exchange(0, std::memory_order_acquire);
+                self.cmd_mask.exchange(0, std::memory_order_acquire);
             while (mask != 0) {
-                int i = __builtin_ctzll(mask);
+                int b = __builtin_ctzll(mask);
                 mask &= mask - 1;
-                // Beyond 64 endpoints the bits alias (id mod 64):
-                // drain every endpoint sharing this bit.
-                for (size_t e = static_cast<size_t>(i);
-                     e < endpoints_.size(); e += 64) {
+                // Beyond 64 endpoints per proxy the bits alias
+                // (local index mod 64): drain every endpoint of this
+                // proxy sharing this bit.
+                for (size_t k = static_cast<size_t>(b);; k += 64) {
+                    size_t e = me + k * P;
+                    if (e >= endpoints_.size())
+                        break;
                     Endpoint& ep = *endpoints_[e];
                     Command cmd;
                     while (ep.cmdq_.try_pop(cmd)) {
-                        handle_command(ep, cmd);
+                        handle_command(self, ep, cmd);
                         progressed = true;
                     }
                 }
             }
         } else {
-            for (auto& ep : endpoints_) {
+            for (size_t e = me; e < endpoints_.size(); e += P) {
+                Endpoint& ep = *endpoints_[e];
                 Command cmd;
                 int budget = 8; // bounded batch per queue per scan
-                while (budget-- > 0 && ep->cmdq_.try_pop(cmd)) {
-                    handle_command(*ep, cmd);
+                while (budget-- > 0 && ep.cmdq_.try_pop(cmd)) {
+                    handle_command(self, ep, cmd);
                     progressed = true;
                 }
             }
         }
-        for (auto& in : in_) {
-            if (!in)
-                continue;
-            std::unique_ptr<Packet> p;
-            int budget = 16;
-            while (budget-- > 0 && in->ring.try_pop(p)) {
-                handle_packet(*p);
-                progressed = true;
+        if (drain_inputs(self, /*defer_requests=*/false))
+            progressed = true;
+
+        if (progressed) {
+            bo.reset();
+            was_idle = false;
+        } else {
+            if (!was_idle) {
+                bump(self.stats.idle_transitions);
+                was_idle = true;
             }
-        }
-        if (!progressed) {
-            // Idle: stay polite on oversubscribed hosts.
-            std::this_thread::yield();
+            bo.idle();
         }
     }
 }

@@ -3,16 +3,27 @@
 /// implementation of the paper, realized with std::thread and the
 /// lock-free SPSC queues of spsc/ring_queue.h.
 ///
-/// One Node models one SMP: a set of user endpoints plus a dedicated
-/// proxy thread that polls every endpoint's command queue and the
-/// inter-node channels round-robin, exactly like Figure 5 of the
-/// paper. Users submit PUT/GET/ENQ commands through their private
+/// One Node models one SMP: a set of user endpoints plus one or more
+/// dedicated proxy threads that poll the endpoints' command queues
+/// and the inter-node channels round-robin, exactly like Figure 5 of
+/// the paper. Users submit PUT/GET/ENQ commands through their private
 /// command queues; the proxy validates segment permissions, moves the
 /// data (zero-copy between registered segments), and signals
 /// completion through atomic flags. The implementation is lock-free
 /// end-to-end, interrupt-free, and protected: a user can only reach
 /// remote memory through segments the owner registered for remote
 /// access.
+///
+/// Multi-proxy sharding (Section 5.4's "multiple message proxies may
+/// help", mirroring the simulator's `SystemConfig::proxies_per_node`):
+/// a Node runs `NodeConfig::num_proxies` proxy threads. Endpoints are
+/// statically partitioned across proxies with the simulator's rule
+/// (proxy = endpoint id mod num_proxies); remote queues likewise
+/// (proxy = qid mod num_proxies). Every SPSC ring end keeps exactly
+/// one owner: each (sending proxy, receiving proxy) pair of connected
+/// nodes gets its own packet channel, so two proxies never contend on
+/// one ring end, and each proxy has a private CCB table, command
+/// bit-vector, and deferred-request queue.
 ///
 /// Remote addresses are (node, segment, offset) triples, mirroring
 /// the paper's asid-relative addressing.
@@ -21,9 +32,10 @@
 #define MSGPROXY_PROXY_RUNTIME_H
 
 #include <atomic>
-#include <deque>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <ostream>
 #include <thread>
 #include <vector>
 
@@ -36,8 +48,77 @@ namespace proxy {
 /// users poll or spin with acquire ordering.
 using Flag = std::atomic<uint64_t>;
 
-/// Spin until flag >= v (with a CPU-relax hint).
-void flag_wait_ge(const Flag& f, uint64_t v);
+/// How a proxy discovers non-empty command queues.
+enum class PollMode {
+    kScanAll,  ///< probe every queue head each loop (Figure 5)
+    kBitVector ///< cooperative shared bit vector: producers set
+               ///< their bit on enqueue and the proxy probes all its
+               ///< queues in one load (the Section 4.1 acceleration;
+               ///< supports up to 64 endpoints per proxy)
+};
+
+/// Idle-backoff parameters of the proxy loop (and of flag_wait_ge):
+/// a polling thread walks spin -> cpu-relax (`pause`) -> yield as it
+/// accumulates idle iterations, and resets on any progress. The
+/// default constructor picks hardware-aware values: on a
+/// single-hardware-thread host both budgets are zero (yield
+/// immediately — spinning there only steals the producer's
+/// timeslice), otherwise a short spin and a pause window precede the
+/// yield stage.
+struct PollParams
+{
+    /// Hardware-aware defaults (see above).
+    PollParams();
+
+    constexpr PollParams(uint32_t spin, uint32_t pause,
+                         uint32_t sleep_after = 0,
+                         uint32_t sleep = 0)
+        : spin_iters(spin), pause_iters(pause),
+          yield_iters_before_sleep(sleep_after), sleep_us(sleep)
+    {
+    }
+
+    /// Stage 1: idle iterations re-polled in a tight loop.
+    uint32_t spin_iters;
+    /// Stage 2: idle iterations separated by a CPU-relax hint.
+    uint32_t pause_iters;
+    /// Stage 3 is yield. Optionally, after this many yields a fourth
+    /// stage sleeps sleep_us between polls so a long-idle proxy truly
+    /// stops burning its core. 0 (the default) disables sleeping.
+    uint32_t yield_iters_before_sleep;
+    uint32_t sleep_us;
+};
+
+/// One polling thread's backoff state machine over PollParams.
+class Backoff
+{
+  public:
+    explicit Backoff(const PollParams& p) : p_(p) {}
+
+    /// Progress was made: rearm the spin stage.
+    void reset() { n_ = 0; }
+
+    /// One idle iteration: spin, pause, yield, or sleep per the
+    /// accumulated idle count.
+    void idle();
+
+    /// True when past the spin and pause stages (i.e. yielding).
+    bool
+    yielding() const
+    {
+        return n_ > p_.spin_iters + p_.pause_iters;
+    }
+
+  private:
+    PollParams p_;
+    uint64_t n_ = 0;
+};
+
+/// Spin until flag >= v, using the same spin/pause/yield backoff
+/// policy as the proxy loop (pp defaults to the hardware-aware
+/// PollParams). The runtime's analogue of rma::Ctx::wait_ge.
+void flag_wait_ge(const Flag& f, uint64_t v,
+                  const PollParams& pp = PollParams());
 
 /// A communication command as it sits in a user command queue.
 struct Command
@@ -69,9 +150,47 @@ struct Command
     uint8_t inline_data[kMaxEnqBytes]; ///< ENQ payload (copied)
 };
 
-/// Runtime counters (per node). Atomic so user threads can observe
-/// them while the proxy runs.
-struct NodeStats
+/// Result of submitting a command to an endpoint's command queue.
+/// Distinguishes the retryable condition (kQueueFull) from caller
+/// errors, which the old bare-bool return conflated. Converts to
+/// bool in boolean contexts (true == accepted), so retry loops read
+/// `while (!ep.put(...))` exactly as before.
+class SubmitStatus
+{
+  public:
+    enum Code : uint8_t {
+        kOk = 0,    ///< command accepted by the proxy
+        kQueueFull, ///< command queue full: back off and retry
+        kTooLarge,  ///< inline payload exceeds Command::kMaxEnqBytes
+        kBadTarget  ///< destination node/endpoint/queue id invalid
+    };
+
+    constexpr SubmitStatus(Code code) : code_(code) {}
+
+    /// True when the command was accepted.
+    constexpr explicit operator bool() const { return code_ == kOk; }
+
+    constexpr Code code() const { return code_; }
+
+    /// Human-readable code name ("kOk", "kQueueFull", ...).
+    const char* name() const;
+
+    friend constexpr bool
+    operator==(SubmitStatus a, SubmitStatus b)
+    {
+        return a.code_ == b.code_;
+    }
+
+  private:
+    Code code_;
+};
+
+std::ostream& operator<<(std::ostream& os, SubmitStatus s);
+
+/// Per-proxy runtime counters. Atomic so user threads can observe
+/// them while the proxy runs; each counter is written by exactly one
+/// proxy thread.
+struct ProxyStats
 {
     std::atomic<uint64_t> commands{0}; ///< commands consumed
     std::atomic<uint64_t> packets_in{0};
@@ -79,6 +198,44 @@ struct NodeStats
     std::atomic<uint64_t> faults{0};    ///< violations suppressed
     std::atomic<uint64_t> enq_drops{0}; ///< receive-ring overflows
     std::atomic<uint64_t> polls{0};     ///< proxy loop iterations
+    /// Transitions from making progress to finding nothing to do
+    /// (i.e. entries into the backoff state machine).
+    std::atomic<uint64_t> idle_transitions{0};
+};
+
+/// Node-wide counter snapshot: the sum of every proxy's ProxyStats
+/// at the instant Node::stats() was called (approximate while the
+/// proxies run).
+struct NodeStats
+{
+    uint64_t commands = 0;
+    uint64_t packets_in = 0;
+    uint64_t packets_out = 0;
+    uint64_t faults = 0;
+    uint64_t enq_drops = 0;
+    uint64_t polls = 0;
+    uint64_t idle_transitions = 0;
+};
+
+/// Node construction parameters, mirroring rma::SystemConfig for the
+/// simulated cluster. Aggregate-initializable:
+///   proxy::Node n(proxy::NodeConfig{.id = 0, .num_proxies = 2});
+struct NodeConfig
+{
+    int id = 0;
+    PollMode poll_mode = PollMode::kBitVector;
+    /// Proxy threads on this node (1..64). Endpoints and remote
+    /// queues are statically sharded across them: proxy = id mod
+    /// num_proxies, the simulator's partitioning rule.
+    int num_proxies = 1;
+    /// Per-endpoint command-queue depth in entries (rounded up to a
+    /// power of two).
+    size_t cmd_queue_depth = 256;
+    /// Per-endpoint receive-ring capacity in bytes (rounded up to a
+    /// power of two).
+    size_t recv_ring_bytes = 64 * 1024;
+    /// Idle-backoff policy of this node's proxy loops.
+    PollParams poll{};
 };
 
 class Node;
@@ -88,6 +245,12 @@ class Node;
 /// Thread model: exactly one user thread may operate on an Endpoint
 /// (its command queue is single-producer; its receive ring is
 /// single-consumer).
+///
+/// The submission API mirrors rma::Ctx: put/get with lsync/rsync
+/// completion flags, remote-queue enq/deq; Ctx::enq/deq on (asid,
+/// qid) correspond to rq_enq/rq_deq here, while Endpoint::enq posts
+/// to another endpoint's receive ring. Where Ctx::wait_ge blocks a
+/// simulated thread, the runtime offers proxy::flag_wait_ge.
 class Endpoint
 {
   public:
@@ -97,51 +260,57 @@ class Endpoint
     uint16_t register_segment(void* base, size_t len,
                               bool remote_access = true);
 
-    /// Asynchronous PUT into (node, segment, offset). lsync is
-    /// incremented when the command and data have been handed to the
-    /// wire (the source buffer is then reusable); rsync is a flag in
-    /// the destination node's address space, incremented there once
-    /// the data is in place. The source must stay valid until lsync
-    /// fires. Returns false when the command queue is full (retry).
-    bool put(const void* src, int dst_node, uint16_t dst_seg,
-             uint64_t dst_off, uint32_t len, Flag* lsync = nullptr,
-             Flag* rsync = nullptr);
+    /// PUT: copy `len` bytes from src to (node, segment, offset).
+    /// lsync increments when the command and data have been handed to
+    /// the wire (the source buffer is then reusable); rsync is a flag
+    /// in the destination node's address space, incremented there
+    /// once the data is in place. The source must stay valid until
+    /// lsync fires.
+    SubmitStatus put(const void* src, int dst_node, uint16_t dst_seg,
+                     uint64_t dst_off, uint32_t len,
+                     Flag* lsync = nullptr, Flag* rsync = nullptr);
 
-    /// Asynchronous GET from (node, segment, offset) into dst; lsync
-    /// increments when the data has arrived.
-    bool get(void* dst, int dst_node, uint16_t dst_seg, uint64_t dst_off,
-             uint32_t len, Flag* lsync = nullptr);
+    /// GET: copy `len` bytes from (node, segment, offset) to dst.
+    /// lsync increments when the data has been stored locally.
+    SubmitStatus get(void* dst, int dst_node, uint16_t dst_seg,
+                     uint64_t dst_off, uint32_t len,
+                     Flag* lsync = nullptr);
 
-    /// Asynchronous message enqueue to endpoint `dst_user` on
-    /// `dst_node`; the payload (at most Command::kMaxEnqBytes) is
-    /// copied at submission, so `data` is immediately reusable. lsync
-    /// increments when handed to the wire.
-    bool enq(const void* data, uint32_t len, int dst_node, int dst_user,
-             Flag* lsync = nullptr);
+    /// ENQ to an endpoint: append an n-byte message to endpoint
+    /// `dst_user`'s receive ring on `dst_node`. The payload (at most
+    /// Command::kMaxEnqBytes) is copied at submission, so `data` is
+    /// immediately reusable. lsync increments when handed to the
+    /// wire.
+    SubmitStatus enq(const void* data, uint32_t len, int dst_node,
+                     int dst_user, Flag* lsync = nullptr);
 
     /// Non-blocking receive from this endpoint's message ring.
     bool try_recv(std::vector<uint8_t>& out);
 
     // ----- proxy-managed remote queues (the paper's RQ primitive) ---
 
-    /// Appends a message to remote queue `qid` on `dst_node`; lsync
+    /// ENQ to a remote queue: atomically append an n-byte message to
+    /// queue `qid` on `dst_node` (rma::Ctx::enq's counterpart). lsync
     /// increments when handed to the wire. Payload is copied at
     /// submission (max Command::kMaxEnqBytes).
-    bool rq_enq(const void* data, uint32_t len, int dst_node, int qid,
-                Flag* lsync = nullptr);
+    SubmitStatus rq_enq(const void* data, uint32_t len, int dst_node,
+                        int qid, Flag* lsync = nullptr);
 
-    /// Dequeues the head of remote queue `qid` on `dst_node` into
-    /// `dst` (up to `max` bytes). When the reply arrives, lsync is
-    /// incremented by 1 + bytes received (exactly 1 if the queue was
-    /// empty), mirroring the simulator's DEQ semantics.
-    bool rq_deq(void* dst, uint32_t max, int dst_node, int qid,
-                Flag* lsync);
+    /// DEQ: dequeue the head message of queue `qid` on `dst_node`
+    /// into `dst` (up to `max` bytes; rma::Ctx::deq's counterpart).
+    /// When the reply arrives, lsync is incremented by 1 + bytes
+    /// received (exactly 1 if the queue was empty).
+    SubmitStatus rq_deq(void* dst, uint32_t max, int dst_node, int qid,
+                        Flag* lsync);
 
     /// Endpoint index on its node.
     int id() const { return id_; }
 
     /// Owning node id.
     int node() const;
+
+    /// Index of the proxy thread that serves this endpoint.
+    int proxy() const { return proxy_; }
 
     /// Diagnostic flag bumped on protection faults observed locally.
     Flag& fault_flag() { return faults_; }
@@ -159,12 +328,22 @@ class Endpoint
   private:
     friend class Node;
 
-    explicit Endpoint(Node& node, int id) : node_(node), id_(id) {}
+    Endpoint(Node& node, int id, int proxy, size_t cmd_depth,
+             size_t recv_bytes)
+        : node_(node), id_(id), proxy_(proxy), cmdq_(cmd_depth),
+          recvq_(recv_bytes)
+    {
+    }
+
+    /// Validates the target, pushes the command, and notifies the
+    /// owning proxy's bit vector.
+    SubmitStatus submit(Command&& c);
 
     Node& node_;
     int id_;
-    spsc::RingQueue<Command, 256> cmdq_;
-    spsc::MsgRing<1 << 16> recvq_;
+    int proxy_; ///< owning proxy index (id_ mod num_proxies)
+    spsc::DynRingQueue<Command> cmdq_;
+    spsc::DynMsgRing recvq_;
     Flag faults_{0};
     /// Lint: the one user thread allowed to produce into cmdq_.
     check::ThreadOwner cmd_owner_;
@@ -172,52 +351,66 @@ class Endpoint
     check::ThreadOwner recv_owner_;
 };
 
-/// One simulated SMP node with a dedicated proxy thread.
+/// One simulated SMP node with one or more dedicated proxy threads.
 class Node
 {
   public:
-    /// How the proxy discovers non-empty command queues.
-    enum class PollMode {
-        kScanAll,  ///< probe every queue head each loop (Figure 5)
-        kBitVector ///< cooperative shared bit vector: producers set
-                   ///< their bit on enqueue and the proxy probes all
-                   ///< queues in one load (the Section 4.1
-                   ///< acceleration; supports up to 64 endpoints)
-    };
+    /// Back-compat alias: the poll-mode enum now lives at namespace
+    /// scope so NodeConfig can name it.
+    using PollMode = proxy::PollMode;
 
-    /// Creates node `id`. Call connect() to wire nodes together, then
-    /// start() to launch the proxy.
-    explicit Node(int id, PollMode poll_mode = PollMode::kBitVector);
+    /// Creates a node from its configuration. Call connect() to wire
+    /// nodes together, then start() to launch the proxies.
+    explicit Node(const NodeConfig& cfg);
+
+    /// Deprecated forwarding constructor (one release): positional
+    /// (id, poll mode) construction predating NodeConfig.
+    [[deprecated("construct with proxy::NodeConfig")]] explicit Node(
+        int id, PollMode poll_mode = PollMode::kBitVector);
+
     ~Node();
 
     Node(const Node&) = delete;
     Node& operator=(const Node&) = delete;
 
-    /// Creates a user endpoint (before start()).
+    /// Creates a user endpoint (before start()). Endpoint i is
+    /// served by proxy i mod num_proxies.
     Endpoint& create_endpoint();
 
     /// Creates a proxy-managed remote queue on this node (before
     /// start()); returns its id. Any endpoint on any connected node
-    /// may rq_enq/rq_deq it; the owning proxy serializes access —
-    /// this is the paper's Remote Queue with the proxy as the single
-    /// trusted manipulator of the queue pointers.
+    /// may rq_enq/rq_deq it; the owning proxy (qid mod num_proxies)
+    /// serializes access — this is the paper's Remote Queue with one
+    /// proxy as the single trusted manipulator of the queue pointers.
     int create_queue();
 
-    /// Wires a full-duplex channel between two nodes (before start()
-    /// on either).
+    /// Wires full-duplex channels between two nodes (before start()
+    /// on either): one SPSC packet ring per (sending proxy,
+    /// receiving proxy) pair and direction, so no ring end is ever
+    /// shared between proxies.
     static void connect(Node& a, Node& b);
 
-    /// Launches the proxy thread.
+    /// Launches the proxy threads.
     void start();
 
-    /// Stops the proxy thread (also called by the destructor).
+    /// Stops the proxy threads (also called by the destructor).
     void stop();
 
     /// Node id.
-    int id() const { return id_; }
+    int id() const { return cfg_.id; }
 
-    /// Runtime counters (readable while running; approximate).
-    const NodeStats& stats() const { return stats_; }
+    /// Number of proxy threads.
+    int num_proxies() const { return cfg_.num_proxies; }
+
+    /// This node's configuration.
+    const NodeConfig& config() const { return cfg_; }
+
+    /// Node-wide counter snapshot (readable while running;
+    /// approximate): the sum over all proxies.
+    NodeStats stats() const;
+
+    /// Counters of one proxy thread (readable while running).
+    const ProxyStats& proxy_stats(int proxy) const;
 
   private:
     friend class Endpoint;
@@ -261,7 +454,7 @@ class Node
         int owner_endpoint;
     };
 
-    /// Outstanding GET bookkeeping (proxy-thread private).
+    /// Outstanding GET bookkeeping (private to the issuing proxy).
     struct Ccb
     {
         void* dst;
@@ -269,47 +462,83 @@ class Node
         Flag* lsync;
     };
 
+    /// Per-proxy-thread state: everything exactly one proxy owns.
+    struct Proxy
+    {
+        int index = 0;
+        ProxyStats stats;
+        /// Shared command-queue occupancy bits (bit k: this proxy's
+        /// k-th endpoint may have commands). Producers set with
+        /// release; the proxy clears before draining so arrivals are
+        /// never lost.
+        std::atomic<uint64_t> cmd_mask{0};
+        /// CCB table + free list for this proxy's outstanding
+        /// GET/DEQ requests.
+        std::vector<Ccb> ccbs;
+        std::vector<size_t> free_ccbs;
+        /// Request packets deferred while draining inside
+        /// send_packet (they would generate new sends and could
+        /// recurse unboundedly).
+        std::deque<std::unique_ptr<Packet>> deferred;
+        /// Every channel this proxy consumes (built at start()).
+        std::vector<Channel*> rx;
+        /// Lint: this proxy's shard of segments/rqueues/ccbs is
+        /// owned by the thread bound at proxy_main entry.
+        check::ThreadOwner owner;
+        std::thread thread;
+    };
+
     /// Producer-side half of the bit-vector protocol: marks endpoint
     /// `user` as having pending commands (no-op in kScanAll mode).
     void
     note_command_posted(int user)
     {
-        if (poll_mode_ == PollMode::kBitVector) {
-            cmd_mask_.fetch_or(uint64_t{1} << (user & 63),
-                               std::memory_order_release);
+        if (cfg_.poll_mode == PollMode::kBitVector) {
+            int p = user % cfg_.num_proxies;
+            uint64_t bit = uint64_t{1}
+                           << ((user / cfg_.num_proxies) & 63);
+            proxies_[static_cast<size_t>(p)]->cmd_mask.fetch_or(
+                bit, std::memory_order_release);
         }
     }
 
-    void proxy_main();
-    void handle_command(Endpoint& ep, const Command& cmd);
-    void handle_packet(Packet& pkt);
-    bool send_packet(int dst_node, std::unique_ptr<Packet> pkt);
-    Channel* out_channel(int dst_node);
+    /// True when dst_node names this node or a connected peer (the
+    /// submit-time kBadTarget check).
+    bool valid_target(int dst_node) const;
 
-    int id_;
+    /// Proxies on `dst_node` (own count for loopback).
+    int peer_proxy_count(int dst_node) const;
+
+    void proxy_main(Proxy& self);
+    void handle_command(Proxy& self, Endpoint& ep, const Command& cmd);
+    void handle_packet(Proxy& self, Packet& pkt);
+    bool send_packet(Proxy& self, int dst_node, int dst_proxy,
+                     std::unique_ptr<Packet> pkt);
+    /// Drains self's input rings once (budgeted). Requests are
+    /// deferred when defer_requests is set (the send_packet stall
+    /// path must not recurse into new sends).
+    bool drain_inputs(Proxy& self, bool defer_requests);
+    Channel* out_channel(const Proxy& self, int dst_node,
+                         int dst_proxy);
+
+    NodeConfig cfg_;
+    std::vector<std::unique_ptr<Proxy>> proxies_;
     std::vector<std::unique_ptr<Endpoint>> endpoints_;
     std::vector<Segment> segments_;
-    // out_[n] / in_[n]: channels to/from node n (nullptr: unconnected)
-    std::vector<std::shared_ptr<Channel>> out_;
-    std::vector<std::shared_ptr<Channel>> in_;
-    std::vector<Ccb> ccbs_;
-    /// Proxy-managed remote queues (only the proxy thread touches
-    /// them after start()).
+    // out_[n] / in_[n]: channel matrices to/from node n, flattened
+    // producer-major: the ring from (this, p) to (n, q) sits at
+    // out_[n][p * peer_proxies + q]; the ring from (n, p) to
+    // (this, q) sits at in_[n][p * num_proxies + q]. Empty vector:
+    // unconnected. Intra-node cross-proxy traffic uses out_[id]/
+    // in_[id] with null diagonal (a proxy serves itself directly).
+    std::vector<std::vector<std::shared_ptr<Channel>>> out_;
+    std::vector<std::vector<std::shared_ptr<Channel>>> in_;
+    /// peer_proxies_[n]: num_proxies of connected node n (0 when
+    /// unconnected).
+    std::vector<int> peer_proxies_;
+    /// Proxy-managed remote queues; entry qid is touched only by
+    /// proxy (qid mod num_proxies) after start().
     std::vector<std::deque<std::vector<uint8_t>>> rqueues_;
-    std::vector<size_t> free_ccbs_;
-    /// GET requests deferred while draining inside send_packet (they
-    /// would generate new sends and could recurse unboundedly).
-    std::deque<std::unique_ptr<Packet>> deferred_reqs_;
-    NodeStats stats_;
-    PollMode poll_mode_;
-    /// Shared command-queue occupancy bits (bit i: endpoint i may
-    /// have commands). Producers set with release; the proxy clears
-    /// before draining so arrivals are never lost.
-    std::atomic<uint64_t> cmd_mask_{0};
-    /// Lint: segments_/rqueues_/ccbs_ are proxy-thread-only while
-    /// running (bound at proxy_main entry).
-    check::ThreadOwner proxy_owner_;
-    std::thread proxy_;
     std::atomic<bool> running_{false};
 };
 

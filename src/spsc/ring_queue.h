@@ -147,6 +147,15 @@ class RingQueue
         return !slots_[head_ & kMask].full.load(Orders::observe);
     }
 
+    /// Producer: true when the next push would fail. Lets a producer
+    /// of move-only values test for space before materializing the
+    /// push (try_push consumes its argument even on failure).
+    bool
+    full() const
+    {
+        return slots_[tail_ & kMask].full.load(Orders::observe);
+    }
+
     /// Capacity in elements.
     static constexpr size_t capacity() { return kCapacity; }
 
@@ -281,6 +290,209 @@ class MsgRing
     /// producer's space accounting.
     alignas(64) uint64_t chead_ = 0;
     typename Policy::template atomic_type<uint64_t> head_{0};
+};
+
+/// Rounds v up to the next power of two (minimum `floor`). Used by
+/// the runtime-capacity queues so user-supplied depths never violate
+/// the power-of-two masking the protocol relies on.
+constexpr size_t
+ceil_pow2(size_t v, size_t floor)
+{
+    size_t p = floor;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/// Heap-backed SPSC queue with run-time capacity.
+///
+/// The slot protocol is line-for-line the one of RingQueue (per-slot
+/// full/empty flag, publish = release, observe = acquire), which the
+/// deterministic interleaving checker verifies exhaustively on the
+/// template form — only the storage moved from an inline array to a
+/// heap allocation sized at construction. Production-only: this
+/// variant is not parameterized over the checking policies.
+template <typename T>
+class DynRingQueue
+{
+  public:
+    /// Creates a queue of at least `capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    explicit DynRingQueue(size_t capacity)
+        : mask_(ceil_pow2(capacity, 2) - 1),
+          slots_(new Slot[mask_ + 1])
+    {
+    }
+
+    DynRingQueue(const DynRingQueue&) = delete;
+    DynRingQueue& operator=(const DynRingQueue&) = delete;
+
+    /// Producer: attempts to enqueue; returns false when full.
+    bool
+    try_push(T value)
+    {
+        Slot& s = slots_[tail_ & mask_];
+        if (s.full.load(std::memory_order_acquire))
+            return false;
+        s.value = std::move(value);
+        s.full.store(true, std::memory_order_release);
+        ++tail_;
+        return true;
+    }
+
+    /// Consumer: attempts to dequeue; returns false when empty.
+    bool
+    try_pop(T& out)
+    {
+        Slot& s = slots_[head_ & mask_];
+        if (!s.full.load(std::memory_order_acquire))
+            return false;
+        out = std::move(s.value);
+        s.full.store(false, std::memory_order_release);
+        ++head_;
+        return true;
+    }
+
+    /// Consumer: true when the next slot holds no message.
+    bool
+    empty() const
+    {
+        return !slots_[head_ & mask_].full.load(
+            std::memory_order_acquire);
+    }
+
+    /// Producer: true when the next push would fail.
+    bool
+    full() const
+    {
+        return slots_[tail_ & mask_].full.load(
+            std::memory_order_acquire);
+    }
+
+    /// Capacity in elements (after power-of-two rounding).
+    size_t capacity() const { return mask_ + 1; }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<bool> full{false};
+        T value{};
+    };
+
+    size_t mask_;
+    std::unique_ptr<Slot[]> slots_;
+    /// Producer-local cursor (only the producer thread touches it).
+    alignas(64) size_t tail_ = 0;
+    /// Consumer-local cursor (only the consumer thread touches it).
+    alignas(64) size_t head_ = 0;
+};
+
+/// Heap-backed MsgRing with run-time byte capacity. Same record
+/// format and header protocol as MsgRing (headers in a dedicated
+/// atomic array, publish = release / observe = acquire); the payload
+/// bytes are plain stores ordered by the header publication exactly
+/// as in the template form. Production-only.
+class DynMsgRing
+{
+  public:
+    /// Creates a ring of at least `bytes` capacity (rounded up to a
+    /// power of two, minimum 64).
+    explicit DynMsgRing(size_t bytes)
+        : mask_(ceil_pow2(bytes, 64) - 1),
+          buf_(new uint8_t[mask_ + 1]()),
+          hdr_(new std::atomic<uint64_t>[(mask_ + 1) / kHeaderBytes]())
+    {
+    }
+
+    DynMsgRing(const DynMsgRing&) = delete;
+    DynMsgRing& operator=(const DynMsgRing&) = delete;
+
+    /// Producer: appends an n-byte message; false when there is not
+    /// enough credit (or the message exceeds capacity/2).
+    bool
+    try_push(const void* data, uint32_t n)
+    {
+        uint64_t need = record_bytes(n);
+        if (need > (mask_ + 1) / 2)
+            return false;
+        uint64_t head = head_.load(std::memory_order_acquire);
+        if (tail_ + need - head > mask_ + 1)
+            return false;
+        uint64_t pos = tail_ + kHeaderBytes;
+        const auto* src = static_cast<const uint8_t*>(data);
+        for (uint32_t i = 0; i < n; ++i)
+            buf_[(pos + i) & mask_] = src[i];
+        hdr_at(tail_).store((static_cast<uint64_t>(1) << 63) | n,
+                            std::memory_order_release);
+        tail_ += need;
+        return true;
+    }
+
+    /// Consumer: pops the head message into out (resized); false when
+    /// empty.
+    template <typename Vec>
+    bool
+    try_pop(Vec& out)
+    {
+        uint64_t h = hdr_at(chead_).load(std::memory_order_acquire);
+        if ((h >> 63) == 0)
+            return false;
+        auto n = static_cast<uint32_t>(h & 0xffffffffu);
+        out.resize(n);
+        uint64_t pos = chead_ + kHeaderBytes;
+        for (uint32_t i = 0; i < n; ++i)
+            out[i] = buf_[(pos + i) & mask_];
+        hdr_at(chead_).store(0, std::memory_order_release);
+        chead_ += record_bytes(n);
+        head_.store(chead_, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer: true when no message is queued.
+    bool
+    empty() const
+    {
+        return (hdr_at(chead_).load(std::memory_order_acquire) >> 63) ==
+               0;
+    }
+
+    /// Capacity in bytes (after power-of-two rounding).
+    size_t capacity_bytes() const { return mask_ + 1; }
+
+  private:
+    static constexpr uint32_t kHeaderBytes = 8;
+
+    static uint64_t
+    record_bytes(uint32_t n)
+    {
+        return kHeaderBytes +
+               ((static_cast<uint64_t>(n) + kHeaderBytes - 1) /
+                kHeaderBytes) *
+                   kHeaderBytes;
+    }
+
+    std::atomic<uint64_t>&
+    hdr_at(uint64_t pos)
+    {
+        return hdr_[(pos & mask_) / kHeaderBytes];
+    }
+
+    const std::atomic<uint64_t>&
+    hdr_at(uint64_t pos) const
+    {
+        return hdr_[(pos & mask_) / kHeaderBytes];
+    }
+
+    uint64_t mask_;
+    std::unique_ptr<uint8_t[]> buf_;
+    /// Per-record full/empty headers, indexed by record start / 8.
+    std::unique_ptr<std::atomic<uint64_t>[]> hdr_;
+    /// Producer-local write cursor.
+    alignas(64) uint64_t tail_ = 0;
+    /// Consumer-local read cursor, mirrored to head_ for the
+    /// producer's space accounting.
+    alignas(64) uint64_t chead_ = 0;
+    std::atomic<uint64_t> head_{0};
 };
 
 } // namespace spsc

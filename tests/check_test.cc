@@ -314,13 +314,45 @@ TEST(OwnershipLint, ReleaseAllowsSequentialHandoff)
 {
     // Legal pattern in every build: one thread uses the endpoint,
     // releases ownership, another takes over. Must not abort.
-    proxy::Node n(0);
+    proxy::Node n(proxy::NodeConfig{.id = 0});
     proxy::Endpoint& ep = n.create_endpoint();
     uint8_t b = 1;
     EXPECT_TRUE(ep.enq(&b, 1, 0, ep.id()));
     ep.release_ownership();
     std::thread other([&] { EXPECT_TRUE(ep.enq(&b, 1, 0, ep.id())); });
     other.join();
+}
+
+TEST(OwnershipLint, ProxyThreadsBindTheirOwnShards)
+{
+    // Every proxy thread binds its private ThreadOwner at proxy_main
+    // entry, so cross-proxy loopback traffic exercises the
+    // handle_command/handle_packet asserts on all four shards
+    // without aborting — and stop() releases the bindings so a
+    // restart's fresh threads may rebind.
+    proxy::Node n(proxy::NodeConfig{.id = 0, .num_proxies = 4});
+    std::vector<proxy::Endpoint*> eps;
+    for (int i = 0; i < 4; ++i)
+        eps.push_back(&n.create_endpoint());
+    std::vector<uint64_t> dst(4, 0);
+    uint16_t seg = eps[0]->register_segment(dst.data(), dst.size() * 8);
+    for (int round = 0; round < 2; ++round) {
+        n.start();
+        proxy::Flag rsync{0};
+        for (int i = 0; i < 4; ++i) {
+            uint64_t v = static_cast<uint64_t>(round * 10 + i);
+            while (!eps[static_cast<size_t>(i)]->put(
+                &v, 0, seg, static_cast<uint64_t>(i) * 8, 8, nullptr,
+                &rsync)) {
+                std::this_thread::yield();
+            }
+            proxy::flag_wait_ge(rsync, static_cast<uint64_t>(i) + 1);
+        }
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(dst[static_cast<size_t>(i)],
+                      static_cast<uint64_t>(round * 10 + i));
+        n.stop();
+    }
 }
 
 #ifdef MSGPROXY_CHECK_OWNERSHIP
@@ -330,7 +362,7 @@ TEST(OwnershipLintDeathTest, SecondProducerThreadAborts)
     testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_DEATH(
         {
-            proxy::Node n(0);
+            proxy::Node n(proxy::NodeConfig{.id = 0});
             proxy::Endpoint& ep = n.create_endpoint();
             uint8_t b = 0;
             ep.enq(&b, 1, 0, ep.id()); // binds this thread as producer
@@ -346,7 +378,7 @@ TEST(OwnershipLintDeathTest, SecondConsumerThreadAborts)
     testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_DEATH(
         {
-            proxy::Node n(0);
+            proxy::Node n(proxy::NodeConfig{.id = 0});
             proxy::Endpoint& ep = n.create_endpoint();
             n.start();
             // Running proxy exercises the proxy-thread asserts

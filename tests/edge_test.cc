@@ -126,7 +126,8 @@ TEST(EdgeDeathTest, ChecksAbortOnInternalErrors)
 
 TEST(EdgeCases, RuntimeEnqDropsAreCounted)
 {
-    proxy::Node n0(0), n1(1);
+    proxy::Node n0(proxy::NodeConfig{.id = 0});
+    proxy::Node n1(proxy::NodeConfig{.id = 1});
     proxy::Endpoint& a = n0.create_endpoint();
     proxy::Endpoint& b = n1.create_endpoint();
     proxy::Node::connect(n0, n1);
@@ -140,9 +141,9 @@ TEST(EdgeCases, RuntimeEnqDropsAreCounted)
         while (!a.enq(msg, sizeof(msg), 1, b.id()))
             std::this_thread::yield();
     }
-    while (n1.stats().packets_in.load() < 600)
+    while (n1.stats().packets_in < 600)
         std::this_thread::yield();
-    EXPECT_GT(n1.stats().enq_drops.load(), 0u);
+    EXPECT_GT(n1.stats().enq_drops, 0u);
 
     // The ring still works once drained.
     std::vector<uint8_t> out;
@@ -150,8 +151,7 @@ TEST(EdgeCases, RuntimeEnqDropsAreCounted)
     while (b.try_recv(out))
         ++received;
     EXPECT_GT(received, 100);
-    EXPECT_EQ(static_cast<uint64_t>(received) +
-                  n1.stats().enq_drops.load(),
+    EXPECT_EQ(static_cast<uint64_t>(received) + n1.stats().enq_drops,
               600u);
 }
 

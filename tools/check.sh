@@ -15,6 +15,10 @@
 #              ownership assertions; full ctest suite
 #   tidy       clang-tidy (.clang-tidy profile) over src/, using the
 #              compile_commands.json from the plain build
+#   bench-smoke  builds the bench binaries and runs the multi-proxy
+#              ablation + real-runtime scaling sweeps with tiny
+#              iteration counts, so bench bit-rot shows up in the
+#              matrix without paying for full benchmark runs
 #
 # Each mode configures its own build tree (build-<mode>/, except
 # plain which uses build/), so modes never contaminate each other.
@@ -26,7 +30,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 MODES=("$@")
-[ ${#MODES[@]} -eq 0 ] && MODES=(plain tsan asan ownership tidy)
+[ ${#MODES[@]} -eq 0 ] && MODES=(plain tsan asan ownership tidy bench-smoke)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -76,8 +80,16 @@ for mode in "${MODES[@]}"; do
         find src -name '*.cc' -print0 |
             xargs -0 -n 4 -P "$JOBS" clang-tidy -p build --quiet
         ;;
+      bench-smoke)
+        banner "bench build + quick multi-proxy sweeps"
+        cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+        cmake --build build -j "$JOBS" --target \
+            bench_ablation_multi_proxy bench_runtime_scaling
+        (cd build/bench && ./bench_ablation_multi_proxy --quick)
+        (cd build/bench && ./bench_runtime_scaling --quick)
+        ;;
       *)
-        echo "unknown mode: $mode (expected plain|tsan|asan|ownership|tidy)" >&2
+        echo "unknown mode: $mode (expected plain|tsan|asan|ownership|tidy|bench-smoke)" >&2
         exit 2
         ;;
     esac
