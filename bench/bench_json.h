@@ -1,0 +1,98 @@
+/// \file
+/// Machine-readable bench trajectory: the runtime benches append
+/// their headline numbers to BENCH_runtime.json at the repo root so
+/// future changes can diff performance against the committed
+/// snapshot (tools/check.sh perf does exactly that).
+///
+/// Format: a JSON array with one object per line,
+///   {"bench":..., "op":..., "P":..., "latency_ns":...,
+///    "msgs_per_sec":...}
+/// keyed by (bench, op, P). A writer replaces every record of its
+/// own bench and preserves the other benches' lines, so the two
+/// emitters can run in any order. For throughput sweeps latency_ns
+/// is the inverse rate (ns per message); for latency pingpongs
+/// msgs_per_sec is the inverse latency — both fields are always
+/// populated.
+
+#ifndef MSGPROXY_BENCH_BENCH_JSON_H
+#define MSGPROXY_BENCH_BENCH_JSON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace benchjson {
+
+struct Record
+{
+    std::string op;
+    int P = 1;
+    double latency_ns = 0.0;
+    double msgs_per_sec = 0.0;
+};
+
+/// Target path: $MSGPROXY_BENCH_JSON override, else
+/// <repo root>/BENCH_runtime.json (root baked in by CMake), else
+/// the current directory.
+inline std::string
+path()
+{
+    if (const char* env = std::getenv("MSGPROXY_BENCH_JSON"))
+        return env;
+#ifdef MSGPROXY_REPO_ROOT
+    return std::string(MSGPROXY_REPO_ROOT) + "/BENCH_runtime.json";
+#else
+    return "BENCH_runtime.json";
+#endif
+}
+
+/// Rewrites `bench`'s records in the trajectory file, keeping every
+/// other bench's lines untouched.
+inline void
+write(const std::string& bench, const std::vector<Record>& recs)
+{
+    const std::string file = path();
+    // Keep foreign records (one per line, identified by their
+    // "bench" field).
+    std::vector<std::string> kept;
+    {
+        std::ifstream in(file);
+        std::string line;
+        const std::string mine = "\"bench\":\"" + bench + "\"";
+        while (std::getline(in, line)) {
+            auto first = line.find('{');
+            if (first == std::string::npos)
+                continue; // array brackets / blank
+            if (line.find(mine) != std::string::npos)
+                continue; // superseded by this run
+            auto last = line.rfind('}');
+            kept.push_back(line.substr(first, last - first + 1));
+        }
+    }
+    std::ofstream out(file, std::ios::trunc);
+    if (!out)
+        return; // read-only checkout: skip silently
+    out << "[\n";
+    bool need_comma = false;
+    for (const auto& k : kept) {
+        out << (need_comma ? ",\n" : "") << k;
+        need_comma = true;
+    }
+    for (const auto& r : recs) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"bench\":\"%s\",\"op\":\"%s\",\"P\":%d,"
+                      "\"latency_ns\":%.1f,\"msgs_per_sec\":%.1f}",
+                      bench.c_str(), r.op.c_str(), r.P, r.latency_ns,
+                      r.msgs_per_sec);
+        out << (need_comma ? ",\n" : "") << buf;
+        need_comma = true;
+    }
+    out << "\n]\n";
+}
+
+} // namespace benchjson
+
+#endif // MSGPROXY_BENCH_BENCH_JSON_H

@@ -10,9 +10,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "proxy/runtime.h"
 #include "spsc/ring_queue.h"
 
@@ -68,9 +70,9 @@ BENCHMARK(BM_MsgRingPushPop)->Arg(16)->Arg(256)->Arg(2048);
 /// Shared two-node fixture for the end-to-end benchmarks.
 struct Pair
 {
-    Pair()
-        : n0(proxy::NodeConfig{.id = 0}),
-          n1(proxy::NodeConfig{.id = 1})
+    explicit Pair(int P = 1)
+        : n0(proxy::NodeConfig{.id = 0, .num_proxies = P}),
+          n1(proxy::NodeConfig{.id = 1, .num_proxies = P})
     {
         ep0 = &n0.create_endpoint();
         ep1 = &n1.create_endpoint();
@@ -106,6 +108,27 @@ BM_ProxyPutRoundTrip(benchmark::State& state)
                             n);
 }
 BENCHMARK(BM_ProxyPutRoundTrip)->Arg(8)->Arg(1024)->Arg(65536);
+
+void
+BM_ProxyPutRoundTripP2(benchmark::State& state)
+{
+    // Same pingpong with two proxy threads per node: quantifies the
+    // sharding overhead at P=2 on the latency path.
+    Pair p(2);
+    const auto n = static_cast<uint32_t>(state.range(0));
+    std::vector<uint8_t> src(n, 0x77);
+    proxy::Flag rsync{0};
+    uint64_t expect = 0;
+    for (auto _ : state) {
+        while (!p.ep0->put(src.data(), 1, p.seg, 0, n, nullptr, &rsync))
+            std::this_thread::yield();
+        ++expect;
+        proxy::flag_wait_ge(rsync, expect);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            n);
+}
+BENCHMARK(BM_ProxyPutRoundTripP2)->Arg(8);
 
 void
 BM_ProxyGetRoundTrip(benchmark::State& state)
@@ -204,6 +227,139 @@ BENCHMARK(BM_ProxyPollModes)
     ->Args({63, 0})
     ->Args({63, 1});
 
+// ------------------------------------------ trajectory (BENCH_runtime.json)
+
+/// Times `op` with a warmup and an adaptive ~0.25 s measurement
+/// window; returns ns per call. Self-timed (not via the gbench
+/// reporter) so the record format stays stable across benchmark
+/// library versions.
+template <typename F>
+double
+measure_ns(F&& op)
+{
+    using clock = std::chrono::steady_clock;
+    for (int i = 0; i < 200; ++i)
+        op();
+    uint64_t iters = 0;
+    auto t0 = clock::now();
+    double elapsed = 0.0;
+    while (elapsed < 0.25) {
+        for (int i = 0; i < 100; ++i)
+            op();
+        iters += 100;
+        elapsed = std::chrono::duration<double>(clock::now() - t0)
+                      .count();
+    }
+    return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+benchjson::Record
+rec(const char* op, int P, double ns)
+{
+    return benchjson::Record{op, P, ns, 1e9 / ns};
+}
+
+/// Re-measures the headline latencies and merges them into
+/// BENCH_runtime.json (op, P, latency_ns, msgs_per_sec).
+void
+write_trajectory()
+{
+    std::vector<benchjson::Record> recs;
+
+    for (int P : {1, 2}) {
+        Pair p(P);
+        uint8_t v = 0x77;
+        proxy::Flag rsync{0};
+        uint64_t expect = 0;
+        double ns = measure_ns([&] {
+            while (!p.ep0->put(&v, 1, p.seg, 0, 1, nullptr, &rsync))
+                std::this_thread::yield();
+            proxy::flag_wait_ge(rsync, ++expect);
+        });
+        recs.push_back(rec("pingpong_put8", P, ns));
+    }
+    {
+        Pair p;
+        std::vector<uint8_t> src(65536, 0x42);
+        proxy::Flag rsync{0};
+        uint64_t expect = 0;
+        double ns = measure_ns([&] {
+            while (!p.ep0->put(src.data(), 1, p.seg, 0,
+                               static_cast<uint32_t>(src.size()),
+                               nullptr, &rsync))
+                std::this_thread::yield();
+            proxy::flag_wait_ge(rsync, ++expect);
+        });
+        recs.push_back(rec("pingpong_put64k", 1, ns));
+    }
+    {
+        Pair p;
+        std::vector<uint8_t> dst(4096);
+        proxy::Flag lsync{0};
+        uint64_t expect = 0;
+        double ns = measure_ns([&] {
+            while (!p.ep0->get(dst.data(), 1, p.seg, 0, 4096, &lsync))
+                std::this_thread::yield();
+            proxy::flag_wait_ge(lsync, ++expect);
+        });
+        recs.push_back(rec("pingpong_get4k", 1, ns));
+    }
+    {
+        Pair p;
+        uint8_t msg[64] = {1};
+        std::vector<uint8_t> out;
+        double ns = measure_ns([&] {
+            while (!p.ep0->enq(msg, sizeof(msg), 1, p.ep1->id()))
+                std::this_thread::yield();
+            while (!p.ep1->try_recv(out))
+                std::this_thread::yield();
+        });
+        recs.push_back(rec("enq_rt64", 1, ns));
+    }
+    {
+        // Windowed 4 KB PUT stream: throughput, not latency.
+        Pair p;
+        std::vector<uint8_t> src(4096, 0x42);
+        proxy::Flag rsync{0};
+        uint64_t sent = 0;
+        double ns = measure_ns([&] {
+            while (!p.ep0->put(src.data(), 1, p.seg, 0, 4096, nullptr,
+                               &rsync))
+                std::this_thread::yield();
+            ++sent;
+            if (sent > 32)
+                proxy::flag_wait_ge(rsync, sent - 32);
+        });
+        proxy::flag_wait_ge(rsync, sent);
+        recs.push_back(rec("put_stream4k", 1, ns));
+    }
+
+    benchjson::write("runtime_micro", recs);
+    std::printf("trajectory: %zu records -> %s\n", recs.size(),
+                benchjson::path().c_str());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    bool json = true;
+    // Strip our flag before google-benchmark sees the args.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-json") == 0) {
+            json = false;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    if (json)
+        write_trajectory();
+    return 0;
+}

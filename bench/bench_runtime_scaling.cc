@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "proxy/runtime.h"
 #include "util/table.h"
 
@@ -23,7 +24,17 @@ struct Result
     double elapsed_s = 0.0;
     uint64_t items = 0; // messages or bytes
     uint64_t drops = 0;
+    uint64_t pool_hits = 0;   // both nodes
+    uint64_t pool_misses = 0; // both nodes (0 in steady state)
 };
+
+/// Sums the packet-pool counters of both nodes into `r`.
+void
+collect_pool(Result& r, const proxy::Node& a, const proxy::Node& b)
+{
+    r.pool_hits = a.stats().pool_hits + b.stats().pool_hits;
+    r.pool_misses = a.stats().pool_misses + b.stats().pool_misses;
+}
 
 /// Saturating ENQ: `threads` producer threads each drive
 /// `eps_per_thread` endpoints on node 0 round-robin, firing
@@ -96,6 +107,7 @@ run_enq(int num_proxies, int msgs_per_ep)
     r.drops = n1.stats().enq_drops;
     n0.stop();
     n1.stop();
+    collect_pool(r, n0, n1);
     return r;
 }
 
@@ -170,6 +182,7 @@ run_put(int num_proxies, int puts_per_ep)
               static_cast<uint64_t>(puts_per_ep) * kBlock;
     n0.stop();
     n1.stop();
+    collect_pool(r, n0, n1);
     return r;
 }
 
@@ -194,19 +207,43 @@ main(int argc, char** argv)
         " — with fewer cores than proxies+producers the sweep "
         "measures scheduling overhead, not parallel speedup.");
     t.set_header({"Proxies/node", "ENQ Kmsg/s", "ENQ drops",
-                  "PUT MB/s"});
+                  "PUT MB/s", "pool hits", "pool misses"});
+    std::vector<benchjson::Record> recs;
+    uint64_t pool_misses_total = 0;
     for (int p : {1, 2, 4}) {
         Result enq = run_enq(p, msgs_per_ep);
         Result put = run_put(p, puts_per_ep);
+        const double enq_rate = enq.items / enq.elapsed_s;
+        const double put_blocks =
+            put.items / 4096.0 / put.elapsed_s; // 4 KB blocks/s
+        pool_misses_total += enq.pool_misses + put.pool_misses;
         t.add_row({std::to_string(p),
-                   mp::TablePrinter::num(
-                       enq.items / enq.elapsed_s / 1e3, 1),
+                   mp::TablePrinter::num(enq_rate / 1e3, 1),
                    std::to_string(enq.drops),
                    mp::TablePrinter::num(
-                       put.items / put.elapsed_s / 1e6, 1)});
+                       put.items / put.elapsed_s / 1e6, 1),
+                   std::to_string(enq.pool_hits + put.pool_hits),
+                   std::to_string(enq.pool_misses + put.pool_misses)});
+        // latency_ns is the inverse rate: ns per message (ENQ) or
+        // per 4 KB block (PUT).
+        recs.push_back(benchjson::Record{"enq_sat64", p,
+                                         1e9 / enq_rate, enq_rate});
+        recs.push_back(benchjson::Record{"put_sat4k", p,
+                                         1e9 / put_blocks, put_blocks});
     }
     t.print();
     t.write_csv("bench_runtime_scaling.csv");
+    // Steady-state allocation check consumed by tools/check.sh
+    // bench-smoke: every wire packet of the sweep must have come
+    // from the pools.
+    std::printf("POOL_MISSES_TOTAL=%llu\n",
+                static_cast<unsigned long long>(pool_misses_total));
+    if (!quick) {
+        // Quick (smoke) runs are too noisy to commit as trajectory.
+        benchjson::write("runtime_scaling", recs);
+        std::printf("trajectory: %zu records -> %s\n", recs.size(),
+                    benchjson::path().c_str());
+    }
 
     // Per-proxy observability demo: rerun P=2 briefly and show the
     // sharded counters.
@@ -243,7 +280,9 @@ main(int argc, char** argv)
         for (int p = 0; p < 2; ++p) {
             const proxy::ProxyStats& s = n0.proxy_stats(p);
             std::printf("  proxy %d: commands=%llu packets_out=%llu "
-                        "polls=%llu idle_transitions=%llu\n",
+                        "polls=%llu idle_transitions=%llu "
+                        "pool_hits=%llu pool_misses=%llu "
+                        "batch_max=%llu\n",
                         p,
                         static_cast<unsigned long long>(
                             s.commands.load()),
@@ -251,7 +290,13 @@ main(int argc, char** argv)
                             s.packets_out.load()),
                         static_cast<unsigned long long>(s.polls.load()),
                         static_cast<unsigned long long>(
-                            s.idle_transitions.load()));
+                            s.idle_transitions.load()),
+                        static_cast<unsigned long long>(
+                            s.pool_hits.load()),
+                        static_cast<unsigned long long>(
+                            s.pool_misses.load()),
+                        static_cast<unsigned long long>(
+                            s.batch_max.load()));
         }
     }
     return 0;

@@ -21,16 +21,6 @@ cpu_pause()
 #endif
 }
 
-/// Single-writer counter bump: every ProxyStats counter is written
-/// by exactly one proxy thread, so a relaxed load+store is enough
-/// (and cheaper than an atomic RMW on the poll-loop hot path).
-inline void
-bump(std::atomic<uint64_t>& c, uint64_t n = 1)
-{
-    c.store(c.load(std::memory_order_relaxed) + n,
-            std::memory_order_relaxed);
-}
-
 } // namespace
 
 PollParams::PollParams()
@@ -221,13 +211,28 @@ Endpoint::rq_deq(void* dst, uint32_t max, int dst_node, int qid,
 
 // -------------------------------------------------------------------- Node
 
+Node::Channel::~Channel()
+{
+    // Packets still queued at teardown: heap-fallback ones are owned
+    // by whoever retires them — that is now us. Pooled ones belong
+    // to the producer's slab (freed with its Node); the tag in the
+    // ring slot lets us tell them apart without touching packet
+    // memory that may already be gone.
+    PacketRef r;
+    while (ring.try_pop(r)) {
+        if (r.heap)
+            delete r.p;
+    }
+}
+
 Node::Node(const NodeConfig& cfg)
     : cfg_(cfg)
 {
     MP_CHECK(cfg_.num_proxies >= 1 && cfg_.num_proxies <= 64,
              "num_proxies must be in [1, 64], got " << cfg_.num_proxies);
     for (int p = 0; p < cfg_.num_proxies; ++p) {
-        proxies_.push_back(std::make_unique<Proxy>());
+        proxies_.push_back(
+            std::make_unique<Proxy>(cfg_.packet_pool_size));
         proxies_.back()->index = p;
     }
 }
@@ -240,6 +245,16 @@ Node::Node(int id, PollMode poll_mode)
 Node::~Node()
 {
     stop();
+    // Deferred packets survive stop() so a restarted node resumes
+    // them; at destruction, retire the heap-owned ones (pooled ones
+    // die with their slab).
+    for (auto& pr : proxies_) {
+        for (const Deferred& d : pr->deferred) {
+            if (d.heap)
+                delete d.p;
+        }
+        pr->deferred.clear();
+    }
 }
 
 Endpoint&
@@ -290,11 +305,20 @@ Node::connect(Node& a, Node& b)
     const auto pb = static_cast<size_t>(b.cfg_.num_proxies);
     // One ring per (sending proxy, receiving proxy) pair and
     // direction: no ring end is ever shared between two proxies.
+    // The sending node's config sizes the channel: its proxies
+    // produce the forward ring and recycle through the return ring,
+    // which must hold the producer's whole pool so a return push
+    // never fails.
+    auto chan = [](const Node& sender) {
+        return std::make_shared<Channel>(
+            sender.cfg_.channel_depth,
+            std::max<size_t>(sender.cfg_.packet_pool_size, 2));
+    };
     a.out_[bid].resize(pa * pb);
     b.in_[aid].resize(pa * pb);
     for (size_t p = 0; p < pa; ++p) {
         for (size_t q = 0; q < pb; ++q) {
-            auto ch = std::make_shared<Channel>();
+            auto ch = chan(a);
             a.out_[bid][p * pb + q] = ch;
             b.in_[aid][p * pb + q] = ch;
         }
@@ -303,7 +327,7 @@ Node::connect(Node& a, Node& b)
     a.in_[bid].resize(pb * pa);
     for (size_t p = 0; p < pb; ++p) {
         for (size_t q = 0; q < pa; ++q) {
-            auto ch = std::make_shared<Channel>();
+            auto ch = chan(b);
             b.out_[aid][p * pa + q] = ch;
             a.in_[bid][p * pa + q] = ch;
         }
@@ -331,15 +355,19 @@ Node::start()
                 for (size_t q = 0; q < P; ++q) {
                     if (p == q)
                         continue;
-                    auto ch = std::make_shared<Channel>();
+                    auto ch = std::make_shared<Channel>(
+                        cfg_.channel_depth,
+                        std::max<size_t>(cfg_.packet_pool_size, 2));
                     out_[self][p * P + q] = ch;
                     in_[self][p * P + q] = ch;
                 }
             }
         }
     }
-    // Per-proxy receive lists: every ring whose consumer end this
-    // proxy owns, across all peers (and the loopback matrix).
+    // Per-proxy receive and transmit lists: every ring whose
+    // consumer (rx) or producer (tx) end this proxy owns, across all
+    // peers (and the loopback matrix). tx is the set of return rings
+    // the proxy drains to refill its packet pool.
     for (auto& pr : proxies_) {
         pr->rx.clear();
         for (auto& row : in_) {
@@ -351,6 +379,21 @@ Node::start()
                     row[sp * P + static_cast<size_t>(pr->index)].get();
                 if (ch != nullptr)
                     pr->rx.push_back(ch);
+            }
+        }
+        pr->tx.clear();
+        for (size_t n = 0; n < out_.size(); ++n) {
+            auto& row = out_[n];
+            if (row.empty())
+                continue;
+            auto dst_p =
+                static_cast<size_t>(peer_proxy_count(static_cast<int>(n)));
+            for (size_t q = 0; q < dst_p; ++q) {
+                Channel* ch =
+                    row[static_cast<size_t>(pr->index) * dst_p + q]
+                        .get();
+                if (ch != nullptr)
+                    pr->tx.push_back(ch);
             }
         }
     }
@@ -386,6 +429,13 @@ Node::stats() const
         s.polls += ps.polls.load(std::memory_order_relaxed);
         s.idle_transitions +=
             ps.idle_transitions.load(std::memory_order_relaxed);
+        s.pool_hits += ps.pool_hits.load(std::memory_order_relaxed);
+        s.pool_misses +=
+            ps.pool_misses.load(std::memory_order_relaxed);
+        s.acks_coalesced +=
+            ps.acks_coalesced.load(std::memory_order_relaxed);
+        s.batch_max = std::max(
+            s.batch_max, ps.batch_max.load(std::memory_order_relaxed));
     }
     return s;
 }
@@ -430,21 +480,75 @@ Node::out_channel(const Proxy& self, int dst_node, int dst_proxy)
         .get();
 }
 
+Node::PacketRef
+Node::alloc_packet(Proxy& self)
+{
+    Packet* p = self.pool.try_get();
+    if (p == nullptr) {
+        // Pool dry: recycle whatever consumers have returned before
+        // touching the heap.
+        drain_returns(self);
+        p = self.pool.try_get();
+    }
+    if (p != nullptr) {
+        ++self.local.pool_hits;
+        return PacketRef{p, false};
+    }
+    // Measured overload fallback: allocate rather than block, so an
+    // undersized pool degrades to the old per-packet-new behaviour
+    // instead of deadlocking. Default-init (no ()): the header is
+    // fully written by every send site and receivers read only
+    // `len` payload bytes, so no 1.1 KB zeroing here either.
+    ++self.local.pool_misses;
+    return PacketRef{new Packet, true};
+}
+
+void
+Node::release_packet(Proxy& self, PacketRef ref, Channel* from)
+{
+    if (ref.heap) {
+        delete ref.p;
+        return;
+    }
+    if (from == nullptr) {
+        // Loopback packet: producer == consumer == this proxy.
+        self.pool.put(ref.p);
+        return;
+    }
+    // The return ring holds the producer's whole pool, and pooled
+    // packets in flight are bounded by that pool, so this cannot
+    // fail.
+    bool ok = from->ret.try_push(ref.p);
+    MP_CHECK(ok, "packet return ring overflow");
+}
+
+void
+Node::drain_returns(Proxy& self)
+{
+    for (Channel* ch : self.tx) {
+        Packet* p = nullptr;
+        while (ch->ret.try_pop(p))
+            self.pool.put(p);
+    }
+}
+
 bool
 Node::drain_inputs(Proxy& self, bool defer_requests)
 {
     bool progressed = false;
+    const auto budget0 = static_cast<int>(cfg_.pkt_burst);
     for (Channel* ch : self.rx) {
-        std::unique_ptr<Packet> p;
-        int budget = 16;
-        while (budget-- > 0 && ch->ring.try_pop(p)) {
+        PacketRef r;
+        int budget = budget0;
+        while (budget-- > 0 && ch->ring.try_pop(r)) {
             progressed = true;
             if (defer_requests &&
-                (p->kind == Packet::Kind::kGetReq ||
-                 p->kind == Packet::Kind::kRqDeqReq)) {
-                self.deferred.push_back(std::move(p));
+                (r.p->kind == Packet::Kind::kGetReq ||
+                 r.p->kind == Packet::Kind::kRqDeqReq)) {
+                self.deferred.push_back(Deferred{r.p, ch, r.heap});
             } else {
-                handle_packet(self, *p);
+                handle_packet(self, *r.p);
+                release_packet(self, r, ch);
             }
         }
     }
@@ -453,23 +557,26 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
 
 bool
 Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
-                  std::unique_ptr<Packet> pkt)
+                  PacketRef ref)
 {
     if (dst_node == cfg_.id && dst_proxy == self.index) {
         // Loopback to this very proxy: serve directly. Request kinds
         // that generate replies are deferred to the main loop so
         // handling never recurses.
-        if (pkt->kind == Packet::Kind::kGetReq ||
-            pkt->kind == Packet::Kind::kRqDeqReq) {
-            self.deferred.push_back(std::move(pkt));
+        if (ref.p->kind == Packet::Kind::kGetReq ||
+            ref.p->kind == Packet::Kind::kRqDeqReq) {
+            self.deferred.push_back(
+                Deferred{ref.p, nullptr, ref.heap});
         } else {
-            handle_packet(self, *pkt);
+            handle_packet(self, *ref.p);
+            release_packet(self, ref, nullptr);
         }
         return true;
     }
     Channel* ch = out_channel(self, dst_node, dst_proxy);
     if (ch == nullptr) {
-        bump(self.stats.faults);
+        ++self.local.faults;
+        release_packet(self, ref, nullptr);
         return false; // unconnected destination
     }
     // This proxy is the ring's only producer, so once full() clears
@@ -485,8 +592,8 @@ Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
         else
             bo.idle();
     }
-    ch->ring.try_push(std::move(pkt));
-    bump(self.stats.packets_out);
+    ch->ring.try_push(ref);
+    ++self.local.packets_out;
     return true;
 }
 
@@ -494,34 +601,47 @@ void
 Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
 {
     self.owner.assert_owner("Node command handling (proxy thread only)");
-    bump(self.stats.commands);
+    ++self.local.commands;
     const int dst_p = peer_proxy_count(cmd.dst_node);
+    // Pooled packets are recycled without clearing, so every send
+    // site below writes the complete header.
     switch (cmd.op) {
       case Command::Op::kPut: {
         // Route by target segment so all fragments of one PUT ride
-        // one FIFO ring (rsync cannot pass its payload).
+        // one FIFO ring (rsync cannot pass its payload). Fragments
+        // are cut straight out of the user's source buffer into
+        // pooled slots and pushed one by one, so the receiver
+        // pipelines with the sender instead of waiting for the whole
+        // message to be built.
         const int dstprox = cmd.dst_seg % dst_p;
         const auto* src = static_cast<const uint8_t*>(cmd.src);
         uint32_t sent = 0;
+        uint32_t nfrags = 0;
         while (sent < cmd.len || cmd.len == 0) {
             uint32_t frag = std::min(cmd.len - sent, kMtu);
-            auto pkt = std::make_unique<Packet>();
+            PacketRef ref = alloc_packet(self);
+            Packet* pkt = ref.p;
             pkt->kind = Packet::Kind::kPutData;
             pkt->src_node = cfg_.id;
             pkt->src_user = ep.id();
             pkt->seg = cmd.dst_seg;
             pkt->off = cmd.dst_off + sent;
             pkt->len = frag;
+            // Only the final fragment carries the rsync cookie: one
+            // completion action per command, not per fragment.
             bool last = (sent + frag >= cmd.len);
             pkt->flags = last ? 1 : 0;
             pkt->ccb = last ? reinterpret_cast<uint64_t>(cmd.rsync) : 0;
             if (frag > 0)
                 std::memcpy(pkt->payload, src + sent, frag);
-            send_packet(self, cmd.dst_node, dstprox, std::move(pkt));
+            send_packet(self, cmd.dst_node, dstprox, ref);
+            ++nfrags;
             sent += frag;
             if (cmd.len == 0)
                 break;
         }
+        if (nfrags > 1)
+            self.local.acks_coalesced += nfrags - 1;
         if (cmd.lsync != nullptr)
             cmd.lsync->fetch_add(1, std::memory_order_release);
         break;
@@ -536,8 +656,10 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
             self.ccbs.push_back(Ccb{});
         }
         self.ccbs[idx] = Ccb{cmd.dst, cmd.len, cmd.lsync};
-        auto pkt = std::make_unique<Packet>();
+        PacketRef ref = alloc_packet(self);
+        Packet* pkt = ref.p;
         pkt->kind = Packet::Kind::kGetReq;
+        pkt->flags = 0;
         pkt->src_node = cfg_.id;
         pkt->src_user = ep.id();
         pkt->seg = cmd.dst_seg;
@@ -546,43 +668,45 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
         // The cookie carries the issuing proxy in its high half so
         // the reply routes straight back to the CCB's owner.
         pkt->ccb = (static_cast<uint64_t>(self.index) << 32) | idx;
-        send_packet(self, cmd.dst_node, cmd.dst_seg % dst_p,
-                    std::move(pkt));
+        send_packet(self, cmd.dst_node, cmd.dst_seg % dst_p, ref);
         break;
       }
       case Command::Op::kEnq: {
-        auto pkt = std::make_unique<Packet>();
+        PacketRef ref = alloc_packet(self);
+        Packet* pkt = ref.p;
         pkt->kind = Packet::Kind::kEnqData;
+        pkt->flags = 1;
         pkt->src_node = cfg_.id;
         pkt->src_user = ep.id();
         pkt->seg = static_cast<uint16_t>(cmd.dst_user);
         pkt->off = 0;
         pkt->len = cmd.len;
-        pkt->flags = 1;
+        pkt->ccb = 0;
         if (cmd.len > 0)
             std::memcpy(pkt->payload, cmd.inline_data, cmd.len);
         // Route to the proxy that owns the receiving endpoint: it is
         // the single producer of that receive ring.
-        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p,
-                    std::move(pkt));
+        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p, ref);
         if (cmd.lsync != nullptr)
             cmd.lsync->fetch_add(1, std::memory_order_release);
         break;
       }
       case Command::Op::kRqEnq: {
-        auto pkt = std::make_unique<Packet>();
+        PacketRef ref = alloc_packet(self);
+        Packet* pkt = ref.p;
         pkt->kind = Packet::Kind::kRqEnqData;
+        pkt->flags = 1;
         pkt->src_node = cfg_.id;
         pkt->src_user = ep.id();
         pkt->seg = static_cast<uint16_t>(cmd.dst_user); // queue id
+        pkt->off = 0;
         pkt->len = cmd.len;
-        pkt->flags = 1;
+        pkt->ccb = 0;
         if (cmd.len > 0)
             std::memcpy(pkt->payload, cmd.inline_data, cmd.len);
         // Route to the queue's owning proxy (qid mod num_proxies):
         // it alone manipulates the queue, the paper's atomicity rule.
-        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p,
-                    std::move(pkt));
+        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p, ref);
         if (cmd.lsync != nullptr)
             cmd.lsync->fetch_add(1, std::memory_order_release);
         break;
@@ -597,15 +721,17 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
             self.ccbs.push_back(Ccb{});
         }
         self.ccbs[idx] = Ccb{cmd.dst, cmd.len, cmd.lsync};
-        auto pkt = std::make_unique<Packet>();
+        PacketRef ref = alloc_packet(self);
+        Packet* pkt = ref.p;
         pkt->kind = Packet::Kind::kRqDeqReq;
+        pkt->flags = 0;
         pkt->src_node = cfg_.id;
         pkt->src_user = ep.id();
         pkt->seg = static_cast<uint16_t>(cmd.dst_user);
+        pkt->off = 0;
         pkt->len = cmd.len;
         pkt->ccb = (static_cast<uint64_t>(self.index) << 32) | idx;
-        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p,
-                    std::move(pkt));
+        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p, ref);
         break;
       }
       case Command::Op::kNop:
@@ -618,18 +744,20 @@ Node::handle_packet(Proxy& self, Packet& pkt)
 {
     self.owner.assert_owner(
         "Node segments/rqueues/ccbs (proxy thread only)");
-    bump(self.stats.packets_in);
+    ++self.local.packets_in;
     switch (pkt.kind) {
       case Packet::Kind::kPutData: {
         if (pkt.seg >= segments_.size()) {
-            bump(self.stats.faults);
+            ++self.local.faults;
             return;
         }
         const Segment& seg = segments_[pkt.seg];
         if (!seg.remote_access || pkt.off + pkt.len > seg.len) {
-            bump(self.stats.faults);
+            ++self.local.faults;
             return;
         }
+        // Receive-side zero-copy: straight from the ring-resident
+        // packet into the validated target segment.
         if (pkt.len > 0)
             std::memcpy(seg.base + pkt.off, pkt.payload, pkt.len);
         if ((pkt.flags & 1) != 0 && pkt.ccb != 0) {
@@ -645,37 +773,52 @@ Node::handle_packet(Proxy& self, Packet& pkt)
         const Segment* seg = ok ? &segments_[pkt.seg] : nullptr;
         ok = ok && seg->remote_access && pkt.off + pkt.len <= seg->len;
         if (!ok) {
-            bump(self.stats.faults);
+            ++self.local.faults;
             // Fault reply: zero-length final fragment so the
             // requester's lsync still fires.
-            auto rep = std::make_unique<Packet>();
+            PacketRef ref = alloc_packet(self);
+            Packet* rep = ref.p;
             rep->kind = Packet::Kind::kGetData;
+            rep->flags = 1;
             rep->src_node = cfg_.id;
+            rep->src_user = pkt.src_user;
+            rep->seg = pkt.seg;
             rep->len = 0;
             rep->off = 0;
-            rep->flags = 1;
             rep->ccb = pkt.ccb;
-            send_packet(self, pkt.src_node, req_proxy, std::move(rep));
+            send_packet(self, pkt.src_node, req_proxy, ref);
             return;
         }
+        // Reply fragments cut straight out of the segment into
+        // pooled slots; only the final one flips the completion bit
+        // (the requester's lsync fires once per GET).
+        const uint64_t req_ccb = pkt.ccb;
+        const int req_node = pkt.src_node;
         uint32_t sent = 0;
+        uint32_t nfrags = 0;
         while (sent < pkt.len || pkt.len == 0) {
             uint32_t frag = std::min(pkt.len - sent, kMtu);
-            auto rep = std::make_unique<Packet>();
+            PacketRef ref = alloc_packet(self);
+            Packet* rep = ref.p;
             rep->kind = Packet::Kind::kGetData;
+            rep->flags = (sent + frag >= pkt.len) ? 1 : 0;
             rep->src_node = cfg_.id;
+            rep->src_user = pkt.src_user;
+            rep->seg = pkt.seg;
             rep->len = frag;
             rep->off = sent;
-            rep->flags = (sent + frag >= pkt.len) ? 1 : 0;
-            rep->ccb = pkt.ccb;
+            rep->ccb = req_ccb;
             if (frag > 0)
                 std::memcpy(rep->payload, seg->base + pkt.off + sent,
                             frag);
-            send_packet(self, pkt.src_node, req_proxy, std::move(rep));
+            send_packet(self, req_node, req_proxy, ref);
+            ++nfrags;
             sent += frag;
             if (pkt.len == 0)
                 break;
         }
+        if (nfrags > 1)
+            self.local.acks_coalesced += nfrags - 1;
         break;
       }
       case Packet::Kind::kGetData: {
@@ -700,20 +843,20 @@ Node::handle_packet(Proxy& self, Packet& pkt)
       case Packet::Kind::kEnqData: {
         auto user = static_cast<size_t>(pkt.seg);
         if (user >= endpoints_.size()) {
-            bump(self.stats.faults);
+            ++self.local.faults;
             return;
         }
         MP_CHECK(endpoints_[user]->proxy() == self.index,
                  "ENQ routed to a proxy that does not own endpoint "
                      << user);
         if (!endpoints_[user]->recvq_.try_push(pkt.payload, pkt.len))
-            bump(self.stats.enq_drops);
+            ++self.local.enq_drops;
         break;
       }
       case Packet::Kind::kRqEnqData: {
         auto qid = static_cast<size_t>(pkt.seg);
         if (qid >= rqueues_.size()) {
-            bump(self.stats.faults);
+            ++self.local.faults;
             return;
         }
         MP_CHECK(static_cast<int>(qid) % cfg_.num_proxies == self.index,
@@ -724,14 +867,17 @@ Node::handle_packet(Proxy& self, Packet& pkt)
       }
       case Packet::Kind::kRqDeqReq: {
         const int req_proxy = static_cast<int>(pkt.ccb >> 32);
-        auto rep = std::make_unique<Packet>();
+        PacketRef ref = alloc_packet(self);
+        Packet* rep = ref.p;
         rep->kind = Packet::Kind::kRqDeqData;
         rep->src_node = cfg_.id;
+        rep->src_user = pkt.src_user;
+        rep->seg = pkt.seg;
         rep->ccb = pkt.ccb;
         rep->off = 0;
         auto qid = static_cast<size_t>(pkt.seg);
         if (qid >= rqueues_.size()) {
-            bump(self.stats.faults);
+            ++self.local.faults;
             rep->len = 0;
             rep->flags = 1 | 2; // final + empty
         } else if (rqueues_[qid].empty()) {
@@ -751,7 +897,7 @@ Node::handle_packet(Proxy& self, Packet& pkt)
                 std::memcpy(rep->payload, msg.data(), n);
             rqueues_[qid].pop_front();
         }
-        send_packet(self, pkt.src_node, req_proxy, std::move(rep));
+        send_packet(self, pkt.src_node, req_proxy, ref);
         break;
       }
       case Packet::Kind::kRqDeqData: {
@@ -775,23 +921,50 @@ Node::handle_packet(Proxy& self, Packet& pkt)
 }
 
 void
+Node::publish_stats(Proxy& self)
+{
+    const LocalStats& l = self.local;
+    ProxyStats& s = self.stats;
+    s.commands.store(l.commands, std::memory_order_relaxed);
+    s.packets_in.store(l.packets_in, std::memory_order_relaxed);
+    s.packets_out.store(l.packets_out, std::memory_order_relaxed);
+    s.faults.store(l.faults, std::memory_order_relaxed);
+    s.enq_drops.store(l.enq_drops, std::memory_order_relaxed);
+    s.polls.store(l.polls, std::memory_order_relaxed);
+    s.idle_transitions.store(l.idle_transitions,
+                             std::memory_order_relaxed);
+    s.pool_hits.store(l.pool_hits, std::memory_order_relaxed);
+    s.pool_misses.store(l.pool_misses, std::memory_order_relaxed);
+    s.acks_coalesced.store(l.acks_coalesced,
+                           std::memory_order_relaxed);
+    s.batch_max.store(l.batch_max, std::memory_order_relaxed);
+}
+
+void
 Node::proxy_main(Proxy& self)
 {
     self.owner.bind(); // sole owner of this proxy's shard of state
     const auto P = static_cast<size_t>(cfg_.num_proxies);
     const auto me = static_cast<size_t>(self.index);
+    const auto cmd_burst = static_cast<int>(cfg_.cmd_burst);
     Backoff bo(cfg_.poll);
     bool was_idle = false;
     // Figure 5 of the paper: scan this proxy's command queues and
-    // its network inputs round-robin, forever.
+    // its network inputs round-robin, forever — but in bursts: each
+    // source is drained up to its budget before the loop moves on,
+    // and per-event counters land in plain locals published once per
+    // iteration.
     while (running_.load(std::memory_order_acquire)) {
-        bump(self.stats.polls);
+        ++self.local.polls;
+        const uint64_t before =
+            self.local.commands + self.local.packets_in;
         bool progressed = false;
 
         while (!self.deferred.empty()) {
-            auto p = std::move(self.deferred.front());
+            Deferred d = self.deferred.front();
             self.deferred.pop_front();
-            handle_packet(self, *p);
+            handle_packet(self, *d.p);
+            release_packet(self, PacketRef{d.p, d.heap}, d.from);
             progressed = true;
         }
 
@@ -799,9 +972,17 @@ Node::proxy_main(Proxy& self)
             // One probe covers every command queue of this proxy:
             // consume the mask, then drain exactly the flagged
             // queues. A producer that enqueues after the exchange
-            // re-sets its bit, so nothing is lost.
-            uint64_t mask =
-                self.cmd_mask.exchange(0, std::memory_order_acquire);
+            // re-sets its bit, so nothing is lost. Endpoints whose
+            // burst budget ran out carry over to the next iteration
+            // locally — their commands are already queued, no
+            // doorbell will announce them again.
+            uint64_t mask = self.carry_mask;
+            self.carry_mask = 0;
+            // Skip the exchange RMW entirely when the shared mask is
+            // quiescent (the common idle probe).
+            if (self.cmd_mask.load(std::memory_order_acquire) != 0)
+                mask |= self.cmd_mask.exchange(
+                    0, std::memory_order_acquire);
             while (mask != 0) {
                 int b = __builtin_ctzll(mask);
                 mask &= mask - 1;
@@ -814,17 +995,20 @@ Node::proxy_main(Proxy& self)
                         break;
                     Endpoint& ep = *endpoints_[e];
                     Command cmd;
-                    while (ep.cmdq_.try_pop(cmd)) {
+                    int budget = cmd_burst;
+                    while (budget-- > 0 && ep.cmdq_.try_pop(cmd)) {
                         handle_command(self, ep, cmd);
                         progressed = true;
                     }
+                    if (!ep.cmdq_.empty())
+                        self.carry_mask |= uint64_t{1} << (k & 63);
                 }
             }
         } else {
             for (size_t e = me; e < endpoints_.size(); e += P) {
                 Endpoint& ep = *endpoints_[e];
                 Command cmd;
-                int budget = 8; // bounded batch per queue per scan
+                int budget = cmd_burst;
                 while (budget-- > 0 && ep.cmdq_.try_pop(cmd)) {
                     handle_command(self, ep, cmd);
                     progressed = true;
@@ -834,17 +1018,23 @@ Node::proxy_main(Proxy& self)
         if (drain_inputs(self, /*defer_requests=*/false))
             progressed = true;
 
-        if (progressed) {
+        const uint64_t batch =
+            self.local.commands + self.local.packets_in - before;
+        if (batch > self.local.batch_max)
+            self.local.batch_max = batch;
+
+        if (progressed || self.carry_mask != 0) {
             bo.reset();
             was_idle = false;
-        } else {
-            if (!was_idle) {
-                bump(self.stats.idle_transitions);
-                was_idle = true;
-            }
-            bo.idle();
+        } else if (!was_idle) {
+            ++self.local.idle_transitions;
+            was_idle = true;
         }
+        publish_stats(self);
+        if (!progressed && self.carry_mask == 0)
+            bo.idle();
     }
+    publish_stats(self);
 }
 
 } // namespace proxy

@@ -201,6 +201,19 @@ struct ProxyStats
     /// Transitions from making progress to finding nothing to do
     /// (i.e. entries into the backoff state machine).
     std::atomic<uint64_t> idle_transitions{0};
+    /// Wire packets served from this proxy's slab pool.
+    std::atomic<uint64_t> pool_hits{0};
+    /// Wire packets that fell back to the heap (pool empty). Zero in
+    /// steady state; a nonzero value means the pool is undersized for
+    /// the offered load, not an error.
+    std::atomic<uint64_t> pool_misses{0};
+    /// Per-fragment acknowledgments saved by carrying the completion
+    /// cookie only on the final fragment of a multi-fragment
+    /// PUT/GET: += (fragments - 1) per such command.
+    std::atomic<uint64_t> acks_coalesced{0};
+    /// Largest number of work items (commands + packets) handled in
+    /// one loop iteration: how deep the burst drains actually run.
+    std::atomic<uint64_t> batch_max{0};
 };
 
 /// Node-wide counter snapshot: the sum of every proxy's ProxyStats
@@ -215,6 +228,11 @@ struct NodeStats
     uint64_t enq_drops = 0;
     uint64_t polls = 0;
     uint64_t idle_transitions = 0;
+    uint64_t pool_hits = 0;
+    uint64_t pool_misses = 0;
+    uint64_t acks_coalesced = 0;
+    /// Max (not sum) across proxies: deepest single-loop burst.
+    uint64_t batch_max = 0;
 };
 
 /// Node construction parameters, mirroring rma::SystemConfig for the
@@ -234,6 +252,20 @@ struct NodeConfig
     /// Per-endpoint receive-ring capacity in bytes (rounded up to a
     /// power of two).
     size_t recv_ring_bytes = 64 * 1024;
+    /// Per-channel wire-packet ring depth in entries (rounded up to
+    /// a power of two). One channel exists per (sending proxy,
+    /// receiving proxy) pair and direction.
+    size_t channel_depth = 1024;
+    /// Per-proxy packet-pool capacity in pooled kMtu packets. 0
+    /// disables pooling (every packet heap-allocated, counted as a
+    /// pool miss). Sized > channel_depth by default so a full
+    /// outbound ring plus in-flight deferrals still hit the pool.
+    size_t packet_pool_size = 2048;
+    /// Burst budgets of the proxy loop: commands drained per
+    /// endpoint and packets drained per channel before the loop
+    /// re-polls its other sources.
+    uint32_t cmd_burst = 64;
+    uint32_t pkt_burst = 32;
     /// Idle-backoff policy of this node's proxy loops.
     PollParams poll{};
 };
@@ -441,9 +473,73 @@ class Node
         uint8_t payload[kMtu];
     };
 
+    /// A wire packet plus its provenance. Pooled packets live in the
+    /// sending proxy's slab and are recycled through the channel's
+    /// return ring; heap packets (pool-miss fallback) are deleted by
+    /// whoever retires them. The tag rides in the ring slot — never
+    /// in the packet — so cleanup can decide ownership without
+    /// dereferencing memory that may belong to a destroyed peer.
+    struct PacketRef
+    {
+        Packet* p = nullptr;
+        bool heap = false;
+    };
+
+    /// Fixed-capacity free list over one contiguous slab of Packets,
+    /// private to one proxy thread. Pooled packets are never
+    /// re-cleared on reuse: every send site writes the full header,
+    /// and receivers read exactly `len` payload bytes, so recycling
+    /// skips the ~1.1 KB zeroing (and the malloc/free) that
+    /// per-packet `new` paid on every fragment.
+    class PacketPool
+    {
+      public:
+        explicit PacketPool(size_t cap)
+            : slab_(cap > 0 ? new Packet[cap] : nullptr), cap_(cap)
+        {
+            free_.reserve(cap);
+            for (size_t i = 0; i < cap; ++i)
+                free_.push_back(&slab_[i]);
+        }
+
+        Packet*
+        try_get()
+        {
+            if (free_.empty())
+                return nullptr;
+            Packet* p = free_.back();
+            free_.pop_back();
+            return p;
+        }
+
+        void put(Packet* p) { free_.push_back(p); }
+
+        size_t capacity() const { return cap_; }
+
+      private:
+        std::unique_ptr<Packet[]> slab_;
+        size_t cap_;
+        std::vector<Packet*> free_;
+    };
+
+    /// One direction of one (sending proxy, receiving proxy) pair:
+    /// the forward packet ring plus the slot-return ring that
+    /// recycles consumed pooled packets back to the producer. The
+    /// return ring holds at least the producer's whole pool, so a
+    /// return push can never fail (the pool bounds the number of
+    /// pooled packets in flight).
     struct Channel
     {
-        spsc::RingQueue<std::unique_ptr<Packet>, 1024> ring;
+        Channel(size_t depth, size_t ret_cap)
+            : ring(depth), ret(ret_cap)
+        {
+        }
+
+        /// Frees heap-fallback packets still queued at teardown.
+        ~Channel();
+
+        spsc::DynRingQueue<PacketRef> ring;
+        spsc::DynPtrRing<Packet*> ret;
     };
 
     struct Segment
@@ -462,16 +558,57 @@ class Node
         Flag* lsync;
     };
 
+    /// A packet parked for later handling, tagged with where its
+    /// storage must be retired: `from` names the channel whose
+    /// return ring recycles it (nullptr: our own pool or, when
+    /// heap, `delete`).
+    struct Deferred
+    {
+        Packet* p;
+        Channel* from;
+        bool heap;
+    };
+
+    /// Proxy-thread-private counter accumulators. The hot path bumps
+    /// these plain integers; publish_stats() copies them into the
+    /// atomic ProxyStats once per loop iteration, replacing a
+    /// load+store pair per event with one relaxed store per counter
+    /// per loop.
+    struct LocalStats
+    {
+        uint64_t commands = 0;
+        uint64_t packets_in = 0;
+        uint64_t packets_out = 0;
+        uint64_t faults = 0;
+        uint64_t enq_drops = 0;
+        uint64_t polls = 0;
+        uint64_t idle_transitions = 0;
+        uint64_t pool_hits = 0;
+        uint64_t pool_misses = 0;
+        uint64_t acks_coalesced = 0;
+        uint64_t batch_max = 0;
+    };
+
     /// Per-proxy-thread state: everything exactly one proxy owns.
     struct Proxy
     {
+        explicit Proxy(size_t pool_cap) : pool(pool_cap) {}
+
         int index = 0;
         ProxyStats stats;
+        LocalStats local;
         /// Shared command-queue occupancy bits (bit k: this proxy's
         /// k-th endpoint may have commands). Producers set with
         /// release; the proxy clears before draining so arrivals are
-        /// never lost.
-        std::atomic<uint64_t> cmd_mask{0};
+        /// never lost. Isolated on its own cache line: producers RMW
+        /// it on submit and must not ping-pong the proxy's private
+        /// state alongside.
+        alignas(64) std::atomic<uint64_t> cmd_mask{0};
+        /// Endpoints whose command burst budget ran out last loop:
+        /// re-drained next iteration without waiting for a doorbell.
+        alignas(64) uint64_t carry_mask = 0;
+        /// This proxy's packet slab (see PacketPool).
+        PacketPool pool;
         /// CCB table + free list for this proxy's outstanding
         /// GET/DEQ requests.
         std::vector<Ccb> ccbs;
@@ -479,9 +616,12 @@ class Node
         /// Request packets deferred while draining inside
         /// send_packet (they would generate new sends and could
         /// recurse unboundedly).
-        std::deque<std::unique_ptr<Packet>> deferred;
+        std::deque<Deferred> deferred;
         /// Every channel this proxy consumes (built at start()).
         std::vector<Channel*> rx;
+        /// Every channel this proxy produces into: the rings whose
+        /// return rings it drains to refill the pool.
+        std::vector<Channel*> tx;
         /// Lint: this proxy's shard of segments/rqueues/ccbs is
         /// owned by the thread bound at proxy_main entry.
         check::ThreadOwner owner;
@@ -490,16 +630,30 @@ class Node
 
     /// Producer-side half of the bit-vector protocol: marks endpoint
     /// `user` as having pending commands (no-op in kScanAll mode).
+    ///
+    /// The fast path is a plain load: when the bit is already set the
+    /// RMW is skipped entirely, so two producers hammering the same
+    /// proxy stop ping-ponging the mask's cache line on every submit.
+    /// The seq_cst fence makes the load-then-skip safe against the
+    /// Dekker-style lost wakeup: without it, this producer's mask
+    /// load could be satisfied before its own command-queue store is
+    /// globally visible, see a bit the proxy is about to consume
+    /// (exchange to 0), skip the fetch_or — and leave a queued
+    /// command with no doorbell. The fence orders the queue publish
+    /// before the mask probe; the proxy's exchange is an RMW and
+    /// therefore already totally ordered against it.
     void
     note_command_posted(int user)
     {
-        if (cfg_.poll_mode == PollMode::kBitVector) {
-            int p = user % cfg_.num_proxies;
-            uint64_t bit = uint64_t{1}
-                           << ((user / cfg_.num_proxies) & 63);
-            proxies_[static_cast<size_t>(p)]->cmd_mask.fetch_or(
-                bit, std::memory_order_release);
-        }
+        if (cfg_.poll_mode != PollMode::kBitVector)
+            return;
+        int p = user % cfg_.num_proxies;
+        uint64_t bit = uint64_t{1} << ((user / cfg_.num_proxies) & 63);
+        auto& mask = proxies_[static_cast<size_t>(p)]->cmd_mask;
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if ((mask.load(std::memory_order_relaxed) & bit) != 0)
+            return; // doorbell already rung
+        mask.fetch_or(bit, std::memory_order_release);
     }
 
     /// True when dst_node names this node or a connected peer (the
@@ -513,13 +667,24 @@ class Node
     void handle_command(Proxy& self, Endpoint& ep, const Command& cmd);
     void handle_packet(Proxy& self, Packet& pkt);
     bool send_packet(Proxy& self, int dst_node, int dst_proxy,
-                     std::unique_ptr<Packet> pkt);
+                     PacketRef ref);
     /// Drains self's input rings once (budgeted). Requests are
     /// deferred when defer_requests is set (the send_packet stall
     /// path must not recurse into new sends).
     bool drain_inputs(Proxy& self, bool defer_requests);
     Channel* out_channel(const Proxy& self, int dst_node,
                          int dst_proxy);
+    /// Grabs a wire packet: pool first (refilling from the return
+    /// rings when dry), heap as the measured overload fallback.
+    PacketRef alloc_packet(Proxy& self);
+    /// Retires a consumed packet: heap -> delete; pooled -> the
+    /// originating channel's return ring (`from`), or straight back
+    /// into self's pool for loopback packets (`from == nullptr`).
+    void release_packet(Proxy& self, PacketRef ref, Channel* from);
+    /// Recycles every returned slot from self's tx channels.
+    void drain_returns(Proxy& self);
+    /// Copies self's LocalStats into the atomic ProxyStats.
+    static void publish_stats(Proxy& self);
 
     NodeConfig cfg_;
     std::vector<std::unique_ptr<Proxy>> proxies_;

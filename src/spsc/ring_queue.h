@@ -387,6 +387,92 @@ class DynRingQueue
     alignas(64) size_t head_ = 0;
 };
 
+/// Packed SPSC ring of trivially copyable values (pointers, small
+/// PODs) with run-time capacity — the slot-return ring of the
+/// proxy's packet pool. Unlike RingQueue, slots carry no per-entry
+/// full/empty flag and are not cache-line padded: synchronization
+/// rides on a classic Lamport head/tail index pair instead, so a
+/// 2048-entry ring of pointers is 16 KB of contiguous memory rather
+/// than 128 KB of padded slots, and a bulk drain walks it linearly.
+/// Each side caches the other's cursor and refreshes only when the
+/// cached value says the ring might be full/empty, so in steady
+/// state a push or pop touches one shared cache line, not two.
+///
+/// One thread may push and one (other) thread may pop, concurrently.
+/// Production-only (not parameterized over the checking policies);
+/// the protocol is the textbook bounded buffer: the producer
+/// release-publishes tail after writing the slot, the consumer
+/// acquire-reads tail before reading the slot, and symmetrically for
+/// head on the reclaim side.
+template <typename T>
+class DynPtrRing
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "DynPtrRing carries raw pointers / small PODs");
+
+  public:
+    /// Creates a ring of at least `capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    explicit DynPtrRing(size_t capacity)
+        : mask_(ceil_pow2(capacity, 2) - 1), buf_(new T[mask_ + 1]())
+    {
+    }
+
+    DynPtrRing(const DynPtrRing&) = delete;
+    DynPtrRing& operator=(const DynPtrRing&) = delete;
+
+    /// Producer: attempts to enqueue; returns false when full.
+    bool
+    try_push(T v)
+    {
+        const uint64_t t = tail_.load(std::memory_order_relaxed);
+        if (t - head_cache_ > mask_) {
+            head_cache_ = head_.load(std::memory_order_acquire);
+            if (t - head_cache_ > mask_)
+                return false; // genuinely full
+        }
+        buf_[t & mask_] = v;
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer: attempts to dequeue; returns false when empty.
+    bool
+    try_pop(T& out)
+    {
+        const uint64_t h = head_.load(std::memory_order_relaxed);
+        if (h == tail_cache_) {
+            tail_cache_ = tail_.load(std::memory_order_acquire);
+            if (h == tail_cache_)
+                return false; // genuinely empty
+        }
+        out = buf_[h & mask_];
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// True when no value is queued (either side may probe).
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    /// Capacity in elements (after power-of-two rounding).
+    size_t capacity() const { return mask_ + 1; }
+
+  private:
+    size_t mask_;
+    std::unique_ptr<T[]> buf_;
+    /// Producer cursor (shared) + producer-local cache of head_.
+    alignas(64) std::atomic<uint64_t> tail_{0};
+    uint64_t head_cache_ = 0;
+    /// Consumer cursor (shared) + consumer-local cache of tail_.
+    alignas(64) std::atomic<uint64_t> head_{0};
+    uint64_t tail_cache_ = 0;
+};
+
 /// Heap-backed MsgRing with run-time byte capacity. Same record
 /// format and header protocol as MsgRing (headers in a dedicated
 /// atomic array, publish = release / observe = acquire); the payload

@@ -1121,4 +1121,305 @@ TEST(ProxyRuntime, ScanAllModeStillWorks)
     EXPECT_EQ(dst[7], 8);
 }
 
+// --------------------------------------- pooled wire path / backpressure
+
+TEST(ProxyWirePath, SteadyStateUsesPoolOnly)
+{
+    // Default-sized pools: a realistic PUT/ENQ/GET mix must never
+    // touch the heap (the PR's zero-allocation criterion) and the
+    // ack-coalescing counter must reflect the multi-fragment PUTs.
+    proxy::Node n0(proxy::NodeConfig{.id = 0});
+    proxy::Node n1(proxy::NodeConfig{.id = 1});
+    proxy::Endpoint& a = n0.create_endpoint();
+    proxy::Endpoint& b = n1.create_endpoint();
+    std::vector<uint8_t> remote(64 * 1024, 0);
+    uint16_t seg = b.register_segment(remote.data(), remote.size());
+    proxy::Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    std::vector<uint8_t> src(4096);
+    std::iota(src.begin(), src.end(), 0);
+    proxy::Flag rsync{0};
+    proxy::Flag lsync{0};
+    for (int i = 0; i < 100; ++i) {
+        while (!a.put(src.data(), 1, seg, 0, 4096, nullptr, &rsync))
+            std::this_thread::yield();
+        while (!a.enq(src.data(), 64, 1, b.id()))
+            std::this_thread::yield();
+    }
+    proxy::flag_wait_ge(rsync, 100);
+    std::vector<uint8_t> dst(4096);
+    while (!a.get(dst.data(), 1, seg, 0, 4096, &lsync))
+        std::this_thread::yield();
+    proxy::flag_wait_ge(lsync, 1);
+    EXPECT_EQ(dst, src);
+    std::vector<uint8_t> out;
+    for (int i = 0; i < 100; ++i) {
+        while (!b.try_recv(out))
+            std::this_thread::yield();
+    }
+    n0.stop();
+    n1.stop();
+
+    EXPECT_EQ(n0.stats().pool_misses, 0u);
+    EXPECT_EQ(n1.stats().pool_misses, 0u);
+    EXPECT_GT(n0.stats().pool_hits, 0u);
+    EXPECT_GT(n1.stats().pool_hits, 0u); // GET reply fragments
+    // 100 PUTs x 4 fragments: 3 coalesced acks each; the GET reply
+    // contributes 3 more on node 1.
+    EXPECT_EQ(n0.stats().acks_coalesced, 300u);
+    EXPECT_EQ(n1.stats().acks_coalesced, 3u);
+}
+
+TEST(ProxyWirePath, PoolDisabledFallsBackToHeap)
+{
+    // packet_pool_size = 0: every wire packet is a heap fallback;
+    // data and completion semantics must be unchanged.
+    proxy::Node n0(
+        proxy::NodeConfig{.id = 0, .packet_pool_size = 0});
+    proxy::Node n1(
+        proxy::NodeConfig{.id = 1, .packet_pool_size = 0});
+    proxy::Endpoint& a = n0.create_endpoint();
+    proxy::Endpoint& b = n1.create_endpoint();
+    std::vector<uint8_t> remote(64 * 1024, 0);
+    uint16_t seg = b.register_segment(remote.data(), remote.size());
+    proxy::Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    std::vector<uint8_t> src(65536);
+    std::iota(src.begin(), src.end(), 1);
+    proxy::Flag rsync{0};
+    while (!a.put(src.data(), 1, seg, 0,
+                  static_cast<uint32_t>(src.size()), nullptr, &rsync))
+        std::this_thread::yield();
+    proxy::flag_wait_ge(rsync, 1);
+    n0.stop();
+    n1.stop();
+
+    EXPECT_EQ(remote, src);
+    EXPECT_EQ(rsync.load(), 1u); // one completion for 64 fragments
+    EXPECT_EQ(n0.stats().pool_hits, 0u);
+    EXPECT_EQ(n0.stats().pool_misses, 64u);
+    EXPECT_EQ(n0.stats().acks_coalesced, 63u);
+    EXPECT_EQ(n0.stats().faults, 0u);
+    EXPECT_EQ(n1.stats().faults, 0u);
+}
+
+TEST(ProxyWirePath, UndersizedPoolSpillsToHeapWithoutLoss)
+{
+    // A 4-packet pool against 64-fragment PUTs: constant pool
+    // exhaustion must degrade to heap allocation, never to drops,
+    // deadlock, or duplicated completions.
+    proxy::Node n0(
+        proxy::NodeConfig{.id = 0, .packet_pool_size = 4});
+    proxy::Node n1(
+        proxy::NodeConfig{.id = 1, .packet_pool_size = 4});
+    proxy::Endpoint& a = n0.create_endpoint();
+    proxy::Endpoint& b = n1.create_endpoint();
+    std::vector<uint8_t> remote(64 * 1024, 0);
+    uint16_t seg = b.register_segment(remote.data(), remote.size());
+    proxy::Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    std::vector<uint8_t> src(65536);
+    std::iota(src.begin(), src.end(), 7);
+    proxy::Flag rsync{0};
+    constexpr int kPuts = 8;
+    for (int i = 0; i < kPuts; ++i) {
+        while (!a.put(src.data(), 1, seg, 0,
+                      static_cast<uint32_t>(src.size()), nullptr,
+                      &rsync))
+            std::this_thread::yield();
+    }
+    proxy::flag_wait_ge(rsync, kPuts);
+    n0.stop();
+    n1.stop();
+
+    EXPECT_EQ(remote, src);
+    EXPECT_EQ(rsync.load(), static_cast<uint64_t>(kPuts));
+    EXPECT_GT(n0.stats().pool_misses, 0u);
+    EXPECT_EQ(n0.stats().faults, 0u);
+    EXPECT_EQ(n1.stats().faults, 0u);
+}
+
+TEST(ProxyWirePath, TinyChannelDepthBackpressureNoDeadlock)
+{
+    // channel_depth = 2 forces the full-output-ring deferral path
+    // constantly, in both directions at once, with GETs mixed in so
+    // request packets get deferred while the sender stalls. Nothing
+    // may drop, deadlock, or complete more than exactly once.
+    auto mk = [](int id) {
+        return proxy::NodeConfig{.id = id,
+                                 .channel_depth = 2,
+                                 .packet_pool_size = 8};
+    };
+    proxy::Node n0(mk(0));
+    proxy::Node n1(mk(1));
+    proxy::Endpoint& a = n0.create_endpoint();
+    proxy::Endpoint& b = n1.create_endpoint();
+    constexpr uint32_t kLen = 64 * 1024;
+    std::vector<uint8_t> mem0(kLen, 0), mem1(kLen, 0);
+    uint16_t seg0 = a.register_segment(mem0.data(), kLen);
+    uint16_t seg1 = b.register_segment(mem1.data(), kLen);
+    proxy::Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    constexpr int kPuts = 4;
+    auto side = [](proxy::Endpoint& ep, int dst_node,
+                   uint16_t dst_seg, uint8_t fill) {
+        std::vector<uint8_t> src(kLen, fill);
+        std::vector<uint8_t> got(kLen, 0);
+        proxy::Flag rsync{0}, lsync{0};
+        for (int i = 0; i < kPuts; ++i) {
+            while (!ep.put(src.data(), dst_node, dst_seg, 0, kLen,
+                           nullptr, &rsync))
+                std::this_thread::yield();
+        }
+        while (!ep.get(got.data(), dst_node, dst_seg, 0, kLen, &lsync))
+            std::this_thread::yield();
+        proxy::flag_wait_ge(rsync, kPuts);
+        proxy::flag_wait_ge(lsync, 1);
+        EXPECT_EQ(rsync.load(), static_cast<uint64_t>(kPuts));
+        EXPECT_EQ(lsync.load(), 1u);
+        EXPECT_EQ(got, src); // GET is FIFO-ordered after the PUTs
+    };
+    std::thread t1([&] { side(b, 0, seg0, 0xb1); });
+    side(a, 1, seg1, 0xa0);
+    t1.join();
+    n0.stop();
+    n1.stop();
+
+    EXPECT_EQ(std::vector<uint8_t>(kLen, 0xa0), mem1);
+    EXPECT_EQ(std::vector<uint8_t>(kLen, 0xb1), mem0);
+    EXPECT_EQ(n0.stats().faults, 0u);
+    EXPECT_EQ(n1.stats().faults, 0u);
+    EXPECT_EQ(n0.stats().enq_drops, 0u);
+    EXPECT_EQ(n1.stats().enq_drops, 0u);
+}
+
+TEST(ProxyWirePath, TinyCmdQueueRetryDeliversAllInOrder)
+{
+    // cmd_queue_depth = 2 under a 500-message burst: submissions hit
+    // kQueueFull, the retry loop absorbs them, and the ENQ stream
+    // still arrives complete and in FIFO order.
+    proxy::Node n0(
+        proxy::NodeConfig{.id = 0, .cmd_queue_depth = 2});
+    proxy::Node n1(
+        proxy::NodeConfig{.id = 1, .cmd_queue_depth = 2});
+    proxy::Endpoint& a = n0.create_endpoint();
+    proxy::Endpoint& b = n1.create_endpoint();
+    proxy::Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    constexpr uint32_t kMsgs = 500;
+    std::thread consumer([&] {
+        std::vector<uint8_t> out;
+        for (uint32_t i = 0; i < kMsgs; ++i) {
+            while (!b.try_recv(out))
+                std::this_thread::yield();
+            ASSERT_EQ(out.size(), sizeof(uint32_t));
+            uint32_t v;
+            std::memcpy(&v, out.data(), sizeof(v));
+            ASSERT_EQ(v, i);
+        }
+    });
+    for (uint32_t i = 0; i < kMsgs; ++i) {
+        while (!a.enq(&i, sizeof(i), 1, b.id()))
+            std::this_thread::yield();
+    }
+    consumer.join();
+    n0.stop();
+    n1.stop();
+    EXPECT_EQ(n1.stats().enq_drops, 0u);
+}
+
+TEST(ProxyWirePath, NewCountersSumAcrossProxies)
+{
+    // P=2 with traffic through both proxies: NodeStats must sum
+    // pool_hits/pool_misses/acks_coalesced over the proxies and take
+    // the max of batch_max.
+    proxy::Node n0(
+        proxy::NodeConfig{.id = 0, .num_proxies = 2});
+    proxy::Node n1(
+        proxy::NodeConfig{.id = 1, .num_proxies = 2});
+    proxy::Endpoint& a0 = n0.create_endpoint(); // proxy 0
+    proxy::Endpoint& a1 = n0.create_endpoint(); // proxy 1
+    proxy::Endpoint& b0 = n1.create_endpoint();
+    proxy::Endpoint& b1 = n1.create_endpoint();
+    constexpr uint32_t kLen = 8192;
+    std::vector<uint8_t> m0(kLen), m1(kLen);
+    uint16_t sega = b0.register_segment(m0.data(), kLen); // seg 0
+    uint16_t segb = b1.register_segment(m1.data(), kLen); // seg 1
+    proxy::Node::connect(n0, n1);
+    // Queue commands on both endpoints before start() so the first
+    // drain runs a deep burst (batch_max > 1 on both proxies).
+    std::vector<uint8_t> src(kLen, 0x3c);
+    proxy::Flag rsync{0};
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(a0.put(src.data(), 1, sega, 0, kLen, nullptr,
+                           &rsync));
+        ASSERT_TRUE(a1.put(src.data(), 1, segb, 0, kLen, nullptr,
+                           &rsync));
+    }
+    n0.start();
+    n1.start();
+    proxy::flag_wait_ge(rsync, 8);
+    n0.stop();
+    n1.stop();
+
+    const proxy::ProxyStats& p0 = n0.proxy_stats(0);
+    const proxy::ProxyStats& p1 = n0.proxy_stats(1);
+    proxy::NodeStats total = n0.stats();
+    EXPECT_EQ(total.pool_hits,
+              p0.pool_hits.load() + p1.pool_hits.load());
+    EXPECT_EQ(total.pool_misses,
+              p0.pool_misses.load() + p1.pool_misses.load());
+    EXPECT_EQ(total.acks_coalesced,
+              p0.acks_coalesced.load() + p1.acks_coalesced.load());
+    EXPECT_EQ(total.batch_max,
+              std::max(p0.batch_max.load(), p1.batch_max.load()));
+    // 8 KB = 8 fragments: 7 coalesced acks per PUT, 4 PUTs per proxy.
+    EXPECT_EQ(p0.acks_coalesced.load(), 28u);
+    EXPECT_EQ(p1.acks_coalesced.load(), 28u);
+    EXPECT_EQ(total.pool_misses, 0u);
+    // 4 commands were queued per endpoint before the proxies woke.
+    EXPECT_GE(total.batch_max, 4u);
+    EXPECT_EQ(std::vector<uint8_t>(kLen, 0x3c), m0);
+    EXPECT_EQ(std::vector<uint8_t>(kLen, 0x3c), m1);
+}
+
+TEST(ProxyWirePath, MultiFragmentPutCompletesExactlyOnce)
+{
+    // The coalescing rule: only the final fragment carries the rsync
+    // cookie, so a 10-fragment PUT fires rsync exactly once and
+    // counts exactly 9 saved acks.
+    proxy::Node n0(proxy::NodeConfig{.id = 0});
+    proxy::Node n1(proxy::NodeConfig{.id = 1});
+    proxy::Endpoint& a = n0.create_endpoint();
+    proxy::Endpoint& b = n1.create_endpoint();
+    std::vector<uint8_t> remote(10240, 0);
+    uint16_t seg = b.register_segment(remote.data(), remote.size());
+    proxy::Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    std::vector<uint8_t> src(10240);
+    std::iota(src.begin(), src.end(), 3);
+    proxy::Flag rsync{0};
+    ASSERT_TRUE(a.put(src.data(), 1, seg, 0,
+                      static_cast<uint32_t>(src.size()), nullptr,
+                      &rsync));
+    proxy::flag_wait_ge(rsync, 1);
+    n0.stop();
+    n1.stop();
+    EXPECT_EQ(rsync.load(), 1u);
+    EXPECT_EQ(remote, src);
+    EXPECT_EQ(n0.stats().acks_coalesced, 9u);
+}
+
 } // namespace

@@ -136,6 +136,76 @@ TEST(MsgRingEdge, ManyLapsPreserveFifoAndContent)
 
 // ------------------------------------------------ two-thread stress
 
+// ------------------------------------------------------- DynPtrRing
+
+TEST(DynPtrRing, SingleThreadFifoAndCapacity)
+{
+    spsc::DynPtrRing<uint64_t*> r(5); // rounds up to 8
+    EXPECT_EQ(r.capacity(), 8u);
+    EXPECT_TRUE(r.empty());
+    uint64_t slots[8];
+    for (auto& s : slots)
+        EXPECT_TRUE(r.try_push(&s));
+    EXPECT_FALSE(r.try_push(slots)); // full at capacity
+    uint64_t* out = nullptr;
+    for (auto& s : slots) {
+        ASSERT_TRUE(r.try_pop(out));
+        EXPECT_EQ(out, &s);
+    }
+    EXPECT_FALSE(r.try_pop(out));
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(DynPtrRing, WrapsAroundManyLaps)
+{
+    spsc::DynPtrRing<uintptr_t> r(4);
+    uintptr_t out;
+    for (uintptr_t i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(r.try_push(i));
+        ASSERT_TRUE(r.try_push(i + 1000000));
+        ASSERT_TRUE(r.try_pop(out));
+        EXPECT_EQ(out, i);
+        ASSERT_TRUE(r.try_pop(out));
+        EXPECT_EQ(out, i + 1000000);
+    }
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(DynPtrRing, MinimumCapacityIsTwo)
+{
+    spsc::DynPtrRing<int*> r(0);
+    EXPECT_EQ(r.capacity(), 2u);
+    int a = 0, b = 0;
+    EXPECT_TRUE(r.try_push(&a));
+    EXPECT_TRUE(r.try_push(&b));
+    EXPECT_FALSE(r.try_push(&a));
+    int* out;
+    EXPECT_TRUE(r.try_pop(out));
+    EXPECT_EQ(out, &a);
+}
+
+TEST(SpscStress, DynPtrRingMillionOps)
+{
+    // Two threads stream 1M distinct pointer values through a small
+    // ring: the TSan workload for the cached-index Lamport protocol.
+    constexpr uintptr_t kOps = 1'000'000;
+    spsc::DynPtrRing<uintptr_t> r(64);
+    std::thread producer([&] {
+        for (uintptr_t i = 1; i <= kOps; ++i) {
+            while (!r.try_push(i * 8))
+                std::this_thread::yield();
+        }
+    });
+    uintptr_t out = 0;
+    for (uintptr_t i = 1; i <= kOps; ++i) {
+        while (!r.try_pop(out))
+            std::this_thread::yield();
+        ASSERT_EQ(out, i * 8);
+    }
+    producer.join();
+    EXPECT_TRUE(r.empty());
+}
+
 TEST(SpscStress, RingQueueMillionOps)
 {
     // >= 1M push + 1M pop ops through a small ring, checking strict

@@ -18,7 +18,13 @@
 #   bench-smoke  builds the bench binaries and runs the multi-proxy
 #              ablation + real-runtime scaling sweeps with tiny
 #              iteration counts, so bench bit-rot shows up in the
-#              matrix without paying for full benchmark runs
+#              matrix without paying for full benchmark runs; also
+#              asserts the steady-state zero-allocation invariant
+#              (POOL_MISSES_TOTAL=0 from the scaling sweep)
+#   perf       full runs of bench_runtime_micro + bench_runtime_scaling
+#              and a delta report of the freshly written
+#              BENCH_runtime.json against the committed snapshot
+#              (positive latency delta = slower than committed)
 #
 # Each mode configures its own build tree (build-<mode>/, except
 # plain which uses build/), so modes never contaminate each other.
@@ -86,10 +92,53 @@ for mode in "${MODES[@]}"; do
         cmake --build build -j "$JOBS" --target \
             bench_ablation_multi_proxy bench_runtime_scaling
         (cd build/bench && ./bench_ablation_multi_proxy --quick)
-        (cd build/bench && ./bench_runtime_scaling --quick)
+        scaling_out=$( (cd build/bench && ./bench_runtime_scaling --quick) | tee /dev/stderr )
+        # Steady-state zero-allocation gate: the pooled wire path
+        # must serve every packet of the sweep without heap fallback.
+        if ! grep -q '^POOL_MISSES_TOTAL=0$' <<<"$scaling_out"; then
+            echo "bench-smoke: pool misses detected (expected POOL_MISSES_TOTAL=0):" >&2
+            grep '^POOL_MISSES_TOTAL=' <<<"$scaling_out" >&2 || true
+            exit 1
+        fi
+        ;;
+      perf)
+        banner "runtime benches + delta vs committed BENCH_runtime.json"
+        cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+        cmake --build build -j "$JOBS" --target \
+            bench_runtime_micro bench_runtime_scaling
+        committed=$(mktemp)
+        if ! git show HEAD:BENCH_runtime.json >"$committed" 2>/dev/null; then
+            echo "no committed BENCH_runtime.json; writing first snapshot only"
+            committed=""
+        fi
+        (cd build/bench && ./bench_runtime_micro --benchmark_min_time=0.3)
+        (cd build/bench && ./bench_runtime_scaling)
+        if [ -n "$committed" ]; then
+            banner "perf delta (new vs committed; latency: + = slower)"
+            awk -F'"' '
+                /"bench"/ {
+                    p = $0;   sub(/.*"P":/, "", p);          sub(/,.*/, "", p)
+                    lat = $0; sub(/.*"latency_ns":/, "", lat); sub(/,.*/, "", lat)
+                    key = $4 "/" $8 "/P" p
+                    if (FILENAME == ARGV[1]) base_lat[key] = lat
+                    else new_lat[key] = lat
+                }
+                END {
+                    printf "%-40s %12s %12s %8s\n", "bench/op/P", "old ns", "new ns", "delta"
+                    for (k in new_lat) {
+                        if (k in base_lat && base_lat[k] > 0) {
+                            d = (new_lat[k] - base_lat[k]) / base_lat[k] * 100
+                            printf "%-40s %12.1f %12.1f %+7.1f%%\n", k, base_lat[k], new_lat[k], d
+                        } else {
+                            printf "%-40s %12s %12.1f %8s\n", k, "-", new_lat[k], "new"
+                        }
+                    }
+                }' "$committed" BENCH_runtime.json | sort
+            rm -f "$committed"
+        fi
         ;;
       *)
-        echo "unknown mode: $mode (expected plain|tsan|asan|ownership|tidy|bench-smoke)" >&2
+        echo "unknown mode: $mode (expected plain|tsan|asan|ownership|tidy|bench-smoke|perf)" >&2
         exit 2
         ;;
     esac
