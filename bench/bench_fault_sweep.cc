@@ -1,0 +1,186 @@
+/// \file
+/// Reliability-overhead sweep: goodput of the reliable PUT path as a
+/// function of injected drop rate (ISSUE 4). Two nodes x two proxy
+/// threads move 4 KB blocks under a seeded net::FaultyChannel plan;
+/// the go-back-N layer retransmits until every block lands, so the
+/// measured quantity is *goodput* — delivered bytes over wall time,
+/// retransmissions excluded. The r=0 row doubles as the reliability
+/// tax on a clean fabric (compare put_sat4k in BENCH_runtime.json).
+///
+/// Emits results/bench_fault_sweep.csv (repo root baked in via
+/// MSGPROXY_REPO_ROOT) and merges a "fault" section into
+/// BENCH_runtime.json keyed by the drop percentage. `--quick` shrinks
+/// the per-point block count for tools/check.sh bench-smoke.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "proxy/runtime.h"
+#include "util/table.h"
+
+namespace {
+
+struct Point
+{
+    double elapsed_s = 0.0;
+    uint64_t bytes = 0;
+    uint64_t rexmit = 0;
+    uint64_t dropped = 0;
+    uint64_t pkt_leaks = 0;
+};
+
+proxy::NodeConfig
+sweep_config(int id, double drop_rate)
+{
+    proxy::NodeConfig c;
+    c.id = id;
+    c.num_proxies = 2;
+    // Recovery tuned for a deliberately lossy wire: short base RTO,
+    // tight cap, effectively unlimited retries (the sweep measures
+    // throughput degradation, not failover).
+    c.reliability.window = 64;
+    c.reliability.ack_every = 8;
+    c.reliability.rto_ns = 100 * 1000;
+    c.reliability.rto_max_ns = 2 * 1000 * 1000;
+    c.reliability.max_retries = 1000000;
+    c.fault_plan.seed = 42 + static_cast<uint64_t>(id);
+    c.fault_plan.drop = drop_rate;
+    return c;
+}
+
+Point
+run_put_sweep(double drop_rate, int puts_per_ep)
+{
+    constexpr int kEps = 4;
+    constexpr uint32_t kBlock = 4096;
+    constexpr uint64_t kWindow = 8;
+
+    proxy::Node n0(sweep_config(0, drop_rate));
+    proxy::Node n1(sweep_config(1, drop_rate));
+    std::vector<proxy::Endpoint*> src, dst;
+    std::vector<std::vector<uint8_t>> remote(
+        kEps, std::vector<uint8_t>(kBlock));
+    std::vector<uint16_t> segs(kEps);
+    for (int i = 0; i < kEps; ++i) {
+        src.push_back(&n0.create_endpoint());
+        dst.push_back(&n1.create_endpoint());
+        segs[static_cast<size_t>(i)] = dst.back()->register_segment(
+            remote[static_cast<size_t>(i)].data(), kBlock);
+    }
+    proxy::Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<proxy::Flag> rsync(kEps);
+    for (int m = 0; m < puts_per_ep; ++m) {
+        for (int i = 0; i < kEps; ++i) {
+            auto& f = rsync[static_cast<size_t>(i)];
+            while (!src[static_cast<size_t>(i)]->put(
+                remote[static_cast<size_t>(i)].data(), 1,
+                segs[static_cast<size_t>(i)], 0, kBlock, nullptr,
+                &f)) {
+                std::this_thread::yield();
+            }
+            if (static_cast<uint64_t>(m) >= kWindow)
+                proxy::flag_wait_ge(
+                    f, static_cast<uint64_t>(m) + 1 - kWindow);
+        }
+    }
+    for (int i = 0; i < kEps; ++i)
+        proxy::flag_wait_ge(rsync[static_cast<size_t>(i)],
+                            static_cast<uint64_t>(puts_per_ep));
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Quiesce before teardown: flag completion only means the PUTs
+    // landed — retained window copies waiting on the final cumulative
+    // ACK and standalone ACKs still in rings are legitimate transient
+    // custody. The leak gate holds only once both pools balance.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+        const proxy::NodeStats a = n0.stats();
+        const proxy::NodeStats b = n1.stats();
+        if (a.pool_hits + b.pool_hits ==
+                a.pool_returns + b.pool_returns &&
+            a.pool_misses + b.pool_misses ==
+                a.heap_frees + b.heap_frees)
+            break;
+        if (std::chrono::steady_clock::now() > deadline)
+            break; // report the imbalance below instead of hanging
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    n0.stop();
+    n1.stop();
+    Point p;
+    p.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+    p.bytes = static_cast<uint64_t>(kEps) *
+              static_cast<uint64_t>(puts_per_ep) * kBlock;
+    const proxy::NodeStats s0 = n0.stats();
+    const proxy::NodeStats s1 = n1.stats();
+    p.rexmit = s0.pkts_retransmitted + s1.pkts_retransmitted;
+    p.dropped = s0.pkts_dropped + s1.pkts_dropped;
+    p.pkt_leaks =
+        (s0.pool_hits + s1.pool_hits -
+         (s0.pool_returns + s1.pool_returns)) +
+        (s0.pool_misses + s1.pool_misses -
+         (s0.heap_frees + s1.heap_frees));
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--quick")
+            quick = true;
+    }
+    const int puts_per_ep = quick ? 100 : 2000;
+
+    mp::TablePrinter t(
+        "Reliable-PUT goodput vs injected drop rate: 2 nodes x 2 "
+        "proxies, 4 endpoints, 4 KB blocks, window 8, go-back-N "
+        "(window 64, ack every 8, RTO 100 us..2 ms). Goodput counts "
+        "delivered payload only; retransmissions show up as time.");
+    t.set_header({"drop %", "goodput MB/s", "rexmit", "pkts dropped",
+                  "pkt leaks"});
+    std::vector<benchjson::Record> recs;
+    uint64_t leaks_total = 0;
+    for (double rate : {0.0, 0.01, 0.05, 0.10, 0.20, 0.50}) {
+        Point p = run_put_sweep(rate, puts_per_ep);
+        const double mbps = p.bytes / p.elapsed_s / 1e6;
+        const double blocks_s = p.bytes / 4096.0 / p.elapsed_s;
+        leaks_total += p.pkt_leaks;
+        t.add_row({mp::TablePrinter::num(rate * 100, 1),
+                   mp::TablePrinter::num(mbps, 1),
+                   std::to_string(p.rexmit),
+                   std::to_string(p.dropped),
+                   std::to_string(p.pkt_leaks)});
+        // Keyed by drop percentage in the P column: ns per 4 KB
+        // block and blocks/s at that loss rate.
+        recs.push_back(benchjson::Record{
+            "put4k_goodput", static_cast<int>(rate * 100 + 0.5),
+            1e9 / blocks_s, blocks_s});
+    }
+    t.print();
+#ifdef MSGPROXY_REPO_ROOT
+    t.write_csv(std::string(MSGPROXY_REPO_ROOT) +
+                "/results/bench_fault_sweep.csv");
+#else
+    t.write_csv("bench_fault_sweep.csv");
+#endif
+    // Same custody gate as the scaling bench, summed over the sweep.
+    std::printf("PKT_LEAKS_TOTAL=%llu\n",
+                static_cast<unsigned long long>(leaks_total));
+    if (!quick)
+        benchjson::write("fault", recs);
+    return 0;
+}

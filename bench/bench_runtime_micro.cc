@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -68,11 +69,23 @@ BM_MsgRingPushPop(benchmark::State& state)
 BENCHMARK(BM_MsgRingPushPop)->Arg(16)->Arg(256)->Arg(2048);
 
 /// Shared two-node fixture for the end-to-end benchmarks.
+/// MSGPROXY_RELIABILITY=0 in the environment disables the go-back-N
+/// layer for an A/B measurement of the reliability tax on a clean
+/// fabric (EXPERIMENTS.md); point MSGPROXY_BENCH_JSON elsewhere for
+/// the off-run so it does not clobber the trajectory snapshot.
 struct Pair
 {
-    explicit Pair(int P = 1)
-        : n0(proxy::NodeConfig{.id = 0, .num_proxies = P}),
-          n1(proxy::NodeConfig{.id = 1, .num_proxies = P})
+    static proxy::NodeConfig
+    cfg(int id, int P)
+    {
+        proxy::NodeConfig c{.id = id, .num_proxies = P};
+        if (const char* e = std::getenv("MSGPROXY_RELIABILITY"))
+            if (e[0] == '0')
+                c.reliability.enabled = false;
+        return c;
+    }
+
+    explicit Pair(int P = 1) : n0(cfg(0, P)), n1(cfg(1, P))
     {
         ep0 = &n0.create_endpoint();
         ep1 = &n1.create_endpoint();

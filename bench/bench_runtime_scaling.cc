@@ -26,14 +26,48 @@ struct Result
     uint64_t drops = 0;
     uint64_t pool_hits = 0;   // both nodes
     uint64_t pool_misses = 0; // both nodes (0 in steady state)
+    uint64_t pkt_leaks = 0;   // unreturned packets after teardown
 };
 
-/// Sums the packet-pool counters of both nodes into `r`.
+/// Waits (bounded) until both nodes' pools balance. Completion of the
+/// workload does not mean custody has converged: retained go-back-N
+/// window copies await the final cumulative ACK and standalone ACK
+/// packets may still sit in rings. Collecting before this converges
+/// would misreport legitimate transient custody as a leak.
+void
+quiesce_pools(const proxy::Node& a, const proxy::Node& b)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+        const proxy::NodeStats sa = a.stats();
+        const proxy::NodeStats sb = b.stats();
+        if (sa.pool_hits + sb.pool_hits ==
+                sa.pool_returns + sb.pool_returns &&
+            sa.pool_misses + sb.pool_misses ==
+                sa.heap_frees + sb.heap_frees)
+            return;
+        if (std::chrono::steady_clock::now() > deadline)
+            return; // let collect_pool report the imbalance
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+/// Sums the packet-pool counters of both nodes into `r`. Call after
+/// quiesce_pools() + stop(): every pooled packet must be back in its
+/// slab and every heap-fallback packet freed, so any imbalance is a
+/// leak.
 void
 collect_pool(Result& r, const proxy::Node& a, const proxy::Node& b)
 {
-    r.pool_hits = a.stats().pool_hits + b.stats().pool_hits;
-    r.pool_misses = a.stats().pool_misses + b.stats().pool_misses;
+    const proxy::NodeStats sa = a.stats();
+    const proxy::NodeStats sb = b.stats();
+    r.pool_hits = sa.pool_hits + sb.pool_hits;
+    r.pool_misses = sa.pool_misses + sb.pool_misses;
+    r.pkt_leaks = (sa.pool_hits + sb.pool_hits -
+                   (sa.pool_returns + sb.pool_returns)) +
+                  (sa.pool_misses + sb.pool_misses -
+                   (sa.heap_frees + sb.heap_frees));
 }
 
 /// Saturating ENQ: `threads` producer threads each drive
@@ -105,6 +139,7 @@ run_enq(int num_proxies, int msgs_per_ep)
     r.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
     r.items = received;
     r.drops = n1.stats().enq_drops;
+    quiesce_pools(n0, n1);
     n0.stop();
     n1.stop();
     collect_pool(r, n0, n1);
@@ -180,6 +215,7 @@ run_put(int num_proxies, int puts_per_ep)
     r.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
     r.items = static_cast<uint64_t>(kEps) *
               static_cast<uint64_t>(puts_per_ep) * kBlock;
+    quiesce_pools(n0, n1);
     n0.stop();
     n1.stop();
     collect_pool(r, n0, n1);
@@ -210,6 +246,7 @@ main(int argc, char** argv)
                   "PUT MB/s", "pool hits", "pool misses"});
     std::vector<benchjson::Record> recs;
     uint64_t pool_misses_total = 0;
+    uint64_t pkt_leaks_total = 0;
     for (int p : {1, 2, 4}) {
         Result enq = run_enq(p, msgs_per_ep);
         Result put = run_put(p, puts_per_ep);
@@ -217,6 +254,7 @@ main(int argc, char** argv)
         const double put_blocks =
             put.items / 4096.0 / put.elapsed_s; // 4 KB blocks/s
         pool_misses_total += enq.pool_misses + put.pool_misses;
+        pkt_leaks_total += enq.pkt_leaks + put.pkt_leaks;
         t.add_row({std::to_string(p),
                    mp::TablePrinter::num(enq_rate / 1e3, 1),
                    std::to_string(enq.drops),
@@ -238,6 +276,12 @@ main(int argc, char** argv)
     // from the pools.
     std::printf("POOL_MISSES_TOTAL=%llu\n",
                 static_cast<unsigned long long>(pool_misses_total));
+    // Custody-leak gate (same consumer): after teardown every packet
+    // checked out of a pool must be back (pool_hits == pool_returns)
+    // and every heap fallback freed (pool_misses == heap_frees) — a
+    // nonzero count means the wire path lost custody of a packet.
+    std::printf("PKT_LEAKS_TOTAL=%llu\n",
+                static_cast<unsigned long long>(pkt_leaks_total));
     if (!quick) {
         // Quick (smoke) runs are too noisy to commit as trajectory.
         benchjson::write("runtime_scaling", recs);

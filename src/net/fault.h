@@ -1,0 +1,290 @@
+/// \file
+/// Deterministic fault injection for the inter-node wire path.
+///
+/// The paper assumes a lossless SP-switch fabric; the proxy runtime's
+/// reliability layer (net/reliable.h, wired into proxy::Node) exists
+/// precisely because real interconnects are not. To prove the layer
+/// works, tests need faults they can reproduce bit-for-bit: every
+/// injector here draws from the repo's deterministic xoshiro256**
+/// generator, seeded from a user seed salted per channel, so a chaos
+/// run at seed S replays the exact same drop/duplicate/reorder/
+/// corrupt schedule on every host and build mode.
+///
+/// Two entry points:
+///  - FaultInjector: the per-channel decision engine the proxy
+///    runtime consults on every outbound packet (the proxy performs
+///    the packet cloning/stashing itself because duplicated and
+///    corrupted copies must come from its packet pool).
+///  - FaultyChannel: a self-contained lossy wrapper over any SPSC
+///    ring of copyable values, used by the protocol property tests to
+///    model-check the sender/receiver state machines without threads.
+
+#ifndef MSGPROXY_NET_FAULT_H
+#define MSGPROXY_NET_FAULT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace net {
+
+/// Per-channel fault rates. All rates are independent probabilities
+/// in [0, 1] evaluated once per offered packet, in the order drop,
+/// duplicate, reorder, corrupt (a packet suffers at most one fault).
+/// Defaults to the lossless fabric (all zero, injector disabled).
+///
+/// Injected via proxy::NodeConfig::fault_plan: the plan applies to
+/// every inter-node channel the node's proxies produce, each with its
+/// own PRNG stream (seed salted by node, proxy and channel), so two
+/// channels never share a fault schedule but a full run is still one
+/// seed away from reproduction.
+struct FaultPlan
+{
+    uint64_t seed = 1;
+    double drop = 0.0;      ///< packet vanishes in transit
+    double duplicate = 0.0; ///< packet arrives twice
+    double reorder = 0.0;   ///< packet overtaken by later traffic
+    double corrupt = 0.0;   ///< packet arrives with flipped header bits
+    /// Reorder hold: a reordered packet is released after 1..depth
+    /// subsequent service ticks of its channel.
+    uint32_t reorder_depth = 4;
+
+    /// True when any fault rate is nonzero.
+    bool
+    enabled() const
+    {
+        return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
+               corrupt > 0.0;
+    }
+};
+
+/// What the injector decided for one offered packet.
+enum class FaultAction : uint8_t {
+    kDeliver,
+    kDrop,
+    kDuplicate,
+    kReorder,
+    kCorrupt
+};
+
+/// Human-readable action name (tests and failure logs).
+inline const char*
+fault_action_name(FaultAction a)
+{
+    switch (a) {
+      case FaultAction::kDeliver: return "deliver";
+      case FaultAction::kDrop: return "drop";
+      case FaultAction::kDuplicate: return "duplicate";
+      case FaultAction::kReorder: return "reorder";
+      case FaultAction::kCorrupt: return "corrupt";
+    }
+    return "<invalid>";
+}
+
+/// Per-channel fault decision engine. Single-threaded: owned and
+/// consulted only by the sending side of one channel.
+class FaultInjector
+{
+  public:
+    /// Disabled injector (every packet delivers).
+    FaultInjector() : rng_(0) {}
+
+    /// Engine for one channel: `salt` decorrelates channels sharing
+    /// one plan (use a stable channel identity, e.g. node/proxy ids).
+    FaultInjector(const FaultPlan& plan, uint64_t salt)
+        : plan_(plan),
+          rng_(plan.seed * 0x9e3779b97f4a7c15ull ^ salt)
+    {
+    }
+
+    bool enabled() const { return plan_.enabled(); }
+
+    const FaultPlan& plan() const { return plan_; }
+
+    /// Draws the fate of the next offered packet.
+    FaultAction
+    next()
+    {
+        if (!enabled())
+            return FaultAction::kDeliver;
+        const double u = rng_.next_double();
+        double edge = plan_.drop;
+        if (u < edge)
+            return FaultAction::kDrop;
+        edge += plan_.duplicate;
+        if (u < edge)
+            return FaultAction::kDuplicate;
+        edge += plan_.reorder;
+        if (u < edge)
+            return FaultAction::kReorder;
+        edge += plan_.corrupt;
+        if (u < edge)
+            return FaultAction::kCorrupt;
+        return FaultAction::kDeliver;
+    }
+
+    /// Uniform integer in [0, bound) from the channel's stream, for
+    /// picking corrupted bits and reorder delays.
+    uint64_t
+    rand_below(uint64_t bound)
+    {
+        return rng_.next_below(bound);
+    }
+
+    /// Reorder hold duration for a freshly stashed packet: 1..depth
+    /// service ticks.
+    uint32_t
+    reorder_delay()
+    {
+        return 1 + static_cast<uint32_t>(
+                       rng_.next_below(plan_.reorder_depth));
+    }
+
+  private:
+    FaultPlan plan_{};
+    mp::Rng rng_;
+};
+
+/// A lossy wrapper around an SPSC ring of copyable values: the
+/// `net::FaultyChannel` the protocol tests place between a model
+/// sender and receiver. Push-side only — the consumer keeps popping
+/// the underlying ring directly, so the wrapper stays single-threaded
+/// with the producer and every fault decision is deterministic in
+/// program order.
+///
+/// `Ring` needs bool try_push(T). Corruption is delegated to a caller
+/// functor because only the caller knows which bits are covered by
+/// its checksum.
+template <typename T, typename Ring>
+class FaultyChannel
+{
+  public:
+    /// Counters of the faults actually applied.
+    struct Stats
+    {
+        uint64_t offered = 0;
+        uint64_t dropped = 0;
+        uint64_t duplicated = 0;
+        uint64_t reordered = 0;
+        uint64_t corrupted = 0;
+    };
+
+    FaultyChannel(Ring& ring, const FaultPlan& plan, uint64_t salt = 0)
+        : ring_(ring), inj_(plan, salt)
+    {
+    }
+
+    /// Offers one value; applies the injector's decision. `corrupt`
+    /// mutates the delivered copy when the corrupt fault fires.
+    /// Returns false when the underlying ring rejected a delivery
+    /// (ring full — the value is lost, like a switch with no buffer).
+    template <typename CorruptFn>
+    bool
+    send(T v, CorruptFn&& corrupt)
+    {
+        ++stats_.offered;
+        bool ok = true;
+        switch (inj_.next()) {
+          case FaultAction::kDrop:
+            ++stats_.dropped;
+            break;
+          case FaultAction::kDuplicate:
+            ++stats_.duplicated;
+            ok = ring_.try_push(v) && ring_.try_push(std::move(v));
+            break;
+          case FaultAction::kReorder:
+            ++stats_.reordered;
+            stash_.push_back(
+                Held{std::move(v), inj_.reorder_delay()});
+            break;
+          case FaultAction::kCorrupt: {
+            ++stats_.corrupted;
+            corrupt(v);
+            ok = ring_.try_push(std::move(v));
+            break;
+          }
+          case FaultAction::kDeliver:
+            ok = ring_.try_push(std::move(v));
+            break;
+        }
+        return tick() && ok;
+    }
+
+    /// send() without a checksum model: corruption degrades to drop.
+    bool
+    send(T v)
+    {
+        ++stats_.offered;
+        switch (inj_.next()) {
+          case FaultAction::kDrop:
+          case FaultAction::kCorrupt:
+            ++stats_.dropped;
+            return tick();
+          case FaultAction::kDuplicate:
+            ++stats_.duplicated;
+            return ring_.try_push(v) && ring_.try_push(std::move(v)) &&
+                   tick();
+          case FaultAction::kReorder:
+            ++stats_.reordered;
+            stash_.push_back(Held{std::move(v), inj_.reorder_delay()});
+            return tick();
+          case FaultAction::kDeliver:
+            break;
+        }
+        return ring_.try_push(std::move(v)) && tick();
+    }
+
+    /// Ages the reorder stash one service tick, releasing due values
+    /// (also called by every send). Returns false on a failed release
+    /// push.
+    bool
+    tick()
+    {
+        bool ok = true;
+        for (size_t i = 0; i < stash_.size();) {
+            if (--stash_[i].delay == 0) {
+                ok = ring_.try_push(std::move(stash_[i].v)) && ok;
+                stash_[i] = std::move(stash_.back());
+                stash_.pop_back();
+            } else {
+                ++i;
+            }
+        }
+        return ok;
+    }
+
+    /// Releases everything still stashed (end of a schedule).
+    bool
+    flush()
+    {
+        bool ok = true;
+        while (!stash_.empty()) {
+            ok = ring_.try_push(std::move(stash_.back().v)) && ok;
+            stash_.pop_back();
+        }
+        return ok;
+    }
+
+    size_t stashed() const { return stash_.size(); }
+
+    const Stats& stats() const { return stats_; }
+
+  private:
+    struct Held
+    {
+        T v;
+        uint32_t delay;
+    };
+
+    Ring& ring_;
+    FaultInjector inj_;
+    std::vector<Held> stash_;
+    Stats stats_{};
+};
+
+} // namespace net
+
+#endif // MSGPROXY_NET_FAULT_H

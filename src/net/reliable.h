@@ -1,0 +1,265 @@
+/// \file
+/// The reliability layer of the inter-node wire protocol: per-link
+/// sequencing, cumulative acknowledgement, go-back-N retransmission
+/// with exponential backoff, and the header checksum.
+///
+/// The state machines are deliberately decoupled from the proxy
+/// runtime: a SenderWindow tracks (seq -> opaque Handle) plus timing,
+/// a ReceiverSeq classifies arriving sequence numbers, and neither
+/// touches packets, rings or clocks directly. proxy::Node embeds one
+/// pair per (sending proxy, receiving proxy) link and keeps custody
+/// of the actual pooled packets; the property tests drive the same
+/// machines single-threaded through a net::FaultyChannel with a fake
+/// clock, which is what makes the protocol model-checkable.
+///
+/// Protocol summary (see DESIGN.md "reliability layer"):
+///  - every data packet on a link carries seq (1-based, per link,
+///    FIFO), a piggybacked cumulative ack for the reverse direction,
+///    and a header checksum;
+///  - the receiver delivers seq == next expected, re-acks duplicates
+///    (seq below), and drops reordered/gapped packets (seq above) —
+///    go-back-N keeps the receiver stateless beyond one counter;
+///  - the sender retains every unacked packet, retransmits the whole
+///    eligible window when the RTO expires, doubles the RTO per
+///    consecutive timeout, and declares the peer unreachable after
+///    max_retries consecutive timeouts without progress.
+
+#ifndef MSGPROXY_NET_RELIABLE_H
+#define MSGPROXY_NET_RELIABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+
+namespace net {
+
+/// Tuning knobs of the reliability layer (proxy::NodeConfig embeds
+/// one; both ends of a connection must agree on `enabled`).
+struct ReliabilityParams
+{
+    /// Master switch. Disabled: packets go out raw (no seq, no
+    /// retention, no retransmit) and arriving checksums are still
+    /// verified but losses are permanent — the lossless-fabric
+    /// assumption of the paper, kept for ablation and for the
+    /// single-drop regression test.
+    bool enabled = true;
+    /// Max unacked packets per link; a full window backpressures the
+    /// sending proxy. Keep window * active links <= packet pool, or
+    /// retention spills sends to the heap.
+    uint32_t window = 256;
+    /// Receiver emits a standalone ack after this many unacked
+    /// in-order deliveries (piggybacked acks ride out earlier for
+    /// free on any reverse traffic).
+    uint32_t ack_every = 32;
+    /// Receiver also flushes pending acks after this many consecutive
+    /// idle polls of its proxy loop, bounding ack latency (and thus
+    /// sender-window residency) when reverse traffic stops.
+    uint32_t ack_idle_polls = 64;
+    /// Base retransmission timeout and its exponential-backoff cap.
+    uint64_t rto_ns = 200 * 1000;
+    uint64_t rto_max_ns = 10 * 1000 * 1000;
+    /// Consecutive timeouts without ack progress before the peer is
+    /// declared unreachable (SubmitStatus::kPeerUnreachable).
+    uint32_t max_retries = 30;
+};
+
+/// Header checksum: folds the listed 64-bit field words with a
+/// splitmix64-style mixer. Not cryptographic — it exists to catch
+/// transit corruption, and a single flipped bit anywhere in the
+/// folded words flips the result with overwhelming probability.
+inline uint32_t
+crc_fields(std::initializer_list<uint64_t> words)
+{
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (uint64_t w : words) {
+        h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 27;
+    }
+    h *= 0x94d049bb133111ebull;
+    return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+/// Sender half of one directed link: seq assignment, the unacked
+/// window (seq -> Handle), RTO bookkeeping. `Handle` is whatever the
+/// embedder retains per packet (the proxy uses its PacketRef; the
+/// model tests use ints). Time is an opaque monotonic nanosecond
+/// count supplied by the caller.
+template <typename Handle>
+class SenderWindow
+{
+  public:
+    explicit SenderWindow(const ReliabilityParams& p) : p_(p) {}
+
+    /// True when the window holds no unacked packets.
+    bool empty() const { return entries_.empty(); }
+
+    size_t size() const { return entries_.size(); }
+
+    /// True when another send must wait for ack progress.
+    bool full() const { return entries_.size() >= p_.window; }
+
+    /// Records a fresh send: assigns and returns the next sequence
+    /// number, retains `h`, and arms the RTO if the window was empty.
+    uint64_t
+    send(Handle h, uint64_t now)
+    {
+        if (entries_.empty()) {
+            rto_cur_ = p_.rto_ns;
+            deadline_ = now + rto_cur_;
+        }
+        entries_.push_back(Entry{next_seq_, h});
+        return next_seq_++;
+    }
+
+    /// Applies a cumulative ack: releases every retained handle with
+    /// seq <= ack through `release(Handle)`. Progress re-arms the RTO
+    /// at its base value and clears the retry count.
+    template <typename F>
+    void
+    on_ack(uint64_t ack, uint64_t now, F&& release)
+    {
+        bool progressed = false;
+        while (!entries_.empty() && entries_.front().seq <= ack) {
+            release(entries_.front().h);
+            entries_.pop_front();
+            progressed = true;
+        }
+        if (progressed) {
+            retries_ = 0;
+            rto_cur_ = p_.rto_ns;
+            deadline_ = now + rto_cur_;
+        }
+    }
+
+    /// True when the oldest unacked packet's RTO expired.
+    bool
+    timeout_due(uint64_t now) const
+    {
+        return !entries_.empty() && now >= deadline_;
+    }
+
+    /// One timeout event: walks the window oldest-first through
+    /// `each(seq, Handle&)` so the embedder can retransmit what it
+    /// has custody of, then doubles the RTO (capped) and counts the
+    /// retry. Call only when timeout_due().
+    template <typename F>
+    void
+    on_timeout(uint64_t now, F&& each)
+    {
+        for (Entry& e : entries_)
+            each(e.seq, e.h);
+        ++retries_;
+        rto_cur_ = rto_cur_ * 2 > p_.rto_max_ns ? p_.rto_max_ns
+                                                : rto_cur_ * 2;
+        deadline_ = now + rto_cur_;
+    }
+
+    /// True once max_retries consecutive timeouts elapsed with no ack
+    /// progress: the peer is unreachable.
+    bool exhausted() const { return retries_ > p_.max_retries; }
+
+    /// Consecutive timeouts since the last ack progress.
+    uint32_t retries() const { return retries_; }
+
+    /// Current (backed-off) RTO, for tests.
+    uint64_t rto() const { return rto_cur_; }
+
+    /// Abandons the window (peer declared dead): releases every
+    /// retained handle through `release(Handle)`.
+    template <typename F>
+    void
+    abandon(F&& release)
+    {
+        for (Entry& e : entries_)
+            release(e.h);
+        entries_.clear();
+    }
+
+    /// Highest sequence number assigned so far (0: none).
+    uint64_t highest_sent() const { return next_seq_ - 1; }
+
+    /// Oldest unacked sequence number (0: window empty). Diagnostic:
+    /// a receiver expecting something below this has lost a packet
+    /// the sender no longer retains — an ack-protocol bug.
+    uint64_t
+    oldest_unacked() const
+    {
+        return entries_.empty() ? 0 : entries_.front().seq;
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t seq;
+        Handle h;
+    };
+
+    ReliabilityParams p_;
+    std::deque<Entry> entries_;
+    uint64_t next_seq_ = 1;
+    uint64_t rto_cur_ = 0;
+    uint64_t deadline_ = 0;
+    uint32_t retries_ = 0;
+};
+
+/// Receiver half of one directed link: classifies arriving sequence
+/// numbers and tracks what acknowledgement is owed.
+class ReceiverSeq
+{
+  public:
+    enum class Verdict : uint8_t {
+        kDeliver,   ///< in order: hand the packet to the runtime
+        kDuplicate, ///< already delivered: drop, but re-ack
+        kGap        ///< beyond the expected seq: drop (go-back-N)
+    };
+
+    /// Classifies seq and advances the expected counter on delivery.
+    Verdict
+    accept(uint64_t seq)
+    {
+        if (seq == next_) {
+            ++next_;
+            ++pending_;
+            return Verdict::kDeliver;
+        }
+        // A duplicate means our ack was lost or is overdue; a gap
+        // means the sender will retransmit from the ack point. Either
+        // way the cheapest recovery accelerant is an immediate ack.
+        ack_now_ = true;
+        return seq < next_ ? Verdict::kDuplicate : Verdict::kGap;
+    }
+
+    /// Cumulative ack value: highest in-order seq received (0: none).
+    uint64_t cum_ack() const { return next_ - 1; }
+
+    /// True when a standalone ack should be emitted now (threshold
+    /// reached or a duplicate/gap demanded one).
+    bool
+    ack_due(uint32_t ack_every) const
+    {
+        return ack_now_ || pending_ >= ack_every;
+    }
+
+    /// True while any delivery is not yet covered by an emitted ack
+    /// (the idle-flush predicate; quiescence needs this to drain).
+    bool ack_pending() const { return ack_now_ || pending_ > 0; }
+
+    /// The embedder sent an ack (standalone or piggybacked).
+    void
+    ack_sent()
+    {
+        pending_ = 0;
+        ack_now_ = false;
+    }
+
+  private:
+    uint64_t next_ = 1;
+    uint32_t pending_ = 0;
+    bool ack_now_ = false;
+};
+
+} // namespace net
+
+#endif // MSGPROXY_NET_RELIABLE_H

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "util/log.h"
@@ -9,6 +12,17 @@
 namespace proxy {
 
 namespace {
+
+/// MSGPROXY_STALL_DEBUG=1 makes the bounded stall loops print a
+/// heartbeat to stderr every ~1M spins — the way to localize a wedged
+/// proxy on hosts without a debugger.
+bool
+stall_debug()
+{
+    static const bool on =
+        std::getenv("MSGPROXY_STALL_DEBUG") != nullptr;
+    return on;
+}
 
 /// CPU-relax hint for the pause stage of the backoff machine.
 inline void
@@ -73,6 +87,7 @@ SubmitStatus::name() const
       case kQueueFull: return "kQueueFull";
       case kTooLarge: return "kTooLarge";
       case kBadTarget: return "kBadTarget";
+      case kPeerUnreachable: return "kPeerUnreachable";
     }
     return "<invalid>";
 }
@@ -111,6 +126,8 @@ Endpoint::submit(Command&& c)
     cmd_owner_.assert_owner("Endpoint command queue (single producer)");
     if (!node_.valid_target(c.dst_node))
         return SubmitStatus::kBadTarget;
+    if (c.dst_node != node_.id() && node_.peer_unreachable(c.dst_node))
+        return SubmitStatus::kPeerUnreachable;
     if (!cmdq_.try_push(std::move(c)))
         return SubmitStatus::kQueueFull;
     node_.note_command_posted(id_);
@@ -220,7 +237,9 @@ Node::Channel::~Channel()
     // memory that may already be gone.
     PacketRef r;
     while (ring.try_pop(r)) {
-        if (r.heap)
+        // Retained packets are owned by their sender's window (which
+        // frees heap ones in the Node destructor), never by the ring.
+        if (r.heap && !r.retained)
             delete r.p;
     }
 }
@@ -247,13 +266,39 @@ Node::~Node()
     stop();
     // Deferred packets survive stop() so a restarted node resumes
     // them; at destruction, retire the heap-owned ones (pooled ones
-    // die with their slab).
+    // die with their slab; retained ones belong to their sender's
+    // window, possibly on a peer node we must not touch).
     for (auto& pr : proxies_) {
         for (const Deferred& d : pr->deferred) {
-            if (d.heap)
+            if (d.heap && !d.retained)
                 delete d.p;
         }
         pr->deferred.clear();
+        // Custody sweep for the reliability layer, in an order that
+        // deletes each heap packet exactly once: return-ring leftovers
+        // and reorder stashes skip window-retained packets (tx_state
+        // still has kTxRetained — ours, so dereferencing is safe);
+        // the window abandon then frees every heap packet it retains.
+        for (Channel* ch : pr->tx) {
+            Packet* p = nullptr;
+            while (ch->ret.try_pop(p)) {
+                if ((p->tx_state & kTxHeap) != 0 &&
+                    (p->tx_state & kTxRetained) == 0)
+                    delete p;
+            }
+        }
+        for (Link& lk : pr->links) {
+            for (const Link::Stashed& s : lk.stash) {
+                if (s.ref.heap &&
+                    (s.ref.p->tx_state & kTxRetained) == 0)
+                    delete s.ref.p;
+            }
+            lk.stash.clear();
+            lk.win.abandon([](PacketRef h) {
+                if (h.heap)
+                    delete h.p;
+            });
+        }
     }
 }
 
@@ -284,6 +329,9 @@ Node::connect(Node& a, Node& b)
     MP_CHECK(!a.running_.load() && !b.running_.load(),
              "connect before start");
     MP_CHECK(a.cfg_.id != b.cfg_.id, "connect needs distinct nodes");
+    MP_CHECK(a.cfg_.reliability.enabled == b.cfg_.reliability.enabled,
+             "nodes " << a.cfg_.id << " and " << b.cfg_.id
+                      << " disagree on reliability.enabled");
     auto ensure = [](Node& n, int peer) {
         auto need = static_cast<size_t>(peer) + 1;
         if (n.out_.size() < need) {
@@ -291,6 +339,11 @@ Node::connect(Node& a, Node& b)
             n.in_.resize(need);
             n.peer_proxies_.resize(need, 0);
         }
+        if (n.peer_dead_.size() < need)
+            n.peer_dead_.resize(need);
+        auto& dead = n.peer_dead_[static_cast<size_t>(peer)];
+        if (dead == nullptr)
+            dead = std::make_unique<std::atomic<bool>>(false);
     };
     ensure(a, b.cfg_.id);
     ensure(b, a.cfg_.id);
@@ -307,12 +360,18 @@ Node::connect(Node& a, Node& b)
     // direction: no ring end is ever shared between two proxies.
     // The sending node's config sizes the channel: its proxies
     // produce the forward ring and recycle through the return ring,
-    // which must hold the producer's whole pool so a return push
-    // never fails.
+    // which must never reject a push. Returns in flight are bounded
+    // by the producer's pool (pooled packets) plus its unacked
+    // window (retained heap-fallback packets also route through the
+    // return ring so the sender can clear their in-flight bit).
     auto chan = [](const Node& sender) {
-        return std::make_shared<Channel>(
-            sender.cfg_.channel_depth,
-            std::max<size_t>(sender.cfg_.packet_pool_size, 2));
+        size_t ret = sender.cfg_.packet_pool_size +
+                     (sender.cfg_.reliability.enabled
+                          ? sender.cfg_.reliability.window
+                          : 0) +
+                     64;
+        return std::make_shared<Channel>(sender.cfg_.channel_depth,
+                                         ret);
     };
     a.out_[bid].resize(pa * pb);
     b.in_[aid].resize(pa * pb);
@@ -357,7 +416,7 @@ Node::start()
                         continue;
                     auto ch = std::make_shared<Channel>(
                         cfg_.channel_depth,
-                        std::max<size_t>(cfg_.packet_pool_size, 2));
+                        cfg_.packet_pool_size + 64);
                     out_[self][p * P + q] = ch;
                     in_[self][p * P + q] = ch;
                 }
@@ -367,18 +426,51 @@ Node::start()
     // Per-proxy receive and transmit lists: every ring whose
     // consumer (rx) or producer (tx) end this proxy owns, across all
     // peers (and the loopback matrix). tx is the set of return rings
-    // the proxy drains to refill its packet pool.
+    // the proxy drains to refill its packet pool. Inter-node rings
+    // additionally get a Link carrying the sequence/ack/retransmit
+    // state of the (this proxy, peer proxy) pair — created on first
+    // sight and kept across stop()/start(), because sequence counters
+    // must survive a restart exactly like the channels do.
     for (auto& pr : proxies_) {
+        const auto me = static_cast<size_t>(pr->index);
+        if (pr->link_by_node.size() < in_.size())
+            pr->link_by_node.resize(in_.size());
         pr->rx.clear();
-        for (auto& row : in_) {
+        for (size_t n = 0; n < in_.size(); ++n) {
+            auto& row = in_[n];
             if (row.empty())
                 continue;
-            size_t peer_p = row.size() / P;
-            for (size_t sp = 0; sp < peer_p; ++sp) {
-                Channel* ch =
-                    row[sp * P + static_cast<size_t>(pr->index)].get();
-                if (ch != nullptr)
-                    pr->rx.push_back(ch);
+            if (n == static_cast<size_t>(cfg_.id)) {
+                // Loopback matrix: unsequenced, no link.
+                for (size_t sp = 0; sp < P; ++sp) {
+                    Channel* ch = row[sp * P + me].get();
+                    if (ch != nullptr)
+                        pr->rx.push_back(RxEntry{ch, nullptr});
+                }
+                continue;
+            }
+            const auto peer_p = row.size() / P;
+            auto& lrow = pr->link_by_node[n];
+            if (lrow.size() < peer_p)
+                lrow.resize(peer_p, nullptr);
+            for (size_t q = 0; q < peer_p; ++q) {
+                if (lrow[q] == nullptr) {
+                    // Salt decorrelates the fault streams of every
+                    // (node, node, proxy, proxy) channel under one
+                    // shared plan seed.
+                    uint64_t salt =
+                        (static_cast<uint64_t>(cfg_.id + 1) << 48) ^
+                        (static_cast<uint64_t>(n + 1) << 32) ^
+                        ((me + 1) << 16) ^ (q + 1);
+                    pr->links.emplace_back(
+                        static_cast<int>(n), static_cast<int>(q),
+                        cfg_.reliability, cfg_.fault_plan, salt);
+                    lrow[q] = &pr->links.back();
+                }
+                Link& lk = *lrow[q];
+                lk.out = out_[n][me * peer_p + q].get();
+                lk.in = row[q * P + me].get();
+                pr->rx.push_back(RxEntry{lk.in, &lk});
             }
         }
         pr->tx.clear();
@@ -436,8 +528,29 @@ Node::stats() const
             ps.acks_coalesced.load(std::memory_order_relaxed);
         s.batch_max = std::max(
             s.batch_max, ps.batch_max.load(std::memory_order_relaxed));
+        s.pkts_dropped +=
+            ps.pkts_dropped.load(std::memory_order_relaxed);
+        s.pkts_retransmitted +=
+            ps.pkts_retransmitted.load(std::memory_order_relaxed);
+        s.pkts_duplicate +=
+            ps.pkts_duplicate.load(std::memory_order_relaxed);
+        s.acks_sent += ps.acks_sent.load(std::memory_order_relaxed);
+        s.crc_fail += ps.crc_fail.load(std::memory_order_relaxed);
+        s.pool_returns +=
+            ps.pool_returns.load(std::memory_order_relaxed);
+        s.heap_frees += ps.heap_frees.load(std::memory_order_relaxed);
     }
     return s;
+}
+
+bool
+Node::peer_unreachable(int node) const
+{
+    return node >= 0 &&
+           static_cast<size_t>(node) < peer_dead_.size() &&
+           peer_dead_[static_cast<size_t>(node)] != nullptr &&
+           peer_dead_[static_cast<size_t>(node)]->load(
+               std::memory_order_acquire);
 }
 
 const ProxyStats&
@@ -480,6 +593,46 @@ Node::out_channel(const Proxy& self, int dst_node, int dst_proxy)
         .get();
 }
 
+uint64_t
+Node::now_ns()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+uint32_t
+Node::packet_crc(const Packet& p)
+{
+    // Header-only checksum: the custody byte (tx_state) is mutated
+    // by the sender while the packet is in flight and the payload is
+    // left to end-to-end validation, so both stay outside the fold.
+    return net::crc_fields(
+        {static_cast<uint64_t>(static_cast<uint8_t>(p.kind)) |
+             (static_cast<uint64_t>(p.flags) << 8) |
+             (static_cast<uint64_t>(p.seg) << 16) |
+             (static_cast<uint64_t>(static_cast<uint32_t>(p.src_node))
+              << 32),
+         static_cast<uint64_t>(static_cast<uint32_t>(p.src_user)) |
+             (static_cast<uint64_t>(p.len) << 32),
+         p.off, p.ccb, p.seq, p.ack});
+}
+
+Node::Link*
+Node::link_for(Proxy& self, int dst_node, int dst_proxy)
+{
+    if (dst_node == cfg_.id)
+        return nullptr; // loopback: unsequenced
+    auto n = static_cast<size_t>(dst_node);
+    if (n >= self.link_by_node.size())
+        return nullptr;
+    auto& row = self.link_by_node[n];
+    if (static_cast<size_t>(dst_proxy) >= row.size())
+        return nullptr;
+    return row[static_cast<size_t>(dst_proxy)];
+}
+
 Node::PacketRef
 Node::alloc_packet(Proxy& self)
 {
@@ -492,6 +645,7 @@ Node::alloc_packet(Proxy& self)
     }
     if (p != nullptr) {
         ++self.local.pool_hits;
+        p->tx_state = 0;
         return PacketRef{p, false};
     }
     // Measured overload fallback: allocate rather than block, so an
@@ -500,24 +654,39 @@ Node::alloc_packet(Proxy& self)
     // fully written by every send site and receivers read only
     // `len` payload bytes, so no 1.1 KB zeroing here either.
     ++self.local.pool_misses;
-    return PacketRef{new Packet, true};
+    p = new Packet;
+    p->tx_state = kTxHeap;
+    return PacketRef{p, true};
 }
 
 void
 Node::release_packet(Proxy& self, PacketRef ref, Channel* from)
 {
-    if (ref.heap) {
-        delete ref.p;
-        return;
-    }
     if (from == nullptr) {
-        // Loopback packet: producer == consumer == this proxy.
-        self.pool.put(ref.p);
+        // Our own packet (loopback consumption, transient recycle, or
+        // ack-released window entry): retire it here, counted so the
+        // leak invariant pool_hits == pool_returns (and pool_misses
+        // == heap_frees) holds after quiescence.
+        if (ref.heap) {
+            delete ref.p;
+            ++self.local.heap_frees;
+        } else {
+            self.pool.put(ref.p);
+            ++self.local.pool_returns;
+        }
         return;
     }
-    // The return ring holds the producer's whole pool, and pooled
-    // packets in flight are bounded by that pool, so this cannot
-    // fail.
+    if (ref.heap && !ref.retained) {
+        // Peer's heap packet nobody retains: ours to delete. (The
+        // cross-node sums still balance: its pool_miss was counted on
+        // the sender, our heap_free here.)
+        delete ref.p;
+        ++self.local.heap_frees;
+        return;
+    }
+    // Back to the producer through the return ring. This holds the
+    // producer's whole pool plus its retained window, which bounds
+    // everything routed here, so the push cannot fail.
     bool ok = from->ret.try_push(ref.p);
     MP_CHECK(ok, "packet return ring overflow");
 }
@@ -527,8 +696,19 @@ Node::drain_returns(Proxy& self)
 {
     for (Channel* ch : self.tx) {
         Packet* p = nullptr;
-        while (ch->ret.try_pop(p))
-            self.pool.put(p);
+        while (ch->ret.try_pop(p)) {
+            if ((p->tx_state & kTxRetained) != 0) {
+                // Still awaiting ack: the consumer is done with the
+                // memory, so the pointer may fly again (retransmit).
+                p->tx_state &= ~kTxInFlight;
+            } else if ((p->tx_state & kTxHeap) != 0) {
+                delete p;
+                ++self.local.heap_frees;
+            } else {
+                self.pool.put(p);
+                ++self.local.pool_returns;
+            }
+        }
     }
 }
 
@@ -537,22 +717,182 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
 {
     bool progressed = false;
     const auto budget0 = static_cast<int>(cfg_.pkt_burst);
-    for (Channel* ch : self.rx) {
+    const bool rel = cfg_.reliability.enabled;
+    for (RxEntry& rxe : self.rx) {
+        Channel* ch = rxe.ch;
+        Link* lk = rxe.link;
         PacketRef r;
         int budget = budget0;
         while (budget-- > 0 && ch->ring.try_pop(r)) {
             progressed = true;
+            Packet& pkt = *r.p;
+            if (lk != nullptr) {
+                // Inter-node packet: verify, apply the piggybacked
+                // ack, then sequence-check. The ack is applied even
+                // to packets the sequence check will discard — a
+                // valid checksum vouches for the header, and acks on
+                // duplicates are exactly how lost-ack recovery works.
+                if (pkt.crc != packet_crc(pkt)) {
+                    ++self.local.crc_fail;
+                    ++self.local.pkts_dropped;
+                    release_packet(self, r, ch);
+                    continue;
+                }
+                if (rel && pkt.ack != 0) {
+                    lk->win.on_ack(
+                        pkt.ack, self.now_cache, [&](PacketRef h) {
+                            h.p->tx_state &= ~kTxRetained;
+                            if ((h.p->tx_state & kTxInFlight) == 0)
+                                release_packet(
+                                    self,
+                                    PacketRef{h.p, h.heap, false},
+                                    nullptr);
+                        });
+                }
+                if (pkt.kind == Packet::Kind::kAck) {
+                    release_packet(self, r, ch);
+                    continue;
+                }
+                if (rel) {
+                    const auto v = lk->rseq.accept(pkt.seq);
+                    if (v != net::ReceiverSeq::Verdict::kDeliver) {
+                        if (v ==
+                            net::ReceiverSeq::Verdict::kDuplicate)
+                            ++self.local.pkts_duplicate;
+                        ++self.local.pkts_dropped;
+                        release_packet(self, r, ch);
+                        continue;
+                    }
+                }
+            }
             if (defer_requests &&
-                (r.p->kind == Packet::Kind::kGetReq ||
-                 r.p->kind == Packet::Kind::kRqDeqReq)) {
-                self.deferred.push_back(Deferred{r.p, ch, r.heap});
+                (pkt.kind == Packet::Kind::kGetReq ||
+                 pkt.kind == Packet::Kind::kRqDeqReq)) {
+                self.deferred.push_back(
+                    Deferred{r.p, ch, r.heap, r.retained});
             } else {
-                handle_packet(self, *r.p);
+                handle_packet(self, pkt);
                 release_packet(self, r, ch);
             }
         }
     }
     return progressed;
+}
+
+bool
+Node::push_ring(Proxy& self, Channel* ch, PacketRef ref)
+{
+    // This proxy is the ring's only producer, so once full() clears
+    // the push cannot fail (probing first also avoids consuming the
+    // packet on a failed try_push, which takes its argument by
+    // value). Keep draining our own input while the peer's ring is
+    // full so two saturated proxies cannot deadlock; requests that
+    // would generate new sends are deferred to the main loop. The
+    // wait is bounded by running_: at shutdown a dead consumer must
+    // not spin us forever (the single-drop regression of ISSUE 4).
+    if (ref.retained)
+        ref.p->tx_state |= kTxInFlight;
+    Backoff bo(cfg_.poll);
+    uint64_t spins = 0;
+    while (ch->ring.full()) {
+        if (stall_debug() && (++spins & ((1u << 20) - 1)) == 0)
+            std::fprintf(stderr,
+                         "[node %d proxy %d] ring stall: kind=%d "
+                         "retained=%d\n",
+                         cfg_.id, self.index,
+                         static_cast<int>(ref.p->kind),
+                         static_cast<int>(ref.retained));
+        if (!running_.load(std::memory_order_acquire)) {
+            if (ref.retained) {
+                // Custody reverts to the window; teardown frees it.
+                ref.p->tx_state &= ~kTxInFlight;
+            } else {
+                release_packet(self, ref, nullptr);
+            }
+            return false;
+        }
+        if (drain_inputs(self, /*defer_requests=*/true))
+            bo.reset();
+        else
+            bo.idle();
+    }
+    ch->ring.try_push(ref);
+    ++self.local.packets_out;
+    return true;
+}
+
+Node::PacketRef
+Node::clone_packet(Proxy& self, const Packet& src)
+{
+    PacketRef c = alloc_packet(self);
+    const uint8_t ts = c.p->tx_state; // custody is the clone's own
+    std::memcpy(static_cast<void*>(c.p),
+                static_cast<const void*>(&src),
+                offsetof(Packet, payload));
+    c.p->tx_state = ts;
+    // Copy only the payload actually carried on the wire. Request
+    // kinds (and acks) reuse `len` as a byte *count* — how much the
+    // peer should send back — with an empty payload; taking it as a
+    // payload size here would overrun the kMtu buffer and smear the
+    // adjacent pool slot's header (which is exactly how the chaos
+    // GET livelock of ISSUE 4 corrupted a neighbouring packet's
+    // custody byte).
+    const uint32_t n = src.kind == Packet::Kind::kGetReq ||
+                               src.kind == Packet::Kind::kRqDeqReq ||
+                               src.kind == Packet::Kind::kAck
+                           ? 0
+                           : std::min(src.len, kMtu);
+    if (n > 0)
+        std::memcpy(c.p->payload, src.payload, n);
+    return c;
+}
+
+bool
+Node::inject_push(Proxy& self, Link& lk, PacketRef ref)
+{
+    if (!lk.inj.enabled())
+        return push_ring(self, lk.out, ref);
+    const net::FaultAction act = lk.inj.next();
+    switch (act) {
+      case net::FaultAction::kDrop:
+        // Vanishes in transit. A retained packet stays in its window
+        // (not in flight, so the RTO resends it); a transient one is
+        // simply gone.
+        if (!ref.retained)
+            release_packet(self, ref, nullptr);
+        return true;
+      case net::FaultAction::kDuplicate: {
+        PacketRef dup = clone_packet(self, *ref.p);
+        if (!push_ring(self, lk.out, ref)) {
+            release_packet(self, dup, nullptr);
+            return false;
+        }
+        return push_ring(self, lk.out, dup);
+      }
+      case net::FaultAction::kReorder:
+        // Held for 1..reorder_depth service ticks, then delivered by
+        // service_link. In flight while stashed: the stash owns the
+        // pointer, so retransmission must not enqueue a second copy.
+        if (ref.retained)
+            ref.p->tx_state |= kTxInFlight;
+        lk.stash.push_back(
+            Link::Stashed{ref, lk.inj.reorder_delay()});
+        return true;
+      case net::FaultAction::kCorrupt: {
+        // The wire delivers a bit-flipped header: send a corrupted
+        // clone and treat the original as lost (retained -> RTO
+        // resend; transient -> gone), mirroring what a checksum-
+        // verifying receiver turns corruption into.
+        PacketRef bad = clone_packet(self, *ref.p);
+        bad.p->off ^= uint64_t{1} << lk.inj.rand_below(64);
+        if (!ref.retained)
+            release_packet(self, ref, nullptr);
+        return push_ring(self, lk.out, bad);
+      }
+      case net::FaultAction::kDeliver:
+        break;
+    }
+    return push_ring(self, lk.out, ref);
 }
 
 bool
@@ -579,22 +919,203 @@ Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
         release_packet(self, ref, nullptr);
         return false; // unconnected destination
     }
-    // This proxy is the ring's only producer, so once full() clears
-    // the push cannot fail (probing first also avoids consuming the
-    // packet on a failed try_push, which takes its argument by
-    // value). Keep draining our own input while the peer's ring is
-    // full so two saturated proxies cannot deadlock; requests that
-    // would generate new sends are deferred to the main loop.
-    Backoff bo(cfg_.poll);
-    while (ch->ring.full()) {
-        if (drain_inputs(self, /*defer_requests=*/true))
-            bo.reset();
-        else
-            bo.idle();
+    Link* lk = link_for(self, dst_node, dst_proxy);
+    if (lk == nullptr) {
+        // Intra-node cross-proxy loopback: shared memory, no
+        // reliability header (the receiver skips verification too).
+        return push_ring(self, ch, ref);
     }
-    ch->ring.try_push(ref);
-    ++self.local.packets_out;
-    return true;
+    if (lk->dead) {
+        ++self.local.faults;
+        release_packet(self, ref, nullptr);
+        return false;
+    }
+    if (cfg_.reliability.enabled) {
+        // Window flow control: block until the peer acks (keeping
+        // our own inputs and the link's timers serviced, so the wait
+        // either progresses, declares the peer dead, or aborts at
+        // shutdown).
+        Backoff bo(cfg_.poll);
+        uint64_t spins = 0;
+        while (lk->win.full() && !lk->dead) {
+            if (stall_debug() && (++spins & ((1u << 20) - 1)) == 0)
+                std::fprintf(
+                    stderr,
+                    "[node %d proxy %d] window stall: peer=%d/%d "
+                    "win=%zu retries=%u rto=%llu out_full=%d\n",
+                    cfg_.id, self.index, lk->peer_node,
+                    lk->peer_proxy, lk->win.size(),
+                    lk->win.retries(),
+                    static_cast<unsigned long long>(lk->win.rto()),
+                    static_cast<int>(lk->out->ring.full()));
+            if (!running_.load(std::memory_order_acquire)) {
+                release_packet(self, ref, nullptr);
+                return false;
+            }
+            self.now_cache = now_ns();
+            service_link(self, *lk);
+            if (drain_inputs(self, /*defer_requests=*/true))
+                bo.reset();
+            else
+                bo.idle();
+        }
+        if (lk->dead) {
+            ++self.local.faults;
+            release_packet(self, ref, nullptr);
+            return false;
+        }
+        ref.retained = true;
+        ref.p->tx_state |= kTxRetained;
+        ref.p->seq = lk->win.send(ref, self.now_cache);
+        ref.p->ack = lk->rseq.cum_ack();
+        lk->rseq.ack_sent(); // piggybacked
+    } else {
+        ref.p->seq = 0;
+        ref.p->ack = 0;
+    }
+    ref.p->crc = packet_crc(*ref.p);
+    return inject_push(self, *lk, ref);
+}
+
+void
+Node::service_link(Proxy& self, Link& lk)
+{
+    // Age the reorder stash one tick (independent of reliability:
+    // fault injection also applies to the raw protocol). Due packets
+    // are released with try_push only — a full ring just postpones
+    // them a tick, which avoids recursive stall loops here.
+    for (size_t i = 0; i < lk.stash.size();) {
+        Link::Stashed& s = lk.stash[i];
+        if (--s.delay == 0) {
+            if (lk.out->ring.try_push(s.ref)) {
+                ++self.local.packets_out;
+                lk.stash[i] = lk.stash.back();
+                lk.stash.pop_back();
+                continue;
+            }
+            s.delay = 1;
+        }
+        ++i;
+    }
+    if (!cfg_.reliability.enabled || lk.dead || lk.win.empty())
+        return;
+    const uint64_t now = self.now_cache;
+    if (!lk.win.timeout_due(now))
+        return;
+    // The consumer may have handed back window packets it gap-dropped
+    // (pointer returned, kTxInFlight still set). Those must become
+    // resendable before the walk below, or go-back-N skips them on
+    // every timeout — and a sender stalled on a full window never
+    // reaches the idle-path drain, wedging the link for good.
+    drain_returns(self);
+    if (stall_debug() && lk.win.retries() >= 16 &&
+        (lk.win.retries() & 15) == 0)
+        std::fprintf(stderr,
+                     "[node %d proxy %d] rto spin: peer=%d/%d "
+                     "win=%zu oldest=%llu highest=%llu retries=%u\n",
+                     cfg_.id, self.index, lk.peer_node, lk.peer_proxy,
+                     lk.win.size(),
+                     static_cast<unsigned long long>(
+                         lk.win.oldest_unacked()),
+                     static_cast<unsigned long long>(
+                         lk.win.highest_sent()),
+                     lk.win.retries());
+    if (lk.win.exhausted()) {
+        // max_retries timeouts with zero ack progress: declare the
+        // peer dead node-wide, refuse new submits toward it, release
+        // the window (graceful degradation instead of an eternal
+        // retransmit spin).
+        lk.dead = true;
+        ++self.local.faults;
+        auto& dead = peer_dead_[static_cast<size_t>(lk.peer_node)];
+        dead->store(true, std::memory_order_release);
+        lk.win.abandon([&](PacketRef h) {
+            h.p->tx_state &= ~kTxRetained;
+            if ((h.p->tx_state & kTxInFlight) == 0)
+                release_packet(self, PacketRef{h.p, h.heap, false},
+                               nullptr);
+        });
+        return;
+    }
+    // Go-back-N: resend every window entry whose pointer is not
+    // already in flight (in a ring or the stash), oldest first, with
+    // a freshened piggyback ack. Retransmissions face the injector
+    // like any other traffic; a full ring leaves the entry for the
+    // next timeout.
+    lk.win.on_timeout(now, [&](uint64_t, PacketRef& h) {
+        if ((h.p->tx_state & kTxInFlight) != 0)
+            return;
+        if (lk.out->ring.full())
+            return;
+        h.p->ack = lk.rseq.cum_ack();
+        h.p->crc = packet_crc(*h.p);
+        ++self.local.pkts_retransmitted;
+        PacketRef again{h.p, h.heap, true};
+        if (!lk.inj.enabled()) {
+            h.p->tx_state |= kTxInFlight;
+            lk.out->ring.try_push(again);
+            ++self.local.packets_out;
+            return;
+        }
+        switch (lk.inj.next()) {
+          case net::FaultAction::kDrop:
+          case net::FaultAction::kCorrupt:
+            // Lost again (a corrupted retransmit is dropped by the
+            // receiver's checksum anyway); the next RTO retries.
+            return;
+          case net::FaultAction::kReorder:
+            h.p->tx_state |= kTxInFlight;
+            lk.stash.push_back(
+                Link::Stashed{again, lk.inj.reorder_delay()});
+            return;
+          case net::FaultAction::kDuplicate:
+          case net::FaultAction::kDeliver:
+            h.p->tx_state |= kTxInFlight;
+            lk.out->ring.try_push(again);
+            ++self.local.packets_out;
+            return;
+        }
+    });
+}
+
+void
+Node::service_links(Proxy& self)
+{
+    for (Link& lk : self.links)
+        service_link(self, lk);
+}
+
+void
+Node::flush_acks(Proxy& self, bool idle)
+{
+    if (!cfg_.reliability.enabled)
+        return;
+    for (Link& lk : self.links) {
+        if (lk.dead)
+            continue;
+        if (!lk.rseq.ack_due(cfg_.reliability.ack_every) &&
+            !(idle && lk.rseq.ack_pending()))
+            continue;
+        // Standalone cumulative ack: unsequenced (seq 0), loss-
+        // tolerant — a lost ack is recovered by the next one or by a
+        // duplicate-triggered re-ack.
+        PacketRef ref = alloc_packet(self);
+        Packet* pkt = ref.p;
+        pkt->kind = Packet::Kind::kAck;
+        pkt->flags = 0;
+        pkt->src_node = cfg_.id;
+        pkt->src_user = -1;
+        pkt->seg = 0;
+        pkt->len = 0;
+        pkt->off = 0;
+        pkt->ccb = 0;
+        pkt->seq = 0;
+        pkt->ack = lk.rseq.cum_ack();
+        pkt->crc = packet_crc(*pkt);
+        lk.rseq.ack_sent();
+        ++self.local.acks_sent;
+        inject_push(self, lk, ref);
+    }
 }
 
 void
@@ -938,6 +1459,15 @@ Node::publish_stats(Proxy& self)
     s.acks_coalesced.store(l.acks_coalesced,
                            std::memory_order_relaxed);
     s.batch_max.store(l.batch_max, std::memory_order_relaxed);
+    s.pkts_dropped.store(l.pkts_dropped, std::memory_order_relaxed);
+    s.pkts_retransmitted.store(l.pkts_retransmitted,
+                               std::memory_order_relaxed);
+    s.pkts_duplicate.store(l.pkts_duplicate,
+                           std::memory_order_relaxed);
+    s.acks_sent.store(l.acks_sent, std::memory_order_relaxed);
+    s.crc_fail.store(l.crc_fail, std::memory_order_relaxed);
+    s.pool_returns.store(l.pool_returns, std::memory_order_relaxed);
+    s.heap_frees.store(l.heap_frees, std::memory_order_relaxed);
 }
 
 void
@@ -949,6 +1479,8 @@ Node::proxy_main(Proxy& self)
     const auto cmd_burst = static_cast<int>(cfg_.cmd_burst);
     Backoff bo(cfg_.poll);
     bool was_idle = false;
+    self.now_cache = now_ns();
+    self.idle_polls = 0;
     // Figure 5 of the paper: scan this proxy's command queues and
     // its network inputs round-robin, forever — but in bursts: each
     // source is drained up to its budget before the loop moves on,
@@ -960,11 +1492,19 @@ Node::proxy_main(Proxy& self)
             self.local.commands + self.local.packets_in;
         bool progressed = false;
 
+        // The RTO clock: a cache refreshed every 16 iterations (and
+        // in stall loops) — microsecond-scale staleness against
+        // 100 us+ timeouts, instead of a ~25 ns clock read per
+        // packet on the fast path.
+        if ((self.local.polls & 15) == 0)
+            self.now_cache = now_ns();
+
         while (!self.deferred.empty()) {
             Deferred d = self.deferred.front();
             self.deferred.pop_front();
             handle_packet(self, *d.p);
-            release_packet(self, PacketRef{d.p, d.heap}, d.from);
+            release_packet(self, PacketRef{d.p, d.heap, d.retained},
+                           d.from);
             progressed = true;
         }
 
@@ -1018,6 +1558,15 @@ Node::proxy_main(Proxy& self)
         if (drain_inputs(self, /*defer_requests=*/false))
             progressed = true;
 
+        // Reliability maintenance: reorder-stash aging, RTO
+        // retransmits, peer-death detection, then any standalone
+        // acks that came due (threshold or recovery). All no-ops on
+        // a quiet link.
+        service_links(self);
+        flush_acks(self,
+                   /*idle=*/self.idle_polls >=
+                       cfg_.reliability.ack_idle_polls);
+
         const uint64_t batch =
             self.local.commands + self.local.packets_in - before;
         if (batch > self.local.batch_max)
@@ -1026,13 +1575,22 @@ Node::proxy_main(Proxy& self)
         if (progressed || self.carry_mask != 0) {
             bo.reset();
             was_idle = false;
+            self.idle_polls = 0;
         } else if (!was_idle) {
             ++self.local.idle_transitions;
             was_idle = true;
         }
         publish_stats(self);
-        if (!progressed && self.carry_mask == 0)
+        if (!progressed && self.carry_mask == 0) {
+            ++self.idle_polls;
+            // Idle housekeeping: recycle returned slots so the leak
+            // invariant (pool_hits == pool_returns) converges after
+            // traffic stops, and keep the RTO clock fresh enough for
+            // the timers serviced above.
+            drain_returns(self);
+            self.now_cache = now_ns();
             bo.idle();
+        }
     }
     publish_stats(self);
 }

@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "check/ownership.h"
+#include "net/fault.h"
+#include "net/reliable.h"
 #include "spsc/ring_queue.h"
 
 namespace proxy {
@@ -162,7 +164,12 @@ class SubmitStatus
         kOk = 0,    ///< command accepted by the proxy
         kQueueFull, ///< command queue full: back off and retry
         kTooLarge,  ///< inline payload exceeds Command::kMaxEnqBytes
-        kBadTarget  ///< destination node/endpoint/queue id invalid
+        kBadTarget, ///< destination node/endpoint/queue id invalid
+        /// The reliability layer exhausted max_retries retransmitting
+        /// to this node and declared it dead; new commands toward it
+        /// are refused instead of wedging in a window that will never
+        /// drain.
+        kPeerUnreachable
     };
 
     constexpr SubmitStatus(Code code) : code_(code) {}
@@ -214,6 +221,25 @@ struct ProxyStats
     /// Largest number of work items (commands + packets) handled in
     /// one loop iteration: how deep the burst drains actually run.
     std::atomic<uint64_t> batch_max{0};
+    /// Inbound wire packets this proxy discarded (checksum failure,
+    /// sequence gap, or duplicate — each also counted below).
+    std::atomic<uint64_t> pkts_dropped{0};
+    /// Unacked window packets re-pushed after an RTO expiry.
+    std::atomic<uint64_t> pkts_retransmitted{0};
+    /// Inbound packets whose sequence number was already delivered.
+    std::atomic<uint64_t> pkts_duplicate{0};
+    /// Standalone kAck packets emitted (piggybacked acks are free and
+    /// not counted).
+    std::atomic<uint64_t> acks_sent{0};
+    /// Inbound packets failing the header checksum.
+    std::atomic<uint64_t> crc_fail{0};
+    /// Pooled packets recycled back into a slab (by any path). After
+    /// quiescence, pool_hits summed over communicating nodes equals
+    /// this sum — the no-leak invariant the chaos suite asserts.
+    std::atomic<uint64_t> pool_returns{0};
+    /// Heap-fallback packets deleted. Pairs with pool_misses the same
+    /// way pool_returns pairs with pool_hits.
+    std::atomic<uint64_t> heap_frees{0};
 };
 
 /// Node-wide counter snapshot: the sum of every proxy's ProxyStats
@@ -233,6 +259,13 @@ struct NodeStats
     uint64_t acks_coalesced = 0;
     /// Max (not sum) across proxies: deepest single-loop burst.
     uint64_t batch_max = 0;
+    uint64_t pkts_dropped = 0;
+    uint64_t pkts_retransmitted = 0;
+    uint64_t pkts_duplicate = 0;
+    uint64_t acks_sent = 0;
+    uint64_t crc_fail = 0;
+    uint64_t pool_returns = 0;
+    uint64_t heap_frees = 0;
 };
 
 /// Node construction parameters, mirroring rma::SystemConfig for the
@@ -268,6 +301,15 @@ struct NodeConfig
     uint32_t pkt_burst = 32;
     /// Idle-backoff policy of this node's proxy loops.
     PollParams poll{};
+    /// Reliability layer of the inter-node wire path (sequencing,
+    /// acks, retransmission). Both ends of a connect() must agree on
+    /// `reliability.enabled`. Intra-node loopback channels are plain
+    /// shared memory and never sequenced.
+    net::ReliabilityParams reliability{};
+    /// Deterministic fault injection on every inter-node channel this
+    /// node's proxies produce (test builds; defaults to all-zero
+    /// rates, i.e. the paper's lossless fabric).
+    net::FaultPlan fault_plan{};
 };
 
 class Node;
@@ -444,6 +486,11 @@ class Node
     /// Counters of one proxy thread (readable while running).
     const ProxyStats& proxy_stats(int proxy) const;
 
+    /// True when the reliability layer declared `node` dead (a link
+    /// toward it exhausted max_retries). New submits toward it return
+    /// SubmitStatus::kPeerUnreachable. Readable from any thread.
+    bool peer_unreachable(int node) const;
+
   private:
     friend class Endpoint;
 
@@ -460,7 +507,7 @@ class Node
             kRqEnqData, ///< payload -> proxy-managed remote queue
             kRqDeqReq,  ///< dequeue request (ccb identifies requester)
             kRqDeqData, ///< dequeue reply (flags bit1: queue was empty)
-            kAck        ///< rsync/lsync acknowledgment
+            kAck        ///< standalone cumulative ack (unsequenced)
         };
         Kind kind;
         uint8_t flags = 0; ///< bit0: last fragment
@@ -470,7 +517,37 @@ class Node
         uint32_t len;
         uint64_t off;
         uint64_t ccb;      ///< requester cookie for GET replies / acks
+        // ---- reliability header (inter-node channels only) ----
+        /// Per-link sequence number, 1-based and FIFO per (sending
+        /// proxy, receiving proxy) pair. 0: unsequenced (standalone
+        /// acks, reliability-disabled traffic, loopback).
+        uint64_t seq;
+        /// Piggybacked cumulative ack for the link's reverse
+        /// direction (0: nothing to ack — acks start at seq 1).
+        uint64_t ack;
+        /// Header checksum over kind/flags/src/seg/len/off/ccb/seq/
+        /// ack (net::crc_fields). Excludes the payload and tx_state.
+        uint32_t crc;
+        /// Sender-private custody bits (kTx*). Never read by the
+        /// receiver and excluded from the checksum: the sending proxy
+        /// mutates it while the packet sits in rings it no longer
+        /// owns, which is safe only because nobody else touches the
+        /// byte.
+        uint8_t tx_state;
         uint8_t payload[kMtu];
+    };
+
+    /// Packet::tx_state bits (sender-side custody tracking).
+    enum : uint8_t {
+        /// Retained in a SenderWindow awaiting ack; storage must not
+        /// be recycled by the return-ring drain.
+        kTxRetained = 1,
+        /// The pointer currently sits in a forward ring (or a reorder
+        /// stash): retransmission must skip it so at most one copy of
+        /// a retained pointer is ever in flight.
+        kTxInFlight = 2,
+        /// Heap-fallback allocation: recycle by delete, not pool.
+        kTxHeap = 4
     };
 
     /// A wire packet plus its provenance. Pooled packets live in the
@@ -483,6 +560,12 @@ class Node
     {
         Packet* p = nullptr;
         bool heap = false;
+        /// Mirrors kTxRetained at send time, riding in the ring slot
+        /// so the consumer (and teardown) can decide ownership
+        /// without dereferencing packet memory that may belong to a
+        /// destroyed peer: a retained packet is owned by its sender's
+        /// window, never by whoever pops the ref.
+        bool retained = false;
     };
 
     /// Fixed-capacity free list over one contiguous slab of Packets,
@@ -567,6 +650,50 @@ class Node
         Packet* p;
         Channel* from;
         bool heap;
+        bool retained = false; ///< see PacketRef::retained
+    };
+
+    /// One directed pair of rings between this proxy and one peer
+    /// proxy on another node, plus the reliability and fault state
+    /// both directions share: `out` carries our sequenced sends (win
+    /// retains them until the peer's cumulative ack, piggybacked on
+    /// `in` traffic or standalone, releases them), `in` feeds rseq.
+    /// Links are built at first start() and survive stop()/start(), as
+    /// the sequence state must: the peer's counters do too.
+    struct Link
+    {
+        Link(int node, int proxy, const net::ReliabilityParams& rp,
+             const net::FaultPlan& fp, uint64_t salt)
+            : peer_node(node), peer_proxy(proxy), win(rp), inj(fp, salt)
+        {
+        }
+
+        int peer_node;
+        int peer_proxy;
+        Channel* out = nullptr;
+        Channel* in = nullptr;
+        net::SenderWindow<PacketRef> win;
+        net::ReceiverSeq rseq;
+        net::FaultInjector inj;
+        /// Reorder-injected packets held for 1..reorder_depth loop
+        /// iterations before delivery.
+        struct Stashed
+        {
+            PacketRef ref;
+            uint32_t delay;
+        };
+        std::vector<Stashed> stash;
+        /// Set when win exhausted max_retries: the peer is dead, the
+        /// window was abandoned, and sends toward it are dropped.
+        bool dead = false;
+    };
+
+    /// One input ring plus the link owning its sequence state
+    /// (nullptr: intra-node loopback, unsequenced).
+    struct RxEntry
+    {
+        Channel* ch;
+        Link* link;
     };
 
     /// Proxy-thread-private counter accumulators. The hot path bumps
@@ -587,6 +714,13 @@ class Node
         uint64_t pool_misses = 0;
         uint64_t acks_coalesced = 0;
         uint64_t batch_max = 0;
+        uint64_t pkts_dropped = 0;
+        uint64_t pkts_retransmitted = 0;
+        uint64_t pkts_duplicate = 0;
+        uint64_t acks_sent = 0;
+        uint64_t crc_fail = 0;
+        uint64_t pool_returns = 0;
+        uint64_t heap_frees = 0;
     };
 
     /// Per-proxy-thread state: everything exactly one proxy owns.
@@ -617,11 +751,26 @@ class Node
         /// send_packet (they would generate new sends and could
         /// recurse unboundedly).
         std::deque<Deferred> deferred;
-        /// Every channel this proxy consumes (built at start()).
-        std::vector<Channel*> rx;
+        /// Every channel this proxy consumes, paired with its link
+        /// (rebuilt at start()).
+        std::vector<RxEntry> rx;
         /// Every channel this proxy produces into: the rings whose
         /// return rings it drains to refill the pool.
         std::vector<Channel*> tx;
+        /// Reliability/fault state per (peer node, peer proxy) pair;
+        /// deque for address stability (link_by_node and rx point in).
+        std::deque<Link> links;
+        /// link_by_node[n][q]: the link to proxy q of node n (null
+        /// until connected). Built lazily at start(), kept across
+        /// restarts.
+        std::vector<std::vector<Link*>> link_by_node;
+        /// Monotonic-clock cache (ns), refreshed every few loop
+        /// iterations: RTO precision does not justify a syscall-free
+        /// but still ~25 ns clock read per packet.
+        uint64_t now_cache = 0;
+        /// Consecutive no-progress loop iterations (drives the
+        /// idle ack flush).
+        uint64_t idle_polls = 0;
         /// Lint: this proxy's shard of segments/rqueues/ccbs is
         /// owned by the thread bound at proxy_main entry.
         check::ThreadOwner owner;
@@ -668,6 +817,32 @@ class Node
     void handle_packet(Proxy& self, Packet& pkt);
     bool send_packet(Proxy& self, int dst_node, int dst_proxy,
                      PacketRef ref);
+    /// The link to (dst_node, dst_proxy), or nullptr for intra-node
+    /// traffic.
+    Link* link_for(Proxy& self, int dst_node, int dst_proxy);
+    /// Stalls until `ch` has room (draining own inputs, bounded by
+    /// running_) and pushes. On shutdown abort, custody reverts: a
+    /// retained ref stays with its window, a transient one is
+    /// recycled. Returns false only on that abort.
+    bool push_ring(Proxy& self, Channel* ch, PacketRef ref);
+    /// Pushes through the link's fault injector: may drop, clone
+    /// (duplicate/corrupt), or stash (reorder) instead of delivering.
+    bool inject_push(Proxy& self, Link& lk, PacketRef ref);
+    /// Clone for duplicate/corrupt injection: an independent packet
+    /// (own alloc, transient) so pointer custody stays single-copy.
+    PacketRef clone_packet(Proxy& self, const Packet& src);
+    /// Per-link maintenance: ages the reorder stash, fires RTO
+    /// retransmits, declares the peer dead on retry exhaustion.
+    void service_link(Proxy& self, Link& lk);
+    void service_links(Proxy& self);
+    /// Emits standalone kAck packets for links whose receiver owes
+    /// one (threshold reached, recovery nudge, or — when `idle` —
+    /// any pending ack, so quiescent windows still drain).
+    void flush_acks(Proxy& self, bool idle);
+    /// Header checksum of a wire packet (tx_state/payload excluded).
+    static uint32_t packet_crc(const Packet& p);
+    /// Monotonic nanoseconds (steady_clock).
+    static uint64_t now_ns();
     /// Drains self's input rings once (budgeted). Requests are
     /// deferred when defer_requests is set (the send_packet stall
     /// path must not recurse into new sends).
@@ -704,6 +879,10 @@ class Node
     /// Proxy-managed remote queues; entry qid is touched only by
     /// proxy (qid mod num_proxies) after start().
     std::vector<std::deque<std::vector<uint8_t>>> rqueues_;
+    /// peer_dead_[n]: set (by whichever proxy exhausts a link first)
+    /// when node n is unreachable; read by user threads in submit.
+    /// Allocated at connect() time, before any thread runs.
+    std::vector<std::unique_ptr<std::atomic<bool>>> peer_dead_;
     std::atomic<bool> running_{false};
 };
 

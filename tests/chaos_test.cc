@@ -1,0 +1,425 @@
+// Deterministic chaos suite for the reliable wire protocol: real
+// 2-node x 2-proxy runtimes under seeded fault injection
+// (NodeConfig::fault_plan), at the fault rates the ISSUE pins
+// (1% / 10% / 50%) and seeds {1, 2, 3}. Every workload asserts
+// EXACT completion counts — retransmission must deliver exactly
+// once, duplicates must not double-fire rsync/lsync — and that the
+// packet-pool leak invariant (pool_hits == pool_returns,
+// pool_misses == heap_frees, summed across both nodes) converges
+// after quiescence: a retained-unacked packet that never comes back
+// fails the test. The `chaos` ctest label runs these under plain and
+// TSan builds via tools/check.sh chaos.
+//
+// The file also carries the regression tests for the pre-reliability
+// latent hang: with retransmission disabled a single injected drop
+// stalls a CCB forever, and Node teardown must still be bounded.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proxy/runtime.h"
+
+namespace {
+
+using proxy::Endpoint;
+using proxy::Flag;
+using proxy::Node;
+using proxy::NodeConfig;
+using proxy::NodeStats;
+using proxy::SubmitStatus;
+
+struct ChaosParam
+{
+    uint64_t seed;
+    double rate;
+};
+
+NodeConfig
+chaos_config(int id, const ChaosParam& p)
+{
+    NodeConfig c;
+    c.id = id;
+    c.num_proxies = 2;
+    c.channel_depth = 256;
+    c.packet_pool_size = 1024;
+    // Aggressive timers so recovery happens at test speed; a retry
+    // budget that can never exhaust (peer death is its own test).
+    c.reliability.window = 64;
+    c.reliability.ack_every = 8;
+    c.reliability.rto_ns = 100 * 1000;
+    c.reliability.rto_max_ns = 2 * 1000 * 1000;
+    c.reliability.max_retries = 1000000;
+    // The rate splits across the four fault classes so every class
+    // is exercised at every level.
+    c.fault_plan.seed = p.seed;
+    c.fault_plan.drop = p.rate * 0.4;
+    c.fault_plan.duplicate = p.rate * 0.2;
+    c.fault_plan.reorder = p.rate * 0.2;
+    c.fault_plan.corrupt = p.rate * 0.2;
+    c.fault_plan.reorder_depth = 4;
+    return c;
+}
+
+/// Waits (bounded) for the cross-node packet-custody invariant:
+/// every pooled packet recycled, every heap fallback freed. Only
+/// quiescence makes exact-count assertions sound — convergence means
+/// no packet (original, retransmit, or injected clone) is still in
+/// flight anywhere.
+testing::AssertionResult
+wait_no_leaks(Node& a, Node& b)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+        const NodeStats sa = a.stats();
+        const NodeStats sb = b.stats();
+        const uint64_t hits = sa.pool_hits + sb.pool_hits;
+        const uint64_t rets = sa.pool_returns + sb.pool_returns;
+        const uint64_t miss = sa.pool_misses + sb.pool_misses;
+        const uint64_t frees = sa.heap_frees + sb.heap_frees;
+        if (hits == rets && miss == frees)
+            return testing::AssertionSuccess();
+        if (std::chrono::steady_clock::now() > deadline) {
+            return testing::AssertionFailure()
+                   << "packet leak after quiescence: pool_hits="
+                   << hits << " pool_returns=" << rets
+                   << " pool_misses=" << miss << " heap_frees="
+                   << frees;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+/// Retries a submit while the command queue is full (the only
+/// retryable status in these tests).
+template <typename F>
+void
+must_submit(F&& submit)
+{
+    for (;;) {
+        SubmitStatus s = submit();
+        if (s)
+            return;
+        ASSERT_EQ(s, SubmitStatus::kQueueFull);
+        std::this_thread::yield();
+    }
+}
+
+class ChaosTest : public testing::TestWithParam<ChaosParam>
+{
+};
+
+TEST_P(ChaosTest, PutDeliversExactlyOnce)
+{
+    const ChaosParam p = GetParam();
+    Node n0(chaos_config(0, p));
+    Node n1(chaos_config(1, p));
+    Endpoint& e0 = n0.create_endpoint(); // proxy 0
+    Endpoint& e1 = n0.create_endpoint(); // proxy 1
+    Endpoint& t0 = n1.create_endpoint();
+    std::vector<uint8_t> mem0(256 * 1024, 0);
+    std::vector<uint8_t> mem1(256 * 1024, 0);
+    uint16_t seg0 = t0.register_segment(mem0.data(), mem0.size());
+    uint16_t seg1 = t0.register_segment(mem1.data(), mem1.size());
+    Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    // Multi-fragment PUTs (up to 3 fragments at kMtu 1024) from both
+    // source proxies to both target proxies (seg % 2 routes). Each
+    // put owns a disjoint destination window: puts i%4 in {0,1} land
+    // in seg0, {2,3} in seg1, at per-segment slot 2*(i/4) + i%2.
+    constexpr int kPuts = 120;
+    constexpr uint32_t kLen = 2100;
+    std::vector<std::vector<uint8_t>> src(kPuts);
+    Flag lsync{0};
+    Flag rsync{0};
+    for (int i = 0; i < kPuts; ++i) {
+        src[static_cast<size_t>(i)].resize(kLen);
+        for (uint32_t j = 0; j < kLen; ++j)
+            src[static_cast<size_t>(i)][j] =
+                static_cast<uint8_t>(i * 13 + j * 7);
+        Endpoint& ep = (i % 2 == 0) ? e0 : e1;
+        const uint16_t seg = (i % 4 < 2) ? seg0 : seg1;
+        const uint64_t off =
+            static_cast<uint64_t>(2 * (i / 4) + i % 2) * kLen;
+        must_submit([&] {
+            return ep.put(src[static_cast<size_t>(i)].data(), 1, seg,
+                          off, kLen, &lsync, &rsync);
+        });
+    }
+    proxy::flag_wait_ge(lsync, kPuts);
+    proxy::flag_wait_ge(rsync, kPuts);
+    ASSERT_TRUE(wait_no_leaks(n0, n1));
+
+    // Exactly once: no duplicate-delivery double increments.
+    EXPECT_EQ(rsync.load(), static_cast<uint64_t>(kPuts));
+    EXPECT_EQ(lsync.load(), static_cast<uint64_t>(kPuts));
+    for (int i = 0; i < kPuts; ++i) {
+        const uint8_t* dst =
+            ((i % 4 < 2) ? mem0.data() : mem1.data()) +
+            static_cast<uint64_t>(2 * (i / 4) + i % 2) * kLen;
+        ASSERT_EQ(std::memcmp(dst, src[static_cast<size_t>(i)].data(),
+                              kLen),
+                  0)
+            << "payload corrupted for put " << i;
+    }
+    const NodeStats s0 = n0.stats();
+    const NodeStats s1 = n1.stats();
+    EXPECT_EQ(s0.faults + s1.faults, 0u);
+    if (p.rate >= 0.1) {
+        // At 10%+ the machinery must demonstrably engage.
+        EXPECT_GT(s0.pkts_retransmitted + s1.pkts_retransmitted, 0u);
+        EXPECT_GT(s0.pkts_dropped + s1.pkts_dropped, 0u);
+    }
+}
+
+TEST_P(ChaosTest, GetStreamsBackExactlyOnce)
+{
+    const ChaosParam p = GetParam();
+    Node n0(chaos_config(0, p));
+    Node n1(chaos_config(1, p));
+    Endpoint& e0 = n0.create_endpoint();
+    Endpoint& e1 = n0.create_endpoint();
+    Endpoint& t0 = n1.create_endpoint();
+    std::vector<uint8_t> mem(64 * 1024);
+    for (size_t j = 0; j < mem.size(); ++j)
+        mem[j] = static_cast<uint8_t>(j * 11 + 3);
+    uint16_t seg0 = t0.register_segment(mem.data(), mem.size());
+    uint16_t seg1 = t0.register_segment(mem.data(), mem.size());
+    Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    constexpr int kGets = 80;
+    constexpr uint32_t kLen = 1800; // 2 fragments
+    std::vector<std::vector<uint8_t>> dst(
+        kGets, std::vector<uint8_t>(kLen, 0));
+    Flag lsync{0};
+    for (int i = 0; i < kGets; ++i) {
+        Endpoint& ep = (i % 2 == 0) ? e0 : e1;
+        const uint16_t seg = (i % 4 < 2) ? seg0 : seg1;
+        const uint64_t off = static_cast<uint64_t>(i) * 512;
+        must_submit([&] {
+            return ep.get(dst[static_cast<size_t>(i)].data(), 1, seg,
+                          off, kLen, &lsync);
+        });
+    }
+    proxy::flag_wait_ge(lsync, kGets);
+    ASSERT_TRUE(wait_no_leaks(n0, n1));
+
+    EXPECT_EQ(lsync.load(), static_cast<uint64_t>(kGets));
+    for (int i = 0; i < kGets; ++i) {
+        ASSERT_EQ(std::memcmp(dst[static_cast<size_t>(i)].data(),
+                              mem.data() +
+                                  static_cast<uint64_t>(i) * 512,
+                              kLen),
+                  0)
+            << "payload corrupted for get " << i;
+    }
+    const NodeStats s0 = n0.stats();
+    const NodeStats s1 = n1.stats();
+    EXPECT_EQ(s0.faults + s1.faults, 0u);
+    if (p.rate >= 0.1) {
+        EXPECT_GT(s0.pkts_retransmitted + s1.pkts_retransmitted, 0u);
+    }
+}
+
+TEST_P(ChaosTest, EnqDeliversExactlyOnceInOrderPerSender)
+{
+    const ChaosParam p = GetParam();
+    Node n0(chaos_config(0, p));
+    Node n1(chaos_config(1, p));
+    Endpoint& e0 = n0.create_endpoint();
+    Endpoint& e1 = n0.create_endpoint();
+    Endpoint& r0 = n1.create_endpoint(); // proxy 0 receive ring
+    Endpoint& r1 = n1.create_endpoint(); // proxy 1 receive ring
+    Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    // Sender k tags each message with (k, i); per-sender order must
+    // survive (one FIFO channel per sender/receiver proxy pair).
+    constexpr int kMsgs = 120; // per sender
+    Flag lsync{0};
+    for (int i = 0; i < kMsgs; ++i) {
+        for (int k = 0; k < 2; ++k) {
+            uint32_t tag[2] = {static_cast<uint32_t>(k),
+                               static_cast<uint32_t>(i)};
+            Endpoint& ep = (k == 0) ? e0 : e1;
+            int dst_user = (k == 0) ? r0.id() : r1.id();
+            must_submit([&] {
+                return ep.enq(tag, sizeof tag, 1, dst_user, &lsync);
+            });
+        }
+    }
+    proxy::flag_wait_ge(lsync, 2 * kMsgs);
+
+    // Drain both receive rings until every message arrived (the
+    // proxies may still be retransmitting the tail).
+    int got[2] = {0, 0};
+    std::vector<uint8_t> msg;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (got[0] + got[1] < 2 * kMsgs) {
+        bool any = false;
+        for (Endpoint* r : {&r0, &r1}) {
+            while (r->try_recv(msg)) {
+                any = true;
+                ASSERT_EQ(msg.size(), 2 * sizeof(uint32_t));
+                uint32_t tag[2];
+                std::memcpy(tag, msg.data(), sizeof tag);
+                ASSERT_LT(tag[0], 2u);
+                // Exactly once, in per-sender order.
+                ASSERT_EQ(tag[1],
+                          static_cast<uint32_t>(got[tag[0]]))
+                    << "sender " << tag[0];
+                ++got[tag[0]];
+            }
+        }
+        if (!any) {
+            ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+                << "lost ENQ: got " << got[0] << "+" << got[1];
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+    }
+    ASSERT_TRUE(wait_no_leaks(n0, n1));
+    EXPECT_EQ(got[0], kMsgs);
+    EXPECT_EQ(got[1], kMsgs);
+    // No extra duplicates can arrive after quiescence.
+    EXPECT_FALSE(r0.try_recv(msg));
+    EXPECT_FALSE(r1.try_recv(msg));
+    const NodeStats s0 = n0.stats();
+    const NodeStats s1 = n1.stats();
+    EXPECT_EQ(s0.enq_drops + s1.enq_drops, 0u);
+    EXPECT_EQ(s0.faults + s1.faults, 0u);
+    if (p.rate >= 0.5) {
+        EXPECT_GT(s0.pkts_duplicate + s1.pkts_duplicate, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByRates, ChaosTest,
+    testing::Values(ChaosParam{1, 0.01}, ChaosParam{2, 0.01},
+                    ChaosParam{3, 0.01}, ChaosParam{1, 0.10},
+                    ChaosParam{2, 0.10}, ChaosParam{3, 0.10},
+                    ChaosParam{1, 0.50}, ChaosParam{2, 0.50},
+                    ChaosParam{3, 0.50}),
+    [](const testing::TestParamInfo<ChaosParam>& info) {
+        return "Seed" + std::to_string(info.param.seed) + "Rate" +
+               std::to_string(
+                   static_cast<int>(info.param.rate * 100));
+    });
+
+// ------------------------------------------------- regression tests
+
+// The latent hang the reliability layer exists to fix, pinned as the
+// baseline behaviour: with retransmission disabled, one dropped
+// packet wedges its CCB forever (the GET lsync never fires, the PUT
+// rsync never fires) — and Node teardown must still complete,
+// because every proxy stall loop is bounded by running_.
+TEST(ChaosRegression, UnreliableDropStallsCcbButTeardownIsBounded)
+{
+    NodeConfig c0;
+    c0.id = 0;
+    c0.num_proxies = 2;
+    c0.reliability.enabled = false;
+    c0.fault_plan.seed = 1;
+    c0.fault_plan.drop = 1.0; // every packet vanishes
+    NodeConfig c1;
+    c1.id = 1;
+    c1.num_proxies = 2;
+    c1.reliability.enabled = false;
+
+    Node n0(c0);
+    Node n1(c1);
+    Endpoint& ep = n0.create_endpoint();
+    Endpoint& t = n1.create_endpoint();
+    std::vector<uint8_t> mem(4096, 0xab);
+    uint16_t seg = t.register_segment(mem.data(), mem.size());
+    Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    std::vector<uint8_t> buf(512, 0x5a);
+    Flag put_lsync{0};
+    Flag put_rsync{0};
+    Flag get_lsync{0};
+    ASSERT_TRUE(
+        ep.put(buf.data(), 1, seg, 0, 512, &put_lsync, &put_rsync));
+    ASSERT_TRUE(ep.get(buf.data(), 1, seg, 0, 512, &get_lsync));
+    // lsync of a PUT fires at hand-to-wire, before the drop.
+    proxy::flag_wait_ge(put_lsync, 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // The wedge: neither remote completion ever arrives.
+    EXPECT_EQ(put_rsync.load(), 0u);
+    EXPECT_EQ(get_lsync.load(), 0u);
+    EXPECT_EQ(n1.stats().packets_in, 0u);
+    EXPECT_EQ(n0.stats().pkts_retransmitted, 0u)
+        << "retransmission must stay off when disabled";
+    // Teardown with a stalled CCB and a full fault schedule must be
+    // bounded (the destructors hanging fails the test by timeout).
+}
+
+// Graceful degradation: with retransmission ON but the peer
+// unreachable (100% drop), the sender exhausts max_retries, declares
+// the peer dead, refuses new submits with kPeerUnreachable, and
+// releases the retained window (no leak, no eternal spin).
+TEST(ChaosRegression, RetryExhaustionDeclaresPeerUnreachable)
+{
+    NodeConfig c0;
+    c0.id = 0;
+    c0.num_proxies = 2;
+    c0.reliability.rto_ns = 200 * 1000;
+    c0.reliability.rto_max_ns = 1000 * 1000;
+    c0.reliability.max_retries = 3;
+    c0.fault_plan.seed = 7;
+    c0.fault_plan.drop = 1.0;
+    NodeConfig c1;
+    c1.id = 1;
+    c1.num_proxies = 2;
+
+    Node n0(c0);
+    Node n1(c1);
+    Endpoint& ep = n0.create_endpoint();
+    Endpoint& t = n1.create_endpoint();
+    std::vector<uint8_t> mem(4096, 0);
+    uint16_t seg = t.register_segment(mem.data(), mem.size());
+    Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+
+    Flag lsync{0};
+    Flag rsync{0};
+    std::vector<uint8_t> buf(256, 0x11);
+    ASSERT_TRUE(
+        ep.put(buf.data(), 1, seg, 0, 256, &lsync, &rsync));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!n0.peer_unreachable(1)) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "peer never declared unreachable";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // New submits are refused immediately, without queueing.
+    EXPECT_EQ(ep.put(buf.data(), 1, seg, 0, 256, &lsync, &rsync),
+              SubmitStatus::kPeerUnreachable);
+    EXPECT_EQ(ep.get(buf.data(), 1, seg, 0, 256, &lsync),
+              SubmitStatus::kPeerUnreachable);
+    EXPECT_EQ(ep.enq(buf.data(), 8, 1, t.id(), &lsync),
+              SubmitStatus::kPeerUnreachable);
+    // Local targets stay reachable.
+    EXPECT_EQ(rsync.load(), 0u);
+    // The abandoned window must not leak its retained packets.
+    ASSERT_TRUE(wait_no_leaks(n0, n1));
+    EXPECT_GT(n0.stats().pkts_retransmitted, 0u);
+}
+
+} // namespace

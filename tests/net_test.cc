@@ -1,0 +1,270 @@
+// Unit tests of the src/net primitives: the header checksum, the
+// deterministic fault injector, the FaultyChannel wrapper, and the
+// sender/receiver halves of the reliability state machine. The
+// end-to-end protocol is model-checked in reliable_property_test.cc
+// and exercised against the real runtime in chaos_test.cc.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/fault.h"
+#include "net/reliable.h"
+#include "spsc/ring_queue.h"
+
+namespace {
+
+TEST(CrcFields, DeterministicAndBitSensitive)
+{
+    const uint32_t base = net::crc_fields({1, 2, 3});
+    EXPECT_EQ(base, net::crc_fields({1, 2, 3}));
+    // Any single flipped bit in any folded word changes the sum.
+    for (int w = 0; w < 3; ++w) {
+        for (int b = 0; b < 64; b += 7) {
+            uint64_t f[3] = {1, 2, 3};
+            f[w] ^= uint64_t{1} << b;
+            EXPECT_NE(base, net::crc_fields({f[0], f[1], f[2]}))
+                << "word " << w << " bit " << b;
+        }
+    }
+    // Word order matters (a swap is corruption too).
+    EXPECT_NE(net::crc_fields({1, 2}), net::crc_fields({2, 1}));
+    // Zero words are not absorbed.
+    EXPECT_NE(net::crc_fields({1, 2}), net::crc_fields({1, 2, 0}));
+}
+
+TEST(FaultInjector, DisabledAlwaysDelivers)
+{
+    net::FaultInjector inj; // default: all-zero plan
+    EXPECT_FALSE(inj.enabled());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(inj.next(), net::FaultAction::kDeliver);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule)
+{
+    net::FaultPlan plan;
+    plan.seed = 42;
+    plan.drop = 0.2;
+    plan.duplicate = 0.2;
+    plan.reorder = 0.2;
+    plan.corrupt = 0.2;
+    net::FaultInjector a(plan, /*salt=*/7);
+    net::FaultInjector b(plan, /*salt=*/7);
+    net::FaultInjector other_salt(plan, /*salt=*/8);
+    int diverged = 0;
+    for (int i = 0; i < 2000; ++i) {
+        net::FaultAction ai = a.next();
+        EXPECT_EQ(ai, b.next()) << "draw " << i;
+        if (ai != other_salt.next())
+            ++diverged;
+    }
+    // Different salts must give a decorrelated stream.
+    EXPECT_GT(diverged, 100);
+}
+
+TEST(FaultInjector, RatesApproximatelyHonored)
+{
+    net::FaultPlan plan;
+    plan.seed = 3;
+    plan.drop = 0.3;
+    plan.duplicate = 0.1;
+    net::FaultInjector inj(plan, 0);
+    int drops = 0;
+    int dups = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        switch (inj.next()) {
+          case net::FaultAction::kDrop: ++drops; break;
+          case net::FaultAction::kDuplicate: ++dups; break;
+          default: break;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(drops) / n, 0.3, 0.02);
+    EXPECT_NEAR(static_cast<double>(dups) / n, 0.1, 0.02);
+}
+
+TEST(FaultyChannel, LosslessPlanDeliversEverything)
+{
+    spsc::DynRingQueue<int> ring(256);
+    net::FaultPlan plan; // all-zero
+    net::FaultyChannel<int, spsc::DynRingQueue<int>> ch(ring, plan);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(ch.send(i));
+    int v = 0;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(ring.try_pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(ring.try_pop(v));
+    EXPECT_EQ(ch.stats().offered, 100u);
+    EXPECT_EQ(ch.stats().dropped, 0u);
+}
+
+TEST(FaultyChannel, StatsAccountForEveryFate)
+{
+    spsc::DynRingQueue<int> ring(4096);
+    net::FaultPlan plan;
+    plan.seed = 11;
+    plan.drop = 0.25;
+    plan.duplicate = 0.25;
+    plan.reorder = 0.25;
+    const int n = 1000;
+    net::FaultyChannel<int, spsc::DynRingQueue<int>> ch(ring, plan);
+    for (int i = 0; i < n; ++i)
+        ch.send(i);
+    ch.flush();
+    const auto& st = ch.stats();
+    EXPECT_EQ(st.offered, static_cast<uint64_t>(n));
+    EXPECT_GT(st.dropped, 0u);
+    EXPECT_GT(st.duplicated, 0u);
+    EXPECT_GT(st.reordered, 0u);
+    EXPECT_EQ(ch.stashed(), 0u) << "flush() must empty the stash";
+    // Conservation: every offer either delivered, dropped, or was
+    // duplicated (one extra copy each).
+    int received = 0;
+    int v = 0;
+    while (ring.try_pop(v))
+        ++received;
+    EXPECT_EQ(static_cast<uint64_t>(received),
+              st.offered - st.dropped + st.duplicated);
+}
+
+TEST(FaultyChannel, CorruptFnMutatesDeliveredCopy)
+{
+    spsc::DynRingQueue<int> ring(64);
+    net::FaultPlan plan;
+    plan.seed = 5;
+    plan.corrupt = 1.0; // every packet corrupted
+    net::FaultyChannel<int, spsc::DynRingQueue<int>> ch(ring, plan);
+    ch.send(7, [](int& v) { v = -v; });
+    int v = 0;
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, -7);
+    EXPECT_EQ(ch.stats().corrupted, 1u);
+    // Without a corruption model the fault degrades to a drop.
+    ch.send(9);
+    EXPECT_FALSE(ring.try_pop(v));
+}
+
+// ---------------------------------------------------------- SenderWindow
+
+net::ReliabilityParams
+small_params()
+{
+    net::ReliabilityParams p;
+    p.window = 4;
+    p.rto_ns = 100;
+    p.rto_max_ns = 400;
+    p.max_retries = 3;
+    return p;
+}
+
+TEST(SenderWindow, AssignsSequentialSeqAndFills)
+{
+    net::SenderWindow<int> w(small_params());
+    EXPECT_TRUE(w.empty());
+    for (uint64_t i = 1; i <= 4; ++i) {
+        EXPECT_FALSE(w.full());
+        EXPECT_EQ(w.send(static_cast<int>(i), /*now=*/0), i);
+    }
+    EXPECT_TRUE(w.full());
+    EXPECT_EQ(w.size(), 4u);
+    EXPECT_EQ(w.highest_sent(), 4u);
+}
+
+TEST(SenderWindow, CumulativeAckReleasesPrefix)
+{
+    net::SenderWindow<int> w(small_params());
+    for (int i = 1; i <= 4; ++i)
+        w.send(i * 10, 0);
+    std::vector<int> released;
+    w.on_ack(3, /*now=*/50, [&](int h) { released.push_back(h); });
+    EXPECT_EQ(released, (std::vector<int>{10, 20, 30}));
+    EXPECT_EQ(w.size(), 1u);
+    EXPECT_FALSE(w.full());
+    // Stale / repeated ack releases nothing further.
+    w.on_ack(3, 60, [&](int h) { released.push_back(h); });
+    EXPECT_EQ(released.size(), 3u);
+}
+
+TEST(SenderWindow, TimeoutBacksOffExponentiallyAndResends)
+{
+    net::SenderWindow<int> w(small_params());
+    w.send(1, /*now=*/0); // deadline 100, rto 100
+    EXPECT_FALSE(w.timeout_due(99));
+    EXPECT_TRUE(w.timeout_due(100));
+    std::vector<uint64_t> resent;
+    w.on_timeout(100, [&](uint64_t seq, int&) { resent.push_back(seq); });
+    EXPECT_EQ(resent, (std::vector<uint64_t>{1}));
+    EXPECT_EQ(w.rto(), 200u); // doubled
+    EXPECT_FALSE(w.timeout_due(299));
+    w.on_timeout(300, [&](uint64_t, int&) {});
+    w.on_timeout(700, [&](uint64_t, int&) {});
+    EXPECT_EQ(w.rto(), 400u) << "rto capped at rto_max_ns";
+    // Ack progress resets both the retry count and the backoff.
+    EXPECT_EQ(w.retries(), 3u);
+    w.send(2, 700);
+    w.on_ack(1, /*now=*/800, [](int) {});
+    EXPECT_EQ(w.retries(), 0u);
+    EXPECT_EQ(w.rto(), 100u);
+    EXPECT_FALSE(w.timeout_due(899));
+    EXPECT_TRUE(w.timeout_due(900));
+}
+
+TEST(SenderWindow, ExhaustsAfterMaxRetriesWithoutProgress)
+{
+    net::SenderWindow<int> w(small_params()); // max_retries = 3
+    w.send(1, 0);
+    uint64_t now = 0;
+    int fired = 0;
+    while (!w.exhausted()) {
+        now += 1000; // far past any backoff
+        ASSERT_TRUE(w.timeout_due(now));
+        w.on_timeout(now, [&](uint64_t, int&) { ++fired; });
+        ASSERT_LE(fired, 10) << "must exhaust, not spin";
+    }
+    EXPECT_EQ(fired, 4); // max_retries + 1 timeouts before giving up
+    std::vector<int> released;
+    w.abandon([&](int h) { released.push_back(h); });
+    EXPECT_EQ(released, (std::vector<int>{1}));
+    EXPECT_TRUE(w.empty());
+}
+
+// ----------------------------------------------------------- ReceiverSeq
+
+TEST(ReceiverSeq, InOrderDeliversAndTracksAck)
+{
+    net::ReceiverSeq r;
+    EXPECT_EQ(r.cum_ack(), 0u);
+    using V = net::ReceiverSeq::Verdict;
+    EXPECT_EQ(r.accept(1), V::kDeliver);
+    EXPECT_EQ(r.accept(2), V::kDeliver);
+    EXPECT_EQ(r.cum_ack(), 2u);
+    EXPECT_TRUE(r.ack_pending());
+    EXPECT_FALSE(r.ack_due(/*ack_every=*/4));
+    EXPECT_EQ(r.accept(3), V::kDeliver);
+    EXPECT_EQ(r.accept(4), V::kDeliver);
+    EXPECT_TRUE(r.ack_due(4)) << "threshold reached";
+    r.ack_sent();
+    EXPECT_FALSE(r.ack_pending());
+    EXPECT_EQ(r.cum_ack(), 4u);
+}
+
+TEST(ReceiverSeq, DuplicateAndGapDropButDemandAck)
+{
+    net::ReceiverSeq r;
+    using V = net::ReceiverSeq::Verdict;
+    EXPECT_EQ(r.accept(1), V::kDeliver);
+    r.ack_sent();
+    EXPECT_EQ(r.accept(1), V::kDuplicate) << "replayed seq";
+    EXPECT_TRUE(r.ack_due(64)) << "duplicate triggers an instant ack";
+    r.ack_sent();
+    EXPECT_EQ(r.accept(5), V::kGap) << "go-back-N drops beyond next";
+    EXPECT_TRUE(r.ack_due(64));
+    EXPECT_EQ(r.cum_ack(), 1u) << "gap does not advance the ack";
+    EXPECT_EQ(r.accept(2), V::kDeliver) << "retransmit fills the gap";
+}
+
+} // namespace

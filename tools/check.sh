@@ -13,6 +13,9 @@
 #   asan       AddressSanitizer+UBSan build; same test subset
 #   ownership  plain build with MSGPROXY_CHECK_OWNERSHIP=ON thread-
 #              ownership assertions; full ctest suite
+#   chaos      deterministic fault-injection suite (ctest -L chaos:
+#              seeded drop/dup/reorder/corrupt over real 2-node
+#              runtimes) in the plain AND ThreadSanitizer trees
 #   tidy       clang-tidy (.clang-tidy profile) over src/, using the
 #              compile_commands.json from the plain build
 #   bench-smoke  builds the bench binaries and runs the multi-proxy
@@ -71,6 +74,13 @@ for mode in "${MODES[@]}"; do
         build_and_test build-ownership -- \
             -DMSGPROXY_CHECK_OWNERSHIP=ON
         ;;
+      chaos)
+        banner "chaos suite, plain tree"
+        build_and_test build -L chaos
+        banner "chaos suite, ThreadSanitizer tree"
+        build_and_test build-tsan -L chaos -- \
+            -DMSGPROXY_SANITIZE=thread
+        ;;
       tidy)
         banner "clang-tidy over src/"
         if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -90,14 +100,30 @@ for mode in "${MODES[@]}"; do
         banner "bench build + quick multi-proxy sweeps"
         cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
         cmake --build build -j "$JOBS" --target \
-            bench_ablation_multi_proxy bench_runtime_scaling
+            bench_ablation_multi_proxy bench_runtime_scaling \
+            bench_fault_sweep
         (cd build/bench && ./bench_ablation_multi_proxy --quick)
+        # Fault sweep smoke: the reliable path must complete under
+        # injected loss without leaking packet custody.
+        fault_out=$( (cd build/bench && ./bench_fault_sweep --quick) | tee /dev/stderr )
+        if ! grep -q '^PKT_LEAKS_TOTAL=0$' <<<"$fault_out"; then
+            echo "bench-smoke: packet custody leak in fault sweep (expected PKT_LEAKS_TOTAL=0):" >&2
+            grep '^PKT_LEAKS_TOTAL=' <<<"$fault_out" >&2 || true
+            exit 1
+        fi
         scaling_out=$( (cd build/bench && ./bench_runtime_scaling --quick) | tee /dev/stderr )
         # Steady-state zero-allocation gate: the pooled wire path
         # must serve every packet of the sweep without heap fallback.
         if ! grep -q '^POOL_MISSES_TOTAL=0$' <<<"$scaling_out"; then
             echo "bench-smoke: pool misses detected (expected POOL_MISSES_TOTAL=0):" >&2
             grep '^POOL_MISSES_TOTAL=' <<<"$scaling_out" >&2 || true
+            exit 1
+        fi
+        # Custody-leak gate: after teardown every pooled packet must
+        # be back in its slab and every heap fallback freed.
+        if ! grep -q '^PKT_LEAKS_TOTAL=0$' <<<"$scaling_out"; then
+            echo "bench-smoke: packet custody leak (expected PKT_LEAKS_TOTAL=0):" >&2
+            grep '^PKT_LEAKS_TOTAL=' <<<"$scaling_out" >&2 || true
             exit 1
         fi
         ;;
@@ -138,7 +164,7 @@ for mode in "${MODES[@]}"; do
         fi
         ;;
       *)
-        echo "unknown mode: $mode (expected plain|tsan|asan|ownership|tidy|bench-smoke|perf)" >&2
+        echo "unknown mode: $mode (expected plain|tsan|asan|ownership|chaos|tidy|bench-smoke|perf)" >&2
         exit 2
         ;;
     esac
