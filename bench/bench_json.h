@@ -17,6 +17,7 @@
 #ifndef MSGPROXY_BENCH_BENCH_JSON_H
 #define MSGPROXY_BENCH_BENCH_JSON_H
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -81,12 +82,24 @@ write(const std::string& bench, const std::vector<Record>& recs)
         need_comma = true;
     }
     for (const auto& r : recs) {
+        // Guard non-finite values: a 0-sample cell (empty
+        // mp::Summary: min=+inf, max=-inf; 0/0 rate: nan) must not
+        // emit bare inf/nan — that is invalid JSON and silently
+        // breaks the check.sh perf diff. Such cells are written as 0
+        // with an explicit flag so downstream tooling can tell "fast"
+        // from "never ran".
+        const bool bad = !std::isfinite(r.latency_ns) ||
+                         !std::isfinite(r.msgs_per_sec);
+        const double lat = std::isfinite(r.latency_ns) ? r.latency_ns
+                                                       : 0.0;
+        const double rate =
+            std::isfinite(r.msgs_per_sec) ? r.msgs_per_sec : 0.0;
         char buf[256];
         std::snprintf(buf, sizeof(buf),
                       "{\"bench\":\"%s\",\"op\":\"%s\",\"P\":%d,"
-                      "\"latency_ns\":%.1f,\"msgs_per_sec\":%.1f}",
-                      bench.c_str(), r.op.c_str(), r.P, r.latency_ns,
-                      r.msgs_per_sec);
+                      "\"latency_ns\":%.1f,\"msgs_per_sec\":%.1f%s}",
+                      bench.c_str(), r.op.c_str(), r.P, lat, rate,
+                      bad ? ",\"nonfinite\":true" : "");
         out << (need_comma ? ",\n" : "") << buf;
         need_comma = true;
     }

@@ -1,0 +1,99 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace obs {
+
+namespace {
+
+/// Synthetic process id for the per-operation slice tracks.
+constexpr int kOpsPid = 1000;
+
+void
+emit_ts_us(std::ostream& os, uint64_t ts_ns, uint64_t origin_ns)
+{
+    json_num(os, static_cast<double>(ts_ns - origin_ns) / 1000.0);
+}
+
+} // namespace
+
+void
+write_chrome_trace(std::ostream& os,
+                   const std::vector<NodeTrace>& nodes)
+{
+    // Normalize to the earliest event so the viewer opens at t=0.
+    uint64_t origin = UINT64_MAX;
+    for (const NodeTrace& nt : nodes)
+        for (const TraceEvent& e : nt.events)
+            origin = std::min(origin, e.ts_ns);
+    if (origin == UINT64_MAX)
+        origin = 0;
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Process / thread naming metadata.
+    for (const NodeTrace& nt : nodes) {
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+           << nt.node << ",\"args\":{\"name\":\"node " << nt.node
+           << "\"}}";
+    }
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kOpsPid
+       << ",\"args\":{\"name\":\"ops\"}}";
+
+    // Instant events on (node, proxy) tracks.
+    for (const NodeTrace& nt : nodes) {
+        for (const TraceEvent& e : nt.events) {
+            sep();
+            os << "{\"name\":\"" << stage_name(e.stage)
+               << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+            emit_ts_us(os, e.ts_ns, origin);
+            os << ",\"pid\":" << nt.node
+               << ",\"tid\":" << static_cast<int>(e.proxy)
+               << ",\"args\":{\"op\":\"" << op_name(e.op)
+               << "\",\"id\":" << e.tid << ",\"aux\":" << e.aux
+               << "}}";
+        }
+    }
+
+    // Per-operation duration slices between consecutive stages.
+    std::map<uint64_t, std::vector<TraceEvent>> by_op;
+    for (const NodeTrace& nt : nodes)
+        for (const TraceEvent& e : nt.events)
+            by_op[e.tid].push_back(e);
+    for (auto& [tid, evs] : by_op) {
+        std::stable_sort(evs.begin(), evs.end(),
+                         [](const TraceEvent& a, const TraceEvent& b) {
+                             if (a.ts_ns != b.ts_ns)
+                                 return a.ts_ns < b.ts_ns;
+                             return a.stage < b.stage;
+                         });
+        for (size_t i = 0; i + 1 < evs.size(); ++i) {
+            const TraceEvent& a = evs[i];
+            const TraceEvent& b = evs[i + 1];
+            sep();
+            os << "{\"name\":\"" << stage_name(a.stage) << "->"
+               << stage_name(b.stage)
+               << "\",\"ph\":\"X\",\"cat\":\"op\",\"ts\":";
+            emit_ts_us(os, a.ts_ns, origin);
+            os << ",\"dur\":";
+            json_num(os,
+                     static_cast<double>(b.ts_ns - a.ts_ns) / 1000.0);
+            os << ",\"pid\":" << kOpsPid << ",\"tid\":" << tid
+               << ",\"args\":{\"op\":\"" << op_name(a.op) << "\"}}";
+        }
+    }
+
+    os << "\n]}\n";
+}
+
+} // namespace obs

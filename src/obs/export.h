@@ -1,0 +1,65 @@
+/// \file
+/// Exporters for the observability layer: Chrome-trace JSON (the
+/// `chrome://tracing` / Perfetto "trace event" format) from merged
+/// per-node stage events, plus small JSON emission helpers shared by
+/// the snapshot writers (all numeric output is guarded against
+/// inf/nan — invalid JSON must never reach the perf-diff tooling).
+
+#ifndef MSGPROXY_OBS_EXPORT_H
+#define MSGPROXY_OBS_EXPORT_H
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace obs {
+
+/// All surviving trace events of one node, as returned by
+/// Node::trace_snapshot().
+struct NodeTrace
+{
+    int node = 0;
+    std::vector<TraceEvent> events;
+};
+
+/// Guarded JSON number: non-finite doubles (empty-summary inf, 0/0
+/// nan) are emitted as 0 so the document always parses; callers that
+/// care set an explicit flag next to the value.
+inline void
+json_num(std::ostream& os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    // Round-trippable without printf %g surprises (no exponents with
+    // locale-dependent commas; JSON forbids bare "1."). Integral
+    // values print as integers.
+    if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+        v > -1e15 && v < 1e15) {
+        os << static_cast<int64_t>(v);
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    os << buf;
+}
+
+/// Writes one merged Chrome-trace JSON document:
+///  - per node: a named process (pid = node id) whose threads are the
+///    proxy indices, carrying instant events for every stage;
+///  - per traced operation: a synthetic "ops" process (pid 1000)
+///    with one thread per operation id, carrying duration slices
+///    between consecutive stages — open the file in Perfetto or
+///    chrome://tracing and the GET critical path reads left to
+///    right: submit -> doorbell -> pickup -> wire_out ->
+///    remote_handler -> reply_in -> complete.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<NodeTrace>& nodes);
+
+} // namespace obs
+
+#endif // MSGPROXY_OBS_EXPORT_H

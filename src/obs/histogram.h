@@ -1,0 +1,147 @@
+/// \file
+/// Log2-bucketed latency histogram for the runtime observability
+/// layer: O(1) add on the proxy hot path, p50/p95/p99/max extraction
+/// at snapshot time.
+///
+/// Bucket i >= 1 covers [2^(i-1), 2^i); bucket 0 holds exact zeros.
+/// 64 buckets cover the full uint64 nanosecond range, so there is no
+/// saturating overflow bucket to mis-read — a 9-second latency lands
+/// in bucket 34 like any other sample.
+///
+/// Thread model: exactly one writer (the owning proxy thread);
+/// readers snapshot concurrently through relaxed atomics, mirroring
+/// the ProxyStats publication discipline.
+
+#ifndef MSGPROXY_OBS_HISTOGRAM_H
+#define MSGPROXY_OBS_HISTOGRAM_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace obs {
+
+class Log2Hist
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    /// Bucket index of value v (0 for 0, else 1 + floor(log2 v),
+    /// clamped to kBuckets-1).
+    static int
+    bucket_of(uint64_t v)
+    {
+        if (v == 0)
+            return 0;
+        int b = 64 - __builtin_clzll(v);
+        return b < kBuckets ? b : kBuckets - 1;
+    }
+
+    /// Inclusive lower edge of bucket i.
+    static uint64_t
+    bucket_floor(int i)
+    {
+        return i == 0 ? 0 : uint64_t{1} << (i - 1);
+    }
+
+    /// Writer only: adds one observation.
+    void
+    add(uint64_t v)
+    {
+        auto& c = counts_[bucket_of(v)];
+        c.store(c.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+        if (v > max_.load(std::memory_order_relaxed))
+            max_.store(v, std::memory_order_relaxed);
+        total_.store(total_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+    }
+
+    uint64_t
+    total() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    bucket(int i) const
+    {
+        return counts_[i].load(std::memory_order_relaxed);
+    }
+
+    /// Adds this histogram's counts into `out[kBuckets]` (merging
+    /// across proxies before quantile extraction).
+    void
+    merge_into(uint64_t* out) const
+    {
+        for (int i = 0; i < kBuckets; ++i)
+            out[i] += bucket(i);
+    }
+
+    /// Discards all observations (writer only, or quiescent).
+    void
+    reset()
+    {
+        for (auto& c : counts_)
+            c.store(0, std::memory_order_relaxed);
+        total_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> counts_[kBuckets] = {};
+    std::atomic<uint64_t> total_{0};
+    std::atomic<uint64_t> max_{0};
+};
+
+/// Quantile q in [0, 1] from a merged bucket array, with linear
+/// interpolation inside the landing bucket. Returns 0 for an empty
+/// histogram. A log2 histogram bounds the relative error of any
+/// quantile by 2x; interpolation typically does much better.
+inline double
+quantile_from_buckets(const uint64_t* counts, double q)
+{
+    uint64_t total = 0;
+    for (int i = 0; i < Log2Hist::kBuckets; ++i)
+        total += counts[i];
+    if (total == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target = q * static_cast<double>(total);
+    double cum = 0.0;
+    for (int i = 0; i < Log2Hist::kBuckets; ++i) {
+        const auto c = static_cast<double>(counts[i]);
+        if (c == 0.0)
+            continue;
+        if (cum + c >= target) {
+            if (i == 0)
+                return 0.0;
+            const double lo =
+                static_cast<double>(Log2Hist::bucket_floor(i));
+            const double frac =
+                c > 0.0 ? (target - cum) / c : 0.0;
+            return lo + frac * lo; // bucket spans [lo, 2*lo)
+        }
+        cum += c;
+    }
+    // All mass below target (rounding): top nonempty bucket's upper
+    // edge.
+    for (int i = Log2Hist::kBuckets - 1; i >= 0; --i) {
+        if (counts[i] != 0)
+            return static_cast<double>(Log2Hist::bucket_floor(i)) *
+                   2.0;
+    }
+    return 0.0;
+}
+
+} // namespace obs
+
+#endif // MSGPROXY_OBS_HISTOGRAM_H

@@ -1,0 +1,234 @@
+/// \file
+/// Per-stage latency tracing for the real (host-thread) proxy
+/// runtime: the observability counterpart of the paper's Table 2,
+/// which breaks a one-word GET into its critical-path components.
+///
+/// A TraceRing is a fixed-capacity, drop-oldest event buffer with
+/// exactly one writer (a proxy thread) and any number of concurrent
+/// snapshot readers. Writers never allocate, never block, and never
+/// lose the newest events: when the ring laps itself the oldest
+/// entries are overwritten and counted in drops(). Every slot is a
+/// per-slot seqlock built from relaxed atomics plus release/acquire
+/// fences (Boehm's construction), so a reader racing the writer
+/// observes either a fully written event or skips the slot — no torn
+/// reads, and clean under ThreadSanitizer.
+///
+/// Events carry a node-unique operation id (`tid`), so the stages of
+/// one command can be stitched back together across proxy threads
+/// and across nodes (all nodes of a test cluster share one
+/// steady_clock, making cross-node deltas meaningful).
+
+#ifndef MSGPROXY_OBS_TRACE_H
+#define MSGPROXY_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace obs {
+
+/// Lifecycle stages of one runtime command, in causal order. PUT-like
+/// one-way ops end at kComplete on the *remote* node (data in place,
+/// rsync fired); request/reply ops (GET, RQ DEQ) additionally pass
+/// kRemoteHandler on the remote node and kReplyIn / kComplete back on
+/// the issuing proxy.
+enum class Stage : uint8_t {
+    kSubmit = 0,    ///< user thread entered Endpoint::submit
+    kDoorbell,      ///< command enqueued + doorbell about to ring
+    kProxyPickup,   ///< owning proxy popped the command
+    kWireOut,       ///< last fragment handed to the wire ring
+    kRemoteHandler, ///< remote proxy began serving the request
+    kReplyIn,       ///< reply fragment back at the issuing proxy
+    kComplete       ///< completion action fired (lsync/rsync/CCB)
+};
+
+constexpr int kNumStages = 7;
+
+inline const char*
+stage_name(Stage s)
+{
+    switch (s) {
+      case Stage::kSubmit: return "submit";
+      case Stage::kDoorbell: return "doorbell";
+      case Stage::kProxyPickup: return "proxy_pickup";
+      case Stage::kWireOut: return "wire_out";
+      case Stage::kRemoteHandler: return "remote_handler";
+      case Stage::kReplyIn: return "reply_in";
+      case Stage::kComplete: return "complete";
+    }
+    return "<invalid>";
+}
+
+/// Operation kinds tracked by the per-op latency histograms (the
+/// runtime's command vocabulary).
+enum class OpKind : uint8_t {
+    kPut = 0,
+    kGet,
+    kEnq,
+    kRqEnq,
+    kRqDeq,
+};
+
+constexpr int kNumOps = 5;
+
+inline const char*
+op_name(OpKind k)
+{
+    switch (k) {
+      case OpKind::kPut: return "put";
+      case OpKind::kGet: return "get";
+      case OpKind::kEnq: return "enq";
+      case OpKind::kRqEnq: return "rq_enq";
+      case OpKind::kRqDeq: return "rq_deq";
+    }
+    return "<invalid>";
+}
+
+/// One stage event. 24 bytes of payload; the ring stores it in three
+/// relaxed-atomic words per slot.
+struct TraceEvent
+{
+    uint64_t ts_ns = 0; ///< steady_clock timestamp
+    uint64_t tid = 0;   ///< operation id (node-salted, never 0)
+    Stage stage = Stage::kSubmit;
+    OpKind op = OpKind::kPut;
+    uint8_t proxy = 0; ///< proxy thread that recorded the event
+    uint32_t aux = 0;  ///< stage-specific (bytes, fragment count)
+};
+
+/// Observability parameters of one Node (NodeConfig::obs).
+struct Params
+{
+    /// Master switch for stage tracing, per-op latency histograms
+    /// and batch-occupancy sampling. Off: the hot path pays one
+    /// relaxed load + branch per command/packet. Can also be toggled
+    /// at runtime via Node::set_obs_enabled().
+    bool enabled = false;
+    /// Per-proxy trace-ring capacity in events (rounded up to a
+    /// power of two). 8192 events = 256 KB per proxy.
+    size_t ring_capacity = 8192;
+};
+
+/// Fixed-capacity drop-oldest event ring; single writer, concurrent
+/// snapshot readers. See the file comment for the slot protocol.
+class TraceRing
+{
+  public:
+    explicit TraceRing(size_t capacity)
+    {
+        size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        mask_ = cap - 1;
+        slots_ = std::make_unique<Slot[]>(cap);
+    }
+
+    TraceRing(const TraceRing&) = delete;
+    TraceRing& operator=(const TraceRing&) = delete;
+
+    /// Writer only. Overwrites the oldest event when full.
+    void
+    record(const TraceEvent& e)
+    {
+        const uint64_t w = w_;
+        Slot& s = slots_[w & mask_];
+        // Mark the slot in-progress, then publish payload, then mark
+        // complete. The release fence keeps a reader that observed
+        // any payload word of this session from also reading the
+        // slot's previous "complete" sequence value.
+        s.seq.store(2 * w + 1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+        s.ts.store(e.ts_ns, std::memory_order_relaxed);
+        s.tid.store(e.tid, std::memory_order_relaxed);
+        s.packed.store(pack(e), std::memory_order_relaxed);
+        s.seq.store(2 * w + 2, std::memory_order_release);
+        w_ = w + 1;
+        widx_.store(w + 1, std::memory_order_release);
+    }
+
+    /// Events ever recorded (including overwritten ones).
+    uint64_t
+    recorded() const
+    {
+        return widx_.load(std::memory_order_acquire);
+    }
+
+    /// Events overwritten before they could be snapshot (drop-oldest
+    /// policy): recorded() minus what the ring still holds.
+    uint64_t
+    drops() const
+    {
+        const uint64_t w = recorded();
+        const uint64_t cap = mask_ + 1;
+        return w > cap ? w - cap : 0;
+    }
+
+    /// Capacity in events (after power-of-two rounding).
+    size_t capacity() const { return mask_ + 1; }
+
+    /// Appends the surviving events (oldest first) to `out`. Safe to
+    /// call while the writer runs: slots overwritten or mid-write
+    /// during the scan are skipped rather than returned torn.
+    void
+    snapshot(std::vector<TraceEvent>& out) const
+    {
+        const uint64_t w = widx_.load(std::memory_order_acquire);
+        const uint64_t cap = mask_ + 1;
+        const uint64_t lo = w > cap ? w - cap : 0;
+        for (uint64_t i = lo; i < w; ++i) {
+            const Slot& s = slots_[i & mask_];
+            if (s.seq.load(std::memory_order_acquire) != 2 * i + 2)
+                continue; // overwritten or in progress
+            TraceEvent e;
+            e.ts_ns = s.ts.load(std::memory_order_relaxed);
+            e.tid = s.tid.load(std::memory_order_relaxed);
+            unpack(s.packed.load(std::memory_order_relaxed), e);
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (s.seq.load(std::memory_order_relaxed) != 2 * i + 2)
+                continue; // overwritten while we copied
+            out.push_back(e);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        /// 0: never written; 2w+1: session w in progress; 2w+2:
+        /// session w complete.
+        std::atomic<uint64_t> seq{0};
+        std::atomic<uint64_t> ts{0};
+        std::atomic<uint64_t> tid{0};
+        std::atomic<uint64_t> packed{0};
+    };
+
+    static uint64_t
+    pack(const TraceEvent& e)
+    {
+        return static_cast<uint64_t>(static_cast<uint8_t>(e.stage)) |
+               (static_cast<uint64_t>(static_cast<uint8_t>(e.op))
+                << 8) |
+               (static_cast<uint64_t>(e.proxy) << 16) |
+               (static_cast<uint64_t>(e.aux) << 32);
+    }
+
+    static void
+    unpack(uint64_t v, TraceEvent& e)
+    {
+        e.stage = static_cast<Stage>(v & 0xff);
+        e.op = static_cast<OpKind>((v >> 8) & 0xff);
+        e.proxy = static_cast<uint8_t>((v >> 16) & 0xff);
+        e.aux = static_cast<uint32_t>(v >> 32);
+    }
+
+    size_t mask_ = 0;
+    std::unique_ptr<Slot[]> slots_;
+    /// Writer-local cursor (single writer).
+    uint64_t w_ = 0;
+    /// Published cursor for readers.
+    std::atomic<uint64_t> widx_{0};
+};
+
+} // namespace obs
+
+#endif // MSGPROXY_OBS_TRACE_H

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/export.h"
 #include "util/log.h"
 
 namespace proxy {
@@ -33,6 +34,102 @@ cpu_pause()
 #elif defined(__aarch64__)
     asm volatile("yield" ::: "memory");
 #endif
+}
+
+/// Single source of truth tying each counter's name to its slot in
+/// both counter structs: read_proxy_stats, stats(), stats_snapshot()
+/// and dump_json() all walk this table, so adding a counter is one
+/// line in each struct plus one row here.
+struct StatField
+{
+    const char* name;
+    uint64_t NodeStats::*v;
+    std::atomic<uint64_t> ProxyStats::*a;
+    /// Combine across proxies by max instead of sum (batch_max).
+    bool combine_max;
+};
+
+constexpr StatField kStatFields[] = {
+    {"commands", &NodeStats::commands, &ProxyStats::commands, false},
+    {"packets_in", &NodeStats::packets_in, &ProxyStats::packets_in,
+     false},
+    {"packets_out", &NodeStats::packets_out, &ProxyStats::packets_out,
+     false},
+    {"faults", &NodeStats::faults, &ProxyStats::faults, false},
+    {"enq_drops", &NodeStats::enq_drops, &ProxyStats::enq_drops,
+     false},
+    {"polls", &NodeStats::polls, &ProxyStats::polls, false},
+    {"idle_transitions", &NodeStats::idle_transitions,
+     &ProxyStats::idle_transitions, false},
+    {"pool_hits", &NodeStats::pool_hits, &ProxyStats::pool_hits,
+     false},
+    {"pool_misses", &NodeStats::pool_misses, &ProxyStats::pool_misses,
+     false},
+    {"acks_coalesced", &NodeStats::acks_coalesced,
+     &ProxyStats::acks_coalesced, false},
+    {"batch_max", &NodeStats::batch_max, &ProxyStats::batch_max, true},
+    {"pkts_dropped", &NodeStats::pkts_dropped,
+     &ProxyStats::pkts_dropped, false},
+    {"pkts_retransmitted", &NodeStats::pkts_retransmitted,
+     &ProxyStats::pkts_retransmitted, false},
+    {"pkts_duplicate", &NodeStats::pkts_duplicate,
+     &ProxyStats::pkts_duplicate, false},
+    {"acks_sent", &NodeStats::acks_sent, &ProxyStats::acks_sent,
+     false},
+    {"crc_fail", &NodeStats::crc_fail, &ProxyStats::crc_fail, false},
+    {"pool_returns", &NodeStats::pool_returns,
+     &ProxyStats::pool_returns, false},
+    {"heap_frees", &NodeStats::heap_frees, &ProxyStats::heap_frees,
+     false},
+};
+
+/// Sums (or maxes) `p` into `acc` field by field.
+void
+accumulate_stats(NodeStats& acc, const NodeStats& p)
+{
+    for (const StatField& f : kStatFields) {
+        if (f.combine_max)
+            acc.*f.v = std::max(acc.*f.v, p.*f.v);
+        else
+            acc.*f.v += p.*f.v;
+    }
+}
+
+/// Command op -> histogram/trace op kind (kNop never reaches the
+/// traced paths).
+obs::OpKind
+op_kind(Command::Op op)
+{
+    switch (op) {
+      case Command::Op::kGet: return obs::OpKind::kGet;
+      case Command::Op::kEnq: return obs::OpKind::kEnq;
+      case Command::Op::kRqEnq: return obs::OpKind::kRqEnq;
+      case Command::Op::kRqDeq: return obs::OpKind::kRqDeq;
+      default: return obs::OpKind::kPut;
+    }
+}
+
+/// Quantile extraction over one merged bucket set -> OpLatency.
+void
+finish_latency(OpLatency& ol)
+{
+    ol.p50_ns = obs::quantile_from_buckets(ol.buckets, 0.50);
+    ol.p95_ns = obs::quantile_from_buckets(ol.buckets, 0.95);
+    ol.p99_ns = obs::quantile_from_buckets(ol.buckets, 0.99);
+}
+
+/// One OpLatency as a JSON object (guarded numerics).
+void
+latency_json(std::ostream& os, const OpLatency& ol)
+{
+    os << "{\"op\":\"" << ol.op << "\",\"count\":" << ol.count
+       << ",\"p50_ns\":";
+    obs::json_num(os, ol.p50_ns);
+    os << ",\"p95_ns\":";
+    obs::json_num(os, ol.p95_ns);
+    os << ",\"p99_ns\":";
+    obs::json_num(os, ol.p99_ns);
+    os << ",\"max_ns\":" << ol.max_ns << "}";
 }
 
 } // namespace
@@ -124,10 +221,19 @@ SubmitStatus
 Endpoint::submit(Command&& c)
 {
     cmd_owner_.assert_owner("Endpoint command queue (single producer)");
+    if (node_.obs_on()) {
+        c.tid = node_.make_tid();
+        c.t_submit = Node::now_ns();
+    }
     if (!node_.valid_target(c.dst_node))
         return SubmitStatus::kBadTarget;
     if (c.dst_node != node_.id() && node_.peer_unreachable(c.dst_node))
         return SubmitStatus::kPeerUnreachable;
+    // Doorbell timestamp: the command is handed over right here (the
+    // push may still fail on a full queue, in which case the whole
+    // trace id dies with the rejected command).
+    if (c.tid != 0)
+        c.t_enqueue = Node::now_ns();
     if (!cmdq_.try_push(std::move(c)))
         return SubmitStatus::kQueueFull;
     node_.note_command_posted(id_);
@@ -249,16 +355,16 @@ Node::Node(const NodeConfig& cfg)
 {
     MP_CHECK(cfg_.num_proxies >= 1 && cfg_.num_proxies <= 64,
              "num_proxies must be in [1, 64], got " << cfg_.num_proxies);
+    obs_enabled_.store(cfg_.obs.enabled, std::memory_order_relaxed);
     for (int p = 0; p < cfg_.num_proxies; ++p) {
         proxies_.push_back(
             std::make_unique<Proxy>(cfg_.packet_pool_size));
         proxies_.back()->index = p;
+        // Rings exist even while tracing is off so set_obs_enabled
+        // can flip mid-run: idle rings cost memory, not time.
+        proxies_.back()->ring =
+            std::make_unique<obs::TraceRing>(cfg_.obs.ring_capacity);
     }
-}
-
-Node::Node(int id, PollMode poll_mode)
-    : Node(NodeConfig{.id = id, .poll_mode = poll_mode})
-{
 }
 
 Node::~Node()
@@ -508,39 +614,141 @@ Node::stop()
 }
 
 NodeStats
+Node::read_proxy_stats(const ProxyStats& ps)
+{
+    NodeStats s;
+    for (const StatField& f : kStatFields)
+        s.*f.v = (ps.*f.a).load(std::memory_order_relaxed);
+    return s;
+}
+
+NodeStats
 Node::stats() const
 {
     NodeStats s;
-    for (const auto& pr : proxies_) {
-        const ProxyStats& ps = pr->stats;
-        s.commands += ps.commands.load(std::memory_order_relaxed);
-        s.packets_in += ps.packets_in.load(std::memory_order_relaxed);
-        s.packets_out += ps.packets_out.load(std::memory_order_relaxed);
-        s.faults += ps.faults.load(std::memory_order_relaxed);
-        s.enq_drops += ps.enq_drops.load(std::memory_order_relaxed);
-        s.polls += ps.polls.load(std::memory_order_relaxed);
-        s.idle_transitions +=
-            ps.idle_transitions.load(std::memory_order_relaxed);
-        s.pool_hits += ps.pool_hits.load(std::memory_order_relaxed);
-        s.pool_misses +=
-            ps.pool_misses.load(std::memory_order_relaxed);
-        s.acks_coalesced +=
-            ps.acks_coalesced.load(std::memory_order_relaxed);
-        s.batch_max = std::max(
-            s.batch_max, ps.batch_max.load(std::memory_order_relaxed));
-        s.pkts_dropped +=
-            ps.pkts_dropped.load(std::memory_order_relaxed);
-        s.pkts_retransmitted +=
-            ps.pkts_retransmitted.load(std::memory_order_relaxed);
-        s.pkts_duplicate +=
-            ps.pkts_duplicate.load(std::memory_order_relaxed);
-        s.acks_sent += ps.acks_sent.load(std::memory_order_relaxed);
-        s.crc_fail += ps.crc_fail.load(std::memory_order_relaxed);
-        s.pool_returns +=
-            ps.pool_returns.load(std::memory_order_relaxed);
-        s.heap_frees += ps.heap_frees.load(std::memory_order_relaxed);
-    }
+    for (const auto& pr : proxies_)
+        accumulate_stats(s, read_proxy_stats(pr->stats));
     return s;
+}
+
+NodeSnapshot
+Node::stats_snapshot() const
+{
+    NodeSnapshot snap;
+    snap.node = cfg_.id;
+    snap.ts_ns = now_ns();
+    snap.obs_enabled = obs_on();
+    for (const auto& pr : proxies_) {
+        snap.per_proxy.push_back(read_proxy_stats(pr->stats));
+        accumulate_stats(snap.totals, snap.per_proxy.back());
+        snap.trace_recorded += pr->ring->recorded();
+        snap.trace_drops += pr->ring->drops();
+        snap.trace_capacity += pr->ring->capacity();
+    }
+    for (int k = 0; k < obs::kNumOps; ++k) {
+        OpLatency ol;
+        ol.op = obs::op_name(static_cast<obs::OpKind>(k));
+        for (const auto& pr : proxies_) {
+            const obs::Log2Hist& h = pr->op_hist[k];
+            h.merge_into(ol.buckets);
+            ol.count += h.total();
+            ol.max_ns = std::max(ol.max_ns, h.max());
+        }
+        if (ol.count == 0)
+            continue;
+        finish_latency(ol);
+        snap.op_latency.push_back(ol);
+    }
+    snap.batch.op = "batch";
+    for (const auto& pr : proxies_) {
+        pr->batch_hist.merge_into(snap.batch.buckets);
+        snap.batch.count += pr->batch_hist.total();
+        snap.batch.max_ns =
+            std::max(snap.batch.max_ns, pr->batch_hist.max());
+    }
+    if (snap.batch.count > 0)
+        finish_latency(snap.batch);
+    return snap;
+}
+
+void
+Node::dump_json(std::ostream& os) const
+{
+    const NodeSnapshot snap = stats_snapshot();
+    os << "{\"node\":" << snap.node << ",\"ts_ns\":" << snap.ts_ns
+       << ",\"obs_enabled\":" << (snap.obs_enabled ? "true" : "false");
+    auto counters = [&os](const NodeStats& s) {
+        os << "{";
+        bool first = true;
+        for (const StatField& f : kStatFields) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "\"" << f.name << "\":" << s.*f.v;
+        }
+        os << "}";
+    };
+    os << ",\"counters\":";
+    counters(snap.totals);
+    os << ",\"per_proxy\":[";
+    for (size_t p = 0; p < snap.per_proxy.size(); ++p) {
+        if (p > 0)
+            os << ",";
+        counters(snap.per_proxy[p]);
+    }
+    os << "],\"op_latency_ns\":[";
+    for (size_t i = 0; i < snap.op_latency.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        latency_json(os, snap.op_latency[i]);
+    }
+    os << "],\"batch\":";
+    latency_json(os, snap.batch);
+    os << ",\"trace\":{\"recorded\":" << snap.trace_recorded
+       << ",\"drops\":" << snap.trace_drops
+       << ",\"capacity\":" << snap.trace_capacity << "}}";
+}
+
+std::vector<obs::TraceEvent>
+Node::trace_snapshot() const
+{
+    std::vector<obs::TraceEvent> out;
+    for (const auto& pr : proxies_)
+        pr->ring->snapshot(out);
+    std::sort(out.begin(), out.end(),
+              [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                  return a.ts_ns < b.ts_ns;
+              });
+    return out;
+}
+
+uint64_t
+Node::trace_recorded() const
+{
+    uint64_t n = 0;
+    for (const auto& pr : proxies_)
+        n += pr->ring->recorded();
+    return n;
+}
+
+uint64_t
+Node::trace_drops() const
+{
+    uint64_t n = 0;
+    for (const auto& pr : proxies_)
+        n += pr->ring->drops();
+    return n;
+}
+
+void
+Node::export_chrome_trace(std::ostream& os,
+                          const std::vector<const Node*>& ns)
+{
+    std::vector<obs::NodeTrace> traces;
+    traces.reserve(ns.size());
+    for (const Node* n : ns)
+        traces.push_back(obs::NodeTrace{n->id(), n->trace_snapshot()});
+    obs::write_chrome_trace(os, traces);
 }
 
 bool
@@ -938,7 +1146,8 @@ Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
         Backoff bo(cfg_.poll);
         uint64_t spins = 0;
         while (lk->win.full() && !lk->dead) {
-            if (stall_debug() && (++spins & ((1u << 20) - 1)) == 0)
+            ++spins;
+            if (stall_debug() && (spins & ((1u << 20) - 1)) == 0)
                 std::fprintf(
                     stderr,
                     "[node %d proxy %d] window stall: peer=%d/%d "
@@ -952,7 +1161,13 @@ Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
                 release_packet(self, ref, nullptr);
                 return false;
             }
-            self.now_cache = now_ns();
+            // Refresh the RTO clock every 16th fast spin, or every
+            // iteration once yielding (a clock read is noise next to
+            // the yield syscall): at most ~16 sub-microsecond
+            // iterations of staleness against 100 us+ timeouts,
+            // instead of a clock read per spin.
+            if ((spins & 15) == 1 || bo.yielding())
+                self.now_cache = now_ns();
             service_link(self, *lk);
             if (drain_inputs(self, /*defer_requests=*/true))
                 bo.reset();
@@ -1111,6 +1326,7 @@ Node::flush_acks(Proxy& self, bool idle)
         pkt->ccb = 0;
         pkt->seq = 0;
         pkt->ack = lk.rseq.cum_ack();
+        pkt->tid = 0; // acks belong to no traced command
         pkt->crc = packet_crc(*pkt);
         lk.rseq.ack_sent();
         ++self.local.acks_sent;
@@ -1124,6 +1340,19 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
     self.owner.assert_owner("Node command handling (proxy thread only)");
     ++self.local.commands;
     const int dst_p = peer_proxy_count(cmd.dst_node);
+    const bool traced = cmd.tid != 0 && obs_on();
+    const obs::OpKind opk = op_kind(cmd.op);
+    if (traced) {
+        // The user-thread timestamps ride in the command; pickup is
+        // now. Real clock reads are fine on traced commands — the
+        // tracing-disabled path never gets here.
+        trace_stage(self, cmd.t_submit, cmd.tid, obs::Stage::kSubmit,
+                    opk, cmd.len);
+        trace_stage(self, cmd.t_enqueue, cmd.tid,
+                    obs::Stage::kDoorbell, opk, 0);
+        trace_stage(self, now_ns(), cmd.tid,
+                    obs::Stage::kProxyPickup, opk, 0);
+    }
     // Pooled packets are recycled without clearing, so every send
     // site below writes the complete header.
     switch (cmd.op) {
@@ -1153,6 +1382,7 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
             bool last = (sent + frag >= cmd.len);
             pkt->flags = last ? 1 : 0;
             pkt->ccb = last ? reinterpret_cast<uint64_t>(cmd.rsync) : 0;
+            pkt->tid = cmd.tid;
             if (frag > 0)
                 std::memcpy(pkt->payload, src + sent, frag);
             send_packet(self, cmd.dst_node, dstprox, ref);
@@ -1163,6 +1393,15 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
         }
         if (nfrags > 1)
             self.local.acks_coalesced += nfrags - 1;
+        if (traced) {
+            const uint64_t t_out = now_ns();
+            trace_stage(self, t_out, cmd.tid, obs::Stage::kWireOut,
+                        opk, nfrags);
+            // One-way op: the histogram measures submit -> wire
+            // handoff (lsync semantics); kComplete fires remotely.
+            self.op_hist[static_cast<int>(opk)].add(t_out -
+                                                    cmd.t_submit);
+        }
         if (cmd.lsync != nullptr)
             cmd.lsync->fetch_add(1, std::memory_order_release);
         break;
@@ -1176,7 +1415,8 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
             idx = self.ccbs.size();
             self.ccbs.push_back(Ccb{});
         }
-        self.ccbs[idx] = Ccb{cmd.dst, cmd.len, cmd.lsync};
+        self.ccbs[idx] =
+            Ccb{cmd.dst, cmd.len, cmd.lsync, cmd.tid, cmd.t_submit};
         PacketRef ref = alloc_packet(self);
         Packet* pkt = ref.p;
         pkt->kind = Packet::Kind::kGetReq;
@@ -1189,7 +1429,11 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
         // The cookie carries the issuing proxy in its high half so
         // the reply routes straight back to the CCB's owner.
         pkt->ccb = (static_cast<uint64_t>(self.index) << 32) | idx;
+        pkt->tid = cmd.tid;
         send_packet(self, cmd.dst_node, cmd.dst_seg % dst_p, ref);
+        if (traced)
+            trace_stage(self, now_ns(), cmd.tid,
+                        obs::Stage::kWireOut, opk, cmd.len);
         break;
       }
       case Command::Op::kEnq: {
@@ -1203,11 +1447,19 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
         pkt->off = 0;
         pkt->len = cmd.len;
         pkt->ccb = 0;
+        pkt->tid = cmd.tid;
         if (cmd.len > 0)
             std::memcpy(pkt->payload, cmd.inline_data, cmd.len);
         // Route to the proxy that owns the receiving endpoint: it is
         // the single producer of that receive ring.
         send_packet(self, cmd.dst_node, cmd.dst_user % dst_p, ref);
+        if (traced) {
+            const uint64_t t_out = now_ns();
+            trace_stage(self, t_out, cmd.tid, obs::Stage::kWireOut,
+                        opk, cmd.len);
+            self.op_hist[static_cast<int>(opk)].add(t_out -
+                                                    cmd.t_submit);
+        }
         if (cmd.lsync != nullptr)
             cmd.lsync->fetch_add(1, std::memory_order_release);
         break;
@@ -1223,11 +1475,19 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
         pkt->off = 0;
         pkt->len = cmd.len;
         pkt->ccb = 0;
+        pkt->tid = cmd.tid;
         if (cmd.len > 0)
             std::memcpy(pkt->payload, cmd.inline_data, cmd.len);
         // Route to the queue's owning proxy (qid mod num_proxies):
         // it alone manipulates the queue, the paper's atomicity rule.
         send_packet(self, cmd.dst_node, cmd.dst_user % dst_p, ref);
+        if (traced) {
+            const uint64_t t_out = now_ns();
+            trace_stage(self, t_out, cmd.tid, obs::Stage::kWireOut,
+                        opk, cmd.len);
+            self.op_hist[static_cast<int>(opk)].add(t_out -
+                                                    cmd.t_submit);
+        }
         if (cmd.lsync != nullptr)
             cmd.lsync->fetch_add(1, std::memory_order_release);
         break;
@@ -1241,7 +1501,8 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
             idx = self.ccbs.size();
             self.ccbs.push_back(Ccb{});
         }
-        self.ccbs[idx] = Ccb{cmd.dst, cmd.len, cmd.lsync};
+        self.ccbs[idx] =
+            Ccb{cmd.dst, cmd.len, cmd.lsync, cmd.tid, cmd.t_submit};
         PacketRef ref = alloc_packet(self);
         Packet* pkt = ref.p;
         pkt->kind = Packet::Kind::kRqDeqReq;
@@ -1252,7 +1513,11 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
         pkt->off = 0;
         pkt->len = cmd.len;
         pkt->ccb = (static_cast<uint64_t>(self.index) << 32) | idx;
+        pkt->tid = cmd.tid;
         send_packet(self, cmd.dst_node, cmd.dst_user % dst_p, ref);
+        if (traced)
+            trace_stage(self, now_ns(), cmd.tid,
+                        obs::Stage::kWireOut, opk, cmd.len);
         break;
       }
       case Command::Op::kNop:
@@ -1286,10 +1551,18 @@ Node::handle_packet(Proxy& self, Packet& pkt)
             reinterpret_cast<Flag*>(pkt.ccb)->fetch_add(
                 1, std::memory_order_release);
         }
+        if ((pkt.flags & 1) != 0 && pkt.tid != 0 && obs_on())
+            trace_stage(self, now_ns(), pkt.tid,
+                        obs::Stage::kComplete, obs::OpKind::kPut,
+                        pkt.len);
         break;
       }
       case Packet::Kind::kGetReq: {
         const int req_proxy = static_cast<int>(pkt.ccb >> 32);
+        if (pkt.tid != 0 && obs_on())
+            trace_stage(self, now_ns(), pkt.tid,
+                        obs::Stage::kRemoteHandler, obs::OpKind::kGet,
+                        pkt.len);
         bool ok = pkt.seg < segments_.size();
         const Segment* seg = ok ? &segments_[pkt.seg] : nullptr;
         ok = ok && seg->remote_access && pkt.off + pkt.len <= seg->len;
@@ -1307,6 +1580,7 @@ Node::handle_packet(Proxy& self, Packet& pkt)
             rep->len = 0;
             rep->off = 0;
             rep->ccb = pkt.ccb;
+            rep->tid = pkt.tid;
             send_packet(self, pkt.src_node, req_proxy, ref);
             return;
         }
@@ -1329,6 +1603,7 @@ Node::handle_packet(Proxy& self, Packet& pkt)
             rep->len = frag;
             rep->off = sent;
             rep->ccb = req_ccb;
+            rep->tid = pkt.tid;
             if (frag > 0)
                 std::memcpy(rep->payload, seg->base + pkt.off + sent,
                             frag);
@@ -1347,6 +1622,11 @@ Node::handle_packet(Proxy& self, Packet& pkt)
                  "GET reply routed to the wrong proxy");
         const auto slot = static_cast<size_t>(pkt.ccb & 0xffffffffu);
         MP_CHECK(slot < self.ccbs.size(), "bad CCB in GET reply");
+        const bool traced = pkt.tid != 0 && obs_on();
+        if (traced)
+            trace_stage(self, now_ns(), pkt.tid,
+                        obs::Stage::kReplyIn, obs::OpKind::kGet,
+                        pkt.len);
         Ccb& ccb = self.ccbs[slot];
         if (pkt.len > 0) {
             std::memcpy(static_cast<uint8_t*>(ccb.dst) + pkt.off,
@@ -1356,6 +1636,16 @@ Node::handle_packet(Proxy& self, Packet& pkt)
         if ((pkt.flags & 1) != 0) {
             if (ccb.lsync != nullptr) {
                 ccb.lsync->fetch_add(1, std::memory_order_release);
+            }
+            if (traced) {
+                const uint64_t t_done = now_ns();
+                trace_stage(self, t_done, pkt.tid,
+                            obs::Stage::kComplete, obs::OpKind::kGet,
+                            pkt.len);
+                // Request/reply op: full submit -> completion RTT.
+                if (ccb.t_submit != 0)
+                    self.op_hist[static_cast<int>(obs::OpKind::kGet)]
+                        .add(t_done - ccb.t_submit);
             }
             self.free_ccbs.push_back(slot);
         }
@@ -1372,6 +1662,10 @@ Node::handle_packet(Proxy& self, Packet& pkt)
                      << user);
         if (!endpoints_[user]->recvq_.try_push(pkt.payload, pkt.len))
             ++self.local.enq_drops;
+        if (pkt.tid != 0 && obs_on())
+            trace_stage(self, now_ns(), pkt.tid,
+                        obs::Stage::kComplete, obs::OpKind::kEnq,
+                        pkt.len);
         break;
       }
       case Packet::Kind::kRqEnqData: {
@@ -1384,10 +1678,18 @@ Node::handle_packet(Proxy& self, Packet& pkt)
                  "RQ ENQ routed to a proxy that does not own queue "
                      << qid);
         rqueues_[qid].emplace_back(pkt.payload, pkt.payload + pkt.len);
+        if (pkt.tid != 0 && obs_on())
+            trace_stage(self, now_ns(), pkt.tid,
+                        obs::Stage::kComplete, obs::OpKind::kRqEnq,
+                        pkt.len);
         break;
       }
       case Packet::Kind::kRqDeqReq: {
         const int req_proxy = static_cast<int>(pkt.ccb >> 32);
+        if (pkt.tid != 0 && obs_on())
+            trace_stage(self, now_ns(), pkt.tid,
+                        obs::Stage::kRemoteHandler,
+                        obs::OpKind::kRqDeq, pkt.len);
         PacketRef ref = alloc_packet(self);
         Packet* rep = ref.p;
         rep->kind = Packet::Kind::kRqDeqData;
@@ -1396,6 +1698,7 @@ Node::handle_packet(Proxy& self, Packet& pkt)
         rep->seg = pkt.seg;
         rep->ccb = pkt.ccb;
         rep->off = 0;
+        rep->tid = pkt.tid;
         auto qid = static_cast<size_t>(pkt.seg);
         if (qid >= rqueues_.size()) {
             ++self.local.faults;
@@ -1426,12 +1729,25 @@ Node::handle_packet(Proxy& self, Packet& pkt)
                  "DEQ reply routed to the wrong proxy");
         const auto slot = static_cast<size_t>(pkt.ccb & 0xffffffffu);
         MP_CHECK(slot < self.ccbs.size(), "bad CCB in DEQ reply");
+        const bool traced = pkt.tid != 0 && obs_on();
+        if (traced)
+            trace_stage(self, now_ns(), pkt.tid,
+                        obs::Stage::kReplyIn, obs::OpKind::kRqDeq,
+                        pkt.len);
         Ccb& ccb = self.ccbs[slot];
         if (pkt.len > 0)
             std::memcpy(ccb.dst, pkt.payload, pkt.len);
         if (ccb.lsync != nullptr) {
             ccb.lsync->fetch_add(1 + pkt.len,
                                  std::memory_order_release);
+        }
+        if (traced) {
+            const uint64_t t_done = now_ns();
+            trace_stage(self, t_done, pkt.tid, obs::Stage::kComplete,
+                        obs::OpKind::kRqDeq, pkt.len);
+            if (ccb.t_submit != 0)
+                self.op_hist[static_cast<int>(obs::OpKind::kRqDeq)]
+                    .add(t_done - ccb.t_submit);
         }
         self.free_ccbs.push_back(slot);
         break;
@@ -1492,11 +1808,15 @@ Node::proxy_main(Proxy& self)
             self.local.commands + self.local.packets_in;
         bool progressed = false;
 
-        // The RTO clock: a cache refreshed every 16 iterations (and
-        // in stall loops) — microsecond-scale staleness against
+        // The RTO clock: one refresh site per loop — every 16th
+        // iteration when busy (microsecond-scale staleness against
         // 100 us+ timeouts, instead of a ~25 ns clock read per
-        // packet on the fast path.
-        if ((self.local.polls & 15) == 0)
+        // packet), every iteration when idle (the previous iteration
+        // hit the backoff machine, so a yield/sleep of unknown
+        // length may have passed and the ack-idle/RTO timers need a
+        // truthful clock). The stall loops inside send_packet keep
+        // their own refresh.
+        if ((self.local.polls & 15) == 0 || self.idle_polls != 0)
             self.now_cache = now_ns();
 
         while (!self.deferred.empty()) {
@@ -1571,6 +1891,10 @@ Node::proxy_main(Proxy& self)
             self.local.commands + self.local.packets_in - before;
         if (batch > self.local.batch_max)
             self.local.batch_max = batch;
+        // Occupancy sample: how much backlog each productive wakeup
+        // found (the queue-depth proxy of the snapshot API).
+        if (batch > 0 && obs_on())
+            self.batch_hist.add(batch);
 
         if (progressed || self.carry_mask != 0) {
             bo.reset();
@@ -1585,10 +1909,9 @@ Node::proxy_main(Proxy& self)
             ++self.idle_polls;
             // Idle housekeeping: recycle returned slots so the leak
             // invariant (pool_hits == pool_returns) converges after
-            // traffic stops, and keep the RTO clock fresh enough for
-            // the timers serviced above.
+            // traffic stops. The clock refresh happens at the top of
+            // the next iteration (idle_polls != 0).
             drain_returns(self);
-            self.now_cache = now_ns();
             bo.idle();
         }
     }

@@ -42,6 +42,8 @@
 #include "check/ownership.h"
 #include "net/fault.h"
 #include "net/reliable.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "spsc/ring_queue.h"
 
 namespace proxy {
@@ -149,6 +151,10 @@ struct Command
     uint32_t len = 0;
     Flag* lsync = nullptr;
     Flag* rsync = nullptr;
+    // ---- observability (zero when tracing is off) ----
+    uint64_t tid = 0;       ///< trace id (node-salted, 0: untraced)
+    uint64_t t_submit = 0;  ///< submit() entry timestamp
+    uint64_t t_enqueue = 0; ///< just before cmdq push / doorbell
     uint8_t inline_data[kMaxEnqBytes]; ///< ENQ payload (copied)
 };
 
@@ -268,6 +274,45 @@ struct NodeStats
     uint64_t heap_frees = 0;
 };
 
+/// Completion-latency distribution of one op kind, extracted from
+/// the per-proxy log2 histograms at snapshot time. One-way ops
+/// (PUT/ENQ/RQ_ENQ) measure submit -> last fragment on the wire;
+/// request/reply ops (GET/RQ_DEQ) measure submit -> completion (full
+/// round trip), matching the paper's Table 2 framing.
+struct OpLatency
+{
+    const char* op = "";
+    uint64_t count = 0;
+    uint64_t max_ns = 0;
+    double p50_ns = 0.0;
+    double p95_ns = 0.0;
+    double p99_ns = 0.0;
+    /// Merged log2 buckets (obs::Log2Hist layout) for re-bucketing
+    /// or custom quantiles downstream.
+    uint64_t buckets[obs::Log2Hist::kBuckets] = {};
+};
+
+/// Everything Node::stats_snapshot() captures in one call: summed and
+/// per-proxy counters, per-op latency histograms, batch-occupancy
+/// distribution, and trace-ring accounting. Serialized by
+/// Node::dump_json().
+struct NodeSnapshot
+{
+    int node = 0;
+    uint64_t ts_ns = 0; ///< capture time (steady_clock)
+    bool obs_enabled = false;
+    NodeStats totals;
+    std::vector<NodeStats> per_proxy;
+    /// One entry per obs::OpKind with nonzero count.
+    std::vector<OpLatency> op_latency;
+    /// Work items handled per non-empty loop iteration (queue-depth
+    /// proxy: how much backlog each wakeup found).
+    OpLatency batch;
+    uint64_t trace_recorded = 0;
+    uint64_t trace_drops = 0;
+    size_t trace_capacity = 0;
+};
+
 /// Node construction parameters, mirroring rma::SystemConfig for the
 /// simulated cluster. Aggregate-initializable:
 ///   proxy::Node n(proxy::NodeConfig{.id = 0, .num_proxies = 2});
@@ -310,6 +355,10 @@ struct NodeConfig
     /// node's proxies produce (test builds; defaults to all-zero
     /// rates, i.e. the paper's lossless fabric).
     net::FaultPlan fault_plan{};
+    /// Observability: stage tracing + latency histograms (off by
+    /// default; the disabled cost is one relaxed load + branch per
+    /// command/packet).
+    obs::Params obs{};
 };
 
 class Node;
@@ -437,11 +486,6 @@ class Node
     /// nodes together, then start() to launch the proxies.
     explicit Node(const NodeConfig& cfg);
 
-    /// Deprecated forwarding constructor (one release): positional
-    /// (id, poll mode) construction predating NodeConfig.
-    [[deprecated("construct with proxy::NodeConfig")]] explicit Node(
-        int id, PollMode poll_mode = PollMode::kBitVector);
-
     ~Node();
 
     Node(const Node&) = delete;
@@ -491,6 +535,52 @@ class Node
     /// SubmitStatus::kPeerUnreachable. Readable from any thread.
     bool peer_unreachable(int node) const;
 
+    // ----- observability (src/obs) ---------------------------------
+
+    /// True when stage tracing / histograms are live. Compile with
+    /// -DMSGPROXY_OBS_DISABLE to hard-disable (the branch folds to
+    /// constant false).
+    bool
+    obs_on() const
+    {
+#ifdef MSGPROXY_OBS_DISABLE
+        return false;
+#else
+        return obs_enabled_.load(std::memory_order_relaxed);
+#endif
+    }
+
+    /// Runtime toggle for tracing + histograms (any thread). Events
+    /// already in flight on untraced commands stay untraced.
+    void
+    set_obs_enabled(bool on)
+    {
+        obs_enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /// Full observability snapshot: merged + per-proxy counters,
+    /// per-op latency quantiles, batch distribution, trace-ring
+    /// accounting. Readable while running (approximate).
+    NodeSnapshot stats_snapshot() const;
+
+    /// Serializes stats_snapshot() as one JSON document (guarded
+    /// numerics: never emits inf/nan).
+    void dump_json(std::ostream& os) const;
+
+    /// Surviving trace events of all proxies, merged and sorted by
+    /// timestamp. Safe while running (mid-write slots are skipped).
+    std::vector<obs::TraceEvent> trace_snapshot() const;
+
+    /// Stage events ever recorded / overwritten across all proxy
+    /// trace rings.
+    uint64_t trace_recorded() const;
+    uint64_t trace_drops() const;
+
+    /// Writes one Chrome-trace JSON (Perfetto) document merging the
+    /// given nodes' trace snapshots; see obs::write_chrome_trace.
+    static void export_chrome_trace(std::ostream& os,
+                                    const std::vector<const Node*>& ns);
+
   private:
     friend class Endpoint;
 
@@ -525,6 +615,10 @@ class Node
         /// Piggybacked cumulative ack for the link's reverse
         /// direction (0: nothing to ack — acks start at seq 1).
         uint64_t ack;
+        /// Trace id of the originating command (0: untraced).
+        /// Observability metadata: excluded from the checksum like
+        /// tx_state, copied by clone_packet like every header field.
+        uint64_t tid;
         /// Header checksum over kind/flags/src/seg/len/off/ccb/seq/
         /// ack (net::crc_fields). Excludes the payload and tx_state.
         uint32_t crc;
@@ -639,6 +733,8 @@ class Node
         void* dst;
         uint32_t remaining;
         Flag* lsync;
+        uint64_t tid = 0;      ///< trace id (0: untraced)
+        uint64_t t_submit = 0; ///< for the round-trip histogram
     };
 
     /// A packet parked for later handling, tagged with where its
@@ -771,6 +867,14 @@ class Node
         /// Consecutive no-progress loop iterations (drives the
         /// idle ack flush).
         uint64_t idle_polls = 0;
+        /// Stage-event ring (always allocated so the runtime toggle
+        /// works; unused rings cost memory, not time).
+        std::unique_ptr<obs::TraceRing> ring;
+        /// Completion-latency histograms per op kind, written only by
+        /// this proxy at its completion sites.
+        obs::Log2Hist op_hist[obs::kNumOps];
+        /// Work items per non-empty loop iteration.
+        obs::Log2Hist batch_hist;
         /// Lint: this proxy's shard of segments/rqueues/ccbs is
         /// owned by the thread bound at proxy_main entry.
         check::ThreadOwner owner;
@@ -860,6 +964,25 @@ class Node
     void drain_returns(Proxy& self);
     /// Copies self's LocalStats into the atomic ProxyStats.
     static void publish_stats(Proxy& self);
+    /// One proxy's published counters as a NodeStats (the summing /
+    /// per-proxy building block of stats() and stats_snapshot()).
+    static NodeStats read_proxy_stats(const ProxyStats& s);
+    /// Fresh node-salted trace id (never 0).
+    uint64_t
+    make_tid()
+    {
+        return (uint64_t(cfg_.id + 1) << 40) |
+               next_tid_.fetch_add(1, std::memory_order_relaxed);
+    }
+    /// Records a stage event into self's trace ring.
+    void
+    trace_stage(Proxy& self, uint64_t ts, uint64_t tid,
+                obs::Stage stage, obs::OpKind op, uint32_t aux)
+    {
+        self.ring->record(obs::TraceEvent{
+            ts, tid, stage, op, static_cast<uint8_t>(self.index),
+            aux});
+    }
 
     NodeConfig cfg_;
     std::vector<std::unique_ptr<Proxy>> proxies_;
@@ -884,6 +1007,11 @@ class Node
     /// Allocated at connect() time, before any thread runs.
     std::vector<std::unique_ptr<std::atomic<bool>>> peer_dead_;
     std::atomic<bool> running_{false};
+    /// Observability master switch (NodeConfig::obs.enabled, runtime
+    /// togglable via set_obs_enabled).
+    std::atomic<bool> obs_enabled_{false};
+    /// Trace-id allocator (make_tid).
+    std::atomic<uint64_t> next_tid_{1};
 };
 
 } // namespace proxy

@@ -144,6 +144,45 @@ class Histogram
                          static_cast<double>(counts_.size());
     }
 
+    /// Quantile q in [0, 1] with linear interpolation inside the
+    /// landing bucket. Underflow mass reports as lo, overflow mass as
+    /// hi (the histogram cannot resolve beyond its range). Returns 0
+    /// when empty.
+    double
+    quantile(double q) const
+    {
+        if (total_ == 0)
+            return 0.0;
+        q = std::min(std::max(q, 0.0), 1.0);
+        const double target = q * static_cast<double>(total_);
+        double cum = static_cast<double>(underflow_);
+        if (cum >= target && underflow_ > 0)
+            return lo_;
+        const double width =
+            (hi_ - lo_) / static_cast<double>(counts_.size());
+        for (size_t i = 0; i < counts_.size(); ++i) {
+            const auto c = static_cast<double>(counts_[i]);
+            if (c == 0.0)
+                continue;
+            if (cum + c >= target) {
+                const double frac = (target - cum) / c;
+                return bucket_lo(i) + frac * width;
+            }
+            cum += c;
+        }
+        return hi_; // remaining mass sits in the overflow bucket
+    }
+
+    /// Discards all observations (the bucket layout is kept).
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        underflow_ = 0;
+        overflow_ = 0;
+        total_ = 0;
+    }
+
   private:
     double lo_;
     double hi_;

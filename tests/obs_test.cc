@@ -1,0 +1,336 @@
+/// \file
+/// Unit tests for the observability layer: trace-ring wraparound and
+/// drop accounting, torn-read safety under a concurrent writer (the
+/// TSan tree runs this too), log2-histogram bucket and quantile
+/// edges, guarded JSON emission — plus the bench_json regression:
+/// an empty mp::Summary (min = +inf, max = -inf) must never put bare
+/// inf/nan into the trajectory file.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "bench/bench_json.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "util/stats.h"
+
+namespace {
+
+obs::TraceEvent
+ev(uint64_t ts, uint64_t tid, obs::Stage st, uint32_t aux = 0)
+{
+    obs::TraceEvent e;
+    e.ts_ns = ts;
+    e.tid = tid;
+    e.stage = st;
+    e.op = obs::OpKind::kGet;
+    e.proxy = 1;
+    e.aux = aux;
+    return e;
+}
+
+// ------------------------------------------------------------ TraceRing
+
+TEST(TraceRing, RecordsAndSnapshotsInOrder)
+{
+    obs::TraceRing ring(8);
+    EXPECT_EQ(ring.capacity(), 8u);
+    for (uint64_t i = 0; i < 5; ++i)
+        ring.record(ev(100 + i, i + 1, obs::Stage::kSubmit, 7));
+    EXPECT_EQ(ring.recorded(), 5u);
+    EXPECT_EQ(ring.drops(), 0u);
+    std::vector<obs::TraceEvent> out;
+    ring.snapshot(out);
+    ASSERT_EQ(out.size(), 5u);
+    for (uint64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(out[i].ts_ns, 100 + i);
+        EXPECT_EQ(out[i].tid, i + 1);
+        EXPECT_EQ(out[i].stage, obs::Stage::kSubmit);
+        EXPECT_EQ(out[i].op, obs::OpKind::kGet);
+        EXPECT_EQ(out[i].proxy, 1);
+        EXPECT_EQ(out[i].aux, 7u);
+    }
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo)
+{
+    obs::TraceRing ring(5);
+    EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(TraceRing, WraparoundDropsOldestAndCounts)
+{
+    obs::TraceRing ring(4);
+    for (uint64_t i = 0; i < 11; ++i)
+        ring.record(ev(i, i + 1, obs::Stage::kWireOut));
+    EXPECT_EQ(ring.recorded(), 11u);
+    EXPECT_EQ(ring.drops(), 7u); // 11 recorded, 4 survive
+    std::vector<obs::TraceEvent> out;
+    ring.snapshot(out);
+    ASSERT_EQ(out.size(), 4u);
+    // The newest 4 survive, oldest first.
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(out[i].ts_ns, 7 + i);
+}
+
+TEST(TraceRing, SnapshotIsCoherentUnderConcurrentWriter)
+{
+    // A reader racing the single writer must only ever observe fully
+    // written events: every event is self-consistent (tid derives
+    // from ts, aux from tid), so any torn read trips the checks.
+    // TSan (tools/check.sh tsan runs this binary) verifies the
+    // fence-based slot protocol is also formally race-free.
+    obs::TraceRing ring(64);
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            obs::TraceEvent e;
+            e.ts_ns = i;
+            e.tid = i * 3 + 1;
+            e.stage = obs::Stage::kComplete;
+            e.op = obs::OpKind::kPut;
+            e.proxy = 2;
+            e.aux = static_cast<uint32_t>(e.tid & 0xffffffffu);
+            ring.record(e);
+            ++i;
+        }
+    });
+    std::vector<obs::TraceEvent> out;
+    for (int round = 0; round < 200; ++round) {
+        out.clear();
+        ring.snapshot(out);
+        uint64_t prev_ts = 0;
+        bool first = true;
+        for (const obs::TraceEvent& e : out) {
+            EXPECT_EQ(e.tid, e.ts_ns * 3 + 1);
+            EXPECT_EQ(e.aux,
+                      static_cast<uint32_t>(e.tid & 0xffffffffu));
+            EXPECT_EQ(e.stage, obs::Stage::kComplete);
+            EXPECT_EQ(e.op, obs::OpKind::kPut);
+            EXPECT_EQ(e.proxy, 2);
+            if (!first)
+                EXPECT_GT(e.ts_ns, prev_ts); // still oldest-first
+            prev_ts = e.ts_ns;
+            first = false;
+        }
+    }
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+    EXPECT_EQ(ring.drops(),
+              ring.recorded() > ring.capacity()
+                  ? ring.recorded() - ring.capacity()
+                  : 0);
+}
+
+// ------------------------------------------------------------- Log2Hist
+
+TEST(Log2Hist, BucketEdges)
+{
+    EXPECT_EQ(obs::Log2Hist::bucket_of(0), 0);
+    EXPECT_EQ(obs::Log2Hist::bucket_of(1), 1);
+    EXPECT_EQ(obs::Log2Hist::bucket_of(2), 2);
+    EXPECT_EQ(obs::Log2Hist::bucket_of(3), 2);
+    EXPECT_EQ(obs::Log2Hist::bucket_of(4), 3);
+    EXPECT_EQ(obs::Log2Hist::bucket_of(1023), 10);
+    EXPECT_EQ(obs::Log2Hist::bucket_of(1024), 11);
+    EXPECT_EQ(obs::Log2Hist::bucket_of(UINT64_MAX),
+              obs::Log2Hist::kBuckets - 1);
+    EXPECT_EQ(obs::Log2Hist::bucket_floor(0), 0u);
+    EXPECT_EQ(obs::Log2Hist::bucket_floor(1), 1u);
+    EXPECT_EQ(obs::Log2Hist::bucket_floor(11), 1024u);
+}
+
+TEST(Log2Hist, EmptyIsSane)
+{
+    obs::Log2Hist h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    uint64_t buckets[obs::Log2Hist::kBuckets] = {};
+    h.merge_into(buckets);
+    EXPECT_EQ(obs::quantile_from_buckets(buckets, 0.5), 0.0);
+}
+
+TEST(Log2Hist, SingleSampleQuantiles)
+{
+    obs::Log2Hist h;
+    h.add(1000);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.max(), 1000u);
+    uint64_t buckets[obs::Log2Hist::kBuckets] = {};
+    h.merge_into(buckets);
+    // The single sample lands in [512, 1024): any quantile
+    // interpolates inside that bucket.
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+        const double v = obs::quantile_from_buckets(buckets, q);
+        EXPECT_GE(v, 512.0) << "q=" << q;
+        EXPECT_LE(v, 1024.0) << "q=" << q;
+    }
+}
+
+TEST(Log2Hist, QuantileOrderingAndClamping)
+{
+    obs::Log2Hist h;
+    for (uint64_t v = 1; v <= 1000; ++v)
+        h.add(v);
+    uint64_t buckets[obs::Log2Hist::kBuckets] = {};
+    h.merge_into(buckets);
+    const double p50 = obs::quantile_from_buckets(buckets, 0.50);
+    const double p95 = obs::quantile_from_buckets(buckets, 0.95);
+    const double p99 = obs::quantile_from_buckets(buckets, 0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    // Log2 buckets bound any quantile's relative error by 2x.
+    EXPECT_GE(p50, 250.0);
+    EXPECT_LE(p50, 1000.0);
+    // Out-of-range q clamps instead of reading out of bounds.
+    EXPECT_EQ(obs::quantile_from_buckets(buckets, -1.0),
+              obs::quantile_from_buckets(buckets, 0.0));
+    EXPECT_EQ(obs::quantile_from_buckets(buckets, 2.0),
+              obs::quantile_from_buckets(buckets, 1.0));
+}
+
+TEST(Log2Hist, ResetClears)
+{
+    obs::Log2Hist h;
+    h.add(5);
+    h.add(500);
+    EXPECT_EQ(h.total(), 2u);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    for (int i = 0; i < obs::Log2Hist::kBuckets; ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+}
+
+// ------------------------------------------------------------- exporters
+
+TEST(JsonNum, GuardsNonFinite)
+{
+    auto render = [](double v) {
+        std::ostringstream os;
+        obs::json_num(os, v);
+        return os.str();
+    };
+    EXPECT_EQ(render(std::numeric_limits<double>::infinity()), "0");
+    EXPECT_EQ(render(-std::numeric_limits<double>::infinity()), "0");
+    EXPECT_EQ(render(std::nan("")), "0");
+    EXPECT_EQ(render(42.0), "42");
+    EXPECT_EQ(render(-3.0), "-3");
+    EXPECT_EQ(render(1.5), "1.500");
+}
+
+TEST(ChromeTrace, EmitsValidLookingJson)
+{
+    std::vector<obs::NodeTrace> nodes(2);
+    nodes[0].node = 0;
+    nodes[0].events.push_back(ev(1000, 42, obs::Stage::kSubmit, 8));
+    nodes[0].events.push_back(ev(1300, 42, obs::Stage::kWireOut, 1));
+    nodes[1].node = 1;
+    nodes[1].events.push_back(
+        ev(1500, 42, obs::Stage::kRemoteHandler, 8));
+    std::ostringstream os;
+    obs::write_chrome_trace(os, nodes);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(s.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(s.find("\"submit\""), std::string::npos);
+    EXPECT_NE(s.find("\"submit->wire_out\""), std::string::npos);
+    EXPECT_NE(s.find("\"wire_out->remote_handler\""),
+              std::string::npos);
+    EXPECT_EQ(s.find("inf"), std::string::npos);
+    EXPECT_EQ(s.find("nan"), std::string::npos);
+    // Balanced braces (cheap structural sanity without a parser; the
+    // check.sh obs mode runs a real json.load on bench output).
+    long depth = 0;
+    for (char c : s) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(ChromeTrace, EmptyInputIsStillADocument)
+{
+    std::ostringstream os;
+    obs::write_chrome_trace(os, {});
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(s.find("inf"), std::string::npos);
+}
+
+// ---------------------------------------------- bench_json regression
+
+TEST(BenchJson, EmptySummaryNeverEmitsInfNan)
+{
+    // The bug: an empty mp::Summary has min()=+inf / max()=-inf, and
+    // a 0-sample cell divides 0/0 into nan. Written unguarded these
+    // produced invalid JSON that silently broke check.sh perf.
+    mp::Summary empty;
+    benchjson::Record r;
+    r.op = "empty_cell";
+    r.P = 1;
+    r.latency_ns = empty.min();           // +inf
+    r.msgs_per_sec = empty.sum() / 0.0;   // nan (0/0)
+    ASSERT_FALSE(std::isfinite(r.latency_ns));
+
+    char tmpl[] = "/tmp/bench_json_test_XXXXXX";
+    int fd = mkstemp(tmpl);
+    ASSERT_GE(fd, 0);
+    close(fd);
+    setenv("MSGPROXY_BENCH_JSON", tmpl, 1);
+    benchjson::write("obs_test", {r});
+    unsetenv("MSGPROXY_BENCH_JSON");
+
+    std::ifstream in(tmpl);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string s = ss.str();
+    std::remove(tmpl);
+
+    EXPECT_EQ(s.find("inf"), std::string::npos) << s;
+    EXPECT_EQ(s.find("nan"), std::string::npos) << s;
+    EXPECT_NE(s.find("\"nonfinite\":true"), std::string::npos) << s;
+    EXPECT_NE(s.find("\"latency_ns\":0.0"), std::string::npos) << s;
+}
+
+TEST(BenchJson, FiniteRecordsCarryNoFlag)
+{
+    benchjson::Record r;
+    r.op = "ok_cell";
+    r.P = 2;
+    r.latency_ns = 123.4;
+    r.msgs_per_sec = 8103727.7;
+
+    char tmpl[] = "/tmp/bench_json_test_XXXXXX";
+    int fd = mkstemp(tmpl);
+    ASSERT_GE(fd, 0);
+    close(fd);
+    setenv("MSGPROXY_BENCH_JSON", tmpl, 1);
+    benchjson::write("obs_test", {r});
+    unsetenv("MSGPROXY_BENCH_JSON");
+
+    std::ifstream in(tmpl);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string s = ss.str();
+    std::remove(tmpl);
+
+    EXPECT_EQ(s.find("nonfinite"), std::string::npos) << s;
+    EXPECT_NE(s.find("\"latency_ns\":123.4"), std::string::npos) << s;
+}
+
+} // namespace

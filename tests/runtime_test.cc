@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <numeric>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -677,17 +680,6 @@ TEST(ProxyRuntime, NodeConfigDepthsAreEnforced)
             std::this_thread::yield();
         ASSERT_EQ(out.size(), 8u);
     }
-}
-
-TEST(ProxyRuntime, DeprecatedPositionalCtorStillForwards)
-{
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    proxy::Node n(3, proxy::Node::PollMode::kScanAll);
-#pragma GCC diagnostic pop
-    EXPECT_EQ(n.id(), 3);
-    EXPECT_EQ(n.num_proxies(), 1);
-    EXPECT_EQ(n.config().poll_mode, proxy::PollMode::kScanAll);
 }
 
 // ------------------------------------------------- multi-proxy sharding
@@ -1420,6 +1412,257 @@ TEST(ProxyWirePath, MultiFragmentPutCompletesExactlyOnce)
     EXPECT_EQ(rsync.load(), 1u);
     EXPECT_EQ(remote, src);
     EXPECT_EQ(n0.stats().acks_coalesced, 9u);
+}
+
+// --------------------------------------------------- observability layer
+
+/// TwoNodes with stage tracing + histograms on from construction.
+struct TracedPair
+{
+    TracedPair()
+        : n0(proxy::NodeConfig{.id = 0, .obs = {true, 4096}}),
+          n1(proxy::NodeConfig{.id = 1, .obs = {true, 4096}})
+    {
+        ep0 = &n0.create_endpoint();
+        ep1 = &n1.create_endpoint();
+        proxy::Node::connect(n0, n1);
+    }
+
+    void
+    start()
+    {
+        n0.start();
+        n1.start();
+    }
+
+    proxy::Node n0, n1;
+    proxy::Endpoint* ep0;
+    proxy::Endpoint* ep1;
+};
+
+/// Events of one operation id across both nodes, sorted by time.
+std::vector<obs::TraceEvent>
+events_of(const std::vector<obs::TraceEvent>& all, uint64_t tid)
+{
+    std::vector<obs::TraceEvent> out;
+    for (const obs::TraceEvent& e : all) {
+        if (e.tid == tid)
+            out.push_back(e);
+    }
+    // Tiebreak equal timestamps by stage: the causal chain guarantees
+    // non-decreasing time in stage order, so this keys on causality.
+    std::sort(out.begin(), out.end(),
+              [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                  return a.ts_ns != b.ts_ns
+                             ? a.ts_ns < b.ts_ns
+                             : a.stage < b.stage;
+              });
+    return out;
+}
+
+TEST(Observability, TracedGetProducesAllStagesMonotone)
+{
+    TracedPair t;
+    std::vector<uint32_t> remote(16, 0xfeedu);
+    uint16_t seg = t.ep1->register_segment(
+        remote.data(), remote.size() * sizeof(uint32_t));
+    uint32_t local = 0;
+    proxy::Flag lsync{0};
+    t.start();
+    ASSERT_TRUE(t.ep0->get(&local, 1, seg, 0, sizeof(local), &lsync));
+    proxy::flag_wait_ge(lsync, 1);
+    t.n0.stop();
+    t.n1.stop();
+    EXPECT_EQ(local, 0xfeedu);
+
+    // Merge both nodes' rings: the GET's seven stages span them.
+    std::vector<obs::TraceEvent> all = t.n0.trace_snapshot();
+    for (const obs::TraceEvent& e : t.n1.trace_snapshot())
+        all.push_back(e);
+    ASSERT_FALSE(all.empty());
+    const uint64_t tid = all.front().tid;
+    EXPECT_NE(tid, 0u);
+    std::vector<obs::TraceEvent> evs = events_of(all, tid);
+    ASSERT_EQ(evs.size(), static_cast<size_t>(obs::kNumStages));
+    // Causal order == time order (both nodes share one steady
+    // clock), and every stage appears exactly once.
+    for (int i = 0; i < obs::kNumStages; ++i) {
+        EXPECT_EQ(evs[static_cast<size_t>(i)].stage,
+                  static_cast<obs::Stage>(i))
+            << "stage index " << i;
+        EXPECT_EQ(evs[static_cast<size_t>(i)].op, obs::OpKind::kGet);
+        if (i > 0)
+            EXPECT_GE(evs[static_cast<size_t>(i)].ts_ns,
+                      evs[static_cast<size_t>(i - 1)].ts_ns);
+    }
+    EXPECT_EQ(t.n0.trace_drops() + t.n1.trace_drops(), 0u);
+
+    // The round trip also landed in the issuing node's GET histogram.
+    proxy::NodeSnapshot snap = t.n0.stats_snapshot();
+    bool found = false;
+    for (const proxy::OpLatency& ol : snap.op_latency) {
+        if (std::string(ol.op) == "get") {
+            found = true;
+            EXPECT_EQ(ol.count, 1u);
+            EXPECT_GT(ol.max_ns, 0u);
+            EXPECT_GT(ol.p50_ns, 0.0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Observability, DisabledTracingRecordsNothing)
+{
+    proxy::Node n0(proxy::NodeConfig{.id = 0});
+    proxy::Node n1(proxy::NodeConfig{.id = 1});
+    proxy::Endpoint& a = n0.create_endpoint();
+    proxy::Endpoint& b = n1.create_endpoint();
+    std::vector<uint8_t> remote(64, 0);
+    uint16_t seg = b.register_segment(remote.data(), remote.size());
+    proxy::Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+    uint8_t src[64] = {1};
+    proxy::Flag rsync{0};
+    ASSERT_TRUE(a.put(src, 1, seg, 0, sizeof(src), nullptr, &rsync));
+    proxy::flag_wait_ge(rsync, 1);
+    n0.stop();
+    n1.stop();
+    EXPECT_EQ(n0.trace_recorded(), 0u);
+    EXPECT_EQ(n1.trace_recorded(), 0u);
+    proxy::NodeSnapshot snap = n0.stats_snapshot();
+    EXPECT_FALSE(snap.obs_enabled);
+    EXPECT_TRUE(snap.op_latency.empty());
+    EXPECT_EQ(snap.totals.commands, 1u);
+}
+
+TEST(Observability, RuntimeToggleStartsAndStopsTracing)
+{
+    TracedPair t;
+    t.n0.set_obs_enabled(false);
+    std::vector<uint8_t> remote(8, 0);
+    uint16_t seg = t.ep1->register_segment(remote.data(), remote.size());
+    t.start();
+    uint8_t src[8] = {42};
+    proxy::Flag rsync{0};
+    ASSERT_TRUE(
+        t.ep0->put(src, 1, seg, 0, sizeof(src), nullptr, &rsync));
+    proxy::flag_wait_ge(rsync, 1);
+    EXPECT_EQ(t.n0.trace_recorded(), 0u);
+    t.n0.set_obs_enabled(true);
+    rsync.store(0);
+    ASSERT_TRUE(
+        t.ep0->put(src, 1, seg, 0, sizeof(src), nullptr, &rsync));
+    proxy::flag_wait_ge(rsync, 1);
+    t.n0.stop();
+    t.n1.stop();
+    EXPECT_GT(t.n0.trace_recorded(), 0u);
+}
+
+TEST(Observability, HistogramCountsMatchOpCounts)
+{
+    TracedPair t;
+    std::vector<uint8_t> remote(4096, 0);
+    uint16_t seg = t.ep1->register_segment(remote.data(), remote.size());
+    t.start();
+    constexpr int kPuts = 20;
+    constexpr int kGets = 10;
+    uint8_t buf[256] = {9};
+    proxy::Flag lsync{0};
+    for (int i = 0; i < kPuts; ++i) {
+        while (!t.ep0->put(buf, 1, seg, 0, sizeof(buf), &lsync))
+            std::this_thread::yield();
+    }
+    proxy::flag_wait_ge(lsync, kPuts);
+    proxy::Flag gsync{0};
+    for (int i = 0; i < kGets; ++i) {
+        while (!t.ep0->get(buf, 1, seg, 0, sizeof(buf), &gsync))
+            std::this_thread::yield();
+        proxy::flag_wait_ge(gsync, static_cast<uint64_t>(i) + 1);
+    }
+    t.n0.stop();
+    t.n1.stop();
+    proxy::NodeSnapshot snap = t.n0.stats_snapshot();
+    uint64_t puts = 0, gets = 0;
+    for (const proxy::OpLatency& ol : snap.op_latency) {
+        if (std::string(ol.op) == "put")
+            puts = ol.count;
+        if (std::string(ol.op) == "get")
+            gets = ol.count;
+    }
+    EXPECT_EQ(puts, static_cast<uint64_t>(kPuts));
+    EXPECT_EQ(gets, static_cast<uint64_t>(kGets));
+    // Batch occupancy sampled at least once per productive wakeup.
+    EXPECT_GT(snap.batch.count, 0u);
+}
+
+TEST(Observability, DumpJsonIsCleanAndBalanced)
+{
+    TracedPair t;
+    std::vector<uint8_t> remote(64, 0);
+    uint16_t seg = t.ep1->register_segment(remote.data(), remote.size());
+    t.start();
+    uint8_t src[64] = {5};
+    proxy::Flag lsync{0};
+    ASSERT_TRUE(t.ep0->get(src, 1, seg, 0, sizeof(src), &lsync));
+    proxy::flag_wait_ge(lsync, 1);
+    t.n0.stop();
+    t.n1.stop();
+    std::ostringstream os;
+    t.n0.dump_json(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"counters\""), std::string::npos);
+    EXPECT_NE(s.find("\"op_latency_ns\""), std::string::npos);
+    EXPECT_NE(s.find("\"trace\""), std::string::npos);
+    EXPECT_NE(s.find("\"commands\":1"), std::string::npos);
+    EXPECT_EQ(s.find("inf"), std::string::npos) << s;
+    EXPECT_EQ(s.find("nan"), std::string::npos) << s;
+    long depth = 0;
+    for (char c : s) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+
+    // The merged Chrome trace is likewise clean.
+    std::ostringstream ct;
+    proxy::Node::export_chrome_trace(ct, {&t.n0, &t.n1});
+    const std::string cs = ct.str();
+    EXPECT_NE(cs.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(cs.find("inf"), std::string::npos);
+    EXPECT_EQ(cs.find("nan"), std::string::npos);
+}
+
+TEST(Observability, TraceRingWrapsWithoutLosingNewest)
+{
+    // Ring capacity 2 (the minimum): a burst of traced PUTs laps it
+    // many times; drops are counted and the survivors are the newest.
+    proxy::Node n0(proxy::NodeConfig{.id = 0, .obs = {true, 2}});
+    proxy::Node n1(proxy::NodeConfig{.id = 1, .obs = {true, 4096}});
+    proxy::Endpoint& a = n0.create_endpoint();
+    proxy::Endpoint& b = n1.create_endpoint();
+    std::vector<uint8_t> remote(8, 0);
+    uint16_t seg = b.register_segment(remote.data(), remote.size());
+    proxy::Node::connect(n0, n1);
+    n0.start();
+    n1.start();
+    uint8_t src[8] = {1};
+    proxy::Flag lsync{0};
+    constexpr int kOps = 50;
+    for (int i = 0; i < kOps; ++i) {
+        while (!a.put(src, 1, seg, 0, sizeof(src), &lsync))
+            std::this_thread::yield();
+    }
+    proxy::flag_wait_ge(lsync, kOps);
+    n0.stop();
+    n1.stop();
+    // 4 local stages per PUT, ring holds 2 events.
+    EXPECT_EQ(n0.trace_recorded(), static_cast<uint64_t>(kOps) * 4);
+    EXPECT_EQ(n0.trace_drops(), n0.trace_recorded() - 2);
+    EXPECT_EQ(n0.trace_snapshot().size(), 2u);
 }
 
 } // namespace

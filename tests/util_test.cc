@@ -102,6 +102,24 @@ TEST(Summary, EmptyIsSane)
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
     EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    // Documented sentinels of the empty extrema: writers serializing
+    // them must guard (the bench_json regression in obs_test.cc).
+    EXPECT_TRUE(std::isinf(s.min()));
+    EXPECT_GT(s.min(), 0.0);
+    EXPECT_TRUE(std::isinf(s.max()));
+    EXPECT_LT(s.max(), 0.0);
+}
+
+TEST(Summary, SingleSample)
+{
+    mp::Summary s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
 TEST(Summary, ResetClears)
@@ -140,6 +158,61 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.bucket(9), 1u);
     EXPECT_EQ(h.total(), 6u);
     EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets)
+{
+    mp::Histogram h(0.0, 100.0, 10);
+    for (int v = 0; v < 100; ++v)
+        h.add(static_cast<double>(v));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+    EXPECT_NEAR(h.quantile(0.95), 95.0, 10.0);
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.95));
+    EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+    // Clamps out-of-range q.
+    EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(1.5), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileEdgeCases)
+{
+    mp::Histogram empty(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+    mp::Histogram one(0.0, 10.0, 10);
+    one.add(5.5);
+    const double q = one.quantile(0.5);
+    EXPECT_GE(q, 5.0);
+    EXPECT_LE(q, 6.0);
+
+    // All mass in the saturating overflow bucket: the histogram can
+    // only answer "at or beyond hi".
+    mp::Histogram over(0.0, 10.0, 10);
+    over.add(100.0);
+    over.add(200.0);
+    EXPECT_DOUBLE_EQ(over.quantile(0.99), 10.0);
+
+    // Underflow mass reports as lo.
+    mp::Histogram under(10.0, 20.0, 10);
+    under.add(1.0);
+    EXPECT_DOUBLE_EQ(under.quantile(0.5), 10.0);
+}
+
+TEST(Histogram, ResetClearsCountsKeepsLayout)
+{
+    mp::Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(5.0);
+    h.add(50.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (size_t i = 0; i < h.buckets(); ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+    EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0); // layout survives
+    h.add(5.0);
+    EXPECT_EQ(h.bucket(5), 1u);
 }
 
 TEST(TablePrinter, FormatsAndCsv)

@@ -23,7 +23,16 @@
 #              iteration counts, so bench bit-rot shows up in the
 #              matrix without paying for full benchmark runs; also
 #              asserts the steady-state zero-allocation invariant
-#              (POOL_MISSES_TOTAL=0 from the scaling sweep)
+#              (POOL_MISSES_TOTAL=0 from the scaling sweep), that the
+#              traced Table 2 run drops no events (TRACE_DROPS_TOTAL=0)
+#              and that the tracing-disabled pingpong matches the
+#              committed BENCH_runtime.json within smoke noise
+#   obs        observability smoke: runs the traced 8-byte GET
+#              breakdown (bench_table2_runtime --quick), asserts the
+#              stage ordering is monotone, the stage sum telescopes to
+#              the end-to-end latency, no trace events were dropped,
+#              and the exported Chrome-trace + stats-snapshot JSON
+#              parse cleanly with no inf/nan
 #   perf       full runs of bench_runtime_micro + bench_runtime_scaling
 #              and a delta report of the freshly written
 #              BENCH_runtime.json against the committed snapshot
@@ -39,7 +48,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 MODES=("$@")
-[ ${#MODES[@]} -eq 0 ] && MODES=(plain tsan asan ownership tidy bench-smoke)
+[ ${#MODES[@]} -eq 0 ] && MODES=(plain tsan asan ownership tidy bench-smoke obs)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -101,7 +110,7 @@ for mode in "${MODES[@]}"; do
         cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
         cmake --build build -j "$JOBS" --target \
             bench_ablation_multi_proxy bench_runtime_scaling \
-            bench_fault_sweep
+            bench_fault_sweep bench_table2_runtime
         (cd build/bench && ./bench_ablation_multi_proxy --quick)
         # Fault sweep smoke: the reliable path must complete under
         # injected loss without leaking packet custody.
@@ -126,12 +135,76 @@ for mode in "${MODES[@]}"; do
             grep '^PKT_LEAKS_TOTAL=' <<<"$scaling_out" >&2 || true
             exit 1
         fi
+        # Observability gates: the traced run must not drop events
+        # (ring sized for the workload), and the tracing-DISABLED
+        # pingpong must match the committed trajectory within smoke
+        # noise (factor 3 either way: quick runs on a shared host are
+        # too noisy for a tight bar — tools/check.sh perf is the
+        # precise comparison).
+        t2_out=$( (cd build/bench && ./bench_table2_runtime --quick) | tee /dev/stderr )
+        if ! grep -q '^TRACE_DROPS_TOTAL=0$' <<<"$t2_out"; then
+            echo "bench-smoke: trace ring dropped events (expected TRACE_DROPS_TOTAL=0):" >&2
+            grep '^TRACE_DROPS_TOTAL=' <<<"$t2_out" >&2 || true
+            exit 1
+        fi
+        put8_new=$(sed -n 's/^PINGPONG_PUT8_NS=//p' <<<"$t2_out")
+        put8_old=$(git show HEAD:BENCH_runtime.json 2>/dev/null |
+            sed -n 's/.*"op":"pingpong_put8","P":1,"latency_ns":\([0-9.]*\).*/\1/p')
+        if [ -n "$put8_new" ] && [ -n "$put8_old" ]; then
+            if ! awk -v n="$put8_new" -v o="$put8_old" \
+                'BEGIN { exit !(o > 0 && n > o / 3 && n < o * 3) }'; then
+                echo "bench-smoke: tracing-disabled pingpong off the committed baseline:" >&2
+                echo "  committed=$put8_old ns  measured=$put8_new ns (allowed 3x)" >&2
+                exit 1
+            fi
+            echo "pingpong_put8 (tracing disabled): $put8_new ns vs committed $put8_old ns"
+        fi
+        ;;
+      obs)
+        banner "observability smoke: traced GET breakdown + JSON export"
+        cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+        cmake --build build -j "$JOBS" --target bench_table2_runtime
+        obs_out=$( (cd build/bench && ./bench_table2_runtime --quick) | tee /dev/stderr )
+        for gate in STAGES_MONOTONE=1 STAGE_SUM_WITHIN_10PCT=1 \
+                    TRACE_DROPS_TOTAL=0; do
+            if ! grep -q "^$gate$" <<<"$obs_out"; then
+                echo "obs: expected $gate:" >&2
+                grep "^${gate%%=*}=" <<<"$obs_out" >&2 || true
+                exit 1
+            fi
+        done
+        # The exported artifacts must be valid JSON with finite
+        # numbers only (json.loads rejects bare inf/nan by default
+        # via parse_constant).
+        if command -v python3 >/dev/null 2>&1; then
+            python3 - build/bench/bench_table2_runtime.trace.json \
+                       build/bench/bench_table2_runtime.stats.json <<'PY'
+import json, sys
+def no_const(x):
+    raise ValueError(f"non-finite constant {x} in JSON")
+for f in sys.argv[1:]:
+    with open(f) as fh:
+        doc = json.load(fh, parse_constant=no_const)
+    print(f"{f}: valid JSON")
+trace = json.load(open(sys.argv[1]))
+assert trace["traceEvents"], "empty trace"
+stats = json.load(open(sys.argv[2]))
+for key in ("counters", "per_proxy", "op_latency_ns", "trace"):
+    assert key in stats, f"missing {key} in stats snapshot"
+assert any(o["op"] == "get" for o in stats["op_latency_ns"]), \
+    "no GET latency histogram in snapshot"
+print("stats snapshot: schema ok")
+PY
+        else
+            echo "python3 not found; skipping JSON validation"
+        fi
         ;;
       perf)
         banner "runtime benches + delta vs committed BENCH_runtime.json"
         cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
         cmake --build build -j "$JOBS" --target \
-            bench_runtime_micro bench_runtime_scaling
+            bench_runtime_micro bench_runtime_scaling \
+            bench_table2_runtime
         committed=$(mktemp)
         if ! git show HEAD:BENCH_runtime.json >"$committed" 2>/dev/null; then
             echo "no committed BENCH_runtime.json; writing first snapshot only"
@@ -139,6 +212,7 @@ for mode in "${MODES[@]}"; do
         fi
         (cd build/bench && ./bench_runtime_micro --benchmark_min_time=0.3)
         (cd build/bench && ./bench_runtime_scaling)
+        (cd build/bench && ./bench_table2_runtime)
         if [ -n "$committed" ]; then
             banner "perf delta (new vs committed; latency: + = slower)"
             awk -F'"' '
@@ -164,7 +238,7 @@ for mode in "${MODES[@]}"; do
         fi
         ;;
       *)
-        echo "unknown mode: $mode (expected plain|tsan|asan|ownership|chaos|tidy|bench-smoke|perf)" >&2
+        echo "unknown mode: $mode (expected plain|tsan|asan|ownership|chaos|tidy|bench-smoke|obs|perf)" >&2
         exit 2
         ;;
     esac
