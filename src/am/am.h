@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "rma/system.h"
+#include "util/annotations.h"
 
 namespace am {
 
@@ -46,14 +47,14 @@ class Endpoint
   public:
     /// Creates the request and reply queues for this rank. Must run
     /// on every rank before any communication.
-    explicit Endpoint(rma::Ctx& ctx);
+    MSGPROXY_QUIESCENT explicit Endpoint(rma::Ctx& ctx);
 
     Endpoint(const Endpoint&) = delete;
     Endpoint& operator=(const Endpoint&) = delete;
 
     /// Registers a handler; returns its id. All ranks must register
     /// the same handlers in the same order.
-    int register_handler(Handler h);
+    MSGPROXY_QUIESCENT int register_handler(Handler h);
 
     /// Sends an active-message request to `dst`; the remote rank runs
     /// handler `hid` with the payload when it polls. lsync (optional)

@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "util/log.h"
+#include "util/orders.h"
 
 namespace check {
 
@@ -37,7 +38,7 @@ class ThreadOwner
         std::thread::id self = std::this_thread::get_id();
         std::thread::id unbound{};
         if (owner_.compare_exchange_strong(unbound, self,
-                                           std::memory_order_acq_rel))
+                                           mp::ord::handoff))
             return; // first toucher binds the role
         if (unbound != self) {
             MP_PANIC("thread-ownership violation: "
@@ -53,7 +54,7 @@ class ThreadOwner
     {
 #ifdef MSGPROXY_CHECK_OWNERSHIP
         owner_.store(std::this_thread::get_id(),
-                     std::memory_order_release);
+                     mp::ord::publish);
 #endif
     }
 
@@ -62,7 +63,7 @@ class ThreadOwner
     release()
     {
 #ifdef MSGPROXY_CHECK_OWNERSHIP
-        owner_.store(std::thread::id{}, std::memory_order_release);
+        owner_.store(std::thread::id{}, mp::ord::publish);
 #endif
     }
 

@@ -52,7 +52,7 @@ Sim::~Sim()
     for (auto& t : threads_)
         if (t.th.joinable()) {
             {
-                std::lock_guard<std::mutex> lk(m_);
+                mp::MutexLock lk(m_);
                 aborting_ = true;
                 active_ = static_cast<int>(&t - threads_.data()) + 1;
             }
@@ -138,12 +138,12 @@ Sim::yield()
     int tid = g_tid;
     if (tid == 0)
         return; // init context is never scheduled
-    std::unique_lock<std::mutex> lk(m_);
+    mp::MutexLock lk(m_);
     if (aborting_)
         throw StopExecution{};
     active_ = -1;
     cv_.notify_all();
-    cv_.wait(lk, [&] { return active_ == tid; });
+    cv_.wait(m_, [&] { return active_ == tid; });
     if (aborting_)
         throw StopExecution{};
 }
@@ -153,18 +153,20 @@ Sim::thread_main(int tid)
 {
     g_current = this;
     g_tid = tid;
+    bool run_body;
     {
-        std::unique_lock<std::mutex> lk(m_);
-        cv_.wait(lk, [&] { return active_ == tid; });
+        mp::MutexLock lk(m_);
+        cv_.wait(m_, [&] { return active_ == tid; });
+        run_body = !aborting_;
     }
-    if (!aborting_) {
+    if (run_body) {
         try {
             threads_[static_cast<size_t>(tid) - 1].body();
         } catch (const StopExecution&) {
             // unwound by an aborted execution; nothing to do
         }
     }
-    std::lock_guard<std::mutex> lk(m_);
+    mp::MutexLock lk(m_);
     threads_[static_cast<size_t>(tid) - 1].done = true;
     active_ = -1;
     cv_.notify_all();
@@ -183,18 +185,21 @@ Sim::run_all()
         if (runnable.empty())
             break;
         size_t idx = 0;
-        if (runnable.size() > 1 && !aborting_)
-            idx = pick(runnable.size());
+        {
+            mp::MutexLock lk(m_);
+            if (runnable.size() > 1 && !aborting_)
+                idx = pick(runnable.size());
+        }
         int tid = runnable[idx];
         {
-            std::unique_lock<std::mutex> lk(m_);
+            mp::MutexLock lk(m_);
             active_ = tid;
             cv_.notify_all();
-            cv_.wait(lk, [&] { return active_ == -1; });
-        }
-        if (++steps_ > opts_.max_steps && !aborting_) {
-            aborting_ = true;
-            step_limit_hit_ = true;
+            cv_.wait(m_, [&] { return active_ == -1; });
+            if (++steps_ > opts_.max_steps && !aborting_) {
+                aborting_ = true;
+                step_limit_hit_ = true;
+            }
         }
     }
     for (auto& t : threads_)
@@ -223,7 +228,13 @@ explore(const Options& opts, const std::function<void(Sim&)>& setup)
         g_current = nullptr;
 
         ++res.executions;
-        res.step_limit_hit = res.step_limit_hit || sim.step_limit_hit_;
+        {
+            // All simulated threads are joined; the lock is only for
+            // the thread-safety analysis's benefit.
+            mp::MutexLock lk(sim.m_);
+            res.step_limit_hit =
+                res.step_limit_hit || sim.step_limit_hit_;
+        }
         for (const auto& r : sim.races_)
             if (seen.insert(r.what).second)
                 res.races.push_back(r);

@@ -44,10 +44,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace check {
 
@@ -172,12 +173,17 @@ class Sim
     std::vector<size_t> widths_;        ///< alternatives per choice
     uint64_t rng_;
 
-    std::mutex m_;
-    std::condition_variable cv_;
-    int active_ = -1; ///< -1: scheduler owns the baton
-    bool aborting_ = false;
-    size_t steps_ = 0;
-    bool step_limit_hit_ = false;
+    /// Guards the baton handshake. mp::Mutex (not std::mutex) so
+    /// Clang Thread Safety Analysis can verify the guarded fields;
+    /// cv_ is condition_variable_any because it waits on the wrapper
+    /// (BasicLockable) directly.
+    mp::Mutex m_;
+    std::condition_variable_any cv_;
+    /// -1: scheduler owns the baton.
+    int active_ MP_GUARDED_BY(m_) = -1;
+    bool aborting_ MP_GUARDED_BY(m_) = false;
+    size_t steps_ MP_GUARDED_BY(m_) = 0;
+    bool step_limit_hit_ MP_GUARDED_BY(m_) = false;
 
     std::vector<ThreadRec> threads_; ///< simulated threads (tid - 1)
     VectorClock clocks_[kMaxThreads];

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/rng.h"
 
 namespace net {
@@ -105,7 +106,7 @@ class FaultInjector
     const FaultPlan& plan() const { return plan_; }
 
     /// Draws the fate of the next offered packet.
-    FaultAction
+    MSGPROXY_HOT_PATH FaultAction
     next()
     {
         if (!enabled())
@@ -128,7 +129,7 @@ class FaultInjector
 
     /// Uniform integer in [0, bound) from the channel's stream, for
     /// picking corrupted bits and reorder delays.
-    uint64_t
+    MSGPROXY_HOT_PATH uint64_t
     rand_below(uint64_t bound)
     {
         return rng_.next_below(bound);
@@ -136,7 +137,7 @@ class FaultInjector
 
     /// Reorder hold duration for a freshly stashed packet: 1..depth
     /// service ticks.
-    uint32_t
+    MSGPROXY_HOT_PATH uint32_t
     reorder_delay()
     {
         return 1 + static_cast<uint32_t>(
@@ -182,7 +183,7 @@ class FaultyChannel
     /// Returns false when the underlying ring rejected a delivery
     /// (ring full — the value is lost, like a switch with no buffer).
     template <typename CorruptFn>
-    bool
+    MSGPROXY_HOT_PATH bool
     send(T v, CorruptFn&& corrupt)
     {
         ++stats_.offered;
@@ -214,7 +215,7 @@ class FaultyChannel
     }
 
     /// send() without a checksum model: corruption degrades to drop.
-    bool
+    MSGPROXY_HOT_PATH bool
     send(T v)
     {
         ++stats_.offered;

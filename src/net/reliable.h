@@ -32,6 +32,8 @@
 #include <deque>
 #include <initializer_list>
 
+#include "util/annotations.h"
+
 namespace net {
 
 /// Tuning knobs of the reliability layer (proxy::NodeConfig embeds
@@ -68,7 +70,7 @@ struct ReliabilityParams
 /// splitmix64-style mixer. Not cryptographic — it exists to catch
 /// transit corruption, and a single flipped bit anywhere in the
 /// folded words flips the result with overwhelming probability.
-inline uint32_t
+MSGPROXY_HOT_PATH inline uint32_t
 crc_fields(std::initializer_list<uint64_t> words)
 {
     uint64_t h = 0x9e3779b97f4a7c15ull;
@@ -102,7 +104,7 @@ class SenderWindow
 
     /// Records a fresh send: assigns and returns the next sequence
     /// number, retains `h`, and arms the RTO if the window was empty.
-    uint64_t
+    MSGPROXY_HOT_PATH uint64_t
     send(Handle h, uint64_t now)
     {
         if (entries_.empty()) {
@@ -117,7 +119,7 @@ class SenderWindow
     /// seq <= ack through `release(Handle)`. Progress re-arms the RTO
     /// at its base value and clears the retry count.
     template <typename F>
-    void
+    MSGPROXY_HOT_PATH void
     on_ack(uint64_t ack, uint64_t now, F&& release)
     {
         bool progressed = false;
@@ -134,7 +136,7 @@ class SenderWindow
     }
 
     /// True when the oldest unacked packet's RTO expired.
-    bool
+    MSGPROXY_HOT_PATH bool
     timeout_due(uint64_t now) const
     {
         return !entries_.empty() && now >= deadline_;
@@ -145,7 +147,7 @@ class SenderWindow
     /// has custody of, then doubles the RTO (capped) and counts the
     /// retry. Call only when timeout_due().
     template <typename F>
-    void
+    MSGPROXY_HOT_PATH void
     on_timeout(uint64_t now, F&& each)
     {
         for (Entry& e : entries_)
@@ -169,7 +171,7 @@ class SenderWindow
     /// Abandons the window (peer declared dead): releases every
     /// retained handle through `release(Handle)`.
     template <typename F>
-    void
+    MSGPROXY_QUIESCENT void
     abandon(F&& release)
     {
         for (Entry& e : entries_)
@@ -216,7 +218,7 @@ class ReceiverSeq
     };
 
     /// Classifies seq and advances the expected counter on delivery.
-    Verdict
+    MSGPROXY_HOT_PATH Verdict
     accept(uint64_t seq)
     {
         if (seq == next_) {
@@ -236,7 +238,7 @@ class ReceiverSeq
 
     /// True when a standalone ack should be emitted now (threshold
     /// reached or a duplicate/gap demanded one).
-    bool
+    MSGPROXY_HOT_PATH bool
     ack_due(uint32_t ack_every) const
     {
         return ack_now_ || pending_ >= ack_every;

@@ -18,6 +18,9 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/annotations.h"
+#include "util/orders.h"
+
 namespace obs {
 
 class Log2Hist
@@ -44,34 +47,34 @@ class Log2Hist
     }
 
     /// Writer only: adds one observation.
-    void
+    MSGPROXY_HOT_PATH void
     add(uint64_t v)
     {
         auto& c = counts_[bucket_of(v)];
-        c.store(c.load(std::memory_order_relaxed) + 1,
-                std::memory_order_relaxed);
-        if (v > max_.load(std::memory_order_relaxed))
-            max_.store(v, std::memory_order_relaxed);
-        total_.store(total_.load(std::memory_order_relaxed) + 1,
-                     std::memory_order_relaxed);
+        c.store(c.load(mp::ord::counter) + 1,
+                mp::ord::counter);
+        if (v > max_.load(mp::ord::counter))
+            max_.store(v, mp::ord::counter);
+        total_.store(total_.load(mp::ord::counter) + 1,
+                     mp::ord::counter);
     }
 
     uint64_t
     total() const
     {
-        return total_.load(std::memory_order_relaxed);
+        return total_.load(mp::ord::counter);
     }
 
     uint64_t
     max() const
     {
-        return max_.load(std::memory_order_relaxed);
+        return max_.load(mp::ord::counter);
     }
 
     uint64_t
     bucket(int i) const
     {
-        return counts_[i].load(std::memory_order_relaxed);
+        return counts_[i].load(mp::ord::counter);
     }
 
     /// Adds this histogram's counts into `out[kBuckets]` (merging
@@ -88,9 +91,9 @@ class Log2Hist
     reset()
     {
         for (auto& c : counts_)
-            c.store(0, std::memory_order_relaxed);
-        total_.store(0, std::memory_order_relaxed);
-        max_.store(0, std::memory_order_relaxed);
+            c.store(0, mp::ord::counter);
+        total_.store(0, mp::ord::counter);
+        max_.store(0, mp::ord::counter);
     }
 
   private:

@@ -26,6 +26,9 @@
 #include <memory>
 #include <vector>
 
+#include "util/annotations.h"
+#include "util/orders.h"
+
 namespace obs {
 
 /// Lifecycle stages of one runtime command, in causal order. PUT-like
@@ -128,7 +131,7 @@ class TraceRing
     TraceRing& operator=(const TraceRing&) = delete;
 
     /// Writer only. Overwrites the oldest event when full.
-    void
+    MSGPROXY_HOT_PATH void
     record(const TraceEvent& e)
     {
         const uint64_t w = w_;
@@ -137,21 +140,21 @@ class TraceRing
         // complete. The release fence keeps a reader that observed
         // any payload word of this session from also reading the
         // slot's previous "complete" sequence value.
-        s.seq.store(2 * w + 1, std::memory_order_relaxed);
-        std::atomic_thread_fence(std::memory_order_release);
-        s.ts.store(e.ts_ns, std::memory_order_relaxed);
-        s.tid.store(e.tid, std::memory_order_relaxed);
-        s.packed.store(pack(e), std::memory_order_relaxed);
-        s.seq.store(2 * w + 2, std::memory_order_release);
+        s.seq.store(2 * w + 1, mp::ord::fenced);
+        std::atomic_thread_fence(mp::ord::publish);
+        s.ts.store(e.ts_ns, mp::ord::fenced);
+        s.tid.store(e.tid, mp::ord::fenced);
+        s.packed.store(pack(e), mp::ord::fenced);
+        s.seq.store(2 * w + 2, mp::ord::publish);
         w_ = w + 1;
-        widx_.store(w + 1, std::memory_order_release);
+        widx_.store(w + 1, mp::ord::publish);
     }
 
     /// Events ever recorded (including overwritten ones).
     uint64_t
     recorded() const
     {
-        return widx_.load(std::memory_order_acquire);
+        return widx_.load(mp::ord::observe);
     }
 
     /// Events overwritten before they could be snapshot (drop-oldest
@@ -173,19 +176,19 @@ class TraceRing
     void
     snapshot(std::vector<TraceEvent>& out) const
     {
-        const uint64_t w = widx_.load(std::memory_order_acquire);
+        const uint64_t w = widx_.load(mp::ord::observe);
         const uint64_t cap = mask_ + 1;
         const uint64_t lo = w > cap ? w - cap : 0;
         for (uint64_t i = lo; i < w; ++i) {
             const Slot& s = slots_[i & mask_];
-            if (s.seq.load(std::memory_order_acquire) != 2 * i + 2)
+            if (s.seq.load(mp::ord::observe) != 2 * i + 2)
                 continue; // overwritten or in progress
             TraceEvent e;
-            e.ts_ns = s.ts.load(std::memory_order_relaxed);
-            e.tid = s.tid.load(std::memory_order_relaxed);
-            unpack(s.packed.load(std::memory_order_relaxed), e);
-            std::atomic_thread_fence(std::memory_order_acquire);
-            if (s.seq.load(std::memory_order_relaxed) != 2 * i + 2)
+            e.ts_ns = s.ts.load(mp::ord::fenced);
+            e.tid = s.tid.load(mp::ord::fenced);
+            unpack(s.packed.load(mp::ord::fenced), e);
+            std::atomic_thread_fence(mp::ord::observe);
+            if (s.seq.load(mp::ord::fenced) != 2 * i + 2)
                 continue; // overwritten while we copied
             out.push_back(e);
         }

@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "check/ownership.h"
+#include "util/annotations.h"
+#include "util/orders.h"
 #include "net/fault.h"
 #include "net/reliable.h"
 #include "obs/histogram.h"
@@ -100,11 +102,12 @@ class Backoff
     explicit Backoff(const PollParams& p) : p_(p) {}
 
     /// Progress was made: rearm the spin stage.
-    void reset() { n_ = 0; }
+    MSGPROXY_HOT_PATH void reset() { n_ = 0; }
 
     /// One idle iteration: spin, pause, yield, or sleep per the
-    /// accumulated idle count.
-    void idle();
+    /// accumulated idle count. Hot-exempt: the stage-4 sleep is
+    /// the sanctioned blocking point of a long-idle poller.
+    MSGPROXY_HOT_EXEMPT void idle();
 
     /// True when past the spin and pause stages (i.e. yielding).
     bool
@@ -121,7 +124,7 @@ class Backoff
 /// Spin until flag >= v, using the same spin/pause/yield backoff
 /// policy as the proxy loop (pp defaults to the hardware-aware
 /// PollParams). The runtime's analogue of rma::Ctx::wait_ge.
-void flag_wait_ge(const Flag& f, uint64_t v,
+MSGPROXY_HOT_PATH void flag_wait_ge(const Flag& f, uint64_t v,
                   const PollParams& pp = PollParams());
 
 /// A communication command as it sits in a user command queue.
@@ -389,13 +392,13 @@ class Endpoint
     /// in the destination node's address space, incremented there
     /// once the data is in place. The source must stay valid until
     /// lsync fires.
-    SubmitStatus put(const void* src, int dst_node, uint16_t dst_seg,
+    MSGPROXY_HOT_PATH SubmitStatus put(const void* src, int dst_node, uint16_t dst_seg,
                      uint64_t dst_off, uint32_t len,
                      Flag* lsync = nullptr, Flag* rsync = nullptr);
 
     /// GET: copy `len` bytes from (node, segment, offset) to dst.
     /// lsync increments when the data has been stored locally.
-    SubmitStatus get(void* dst, int dst_node, uint16_t dst_seg,
+    MSGPROXY_HOT_PATH SubmitStatus get(void* dst, int dst_node, uint16_t dst_seg,
                      uint64_t dst_off, uint32_t len,
                      Flag* lsync = nullptr);
 
@@ -404,11 +407,11 @@ class Endpoint
     /// Command::kMaxEnqBytes) is copied at submission, so `data` is
     /// immediately reusable. lsync increments when handed to the
     /// wire.
-    SubmitStatus enq(const void* data, uint32_t len, int dst_node,
+    MSGPROXY_HOT_PATH SubmitStatus enq(const void* data, uint32_t len, int dst_node,
                      int dst_user, Flag* lsync = nullptr);
 
     /// Non-blocking receive from this endpoint's message ring.
-    bool try_recv(std::vector<uint8_t>& out);
+    MSGPROXY_HOT_PATH bool try_recv(std::vector<uint8_t>& out);
 
     // ----- proxy-managed remote queues (the paper's RQ primitive) ---
 
@@ -416,14 +419,14 @@ class Endpoint
     /// queue `qid` on `dst_node` (rma::Ctx::enq's counterpart). lsync
     /// increments when handed to the wire. Payload is copied at
     /// submission (max Command::kMaxEnqBytes).
-    SubmitStatus rq_enq(const void* data, uint32_t len, int dst_node,
+    MSGPROXY_HOT_PATH SubmitStatus rq_enq(const void* data, uint32_t len, int dst_node,
                         int qid, Flag* lsync = nullptr);
 
     /// DEQ: dequeue the head message of queue `qid` on `dst_node`
     /// into `dst` (up to `max` bytes; rma::Ctx::deq's counterpart).
     /// When the reply arrives, lsync is incremented by 1 + bytes
     /// received (exactly 1 if the queue was empty).
-    SubmitStatus rq_deq(void* dst, uint32_t max, int dst_node, int qid,
+    MSGPROXY_HOT_PATH SubmitStatus rq_deq(void* dst, uint32_t max, int dst_node, int qid,
                         Flag* lsync);
 
     /// Endpoint index on its node.
@@ -460,7 +463,7 @@ class Endpoint
 
     /// Validates the target, pushes the command, and notifies the
     /// owning proxy's bit vector.
-    SubmitStatus submit(Command&& c);
+    MSGPROXY_HOT_PATH SubmitStatus submit(Command&& c);
 
     Node& node_;
     int id_;
@@ -484,35 +487,35 @@ class Node
 
     /// Creates a node from its configuration. Call connect() to wire
     /// nodes together, then start() to launch the proxies.
-    explicit Node(const NodeConfig& cfg);
+    MSGPROXY_QUIESCENT explicit Node(const NodeConfig& cfg);
 
-    ~Node();
+    MSGPROXY_QUIESCENT ~Node();
 
     Node(const Node&) = delete;
     Node& operator=(const Node&) = delete;
 
     /// Creates a user endpoint (before start()). Endpoint i is
     /// served by proxy i mod num_proxies.
-    Endpoint& create_endpoint();
+    MSGPROXY_QUIESCENT Endpoint& create_endpoint();
 
     /// Creates a proxy-managed remote queue on this node (before
     /// start()); returns its id. Any endpoint on any connected node
     /// may rq_enq/rq_deq it; the owning proxy (qid mod num_proxies)
     /// serializes access — this is the paper's Remote Queue with one
     /// proxy as the single trusted manipulator of the queue pointers.
-    int create_queue();
+    MSGPROXY_QUIESCENT int create_queue();
 
     /// Wires full-duplex channels between two nodes (before start()
     /// on either): one SPSC packet ring per (sending proxy,
     /// receiving proxy) pair and direction, so no ring end is ever
     /// shared between proxies.
-    static void connect(Node& a, Node& b);
+    MSGPROXY_QUIESCENT static void connect(Node& a, Node& b);
 
     /// Launches the proxy threads.
-    void start();
+    MSGPROXY_QUIESCENT void start();
 
     /// Stops the proxy threads (also called by the destructor).
-    void stop();
+    MSGPROXY_QUIESCENT void stop();
 
     /// Node id.
     int id() const { return cfg_.id; }
@@ -540,13 +543,13 @@ class Node
     /// True when stage tracing / histograms are live. Compile with
     /// -DMSGPROXY_OBS_DISABLE to hard-disable (the branch folds to
     /// constant false).
-    bool
+    MSGPROXY_HOT_PATH bool
     obs_on() const
     {
 #ifdef MSGPROXY_OBS_DISABLE
         return false;
 #else
-        return obs_enabled_.load(std::memory_order_relaxed);
+        return obs_enabled_.load(mp::ord::counter);
 #endif
     }
 
@@ -555,7 +558,7 @@ class Node
     void
     set_obs_enabled(bool on)
     {
-        obs_enabled_.store(on, std::memory_order_relaxed);
+        obs_enabled_.store(on, mp::ord::counter);
     }
 
     /// Full observability snapshot: merged + per-proxy counters,
@@ -713,7 +716,7 @@ class Node
         }
 
         /// Frees heap-fallback packets still queued at teardown.
-        ~Channel();
+        MSGPROXY_QUIESCENT ~Channel();
 
         spsc::DynRingQueue<PacketRef> ring;
         spsc::DynPtrRing<Packet*> ret;
@@ -826,7 +829,7 @@ class Node
 
         int index = 0;
         ProxyStats stats;
-        LocalStats local;
+        MSGPROXY_PROXY_OWNED LocalStats local;
         /// Shared command-queue occupancy bits (bit k: this proxy's
         /// k-th endpoint may have commands). Producers set with
         /// release; the proxy clears before draining so arrivals are
@@ -836,37 +839,37 @@ class Node
         alignas(64) std::atomic<uint64_t> cmd_mask{0};
         /// Endpoints whose command burst budget ran out last loop:
         /// re-drained next iteration without waiting for a doorbell.
-        alignas(64) uint64_t carry_mask = 0;
+        alignas(64) MSGPROXY_PROXY_OWNED uint64_t carry_mask = 0;
         /// This proxy's packet slab (see PacketPool).
-        PacketPool pool;
+        MSGPROXY_PROXY_OWNED PacketPool pool;
         /// CCB table + free list for this proxy's outstanding
         /// GET/DEQ requests.
-        std::vector<Ccb> ccbs;
-        std::vector<size_t> free_ccbs;
+        MSGPROXY_PROXY_OWNED std::vector<Ccb> ccbs;
+        MSGPROXY_PROXY_OWNED std::vector<size_t> free_ccbs;
         /// Request packets deferred while draining inside
         /// send_packet (they would generate new sends and could
         /// recurse unboundedly).
-        std::deque<Deferred> deferred;
+        MSGPROXY_PROXY_OWNED std::deque<Deferred> deferred;
         /// Every channel this proxy consumes, paired with its link
         /// (rebuilt at start()).
-        std::vector<RxEntry> rx;
+        MSGPROXY_PROXY_OWNED std::vector<RxEntry> rx;
         /// Every channel this proxy produces into: the rings whose
         /// return rings it drains to refill the pool.
-        std::vector<Channel*> tx;
+        MSGPROXY_PROXY_OWNED std::vector<Channel*> tx;
         /// Reliability/fault state per (peer node, peer proxy) pair;
         /// deque for address stability (link_by_node and rx point in).
-        std::deque<Link> links;
+        MSGPROXY_PROXY_OWNED std::deque<Link> links;
         /// link_by_node[n][q]: the link to proxy q of node n (null
         /// until connected). Built lazily at start(), kept across
         /// restarts.
-        std::vector<std::vector<Link*>> link_by_node;
+        MSGPROXY_PROXY_OWNED std::vector<std::vector<Link*>> link_by_node;
         /// Monotonic-clock cache (ns), refreshed every few loop
         /// iterations: RTO precision does not justify a syscall-free
         /// but still ~25 ns clock read per packet.
-        uint64_t now_cache = 0;
+        MSGPROXY_PROXY_OWNED uint64_t now_cache = 0;
         /// Consecutive no-progress loop iterations (drives the
         /// idle ack flush).
-        uint64_t idle_polls = 0;
+        MSGPROXY_PROXY_OWNED uint64_t idle_polls = 0;
         /// Stage-event ring (always allocated so the runtime toggle
         /// works; unused rings cost memory, not time).
         std::unique_ptr<obs::TraceRing> ring;
@@ -895,7 +898,7 @@ class Node
     /// command with no doorbell. The fence orders the queue publish
     /// before the mask probe; the proxy's exchange is an RMW and
     /// therefore already totally ordered against it.
-    void
+    MSGPROXY_HOT_PATH void
     note_command_posted(int user)
     {
         if (cfg_.poll_mode != PollMode::kBitVector)
@@ -903,10 +906,10 @@ class Node
         int p = user % cfg_.num_proxies;
         uint64_t bit = uint64_t{1} << ((user / cfg_.num_proxies) & 63);
         auto& mask = proxies_[static_cast<size_t>(p)]->cmd_mask;
-        std::atomic_thread_fence(std::memory_order_seq_cst);
-        if ((mask.load(std::memory_order_relaxed) & bit) != 0)
+        std::atomic_thread_fence(mp::ord::barrier);
+        if ((mask.load(mp::ord::fenced) & bit) != 0)
             return; // doorbell already rung
-        mask.fetch_or(bit, std::memory_order_release);
+        mask.fetch_or(bit, mp::ord::publish);
     }
 
     /// True when dst_node names this node or a connected peer (the
@@ -916,66 +919,73 @@ class Node
     /// Proxies on `dst_node` (own count for loopback).
     int peer_proxy_count(int dst_node) const;
 
-    void proxy_main(Proxy& self);
-    void handle_command(Proxy& self, Endpoint& ep, const Command& cmd);
-    void handle_packet(Proxy& self, Packet& pkt);
-    bool send_packet(Proxy& self, int dst_node, int dst_proxy,
-                     PacketRef ref);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void proxy_main(Proxy& self);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void handle_command(Proxy& self, Endpoint& ep,
+                                        const Command& cmd);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void handle_packet(Proxy& self, Packet& pkt);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX bool send_packet(Proxy& self, int dst_node,
+                                     int dst_proxy, PacketRef ref);
     /// The link to (dst_node, dst_proxy), or nullptr for intra-node
     /// traffic.
-    Link* link_for(Proxy& self, int dst_node, int dst_proxy);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX Link* link_for(Proxy& self, int dst_node,
+                                   int dst_proxy);
     /// Stalls until `ch` has room (draining own inputs, bounded by
     /// running_) and pushes. On shutdown abort, custody reverts: a
     /// retained ref stays with its window, a transient one is
     /// recycled. Returns false only on that abort.
-    bool push_ring(Proxy& self, Channel* ch, PacketRef ref);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX bool push_ring(Proxy& self, Channel* ch,
+                                   PacketRef ref);
     /// Pushes through the link's fault injector: may drop, clone
     /// (duplicate/corrupt), or stash (reorder) instead of delivering.
-    bool inject_push(Proxy& self, Link& lk, PacketRef ref);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX bool inject_push(Proxy& self, Link& lk,
+                                   PacketRef ref);
     /// Clone for duplicate/corrupt injection: an independent packet
     /// (own alloc, transient) so pointer custody stays single-copy.
-    PacketRef clone_packet(Proxy& self, const Packet& src);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX PacketRef clone_packet(Proxy& self,
+                                           const Packet& src);
     /// Per-link maintenance: ages the reorder stash, fires RTO
     /// retransmits, declares the peer dead on retry exhaustion.
-    void service_link(Proxy& self, Link& lk);
-    void service_links(Proxy& self);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void service_link(Proxy& self, Link& lk);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void service_links(Proxy& self);
     /// Emits standalone kAck packets for links whose receiver owes
     /// one (threshold reached, recovery nudge, or — when `idle` —
     /// any pending ack, so quiescent windows still drain).
-    void flush_acks(Proxy& self, bool idle);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void flush_acks(Proxy& self, bool idle);
     /// Header checksum of a wire packet (tx_state/payload excluded).
-    static uint32_t packet_crc(const Packet& p);
+    MSGPROXY_HOT_PATH static uint32_t packet_crc(const Packet& p);
     /// Monotonic nanoseconds (steady_clock).
-    static uint64_t now_ns();
+    MSGPROXY_HOT_PATH static uint64_t now_ns();
     /// Drains self's input rings once (budgeted). Requests are
     /// deferred when defer_requests is set (the send_packet stall
     /// path must not recurse into new sends).
-    bool drain_inputs(Proxy& self, bool defer_requests);
-    Channel* out_channel(const Proxy& self, int dst_node,
-                         int dst_proxy);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX bool drain_inputs(Proxy& self,
+                                      bool defer_requests);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX Channel* out_channel(const Proxy& self,
+                                         int dst_node, int dst_proxy);
     /// Grabs a wire packet: pool first (refilling from the return
     /// rings when dry), heap as the measured overload fallback.
-    PacketRef alloc_packet(Proxy& self);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX PacketRef alloc_packet(Proxy& self);
     /// Retires a consumed packet: heap -> delete; pooled -> the
     /// originating channel's return ring (`from`), or straight back
     /// into self's pool for loopback packets (`from == nullptr`).
-    void release_packet(Proxy& self, PacketRef ref, Channel* from);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void release_packet(Proxy& self, PacketRef ref,
+                                        Channel* from);
     /// Recycles every returned slot from self's tx channels.
-    void drain_returns(Proxy& self);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void drain_returns(Proxy& self);
     /// Copies self's LocalStats into the atomic ProxyStats.
-    static void publish_stats(Proxy& self);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX static void publish_stats(Proxy& self);
     /// One proxy's published counters as a NodeStats (the summing /
     /// per-proxy building block of stats() and stats_snapshot()).
     static NodeStats read_proxy_stats(const ProxyStats& s);
     /// Fresh node-salted trace id (never 0).
-    uint64_t
+    MSGPROXY_HOT_PATH uint64_t
     make_tid()
     {
         return (uint64_t(cfg_.id + 1) << 40) |
-               next_tid_.fetch_add(1, std::memory_order_relaxed);
+               next_tid_.fetch_add(1, mp::ord::counter);
     }
     /// Records a stage event into self's trace ring.
-    void
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void
     trace_stage(Proxy& self, uint64_t ts, uint64_t tid,
                 obs::Stage stage, obs::OpKind op, uint32_t aux)
     {

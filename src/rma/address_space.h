@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace rma {
 
 /// A recorded protection violation.
@@ -47,18 +49,20 @@ class AddressSpace
     /// Allocates and registers `n` bytes. If `shared` is true any rank
     /// may access the segment; otherwise only ranks granted later may.
     /// Returned storage is 64-byte aligned and owned by this object.
-    void* alloc(size_t n, bool shared);
+    MSGPROXY_QUIESCENT void* alloc(size_t n, bool shared);
 
     /// Registers caller-owned memory as a segment (not freed here).
-    void register_segment(void* p, size_t n, bool shared);
+    MSGPROXY_QUIESCENT void register_segment(void* p, size_t n,
+                                            bool shared);
 
     /// Grants `rank` access to the segment containing `addr`.
     /// Returns false if `addr` is not inside a registered segment.
-    bool grant(const void* addr, int rank);
+    MSGPROXY_QUIESCENT bool grant(const void* addr, int rank);
 
     /// True if `accessor` may touch [addr, addr+n) in this space.
     /// The owner may always access its own segments.
-    bool check(int accessor, const void* addr, size_t n) const;
+    MSGPROXY_HOT_PATH bool check(int accessor, const void* addr,
+                                 size_t n) const;
 
     /// Total bytes registered.
     size_t registered_bytes() const { return registered_bytes_; }
@@ -76,7 +80,8 @@ class AddressSpace
         std::unique_ptr<char[]> storage; ///< null for register_segment
     };
 
-    const Segment* find(const void* addr, size_t n) const;
+    MSGPROXY_HOT_PATH const Segment* find(const void* addr,
+                                          size_t n) const;
     Segment* find_mutable(const void* addr);
 
     int owner_;

@@ -14,6 +14,8 @@
 #include <deque>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace rma {
 
 /// One message-oriented FIFO.
@@ -28,7 +30,7 @@ class RemoteQueue
 
     /// Appends a message; returns false (and counts a drop) when the
     /// queue is bounded and full.
-    bool
+    MSGPROXY_HOT_PATH bool
     push(std::vector<uint8_t> msg)
     {
         if (capacity_ != 0 && bytes_ + msg.size() > capacity_) {
@@ -42,7 +44,7 @@ class RemoteQueue
     }
 
     /// Removes the head message into `out`; false when empty.
-    bool
+    MSGPROXY_HOT_PATH bool
     pop(std::vector<uint8_t>& out)
     {
         if (msgs_.empty())

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "rma/op.h"
+#include "util/annotations.h"
 #include "util/stats.h"
 
 namespace rma {
@@ -22,10 +23,13 @@ class Traffic
 {
   public:
     /// Creates accounting for `nranks` ranks.
-    explicit Traffic(int nranks) : per_rank_ops_(nranks, 0) {}
+    explicit Traffic(int nranks)
+        : per_rank_ops_(static_cast<size_t>(nranks), 0)
+    {
+    }
 
     /// Records one transported operation originated by `src_rank`.
-    void
+    MSGPROXY_HOT_PATH void
     note_op(OpKind kind, int src_rank, size_t nbytes)
     {
         ++ops_;

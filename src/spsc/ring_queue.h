@@ -32,6 +32,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/annotations.h"
+
 namespace spsc {
 
 /// A non-atomic storage cell. The indirection exists so the checking
@@ -113,7 +115,7 @@ class RingQueue
     RingQueue& operator=(const RingQueue&) = delete;
 
     /// Producer: attempts to enqueue; returns false when full.
-    bool
+    MSGPROXY_HOT_PATH bool
     try_push(T value)
     {
         Slot& s = slots_[tail_ & kMask];
@@ -126,7 +128,7 @@ class RingQueue
     }
 
     /// Consumer: attempts to dequeue; returns false when empty.
-    bool
+    MSGPROXY_HOT_PATH bool
     try_pop(T& out)
     {
         Slot& s = slots_[head_ & kMask];
@@ -141,7 +143,7 @@ class RingQueue
     /// Consumer: true when the next slot holds no message. This is
     /// the proxy's cheap poll: a single acquire load that stays in
     /// cache while the queue is idle.
-    bool
+    MSGPROXY_HOT_PATH bool
     empty() const
     {
         return !slots_[head_ & kMask].full.load(Orders::observe);
@@ -150,7 +152,7 @@ class RingQueue
     /// Producer: true when the next push would fail. Lets a producer
     /// of move-only values test for space before materializing the
     /// push (try_push consumes its argument even on failure).
-    bool
+    MSGPROXY_HOT_PATH bool
     full() const
     {
         return slots_[tail_ & kMask].full.load(Orders::observe);
@@ -207,7 +209,7 @@ class MsgRing
 
     /// Producer: appends an n-byte message; false when there is not
     /// enough contiguous credit.
-    bool
+    MSGPROXY_HOT_PATH bool
     try_push(const void* data, uint32_t n)
     {
         uint32_t need = record_bytes(n);
@@ -230,7 +232,7 @@ class MsgRing
     /// Consumer: pops the head message into out (resized); false when
     /// empty.
     template <typename Vec>
-    bool
+    MSGPROXY_HOT_PATH bool
     try_pop(Vec& out)
     {
         uint64_t h = hdr_at(chead_).load(Orders::observe);
@@ -248,7 +250,7 @@ class MsgRing
     }
 
     /// Consumer: true when no message is queued.
-    bool
+    MSGPROXY_HOT_PATH bool
     empty() const
     {
         return (hdr_at(chead_).load(Orders::observe) >> 63) == 0;
@@ -328,7 +330,7 @@ class DynRingQueue
     DynRingQueue& operator=(const DynRingQueue&) = delete;
 
     /// Producer: attempts to enqueue; returns false when full.
-    bool
+    MSGPROXY_HOT_PATH bool
     try_push(T value)
     {
         Slot& s = slots_[tail_ & mask_];
@@ -341,7 +343,7 @@ class DynRingQueue
     }
 
     /// Consumer: attempts to dequeue; returns false when empty.
-    bool
+    MSGPROXY_HOT_PATH bool
     try_pop(T& out)
     {
         Slot& s = slots_[head_ & mask_];
@@ -354,7 +356,7 @@ class DynRingQueue
     }
 
     /// Consumer: true when the next slot holds no message.
-    bool
+    MSGPROXY_HOT_PATH bool
     empty() const
     {
         return !slots_[head_ & mask_].full.load(
@@ -362,7 +364,7 @@ class DynRingQueue
     }
 
     /// Producer: true when the next push would fail.
-    bool
+    MSGPROXY_HOT_PATH bool
     full() const
     {
         return slots_[tail_ & mask_].full.load(
@@ -422,7 +424,7 @@ class DynPtrRing
     DynPtrRing& operator=(const DynPtrRing&) = delete;
 
     /// Producer: attempts to enqueue; returns false when full.
-    bool
+    MSGPROXY_HOT_PATH bool
     try_push(T v)
     {
         const uint64_t t = tail_.load(std::memory_order_relaxed);
@@ -437,7 +439,7 @@ class DynPtrRing
     }
 
     /// Consumer: attempts to dequeue; returns false when empty.
-    bool
+    MSGPROXY_HOT_PATH bool
     try_pop(T& out)
     {
         const uint64_t h = head_.load(std::memory_order_relaxed);
@@ -452,7 +454,7 @@ class DynPtrRing
     }
 
     /// True when no value is queued (either side may probe).
-    bool
+    MSGPROXY_HOT_PATH bool
     empty() const
     {
         return head_.load(std::memory_order_acquire) ==
@@ -495,7 +497,7 @@ class DynMsgRing
 
     /// Producer: appends an n-byte message; false when there is not
     /// enough credit (or the message exceeds capacity/2).
-    bool
+    MSGPROXY_HOT_PATH bool
     try_push(const void* data, uint32_t n)
     {
         uint64_t need = record_bytes(n);
@@ -517,7 +519,7 @@ class DynMsgRing
     /// Consumer: pops the head message into out (resized); false when
     /// empty.
     template <typename Vec>
-    bool
+    MSGPROXY_HOT_PATH bool
     try_pop(Vec& out)
     {
         uint64_t h = hdr_at(chead_).load(std::memory_order_acquire);
@@ -535,7 +537,7 @@ class DynMsgRing
     }
 
     /// Consumer: true when no message is queued.
-    bool
+    MSGPROXY_HOT_PATH bool
     empty() const
     {
         return (hdr_at(chead_).load(std::memory_order_acquire) >> 63) ==

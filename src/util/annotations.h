@@ -1,0 +1,81 @@
+/// \file
+/// Static-analysis annotations of the message-proxy runtime.
+///
+/// Two families live here:
+///
+/// 1. msgproxy-lint markers. `tools/lint/` (the clang-tidy plugin
+///    and the portable `msgproxy_lint` analyzer — see DESIGN.md
+///    "Static analysis") keys its checks off these macros. Under
+///    clang they expand to `__attribute__((annotate(...)))` so the
+///    AST-level checks see them; under gcc they expand to nothing
+///    and the portable analyzer reads them straight from the source
+///    text. Either way they cost zero code.
+///
+///    - MSGPROXY_HOT_PATH: this function is on the allocation-free
+///      wire path (proxy drain loop, submit, reliability tx/rx, obs
+///      record). msgproxy-hot-path-alloc walks the call graph from
+///      every such root and flags reachable heap allocation, mutex
+///      locking, and blocking sleeps/syscalls.
+///    - MSGPROXY_HOT_EXEMPT: audited boundary — the hot-path walk
+///      does not descend into this function. Reserve it for
+///      functions whose slow behaviour is the point (Backoff::idle's
+///      stage-4 sleep) or that run only on already-failed paths.
+///    - MSGPROXY_PROXY_CTX: this function runs on a proxy thread
+///      (or is reachable only from one). msgproxy-proxy-owned allows
+///      it to touch proxy-owned fields.
+///    - MSGPROXY_QUIESCENT: this function runs only while the proxy
+///      threads are quiescent (setup before start(), teardown after
+///      stop()), so proxy-owned access is safe despite running on a
+///      control thread.
+///    - MSGPROXY_PROXY_OWNED: field marker — after start() this
+///      field belongs to exactly one proxy thread. Access outside
+///      MSGPROXY_PROXY_CTX / MSGPROXY_QUIESCENT functions is
+///      flagged. The static mirror of check::ThreadOwner.
+///
+/// 2. Clang Thread Safety Analysis (-Wthread-safety) wrappers, MP_*.
+///    Applied to the mutex-using cold paths (the deterministic
+///    scheduler in src/check/, node setup/teardown). No-ops outside
+///    clang.
+
+#ifndef MSGPROXY_UTIL_ANNOTATIONS_H
+#define MSGPROXY_UTIL_ANNOTATIONS_H
+
+#if defined(__clang__)
+#define MSGPROXY_ANNOTATE(text) __attribute__((annotate(text)))
+#else
+#define MSGPROXY_ANNOTATE(text)
+#endif
+
+#define MSGPROXY_HOT_PATH MSGPROXY_ANNOTATE("msgproxy::hot_path")
+#define MSGPROXY_HOT_EXEMPT MSGPROXY_ANNOTATE("msgproxy::hot_exempt")
+#define MSGPROXY_PROXY_CTX MSGPROXY_ANNOTATE("msgproxy::proxy_ctx")
+#define MSGPROXY_QUIESCENT MSGPROXY_ANNOTATE("msgproxy::quiescent")
+#define MSGPROXY_PROXY_OWNED MSGPROXY_ANNOTATE("msgproxy::proxy_owned")
+
+// ---- Clang Thread Safety Analysis ---------------------------------
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html — the macro
+// set is the documented idiom, prefixed MP_ to stay out of other
+// libraries' namespaces. CMake adds -Wthread-safety when the
+// compiler is clang; gcc builds compile the attributes away.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MP_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef MP_TSA
+#define MP_TSA(x)
+#endif
+
+#define MP_CAPABILITY(x) MP_TSA(capability(x))
+#define MP_SCOPED_CAPABILITY MP_TSA(scoped_lockable)
+#define MP_GUARDED_BY(x) MP_TSA(guarded_by(x))
+#define MP_PT_GUARDED_BY(x) MP_TSA(pt_guarded_by(x))
+#define MP_REQUIRES(...) MP_TSA(requires_capability(__VA_ARGS__))
+#define MP_ACQUIRE(...) MP_TSA(acquire_capability(__VA_ARGS__))
+#define MP_RELEASE(...) MP_TSA(release_capability(__VA_ARGS__))
+#define MP_TRY_ACQUIRE(...) MP_TSA(try_acquire_capability(__VA_ARGS__))
+#define MP_EXCLUDES(...) MP_TSA(locks_excluded(__VA_ARGS__))
+#define MP_NO_TSA MP_TSA(no_thread_safety_analysis)
+
+#endif // MSGPROXY_UTIL_ANNOTATIONS_H

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstring>
 
+#include "util/orders.h"
+
 namespace mp {
 
 namespace {
@@ -29,13 +31,13 @@ std::atomic<LogLevel> g_level{initial_level()};
 LogLevel
 log_level()
 {
-    return g_level.load(std::memory_order_relaxed);
+    return g_level.load(mp::ord::counter);
 }
 
 void
 set_log_level(LogLevel level)
 {
-    g_level.store(level, std::memory_order_relaxed);
+    g_level.store(level, mp::ord::counter);
 }
 
 namespace detail {

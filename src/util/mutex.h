@@ -1,0 +1,62 @@
+/// \file
+/// Mutex wrappers carrying Clang Thread Safety Analysis capability
+/// annotations (see src/util/annotations.h; the MP_* macros expand
+/// to nothing under gcc).
+///
+/// libstdc++ ships std::mutex / std::lock_guard without TSA
+/// attributes, so -Wthread-safety cannot reason about them; these
+/// thin wrappers restore that. Use on the runtime's mutex-using COLD
+/// paths only (the deterministic scheduler, node setup/teardown) —
+/// the wire path is lock-free by design and the msgproxy-hot-path
+/// lint keeps it that way.
+///
+/// Condition variables: mp::Mutex is BasicLockable, so pair it with
+/// std::condition_variable_any and wait on the mutex itself while a
+/// MutexLock guard holds it:
+///
+///     mp::MutexLock lk(m_);
+///     cv_.wait(m_, [&]() { return ready_; });  // reads under m_
+
+#ifndef MSGPROXY_UTIL_MUTEX_H
+#define MSGPROXY_UTIL_MUTEX_H
+
+#include <mutex>
+
+#include "util/annotations.h"
+
+namespace mp {
+
+/// std::mutex with the TSA "mutex" capability.
+class MP_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() MP_ACQUIRE() { m_.lock(); }
+    void unlock() MP_RELEASE() { m_.unlock(); }
+    bool try_lock() MP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    std::mutex m_;
+};
+
+/// Scoped lock of an mp::Mutex, visible to the analysis
+/// (std::lock_guard<mp::Mutex> would compile but TSA cannot see
+/// through it).
+class MP_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& m) MP_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() MP_RELEASE() { m_.unlock(); }
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& m_;
+};
+
+} // namespace mp
+
+#endif // MSGPROXY_UTIL_MUTEX_H

@@ -1,0 +1,48 @@
+/// \file
+/// Named memory orderings: the single place a `std::memory_order_*`
+/// literal may be spelled outside the SPSC core.
+///
+/// The msgproxy-atomics-order check (tools/lint/) forbids raw
+/// memory-order literals everywhere except src/spsc/ (whose `Orders`
+/// policy — spsc::DefaultOrders — aliases these constants, so the
+/// PR 1 order-weakening mutation tests keep covering the real
+/// shipped values), src/check/atomic.h (the instrumented atomic that
+/// interprets orders), and this header. Everything else names the
+/// *intent* of an ordering and gets the strength from here; an
+/// ordering bug is then a one-line diff in one file instead of a
+/// needle in 80 call sites.
+///
+/// Vocabulary:
+///  - publish/observe: the ownership-transfer pair. A `publish`
+///    store makes everything written before it visible to the thread
+///    whose `observe` load sees the stored value (SPSC slot flags,
+///    completion Flag increments, running_/dead flags).
+///  - handoff: one RMW that both observes the previous owner's
+///    writes and publishes its own (ThreadOwner's bind CAS).
+///  - counter: monotonic statistics and configuration toggles read
+///    for their value only — no ordering relied upon, by design.
+///  - fenced: a plain-data access whose ordering is supplied by an
+///    adjacent explicit fence or a later publish in the same
+///    protocol (the seqlock slot words in obs::TraceRing).
+///  - barrier: full sequential consistency, for the rare
+///    Dekker-style protocols where store/load order between two
+///    *different* locations must be total (the doorbell-mask probe
+///    in proxy::Node::note_command_posted).
+
+#ifndef MSGPROXY_UTIL_ORDERS_H
+#define MSGPROXY_UTIL_ORDERS_H
+
+#include <atomic>
+
+namespace mp::ord {
+
+inline constexpr std::memory_order publish = std::memory_order_release;
+inline constexpr std::memory_order observe = std::memory_order_acquire;
+inline constexpr std::memory_order handoff = std::memory_order_acq_rel;
+inline constexpr std::memory_order counter = std::memory_order_relaxed;
+inline constexpr std::memory_order fenced = std::memory_order_relaxed;
+inline constexpr std::memory_order barrier = std::memory_order_seq_cst;
+
+} // namespace mp::ord
+
+#endif // MSGPROXY_UTIL_ORDERS_H

@@ -1,0 +1,34 @@
+// Mutation corpus: msgproxy-atomics-order must flag this TU.
+//
+// Raw std::memory_order_* literals outside src/spsc/ and the
+// allowlist. Orderings elsewhere must go through the mp::ord
+// vocabulary (src/util/orders.h) so every non-SPSC ordering decision
+// is named, greppable, and reviewed in one place.
+
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+class SeqPublisher
+{
+  public:
+    void
+    publish(uint64_t v)
+    {
+        // Raw literal: should be mp::ord::publish.
+        seq_.store(v, std::memory_order_release);
+    }
+
+    uint64_t
+    read() const
+    {
+        // Raw literal: should be mp::ord::observe.
+        return seq_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<uint64_t> seq_{0};
+};
+
+} // namespace corpus

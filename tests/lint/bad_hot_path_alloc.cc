@@ -1,0 +1,52 @@
+// Mutation corpus: msgproxy-hot-path-alloc must flag this TU.
+//
+// A MSGPROXY_HOT_PATH root reaches, through one call-graph hop, a
+// helper that heap-allocates and takes a lock — the two classic ways
+// a "small refactor" silently re-introduces per-packet cost that the
+// pooled wire path exists to avoid.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#define MSGPROXY_HOT_PATH
+
+namespace corpus {
+
+std::mutex g_table_mutex;
+std::vector<uint64_t> g_table;
+
+// Innocent-looking bookkeeping helper: not annotated, but reachable
+// from the hot root below.
+void
+note_sequence(uint64_t seq)
+{
+    std::lock_guard<std::mutex> hold(g_table_mutex);
+    g_table.push_back(seq);
+}
+
+struct Packet
+{
+    uint64_t seq = 0;
+};
+
+class Wire
+{
+  public:
+    MSGPROXY_HOT_PATH bool send(Packet& p);
+
+  private:
+    uint64_t next_ = 0;
+};
+
+bool
+Wire::send(Packet& p)
+{
+    p.seq = next_++;
+    // Heap allocation directly on the hot path.
+    auto* shadow = new Packet(p);
+    note_sequence(shadow->seq);
+    return true;
+}
+
+} // namespace corpus

@@ -1,0 +1,56 @@
+// Mutation corpus: msgproxy-packet-custody must flag this TU.
+//
+// Three custody violations on pooled Packet pointers: a delete with
+// no heap-provenance check, a use of the pointer after it was pushed
+// to the return ring (ownership already transferred), and a raw
+// escape into a container that is not one of the custody structures.
+
+#include <cstdint>
+#include <vector>
+
+namespace corpus {
+
+struct Packet
+{
+    uint64_t seq = 0;
+    uint32_t tx_state = 0;
+};
+
+struct ReturnRing
+{
+    bool try_push(Packet* p);
+};
+
+class Proxy
+{
+  public:
+    void retire(Packet* p, ReturnRing& ret);
+    void remember(Packet* p);
+
+  private:
+    std::vector<Packet*> inflight_log_;
+};
+
+void
+Proxy::retire(Packet* p, ReturnRing& ret)
+{
+    if (p->seq % 2 == 0) {
+        // Unconditional delete of a possibly pool-owned packet: no
+        // heap/tx_state provenance consulted anywhere in this body.
+        delete p;
+        return;
+    }
+    ret.try_push(p);
+    // Use after custody transfer: the consumer may already have
+    // recycled this slot.
+    p->seq = 0;
+}
+
+void
+Proxy::remember(Packet* p)
+{
+    // Raw pooled pointer escaping into a non-custody container.
+    inflight_log_.push_back(p);
+}
+
+} // namespace corpus

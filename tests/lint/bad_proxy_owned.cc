@@ -1,0 +1,42 @@
+// Mutation corpus: msgproxy-proxy-owned must flag this TU.
+//
+// A field marked MSGPROXY_PROXY_OWNED (single-owner data of the
+// proxy thread) is read by a method with neither MSGPROXY_PROXY_CTX
+// (runs on the proxy thread) nor MSGPROXY_QUIESCENT (runs while no
+// proxy thread is live) — a cross-thread access the runtime's
+// ThreadOwner lint would only catch at runtime, if the schedule
+// cooperated.
+
+#include <cstdint>
+#include <vector>
+
+#define MSGPROXY_PROXY_OWNED
+#define MSGPROXY_PROXY_CTX
+
+namespace corpus {
+
+class Proxy
+{
+  public:
+    MSGPROXY_PROXY_CTX void poll();
+    uint64_t idle_polls_now() const;
+
+  private:
+    MSGPROXY_PROXY_OWNED uint64_t idle_polls = 0;
+};
+
+void
+Proxy::poll()
+{
+    ++idle_polls;
+}
+
+uint64_t
+Proxy::idle_polls_now() const
+{
+    // Cross-thread read of proxy-owned state, outside any annotated
+    // proxy-context or quiescent method.
+    return idle_polls;
+}
+
+} // namespace corpus

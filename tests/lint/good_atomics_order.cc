@@ -1,0 +1,33 @@
+// Mutation corpus twin: the same publisher expressed through the
+// mp::ord named-order vocabulary. Must produce zero findings.
+
+#include <atomic>
+#include <cstdint>
+
+namespace mp::ord {
+inline constexpr std::memory_order publish = std::memory_order(3);
+inline constexpr std::memory_order observe = std::memory_order(2);
+} // namespace mp::ord
+
+namespace corpus {
+
+class SeqPublisher
+{
+  public:
+    void
+    publish(uint64_t v)
+    {
+        seq_.store(v, mp::ord::publish);
+    }
+
+    uint64_t
+    read() const
+    {
+        return seq_.load(mp::ord::observe);
+    }
+
+  private:
+    std::atomic<uint64_t> seq_{0};
+};
+
+} // namespace corpus

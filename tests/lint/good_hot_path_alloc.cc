@@ -1,0 +1,59 @@
+// Mutation corpus twin: the same shape as bad_hot_path_alloc.cc with
+// the discipline applied — pool reuse instead of `new`, a hot-exempt
+// boundary for the sanctioned slow path, and a NOLINT carrying its
+// rationale for the measured fallback. Must produce zero findings.
+
+#include <cstdint>
+
+#define MSGPROXY_HOT_PATH
+#define MSGPROXY_HOT_EXEMPT
+
+namespace corpus {
+
+struct Packet
+{
+    uint64_t seq = 0;
+    Packet* next = nullptr;
+};
+
+// The sanctioned blocking point of a long-idle poller: the walk must
+// stop here instead of descending into the sleep below it.
+MSGPROXY_HOT_EXEMPT void
+idle_backoff(int polls);
+
+class Wire
+{
+  public:
+    MSGPROXY_HOT_PATH bool send(Packet& p);
+    MSGPROXY_HOT_PATH Packet* acquire();
+
+  private:
+    Packet* free_ = nullptr;
+    uint64_t next_ = 0;
+    uint64_t misses_ = 0;
+};
+
+bool
+Wire::send(Packet& p)
+{
+    p.seq = next_++;
+    if (p.seq == 0)
+        idle_backoff(1);
+    return true;
+}
+
+Packet*
+Wire::acquire()
+{
+    if (free_ != nullptr) {
+        Packet* p = free_;
+        free_ = p->next;
+        return p;
+    }
+    // Measured overload fallback, counted in misses_.
+    ++misses_;
+    // NOLINTNEXTLINE(msgproxy-hot-path-alloc)
+    return new Packet;
+}
+
+} // namespace corpus

@@ -1,0 +1,64 @@
+// Mutation corpus twin: the same operations done under the custody
+// discipline — every delete sits behind a heap-provenance check, the
+// pointer is dead after the return-ring push, and raw pointers only
+// enter the custody containers (free_, deferred, stash). Must
+// produce zero findings.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace corpus {
+
+constexpr uint32_t kTxHeap = 1u << 0;
+
+struct Packet
+{
+    uint64_t seq = 0;
+    uint32_t tx_state = 0;
+};
+
+struct PacketRef
+{
+    Packet* p = nullptr;
+    bool heap = false;
+};
+
+struct ReturnRing
+{
+    bool try_push(Packet* p);
+};
+
+class Proxy
+{
+  public:
+    void retire(PacketRef ref, ReturnRing& ret);
+    void stash_packet(Packet* p);
+
+  private:
+    std::vector<Packet*> free_;
+    std::deque<Packet*> stash;
+    uint64_t heap_frees_ = 0;
+};
+
+void
+Proxy::retire(PacketRef ref, ReturnRing& ret)
+{
+    if (ref.heap && (ref.p->tx_state & kTxHeap) != 0) {
+        delete ref.p;
+        ++heap_frees_;
+        return;
+    }
+    ret.try_push(ref.p);
+}
+
+void
+Proxy::stash_packet(Packet* p)
+{
+    if (p->tx_state == 0)
+        free_.push_back(p);
+    else
+        stash.push_back(p);
+}
+
+} // namespace corpus

@@ -1,0 +1,36 @@
+// Mutation corpus twin: proxy-owned state touched only from
+// MSGPROXY_PROXY_CTX methods plus a MSGPROXY_QUIESCENT teardown
+// (legal: no proxy thread is live during quiescence). Must produce
+// zero findings.
+
+#include <cstdint>
+
+#define MSGPROXY_PROXY_OWNED
+#define MSGPROXY_PROXY_CTX
+#define MSGPROXY_QUIESCENT
+
+namespace corpus {
+
+class Proxy
+{
+  public:
+    MSGPROXY_PROXY_CTX void poll();
+    MSGPROXY_QUIESCENT void reset_counters();
+
+  private:
+    MSGPROXY_PROXY_OWNED uint64_t idle_polls = 0;
+};
+
+void
+Proxy::poll()
+{
+    ++idle_polls;
+}
+
+void
+Proxy::reset_counters()
+{
+    idle_polls = 0;
+}
+
+} // namespace corpus

@@ -16,6 +16,12 @@
 #   chaos      deterministic fault-injection suite (ctest -L chaos:
 #              seeded drop/dup/reorder/corrupt over real 2-node
 #              runtimes) in the plain AND ThreadSanitizer trees
+#   lint       project lint (tools/lint/): builds the portable
+#              msgproxy_lint analyzer, runs the mutation corpus
+#              (tests/lint/) and the zero-findings gate over src/,
+#              then the clang-tidy plugin checks when the LLVM/Clang
+#              dev stack is present (explicit SKIP line otherwise —
+#              never a silent pass)
 #   tidy       clang-tidy (.clang-tidy profile) over src/, using the
 #              compile_commands.json from the plain build
 #   bench-smoke  builds the bench binaries and runs the multi-proxy
@@ -48,7 +54,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 MODES=("$@")
-[ ${#MODES[@]} -eq 0 ] && MODES=(plain tsan asan ownership tidy bench-smoke obs)
+[ ${#MODES[@]} -eq 0 ] && MODES=(plain lint tsan asan ownership tidy bench-smoke obs)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -89,6 +95,29 @@ for mode in "${MODES[@]}"; do
         banner "chaos suite, ThreadSanitizer tree"
         build_and_test build-tsan -L chaos -- \
             -DMSGPROXY_SANITIZE=thread
+        ;;
+      lint)
+        banner "msgproxy lint: wire-path invariants over src/"
+        cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+        cmake --build build -j "$JOBS" --target msgproxy_lint
+        # Zero false negatives: every bad_X.cc in the corpus must be
+        # flagged by check msgproxy-X, every good_X.cc must be clean.
+        ./build/tools/lint/msgproxy_lint --corpus tests/lint
+        # Zero findings over the tree itself.
+        ./build/tools/lint/msgproxy_lint --root . src
+        # Full-fidelity clang-tidy plugin (AST-based variants of the
+        # same checks). Needs the LLVM/Clang dev stack plus the
+        # clang-tidy binary; skip is EXPLICIT so a green run never
+        # silently means "plugin not exercised".
+        if cmake --build build -j "$JOBS" --target MsgProxyTidyModule \
+                >/dev/null 2>&1 && command -v clang-tidy >/dev/null 2>&1; then
+            find src -name '*.cc' -print0 |
+                xargs -0 -n 4 -P "$JOBS" clang-tidy -p build --quiet \
+                    -load "$(find build/tools/lint -name 'libMsgProxyTidyModule*' | head -n1)" \
+                    --checks='-*,msgproxy-*'
+        else
+            echo "lint: clang-tidy plugin SKIPPED (needs LLVM/Clang dev headers + clang-tidy); portable analyzer gates passed above"
+        fi
         ;;
       tidy)
         banner "clang-tidy over src/"
@@ -238,7 +267,7 @@ PY
         fi
         ;;
       *)
-        echo "unknown mode: $mode (expected plain|tsan|asan|ownership|chaos|tidy|bench-smoke|obs|perf)" >&2
+        echo "unknown mode: $mode (expected plain|lint|tsan|asan|ownership|chaos|tidy|bench-smoke|obs|perf)" >&2
         exit 2
         ;;
     esac

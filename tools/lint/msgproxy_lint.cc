@@ -1,0 +1,1114 @@
+// msgproxy_lint: portable static enforcement of the runtime's
+// wire-path invariants.
+//
+// This is the always-available engine behind `tools/check.sh lint`.
+// It implements the same four project checks as the clang-tidy
+// plugin in tools/lint/plugin/ (which needs LLVM/Clang dev packages
+// and is skipped, loudly, when they are absent):
+//
+//   msgproxy-hot-path-alloc   no heap allocation, mutex locking, or
+//                             blocking sleep reachable from a
+//                             MSGPROXY_HOT_PATH root
+//   msgproxy-packet-custody   pooled Packet custody discipline:
+//                             delete only under heap-provenance
+//                             checks, no use-after-return-ring-push,
+//                             no raw escape into foreign containers
+//   msgproxy-atomics-order    no raw std::memory_order_* literals
+//                             outside src/spsc/ and the allowlist
+//                             (src/check/atomic.h, src/util/orders.h)
+//   msgproxy-proxy-owned      fields marked MSGPROXY_PROXY_OWNED are
+//                             touched only by MSGPROXY_PROXY_CTX or
+//                             MSGPROXY_QUIESCENT functions
+//
+// The engine is a tokenizer plus a heuristic function extractor —
+// deliberately no compiler dependency, so the gate runs on every
+// build host. It understands NOLINT / NOLINT(check-name) /
+// NOLINTNEXTLINE(check-name) comments exactly like clang-tidy, and
+// MSGPROXY_* annotation macros straight from the source text (they
+// expand to clang `annotate` attributes for the plugin and to
+// nothing under gcc).
+//
+// Usage:
+//   msgproxy_lint [--root DIR] PATH...     lint files/dirs; exit 1
+//                                          on any finding
+//   msgproxy_lint --corpus DIR             run the mutation corpus:
+//                                          every tests/lint/bad_X.cc
+//                                          must be flagged by check
+//                                          msgproxy-X (dashes for
+//                                          underscores) and every
+//                                          good_X.cc must be clean
+//   msgproxy_lint --dump PATH...           debug: dump the function
+//                                          table and annotations
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- //
+// Checks                                                           //
+// ---------------------------------------------------------------- //
+
+const char* const kHotPathAlloc = "msgproxy-hot-path-alloc";
+const char* const kPacketCustody = "msgproxy-packet-custody";
+const char* const kAtomicsOrder = "msgproxy-atomics-order";
+const char* const kProxyOwned = "msgproxy-proxy-owned";
+
+// Files (matched by path suffix) where raw memory-order literals are
+// the point: the Orders policy definitions, the instrumented atomic
+// that interprets orders, and the named-order vocabulary itself.
+const char* const kOrderAllowlist[] = {
+    "src/spsc/", "src/check/atomic.h", "src/util/orders.h",
+    "tools/lint/"};
+
+// Custody containers a raw Packet* may legitimately enter: the pool
+// free list, the deferred-request queue, the reorder stash.
+const std::set<std::string> kCustodyContainers = {"free_", "deferred",
+                                                 "stash"};
+
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    std::string check;
+    std::string msg;
+};
+
+// ---------------------------------------------------------------- //
+// Lexing                                                           //
+// ---------------------------------------------------------------- //
+
+struct Tok
+{
+    std::string s;
+    int line = 0;
+};
+
+struct FileText
+{
+    std::string path;    // as given (display)
+    std::string relpath; // root-relative (allowlist matching)
+    std::vector<Tok> toks;
+    // line -> checks suppressed there ("*" = all)
+    std::map<int, std::set<std::string>> nolint;
+};
+
+bool
+ident_start(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Records "NOLINT", "NOLINT(a, b)", "NOLINTNEXTLINE(...)" from one
+// comment's text.
+void
+scan_nolint(const std::string& comment, int line, FileText& ft)
+{
+    size_t pos = 0;
+    while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+        size_t p = pos + 6;
+        int target = line;
+        if (comment.compare(p, 8, "NEXTLINE") == 0) {
+            p += 8;
+            target = line + 1;
+        }
+        auto& set = ft.nolint[target];
+        if (p < comment.size() && comment[p] == '(') {
+            size_t close = comment.find(')', p);
+            std::string list =
+                comment.substr(p + 1, close == std::string::npos
+                                          ? std::string::npos
+                                          : close - p - 1);
+            std::stringstream ss(list);
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                item.erase(0, item.find_first_not_of(" \t"));
+                item.erase(item.find_last_not_of(" \t") + 1);
+                if (!item.empty())
+                    set.insert(item);
+            }
+        } else {
+            set.insert("*");
+        }
+        pos = p;
+    }
+}
+
+// Tokenizes one file: strips comments (collecting NOLINT markers),
+// strings, chars, and preprocessor lines; keeps identifiers,
+// numbers, and punctuation (with "::" "->" as single tokens).
+FileText
+lex_file(const std::string& path, const std::string& relpath)
+{
+    FileText ft;
+    ft.path = path;
+    ft.relpath = relpath;
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string src = buf.str();
+
+    int line = 1;
+    size_t i = 0;
+    const size_t n = src.size();
+    bool at_line_start = true;
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            at_line_start = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (at_line_start && c == '#') {
+            // Preprocessor line (with continuations): skip, but keep
+            // scanning NOLINT in any trailing comment.
+            while (i < n) {
+                if (src[i] == '\n') {
+                    if (i > 0 && src[i - 1] == '\\') {
+                        ++line;
+                        ++i;
+                        continue;
+                    }
+                    break;
+                }
+                ++i;
+            }
+            continue;
+        }
+        at_line_start = false;
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            size_t end = src.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            scan_nolint(src.substr(i, end - i), line, ft);
+            i = end;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            size_t end = src.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            std::string body = src.substr(i, end - i);
+            scan_nolint(body, line, ft);
+            line += static_cast<int>(
+                std::count(body.begin(), body.end(), '\n'));
+            i = end;
+            continue;
+        }
+        if (c == '"') {
+            ++i;
+            while (i < n && src[i] != '"') {
+                if (src[i] == '\\')
+                    ++i;
+                if (i < n && src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            ++i;
+            ft.toks.push_back({"\"\"", line});
+            continue;
+        }
+        if (c == '\'') {
+            ++i;
+            while (i < n && src[i] != '\'') {
+                if (src[i] == '\\')
+                    ++i;
+                ++i;
+            }
+            ++i;
+            ft.toks.push_back({"''", line});
+            continue;
+        }
+        if (ident_start(c)) {
+            size_t j = i + 1;
+            while (j < n && ident_char(src[j]))
+                ++j;
+            ft.toks.push_back({src.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i + 1;
+            while (j < n &&
+                   (ident_char(src[j]) || src[j] == '.' ||
+                    ((src[j] == '+' || src[j] == '-') &&
+                     (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                      src[j - 1] == 'p' || src[j - 1] == 'P'))))
+                ++j;
+            ft.toks.push_back({"0", line});
+            i = j;
+            continue;
+        }
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            ft.toks.push_back({"::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            ft.toks.push_back({"->", line});
+            i += 2;
+            continue;
+        }
+        ft.toks.push_back({std::string(1, c), line});
+        ++i;
+    }
+    return ft;
+}
+
+// ---------------------------------------------------------------- //
+// Function extraction                                              //
+// ---------------------------------------------------------------- //
+
+struct Func
+{
+    std::string name;   // bare name
+    std::string qual;   // qualified, for display
+    const FileText* ft = nullptr;
+    int line = 0;
+    size_t body_begin = 0, body_end = 0; // token range, 0,0 = decl
+    std::set<std::string> annos;         // msgproxy::* annotations
+};
+
+struct OwnedField
+{
+    std::string name;
+    std::string file;
+    int line = 0;
+};
+
+struct Project
+{
+    std::vector<FileText> files;
+    std::vector<Func> funcs; // definitions (have bodies)
+    // bare name -> merged annotations (decls + defs)
+    std::map<std::string, std::set<std::string>> annos_by_name;
+    /// Same annotations keyed by scope-qualified name; hot-path ROOT
+    /// selection uses these so `Endpoint::put` does not also crown
+    /// every other `put` in the tree a root.
+    std::map<std::string, std::set<std::string>> annos_by_qual;
+    std::vector<OwnedField> owned;
+};
+
+const std::set<std::string> kNotFuncName = {
+    "if",       "for",      "while",    "switch",   "catch",
+    "return",   "sizeof",   "alignas",  "alignof",  "decltype",
+    "noexcept", "new",      "delete",   "throw",    "static_cast",
+    "assert",   "defined",  "co_await", "co_yield", "co_return"};
+
+const std::map<std::string, std::string> kAnnoMacro = {
+    {"MSGPROXY_HOT_PATH", "hot_path"},
+    {"MSGPROXY_HOT_EXEMPT", "hot_exempt"},
+    {"MSGPROXY_PROXY_CTX", "proxy_ctx"},
+    {"MSGPROXY_QUIESCENT", "quiescent"},
+    {"MSGPROXY_PROXY_OWNED", "proxy_owned"}};
+
+size_t
+match_forward(const std::vector<Tok>& t, size_t open)
+{
+    const std::string& o = t[open].s;
+    const std::string c = o == "(" ? ")" : o == "{" ? "}" : "]";
+    int depth = 0;
+    for (size_t i = open; i < t.size(); ++i) {
+        if (t[i].s == o)
+            ++depth;
+        else if (t[i].s == c && --depth == 0)
+            return i;
+    }
+    return t.size() - 1;
+}
+
+// Looks for a function-definition pattern in the declaration window
+// [begin, brace): a parameter list `name ( ... )` whose close is
+// followed only by qualifier-ish tokens (const, noexcept, ctor-init
+// lists, trailing return types) up to the brace. Returns the index
+// of the name token, or npos.
+size_t
+find_func_name(const std::vector<Tok>& t, size_t begin, size_t brace)
+{
+    // Walk parenthesis groups left to right; remember the last group
+    // preceded by an identifier. Ctor-init lists after the parameter
+    // list also contain groups, so prefer the first group after
+    // which a top-level ':' (not '::') appears, else the last group.
+    size_t candidate = std::string::npos;
+    size_t i = begin;
+    while (i < brace) {
+        if (t[i].s == "(" && i > begin) {
+            const Tok& prev = t[i - 1];
+            size_t close = match_forward(t, i);
+            if (close >= brace)
+                return candidate;
+            if (ident_start(prev.s[0]) && !kNotFuncName.count(prev.s))
+                candidate = i - 1;
+            i = close + 1;
+            // A top-level ':' right after a close is a ctor-init
+            // list: the group we just closed was the param list.
+            if (i < brace && t[i].s == ":")
+                return candidate;
+            continue;
+        }
+        if (t[i].s == "=" && candidate == std::string::npos)
+            return std::string::npos; // initializer, not a function
+        ++i;
+    }
+    return candidate;
+}
+
+bool
+window_is_scope(const std::vector<Tok>& t, size_t begin, size_t brace)
+{
+    for (size_t i = begin; i < brace; ++i) {
+        const std::string& s = t[i].s;
+        if (s == "namespace" || s == "struct" || s == "class" ||
+            s == "union" || s == "enum")
+            return true;
+        if (s == "(")
+            return false; // params before any scope keyword
+    }
+    return false;
+}
+
+// The declarator name of a field declaration window (for
+// MSGPROXY_PROXY_OWNED): the identifier before '=', '[', or the end.
+std::string
+field_name(const std::vector<Tok>& t, size_t begin, size_t end)
+{
+    size_t stop = end;
+    for (size_t i = begin; i < end; ++i) {
+        if (t[i].s == "=" || t[i].s == "[" || t[i].s == "{") {
+            stop = i;
+            break;
+        }
+    }
+    for (size_t i = stop; i-- > begin;) {
+        if (ident_start(t[i].s[0]) && !kAnnoMacro.count(t[i].s))
+            return t[i].s;
+    }
+    return "";
+}
+
+void
+collect_window_annotations(const std::vector<Tok>& t, size_t begin,
+                           size_t end, std::set<std::string>& out)
+{
+    for (size_t i = begin; i < end; ++i) {
+        auto it = kAnnoMacro.find(t[i].s);
+        if (it != kAnnoMacro.end())
+            out.insert(it->second);
+    }
+}
+
+// Extracts function definitions, declaration annotations, and owned
+// fields from one lexed file into the project.
+void
+extract(const FileText& ft, Project& prj)
+{
+    const std::vector<Tok>& t = ft.toks;
+    std::vector<std::string> scope; // namespace/class nesting (names)
+    std::vector<bool> scope_real;   // true: named scope we pushed
+    size_t decl_start = 0;
+
+    for (size_t i = 0; i < t.size(); ++i) {
+        const std::string& s = t[i].s;
+        if (s == ";") {
+            // Declaration: harvest annotations / owned fields.
+            std::set<std::string> annos;
+            collect_window_annotations(t, decl_start, i, annos);
+            if (!annos.empty()) {
+                if (annos.count("proxy_owned")) {
+                    std::string fname = field_name(t, decl_start, i);
+                    if (!fname.empty())
+                        prj.owned.push_back(
+                            {fname, ft.path, t[decl_start].line});
+                    annos.erase("proxy_owned");
+                }
+                if (!annos.empty()) {
+                    size_t nm = find_func_name(t, decl_start, i);
+                    if (nm != std::string::npos) {
+                        std::string q;
+                        for (const auto& sc : scope)
+                            if (!sc.empty())
+                                q += sc + "::";
+                        for (size_t j = nm;
+                             j >= 2 && t[j - 1].s == "::"; j -= 2)
+                            q += t[j - 2].s + "::";
+                        q += t[nm].s;
+                        for (const auto& a : annos) {
+                            prj.annos_by_name[t[nm].s].insert(a);
+                            prj.annos_by_qual[q].insert(a);
+                        }
+                    }
+                }
+            }
+            decl_start = i + 1;
+            continue;
+        }
+        if (s == "}") {
+            if (!scope_real.empty()) {
+                if (scope_real.back())
+                    scope.pop_back();
+                scope_real.pop_back();
+            }
+            decl_start = i + 1;
+            continue;
+        }
+        if (s != "{")
+            continue;
+
+        // Classify this brace via its declaration window.
+        if (window_is_scope(t, decl_start, i)) {
+            std::string name;
+            for (size_t j = decl_start; j < i; ++j)
+                if (ident_start(t[j].s[0]) &&
+                    !kAnnoMacro.count(t[j].s))
+                    name = t[j].s; // last identifier: the scope name
+            // enum bodies carry no declarations we care about: skip.
+            bool is_enum = false;
+            for (size_t j = decl_start; j < i; ++j)
+                if (t[j].s == "enum")
+                    is_enum = true;
+            if (is_enum) {
+                i = match_forward(t, i);
+            } else {
+                scope.push_back(name);
+                scope_real.push_back(true);
+            }
+            decl_start = i + 1;
+            continue;
+        }
+        size_t nm = find_func_name(t, decl_start, i);
+        if (nm == std::string::npos) {
+            // Initializer or unrecognized brace: skip it wholesale.
+            i = match_forward(t, i);
+            decl_start = i + 1;
+            continue;
+        }
+        // Function definition.
+        Func f;
+        f.name = t[nm].s;
+        std::string qual;
+        for (const auto& sc : scope)
+            if (!sc.empty())
+                qual += sc + "::";
+        // Qualified definitions (Node::foo) carry their own prefix.
+        for (size_t j = nm; j >= 2 && t[j - 1].s == "::"; j -= 2)
+            qual += t[j - 2].s + "::";
+        f.qual = qual + f.name;
+        f.ft = &ft;
+        f.line = t[nm].line;
+        collect_window_annotations(t, decl_start, i, f.annos);
+        size_t close = match_forward(t, i);
+        f.body_begin = i + 1;
+        f.body_end = close;
+        for (const auto& a : f.annos) {
+            prj.annos_by_name[f.name].insert(a);
+            prj.annos_by_qual[f.qual].insert(a);
+        }
+        prj.funcs.push_back(f);
+        i = close;
+        decl_start = i + 1;
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Reporting                                                        //
+// ---------------------------------------------------------------- //
+
+bool
+suppressed(const FileText& ft, int line, const std::string& check)
+{
+    auto it = ft.nolint.find(line);
+    if (it == ft.nolint.end())
+        return false;
+    return it->second.count("*") || it->second.count(check);
+}
+
+void
+report(std::vector<Finding>& out, const FileText& ft, int line,
+       const std::string& check, const std::string& msg)
+{
+    if (suppressed(ft, line, check))
+        return;
+    out.push_back({ft.path, line, check, msg});
+}
+
+// ---------------------------------------------------------------- //
+// Check 1: msgproxy-hot-path-alloc                                 //
+// ---------------------------------------------------------------- //
+
+const std::set<std::string> kAllocCalls = {
+    "malloc",        "calloc", "realloc",       "free",
+    "posix_memalign", "strdup", "aligned_alloc"};
+const std::set<std::string> kLockTokens = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+    "condition_variable"};
+const std::set<std::string> kPrimitiveAtomic = {
+    "load",          "store",
+    "exchange",      "fetch_add",
+    "fetch_sub",     "fetch_or",
+    "fetch_and",     "compare_exchange_strong",
+    "compare_exchange_weak"};
+const std::set<std::string> kBlockingCalls = {
+    "sleep_for", "sleep_until", "usleep",     "nanosleep",
+    "sleep",     "epoll_wait",  "ppoll",      "select",
+    "pselect",   "accept",      "connect_fd", "recvmsg",
+    "sendmsg"};
+
+void
+check_hot_path(const Project& prj, std::vector<Finding>& out)
+{
+    // Call edges resolve by bare name (overloads/same-name methods
+    // merge: a conservative over-approximation), but ROOTS resolve by
+    // scope-qualified name, so annotating `Endpoint::put` does not
+    // also crown every other `put` in the tree a root.
+    //
+    // The walk is scoped to the host-thread runtime: src/ code
+    // outside kHotPathDomain is opaque (not scanned, not expanded).
+    // The discrete-event simulator domain (sim, machine, backend, am,
+    // mpi, ...) MODELS allocation as a cost rather than paying it on
+    // a real wire path, and the src/check/ instrumentation only runs
+    // under the deterministic scheduler — both would otherwise bleed
+    // into the hot set through bare-name edges like `submit`, `load`,
+    // or `pack`. Files outside src/ (the mutation corpus) always
+    // participate.
+    static const char* const kHotPathDomain[] = {
+        "src/proxy/", "src/net/", "src/spsc/",
+        "src/obs/",   "src/rma/", "src/util/"};
+    auto in_domain = [&](const std::string& rel) {
+        if (rel.rfind("src/", 0) != 0)
+            return true;
+        for (const char* d : kHotPathDomain)
+            if (rel.rfind(d, 0) == 0)
+                return true;
+        return false;
+    };
+    std::map<std::string, std::vector<const Func*>> by_name;
+    for (const Func& f : prj.funcs) {
+        if (!in_domain(f.ft->relpath))
+            continue;
+        by_name[f.name].push_back(&f);
+    }
+
+    auto merged_annos = [&](const std::string& name) {
+        auto it = prj.annos_by_name.find(name);
+        return it == prj.annos_by_name.end() ? std::set<std::string>{}
+                                             : it->second;
+    };
+
+    // a == b, or one is a "::"-suffix of the other (a declaration
+    // annotated inside `class Endpoint` yields `Endpoint::put`; its
+    // definition may carry the fuller `proxy::Endpoint::put`).
+    auto qual_matches = [](const std::string& a, const std::string& b) {
+        if (a == b)
+            return true;
+        const std::string &lo = a.size() < b.size() ? a : b,
+                          &hi = a.size() < b.size() ? b : a;
+        return hi.size() > lo.size() + 2 &&
+               hi.compare(hi.size() - lo.size(), lo.size(), lo) == 0 &&
+               hi.compare(hi.size() - lo.size() - 2, 2, "::") == 0;
+    };
+
+    std::vector<const Func*> work;
+    std::set<const Func*> visited;
+    std::map<const Func*, std::string> via; // root that reached f
+    for (const auto& [q, annos] : prj.annos_by_qual) {
+        if (!annos.count("hot_path"))
+            continue;
+        for (const auto& [name, fns] : by_name)
+            for (const Func* f : fns)
+                if (qual_matches(f->qual, q) && !via.count(f)) {
+                    via[f] = f->qual;
+                    work.push_back(f);
+                }
+    }
+
+    while (!work.empty()) {
+        const Func* f = work.back();
+        work.pop_back();
+        if (visited.count(f))
+            continue;
+        visited.insert(f);
+        if (f->annos.count("hot_exempt") ||
+            merged_annos(f->name).count("hot_exempt"))
+            continue;
+        const std::vector<Tok>& t = f->ft->toks;
+        for (size_t i = f->body_begin; i < f->body_end; ++i) {
+            const std::string& s = t[i].s;
+            const bool is_call =
+                i + 1 < f->body_end && t[i + 1].s == "(";
+            // x.free(...) / x->accept(...) are method calls, not the
+            // libc/posix functions these lists name.
+            const bool is_member =
+                i >= 1 && (t[i - 1].s == "." || t[i - 1].s == "->");
+            if (s == "new" || s == "delete") {
+                report(out, *f->ft, t[i].line, kHotPathAlloc,
+                       "heap " + s + " in `" + f->qual +
+                           "`, reachable from hot-path root `" +
+                           via[f] + "`");
+                continue;
+            }
+            if (is_call && !is_member && kAllocCalls.count(s)) {
+                report(out, *f->ft, t[i].line, kHotPathAlloc,
+                       "allocator call `" + s + "` in `" + f->qual +
+                           "` (hot path via `" + via[f] + "`)");
+                continue;
+            }
+            if (kLockTokens.count(s) || s == "mutex") {
+                report(out, *f->ft, t[i].line, kHotPathAlloc,
+                       "mutex/lock `" + s + "` in `" + f->qual +
+                           "` (hot path via `" + via[f] + "`)");
+                continue;
+            }
+            if (is_call && !is_member && kBlockingCalls.count(s)) {
+                report(out, *f->ft, t[i].line, kHotPathAlloc,
+                       "blocking call `" + s + "` in `" + f->qual +
+                           "` (hot path via `" + via[f] + "`)");
+                continue;
+            }
+            if (s == "string" && i >= 1 && t[i - 1].s == "::" &&
+                i >= 2 && t[i - 2].s == "std") {
+                report(out, *f->ft, t[i].line, kHotPathAlloc,
+                       "std::string constructed in `" + f->qual +
+                           "` (hot path via `" + via[f] + "`)");
+                continue;
+            }
+            if (s == "vector" && i >= 1 && t[i - 1].s == "::" &&
+                i >= 2 && t[i - 2].s == "std") {
+                report(out, *f->ft, t[i].line, kHotPathAlloc,
+                       "std::vector constructed in `" + f->qual +
+                           "` (hot path via `" + via[f] + "`)");
+                continue;
+            }
+            // Call-graph edge. Primitive atomic names are opaque:
+            // `x.store(...)` is std::atomic traffic, not a call into
+            // some class that happens to have a `store` method.
+            if (is_call && ident_start(s[0]) &&
+                !kNotFuncName.count(s) && !kPrimitiveAtomic.count(s) &&
+                by_name.count(s)) {
+                for (const Func* g : by_name[s])
+                    if (!visited.count(g)) {
+                        if (!via.count(g))
+                            via[g] = via[f];
+                        work.push_back(g);
+                    }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Check 2: msgproxy-packet-custody                                 //
+// ---------------------------------------------------------------- //
+
+bool
+file_mentions_packet(const FileText& ft)
+{
+    for (const Tok& tk : ft.toks)
+        if (tk.s == "Packet" || tk.s == "PacketRef")
+            return true;
+    return false;
+}
+
+void
+check_packet_custody(const Project& prj, std::vector<Finding>& out)
+{
+    for (const Func& f : prj.funcs) {
+        if (!file_mentions_packet(*f.ft))
+            continue;
+        const std::vector<Tok>& t = f.ft->toks;
+
+        // Does this function consult heap provenance before freeing?
+        bool consults_provenance = false;
+        for (size_t i = f.body_begin; i < f.body_end; ++i)
+            if (t[i].s == "heap" || t[i].s == "kTxHeap" ||
+                t[i].s == "tx_state")
+                consults_provenance = true;
+
+        // Locals declared `Packet*`.
+        std::set<std::string> pkt_vars;
+        for (size_t i = f.body_begin; i + 2 < f.body_end; ++i)
+            if (t[i].s == "Packet" && t[i + 1].s == "*" &&
+                ident_start(t[i + 2].s[0]))
+                pkt_vars.insert(t[i + 2].s);
+
+        for (size_t i = f.body_begin; i < f.body_end; ++i) {
+            const std::string& s = t[i].s;
+            // Rule 1: delete of a packet without provenance check.
+            // Freeing a pooled slab entry is UB and corrupts the
+            // pool; only the kTxHeap/ref.heap fallback may be
+            // deleted, so a deleting function must consult those
+            // bits (the AST check in the plugin verifies the
+            // dominating branch; here the function is the scope).
+            if (s == "delete" && !consults_provenance) {
+                report(out, *f.ft, t[i].line, kPacketCustody,
+                       "`delete` in `" + f.qual +
+                           "` without consulting heap provenance "
+                           "(ref.heap / kTxHeap): pooled packets "
+                           "must return to their slab");
+            }
+            // Rule 2: use-after-push — once a Packet* went into a
+            // return ring, the pusher no longer owns it.
+            if (s == "ret" && i + 3 < f.body_end &&
+                t[i + 1].s == "." &&
+                (t[i + 2].s == "try_push" || t[i + 2].s == "push") &&
+                t[i + 3].s == "(") {
+                size_t close = match_forward(t, i + 3);
+                std::string root;
+                for (size_t j = i + 4; j < close; ++j)
+                    if (ident_start(t[j].s[0])) {
+                        root = t[j].s;
+                        break;
+                    }
+                if (!root.empty()) {
+                    for (size_t j = close; j < f.body_end; ++j) {
+                        if (t[j].s == root &&
+                            ((j + 1 < f.body_end &&
+                              (t[j + 1].s == "." ||
+                               t[j + 1].s == "->")) ||
+                             pkt_vars.count(root))) {
+                            report(
+                                out, *f.ft, t[j].line,
+                                kPacketCustody,
+                                "`" + root +
+                                    "` used after return-ring push "
+                                    "in `" + f.qual +
+                                    "`: custody transferred to the "
+                                    "producer (double-push/UAF "
+                                    "hazard)");
+                            break;
+                        }
+                    }
+                }
+            }
+            // Rule 3: raw Packet* escaping into a non-custody
+            // container.
+            if ((s == "push_back" || s == "emplace_back") &&
+                i + 1 < f.body_end && t[i + 1].s == "(" && i >= 2 &&
+                t[i - 1].s == ".") {
+                const std::string recv = t[i - 2].s;
+                if (kCustodyContainers.count(recv))
+                    continue;
+                size_t close = match_forward(t, i + 1);
+                bool packet_arg = false;
+                for (size_t j = i + 2; j < close; ++j) {
+                    if (pkt_vars.count(t[j].s) &&
+                        (j + 1 >= close || t[j + 1].s != "."))
+                        packet_arg = true;
+                }
+                if (packet_arg) {
+                    report(out, *f.ft, t[i].line, kPacketCustody,
+                           "raw Packet* stored into container `" +
+                               recv + "` in `" + f.qual +
+                               "`: slab packets may only enter the "
+                               "pool free list, the deferred queue, "
+                               "or the reorder stash");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Check 3: msgproxy-atomics-order                                  //
+// ---------------------------------------------------------------- //
+
+void
+check_atomics_order(const Project& prj, std::vector<Finding>& out)
+{
+    for (const FileText& ft : prj.files) {
+        bool allowed = false;
+        for (const char* a : kOrderAllowlist)
+            if (ft.relpath.find(a) != std::string::npos)
+                allowed = true;
+        if (allowed)
+            continue;
+        const std::vector<Tok>& t = ft.toks;
+        for (size_t i = 0; i < t.size(); ++i) {
+            const std::string& s = t[i].s;
+            const bool enum_literal =
+                s.rfind("memory_order_", 0) == 0;
+            const bool scoped_literal =
+                s == "memory_order" && i + 1 < t.size() &&
+                t[i + 1].s == "::";
+            if (enum_literal || scoped_literal) {
+                report(out, ft, t[i].line, kAtomicsOrder,
+                       "raw std::" +
+                           (enum_literal
+                                ? s
+                                : s + "::" + t[i + 2].s) +
+                           " outside src/spsc/: name the intent via "
+                           "mp::ord (src/util/orders.h) so the "
+                           "Orders-policy mutation tests cover it");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Check 4: msgproxy-proxy-owned                                    //
+// ---------------------------------------------------------------- //
+
+void
+check_proxy_owned(const Project& prj, std::vector<Finding>& out)
+{
+    auto dir_of = [](const std::string& path) {
+        size_t cut = path.find_last_of('/');
+        return cut == std::string::npos ? std::string()
+                                        : path.substr(0, cut);
+    };
+    std::set<std::string> owned;
+    std::set<std::string> owned_dirs;
+    for (const OwnedField& of : prj.owned) {
+        owned.insert(of.name);
+        owned_dirs.insert(dir_of(of.file));
+    }
+    if (owned.empty())
+        return;
+    for (const Func& f : prj.funcs) {
+        auto it = prj.annos_by_name.find(f.name);
+        const std::set<std::string> annos =
+            it == prj.annos_by_name.end() ? f.annos : it->second;
+        if (annos.count("proxy_ctx") || annos.count("quiescent"))
+            continue;
+        // Implicit-this (bare identifier) matching is confined to the
+        // directory that declares the owned fields; elsewhere an
+        // identifier like `pool` is almost always an unrelated local.
+        const bool near_decl = owned_dirs.count(dir_of(f.ft->path));
+        const std::vector<Tok>& t = f.ft->toks;
+        for (size_t i = f.body_begin; i < f.body_end; ++i) {
+            if ((t[i].s == "." || t[i].s == "->") &&
+                i + 1 < f.body_end && owned.count(t[i + 1].s)) {
+                // Writing the member-access spelling (x.field) is
+                // what distinguishes a field touch from an
+                // unrelated identifier.
+                report(out, *f.ft, t[i + 1].line, kProxyOwned,
+                       "proxy-owned field `" + t[i + 1].s +
+                           "` accessed in `" + f.qual +
+                           "`, which is neither MSGPROXY_PROXY_CTX "
+                           "nor MSGPROXY_QUIESCENT");
+                continue;
+            }
+            if (near_decl && owned.count(t[i].s) &&
+                (i == 0 || (t[i - 1].s != "." && t[i - 1].s != "->" &&
+                            t[i - 1].s != "::")) &&
+                (i + 1 >= f.body_end || t[i + 1].s != "(")) {
+                report(out, *f.ft, t[i].line, kProxyOwned,
+                       "proxy-owned field `" + t[i].s +
+                           "` accessed (implicit this) in `" + f.qual +
+                           "`, which is neither MSGPROXY_PROXY_CTX "
+                           "nor MSGPROXY_QUIESCENT");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Driver                                                           //
+// ---------------------------------------------------------------- //
+
+void
+gather_files(const fs::path& p, std::vector<fs::path>& out)
+{
+    if (fs::is_directory(p)) {
+        for (const auto& e : fs::recursive_directory_iterator(p)) {
+            if (!e.is_regular_file())
+                continue;
+            const std::string ext = e.path().extension().string();
+            if (ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+                ext == ".cpp")
+                out.push_back(e.path());
+        }
+    } else if (fs::is_regular_file(p)) {
+        out.push_back(p);
+    }
+    std::sort(out.begin(), out.end());
+}
+
+Project
+load_project(const std::vector<fs::path>& paths,
+             const fs::path& root)
+{
+    Project prj;
+    prj.files.reserve(paths.size());
+    for (const fs::path& p : paths) {
+        std::error_code ec;
+        fs::path rel = fs::relative(p, root, ec);
+        prj.files.push_back(lex_file(
+            p.string(),
+            ec ? p.generic_string() : rel.generic_string()));
+    }
+    for (const FileText& ft : prj.files)
+        extract(ft, prj);
+    return prj;
+}
+
+std::vector<Finding>
+run_checks(const Project& prj)
+{
+    std::vector<Finding> out;
+    check_hot_path(prj, out);
+    check_packet_custody(prj, out);
+    check_atomics_order(prj, out);
+    check_proxy_owned(prj, out);
+    std::sort(out.begin(), out.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.file, a.line, a.check) <
+                         std::tie(b.file, b.line, b.check);
+              });
+    return out;
+}
+
+void
+print_findings(const std::vector<Finding>& fs)
+{
+    for (const Finding& f : fs)
+        std::printf("%s:%d: warning: %s [%s]\n", f.file.c_str(),
+                    f.line, f.msg.c_str(), f.check.c_str());
+}
+
+int
+run_corpus(const fs::path& dir)
+{
+    int failures = 0, cases = 0;
+    std::vector<fs::path> files;
+    gather_files(dir, files);
+    for (const fs::path& p : files) {
+        const std::string stem = p.stem().string();
+        const bool bad = stem.rfind("bad_", 0) == 0;
+        const bool good = stem.rfind("good_", 0) == 0;
+        if (!bad && !good)
+            continue;
+        ++cases;
+        std::string expect =
+            "msgproxy-" + stem.substr(bad ? 4 : 5);
+        std::replace(expect.begin(), expect.end(), '_', '-');
+        Project prj = load_project({p}, dir);
+        std::vector<Finding> fs = run_checks(prj);
+        if (bad) {
+            const bool hit = std::any_of(
+                fs.begin(), fs.end(), [&](const Finding& f) {
+                    return f.check == expect;
+                });
+            if (!hit) {
+                std::printf("FAIL %s: expected a %s finding, got "
+                            "%zu other finding(s)\n",
+                            p.filename().c_str(), expect.c_str(),
+                            fs.size());
+                print_findings(fs);
+                ++failures;
+            } else {
+                std::printf("ok   %s: flagged by %s\n",
+                            p.filename().c_str(), expect.c_str());
+            }
+        } else {
+            if (!fs.empty()) {
+                std::printf("FAIL %s: expected clean, got %zu "
+                            "finding(s)\n",
+                            p.filename().c_str(), fs.size());
+                print_findings(fs);
+                ++failures;
+            } else {
+                std::printf("ok   %s: clean\n", p.filename().c_str());
+            }
+        }
+    }
+    if (cases == 0) {
+        std::printf("no corpus files (bad_*.cc / good_*.cc) under "
+                    "%s\n",
+                    dir.c_str());
+        return 2;
+    }
+    std::printf("corpus: %d case(s), %d failure(s)\n", cases,
+                failures);
+    return failures == 0 ? 0 : 1;
+}
+
+void
+dump(const Project& prj)
+{
+    for (const Func& f : prj.funcs) {
+        std::printf("func %-40s %s:%d", f.qual.c_str(),
+                    f.ft->path.c_str(), f.line);
+        auto it = prj.annos_by_name.find(f.name);
+        if (it != prj.annos_by_name.end())
+            for (const auto& a : it->second)
+                std::printf(" [%s]", a.c_str());
+        std::printf("\n");
+    }
+    for (const OwnedField& of : prj.owned)
+        std::printf("owned %-39s %s:%d\n", of.name.c_str(),
+                    of.file.c_str(), of.line);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    fs::path root = fs::current_path();
+    bool do_dump = false;
+    std::vector<fs::path> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (a == "--corpus" && i + 1 < argc) {
+            return run_corpus(argv[++i]);
+        } else if (a == "--dump") {
+            do_dump = true;
+        } else if (a == "--help" || a == "-h") {
+            std::printf(
+                "usage: msgproxy_lint [--root DIR] [--dump] PATH...\n"
+                "       msgproxy_lint --corpus DIR\n");
+            return 0;
+        } else {
+            inputs.push_back(fs::path(a).is_absolute() ? fs::path(a)
+                                                       : root / a);
+        }
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr, "msgproxy_lint: no inputs (try "
+                             "--help)\n");
+        return 2;
+    }
+    std::vector<fs::path> files;
+    for (const fs::path& p : inputs)
+        gather_files(p, files);
+    Project prj = load_project(files, root);
+    if (do_dump) {
+        dump(prj);
+        return 0;
+    }
+    std::vector<Finding> fs = run_checks(prj);
+    print_findings(fs);
+    if (fs.empty()) {
+        std::printf("msgproxy_lint: %zu file(s) clean\n",
+                    prj.files.size());
+        return 0;
+    }
+    std::printf("msgproxy_lint: %zu finding(s) across %zu file(s)\n",
+                fs.size(), prj.files.size());
+    return 1;
+}

@@ -1,0 +1,70 @@
+//===--- AtomicsOrderCheck.cpp - msgproxy-atomics-order ---------------===//
+
+#include "AtomicsOrderCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace msgproxy {
+
+AtomicsOrderCheck::AtomicsOrderCheck(StringRef Name,
+                                     ClangTidyContext* Context)
+    : ClangTidyCheck(Name, Context),
+      RawAllowedFiles(Options.get(
+          "AllowedFiles",
+          "src/spsc/;src/check/atomic.h;src/util/orders.h"))
+{
+    llvm::SmallVector<llvm::StringRef, 8> Parts;
+    llvm::StringRef(RawAllowedFiles).split(Parts, ';', -1, false);
+    for (llvm::StringRef P : Parts)
+        AllowedFiles.push_back(P.str());
+}
+
+void
+AtomicsOrderCheck::storeOptions(ClangTidyOptions::OptionMap& Opts)
+{
+    Options.store(Opts, "AllowedFiles", RawAllowedFiles);
+}
+
+void
+AtomicsOrderCheck::registerMatchers(MatchFinder* Finder)
+{
+    // Any reference to an enumerator of std::memory_order. The
+    // named constants in mp::ord are DeclRefExprs to *variables*
+    // (inline constexpr std::memory_order), not to the enumerators,
+    // so they never match.
+    Finder->addMatcher(
+        declRefExpr(to(enumConstantDecl(hasDeclContext(enumDecl(
+                        hasName("::std::memory_order"))))))
+            .bind("ref"),
+        this);
+}
+
+void
+AtomicsOrderCheck::check(const MatchFinder::MatchResult& Result)
+{
+    const auto* Ref = Result.Nodes.getNodeAs<DeclRefExpr>("ref");
+    if (Ref == nullptr)
+        return;
+    const SourceManager& SM = *Result.SourceManager;
+    SourceLocation Loc = SM.getSpellingLoc(Ref->getBeginLoc());
+    StringRef File = SM.getFilename(Loc);
+    for (const std::string& A : AllowedFiles)
+        if (File.contains(A))
+            return;
+    diag(Loc,
+         "raw std::memory_order literal outside the SPSC Orders "
+         "policy; name the intent via mp::ord (src/util/orders.h) "
+         "so order-weakening mutation tests cover it");
+}
+
+} // namespace msgproxy
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,55 @@
+//===--- AtomicsOrderCheck.h - msgproxy-atomics-order -------*- C++ -*-===//
+//
+// Forbids raw std::memory_order_* enumerator references outside
+// src/spsc/ (the Orders-policy definitions) and an explicit
+// allowlist (src/check/atomic.h — the instrumented atomic that
+// interprets orders — and src/util/orders.h, the named-order
+// vocabulary). Everything else must name the intent through mp::ord
+// so the PR 1 order-weakening mutation tests keep covering every
+// shipped ordering.
+//
+// Options:
+//   msgproxy-atomics-order.AllowedFiles: semicolon list of path
+//   substrings where raw literals are permitted (default:
+//   "src/spsc/;src/check/atomic.h;src/util/orders.h").
+//
+//===------------------------------------------------------------------===//
+
+#ifndef MSGPROXY_LINT_ATOMICS_ORDER_CHECK_H
+#define MSGPROXY_LINT_ATOMICS_ORDER_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <string>
+#include <vector>
+
+namespace clang {
+namespace tidy {
+namespace msgproxy {
+
+class AtomicsOrderCheck : public ClangTidyCheck
+{
+  public:
+    AtomicsOrderCheck(StringRef Name, ClangTidyContext* Context);
+
+    bool
+    isLanguageVersionSupported(const LangOptions& LangOpts) const override
+    {
+        return LangOpts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+    void
+    check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+    void storeOptions(ClangTidyOptions::OptionMap& Opts) override;
+
+  private:
+    const std::string RawAllowedFiles;
+    std::vector<std::string> AllowedFiles;
+};
+
+} // namespace msgproxy
+} // namespace tidy
+} // namespace clang
+
+#endif // MSGPROXY_LINT_ATOMICS_ORDER_CHECK_H

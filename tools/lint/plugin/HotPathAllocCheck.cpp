@@ -1,0 +1,231 @@
+//===--- HotPathAllocCheck.cpp - msgproxy-hot-path-alloc --------------===//
+
+#include "HotPathAllocCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+#include <deque>
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace msgproxy {
+
+namespace {
+
+bool
+hasAnnotation(const Decl* D, StringRef Text)
+{
+    if (D == nullptr)
+        return false;
+    for (const auto* A : D->specific_attrs<AnnotateAttr>())
+        if (A->getAnnotation() == Text)
+            return true;
+    return false;
+}
+
+// Annotations may sit on any redeclaration (typically the in-class
+// declaration, while the matcher hands us the out-of-line
+// definition).
+bool
+anyRedeclAnnotated(const FunctionDecl* FD, StringRef Text)
+{
+    for (const FunctionDecl* R : FD->redecls())
+        if (hasAnnotation(R, Text))
+            return true;
+    return false;
+}
+
+AST_MATCHER(FunctionDecl, isHotPathAnnotated)
+{
+    return anyRedeclAnnotated(&Node, "msgproxy::hot_path");
+}
+
+const char* const kAllocFns =
+    "::malloc;::calloc;::realloc;::free;::posix_memalign;"
+    "::aligned_alloc;::strdup";
+
+bool
+isAllocatorFn(const FunctionDecl* Callee)
+{
+    if (Callee == nullptr || !Callee->getIdentifier())
+        return false;
+    StringRef N = Callee->getName();
+    return llvm::StringRef(kAllocFns).contains(
+        (llvm::Twine("::") + N).str());
+}
+
+bool
+isBlockingFn(const FunctionDecl* Callee)
+{
+    if (Callee == nullptr || !Callee->getIdentifier())
+        return false;
+    static const char* kNames[] = {
+        "sleep_for", "sleep_until", "usleep",     "nanosleep",
+        "sleep",     "poll",        "epoll_wait", "select",
+        "pselect",   "ppoll"};
+    StringRef N = Callee->getName();
+    for (const char* K : kNames)
+        if (N == K)
+            return true;
+    return false;
+}
+
+bool
+isLockFn(const CXXMethodDecl* MD)
+{
+    if (MD == nullptr || MD->getParent() == nullptr)
+        return false;
+    StringRef Cls = MD->getParent()->getName();
+    const bool LockCls = Cls.contains("mutex") ||
+                         Cls == "condition_variable" ||
+                         Cls.contains("lock");
+    if (!LockCls)
+        return false;
+    StringRef N = MD->getName();
+    return N == "lock" || N == "try_lock" || N == "unlock" ||
+           N == "wait" || N == "lock_shared";
+}
+
+} // namespace
+
+void
+HotPathAllocCheck::noteFunction(const FunctionDecl* FD)
+{
+    FD = FD->getCanonicalDecl();
+    if (anyRedeclAnnotated(FD, "msgproxy::hot_path"))
+        Roots.insert(FD);
+    if (anyRedeclAnnotated(FD, "msgproxy::hot_exempt"))
+        Exempt.insert(FD);
+}
+
+void
+HotPathAllocCheck::registerMatchers(MatchFinder* Finder)
+{
+    // Every interesting expression, bound with its enclosing
+    // function; reachability is resolved at end of TU.
+    auto InFn = hasAncestor(functionDecl().bind("fn"));
+    Finder->addMatcher(cxxNewExpr(InFn).bind("new"), this);
+    Finder->addMatcher(cxxDeleteExpr(InFn).bind("del"), this);
+    Finder->addMatcher(callExpr(InFn).bind("call"), this);
+    Finder->addMatcher(
+        varDecl(hasType(cxxRecordDecl(hasAnyName(
+                    "::std::basic_string", "::std::vector",
+                    "::std::deque", "::std::map",
+                    "::std::unordered_map"))),
+                InFn)
+            .bind("container"),
+        this);
+    Finder->addMatcher(functionDecl(isHotPathAnnotated()).bind("root"),
+                       this);
+}
+
+void
+HotPathAllocCheck::check(const MatchFinder::MatchResult& Result)
+{
+    if (const auto* Root =
+            Result.Nodes.getNodeAs<FunctionDecl>("root")) {
+        noteFunction(Root);
+        return;
+    }
+    const auto* Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+    if (Fn == nullptr)
+        return;
+    const FunctionDecl* Key = Fn->getCanonicalDecl();
+    noteFunction(Fn);
+
+    if (const auto* NE = Result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+        if (!NE->getBeginLoc().isMacroID())
+            Violations[Key].push_back(
+                {NE->getBeginLoc(), "operator new"});
+        return;
+    }
+    if (const auto* DE =
+            Result.Nodes.getNodeAs<CXXDeleteExpr>("del")) {
+        if (!DE->getBeginLoc().isMacroID())
+            Violations[Key].push_back(
+                {DE->getBeginLoc(), "operator delete"});
+        return;
+    }
+    if (const auto* VD = Result.Nodes.getNodeAs<VarDecl>("container")) {
+        if (!VD->getBeginLoc().isMacroID())
+            Violations[Key].push_back(
+                {VD->getBeginLoc(),
+                 "allocating container constructed"});
+        return;
+    }
+    const auto* CE = Result.Nodes.getNodeAs<CallExpr>("call");
+    if (CE == nullptr)
+        return;
+    const FunctionDecl* Callee = CE->getDirectCallee();
+    if (Callee == nullptr)
+        return;
+    if (isAllocatorFn(Callee)) {
+        Violations[Key].push_back(
+            {CE->getBeginLoc(),
+             ("allocator call `" + Callee->getName() + "`").str()});
+        return;
+    }
+    if (isBlockingFn(Callee)) {
+        Violations[Key].push_back(
+            {CE->getBeginLoc(),
+             ("blocking call `" + Callee->getName() + "`").str()});
+        return;
+    }
+    if (isLockFn(dyn_cast<CXXMethodDecl>(Callee))) {
+        Violations[Key].push_back(
+            {CE->getBeginLoc(),
+             ("lock acquisition `" + Callee->getName() + "`").str()});
+        return;
+    }
+    // Call edge into project code (has a body somewhere in this TU).
+    if (Callee->hasBody())
+        Edges[Key].insert(Callee->getCanonicalDecl());
+}
+
+void
+HotPathAllocCheck::onEndOfTranslationUnit()
+{
+    std::map<const FunctionDecl*, const FunctionDecl*> Via;
+    std::deque<const FunctionDecl*> Work;
+    for (const FunctionDecl* R : Roots) {
+        Work.push_back(R);
+        Via[R] = R;
+    }
+    std::set<const FunctionDecl*> Visited;
+    while (!Work.empty()) {
+        const FunctionDecl* F = Work.front();
+        Work.pop_front();
+        if (!Visited.insert(F).second)
+            continue;
+        if (Exempt.count(F))
+            continue;
+        auto VIt = Violations.find(F);
+        if (VIt != Violations.end()) {
+            for (const Violation& V : VIt->second)
+                diag(V.Loc,
+                     "%0 on the allocation-free wire path "
+                     "(reachable from hot-path root %1)")
+                    << V.What << Via[F];
+        }
+        auto EIt = Edges.find(F);
+        if (EIt != Edges.end()) {
+            for (const FunctionDecl* N : EIt->second) {
+                if (!Via.count(N))
+                    Via[N] = Via[F];
+                Work.push_back(N);
+            }
+        }
+    }
+    Violations.clear();
+    Edges.clear();
+    Roots.clear();
+    Exempt.clear();
+}
+
+} // namespace msgproxy
+} // namespace tidy
+} // namespace clang

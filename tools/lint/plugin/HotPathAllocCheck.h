@@ -1,0 +1,73 @@
+//===--- HotPathAllocCheck.h - msgproxy-hot-path-alloc ------*- C++ -*-===//
+//
+// Flags heap allocation (new/delete, malloc family, allocating
+// std::string/std::vector construction), mutex acquisition, and
+// blocking sleeps/syscalls reachable through the call graph from any
+// function annotated MSGPROXY_HOT_PATH (clang attribute
+// annotate("msgproxy::hot_path")). Functions annotated
+// MSGPROXY_HOT_EXEMPT stop the walk: they are audited boundaries
+// whose slow behaviour is intentional (e.g. the idle-backoff sleep
+// stage).
+//
+// The runtime's allocation-free wire path (pooled packet slabs,
+// PR 3) is otherwise enforced only dynamically via the
+// pool_misses==0 bench gate; this check rules the regression out on
+// every path at compile time.
+//
+//===------------------------------------------------------------------===//
+
+#ifndef MSGPROXY_LINT_HOT_PATH_ALLOC_CHECK_H
+#define MSGPROXY_LINT_HOT_PATH_ALLOC_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace clang {
+namespace tidy {
+namespace msgproxy {
+
+class HotPathAllocCheck : public ClangTidyCheck
+{
+  public:
+    HotPathAllocCheck(StringRef Name, ClangTidyContext* Context)
+        : ClangTidyCheck(Name, Context)
+    {
+    }
+
+    bool
+    isLanguageVersionSupported(const LangOptions& LangOpts) const override
+    {
+        return LangOpts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+    void
+    check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+    void onEndOfTranslationUnit() override;
+
+  private:
+    struct Violation
+    {
+        SourceLocation Loc;
+        std::string What;
+    };
+
+    // Per-function direct violations and call edges, accumulated by
+    // check() and resolved into a reachability walk from the
+    // annotated roots at end of TU.
+    std::map<const FunctionDecl*, std::vector<Violation>> Violations;
+    std::map<const FunctionDecl*, std::set<const FunctionDecl*>> Edges;
+    std::set<const FunctionDecl*> Roots;
+    std::set<const FunctionDecl*> Exempt;
+
+    void noteFunction(const FunctionDecl* FD);
+};
+
+} // namespace msgproxy
+} // namespace tidy
+} // namespace clang
+
+#endif // MSGPROXY_LINT_HOT_PATH_ALLOC_CHECK_H

@@ -1,0 +1,59 @@
+//===--- MsgProxyTidyModule.cpp - msgproxy clang-tidy plugin ----------===//
+//
+// Out-of-tree clang-tidy module with the runtime's wire-path
+// invariant checks. Built against the system LLVM/Clang dev packages
+// (see ../CMakeLists.txt; skipped with an explicit notice when they
+// are absent) and loaded with:
+//
+//   clang-tidy -load=libMsgProxyTidyModule.so \
+//              -checks='-*,msgproxy-*' -p build src/...
+//
+// The four checks mirror tools/lint/msgproxy_lint.cc (the portable
+// engine that always runs in `tools/check.sh lint`); this module is
+// the full-fidelity AST implementation.
+//
+//===------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "AtomicsOrderCheck.h"
+#include "HotPathAllocCheck.h"
+#include "PacketCustodyCheck.h"
+#include "ProxyOwnedCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace msgproxy {
+
+class MsgProxyModule : public ClangTidyModule
+{
+  public:
+    void
+    addCheckFactories(ClangTidyCheckFactories& CheckFactories) override
+    {
+        CheckFactories.registerCheck<HotPathAllocCheck>(
+            "msgproxy-hot-path-alloc");
+        CheckFactories.registerCheck<PacketCustodyCheck>(
+            "msgproxy-packet-custody");
+        CheckFactories.registerCheck<AtomicsOrderCheck>(
+            "msgproxy-atomics-order");
+        CheckFactories.registerCheck<ProxyOwnedCheck>(
+            "msgproxy-proxy-owned");
+    }
+};
+
+} // namespace msgproxy
+
+// Register the module using this statically initialized variable.
+static ClangTidyModuleRegistry::Add<msgproxy::MsgProxyModule>
+    X("msgproxy-module",
+      "msgproxy wire-path invariant checks (hot-path allocation, "
+      "packet custody, memory-order policy, proxy ownership).");
+
+// This anchor is used to force the linker to link in the generated
+// object file and thus register the module.
+volatile int MsgProxyModuleAnchorSource = 0;
+
+} // namespace tidy
+} // namespace clang

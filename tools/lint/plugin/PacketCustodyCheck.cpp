@@ -1,0 +1,135 @@
+//===--- PacketCustodyCheck.cpp - msgproxy-packet-custody -------------===//
+
+#include "PacketCustodyCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace msgproxy {
+
+namespace {
+
+bool
+isPacketPtr(QualType T)
+{
+    if (!T->isPointerType())
+        return false;
+    const CXXRecordDecl* RD = T->getPointeeCXXRecordDecl();
+    return RD != nullptr && RD->getName() == "Packet";
+}
+
+// Does the enclosing function read PacketRef::heap, Deferred::heap,
+// or the tx_state custody byte anywhere? (The portable engine uses
+// the same function-scope approximation; a dominator-based version
+// is tighter but this already rules out the unconditional-delete
+// bug class.)
+class ProvenanceVisitor
+    : public RecursiveASTVisitor<ProvenanceVisitor>
+{
+  public:
+    bool Found = false;
+
+    bool
+    VisitMemberExpr(MemberExpr* ME)
+    {
+        const ValueDecl* VD = ME->getMemberDecl();
+        if (VD != nullptr &&
+            (VD->getName() == "heap" || VD->getName() == "tx_state"))
+            Found = true;
+        return !Found;
+    }
+
+    bool
+    VisitDeclRefExpr(DeclRefExpr* DRE)
+    {
+        if (DRE->getDecl() != nullptr &&
+            DRE->getDecl()->getName() == "kTxHeap")
+            Found = true;
+        return !Found;
+    }
+};
+
+bool
+consultsProvenance(const FunctionDecl* FD)
+{
+    if (FD == nullptr || !FD->hasBody())
+        return false;
+    ProvenanceVisitor V;
+    V.TraverseStmt(FD->getBody());
+    return V.Found;
+}
+
+bool
+isCustodyContainer(StringRef FieldName)
+{
+    return FieldName == "free_" || FieldName == "deferred" ||
+           FieldName == "stash";
+}
+
+} // namespace
+
+void
+PacketCustodyCheck::registerMatchers(MatchFinder* Finder)
+{
+    // Rule 1: delete of Packet* without provenance consultation.
+    Finder->addMatcher(
+        cxxDeleteExpr(hasAncestor(functionDecl().bind("fn")))
+            .bind("del"),
+        this);
+    // Rule 3: Packet* argument to push_back/emplace_back on a member
+    // container that is not one of the custody containers.
+    Finder->addMatcher(
+        cxxMemberCallExpr(
+            callee(cxxMethodDecl(
+                hasAnyName("push_back", "emplace_back"))),
+            on(memberExpr().bind("recv")),
+            hasAnyArgument(expr().bind("arg")))
+            .bind("push"),
+        this);
+}
+
+void
+PacketCustodyCheck::check(const MatchFinder::MatchResult& Result)
+{
+    if (const auto* DE =
+            Result.Nodes.getNodeAs<CXXDeleteExpr>("del")) {
+        const Expr* Arg = DE->getArgument();
+        if (Arg == nullptr ||
+            !isPacketPtr(Arg->IgnoreImpCasts()->getType()))
+            return;
+        const auto* Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+        if (consultsProvenance(Fn))
+            return;
+        diag(DE->getBeginLoc(),
+             "'delete' of a Packet* without consulting heap "
+             "provenance (PacketRef::heap / kTxHeap); pooled "
+             "packets must be recycled to their slab, never freed");
+        return;
+    }
+    const auto* Push =
+        Result.Nodes.getNodeAs<CXXMemberCallExpr>("push");
+    if (Push == nullptr)
+        return;
+    const auto* Recv = Result.Nodes.getNodeAs<MemberExpr>("recv");
+    const auto* Arg = Result.Nodes.getNodeAs<Expr>("arg");
+    if (Recv == nullptr || Arg == nullptr)
+        return;
+    if (isCustodyContainer(Recv->getMemberDecl()->getName()))
+        return;
+    if (!isPacketPtr(Arg->IgnoreImpCasts()->getType()))
+        return;
+    diag(Push->getBeginLoc(),
+         "raw Packet* escapes into container %0; slab packets may "
+         "only enter the pool free list, the deferred queue, or the "
+         "reorder stash")
+        << Recv->getMemberDecl();
+}
+
+} // namespace msgproxy
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,49 @@
+//===--- PacketCustodyCheck.h - msgproxy-packet-custody -----*- C++ -*-===//
+//
+// Enforces pooled-Packet custody (the tx_state discipline from
+// PR 3/PR 4):
+//
+//  - `delete` of a Packet* in a function that never consults heap
+//    provenance (PacketRef::heap / the kTxHeap tx_state bit):
+//    deleting a slab entry is UB and corrupts the pool;
+//  - use of a Packet* after pushing it into a channel return ring
+//    (custody transferred to the producer: double-push / UAF);
+//  - a raw Packet* escaping into a heap-owning container other than
+//    the audited custody containers (the pool free list, the
+//    deferred-request queue, the reorder stash).
+//
+//===------------------------------------------------------------------===//
+
+#ifndef MSGPROXY_LINT_PACKET_CUSTODY_CHECK_H
+#define MSGPROXY_LINT_PACKET_CUSTODY_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace msgproxy {
+
+class PacketCustodyCheck : public ClangTidyCheck
+{
+  public:
+    PacketCustodyCheck(StringRef Name, ClangTidyContext* Context)
+        : ClangTidyCheck(Name, Context)
+    {
+    }
+
+    bool
+    isLanguageVersionSupported(const LangOptions& LangOpts) const override
+    {
+        return LangOpts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+    void
+    check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+} // namespace msgproxy
+} // namespace tidy
+} // namespace clang
+
+#endif // MSGPROXY_LINT_PACKET_CUSTODY_CHECK_H

@@ -1,0 +1,76 @@
+//===--- ProxyOwnedCheck.cpp - msgproxy-proxy-owned -------------------===//
+
+#include "ProxyOwnedCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace msgproxy {
+
+namespace {
+
+bool
+hasAnnotation(const Decl* D, StringRef Text)
+{
+    if (D == nullptr)
+        return false;
+    for (const auto* A : D->specific_attrs<AnnotateAttr>())
+        if (A->getAnnotation() == Text)
+            return true;
+    return false;
+}
+
+bool
+functionAllowed(const FunctionDecl* FD)
+{
+    if (FD == nullptr)
+        return false;
+    for (const FunctionDecl* R : FD->redecls())
+        if (hasAnnotation(R, "msgproxy::proxy_ctx") ||
+            hasAnnotation(R, "msgproxy::quiescent"))
+            return true;
+    return false;
+}
+
+AST_MATCHER(FieldDecl, isProxyOwned)
+{
+    return hasAnnotation(&Node, "msgproxy::proxy_owned");
+}
+
+} // namespace
+
+void
+ProxyOwnedCheck::registerMatchers(MatchFinder* Finder)
+{
+    Finder->addMatcher(
+        memberExpr(member(fieldDecl(isProxyOwned()).bind("field")),
+                   hasAncestor(functionDecl().bind("fn")))
+            .bind("access"),
+        this);
+}
+
+void
+ProxyOwnedCheck::check(const MatchFinder::MatchResult& Result)
+{
+    const auto* Access = Result.Nodes.getNodeAs<MemberExpr>("access");
+    const auto* Field = Result.Nodes.getNodeAs<FieldDecl>("field");
+    const auto* Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+    if (Access == nullptr || Field == nullptr)
+        return;
+    if (functionAllowed(Fn))
+        return;
+    diag(Access->getMemberLoc(),
+         "proxy-owned field %0 accessed outside a MSGPROXY_PROXY_CTX "
+         "or MSGPROXY_QUIESCENT function; after start() this field "
+         "belongs to exactly one proxy thread")
+        << Field;
+}
+
+} // namespace msgproxy
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,45 @@
+//===--- ProxyOwnedCheck.h - msgproxy-proxy-owned -----------*- C++ -*-===//
+//
+// Statically mirrors the runtime ownership lint (check/ownership.h,
+// MSGPROXY_CHECK_OWNERSHIP builds): a field annotated
+// MSGPROXY_PROXY_OWNED (annotate("msgproxy::proxy_owned")) belongs
+// to exactly one proxy thread once the node is running, so it may
+// only be touched from functions annotated MSGPROXY_PROXY_CTX (run
+// on the proxy thread) or MSGPROXY_QUIESCENT (run only while the
+// proxy threads are stopped: setup/teardown).
+//
+//===------------------------------------------------------------------===//
+
+#ifndef MSGPROXY_LINT_PROXY_OWNED_CHECK_H
+#define MSGPROXY_LINT_PROXY_OWNED_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace msgproxy {
+
+class ProxyOwnedCheck : public ClangTidyCheck
+{
+  public:
+    ProxyOwnedCheck(StringRef Name, ClangTidyContext* Context)
+        : ClangTidyCheck(Name, Context)
+    {
+    }
+
+    bool
+    isLanguageVersionSupported(const LangOptions& LangOpts) const override
+    {
+        return LangOpts.CPlusPlus;
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+    void
+    check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+} // namespace msgproxy
+} // namespace tidy
+} // namespace clang
+
+#endif // MSGPROXY_LINT_PROXY_OWNED_CHECK_H
