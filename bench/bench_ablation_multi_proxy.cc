@@ -15,6 +15,7 @@
 
 #include "apps/apps.h"
 #include "machine/design_point.h"
+#include "bench/bench_wiring.h"
 #include "proxy/runtime.h"
 #include "util/table.h"
 
@@ -30,16 +31,16 @@ run_real(int num_proxies, int msgs_per_ep, double* max_share)
 {
     constexpr int kEps = 4;
     constexpr uint32_t kMsgBytes = 64;
-    proxy::Node n0(
-        proxy::NodeConfig{.id = 0, .num_proxies = num_proxies});
-    proxy::Node n1(
-        proxy::NodeConfig{.id = 1, .num_proxies = num_proxies});
+    proxy::Node n0(benchwire::with_transport(
+        {.id = 0, .num_proxies = num_proxies}));
+    proxy::Node n1(benchwire::with_transport(
+        {.id = 1, .num_proxies = num_proxies}));
     std::vector<proxy::Endpoint*> src, dst;
     for (int i = 0; i < kEps; ++i) {
         src.push_back(&n0.create_endpoint());
         dst.push_back(&n1.create_endpoint());
     }
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/bench_wiring.h"
 #include "proxy/runtime.h"
 #include "util/table.h"
 
@@ -49,6 +50,7 @@ sweep_config(int id, double drop_rate)
     c.reliability.max_retries = 1000000;
     c.fault_plan.seed = 42 + static_cast<uint64_t>(id);
     c.fault_plan.drop = drop_rate;
+    benchwire::apply_transport(c);
     return c;
 }
 
@@ -71,7 +73,7 @@ run_put_sweep(double drop_rate, int puts_per_ep)
         segs[static_cast<size_t>(i)] = dst.back()->register_segment(
             remote[static_cast<size_t>(i)].data(), kBlock);
     }
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/bench_wiring.h"
 #include "proxy/runtime.h"
 #include "spsc/ring_queue.h"
 
@@ -83,6 +84,7 @@ struct Pair
         if (const char* e = std::getenv("MSGPROXY_RELIABILITY"))
             if (e[0] == '0')
                 c.reliability.enabled = false;
+        benchwire::apply_transport(c);
         return c;
     }
 
@@ -90,7 +92,7 @@ struct Pair
     {
         ep0 = &n0.create_endpoint();
         ep1 = &n1.create_endpoint();
-        proxy::Node::connect(n0, n1);
+        benchwire::wire(n0, n1);
         remote.resize(1 << 20);
         seg = ep1->register_segment(remote.data(), remote.size());
         n0.start();
@@ -210,13 +212,15 @@ BM_ProxyPollModes(benchmark::State& state)
     // runtime (arg0: idle endpoints, arg1: 1 = bit vector).
     auto mode = state.range(1) != 0 ? proxy::PollMode::kBitVector
                                     : proxy::PollMode::kScanAll;
-    proxy::Node n0(proxy::NodeConfig{.id = 0, .poll_mode = mode});
-    proxy::Node n1(proxy::NodeConfig{.id = 1, .poll_mode = mode});
+    proxy::Node n0(
+        benchwire::with_transport({.id = 0, .poll_mode = mode}));
+    proxy::Node n1(
+        benchwire::with_transport({.id = 1, .poll_mode = mode}));
     proxy::Endpoint* active = &n0.create_endpoint();
     for (int i = 0; i < state.range(0); ++i)
         n0.create_endpoint(); // idle
     proxy::Endpoint* sink = &n1.create_endpoint();
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     std::vector<uint8_t> remote(4096);
     uint16_t seg = sink->register_segment(remote.data(), remote.size());
     n0.start();
@@ -360,11 +364,13 @@ write_trajectory()
 void
 dump_obs_snapshot()
 {
-    proxy::Node n0(proxy::NodeConfig{.id = 0, .obs = {true, 8192}});
-    proxy::Node n1(proxy::NodeConfig{.id = 1, .obs = {true, 8192}});
+    proxy::Node n0(
+        benchwire::with_transport({.id = 0, .obs = {true, 8192}}));
+    proxy::Node n1(
+        benchwire::with_transport({.id = 1, .obs = {true, 8192}}));
     proxy::Endpoint& a = n0.create_endpoint();
     proxy::Endpoint& b = n1.create_endpoint();
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     std::vector<uint8_t> remote(1 << 16);
     const uint16_t seg = b.register_segment(remote.data(),
                                             remote.size());

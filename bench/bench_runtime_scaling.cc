@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/bench_wiring.h"
 #include "proxy/runtime.h"
 #include "util/table.h"
 
@@ -84,16 +85,16 @@ run_enq(int num_proxies, int msgs_per_ep)
     constexpr int kEps = kThreads * kEpsPerThread;
     constexpr uint32_t kMsgBytes = 64;
 
-    proxy::Node n0(
-        proxy::NodeConfig{.id = 0, .num_proxies = num_proxies});
-    proxy::Node n1(
-        proxy::NodeConfig{.id = 1, .num_proxies = num_proxies});
+    proxy::Node n0(benchwire::with_transport(
+        {.id = 0, .num_proxies = num_proxies}));
+    proxy::Node n1(benchwire::with_transport(
+        {.id = 1, .num_proxies = num_proxies}));
     std::vector<proxy::Endpoint*> src, dst;
     for (int i = 0; i < kEps; ++i) {
         src.push_back(&n0.create_endpoint());
         dst.push_back(&n1.create_endpoint());
     }
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -158,10 +159,10 @@ run_put(int num_proxies, int puts_per_ep)
     constexpr uint32_t kBlock = 4096;
     constexpr uint64_t kWindow = 8;
 
-    proxy::Node n0(
-        proxy::NodeConfig{.id = 0, .num_proxies = num_proxies});
-    proxy::Node n1(
-        proxy::NodeConfig{.id = 1, .num_proxies = num_proxies});
+    proxy::Node n0(benchwire::with_transport(
+        {.id = 0, .num_proxies = num_proxies}));
+    proxy::Node n1(benchwire::with_transport(
+        {.id = 1, .num_proxies = num_proxies}));
     std::vector<proxy::Endpoint*> src, dst;
     std::vector<std::vector<uint8_t>> remote(
         kEps, std::vector<uint8_t>(kBlock));
@@ -173,7 +174,7 @@ run_put(int num_proxies, int puts_per_ep)
             dst.back()->register_segment(
                 remote[static_cast<size_t>(i)].data(), kBlock);
     }
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -292,14 +293,16 @@ main(int argc, char** argv)
     // Per-proxy observability demo: rerun P=2 briefly and show the
     // sharded counters.
     {
-        proxy::Node n0(proxy::NodeConfig{.id = 0, .num_proxies = 2});
-        proxy::Node n1(proxy::NodeConfig{.id = 1, .num_proxies = 2});
+        proxy::Node n0(
+            benchwire::with_transport({.id = 0, .num_proxies = 2}));
+        proxy::Node n1(
+            benchwire::with_transport({.id = 1, .num_proxies = 2}));
         std::vector<proxy::Endpoint*> src, dst;
         for (int i = 0; i < 4; ++i) {
             src.push_back(&n0.create_endpoint());
             dst.push_back(&n1.create_endpoint());
         }
-        proxy::Node::connect(n0, n1);
+        benchwire::wire(n0, n1);
         n0.start();
         n1.start();
         uint8_t msg[32] = {7};

@@ -33,6 +33,7 @@
 
 #include "bench/bench_json.h"
 #include "obs/trace.h"
+#include "bench/bench_wiring.h"
 #include "proxy/runtime.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -44,12 +45,14 @@ namespace {
 struct Pair
 {
     explicit Pair(bool traced)
-        : n0(proxy::NodeConfig{.id = 0, .obs = {traced, 1 << 14}}),
-          n1(proxy::NodeConfig{.id = 1, .obs = {traced, 1 << 14}})
+        : n0(benchwire::with_transport(
+              {.id = 0, .obs = {traced, 1 << 14}})),
+          n1(benchwire::with_transport(
+              {.id = 1, .obs = {traced, 1 << 14}}))
     {
         ep0 = &n0.create_endpoint();
         ep1 = &n1.create_endpoint();
-        proxy::Node::connect(n0, n1);
+        benchwire::wire(n0, n1);
         remote.resize(1 << 16);
         seg = ep1->register_segment(remote.data(), remote.size());
         n0.start();

@@ -1,0 +1,85 @@
+/// \file
+/// Shared wiring helper for benchmarks and examples: picks the
+/// inter-node transport from the MSGPROXY_TRANSPORT environment
+/// variable ("inproc" — default — or "socket") and wires node pairs
+/// through the address-based listen()/connect() API, so every bench
+/// can be re-run against the socket backend without code changes:
+///
+///   MSGPROXY_TRANSPORT=socket ./bench_runtime_micro
+///
+/// Socket mode uses Unix-domain sockets under /tmp with a
+/// pid-unique name per wire() call; inproc mode uses a process-local
+/// registry name. Configure each NodeConfig with apply_transport()
+/// BEFORE constructing the Node, then wire(a, b) after both exist.
+
+#ifndef MSGPROXY_BENCH_BENCH_WIRING_H
+#define MSGPROXY_BENCH_BENCH_WIRING_H
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "proxy/runtime.h"
+
+namespace benchwire {
+
+/// Transport selected by MSGPROXY_TRANSPORT (unset/"inproc":
+/// in-process; "socket": Unix-domain sockets).
+inline net::TransportKind
+transport_kind()
+{
+    const char* t = std::getenv("MSGPROXY_TRANSPORT");
+    if (t != nullptr && std::strcmp(t, "socket") == 0)
+        return net::TransportKind::kSocket;
+    return net::TransportKind::kInProc;
+}
+
+/// Stamps the selected transport into a config (call before
+/// constructing the Node).
+inline void
+apply_transport(proxy::NodeConfig& cfg)
+{
+    cfg.transport = transport_kind();
+}
+
+/// Value-returning variant of apply_transport for inline Node
+/// construction:
+///   proxy::Node n(benchwire::with_transport({.id = 0}));
+inline proxy::NodeConfig
+with_transport(proxy::NodeConfig cfg)
+{
+    apply_transport(cfg);
+    return cfg;
+}
+
+/// A fresh, collision-free listen address for `kind`.
+inline std::string
+unique_addr(net::TransportKind kind)
+{
+    static std::atomic<uint64_t> ctr{0};
+    const uint64_t n = ctr.fetch_add(1);
+    const std::string tag = std::to_string(::getpid()) + "-" +
+                            std::to_string(n);
+    if (kind == net::TransportKind::kSocket)
+        return "unix:///tmp/msgproxy-" + tag + ".sock";
+    return "inproc://wire-" + tag;
+}
+
+/// Wires a <-> b over `a`'s configured transport (kInProc unless
+/// the config went through apply_transport() with
+/// MSGPROXY_TRANSPORT=socket set). Call before start() on either
+/// node.
+inline void
+wire(proxy::Node& a, proxy::Node& b)
+{
+    const std::string addr = unique_addr(a.config().transport);
+    a.listen(addr);
+    b.connect(addr);
+}
+
+} // namespace benchwire
+
+#endif // MSGPROXY_BENCH_BENCH_WIRING_H

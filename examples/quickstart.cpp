@@ -24,7 +24,12 @@ main()
     proxy::Node node1(proxy::NodeConfig{.id = 1});
     proxy::Endpoint& user0 = node0.create_endpoint();
     proxy::Endpoint& user1 = node1.create_endpoint();
-    proxy::Node::connect(node0, node1);
+    // Wire the nodes: node 0 listens on an address, node 1 dials it.
+    // "inproc://..." selects the in-process transport (the default);
+    // with NodeConfig::transport = kSocket the same two calls take
+    // "unix:///path.sock" or "tcp://host:port" instead.
+    node0.listen("inproc://quickstart");
+    node1.connect("inproc://quickstart");
 
     // --- memory: node 1 exposes a segment, plus a private one -----
     std::vector<uint8_t> shared_mem(4096, 0);

@@ -47,7 +47,8 @@ main()
     proxy::Endpoint& server = server_node.create_endpoint();
     proxy::Endpoint& client_a = client_node.create_endpoint();
     proxy::Endpoint& client_b = client_node.create_endpoint();
-    proxy::Node::connect(server_node, client_node);
+    server_node.listen("inproc://kv-store");
+    client_node.connect("inproc://kv-store");
 
     std::vector<Slot> table(kSlots, Slot{0, {0}});
     uint16_t table_seg = server.register_segment(

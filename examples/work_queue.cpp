@@ -52,6 +52,7 @@ main()
     proxy::Node coordinator(proxy::NodeConfig{.id = 0});
     proxy::Endpoint& boss = coordinator.create_endpoint();
     int task_q = coordinator.create_queue();
+    coordinator.listen("inproc://work-queue");
 
     std::vector<std::unique_ptr<proxy::Node>> worker_nodes;
     std::vector<proxy::Endpoint*> workers;
@@ -59,7 +60,7 @@ main()
         worker_nodes.push_back(std::make_unique<proxy::Node>(
             proxy::NodeConfig{.id = 1 + w}));
         workers.push_back(&worker_nodes.back()->create_endpoint());
-        proxy::Node::connect(coordinator, *worker_nodes.back());
+        worker_nodes.back()->connect("inproc://work-queue");
     }
 
     coordinator.start();

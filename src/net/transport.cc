@@ -1,0 +1,62 @@
+#include "net/transport.h"
+
+#include <cstdlib>
+
+#include "net/transport_inproc.h"
+#include "net/transport_socket.h"
+#include "util/log.h"
+
+namespace net {
+
+Addr
+Addr::parse(const std::string& s)
+{
+    Addr a;
+    auto rest_of = [&](const char* scheme) -> std::string {
+        const std::string pfx = std::string(scheme) + "://";
+        if (s.rfind(pfx, 0) != 0)
+            return std::string();
+        return s.substr(pfx.size());
+    };
+    if (std::string r = rest_of("inproc"); !r.empty()) {
+        a.scheme = Scheme::kInProc;
+        a.name = r;
+        return a;
+    }
+    if (std::string r = rest_of("unix"); !r.empty()) {
+        a.scheme = Scheme::kUnix;
+        a.name = r;
+        return a;
+    }
+    if (std::string r = rest_of("tcp"); !r.empty()) {
+        a.scheme = Scheme::kTcp;
+        auto colon = r.rfind(':');
+        MP_CHECK(colon != std::string::npos && colon + 1 < r.size(),
+                 "tcp address needs host:port, got '" << s << "'");
+        a.name = r.substr(0, colon);
+        long port = std::strtol(r.c_str() + colon + 1, nullptr, 10);
+        MP_CHECK(port > 0 && port < 65536,
+                 "bad port in tcp address '" << s << "'");
+        a.port = static_cast<uint16_t>(port);
+        return a;
+    }
+    MP_PANIC("unparseable transport address '"
+             << s << "' (want inproc://name, unix://path, or "
+             << "tcp://host:port)");
+}
+
+std::unique_ptr<Transport>
+make_transport(TransportKind kind, const TransportParams& params,
+               TransportHost* host)
+{
+    switch (kind) {
+      case TransportKind::kInProc:
+        return std::make_unique<InProcTransport>(params, host);
+      case TransportKind::kSocket:
+        return std::make_unique<SocketTransport>(params, host);
+    }
+    MP_PANIC("unknown TransportKind "
+             << static_cast<int>(kind));
+}
+
+} // namespace net

@@ -1,0 +1,242 @@
+/// \file
+/// The pluggable inter-node transport API. A Transport owns framed,
+/// full-duplex packet links between (sending proxy, receiving proxy)
+/// pairs of two nodes and exposes nonblocking send/poll hooks that
+/// the proxy loop drives — the seam separating the paper's protected
+/// proxy runtime from whatever actually carries the bytes.
+///
+/// ## Custody contract (the invariant every backend must keep)
+///
+/// Outbound: the proxy hands the transport a PacketRef whose Packet
+/// storage the transport only *borrows* — for an SPSC backend, for
+/// as long as the ref sits in the forward ring; for a serializing
+/// backend, for the duration of the write. When the transport is
+/// done with the storage it releases it through poll_recycled(), and
+/// the proxy's drain_returns applies the tx_state bits exactly as it
+/// does for SPSC return rings: kTxRetained -> clear kTxInFlight (the
+/// reliability window still owns the packet), kTxHeap -> delete,
+/// else -> back into the slab pool. A transport never interprets or
+/// mutates tx_state.
+///
+/// Inbound: poll_recv() yields refs whose storage the *transport*
+/// owns (its own rx slabs for a serializing backend; the peer's pool
+/// or heap for an SPSC backend). The proxy hands storage back with
+/// release_rx() once the packet is handled — except heap-fallback
+/// refs from an SPSC peer (heap && !retained), which the consumer
+/// deletes directly, preserving the pool-leak invariant
+/// (pool_hits == pool_returns, pool_misses == heap_frees summed over
+/// communicating nodes after quiescence).
+///
+/// ## Fast path
+///
+/// Virtual dispatch per packet would tax the in-process hot path the
+/// paper's latency numbers live on, so a link whose queues are plain
+/// SPSC channels advertises them through chan_out()/chan_in(): when
+/// non-null, the proxy may operate on the rings directly (push/pop/
+/// full/ret) and skip the virtual hooks entirely. Serializing
+/// backends return nullptr and are driven through the virtuals plus
+/// a per-poll pump() that moves buffered bytes. Both surfaces
+/// implement the same custody contract.
+///
+/// ## Wiring rules
+///
+/// listen()/connect() wire nodes before Node::start() on every node
+/// involved; connect() is synchronous and returns once both sides
+/// registered the full link matrix. Links (and their sequence state)
+/// survive Node::stop()/start() restarts but not transport
+/// destruction.
+
+#ifndef MSGPROXY_NET_TRANSPORT_H
+#define MSGPROXY_NET_TRANSPORT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/annotations.h"
+
+namespace net {
+
+/// Which backend a node's links ride on (NodeConfig::transport).
+enum class TransportKind : uint8_t {
+    kInProc, ///< SPSC channel pairs in shared memory ("inproc://")
+    kSocket  ///< TCP or Unix-domain sockets ("tcp://", "unix://")
+};
+
+/// A parsed wiring address.
+///   inproc://<name>         process-local registry key
+///   unix://<filesystem path> Unix-domain stream socket
+///   tcp://<ipv4>:<port>      TCP (numeric address)
+struct Addr
+{
+    enum class Scheme : uint8_t { kInProc, kUnix, kTcp };
+    Scheme scheme = Scheme::kInProc;
+    std::string name; ///< inproc name, socket path, or IPv4 literal
+    uint16_t port = 0;
+
+    /// Parses `s`; MP_PANICs on a malformed address.
+    static Addr parse(const std::string& s);
+
+    /// The backend this scheme belongs to.
+    TransportKind
+    kind() const
+    {
+        return scheme == Scheme::kInProc ? TransportKind::kInProc
+                                         : TransportKind::kSocket;
+    }
+};
+
+/// Wiring-time parameters a Node hands its transport.
+struct TransportParams
+{
+    int node_id = 0;
+    int num_proxies = 1;
+    /// Per-link forward-queue depth in frames.
+    size_t channel_depth = 1024;
+    /// Return-path capacity: the producer's pool plus its retained
+    /// window (an SPSC return ring must never reject a push).
+    size_t ret_capacity = 0;
+    /// Reliability layer on/off — both ends of a link must agree;
+    /// transports verify this at wiring time.
+    bool reliability = true;
+};
+
+/// Callbacks a transport makes into its owning Node at wiring time.
+/// May fire from an acceptor thread — implementations must be safe
+/// against concurrent wiring calls and must reject wiring after
+/// start() (the documented wiring-before-start rule).
+class TransportHost
+{
+  public:
+    virtual ~TransportHost() = default;
+
+    /// A link to (peer_node, with peer_proxies proxies) was wired.
+    /// Called at least once per peer, possibly once per link;
+    /// idempotent per peer.
+    virtual void on_peer_wired(int peer_node, int peer_proxies) = 0;
+};
+
+/// One full-duplex framed packet link between a local proxy and one
+/// peer proxy on another node. All hooks are nonblocking and may
+/// only be called by the owning local proxy thread (single-threaded
+/// access, like every other proxy-owned structure).
+class TransportLink
+{
+  public:
+    virtual ~TransportLink() = default;
+
+    int peer_node() const { return peer_node_; }
+    int peer_proxy() const { return peer_proxy_; }
+    int local_proxy() const { return local_proxy_; }
+
+    /// Fast-path surface: non-null when this link is a plain SPSC
+    /// channel pair the caller may drive directly (see file
+    /// comment). chan_out(): the ring this proxy produces into and
+    /// whose return ring recycles its slabs. chan_in(): the ring it
+    /// consumes and whose return ring hands back rx storage.
+    Channel* chan_out() const { return fast_out_; }
+    Channel* chan_in() const { return fast_in_; }
+
+    /// Enqueues up to n packets for transmission; returns how many
+    /// were accepted (a prefix — 0 when the tx queue is full). The
+    /// transport borrows each accepted ref's storage until it
+    /// reappears in poll_recycled().
+    virtual size_t send_burst(const PacketRef* refs, size_t n) = 0;
+
+    /// True when send_burst would accept nothing.
+    virtual bool tx_full() const = 0;
+
+    /// Dequeues up to max received packets; returns the count.
+    /// Storage of returned refs is released via release_rx().
+    virtual size_t poll_recv(PacketRef* out, size_t max) = 0;
+
+    /// Hands a poll_recv'd ref's storage back to the transport.
+    /// Not used for heap refs from an SPSC peer (see file comment).
+    virtual void release_rx(PacketRef ref) = 0;
+
+    /// Collects up to max borrowed tx packets the transport is done
+    /// with; returns the count. The caller applies tx_state custody.
+    virtual size_t poll_recycled(Packet** out, size_t max) = 0;
+
+    /// Drives buffered IO for this link alone (stall loops use this
+    /// while waiting for tx room). No-op for SPSC links.
+    virtual void pump() {}
+
+    /// True once the peer end is gone (connection reset / EOF). The
+    /// proxy treats this like retry exhaustion: link death. SPSC
+    /// links never observe peer death themselves (the reliability
+    /// layer's RTO exhaustion detects it instead).
+    virtual bool peer_closed() const { return false; }
+
+    /// Teardown only: surrenders up to max still-borrowed tx
+    /// packets (queued and recycled alike) so the owning Node can
+    /// retire heap-fallback ones exactly once. Returns the count.
+    virtual size_t reclaim_tx(Packet** out, size_t max)
+    {
+        (void)out;
+        (void)max;
+        return 0;
+    }
+
+  protected:
+    TransportLink(int peer_node, int peer_proxy, int local_proxy)
+        : peer_node_(peer_node), peer_proxy_(peer_proxy),
+          local_proxy_(local_proxy)
+    {
+    }
+
+    int peer_node_;
+    int peer_proxy_;
+    int local_proxy_;
+    Channel* fast_out_ = nullptr;
+    Channel* fast_in_ = nullptr;
+};
+
+/// A wiring backend: owns every link of one node and the machinery
+/// (registries, sockets, event loops) behind them.
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    virtual TransportKind kind() const = 0;
+
+    /// Binds this node to `addr` and accepts peer connections (in
+    /// the background for socket backends) until stop().
+    virtual void listen(const Addr& addr) = 0;
+
+    /// Connects to a peer's listen address. Synchronous: on return
+    /// the full (local proxies x peer proxies) link matrix exists on
+    /// both sides and on_peer_wired has fired on both hosts.
+    virtual void connect(const Addr& addr) = 0;
+
+    /// One IO tick for proxy `proxy`, called once per proxy-loop
+    /// iteration: dispatches readable links (epoll with a zero
+    /// timeout for sockets) and flushes pending writes. No-op for
+    /// in-process backends.
+    virtual void pump(int proxy) { (void)proxy; }
+
+    /// True when pump() does real work. Hosts cache this so pure
+    /// in-process wiring never pays a per-iteration virtual call.
+    virtual bool needs_pump() const { return false; }
+
+    /// Appends every link whose local end is proxy `proxy`.
+    virtual void links_for(int proxy,
+                           std::vector<TransportLink*>& out) = 0;
+
+    /// Stops background machinery (acceptor threads). Links become
+    /// unusable; called by the owning Node's destructor.
+    virtual void stop() {}
+};
+
+/// Factory: the backend for `kind`, owned by the caller. `host`
+/// must outlive the transport.
+std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                          const TransportParams& params,
+                                          TransportHost* host);
+
+} // namespace net
+
+#endif // MSGPROXY_NET_TRANSPORT_H

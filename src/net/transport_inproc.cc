@@ -1,0 +1,147 @@
+#include "net/transport_inproc.h"
+
+#include <mutex>
+#include <string>
+
+namespace net {
+
+namespace {
+
+/// Process-global inproc listen registry. Wiring is cold path and
+/// happens before start(), so a mutex is fine here.
+struct Registry
+{
+    std::mutex mu;
+    std::map<std::string, InProcTransport*> names;
+};
+
+Registry&
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+InProcTransport::~InProcTransport()
+{
+    if (!listen_name_.empty()) {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lk(r.mu);
+        auto it = r.names.find(listen_name_);
+        if (it != r.names.end() && it->second == this)
+            r.names.erase(it);
+    }
+}
+
+void
+InProcTransport::listen(const Addr& addr)
+{
+    MP_CHECK(addr.scheme == Addr::Scheme::kInProc,
+             "InProcTransport::listen needs an inproc:// address");
+    MP_CHECK(listen_name_.empty(),
+             "node " << params_.node_id << " already listening on "
+                     << listen_name_);
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto [it, fresh] = r.names.emplace(addr.name, this);
+    MP_CHECK(fresh, "inproc address '" << addr.name
+                                       << "' already in use");
+    listen_name_ = addr.name;
+}
+
+void
+InProcTransport::connect(const Addr& addr)
+{
+    MP_CHECK(addr.scheme == Addr::Scheme::kInProc,
+             "InProcTransport::connect needs an inproc:// address");
+    InProcTransport* peer = nullptr;
+    {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lk(r.mu);
+        auto it = r.names.find(addr.name);
+        MP_CHECK(it != r.names.end(),
+                 "no listener at inproc://" << addr.name);
+        peer = it->second;
+    }
+    wire_pair(*this, *peer);
+}
+
+void
+InProcTransport::wire_pair(InProcTransport& a, InProcTransport& b)
+{
+    MP_CHECK(a.params_.node_id != b.params_.node_id,
+             "connect needs distinct nodes");
+    MP_CHECK(a.params_.reliability == b.params_.reliability,
+             "nodes " << a.params_.node_id << " and "
+                      << b.params_.node_id
+                      << " disagree on reliability.enabled");
+    MP_CHECK(a.peers_.find(b.params_.node_id) == a.peers_.end() &&
+                 b.peers_.find(a.params_.node_id) == b.peers_.end(),
+             "nodes " << a.params_.node_id << " and "
+                      << b.params_.node_id << " already connected");
+    const auto pa = static_cast<size_t>(a.params_.num_proxies);
+    const auto pb = static_cast<size_t>(b.params_.num_proxies);
+    Peer& ab = a.peers_[b.params_.node_id];
+    Peer& ba = b.peers_[a.params_.node_id];
+    ab.peer_proxies = b.params_.num_proxies;
+    ba.peer_proxies = a.params_.num_proxies;
+    // One ring per (sending proxy, receiving proxy) pair and
+    // direction: no ring end is ever shared between two proxies.
+    // The sending side's params size the channel: its proxies
+    // produce the forward ring and recycle through the return ring,
+    // which must never reject a push (ret_capacity covers the pool
+    // plus the retained window).
+    auto chan = [](const TransportParams& sender) {
+        return std::make_shared<Channel>(sender.channel_depth,
+                                         sender.ret_capacity);
+    };
+    ab.out.resize(pa * pb);
+    ba.in.resize(pa * pb);
+    for (size_t p = 0; p < pa; ++p) {
+        for (size_t q = 0; q < pb; ++q) {
+            auto ch = chan(a.params_);
+            ab.out[p * pb + q] = ch;
+            ba.in[p * pb + q] = ch;
+        }
+    }
+    ba.out.resize(pb * pa);
+    ab.in.resize(pb * pa);
+    for (size_t p = 0; p < pb; ++p) {
+        for (size_t q = 0; q < pa; ++q) {
+            auto ch = chan(b.params_);
+            ba.out[p * pa + q] = ch;
+            ab.in[p * pa + q] = ch;
+        }
+    }
+    // Per-side link objects over the shared channels.
+    for (size_t p = 0; p < pa; ++p)
+        for (size_t q = 0; q < pb; ++q)
+            ab.links.emplace_back(
+                b.params_.node_id, static_cast<int>(q),
+                static_cast<int>(p), ab.out[p * pb + q].get(),
+                ab.in[q * pa + p].get());
+    for (size_t p = 0; p < pb; ++p)
+        for (size_t q = 0; q < pa; ++q)
+            ba.links.emplace_back(
+                a.params_.node_id, static_cast<int>(q),
+                static_cast<int>(p), ba.out[p * pa + q].get(),
+                ba.in[q * pb + p].get());
+    a.host_->on_peer_wired(b.params_.node_id, b.params_.num_proxies);
+    b.host_->on_peer_wired(a.params_.node_id, a.params_.num_proxies);
+}
+
+void
+InProcTransport::links_for(int proxy,
+                           std::vector<TransportLink*>& out)
+{
+    for (auto& [node, peer] : peers_) {
+        (void)node;
+        for (InProcLink& lk : peer.links)
+            if (lk.local_proxy() == proxy)
+                out.push_back(&lk);
+    }
+}
+
+} // namespace net

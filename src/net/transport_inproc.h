@@ -1,0 +1,135 @@
+/// \file
+/// The in-process transport: today's SPSC channel matrices, owned by
+/// a Transport instead of being friend-wired between two Nodes. One
+/// Channel pair per (sending proxy, receiving proxy) pair and
+/// direction, shared (shared_ptr) between the two peers' transports
+/// so either node may be destroyed first — the survivor's rings stay
+/// valid and its reliability layer detects the silence.
+///
+/// Links advertise their channels through the fast-path surface
+/// (chan_out/chan_in), so the proxy hot path is byte-for-byte the
+/// pre-transport ring code; the virtual hooks implement the same
+/// custody contract for interface-generic callers.
+
+#ifndef MSGPROXY_NET_TRANSPORT_INPROC_H
+#define MSGPROXY_NET_TRANSPORT_INPROC_H
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/log.h"
+
+namespace net {
+
+/// An SPSC-channel-backed link. All hooks mirror the raw ring
+/// operations; tx_state custody stays entirely with the caller.
+class InProcLink final : public TransportLink
+{
+  public:
+    InProcLink(int peer_node, int peer_proxy, int local_proxy,
+               Channel* out, Channel* in)
+        : TransportLink(peer_node, peer_proxy, local_proxy)
+    {
+        fast_out_ = out;
+        fast_in_ = in;
+    }
+
+    MSGPROXY_HOT_PATH size_t
+    send_burst(const PacketRef* refs, size_t n) override
+    {
+        size_t i = 0;
+        while (i < n && fast_out_->ring.try_push(refs[i]))
+            ++i;
+        return i;
+    }
+
+    MSGPROXY_HOT_PATH bool
+    tx_full() const override
+    {
+        return fast_out_->ring.full();
+    }
+
+    MSGPROXY_HOT_PATH size_t
+    poll_recv(PacketRef* out, size_t max) override
+    {
+        size_t i = 0;
+        while (i < max && fast_in_->ring.try_pop(out[i]))
+            ++i;
+        return i;
+    }
+
+    MSGPROXY_HOT_PATH void
+    release_rx(PacketRef ref) override
+    {
+        // The producer's return ring holds its whole pool plus its
+        // retained window, which bounds everything routed here, so
+        // the push cannot fail.
+        bool ok = fast_in_->ret.try_push(ref.p);
+        MP_CHECK(ok, "packet return ring overflow");
+    }
+
+    MSGPROXY_HOT_PATH size_t
+    poll_recycled(Packet** out, size_t max) override
+    {
+        size_t i = 0;
+        while (i < max && fast_out_->ret.try_pop(out[i]))
+            ++i;
+        return i;
+    }
+};
+
+/// The in-process backend: a process-global name registry maps
+/// "inproc://<name>" listen addresses to transports; connect() wires
+/// the full link matrix synchronously in the caller's thread.
+class InProcTransport final : public Transport
+{
+  public:
+    InProcTransport(const TransportParams& params, TransportHost* host)
+        : params_(params), host_(host)
+    {
+    }
+
+    ~InProcTransport() override;
+
+    TransportKind kind() const override { return TransportKind::kInProc; }
+
+    void listen(const Addr& addr) override;
+    void connect(const Addr& addr) override;
+    /// Wiring-phase only: called from start() before proxy threads
+    /// exist, so touching the link list is safe (quiescent).
+    MSGPROXY_QUIESCENT void links_for(
+        int proxy, std::vector<TransportLink*>& out) override;
+
+    /// Wires the full-duplex channel matrices between two in-process
+    /// transports directly (no registry) — the implementation behind
+    /// connect() and the deprecated Node::connect(Node&, Node&) shim.
+    /// Wiring-phase only (quiescent): both nodes are pre-start().
+    MSGPROXY_QUIESCENT static void wire_pair(InProcTransport& a,
+                                             InProcTransport& b);
+
+  private:
+    /// Everything wired toward one peer node. The channel vectors
+    /// are producer-major: out[p * peer_proxies + q] is the ring
+    /// from (this, p) to (peer, q); in[p * num_proxies + q] is the
+    /// ring from (peer, p) to (this, q).
+    struct Peer
+    {
+        int peer_proxies = 0;
+        std::vector<std::shared_ptr<Channel>> out;
+        std::vector<std::shared_ptr<Channel>> in;
+        /// deque: links_for hands out stable addresses.
+        std::deque<InProcLink> links;
+    };
+
+    TransportParams params_;
+    TransportHost* host_;
+    std::map<int, Peer> peers_;
+    /// Registry key while listening (empty: not listening).
+    std::string listen_name_;
+};
+
+} // namespace net
+
+#endif // MSGPROXY_NET_TRANSPORT_INPROC_H

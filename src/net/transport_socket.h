@@ -1,0 +1,164 @@
+/// \file
+/// The socket transport: real TCP or Unix-domain stream links
+/// between proxies, one full-duplex socket per (local proxy, peer
+/// proxy) pair, driven entirely by the owning proxy thread through a
+/// per-proxy nonblocking epoll event loop.
+///
+/// Framing: [u32 body_len][body], body = the packet header
+/// (net::kWireHeaderBytes, contiguous by layout) followed by exactly
+/// wire_payload_len() payload bytes. Native byte order — links
+/// assume architecture-homogeneous peers, like the SMP cluster of
+/// the paper.
+///
+/// Custody across the syscall boundary: send_burst borrows the
+/// proxy's packet until its frame is fully written (or the link
+/// dies), then surrenders the pointer through poll_recycled — the
+/// proxy's drain_returns applies tx_state exactly as for SPSC return
+/// rings. Received frames are copied into link-owned rx slabs
+/// (grown in chunks, never individually freed), handed to the proxy
+/// via poll_recv and returned with release_rx: the transport's rx
+/// memory can never leak into the proxy's pool accounting.
+///
+/// Loss model: a healthy stream socket neither drops nor reorders,
+/// so the reliability layer (PR 4) sees a clean link and its window
+/// simply flow-controls; on connection death (EOF/ECONNRESET/EPIPE)
+/// the link reports peer_closed() and the proxy runs the same
+/// link-death path as retry exhaustion.
+
+#ifndef MSGPROXY_NET_TRANSPORT_SOCKET_H
+#define MSGPROXY_NET_TRANSPORT_SOCKET_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace net {
+
+class SocketTransport;
+
+/// One socket-backed link. Owned and driven by exactly one proxy
+/// thread after wiring; the fd is nonblocking, so every hook
+/// returns without sleeping.
+class SocketLink final : public TransportLink
+{
+  public:
+    SocketLink(int peer_node, int peer_proxy, int local_proxy,
+               int fd, size_t depth);
+    ~SocketLink() override;
+
+    SocketLink(const SocketLink&) = delete;
+    SocketLink& operator=(const SocketLink&) = delete;
+
+    MSGPROXY_HOT_PATH size_t send_burst(const PacketRef* refs,
+                                        size_t n) override;
+    MSGPROXY_HOT_PATH bool tx_full() const override;
+    MSGPROXY_HOT_PATH size_t poll_recv(PacketRef* out,
+                                       size_t max) override;
+    MSGPROXY_HOT_PATH void release_rx(PacketRef ref) override;
+    MSGPROXY_HOT_PATH size_t poll_recycled(Packet** out,
+                                           size_t max) override;
+    /// Flush pending writes and drain readable bytes once.
+    MSGPROXY_HOT_PATH void pump() override;
+    bool peer_closed() const override { return peer_closed_; }
+    size_t reclaim_tx(Packet** out, size_t max) override;
+
+  private:
+    friend class SocketTransport;
+
+    /// Frames batched into one writev call.
+    static constexpr size_t kWriteBatch = 16;
+
+    /// One queued outbound frame. `prefix` is the length word;
+    /// `done` counts bytes of (4 + prefix) already on the wire.
+    struct TxItem
+    {
+        PacketRef ref;
+        uint32_t prefix;
+        uint32_t done;
+    };
+
+    /// writev as much of txq_ as the socket accepts right now.
+    MSGPROXY_HOT_PATH void flush_tx();
+    /// read() into rbuf_ and parse complete frames into rx slabs.
+    MSGPROXY_HOT_PATH void fill_rx();
+    /// Parse complete frames out of rbuf_ (backpressure-aware).
+    MSGPROXY_HOT_PATH void parse_frames();
+    /// Grab an rx slab slot; nullptr when backpressured.
+    MSGPROXY_HOT_PATH Packet* rx_slot();
+    /// Chunked slab growth (teardown frees whole chunks). The one
+    /// sanctioned allocation site of the rx path, amortized and
+    /// bounded by the backpressure cap.
+    MSGPROXY_HOT_EXEMPT void grow_rx();
+    /// The stream broke: surrender every borrowed tx packet so
+    /// drain_returns can retire it, and stop all IO.
+    void mark_closed();
+
+    int fd_;
+    size_t depth_; ///< tx-queue / rx-ready cap (frames)
+    bool peer_closed_ = false;
+
+    // ---- tx ----
+    std::deque<TxItem> txq_;
+    std::deque<Packet*> recycled_;
+
+    // ---- rx ----
+    std::vector<std::unique_ptr<Packet[]>> slabs_;
+    size_t slab_slots_ = 0;
+    std::vector<Packet*> free_;
+    std::deque<PacketRef> rx_ready_;
+    std::unique_ptr<uint8_t[]> rbuf_;
+    size_t rfill_ = 0;
+};
+
+/// The socket backend. listen() binds and runs an acceptor thread
+/// that performs the wiring handshake; connect() synchronously dials
+/// the full (local proxies x peer proxies) link matrix. pump(p)
+/// epoll-waits (zero timeout) proxy p's fds and flushes its pending
+/// writes — called once per proxy-loop iteration.
+class SocketTransport final : public Transport
+{
+  public:
+    SocketTransport(const TransportParams& params,
+                    TransportHost* host);
+    ~SocketTransport() override;
+
+    TransportKind kind() const override { return TransportKind::kSocket; }
+
+    void listen(const Addr& addr) override;
+    void connect(const Addr& addr) override;
+    MSGPROXY_HOT_PATH void pump(int proxy) override;
+    bool needs_pump() const override { return true; }
+    void links_for(int proxy,
+                   std::vector<TransportLink*>& out) override;
+    void stop() override;
+
+  private:
+    void acceptor_main();
+    /// Registers a freshly handshaken fd as a link (any thread;
+    /// wiring-phase only).
+    void add_link(int fd, int peer_node, int peer_proxy,
+                  int local_proxy);
+
+    TransportParams params_;
+    TransportHost* host_;
+    int listen_fd_ = -1;
+    std::thread acceptor_;
+    std::atomic<bool> stopping_{false};
+    /// Guards links_/by_proxy_/epoll registration during wiring
+    /// (acceptor thread vs connecting thread). Proxy threads read
+    /// these structures lock-free: wiring completes before start().
+    std::mutex mu_;
+    std::deque<SocketLink> links_;
+    std::vector<std::vector<SocketLink*>> by_proxy_;
+    std::vector<int> epfds_; ///< one epoll instance per proxy
+};
+
+} // namespace net
+
+#endif // MSGPROXY_NET_TRANSPORT_SOCKET_H

@@ -1,0 +1,179 @@
+/// \file
+/// Wire-level packet representation shared by the proxy runtime and
+/// the transport backends: the packet header + payload layout, the
+/// sender-private custody bits, the provenance-tagged packet
+/// reference, and the SPSC channel (forward ring + slot-return ring)
+/// that in-process transports are built from.
+///
+/// These types used to be private to proxy::Node; the transport API
+/// (net/transport.h) moves packets across an interface boundary —
+/// possibly a syscall boundary — so the wire format and the custody
+/// contract live here, below both layers.
+
+#ifndef MSGPROXY_NET_WIRE_H
+#define MSGPROXY_NET_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/reliable.h"
+#include "spsc/ring_queue.h"
+#include "util/annotations.h"
+
+namespace net {
+
+/// Maximum payload carried by one wire packet.
+inline constexpr uint32_t kMtu = 1024;
+
+struct Packet
+{
+    enum class Kind : uint8_t {
+        kPutData,   ///< payload -> segment memory
+        kGetReq,    ///< request for data
+        kGetData,   ///< reply payload -> CCB destination
+        kEnqData,   ///< payload -> endpoint receive ring
+        kRqEnqData, ///< payload -> proxy-managed remote queue
+        kRqDeqReq,  ///< dequeue request (ccb identifies requester)
+        kRqDeqData, ///< dequeue reply (flags bit1: queue was empty)
+        kAck        ///< standalone cumulative ack (unsequenced)
+    };
+    Kind kind;
+    uint8_t flags = 0; ///< bit0: last fragment
+    int32_t src_node;
+    int32_t src_user;
+    uint16_t seg;
+    uint32_t len;
+    uint64_t off;
+    uint64_t ccb;      ///< requester cookie for GET replies / acks
+    // ---- reliability header (inter-node links only) ----
+    /// Per-link sequence number, 1-based and FIFO per (sending
+    /// proxy, receiving proxy) pair. 0: unsequenced (standalone
+    /// acks, reliability-disabled traffic, loopback).
+    uint64_t seq;
+    /// Piggybacked cumulative ack for the link's reverse
+    /// direction (0: nothing to ack — acks start at seq 1).
+    uint64_t ack;
+    /// Trace id of the originating command (0: untraced).
+    /// Observability metadata: excluded from the checksum like
+    /// tx_state, copied by clone_packet like every header field.
+    uint64_t tid;
+    /// Header checksum over kind/flags/src/seg/len/off/ccb/seq/
+    /// ack (net::crc_fields). Excludes the payload and tx_state.
+    uint32_t crc;
+    /// Sender-private custody bits (kTx*). Never read by the
+    /// receiver and excluded from the checksum: the sending proxy
+    /// mutates it while the packet sits in rings (or transport
+    /// write queues) it no longer owns, which is safe only because
+    /// nobody else touches the byte. A transport serializing the
+    /// header transmits whatever value is present; the receiver
+    /// overwrites it on arrival.
+    uint8_t tx_state;
+    uint8_t payload[kMtu];
+};
+
+/// Packet::tx_state bits (sender-side custody tracking).
+enum : uint8_t {
+    /// Retained in a SenderWindow awaiting ack; storage must not
+    /// be recycled by the return-ring drain.
+    kTxRetained = 1,
+    /// The pointer currently sits in a forward ring, a reorder
+    /// stash, or a transport write queue: retransmission must skip
+    /// it so at most one copy of a retained pointer is ever in
+    /// flight.
+    kTxInFlight = 2,
+    /// Heap-fallback allocation: recycle by delete, not pool.
+    kTxHeap = 4
+};
+
+/// A wire packet plus its provenance. Pooled packets live in the
+/// sending proxy's slab and are recycled through the link's return
+/// path; heap packets (pool-miss fallback) are deleted by whoever
+/// retires them. The tag rides in the ring slot — never in the
+/// packet — so cleanup can decide ownership without dereferencing
+/// memory that may belong to a destroyed peer.
+struct PacketRef
+{
+    Packet* p = nullptr;
+    bool heap = false;
+    /// Mirrors kTxRetained at send time, riding in the ring slot
+    /// so the consumer (and teardown) can decide ownership
+    /// without dereferencing packet memory that may belong to a
+    /// destroyed peer: a retained packet is owned by its sender's
+    /// window, never by whoever pops the ref.
+    bool retained = false;
+};
+
+/// Bytes of Packet actually meaningful on the wire before the
+/// payload: everything up to and including tx_state. A serializing
+/// transport frames exactly [header][payload prefix]; the layout is
+/// contiguous by construction.
+inline constexpr size_t kWireHeaderBytes = offsetof(Packet, payload);
+
+/// Payload bytes a packet of this kind actually carries on the wire.
+/// Request kinds (and acks) reuse `len` as a byte *count* — how much
+/// the peer should send back — with an empty payload; taking it as a
+/// payload size would overrun the kMtu buffer.
+MSGPROXY_HOT_PATH inline uint32_t
+wire_payload_len(const Packet& p)
+{
+    if (p.kind == Packet::Kind::kGetReq ||
+        p.kind == Packet::Kind::kRqDeqReq ||
+        p.kind == Packet::Kind::kAck)
+        return 0;
+    return p.len < kMtu ? p.len : kMtu;
+}
+
+/// Header checksum of a wire packet (tx_state/payload excluded): the
+/// custody byte is mutated by the sender while the packet is in
+/// flight and the payload is left to end-to-end validation, so both
+/// stay outside the fold.
+MSGPROXY_HOT_PATH inline uint32_t
+packet_crc(const Packet& p)
+{
+    return net::crc_fields(
+        {static_cast<uint64_t>(static_cast<uint8_t>(p.kind)) |
+             (static_cast<uint64_t>(p.flags) << 8) |
+             (static_cast<uint64_t>(p.seg) << 16) |
+             (static_cast<uint64_t>(static_cast<uint32_t>(p.src_node))
+              << 32),
+         static_cast<uint64_t>(static_cast<uint32_t>(p.src_user)) |
+             (static_cast<uint64_t>(p.len) << 32),
+         p.off, p.ccb, p.seq, p.ack});
+}
+
+/// One direction of one (sending proxy, receiving proxy) pair: the
+/// forward packet ring plus the slot-return ring that recycles
+/// consumed pooled packets back to the producer. The return ring
+/// holds at least the producer's whole pool, so a return push can
+/// never fail (the pool bounds the number of pooled packets in
+/// flight).
+struct Channel
+{
+    Channel(size_t depth, size_t ret_cap) : ring(depth), ret(ret_cap)
+    {
+    }
+
+    /// Frees heap-fallback packets still queued at teardown.
+    /// Packets still queued here: heap-fallback ones are owned by
+    /// whoever retires them — that is now us. Pooled ones belong to
+    /// the producer's slab (freed with its Node); the tag in the
+    /// ring slot lets us tell them apart without touching packet
+    /// memory that may already be gone. Retained packets are owned
+    /// by their sender's window (which frees heap ones in the Node
+    /// destructor), never by the ring.
+    MSGPROXY_QUIESCENT ~Channel()
+    {
+        PacketRef r;
+        while (ring.try_pop(r)) {
+            if (r.heap && !r.retained)
+                delete r.p;
+        }
+    }
+
+    spsc::DynRingQueue<PacketRef> ring;
+    spsc::DynPtrRing<Packet*> ret;
+};
+
+} // namespace net
+
+#endif // MSGPROXY_NET_WIRE_H

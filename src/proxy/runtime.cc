@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "net/transport_inproc.h"
 #include "obs/export.h"
 #include "util/log.h"
 
@@ -34,6 +35,39 @@ cpu_pause()
 #elif defined(__aarch64__)
     asm volatile("yield" ::: "memory");
 #endif
+}
+
+/// TxPort fast-path dispatch, templated so the private nested type
+/// deduces: a non-null `ch` keeps the direct SPSC ring ops of the
+/// in-process wire path; only ring-less (socket) ports pay the
+/// virtual hook.
+template <typename Port>
+MSGPROXY_HOT_PATH inline bool
+port_full(const Port& port)
+{
+    if (port.ch != nullptr)
+        return port.ch->ring.full();
+    return port.io->tx_full();
+}
+
+template <typename Port>
+MSGPROXY_HOT_PATH inline bool
+port_try_push(const Port& port, net::PacketRef ref)
+{
+    if (port.ch != nullptr)
+        return port.ch->ring.try_push(ref);
+    if (port.io->tx_full())
+        return false;
+    return port.io->send_burst(&ref, 1) == 1;
+}
+
+template <typename Port>
+MSGPROXY_HOT_PATH inline bool
+port_try_pop(const Port& port, net::PacketRef& out)
+{
+    if (port.ch != nullptr)
+        return port.ch->ring.try_pop(out);
+    return port.io->poll_recv(&out, 1) == 1;
 }
 
 /// Single source of truth tying each counter's name to its slot in
@@ -334,22 +368,6 @@ Endpoint::rq_deq(void* dst, uint32_t max, int dst_node, int qid,
 
 // -------------------------------------------------------------------- Node
 
-Node::Channel::~Channel()
-{
-    // Packets still queued at teardown: heap-fallback ones are owned
-    // by whoever retires them — that is now us. Pooled ones belong
-    // to the producer's slab (freed with its Node); the tag in the
-    // ring slot lets us tell them apart without touching packet
-    // memory that may already be gone.
-    PacketRef r;
-    while (ring.try_pop(r)) {
-        // Retained packets are owned by their sender's window (which
-        // frees heap ones in the Node destructor), never by the ring.
-        if (r.heap && !r.retained)
-            delete r.p;
-    }
-}
-
 Node::Node(const NodeConfig& cfg)
     : cfg_(cfg)
 {
@@ -370,6 +388,11 @@ Node::Node(const NodeConfig& cfg)
 Node::~Node()
 {
     stop();
+    // Quiesce the transport's own threads (socket acceptor) before
+    // sweeping link state; the transport object itself outlives the
+    // sweeps below, which walk its links.
+    if (transport_ != nullptr)
+        transport_->stop();
     // Deferred packets survive stop() so a restarted node resumes
     // them; at destruction, retire the heap-owned ones (pooled ones
     // die with their slab; retained ones belong to their sender's
@@ -385,12 +408,22 @@ Node::~Node()
         // and reorder stashes skip window-retained packets (tx_state
         // still has kTxRetained — ours, so dereferencing is safe);
         // the window abandon then frees every heap packet it retains.
-        for (Channel* ch : pr->tx) {
+        for (const TxPort& t : pr->tx) {
             Packet* p = nullptr;
-            while (ch->ret.try_pop(p)) {
-                if ((p->tx_state & kTxHeap) != 0 &&
-                    (p->tx_state & kTxRetained) == 0)
-                    delete p;
+            if (t.ch != nullptr) {
+                while (t.ch->ret.try_pop(p)) {
+                    if ((p->tx_state & kTxHeap) != 0 &&
+                        (p->tx_state & kTxRetained) == 0)
+                        delete p;
+                }
+            } else if (t.io != nullptr) {
+                // Socket links hand back every still-borrowed tx
+                // packet (queued or recycled) for the same retire.
+                while (t.io->reclaim_tx(&p, 1) == 1) {
+                    if ((p->tx_state & kTxHeap) != 0 &&
+                        (p->tx_state & kTxRetained) == 0)
+                        delete p;
+                }
             }
         }
         for (Link& lk : pr->links) {
@@ -429,74 +462,89 @@ Node::create_queue()
     return static_cast<int>(rqueues_.size()) - 1;
 }
 
+net::Transport&
+Node::ensure_transport()
+{
+    std::lock_guard<std::mutex> lk(wiring_mu_);
+    if (transport_ == nullptr) {
+        net::TransportParams tp;
+        tp.node_id = cfg_.id;
+        tp.num_proxies = cfg_.num_proxies;
+        tp.channel_depth = cfg_.channel_depth;
+        // Return-ring sizing: everything routed back to a producer
+        // is bounded by its pool (pooled packets) plus its unacked
+        // window (retained heap-fallback packets also route through
+        // the return ring so the sender can clear their in-flight
+        // bit), so pushes can never fail.
+        tp.ret_capacity =
+            cfg_.packet_pool_size +
+            (cfg_.reliability.enabled ? cfg_.reliability.window
+                                      : 0) +
+            64;
+        tp.reliability = cfg_.reliability.enabled;
+        transport_ = net::make_transport(cfg_.transport, tp, this);
+    }
+    return *transport_;
+}
+
+void
+Node::on_peer_wired(int peer_node, int peer_proxies)
+{
+    std::lock_guard<std::mutex> lk(wiring_mu_);
+    MP_CHECK(!running_.load(mp::ord::observe),
+             "peer wiring must complete before Node::start()");
+    auto n = static_cast<size_t>(peer_node);
+    if (peer_proxies_.size() <= n)
+        peer_proxies_.resize(n + 1, 0);
+    MP_CHECK(peer_proxies_[n] == 0 ||
+                 peer_proxies_[n] == peer_proxies,
+             "peer " << peer_node
+                     << " changed proxy count across wiring");
+    peer_proxies_[n] = peer_proxies;
+    if (peer_dead_.size() <= n)
+        peer_dead_.resize(n + 1);
+    if (peer_dead_[n] == nullptr)
+        peer_dead_[n] = std::make_unique<std::atomic<bool>>(false);
+}
+
+void
+Node::listen(const std::string& addr)
+{
+    MP_CHECK(!running_.load(mp::ord::observe),
+             "listen before start");
+    const net::Addr a = net::Addr::parse(addr);
+    MP_CHECK(a.kind() == cfg_.transport,
+             "address '" << addr
+                         << "' does not match NodeConfig::transport");
+    ensure_transport().listen(a);
+}
+
+void
+Node::connect(const std::string& addr)
+{
+    MP_CHECK(!running_.load(mp::ord::observe),
+             "connect before start");
+    const net::Addr a = net::Addr::parse(addr);
+    MP_CHECK(a.kind() == cfg_.transport,
+             "address '" << addr
+                         << "' does not match NodeConfig::transport");
+    ensure_transport().connect(a);
+}
+
 void
 Node::connect(Node& a, Node& b)
 {
+    // Legacy two-node shim over the in-process transport; new code
+    // wires through listen()/connect() addresses instead.
     MP_CHECK(!a.running_.load() && !b.running_.load(),
              "connect before start");
-    MP_CHECK(a.cfg_.id != b.cfg_.id, "connect needs distinct nodes");
-    MP_CHECK(a.cfg_.reliability.enabled == b.cfg_.reliability.enabled,
-             "nodes " << a.cfg_.id << " and " << b.cfg_.id
-                      << " disagree on reliability.enabled");
-    auto ensure = [](Node& n, int peer) {
-        auto need = static_cast<size_t>(peer) + 1;
-        if (n.out_.size() < need) {
-            n.out_.resize(need);
-            n.in_.resize(need);
-            n.peer_proxies_.resize(need, 0);
-        }
-        if (n.peer_dead_.size() < need)
-            n.peer_dead_.resize(need);
-        auto& dead = n.peer_dead_[static_cast<size_t>(peer)];
-        if (dead == nullptr)
-            dead = std::make_unique<std::atomic<bool>>(false);
-    };
-    ensure(a, b.cfg_.id);
-    ensure(b, a.cfg_.id);
-    auto aid = static_cast<size_t>(a.cfg_.id);
-    auto bid = static_cast<size_t>(b.cfg_.id);
-    MP_CHECK(a.out_[bid].empty() && b.out_[aid].empty(),
-             "nodes " << a.cfg_.id << " and " << b.cfg_.id
-                      << " already connected");
-    a.peer_proxies_[bid] = b.cfg_.num_proxies;
-    b.peer_proxies_[aid] = a.cfg_.num_proxies;
-    const auto pa = static_cast<size_t>(a.cfg_.num_proxies);
-    const auto pb = static_cast<size_t>(b.cfg_.num_proxies);
-    // One ring per (sending proxy, receiving proxy) pair and
-    // direction: no ring end is ever shared between two proxies.
-    // The sending node's config sizes the channel: its proxies
-    // produce the forward ring and recycle through the return ring,
-    // which must never reject a push. Returns in flight are bounded
-    // by the producer's pool (pooled packets) plus its unacked
-    // window (retained heap-fallback packets also route through the
-    // return ring so the sender can clear their in-flight bit).
-    auto chan = [](const Node& sender) {
-        size_t ret = sender.cfg_.packet_pool_size +
-                     (sender.cfg_.reliability.enabled
-                          ? sender.cfg_.reliability.window
-                          : 0) +
-                     64;
-        return std::make_shared<Channel>(sender.cfg_.channel_depth,
-                                         ret);
-    };
-    a.out_[bid].resize(pa * pb);
-    b.in_[aid].resize(pa * pb);
-    for (size_t p = 0; p < pa; ++p) {
-        for (size_t q = 0; q < pb; ++q) {
-            auto ch = chan(a);
-            a.out_[bid][p * pb + q] = ch;
-            b.in_[aid][p * pb + q] = ch;
-        }
-    }
-    b.out_[aid].resize(pb * pa);
-    a.in_[bid].resize(pb * pa);
-    for (size_t p = 0; p < pb; ++p) {
-        for (size_t q = 0; q < pa; ++q) {
-            auto ch = chan(b);
-            b.out_[aid][p * pa + q] = ch;
-            a.in_[bid][p * pa + q] = ch;
-        }
-    }
+    MP_CHECK(a.cfg_.transport == net::TransportKind::kInProc &&
+                 b.cfg_.transport == net::TransportKind::kInProc,
+             "Node::connect(Node&, Node&) only wires the in-process "
+             "transport; use listen()/connect() with addresses");
+    auto& ta = static_cast<net::InProcTransport&>(a.ensure_transport());
+    auto& tb = static_cast<net::InProcTransport&>(b.ensure_transport());
+    net::InProcTransport::wire_pair(ta, tb);
 }
 
 void
@@ -504,62 +552,60 @@ Node::start()
 {
     MP_CHECK(!running_.load(), "node already started");
     const auto P = static_cast<size_t>(cfg_.num_proxies);
+    const auto self_row = static_cast<size_t>(cfg_.id);
     // Cross-proxy loopback rings (a proxy serves itself directly, so
-    // the diagonal stays null). Idempotent across stop()/start().
-    if (P > 1) {
-        auto self = static_cast<size_t>(cfg_.id);
-        if (out_.size() <= self) {
-            out_.resize(self + 1);
-            in_.resize(self + 1);
-            peer_proxies_.resize(self + 1, 0);
-        }
-        if (out_[self].empty()) {
-            out_[self].resize(P * P);
-            in_[self].resize(P * P);
-            for (size_t p = 0; p < P; ++p) {
-                for (size_t q = 0; q < P; ++q) {
-                    if (p == q)
-                        continue;
-                    auto ch = std::make_shared<Channel>(
-                        cfg_.channel_depth,
-                        cfg_.packet_pool_size + 64);
-                    out_[self][p * P + q] = ch;
-                    in_[self][p * P + q] = ch;
-                }
+    // the diagonal stays null), flattened producer-major. Idempotent
+    // across stop()/start().
+    if (P > 1 && loop_.empty()) {
+        loop_.resize(P * P);
+        for (size_t p = 0; p < P; ++p) {
+            for (size_t q = 0; q < P; ++q) {
+                if (p == q)
+                    continue;
+                loop_[p * P + q] = std::make_shared<Channel>(
+                    cfg_.channel_depth, cfg_.packet_pool_size + 64);
             }
         }
     }
-    // Per-proxy receive and transmit lists: every ring whose
-    // consumer (rx) or producer (tx) end this proxy owns, across all
-    // peers (and the loopback matrix). tx is the set of return rings
-    // the proxy drains to refill its packet pool. Inter-node rings
-    // additionally get a Link carrying the sequence/ack/retransmit
-    // state of the (this proxy, peer proxy) pair — created on first
-    // sight and kept across stop()/start(), because sequence counters
-    // must survive a restart exactly like the channels do.
+    // Per-proxy receive and transmit lists: every port whose
+    // consumer (rx) or producer (tx) end this proxy owns — the
+    // loopback matrix plus this proxy's transport links. tx is the
+    // set of return paths the proxy drains to refill its packet
+    // pool. Transport links additionally get a Link carrying the
+    // sequence/ack/retransmit state of the (this proxy, peer proxy)
+    // pair — created on first sight and kept across stop()/start(),
+    // because sequence counters must survive a restart exactly like
+    // the transport's channels do.
     for (auto& pr : proxies_) {
         const auto me = static_cast<size_t>(pr->index);
-        if (pr->link_by_node.size() < in_.size())
-            pr->link_by_node.resize(in_.size());
         pr->rx.clear();
-        for (size_t n = 0; n < in_.size(); ++n) {
-            auto& row = in_[n];
-            if (row.empty())
-                continue;
-            if (n == static_cast<size_t>(cfg_.id)) {
-                // Loopback matrix: unsequenced, no link.
-                for (size_t sp = 0; sp < P; ++sp) {
-                    Channel* ch = row[sp * P + me].get();
-                    if (ch != nullptr)
-                        pr->rx.push_back(RxEntry{ch, nullptr});
-                }
-                continue;
+        pr->tx.clear();
+        if (!loop_.empty()) {
+            for (size_t sp = 0; sp < P; ++sp) {
+                Channel* ch = loop_[sp * P + me].get();
+                if (ch != nullptr)
+                    pr->rx.push_back(
+                        RxEntry{RxPort{ch, nullptr}, nullptr});
             }
-            const auto peer_p = row.size() / P;
-            auto& lrow = pr->link_by_node[n];
-            if (lrow.size() < peer_p)
-                lrow.resize(peer_p, nullptr);
-            for (size_t q = 0; q < peer_p; ++q) {
+            for (size_t q = 0; q < P; ++q) {
+                Channel* ch = loop_[me * P + q].get();
+                if (ch != nullptr)
+                    pr->tx.push_back(TxPort{ch, nullptr});
+            }
+        }
+        if (transport_ != nullptr) {
+            std::vector<net::TransportLink*> ios;
+            transport_->links_for(pr->index, ios);
+            for (net::TransportLink* io : ios) {
+                const auto n = static_cast<size_t>(io->peer_node());
+                const auto q = static_cast<size_t>(io->peer_proxy());
+                if (pr->link_by_node.size() <= n)
+                    pr->link_by_node.resize(n + 1);
+                auto& lrow = pr->link_by_node[n];
+                const auto peer_p =
+                    static_cast<size_t>(peer_proxies_[n]);
+                if (lrow.size() < peer_p)
+                    lrow.resize(peer_p, nullptr);
                 if (lrow[q] == nullptr) {
                     // Salt decorrelates the fault streams of every
                     // (node, node, proxy, proxy) channel under one
@@ -574,27 +620,43 @@ Node::start()
                     lrow[q] = &pr->links.back();
                 }
                 Link& lk = *lrow[q];
-                lk.out = out_[n][me * peer_p + q].get();
-                lk.in = row[q * P + me].get();
-                pr->rx.push_back(RxEntry{lk.in, &lk});
+                // chan_out()/chan_in() devirtualize the in-process
+                // backend (direct ring ops); socket links leave them
+                // null and route through the virtual hooks.
+                lk.out = TxPort{io->chan_out(), io};
+                pr->rx.push_back(
+                    RxEntry{RxPort{io->chan_in(), io}, &lk});
+                pr->tx.push_back(lk.out);
             }
         }
-        pr->tx.clear();
-        for (size_t n = 0; n < out_.size(); ++n) {
-            auto& row = out_[n];
-            if (row.empty())
+        // Routing table: out_by_node[n][q] is the port toward proxy
+        // q of node n (row cfg_.id = loopback, null diagonal).
+        pr->out_by_node.clear();
+        pr->out_by_node.resize(std::max(pr->link_by_node.size(),
+                                        self_row + 1));
+        if (!loop_.empty()) {
+            auto& lrow = pr->out_by_node[self_row];
+            lrow.resize(P);
+            for (size_t q = 0; q < P; ++q) {
+                if (q != me)
+                    lrow[q] = TxPort{loop_[me * P + q].get(), nullptr};
+            }
+        }
+        for (size_t n = 0; n < pr->link_by_node.size(); ++n) {
+            auto& lrow = pr->link_by_node[n];
+            if (lrow.empty() || n == self_row)
                 continue;
-            auto dst_p =
-                static_cast<size_t>(peer_proxy_count(static_cast<int>(n)));
-            for (size_t q = 0; q < dst_p; ++q) {
-                Channel* ch =
-                    row[static_cast<size_t>(pr->index) * dst_p + q]
-                        .get();
-                if (ch != nullptr)
-                    pr->tx.push_back(ch);
+            auto& orow = pr->out_by_node[n];
+            orow.resize(lrow.size());
+            for (size_t q = 0; q < lrow.size(); ++q) {
+                if (lrow[q] != nullptr)
+                    orow[q] = lrow[q]->out;
             }
         }
     }
+    io_pump_ = (transport_ != nullptr && transport_->needs_pump())
+                   ? transport_.get()
+                   : nullptr;
     running_.store(true, mp::ord::publish);
     for (auto& pr : proxies_)
         pr->thread = std::thread([this, p = pr.get()] { proxy_main(*p); });
@@ -787,18 +849,16 @@ Node::peer_proxy_count(int dst_node) const
     return peer_proxies_[static_cast<size_t>(dst_node)];
 }
 
-Node::Channel*
-Node::out_channel(const Proxy& self, int dst_node, int dst_proxy)
+Node::TxPort
+Node::out_port(const Proxy& self, int dst_node, int dst_proxy)
 {
-    if (dst_node < 0 || static_cast<size_t>(dst_node) >= out_.size())
-        return nullptr;
-    auto& row = out_[static_cast<size_t>(dst_node)];
-    if (row.empty())
-        return nullptr;
-    auto dst_p = static_cast<size_t>(peer_proxy_count(dst_node));
-    return row[static_cast<size_t>(self.index) * dst_p +
-               static_cast<size_t>(dst_proxy)]
-        .get();
+    if (dst_node < 0 ||
+        static_cast<size_t>(dst_node) >= self.out_by_node.size())
+        return TxPort{};
+    auto& row = self.out_by_node[static_cast<size_t>(dst_node)];
+    if (static_cast<size_t>(dst_proxy) >= row.size())
+        return TxPort{};
+    return row[static_cast<size_t>(dst_proxy)];
 }
 
 uint64_t
@@ -808,23 +868,6 @@ Node::now_ns()
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
-}
-
-uint32_t
-Node::packet_crc(const Packet& p)
-{
-    // Header-only checksum: the custody byte (tx_state) is mutated
-    // by the sender while the packet is in flight and the payload is
-    // left to end-to-end validation, so both stay outside the fold.
-    return net::crc_fields(
-        {static_cast<uint64_t>(static_cast<uint8_t>(p.kind)) |
-             (static_cast<uint64_t>(p.flags) << 8) |
-             (static_cast<uint64_t>(p.seg) << 16) |
-             (static_cast<uint64_t>(static_cast<uint32_t>(p.src_node))
-              << 32),
-         static_cast<uint64_t>(static_cast<uint32_t>(p.src_user)) |
-             (static_cast<uint64_t>(p.len) << 32),
-         p.off, p.ccb, p.seq, p.ack});
 }
 
 Node::Link*
@@ -871,9 +914,9 @@ Node::alloc_packet(Proxy& self)
 }
 
 void
-Node::release_packet(Proxy& self, PacketRef ref, Channel* from)
+Node::release_packet(Proxy& self, PacketRef ref, RxPort from)
 {
-    if (from == nullptr) {
+    if (from.ch == nullptr && from.io == nullptr) {
         // Our own packet (loopback consumption, transient recycle, or
         // ack-released window entry): retire it here, counted so the
         // leak invariant pool_hits == pool_returns (and pool_misses
@@ -898,30 +941,50 @@ Node::release_packet(Proxy& self, PacketRef ref, Channel* from)
         ++self.local.heap_frees;
         return;
     }
-    // Back to the producer through the return ring. This holds the
-    // producer's whole pool plus its retained window, which bounds
-    // everything routed here, so the push cannot fail.
-    bool ok = from->ret.try_push(ref.p);
-    MP_CHECK(ok, "packet return ring overflow");
+    if (from.ch != nullptr) {
+        // Back to the producer through the return ring. This holds
+        // the producer's whole pool plus its retained window, which
+        // bounds everything routed here, so the push cannot fail.
+        bool ok = from.ch->ret.try_push(ref.p);
+        MP_CHECK(ok, "packet return ring overflow");
+        return;
+    }
+    // Socket rx: the slot belongs to the link's slab, never to any
+    // node's pool — hand it straight back.
+    from.io->release_rx(ref);
+}
+
+void
+Node::recycle_tx(Proxy& self, Packet* p)
+{
+    if ((p->tx_state & kTxRetained) != 0) {
+        // Still awaiting ack: the consumer is done with the
+        // memory, so the pointer may fly again (retransmit).
+        p->tx_state &= static_cast<uint8_t>(~kTxInFlight);
+    } else if ((p->tx_state & kTxHeap) != 0) {
+        // NOLINTNEXTLINE(msgproxy-hot-path-alloc)
+        delete p;
+        ++self.local.heap_frees;
+    } else {
+        self.pool.put(p);
+        ++self.local.pool_returns;
+    }
 }
 
 void
 Node::drain_returns(Proxy& self)
 {
-    for (Channel* ch : self.tx) {
+    for (const TxPort& t : self.tx) {
         Packet* p = nullptr;
-        while (ch->ret.try_pop(p)) {
-            if ((p->tx_state & kTxRetained) != 0) {
-                // Still awaiting ack: the consumer is done with the
-                // memory, so the pointer may fly again (retransmit).
-                p->tx_state &= static_cast<uint8_t>(~kTxInFlight);
-            } else if ((p->tx_state & kTxHeap) != 0) {
-                // NOLINTNEXTLINE(msgproxy-hot-path-alloc)
-                delete p;
-                ++self.local.heap_frees;
-            } else {
-                self.pool.put(p);
-                ++self.local.pool_returns;
+        if (t.ch != nullptr) {
+            while (t.ch->ret.try_pop(p))
+                recycle_tx(self, p);
+        } else if (t.io != nullptr) {
+            Packet* buf[32];
+            size_t n;
+            while ((n = t.io->poll_recycled(buf, 32)) > 0) {
+                for (size_t i = 0; i < n; ++i)
+                    recycle_tx(self, buf[i]);
             }
         }
     }
@@ -934,11 +997,11 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
     const auto budget0 = static_cast<int>(cfg_.pkt_burst);
     const bool rel = cfg_.reliability.enabled;
     for (RxEntry& rxe : self.rx) {
-        Channel* ch = rxe.ch;
+        const RxPort& port = rxe.port;
         Link* lk = rxe.link;
         PacketRef r;
         int budget = budget0;
-        while (budget-- > 0 && ch->ring.try_pop(r)) {
+        while (budget-- > 0 && port_try_pop(port, r)) {
             progressed = true;
             Packet& pkt = *r.p;
             if (lk != nullptr) {
@@ -950,7 +1013,7 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
                 if (pkt.crc != packet_crc(pkt)) {
                     ++self.local.crc_fail;
                     ++self.local.pkts_dropped;
-                    release_packet(self, r, ch);
+                    release_packet(self, r, port);
                     continue;
                 }
                 if (rel && pkt.ack != 0) {
@@ -966,7 +1029,7 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
                         });
                 }
                 if (pkt.kind == Packet::Kind::kAck) {
-                    release_packet(self, r, ch);
+                    release_packet(self, r, port);
                     continue;
                 }
                 if (rel) {
@@ -976,7 +1039,7 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
                             net::ReceiverSeq::Verdict::kDuplicate)
                             ++self.local.pkts_duplicate;
                         ++self.local.pkts_dropped;
-                        release_packet(self, r, ch);
+                        release_packet(self, r, port);
                         continue;
                     }
                 }
@@ -985,10 +1048,10 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
                 (pkt.kind == Packet::Kind::kGetReq ||
                  pkt.kind == Packet::Kind::kRqDeqReq)) {
                 self.deferred.push_back(
-                    Deferred{r.p, ch, r.heap, r.retained});
+                    Deferred{r.p, port, r.heap, r.retained});
             } else {
                 handle_packet(self, pkt);
-                release_packet(self, r, ch);
+                release_packet(self, r, port);
             }
         }
     }
@@ -996,12 +1059,12 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
 }
 
 bool
-Node::push_ring(Proxy& self, Channel* ch, PacketRef ref)
+Node::push_port(Proxy& self, const TxPort& port, PacketRef ref)
 {
-    // This proxy is the ring's only producer, so once full() clears
+    // This proxy is the port's only producer, so once full() clears
     // the push cannot fail (probing first also avoids consuming the
     // packet on a failed try_push, which takes its argument by
-    // value). Keep draining our own input while the peer's ring is
+    // value). Keep draining our own input while the peer's port is
     // full so two saturated proxies cannot deadlock; requests that
     // would generate new sends are deferred to the main loop. The
     // wait is bounded by running_: at shutdown a dead consumer must
@@ -1010,7 +1073,7 @@ Node::push_ring(Proxy& self, Channel* ch, PacketRef ref)
         ref.p->tx_state |= kTxInFlight;
     Backoff bo(cfg_.poll);
     uint64_t spins = 0;
-    while (ch->ring.full()) {
+    while (port_full(port)) {
         if (stall_debug() && (++spins & ((1u << 20) - 1)) == 0)
             std::fprintf(stderr,
                          "[node %d proxy %d] ring stall: kind=%d "
@@ -1027,12 +1090,17 @@ Node::push_ring(Proxy& self, Channel* ch, PacketRef ref)
             }
             return false;
         }
+        // A socket port only drains when its fd is serviced; pump it
+        // here so a stalled writer cannot wedge (the transport-wide
+        // pump runs in the main loop we are not in right now).
+        if (port.ch == nullptr && port.io != nullptr)
+            port.io->pump();
         if (drain_inputs(self, /*defer_requests=*/true))
             bo.reset();
         else
             bo.idle();
     }
-    ch->ring.try_push(ref);
+    port_try_push(port, ref);
     ++self.local.packets_out;
     return true;
 }
@@ -1067,7 +1135,7 @@ bool
 Node::inject_push(Proxy& self, Link& lk, PacketRef ref)
 {
     if (!lk.inj.enabled())
-        return push_ring(self, lk.out, ref);
+        return push_port(self, lk.out, ref);
     const net::FaultAction act = lk.inj.next();
     switch (act) {
       case net::FaultAction::kDrop:
@@ -1079,11 +1147,11 @@ Node::inject_push(Proxy& self, Link& lk, PacketRef ref)
         return true;
       case net::FaultAction::kDuplicate: {
         PacketRef dup = clone_packet(self, *ref.p);
-        if (!push_ring(self, lk.out, ref)) {
+        if (!push_port(self, lk.out, ref)) {
             release_packet(self, dup, nullptr);
             return false;
         }
-        return push_ring(self, lk.out, dup);
+        return push_port(self, lk.out, dup);
       }
       case net::FaultAction::kReorder:
         // Held for 1..reorder_depth service ticks, then delivered by
@@ -1103,12 +1171,12 @@ Node::inject_push(Proxy& self, Link& lk, PacketRef ref)
         bad.p->off ^= uint64_t{1} << lk.inj.rand_below(64);
         if (!ref.retained)
             release_packet(self, ref, nullptr);
-        return push_ring(self, lk.out, bad);
+        return push_port(self, lk.out, bad);
       }
       case net::FaultAction::kDeliver:
         break;
     }
-    return push_ring(self, lk.out, ref);
+    return push_port(self, lk.out, ref);
 }
 
 bool
@@ -1122,15 +1190,15 @@ Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
         if (ref.p->kind == Packet::Kind::kGetReq ||
             ref.p->kind == Packet::Kind::kRqDeqReq) {
             self.deferred.push_back(
-                Deferred{ref.p, nullptr, ref.heap});
+                Deferred{ref.p, RxPort{}, ref.heap});
         } else {
             handle_packet(self, *ref.p);
             release_packet(self, ref, nullptr);
         }
         return true;
     }
-    Channel* ch = out_channel(self, dst_node, dst_proxy);
-    if (ch == nullptr) {
+    const TxPort port = out_port(self, dst_node, dst_proxy);
+    if (!port.valid()) {
         ++self.local.faults;
         release_packet(self, ref, nullptr);
         return false; // unconnected destination
@@ -1139,7 +1207,7 @@ Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
     if (lk == nullptr) {
         // Intra-node cross-proxy loopback: shared memory, no
         // reliability header (the receiver skips verification too).
-        return push_ring(self, ch, ref);
+        return push_port(self, port, ref);
     }
     if (lk->dead) {
         ++self.local.faults;
@@ -1164,11 +1232,16 @@ Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
                     lk->peer_proxy, lk->win.size(),
                     lk->win.retries(),
                     static_cast<unsigned long long>(lk->win.rto()),
-                    static_cast<int>(lk->out->ring.full()));
+                    static_cast<int>(port_full(lk->out)));
             if (!running_.load(mp::ord::observe)) {
                 release_packet(self, ref, nullptr);
                 return false;
             }
+            // Socket links make ack progress only when their fd is
+            // serviced; pump while the window is closed (ring-backed
+            // links skip the virtual call).
+            if (lk->out.ch == nullptr && lk->out.io != nullptr)
+                lk->out.io->pump();
             // Refresh the RTO clock every 16th fast spin, or every
             // iteration once yielding (a clock read is noise next to
             // the yield syscall): at most ~16 sub-microsecond
@@ -1203,14 +1276,21 @@ Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
 void
 Node::service_link(Proxy& self, Link& lk)
 {
+    // A broken stream (socket EOF/reset) is a dead peer right now:
+    // unlike loss, a stream transport never recovers the connection,
+    // so skip the RTO-exhaustion wait. Gated on ch == nullptr so
+    // ring-backed (in-process) links never pay the virtual call.
+    if (lk.out.ch == nullptr && lk.out.io != nullptr && !lk.dead &&
+        lk.out.io->peer_closed())
+        kill_link(self, lk);
     // Age the reorder stash one tick (independent of reliability:
     // fault injection also applies to the raw protocol). Due packets
-    // are released with try_push only — a full ring just postpones
+    // are released with try_push only — a full port just postpones
     // them a tick, which avoids recursive stall loops here.
     for (size_t i = 0; i < lk.stash.size();) {
         Link::Stashed& s = lk.stash[i];
         if (--s.delay == 0) {
-            if (lk.out->ring.try_push(s.ref)) {
+            if (port_try_push(lk.out, s.ref)) {
                 ++self.local.packets_out;
                 lk.stash[i] = lk.stash.back();
                 lk.stash.pop_back();
@@ -1248,16 +1328,7 @@ Node::service_link(Proxy& self, Link& lk)
         // peer dead node-wide, refuse new submits toward it, release
         // the window (graceful degradation instead of an eternal
         // retransmit spin).
-        lk.dead = true;
-        ++self.local.faults;
-        auto& dead = peer_dead_[static_cast<size_t>(lk.peer_node)];
-        dead->store(true, mp::ord::publish);
-        lk.win.abandon([&](PacketRef h) {
-            h.p->tx_state &= static_cast<uint8_t>(~kTxRetained);
-            if ((h.p->tx_state & kTxInFlight) == 0)
-                release_packet(self, PacketRef{h.p, h.heap, false},
-                               nullptr);
-        });
+        kill_link(self, lk);
         return;
     }
     // Go-back-N: resend every window entry whose pointer is not
@@ -1268,7 +1339,7 @@ Node::service_link(Proxy& self, Link& lk)
     lk.win.on_timeout(now, [&](uint64_t, PacketRef& h) {
         if ((h.p->tx_state & kTxInFlight) != 0)
             return;
-        if (lk.out->ring.full())
+        if (port_full(lk.out))
             return;
         h.p->ack = lk.rseq.cum_ack();
         h.p->crc = packet_crc(*h.p);
@@ -1276,7 +1347,7 @@ Node::service_link(Proxy& self, Link& lk)
         PacketRef again{h.p, h.heap, true};
         if (!lk.inj.enabled()) {
             h.p->tx_state |= kTxInFlight;
-            lk.out->ring.try_push(again);
+            port_try_push(lk.out, again);
             ++self.local.packets_out;
             return;
         }
@@ -1294,11 +1365,47 @@ Node::service_link(Proxy& self, Link& lk)
           case net::FaultAction::kDuplicate:
           case net::FaultAction::kDeliver:
             h.p->tx_state |= kTxInFlight;
-            lk.out->ring.try_push(again);
+            port_try_push(lk.out, again);
             ++self.local.packets_out;
             return;
         }
     });
+}
+
+void
+Node::kill_link(Proxy& self, Link& lk)
+{
+    if (lk.dead)
+        return;
+    lk.dead = true;
+    ++self.local.faults;
+    auto& dead = peer_dead_[static_cast<size_t>(lk.peer_node)];
+    dead->store(true, mp::ord::publish);
+    lk.win.abandon([&](PacketRef h) {
+        h.p->tx_state &= static_cast<uint8_t>(~kTxRetained);
+        if ((h.p->tx_state & kTxInFlight) == 0)
+            release_packet(self, PacketRef{h.p, h.heap, false},
+                           nullptr);
+    });
+    fail_ccbs(self, lk.peer_node);
+}
+
+void
+Node::fail_ccbs(Proxy& self, int peer_node)
+{
+    // Request/reply commands already in flight toward the dead peer
+    // will never see their reply: complete them now so user threads
+    // spinning on lsync observe progress and can consult
+    // peer_unreachable() for the verdict.
+    for (size_t i = 0; i < self.ccbs.size(); ++i) {
+        Ccb& c = self.ccbs[i];
+        if (!c.live || c.dst_node != peer_node)
+            continue;
+        c.live = false;
+        if (c.lsync != nullptr)
+            c.lsync->fetch_add(1, mp::ord::publish);
+        self.free_ccbs.push_back(i);
+    }
 }
 
 void
@@ -1423,8 +1530,9 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
             idx = self.ccbs.size();
             self.ccbs.push_back(Ccb{});
         }
-        self.ccbs[idx] =
-            Ccb{cmd.dst, cmd.len, cmd.lsync, cmd.tid, cmd.t_submit};
+        self.ccbs[idx] = Ccb{cmd.dst,  cmd.len,      cmd.lsync,
+                             cmd.tid,  cmd.t_submit, cmd.dst_node,
+                             true};
         PacketRef ref = alloc_packet(self);
         Packet* pkt = ref.p;
         pkt->kind = Packet::Kind::kGetReq;
@@ -1438,7 +1546,19 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
         // the reply routes straight back to the CCB's owner.
         pkt->ccb = (static_cast<uint64_t>(self.index) << 32) | idx;
         pkt->tid = cmd.tid;
-        send_packet(self, cmd.dst_node, cmd.dst_seg % dst_p, ref);
+        if (!send_packet(self, cmd.dst_node, cmd.dst_seg % dst_p,
+                         ref)) {
+            // The request never left (dead link / shutdown): no
+            // reply will ever retire this CCB, so fail it here —
+            // unless the death path already did inside the send.
+            Ccb& c = self.ccbs[idx];
+            if (c.live) {
+                c.live = false;
+                if (c.lsync != nullptr)
+                    c.lsync->fetch_add(1, mp::ord::publish);
+                self.free_ccbs.push_back(idx);
+            }
+        }
         if (traced)
             trace_stage(self, now_ns(), cmd.tid,
                         obs::Stage::kWireOut, opk, cmd.len);
@@ -1509,8 +1629,9 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
             idx = self.ccbs.size();
             self.ccbs.push_back(Ccb{});
         }
-        self.ccbs[idx] =
-            Ccb{cmd.dst, cmd.len, cmd.lsync, cmd.tid, cmd.t_submit};
+        self.ccbs[idx] = Ccb{cmd.dst,  cmd.len,      cmd.lsync,
+                             cmd.tid,  cmd.t_submit, cmd.dst_node,
+                             true};
         PacketRef ref = alloc_packet(self);
         Packet* pkt = ref.p;
         pkt->kind = Packet::Kind::kRqDeqReq;
@@ -1522,7 +1643,16 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
         pkt->len = cmd.len;
         pkt->ccb = (static_cast<uint64_t>(self.index) << 32) | idx;
         pkt->tid = cmd.tid;
-        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p, ref);
+        if (!send_packet(self, cmd.dst_node, cmd.dst_user % dst_p,
+                         ref)) {
+            Ccb& c = self.ccbs[idx];
+            if (c.live) {
+                c.live = false;
+                if (c.lsync != nullptr)
+                    c.lsync->fetch_add(1, mp::ord::publish);
+                self.free_ccbs.push_back(idx);
+            }
+        }
         if (traced)
             trace_stage(self, now_ns(), cmd.tid,
                         obs::Stage::kWireOut, opk, cmd.len);
@@ -1636,6 +1766,12 @@ Node::handle_packet(Proxy& self, Packet& pkt)
                         obs::Stage::kReplyIn, obs::OpKind::kGet,
                         pkt.len);
         Ccb& ccb = self.ccbs[slot];
+        if (!ccb.live) {
+            // Raced with link death: fail_ccbs already completed the
+            // command and freed the slot; `dst` may be dangling.
+            ++self.local.pkts_dropped;
+            break;
+        }
         if (pkt.len > 0) {
             std::memcpy(static_cast<uint8_t*>(ccb.dst) + pkt.off,
                         pkt.payload, pkt.len);
@@ -1655,6 +1791,7 @@ Node::handle_packet(Proxy& self, Packet& pkt)
                     self.op_hist[static_cast<int>(obs::OpKind::kGet)]
                         .add(t_done - ccb.t_submit);
             }
+            ccb.live = false;
             self.free_ccbs.push_back(slot);
         }
         break;
@@ -1743,6 +1880,10 @@ Node::handle_packet(Proxy& self, Packet& pkt)
                         obs::Stage::kReplyIn, obs::OpKind::kRqDeq,
                         pkt.len);
         Ccb& ccb = self.ccbs[slot];
+        if (!ccb.live) {
+            ++self.local.pkts_dropped;
+            break;
+        }
         if (pkt.len > 0)
             std::memcpy(ccb.dst, pkt.payload, pkt.len);
         if (ccb.lsync != nullptr) {
@@ -1757,6 +1898,7 @@ Node::handle_packet(Proxy& self, Packet& pkt)
                 self.op_hist[static_cast<int>(obs::OpKind::kRqDeq)]
                     .add(t_done - ccb.t_submit);
         }
+        ccb.live = false;
         self.free_ccbs.push_back(slot);
         break;
       }
@@ -1883,6 +2025,13 @@ Node::proxy_main(Proxy& self)
                 }
             }
         }
+        // Socket IO: flush pending writes and pull readable frames
+        // into the links' rx queues before the drain below. A single
+        // predictable branch for pure in-process wiring (io_pump_
+        // stays null, so no virtual call).
+        if (io_pump_ != nullptr)
+            io_pump_->pump(self.index);
+
         if (drain_inputs(self, /*defer_requests=*/false))
             progressed = true;
 

@@ -35,7 +35,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <ostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -44,6 +46,7 @@
 #include "util/orders.h"
 #include "net/fault.h"
 #include "net/reliable.h"
+#include "net/transport.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
 #include "spsc/ring_queue.h"
@@ -362,6 +365,12 @@ struct NodeConfig
     /// default; the disabled cost is one relaxed load + branch per
     /// command/packet).
     obs::Params obs{};
+    /// Which wire backend carries this node's inter-node links:
+    /// kInProc (SPSC channel pairs in shared memory, the default and
+    /// the zero-regression hot path) or kSocket (TCP / Unix-domain
+    /// stream sockets between proxies). listen()/connect() addresses
+    /// must match the selected backend's schemes.
+    net::TransportKind transport = net::TransportKind::kInProc;
 };
 
 class Node;
@@ -478,7 +487,9 @@ class Endpoint
 };
 
 /// One simulated SMP node with one or more dedicated proxy threads.
-class Node
+/// (Privately a net::TransportHost: the transport calls back into
+/// the node as links are wired.)
+class Node : private net::TransportHost
 {
   public:
     /// Back-compat alias: the poll-mode enum now lives at namespace
@@ -505,11 +516,25 @@ class Node
     /// proxy as the single trusted manipulator of the queue pointers.
     MSGPROXY_QUIESCENT int create_queue();
 
-    /// Wires full-duplex channels between two nodes (before start()
-    /// on either): one SPSC packet ring per (sending proxy,
-    /// receiving proxy) pair and direction, so no ring end is ever
+    /// Binds this node's transport (NodeConfig::transport) to `addr`
+    /// and accepts peer connections until destruction. Addresses:
+    /// "inproc://<name>" (kInProc), "unix://<path>" or
+    /// "tcp://<ipv4>:<port>" (kSocket). Call before start().
+    MSGPROXY_QUIESCENT void listen(const std::string& addr);
+
+    /// Connects to a peer node's listen address (before start() on
+    /// either node). Synchronous: on return the full (local proxies
+    /// x peer proxies) link matrix exists on both sides. Each
+    /// (sending proxy, receiving proxy) pair gets its own
+    /// full-duplex framed packet link, so no link end is ever
     /// shared between proxies.
-    MSGPROXY_QUIESCENT static void connect(Node& a, Node& b);
+    MSGPROXY_QUIESCENT void connect(const std::string& addr);
+
+    /// Two-node in-process wiring shim over the transport API.
+    [[deprecated("use a.listen(\"inproc://name\") + "
+                 "b.connect(\"inproc://name\") — see "
+                 "net/transport.h")]] MSGPROXY_QUIESCENT static void
+    connect(Node& a, Node& b);
 
     /// Launches the proxy threads.
     MSGPROXY_QUIESCENT void start();
@@ -587,83 +612,20 @@ class Node
   private:
     friend class Endpoint;
 
+    // The wire-level types (packet layout, custody bits, provenance
+    // refs, SPSC channels) moved to net/wire.h so transport backends
+    // share them; the runtime keeps its historical unqualified names.
+    using Packet = net::Packet;
+    using PacketRef = net::PacketRef;
+
     /// Maximum payload carried by one wire packet.
-    static constexpr uint32_t kMtu = 1024;
+    static constexpr uint32_t kMtu = net::kMtu;
 
-    struct Packet
-    {
-        enum class Kind : uint8_t {
-            kPutData,   ///< payload -> segment memory
-            kGetReq,    ///< request for data
-            kGetData,   ///< reply payload -> CCB destination
-            kEnqData,   ///< payload -> endpoint receive ring
-            kRqEnqData, ///< payload -> proxy-managed remote queue
-            kRqDeqReq,  ///< dequeue request (ccb identifies requester)
-            kRqDeqData, ///< dequeue reply (flags bit1: queue was empty)
-            kAck        ///< standalone cumulative ack (unsequenced)
-        };
-        Kind kind;
-        uint8_t flags = 0; ///< bit0: last fragment
-        int32_t src_node;
-        int32_t src_user;
-        uint16_t seg;
-        uint32_t len;
-        uint64_t off;
-        uint64_t ccb;      ///< requester cookie for GET replies / acks
-        // ---- reliability header (inter-node channels only) ----
-        /// Per-link sequence number, 1-based and FIFO per (sending
-        /// proxy, receiving proxy) pair. 0: unsequenced (standalone
-        /// acks, reliability-disabled traffic, loopback).
-        uint64_t seq;
-        /// Piggybacked cumulative ack for the link's reverse
-        /// direction (0: nothing to ack — acks start at seq 1).
-        uint64_t ack;
-        /// Trace id of the originating command (0: untraced).
-        /// Observability metadata: excluded from the checksum like
-        /// tx_state, copied by clone_packet like every header field.
-        uint64_t tid;
-        /// Header checksum over kind/flags/src/seg/len/off/ccb/seq/
-        /// ack (net::crc_fields). Excludes the payload and tx_state.
-        uint32_t crc;
-        /// Sender-private custody bits (kTx*). Never read by the
-        /// receiver and excluded from the checksum: the sending proxy
-        /// mutates it while the packet sits in rings it no longer
-        /// owns, which is safe only because nobody else touches the
-        /// byte.
-        uint8_t tx_state;
-        uint8_t payload[kMtu];
-    };
-
-    /// Packet::tx_state bits (sender-side custody tracking).
-    enum : uint8_t {
-        /// Retained in a SenderWindow awaiting ack; storage must not
-        /// be recycled by the return-ring drain.
-        kTxRetained = 1,
-        /// The pointer currently sits in a forward ring (or a reorder
-        /// stash): retransmission must skip it so at most one copy of
-        /// a retained pointer is ever in flight.
-        kTxInFlight = 2,
-        /// Heap-fallback allocation: recycle by delete, not pool.
-        kTxHeap = 4
-    };
-
-    /// A wire packet plus its provenance. Pooled packets live in the
-    /// sending proxy's slab and are recycled through the channel's
-    /// return ring; heap packets (pool-miss fallback) are deleted by
-    /// whoever retires them. The tag rides in the ring slot — never
-    /// in the packet — so cleanup can decide ownership without
-    /// dereferencing memory that may belong to a destroyed peer.
-    struct PacketRef
-    {
-        Packet* p = nullptr;
-        bool heap = false;
-        /// Mirrors kTxRetained at send time, riding in the ring slot
-        /// so the consumer (and teardown) can decide ownership
-        /// without dereferencing packet memory that may belong to a
-        /// destroyed peer: a retained packet is owned by its sender's
-        /// window, never by whoever pops the ref.
-        bool retained = false;
-    };
+    /// Packet::tx_state bits (sender-side custody tracking); see
+    /// net/wire.h for the full contract.
+    static constexpr uint8_t kTxRetained = net::kTxRetained;
+    static constexpr uint8_t kTxInFlight = net::kTxInFlight;
+    static constexpr uint8_t kTxHeap = net::kTxHeap;
 
     /// Fixed-capacity free list over one contiguous slab of Packets,
     /// private to one proxy thread. Pooled packets are never
@@ -702,24 +664,30 @@ class Node
         std::vector<Packet*> free_;
     };
 
-    /// One direction of one (sending proxy, receiving proxy) pair:
-    /// the forward packet ring plus the slot-return ring that
-    /// recycles consumed pooled packets back to the producer. The
-    /// return ring holds at least the producer's whole pool, so a
-    /// return push can never fail (the pool bounds the number of
-    /// pooled packets in flight).
-    struct Channel
+    using Channel = net::Channel;
+
+    /// One producer-side attachment point of the wire path: either a
+    /// raw SPSC channel (`ch`, the devirtualized fast path — loopback
+    /// rings and links whose transport advertises chan_out()) or a
+    /// generic transport link driven through the virtual hooks (`io`
+    /// with `ch == nullptr`). When both are set, `ch` wins on the hot
+    /// path and `io` only contributes link-level state queries
+    /// (peer_closed, teardown reclaim).
+    struct TxPort
     {
-        Channel(size_t depth, size_t ret_cap)
-            : ring(depth), ret(ret_cap)
-        {
-        }
+        Channel* ch = nullptr;
+        net::TransportLink* io = nullptr;
 
-        /// Frees heap-fallback packets still queued at teardown.
-        MSGPROXY_QUIESCENT ~Channel();
+        bool valid() const { return ch != nullptr || io != nullptr; }
+    };
 
-        spsc::DynRingQueue<PacketRef> ring;
-        spsc::DynPtrRing<Packet*> ret;
+    /// Consumer-side counterpart of TxPort: where a received packet's
+    /// storage goes back to. Both null: our own pool/heap (loopback
+    /// self-delivery).
+    struct RxPort
+    {
+        Channel* ch = nullptr;
+        net::TransportLink* io = nullptr;
     };
 
     struct Segment
@@ -730,7 +698,8 @@ class Node
         int owner_endpoint;
     };
 
-    /// Outstanding GET bookkeeping (private to the issuing proxy).
+    /// Outstanding GET/DEQ bookkeeping (private to the issuing
+    /// proxy).
     struct Ccb
     {
         void* dst;
@@ -738,25 +707,32 @@ class Node
         Flag* lsync;
         uint64_t tid = 0;      ///< trace id (0: untraced)
         uint64_t t_submit = 0; ///< for the round-trip histogram
+        /// Target node, so link death can fail every CCB still
+        /// waiting on that peer (fail_ccbs).
+        int dst_node = -1;
+        /// Set while a reply is outstanding; cleared by completion
+        /// or by fail_ccbs, whichever comes first — the loser must
+        /// not touch the (possibly recycled) slot.
+        bool live = false;
     };
 
     /// A packet parked for later handling, tagged with where its
-    /// storage must be retired: `from` names the channel whose
-    /// return ring recycles it (nullptr: our own pool or, when
-    /// heap, `delete`).
+    /// storage must be retired: `from` names the receive port that
+    /// recycles it (both ends null: our own pool or, when heap,
+    /// `delete`).
     struct Deferred
     {
         Packet* p;
-        Channel* from;
+        RxPort from;
         bool heap;
         bool retained = false; ///< see PacketRef::retained
     };
 
-    /// One directed pair of rings between this proxy and one peer
-    /// proxy on another node, plus the reliability and fault state
-    /// both directions share: `out` carries our sequenced sends (win
-    /// retains them until the peer's cumulative ack, piggybacked on
-    /// `in` traffic or standalone, releases them), `in` feeds rseq.
+    /// One full-duplex transport link between this proxy and one
+    /// peer proxy on another node, plus the reliability and fault
+    /// state both directions share: `out` carries our sequenced
+    /// sends (win retains them until the peer's cumulative ack,
+    /// piggybacked on inbound traffic or standalone, releases them).
     /// Links are built at first start() and survive stop()/start(), as
     /// the sequence state must: the peer's counters do too.
     struct Link
@@ -769,8 +745,7 @@ class Node
 
         int peer_node;
         int peer_proxy;
-        Channel* out = nullptr;
-        Channel* in = nullptr;
+        TxPort out;
         net::SenderWindow<PacketRef> win;
         net::ReceiverSeq rseq;
         net::FaultInjector inj;
@@ -787,11 +762,11 @@ class Node
         bool dead = false;
     };
 
-    /// One input ring plus the link owning its sequence state
+    /// One input port plus the link owning its sequence state
     /// (nullptr: intra-node loopback, unsequenced).
     struct RxEntry
     {
-        Channel* ch;
+        RxPort port;
         Link* link;
     };
 
@@ -850,12 +825,16 @@ class Node
         /// send_packet (they would generate new sends and could
         /// recurse unboundedly).
         MSGPROXY_PROXY_OWNED std::deque<Deferred> deferred;
-        /// Every channel this proxy consumes, paired with its link
+        /// Every port this proxy consumes, paired with its link
         /// (rebuilt at start()).
         MSGPROXY_PROXY_OWNED std::vector<RxEntry> rx;
-        /// Every channel this proxy produces into: the rings whose
-        /// return rings it drains to refill the pool.
-        MSGPROXY_PROXY_OWNED std::vector<Channel*> tx;
+        /// Every port this proxy produces into: the return paths it
+        /// drains to refill the pool.
+        MSGPROXY_PROXY_OWNED std::vector<TxPort> tx;
+        /// out_by_node[n][q]: this proxy's port toward proxy q of
+        /// node n (invalid when unconnected); row cfg_.id holds the
+        /// loopback rings (null diagonal). Rebuilt at start().
+        MSGPROXY_PROXY_OWNED std::vector<std::vector<TxPort>> out_by_node;
         /// Reliability/fault state per (peer node, peer proxy) pair;
         /// deque for address stability (link_by_node and rx point in).
         MSGPROXY_PROXY_OWNED std::deque<Link> links;
@@ -929,11 +908,12 @@ class Node
     /// traffic.
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX Link* link_for(Proxy& self, int dst_node,
                                    int dst_proxy);
-    /// Stalls until `ch` has room (draining own inputs, bounded by
-    /// running_) and pushes. On shutdown abort, custody reverts: a
-    /// retained ref stays with its window, a transient one is
-    /// recycled. Returns false only on that abort.
-    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX bool push_ring(Proxy& self, Channel* ch,
+    /// Stalls until the port has room (draining own inputs and
+    /// pumping the link, bounded by running_) and pushes. On
+    /// shutdown abort, custody reverts: a retained ref stays with
+    /// its window, a transient one is recycled. Returns false only
+    /// on that abort.
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX bool push_port(Proxy& self, const TxPort& port,
                                    PacketRef ref);
     /// Pushes through the link's fault injector: may drop, clone
     /// (duplicate/corrupt), or stash (reorder) instead of delivering.
@@ -952,7 +932,11 @@ class Node
     /// any pending ack, so quiescent windows still drain).
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void flush_acks(Proxy& self, bool idle);
     /// Header checksum of a wire packet (tx_state/payload excluded).
-    MSGPROXY_HOT_PATH static uint32_t packet_crc(const Packet& p);
+    MSGPROXY_HOT_PATH static uint32_t
+    packet_crc(const Packet& p)
+    {
+        return net::packet_crc(p);
+    }
     /// Monotonic nanoseconds (steady_clock).
     MSGPROXY_HOT_PATH static uint64_t now_ns();
     /// Drains self's input rings once (budgeted). Requests are
@@ -960,18 +944,42 @@ class Node
     /// path must not recurse into new sends).
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX bool drain_inputs(Proxy& self,
                                       bool defer_requests);
-    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX Channel* out_channel(const Proxy& self,
-                                         int dst_node, int dst_proxy);
+    /// The outbound port to (dst_node, dst_proxy): a loopback ring
+    /// (row cfg_.id, invalid on the diagonal) or a transport link's
+    /// tx side.
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX TxPort out_port(const Proxy& self,
+                                     int dst_node, int dst_proxy);
     /// Grabs a wire packet: pool first (refilling from the return
     /// rings when dry), heap as the measured overload fallback.
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX PacketRef alloc_packet(Proxy& self);
     /// Retires a consumed packet: heap -> delete; pooled -> the
-    /// originating channel's return ring (`from`), or straight back
-    /// into self's pool for loopback packets (`from == nullptr`).
+    /// originating port (loopback return ring or transport rx
+    /// release), or straight back into self's pool for self-served
+    /// packets (`from` both-null / nullptr).
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void release_packet(Proxy& self, PacketRef ref,
-                                        Channel* from);
-    /// Recycles every returned slot from self's tx channels.
+                                        RxPort from);
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void
+    release_packet(Proxy& self, PacketRef ref, std::nullptr_t)
+    {
+        release_packet(self, ref, RxPort{});
+    }
+    /// Retires one tx packet that came back from a port (return ring
+    /// or transport recycle): retained slots rejoin their window
+    /// (kTxInFlight cleared), transients go pool- or heap-ward.
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void recycle_tx(Proxy& self, Packet* p);
+    /// Recycles every returned slot from self's tx ports.
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void drain_returns(Proxy& self);
+    /// Declares lk's peer link dead: abandons the send window, marks
+    /// the peer unreachable, and completes every CCB waiting on it
+    /// with kPeerUnreachable.
+    MSGPROXY_PROXY_CTX void kill_link(Proxy& self, Link& lk);
+    /// Completes (fails) self's live CCBs destined for `peer_node`.
+    MSGPROXY_PROXY_CTX void fail_ccbs(Proxy& self, int peer_node);
+    /// Lazily builds the node's transport (cfg_.transport) for
+    /// listen()/connect(); wiring-phase only.
+    net::Transport& ensure_transport();
+    /// TransportHost hook: a peer finished wiring against us.
+    void on_peer_wired(int peer_node, int peer_proxies) override;
     /// Copies self's LocalStats into the atomic ProxyStats.
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX static void publish_stats(Proxy& self);
     /// One proxy's published counters as a NodeStats (the summing /
@@ -998,14 +1006,21 @@ class Node
     std::vector<std::unique_ptr<Proxy>> proxies_;
     std::vector<std::unique_ptr<Endpoint>> endpoints_;
     std::vector<Segment> segments_;
-    // out_[n] / in_[n]: channel matrices to/from node n, flattened
-    // producer-major: the ring from (this, p) to (n, q) sits at
-    // out_[n][p * peer_proxies + q]; the ring from (n, p) to
-    // (this, q) sits at in_[n][p * num_proxies + q]. Empty vector:
-    // unconnected. Intra-node cross-proxy traffic uses out_[id]/
-    // in_[id] with null diagonal (a proxy serves itself directly).
-    std::vector<std::vector<std::shared_ptr<Channel>>> out_;
-    std::vector<std::vector<std::shared_ptr<Channel>>> in_;
+    /// Intra-node cross-proxy rings, flattened producer-major:
+    /// loop_[p * num_proxies + q] carries proxy p -> proxy q, null
+    /// diagonal (a proxy serves itself directly). Built lazily at
+    /// start(); inter-node wiring lives in transport_.
+    std::vector<std::shared_ptr<Channel>> loop_;
+    /// The inter-node wire path (cfg_.transport backend); null until
+    /// the first listen()/connect().
+    std::unique_ptr<net::Transport> transport_;
+    /// transport_.get() when the backend needs per-iteration pump()
+    /// calls (sockets), else null — cached at start() so the hot
+    /// loop's check is one load, not a virtual call.
+    net::Transport* io_pump_ = nullptr;
+    /// Serializes wiring (ensure_transport / on_peer_wired) against
+    /// concurrent accept threads. Cold path only.
+    std::mutex wiring_mu_;
     /// peer_proxies_[n]: num_proxies of connected node n (0 when
     /// unconnected).
     std::vector<int> peer_proxies_;

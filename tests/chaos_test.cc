@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bench/bench_wiring.h"
 #include "proxy/runtime.h"
 
 namespace {
@@ -127,7 +128,7 @@ TEST_P(ChaosTest, PutDeliversExactlyOnce)
     std::vector<uint8_t> mem1(256 * 1024, 0);
     uint16_t seg0 = t0.register_segment(mem0.data(), mem0.size());
     uint16_t seg1 = t0.register_segment(mem1.data(), mem1.size());
-    Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -193,7 +194,7 @@ TEST_P(ChaosTest, GetStreamsBackExactlyOnce)
         mem[j] = static_cast<uint8_t>(j * 11 + 3);
     uint16_t seg0 = t0.register_segment(mem.data(), mem.size());
     uint16_t seg1 = t0.register_segment(mem.data(), mem.size());
-    Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -240,7 +241,7 @@ TEST_P(ChaosTest, EnqDeliversExactlyOnceInOrderPerSender)
     Endpoint& e1 = n0.create_endpoint();
     Endpoint& r0 = n1.create_endpoint(); // proxy 0 receive ring
     Endpoint& r1 = n1.create_endpoint(); // proxy 1 receive ring
-    Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -344,7 +345,7 @@ TEST(ChaosRegression, UnreliableDropStallsCcbButTeardownIsBounded)
     Endpoint& t = n1.create_endpoint();
     std::vector<uint8_t> mem(4096, 0xab);
     uint16_t seg = t.register_segment(mem.data(), mem.size());
-    Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -392,7 +393,7 @@ TEST(ChaosRegression, RetryExhaustionDeclaresPeerUnreachable)
     Endpoint& t = n1.create_endpoint();
     std::vector<uint8_t> mem(4096, 0);
     uint16_t seg = t.register_segment(mem.data(), mem.size());
-    Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 

@@ -13,6 +13,7 @@
 
 #include "backend/factory.h"
 #include "machine/design_point.h"
+#include "bench/bench_wiring.h"
 #include "proxy/runtime.h"
 #include "rma/system.h"
 #include "sim/scheduler.h"
@@ -130,7 +131,7 @@ TEST(EdgeCases, RuntimeEnqDropsAreCounted)
     proxy::Node n1(proxy::NodeConfig{.id = 1});
     proxy::Endpoint& a = n0.create_endpoint();
     proxy::Endpoint& b = n1.create_endpoint();
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 

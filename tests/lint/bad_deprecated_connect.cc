@@ -1,0 +1,23 @@
+// Mutation corpus: msgproxy-deprecated-connect must flag this TU.
+//
+// A new use of the deprecated two-node wiring shim
+// Node::connect(Node&, Node&) outside src/proxy/ — callers must wire
+// through the addressed listen()/connect() API instead.
+
+namespace proxy {
+
+struct Node
+{
+    static void connect(Node& a, Node& b); // the deprecated shim
+    void listen(const char* addr);
+    void connect(const char* addr);
+};
+
+void
+wire_nodes(Node& a, Node& b)
+{
+    // Two arguments: the deprecated shim.
+    Node::connect(a, b);
+}
+
+} // namespace proxy

@@ -1,0 +1,40 @@
+// Mutation corpus: msgproxy-packet-custody must flag this TU.
+//
+// Transport-side variant of the container-escape rule: a link
+// borrows tx packets from the proxy, but may only hold them in the
+// sanctioned custody containers (txq_, recycled_, rx_ready_ — plus
+// the proxy's free_/deferred/stash). Parking a borrowed Packet* in
+// any other container hides it from the recycle/teardown sweeps.
+
+#include <cstdint>
+#include <deque>
+
+namespace corpus {
+
+struct Packet
+{
+    uint64_t seq = 0;
+    uint32_t tx_state = 0;
+};
+
+class WireLink
+{
+  public:
+    void queue_frame();
+
+  private:
+    Packet* next_packet();
+
+    std::deque<Packet*> outbox_;
+};
+
+void
+WireLink::queue_frame()
+{
+    Packet* p = next_packet();
+    // Borrowed pointer escaping into a container that is not one of
+    // the custody structures.
+    outbox_.push_back(p);
+}
+
+} // namespace corpus

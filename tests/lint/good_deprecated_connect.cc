@@ -1,0 +1,21 @@
+// Mutation corpus twin: the same wiring done through the addressed
+// transport API — one-argument Node::connect calls are the
+// replacement, not the shim. Must produce zero findings.
+
+namespace proxy {
+
+struct Node
+{
+    static void connect(Node& a, Node& b); // the deprecated shim
+    void listen(const char* addr);
+    void connect(const char* addr);
+};
+
+void
+wire_nodes(Node& a, Node& b)
+{
+    a.listen("inproc://good-wiring");
+    b.connect("inproc://good-wiring");
+}
+
+} // namespace proxy

@@ -1,0 +1,49 @@
+// Mutation corpus twin: a transport link holding borrowed tx
+// packets only in the sanctioned custody containers — the write
+// queue (txq_), the surrendered-pointer queue the proxy's
+// drain_returns collects (recycled_), and the staged rx queue
+// (rx_ready_). Must produce zero findings.
+
+#include <cstdint>
+#include <deque>
+
+namespace corpus {
+
+struct Packet
+{
+    uint64_t seq = 0;
+    uint32_t tx_state = 0;
+};
+
+class WireLink
+{
+  public:
+    void queue_frame();
+    void surrender_sent();
+
+  private:
+    Packet* next_packet();
+    bool wire_done(Packet** out);
+
+    std::deque<Packet*> txq_;
+    std::deque<Packet*> recycled_;
+    std::deque<Packet*> rx_ready_;
+};
+
+void
+WireLink::queue_frame()
+{
+    Packet* p = next_packet();
+    txq_.push_back(p);
+    rx_ready_.push_back(next_packet());
+}
+
+void
+WireLink::surrender_sent()
+{
+    Packet* p = nullptr;
+    while (wire_done(&p))
+        recycled_.push_back(p);
+}
+
+} // namespace corpus

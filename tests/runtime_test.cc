@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_wiring.h"
 #include "proxy/runtime.h"
 #include "spsc/ring_queue.h"
 
@@ -142,7 +143,7 @@ struct TwoNodes
     {
         ep0 = &n0.create_endpoint();
         ep1 = &n1.create_endpoint();
-        proxy::Node::connect(n0, n1);
+        benchwire::wire(n0, n1);
     }
 
     void
@@ -469,10 +470,17 @@ TEST(ProxyRuntime, FourNodeMeshRoutesCorrectly)
         segs[static_cast<size_t>(i)] = eps.back()->register_segment(
             slots[static_cast<size_t>(i)].data(), 4 * 8);
     }
-    for (int i = 0; i < 4; ++i)
-        for (int j = i + 1; j < 4; ++j)
-            proxy::Node::connect(*nodes[static_cast<size_t>(i)],
-                                 *nodes[static_cast<size_t>(j)]);
+    // Each node listens once on its own address; every later node
+    // dials every earlier one (a transport has one listen address).
+    std::vector<std::string> addrs;
+    for (int i = 0; i < 4; ++i) {
+        addrs.push_back(benchwire::unique_addr(
+            nodes[static_cast<size_t>(i)]->config().transport));
+        nodes[static_cast<size_t>(i)]->listen(addrs.back());
+        for (int j = 0; j < i; ++j)
+            nodes[static_cast<size_t>(i)]->connect(
+                addrs[static_cast<size_t>(j)]);
+    }
     for (auto& n : nodes)
         n->start();
 
@@ -517,7 +525,7 @@ TEST(ProxyRuntime, BitVectorPollingWithManyEndpoints)
     std::vector<uint64_t> slots(70, 0);
     uint16_t seg =
         sink.register_segment(slots.data(), slots.size() * 8);
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -1045,7 +1053,7 @@ TEST(ProxyRuntime, MultiProxyWorksWithScanAllAndBitVector)
             std::vector<uint64_t> slots(eps.size(), 0);
             uint16_t seg =
                 sink.register_segment(slots.data(), slots.size() * 8);
-            proxy::Node::connect(n0, n1);
+            benchwire::wire(n0, n1);
             n0.start();
             n1.start();
             proxy::Flag rsync{0};
@@ -1102,7 +1110,7 @@ TEST(ProxyRuntime, ScanAllModeStillWorks)
     proxy::Endpoint& b = n1.create_endpoint();
     std::vector<uint8_t> dst(64, 0);
     uint16_t seg = b.register_segment(dst.data(), dst.size());
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
     uint8_t v[8] = {5, 4, 3, 2, 1, 0, 9, 8};
@@ -1126,7 +1134,7 @@ TEST(ProxyWirePath, SteadyStateUsesPoolOnly)
     proxy::Endpoint& b = n1.create_endpoint();
     std::vector<uint8_t> remote(64 * 1024, 0);
     uint16_t seg = b.register_segment(remote.data(), remote.size());
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -1176,7 +1184,7 @@ TEST(ProxyWirePath, PoolDisabledFallsBackToHeap)
     proxy::Endpoint& b = n1.create_endpoint();
     std::vector<uint8_t> remote(64 * 1024, 0);
     uint16_t seg = b.register_segment(remote.data(), remote.size());
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -1212,7 +1220,7 @@ TEST(ProxyWirePath, UndersizedPoolSpillsToHeapWithoutLoss)
     proxy::Endpoint& b = n1.create_endpoint();
     std::vector<uint8_t> remote(64 * 1024, 0);
     uint16_t seg = b.register_segment(remote.data(), remote.size());
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -1256,7 +1264,7 @@ TEST(ProxyWirePath, TinyChannelDepthBackpressureNoDeadlock)
     std::vector<uint8_t> mem0(kLen, 0), mem1(kLen, 0);
     uint16_t seg0 = a.register_segment(mem0.data(), kLen);
     uint16_t seg1 = b.register_segment(mem1.data(), kLen);
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -1304,7 +1312,7 @@ TEST(ProxyWirePath, TinyCmdQueueRetryDeliversAllInOrder)
         proxy::NodeConfig{.id = 1, .cmd_queue_depth = 2});
     proxy::Endpoint& a = n0.create_endpoint();
     proxy::Endpoint& b = n1.create_endpoint();
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -1347,7 +1355,7 @@ TEST(ProxyWirePath, NewCountersSumAcrossProxies)
     std::vector<uint8_t> m0(kLen), m1(kLen);
     uint16_t sega = b0.register_segment(m0.data(), kLen); // seg 0
     uint16_t segb = b1.register_segment(m1.data(), kLen); // seg 1
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     // Queue commands on both endpoints before start() so the first
     // drain runs a deep burst (batch_max > 1 on both proxies).
     std::vector<uint8_t> src(kLen, 0x3c);
@@ -1396,7 +1404,7 @@ TEST(ProxyWirePath, MultiFragmentPutCompletesExactlyOnce)
     proxy::Endpoint& b = n1.create_endpoint();
     std::vector<uint8_t> remote(10240, 0);
     uint16_t seg = b.register_segment(remote.data(), remote.size());
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
 
@@ -1425,7 +1433,7 @@ struct TracedPair
     {
         ep0 = &n0.create_endpoint();
         ep1 = &n1.create_endpoint();
-        proxy::Node::connect(n0, n1);
+        benchwire::wire(n0, n1);
     }
 
     void
@@ -1519,7 +1527,7 @@ TEST(Observability, DisabledTracingRecordsNothing)
     proxy::Endpoint& b = n1.create_endpoint();
     std::vector<uint8_t> remote(64, 0);
     uint16_t seg = b.register_segment(remote.data(), remote.size());
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
     uint8_t src[64] = {1};
@@ -1646,7 +1654,7 @@ TEST(Observability, TraceRingWrapsWithoutLosingNewest)
     proxy::Endpoint& b = n1.create_endpoint();
     std::vector<uint8_t> remote(8, 0);
     uint16_t seg = b.register_segment(remote.data(), remote.size());
-    proxy::Node::connect(n0, n1);
+    benchwire::wire(n0, n1);
     n0.start();
     n1.start();
     uint8_t src[8] = {1};
@@ -1663,6 +1671,33 @@ TEST(Observability, TraceRingWrapsWithoutLosingNewest)
     EXPECT_EQ(n0.trace_recorded(), static_cast<uint64_t>(kOps) * 4);
     EXPECT_EQ(n0.trace_drops(), n0.trace_recorded() - 2);
     EXPECT_EQ(n0.trace_snapshot().size(), 2u);
+}
+
+// ------------------------------------------------ deprecated shim
+
+// The two-node Node::connect(Node&, Node&) shim must keep wiring
+// (back-compat coverage; everything else migrated to the addressed
+// listen()/connect() API — new uses are flagged by msgproxy_lint's
+// deprecated-connect check).
+TEST(ProxyRuntime, DeprecatedConnectShimStillWires)
+{
+    proxy::Node n0(proxy::NodeConfig{.id = 0});
+    proxy::Node n1(proxy::NodeConfig{.id = 1});
+    proxy::Endpoint& a = n0.create_endpoint();
+    proxy::Endpoint& b = n1.create_endpoint();
+    std::vector<uint8_t> remote(64, 0);
+    uint16_t seg = b.register_segment(remote.data(), remote.size());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    proxy::Node::connect(n0, n1);
+#pragma GCC diagnostic pop
+    n0.start();
+    n1.start();
+    uint8_t src[64] = {9};
+    proxy::Flag rsync{0};
+    ASSERT_TRUE(a.put(src, 1, seg, 0, sizeof(src), nullptr, &rsync));
+    proxy::flag_wait_ge(rsync, 1);
+    EXPECT_EQ(remote[0], 9);
 }
 
 } // namespace

@@ -39,6 +39,14 @@
 #              the end-to-end latency, no trace events were dropped,
 #              and the exported Chrome-trace + stats-snapshot JSON
 #              parse cleanly with no inf/nan
+#   sockets    socket-transport gate: runs the transport-labeled
+#              tests (ctest -L transport: the typed InProc/Socket
+#              runtime suite, teardown-ordering and TCP-loopback
+#              tests, seeded socket chaos), then re-runs the
+#              real-runtime scaling sweep with
+#              MSGPROXY_TRANSPORT=socket and asserts the same
+#              custody invariants as bench-smoke hold over the wire
+#              (POOL_MISSES_TOTAL=0, PKT_LEAKS_TOTAL=0)
 #   perf       full runs of bench_runtime_micro + bench_runtime_scaling
 #              and a delta report of the freshly written
 #              BENCH_runtime.json against the committed snapshot
@@ -54,7 +62,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 MODES=("$@")
-[ ${#MODES[@]} -eq 0 ] && MODES=(plain lint tsan asan ownership tidy bench-smoke obs)
+[ ${#MODES[@]} -eq 0 ] && MODES=(plain lint tsan asan ownership tidy bench-smoke sockets obs)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -189,6 +197,26 @@ for mode in "${MODES[@]}"; do
             echo "pingpong_put8 (tracing disabled): $put8_new ns vs committed $put8_old ns"
         fi
         ;;
+      sockets)
+        banner "socket transport: transport-labeled tests"
+        build_and_test build -L transport
+        banner "socket transport: wire custody gates"
+        cmake --build build -j "$JOBS" --target bench_runtime_scaling
+        sock_out=$( (cd build/bench &&
+            MSGPROXY_TRANSPORT=socket ./bench_runtime_scaling --quick) |
+            tee /dev/stderr )
+        # Same invariants as bench-smoke, now with every inter-node
+        # packet crossing a real socket: the pooled wire path must
+        # stay allocation-free and surrender every borrowed packet
+        # back to its slab after teardown.
+        for gate in POOL_MISSES_TOTAL=0 PKT_LEAKS_TOTAL=0; do
+            if ! grep -q "^$gate$" <<<"$sock_out"; then
+                echo "sockets: expected $gate over the socket transport:" >&2
+                grep "^${gate%%=*}=" <<<"$sock_out" >&2 || true
+                exit 1
+            fi
+        done
+        ;;
       obs)
         banner "observability smoke: traced GET breakdown + JSON export"
         cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
@@ -267,7 +295,7 @@ PY
         fi
         ;;
       *)
-        echo "unknown mode: $mode (expected plain|lint|tsan|asan|ownership|chaos|tidy|bench-smoke|obs|perf)" >&2
+        echo "unknown mode: $mode (expected plain|lint|tsan|asan|ownership|chaos|tidy|bench-smoke|sockets|obs|perf)" >&2
         exit 2
         ;;
     esac

@@ -2,9 +2,10 @@
 // wire-path invariants.
 //
 // This is the always-available engine behind `tools/check.sh lint`.
-// It implements the same four project checks as the clang-tidy
-// plugin in tools/lint/plugin/ (which needs LLVM/Clang dev packages
-// and is skipped, loudly, when they are absent):
+// It implements the four core checks of the clang-tidy plugin in
+// tools/lint/plugin/ (which needs LLVM/Clang dev packages and is
+// skipped, loudly, when they are absent), plus one engine-only
+// check:
 //
 //   msgproxy-hot-path-alloc   no heap allocation, mutex locking, or
 //                             blocking sleep reachable from a
@@ -19,6 +20,12 @@
 //   msgproxy-proxy-owned      fields marked MSGPROXY_PROXY_OWNED are
 //                             touched only by MSGPROXY_PROXY_CTX or
 //                             MSGPROXY_QUIESCENT functions
+//   msgproxy-deprecated-connect
+//                             no new uses of the deprecated
+//                             two-node Node::connect(Node&, Node&)
+//                             shim outside src/proxy/ (engine-only;
+//                             the compiler's [[deprecated]] warning
+//                             covers plugin builds)
 //
 // The engine is a tokenizer plus a heuristic function extractor —
 // deliberately no compiler dependency, so the gate runs on every
@@ -63,6 +70,7 @@ const char* const kHotPathAlloc = "msgproxy-hot-path-alloc";
 const char* const kPacketCustody = "msgproxy-packet-custody";
 const char* const kAtomicsOrder = "msgproxy-atomics-order";
 const char* const kProxyOwned = "msgproxy-proxy-owned";
+const char* const kDeprecatedConnect = "msgproxy-deprecated-connect";
 
 // Files (matched by path suffix) where raw memory-order literals are
 // the point: the Orders policy definitions, the instrumented atomic
@@ -73,8 +81,14 @@ const char* const kOrderAllowlist[] = {
 
 // Custody containers a raw Packet* may legitimately enter: the pool
 // free list, the deferred-request queue, the reorder stash.
-const std::set<std::string> kCustodyContainers = {"free_", "deferred",
-                                                 "stash"};
+const std::set<std::string> kCustodyContainers = {
+    "free_", "deferred", "stash",
+    // Transport-side custody: a link may hold borrowed tx packets in
+    // its write queue until the frame is on the wire (txq_), park
+    // surrendered pointers for the proxy's drain_returns (recycled_),
+    // and stage slab-owned rx slots for poll_recv (rx_ready_). All
+    // three feed back into the audited release paths.
+    "txq_", "recycled_", "rx_ready_"};
 
 struct Finding
 {
@@ -925,6 +939,54 @@ check_proxy_owned(const Project& prj, std::vector<Finding>& out)
 }
 
 // ---------------------------------------------------------------- //
+// Check 5: msgproxy-deprecated-connect                             //
+// ---------------------------------------------------------------- //
+
+// The two-node wiring shim's declaration, definition, and forwarding
+// body all live in src/proxy/; a two-argument Node::connect anywhere
+// else is a new use of the deprecated API.
+const char* const kConnectAllowlist[] = {"src/proxy/"};
+
+void
+check_deprecated_connect(const Project& prj,
+                         std::vector<Finding>& out)
+{
+    for (const FileText& ft : prj.files) {
+        bool allowed = false;
+        for (const char* a : kConnectAllowlist)
+            if (ft.relpath.find(a) != std::string::npos)
+                allowed = true;
+        if (allowed)
+            continue;
+        const std::vector<Tok>& t = ft.toks;
+        for (size_t i = 2; i + 1 < t.size(); ++i) {
+            if (t[i].s != "connect" || t[i + 1].s != "(" ||
+                t[i - 1].s != "::" || t[i - 2].s != "Node")
+                continue;
+            // Two arguments at the call's top level mark the shim;
+            // the addressed overload takes one.
+            const size_t close = match_forward(t, i + 1);
+            int depth = 0;
+            bool two_args = false;
+            for (size_t j = i + 2; j < close; ++j) {
+                if (t[j].s == "(" || t[j].s == "[")
+                    ++depth;
+                else if (t[j].s == ")" || t[j].s == "]")
+                    --depth;
+                else if (t[j].s == "," && depth == 0)
+                    two_args = true;
+            }
+            if (two_args) {
+                report(out, ft, t[i].line, kDeprecatedConnect,
+                       "deprecated two-node Node::connect(Node&, "
+                       "Node&) shim: wire with a.listen(addr) + "
+                       "b.connect(addr) (see net/transport.h)");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
 // Driver                                                           //
 // ---------------------------------------------------------------- //
 
@@ -972,6 +1034,7 @@ run_checks(const Project& prj)
     check_packet_custody(prj, out);
     check_atomics_order(prj, out);
     check_proxy_owned(prj, out);
+    check_deprecated_connect(prj, out);
     std::sort(out.begin(), out.end(),
               [](const Finding& a, const Finding& b) {
                   return std::tie(a.file, a.line, a.check) <
@@ -1004,6 +1067,12 @@ run_corpus(const fs::path& dir)
         std::string expect =
             "msgproxy-" + stem.substr(bad ? 4 : 5);
         std::replace(expect.begin(), expect.end(), '_', '-');
+        // Numbered variants (bad_packet_custody2.cc) map to their
+        // base check.
+        while (!expect.empty() &&
+               std::isdigit(
+                   static_cast<unsigned char>(expect.back())))
+            expect.pop_back();
         Project prj = load_project({p}, dir);
         std::vector<Finding> fs = run_checks(prj);
         if (bad) {
