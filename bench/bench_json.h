@@ -29,9 +29,13 @@ namespace benchjson {
 struct Record
 {
     std::string op;
-    int P = 1;
+    int P = 1; ///< proxy count — never overloaded with anything else
     double latency_ns = 0.0;
     double msgs_per_sec = 0.0;
+    /// Injected drop rate in percent (fault-sweep benches); negative
+    /// means "not a fault run" and the field is omitted from the
+    /// JSON line.
+    int drop_pct = -1;
 };
 
 /// Target path: $MSGPROXY_BENCH_JSON override, else
@@ -94,12 +98,16 @@ write(const std::string& bench, const std::vector<Record>& recs)
                                                        : 0.0;
         const double rate =
             std::isfinite(r.msgs_per_sec) ? r.msgs_per_sec : 0.0;
+        char drop[32] = "";
+        if (r.drop_pct >= 0)
+            std::snprintf(drop, sizeof(drop), ",\"drop_pct\":%d",
+                          r.drop_pct);
         char buf[256];
         std::snprintf(buf, sizeof(buf),
                       "{\"bench\":\"%s\",\"op\":\"%s\",\"P\":%d,"
-                      "\"latency_ns\":%.1f,\"msgs_per_sec\":%.1f%s}",
+                      "\"latency_ns\":%.1f,\"msgs_per_sec\":%.1f%s%s}",
                       bench.c_str(), r.op.c_str(), r.P, lat, rate,
-                      bad ? ",\"nonfinite\":true" : "");
+                      drop, bad ? ",\"nonfinite\":true" : "");
         out << (need_comma ? ",\n" : "") << buf;
         need_comma = true;
     }

@@ -37,12 +37,29 @@ transport_kind()
     return net::TransportKind::kInProc;
 }
 
+/// Stamps the placement policy into a config: benches pin proxy
+/// threads automatically (kAuto) unless MSGPROXY_PIN=0 opts out.
+/// On single-CPU hosts kAuto is a no-op (the runtime skips pinning
+/// when only one CPU is visible), so this is always safe to apply.
+inline void
+apply_placement(proxy::NodeConfig& cfg)
+{
+    const char* pin = std::getenv("MSGPROXY_PIN");
+    if (pin != nullptr && std::strcmp(pin, "0") == 0)
+        cfg.placement.pin = proxy::NodeConfig::Placement::Pin::kNone;
+    else
+        cfg.placement.pin = proxy::NodeConfig::Placement::Pin::kAuto;
+}
+
 /// Stamps the selected transport into a config (call before
-/// constructing the Node).
+/// constructing the Node). Also applies the default bench placement
+/// policy — every bench that goes through this helper exercises core
+/// pinning on multi-core hosts.
 inline void
 apply_transport(proxy::NodeConfig& cfg)
 {
     cfg.transport = transport_kind();
+    apply_placement(cfg);
 }
 
 /// Value-returning variant of apply_transport for inline Node

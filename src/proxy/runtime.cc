@@ -10,6 +10,7 @@
 #include "net/transport_inproc.h"
 #include "obs/export.h"
 #include "util/log.h"
+#include "util/topology.h"
 
 namespace proxy {
 
@@ -115,6 +116,14 @@ constexpr StatField kStatFields[] = {
      &ProxyStats::pool_returns, false},
     {"heap_frees", &NodeStats::heap_frees, &ProxyStats::heap_frees,
      false},
+    {"busy_polls", &NodeStats::busy_polls, &ProxyStats::busy_polls,
+     false},
+    {"migrations", &NodeStats::migrations, &ProxyStats::migrations,
+     false},
+    {"pkts_forwarded", &NodeStats::pkts_forwarded,
+     &ProxyStats::pkts_forwarded, false},
+    {"completions_batched", &NodeStats::completions_batched,
+     &ProxyStats::completions_batched, false},
 };
 
 /// Sums (or maxes) `p` into `acc` field by field.
@@ -270,6 +279,10 @@ Endpoint::submit(Command&& c)
         c.t_enqueue = Node::now_ns();
     if (!cmdq_.try_push(std::move(c)))
         return SubmitStatus::kQueueFull;
+    // Single-writer backlog counter (load+store, not RMW): ordered
+    // before the doorbell by note_command_posted's seq_cst fence, so
+    // any proxy that sees the doorbell also sees the new count.
+    posted_.store(posted_.load(mp::ord::counter) + 1, mp::ord::counter);
     node_.note_command_posted(id_);
     return SubmitStatus::kOk;
 }
@@ -374,6 +387,8 @@ Node::Node(const NodeConfig& cfg)
     MP_CHECK(cfg_.num_proxies >= 1 && cfg_.num_proxies <= 64,
              "num_proxies must be in [1, 64], got " << cfg_.num_proxies);
     obs_enabled_.store(cfg_.obs.enabled, mp::ord::counter);
+    comp_budget_ = std::min<size_t>(cfg_.completion_flush,
+                                    Proxy::kCompletionSlots);
     for (int p = 0; p < cfg_.num_proxies; ++p) {
         proxies_.push_back(
             std::make_unique<Proxy>(cfg_.packet_pool_size));
@@ -447,9 +462,8 @@ Node::create_endpoint()
     MP_CHECK(!running_.load(mp::ord::observe),
              "endpoints must be created before Node::start()");
     int id = static_cast<int>(endpoints_.size());
-    endpoints_.push_back(std::unique_ptr<Endpoint>(
-        new Endpoint(*this, id, id % cfg_.num_proxies,
-                     cfg_.cmd_queue_depth, cfg_.recv_ring_bytes)));
+    endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(
+        *this, id, cfg_.cmd_queue_depth, cfg_.recv_ring_bytes)));
     return *endpoints_.back();
 }
 
@@ -657,6 +671,40 @@ Node::start()
     io_pump_ = (transport_ != nullptr && transport_->needs_pump())
                    ? transport_.get()
                    : nullptr;
+    // Endpoint->proxy indirection table. Built (or grown) while
+    // quiescent; existing ownership survives a stop()/start() cycle,
+    // endpoints created since default to the static rule.
+    if (shard_map_size_ < endpoints_.size()) {
+        auto grown = std::unique_ptr<std::atomic<uint32_t>[]>(
+            new std::atomic<uint32_t>[endpoints_.size()]);
+        for (size_t e = 0; e < endpoints_.size(); ++e) {
+            uint32_t owner =
+                e < shard_map_size_
+                    ? shard_map_[e].load(mp::ord::counter)
+                    : static_cast<uint32_t>(e % P);
+            grown[e].store(owner, mp::ord::counter);
+        }
+        shard_map_ = std::move(grown);
+        shard_map_size_ = endpoints_.size();
+    }
+    // Resolve proxy-thread CPUs once (first start()): explicit list
+    // or NUMA-grouped auto-reservation; single-CPU hosts never pin.
+    if (pinned_cpus_.empty() &&
+        cfg_.placement.pin != NodeConfig::Placement::Pin::kNone) {
+        if (cfg_.placement.pin == NodeConfig::Placement::Pin::kExplicit)
+            pinned_cpus_ = cfg_.placement.proxy_cpus;
+        else if (topo::Topology::get().ncpu > 1)
+            pinned_cpus_ = topo::reserve_cpus(cfg_.num_proxies);
+    }
+    for (auto& pr : proxies_) {
+        if (!pinned_cpus_.empty())
+            pr->pin_cpu = pinned_cpus_[static_cast<size_t>(pr->index) %
+                                       pinned_cpus_.size()];
+        if (!cfg_.placement.numa_first_touch)
+            pr->pool.build(); // historical behavior: build here
+        if (pr->index == 0 && cfg_.rebalance.enabled)
+            pr->rebal_seen.resize(endpoints_.size(), 0);
+    }
     running_.store(true, mp::ord::publish);
     for (auto& pr : proxies_)
         pr->thread = std::thread([this, p = pr.get()] { proxy_main(*p); });
@@ -672,6 +720,154 @@ Node::stop()
             pr->thread.join();
             pr->owner.release(); // a restarted proxy thread re-binds
         }
+    }
+}
+
+void
+Node::setup_proxy_thread(Proxy& self)
+{
+    if (self.pin_cpu >= 0)
+        topo::pin_self_to_cpu(self.pin_cpu);
+    // First-touch the packet slab from the (now pinned) proxy
+    // thread so its pages allocate on this proxy's NUMA node.
+    // Idempotent: a restarted proxy keeps its slab.
+    self.pool.build();
+}
+
+void
+Node::migrate_endpoint(int ep, int to)
+{
+    if (ep < 0 || static_cast<size_t>(ep) >= endpoints_.size() ||
+        to < 0 || to >= cfg_.num_proxies)
+        return;
+    const int owner = endpoint_owner(ep);
+    if (owner == to)
+        return;
+    post_migration(owner, ep, to);
+}
+
+void
+Node::post_migration(int owner, int ep, int to)
+{
+    Proxy& pr = *proxies_[static_cast<size_t>(owner)];
+    {
+        std::lock_guard<std::mutex> lk(pr.mig_mu);
+        pr.mig_orders.push_back(Proxy::MigrationOrder{ep, to});
+    }
+    // Hint flag only: the mutex above is the actual synchronization
+    // for the order data; a stale 0 read just delays pickup one loop.
+    pr.mig_pending.store(1, mp::ord::counter);
+}
+
+void
+Node::process_migrations(Proxy& self)
+{
+    // Clear the hint before swapping the orders out: an order posted
+    // after the swap re-raises it, so nothing is lost — at worst one
+    // extra (empty) pass.
+    self.mig_pending.store(0, mp::ord::counter);
+    std::vector<Proxy::MigrationOrder> orders;
+    {
+        std::lock_guard<std::mutex> lk(self.mig_mu);
+        orders.swap(self.mig_orders);
+    }
+    for (const Proxy::MigrationOrder& o : orders) {
+        if (o.ep < 0 ||
+            static_cast<size_t>(o.ep) >= shard_map_size_ ||
+            o.to < 0 || o.to >= cfg_.num_proxies)
+            continue;
+        const int owner = endpoint_owner(o.ep);
+        if (owner == o.to)
+            continue; // already there (duplicate / stale order)
+        if (owner != self.index) {
+            // Ownership moved since the order was posted: re-route
+            // the order to the current owner.
+            post_migration(owner, o.ep, o.to);
+            continue;
+        }
+        Endpoint& ep = *endpoints_[static_cast<size_t>(o.ep)];
+        // Quiesce: a bounded courtesy drain of the backlog. The ring
+        // hands over wholesale (FIFO intact), so whatever remains is
+        // simply drained by the new owner after the publish below.
+        for (uint32_t i = 0; i < cfg_.cmd_burst; ++i) {
+            Command cmd;
+            if (!ep.cmdq_.try_pop(cmd))
+                break;
+            handle_command(self, ep, cmd);
+        }
+        // Handoff: publish the new owner, then unconditionally set
+        // the new owner's doorbell bit. The release RMW orders the
+        // shard_map store before the bit for whoever consumes it, so
+        // the new owner that takes this bit also sees itself as
+        // owner; our own future scans skip the endpoint and forward
+        // any stale doorbell instead.
+        shard_map_[static_cast<size_t>(o.ep)].store(
+            static_cast<uint32_t>(o.to), mp::ord::publish);
+        if (cfg_.poll_mode == PollMode::kBitVector) {
+            const uint64_t bit = uint64_t{1} << (o.ep & 63);
+            proxies_[static_cast<size_t>(o.to)]->cmd_mask.fetch_or(
+                bit, mp::ord::publish);
+        }
+        ++self.local.migrations;
+    }
+}
+
+void
+Node::maybe_rebalance(Proxy& self)
+{
+    const auto P = static_cast<size_t>(cfg_.num_proxies);
+    if (P < 2 || endpoints_.empty())
+        return;
+    if (self.rebal_seen.size() < endpoints_.size())
+        self.rebal_seen.resize(endpoints_.size(), 0);
+    // Window deltas of the per-endpoint drain counters, accumulated
+    // per owning proxy: the load picture since the last pass.
+    std::vector<uint64_t> load(P, 0);
+    std::vector<uint64_t> delta(endpoints_.size(), 0);
+    for (size_t e = 0; e < endpoints_.size(); ++e) {
+        const uint64_t d =
+            endpoints_[e]->drained_.load(mp::ord::counter);
+        delta[e] = d - self.rebal_seen[e];
+        self.rebal_seen[e] = d;
+        load[static_cast<size_t>(endpoint_owner(
+            static_cast<int>(e)))] += delta[e];
+    }
+    const NodeConfig::Rebalance& rb = cfg_.rebalance;
+    for (uint32_t move = 0; move < rb.max_moves; ++move) {
+        size_t busiest = 0, coolest = 0;
+        for (size_t p = 1; p < P; ++p) {
+            if (load[p] > load[busiest])
+                busiest = p;
+            if (load[p] < load[coolest])
+                coolest = p;
+        }
+        if (load[busiest] < rb.min_cmds)
+            return; // nobody is actually busy
+        if (static_cast<double>(load[busiest]) <
+            rb.min_ratio * static_cast<double>(load[coolest]))
+            return; // balanced enough
+        // Steal the hottest endpoint that fits strictly inside the
+        // gap, so the move shrinks the imbalance instead of flipping
+        // it.
+        const uint64_t gap = load[busiest] - load[coolest];
+        size_t pick = endpoints_.size();
+        for (size_t e = 0; e < endpoints_.size(); ++e) {
+            if (delta[e] == 0 || delta[e] >= gap)
+                continue;
+            if (endpoint_owner(static_cast<int>(e)) !=
+                static_cast<int>(busiest))
+                continue;
+            if (pick == endpoints_.size() || delta[e] > delta[pick])
+                pick = e;
+        }
+        if (pick == endpoints_.size())
+            return; // one giant endpoint: moving it cannot help
+        post_migration(static_cast<int>(busiest),
+                       static_cast<int>(pick),
+                       static_cast<int>(coolest));
+        load[busiest] -= delta[pick];
+        load[coolest] += delta[pick];
+        delta[pick] = 0;
     }
 }
 
@@ -730,6 +926,18 @@ Node::stats_snapshot() const
     }
     if (snap.batch.count > 0)
         finish_latency(snap.batch);
+    for (const NodeStats& ps : snap.per_proxy)
+        snap.utilization.push_back(
+            ps.polls > 0 ? static_cast<double>(ps.busy_polls) /
+                               static_cast<double>(ps.polls)
+                         : 0.0);
+    snap.endpoints_owned.assign(snap.per_proxy.size(), 0);
+    for (size_t e = 0; e < endpoints_.size(); ++e) {
+        const auto p = static_cast<size_t>(
+            endpoint_owner(static_cast<int>(e)));
+        if (p < snap.endpoints_owned.size())
+            ++snap.endpoints_owned[p];
+    }
     return snap;
 }
 
@@ -766,7 +974,19 @@ Node::dump_json(std::ostream& os) const
     }
     os << "],\"batch\":";
     latency_json(os, snap.batch);
-    os << ",\"trace\":{\"recorded\":" << snap.trace_recorded
+    os << ",\"utilization\":[";
+    for (size_t p = 0; p < snap.utilization.size(); ++p) {
+        if (p > 0)
+            os << ",";
+        obs::json_num(os, snap.utilization[p]);
+    }
+    os << "],\"endpoints_owned\":[";
+    for (size_t p = 0; p < snap.endpoints_owned.size(); ++p) {
+        if (p > 0)
+            os << ",";
+        os << snap.endpoints_owned[p];
+    }
+    os << "],\"trace\":{\"recorded\":" << snap.trace_recorded
        << ",\"drops\":" << snap.trace_drops
        << ",\"capacity\":" << snap.trace_capacity << "}}";
 }
@@ -1071,6 +1291,11 @@ Node::push_port(Proxy& self, const TxPort& port, PacketRef ref)
     // not spin us forever (the single-drop regression of ISSUE 4).
     if (ref.retained)
         ref.p->tx_state |= kTxInFlight;
+    // Entering a potentially long wait: completions already earned
+    // this iteration must not be held hostage to a full peer ring (a
+    // user thread may be spin-waiting on one of these flags).
+    if (self.comp_n != 0 && port_full(port))
+        flush_completions(self);
     Backoff bo(cfg_.poll);
     uint64_t spins = 0;
     while (port_full(port)) {
@@ -1221,6 +1446,8 @@ Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
         // shutdown).
         Backoff bo(cfg_.poll);
         uint64_t spins = 0;
+        if (self.comp_n != 0 && lk->win.full())
+            flush_completions(self); // see push_port's stall flush
         while (lk->win.full() && !lk->dead) {
             ++spins;
             if (stall_debug() && (spins & ((1u << 20) - 1)) == 0)
@@ -1454,6 +1681,10 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
 {
     self.owner.assert_owner("Node command handling (proxy thread only)");
     ++self.local.commands;
+    // Load accounting for the rebalancer / doorbell forward rule
+    // (single-writer while we own the shard; load+store, not RMW).
+    ep.drained_.store(ep.drained_.load(mp::ord::counter) + 1,
+                      mp::ord::counter);
     const int dst_p = peer_proxy_count(cmd.dst_node);
     const bool traced = cmd.tid != 0 && obs_on();
     const obs::OpKind opk = op_kind(cmd.op);
@@ -1517,8 +1748,7 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
             self.op_hist[static_cast<int>(opk)].add(t_out -
                                                     cmd.t_submit);
         }
-        if (cmd.lsync != nullptr)
-            cmd.lsync->fetch_add(1, mp::ord::publish);
+        note_completion(self, cmd.lsync, 1);
         break;
       }
       case Command::Op::kGet: {
@@ -1579,8 +1809,15 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
         if (cmd.len > 0)
             std::memcpy(pkt->payload, cmd.inline_data, cmd.len);
         // Route to the proxy that owns the receiving endpoint: it is
-        // the single producer of that receive ring.
-        send_packet(self, cmd.dst_node, cmd.dst_user % dst_p, ref);
+        // the single producer of that receive ring. Loopback reads
+        // the live shard map (local endpoints migrate); remote nodes
+        // keep the static rule and the receiver forwards if its map
+        // disagrees (handle_packet's kEnqData).
+        const int enq_prox =
+            cmd.dst_node == cfg_.id
+                ? endpoint_owner(cmd.dst_user)
+                : cmd.dst_user % dst_p;
+        send_packet(self, cmd.dst_node, enq_prox, ref);
         if (traced) {
             const uint64_t t_out = now_ns();
             trace_stage(self, t_out, cmd.tid, obs::Stage::kWireOut,
@@ -1588,8 +1825,7 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
             self.op_hist[static_cast<int>(opk)].add(t_out -
                                                     cmd.t_submit);
         }
-        if (cmd.lsync != nullptr)
-            cmd.lsync->fetch_add(1, mp::ord::publish);
+        note_completion(self, cmd.lsync, 1);
         break;
       }
       case Command::Op::kRqEnq: {
@@ -1616,8 +1852,7 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
             self.op_hist[static_cast<int>(opk)].add(t_out -
                                                     cmd.t_submit);
         }
-        if (cmd.lsync != nullptr)
-            cmd.lsync->fetch_add(1, mp::ord::publish);
+        note_completion(self, cmd.lsync, 1);
         break;
       }
       case Command::Op::kRqDeq: {
@@ -1686,8 +1921,8 @@ Node::handle_packet(Proxy& self, Packet& pkt)
             std::memcpy(seg.base + pkt.off, pkt.payload, pkt.len);
         if ((pkt.flags & 1) != 0 && pkt.ccb != 0) {
             // rsync flag lives in this node's address space.
-            reinterpret_cast<Flag*>(pkt.ccb)->fetch_add(
-                1, mp::ord::publish);
+            note_completion(self, reinterpret_cast<Flag*>(pkt.ccb),
+                            1);
         }
         if ((pkt.flags & 1) != 0 && pkt.tid != 0 && obs_on())
             trace_stage(self, now_ns(), pkt.tid,
@@ -1778,9 +2013,7 @@ Node::handle_packet(Proxy& self, Packet& pkt)
         }
         ccb.remaining -= std::min(ccb.remaining, pkt.len);
         if ((pkt.flags & 1) != 0) {
-            if (ccb.lsync != nullptr) {
-                ccb.lsync->fetch_add(1, mp::ord::publish);
-            }
+            note_completion(self, ccb.lsync, 1);
             if (traced) {
                 const uint64_t t_done = now_ns();
                 trace_stage(self, t_done, pkt.tid,
@@ -1802,9 +2035,17 @@ Node::handle_packet(Proxy& self, Packet& pkt)
             ++self.local.faults;
             return;
         }
-        MP_CHECK(endpoints_[user]->proxy() == self.index,
-                 "ENQ routed to a proxy that does not own endpoint "
-                     << user);
+        // A migrated endpoint can leave remote senders (static rule)
+        // or in-flight loopback packets aimed at a stale owner:
+        // re-aim at the live owner instead of touching a receive
+        // ring we no longer produce into.
+        const int ep_owner = endpoint_owner(static_cast<int>(user));
+        if (ep_owner != self.index) {
+            PacketRef fwd = clone_packet(self, pkt);
+            send_packet(self, cfg_.id, ep_owner, fwd);
+            ++self.local.pkts_forwarded;
+            break;
+        }
         if (!endpoints_[user]->recvq_.try_push(pkt.payload, pkt.len))
             ++self.local.enq_drops;
         if (pkt.tid != 0 && obs_on())
@@ -1886,10 +2127,7 @@ Node::handle_packet(Proxy& self, Packet& pkt)
         }
         if (pkt.len > 0)
             std::memcpy(ccb.dst, pkt.payload, pkt.len);
-        if (ccb.lsync != nullptr) {
-            ccb.lsync->fetch_add(1 + pkt.len,
-                                 mp::ord::publish);
-        }
+        note_completion(self, ccb.lsync, 1 + pkt.len);
         if (traced) {
             const uint64_t t_done = now_ns();
             trace_stage(self, t_done, pkt.tid, obs::Stage::kComplete,
@@ -1934,13 +2172,18 @@ Node::publish_stats(Proxy& self)
     s.crc_fail.store(l.crc_fail, mp::ord::counter);
     s.pool_returns.store(l.pool_returns, mp::ord::counter);
     s.heap_frees.store(l.heap_frees, mp::ord::counter);
+    s.busy_polls.store(l.busy_polls, mp::ord::counter);
+    s.migrations.store(l.migrations, mp::ord::counter);
+    s.pkts_forwarded.store(l.pkts_forwarded, mp::ord::counter);
+    s.completions_batched.store(l.completions_batched,
+                                mp::ord::counter);
 }
 
 void
 Node::proxy_main(Proxy& self)
 {
     self.owner.bind(); // sole owner of this proxy's shard of state
-    const auto P = static_cast<size_t>(cfg_.num_proxies);
+    setup_proxy_thread(self); // pin + NUMA first-touch
     const auto me = static_cast<size_t>(self.index);
     const auto cmd_burst = static_cast<int>(cfg_.cmd_burst);
     Backoff bo(cfg_.poll);
@@ -1978,6 +2221,13 @@ Node::proxy_main(Proxy& self)
             progressed = true;
         }
 
+        // Endpoint handoffs ordered at this proxy (cold: one relaxed
+        // load when the mailbox is empty).
+        if (self.mig_pending.load(mp::ord::counter) != 0) {
+            process_migrations(self);
+            progressed = true;
+        }
+
         if (cfg_.poll_mode == PollMode::kBitVector) {
             // One probe covers every command queue of this proxy:
             // consume the mask, then drain exactly the flagged
@@ -1996,14 +2246,23 @@ Node::proxy_main(Proxy& self)
             while (mask != 0) {
                 int b = __builtin_ctzll(mask);
                 mask &= mask - 1;
-                // Beyond 64 endpoints per proxy the bits alias
-                // (local index mod 64): drain every endpoint of this
-                // proxy sharing this bit.
-                for (size_t k = static_cast<size_t>(b);; k += 64) {
-                    size_t e = me + k * P;
-                    if (e >= endpoints_.size())
-                        break;
+                // Bit index is endpoint id mod 64: beyond 64
+                // endpoints the bits alias, so visit every endpoint
+                // sharing this bit. Drain the ones we own; for the
+                // ones we don't (a producer read a stale owner
+                // mid-migration), re-aim the doorbell at the live
+                // owner when the endpoint actually has backlog.
+                for (size_t e = static_cast<size_t>(b);
+                     e < endpoints_.size(); e += 64) {
                     Endpoint& ep = *endpoints_[e];
+                    const int own =
+                        endpoint_owner(static_cast<int>(e));
+                    if (own != self.index) {
+                        if (ep.posted_.load(mp::ord::counter) !=
+                            ep.drained_.load(mp::ord::counter))
+                            ring_doorbell(own, static_cast<int>(e));
+                        continue;
+                    }
                     Command cmd;
                     int budget = cmd_burst;
                     while (budget-- > 0 && ep.cmdq_.try_pop(cmd)) {
@@ -2011,11 +2270,16 @@ Node::proxy_main(Proxy& self)
                         progressed = true;
                     }
                     if (!ep.cmdq_.empty())
-                        self.carry_mask |= uint64_t{1} << (k & 63);
+                        self.carry_mask |= uint64_t{1} << b;
                 }
             }
         } else {
-            for (size_t e = me; e < endpoints_.size(); e += P) {
+            // Scan-all mode has no doorbells to re-aim: just honor
+            // the live shard map.
+            for (size_t e = 0; e < endpoints_.size(); ++e) {
+                if (endpoint_owner(static_cast<int>(e)) !=
+                    self.index)
+                    continue;
                 Endpoint& ep = *endpoints_[e];
                 Command cmd;
                 int budget = cmd_burst;
@@ -2044,6 +2308,21 @@ Node::proxy_main(Proxy& self)
                    /*idle=*/self.idle_polls >=
                        cfg_.reliability.ack_idle_polls);
 
+        // Apply the iteration's coalesced completion-flag increments
+        // in one pass: cross-proxy completion traffic (acks, CCB
+        // retirements, rsync bumps) costs one release RMW per
+        // distinct flag per loop instead of one per event.
+        if (self.comp_n != 0)
+            flush_completions(self);
+
+        // Slow-path work stealing: proxy 0 reads the per-endpoint
+        // drain counters once per window and orders migrations off
+        // the most loaded proxy.
+        if (cfg_.rebalance.enabled && me == 0 &&
+            cfg_.rebalance.window_polls != 0 &&
+            (self.local.polls % cfg_.rebalance.window_polls) == 0)
+            maybe_rebalance(self);
+
         const uint64_t batch =
             self.local.commands + self.local.packets_in - before;
         if (batch > self.local.batch_max)
@@ -2053,6 +2332,8 @@ Node::proxy_main(Proxy& self)
         if (batch > 0 && obs_on())
             self.batch_hist.add(batch);
 
+        if (progressed)
+            ++self.local.busy_polls;
         if (progressed || self.carry_mask != 0) {
             bo.reset();
             was_idle = false;

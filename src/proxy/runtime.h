@@ -16,14 +16,20 @@
 ///
 /// Multi-proxy sharding (Section 5.4's "multiple message proxies may
 /// help", mirroring the simulator's `SystemConfig::proxies_per_node`):
-/// a Node runs `NodeConfig::num_proxies` proxy threads. Endpoints are
-/// statically partitioned across proxies with the simulator's rule
-/// (proxy = endpoint id mod num_proxies); remote queues likewise
+/// a Node runs `NodeConfig::num_proxies` proxy threads. Endpoints
+/// start partitioned with the simulator's rule (proxy = endpoint id
+/// mod num_proxies) but the binding is an indirection table
+/// (`shard_map_`) and per-endpoint ownership can migrate between
+/// proxies at runtime (Node::migrate_endpoint, or automatically via
+/// NodeConfig::Rebalance work stealing). Remote queues stay static
 /// (proxy = qid mod num_proxies). Every SPSC ring end keeps exactly
-/// one owner: each (sending proxy, receiving proxy) pair of connected
-/// nodes gets its own packet channel, so two proxies never contend on
-/// one ring end, and each proxy has a private CCB table, command
-/// bit-vector, and deferred-request queue.
+/// one owner at a time: each (sending proxy, receiving proxy) pair of
+/// connected nodes gets its own packet channel, so two proxies never
+/// contend on one ring end, and each proxy has a private CCB table,
+/// command bit-vector, and deferred-request queue. Proxy threads can
+/// be pinned to cores and their hot state placed NUMA-locally via
+/// NodeConfig::Placement (see DESIGN.md "Placement & load
+/// balancing").
 ///
 /// Remote addresses are (node, segment, offset) triples, mirroring
 /// the paper's asid-relative addressing.
@@ -252,6 +258,20 @@ struct ProxyStats
     /// Heap-fallback packets deleted. Pairs with pool_misses the same
     /// way pool_returns pairs with pool_hits.
     std::atomic<uint64_t> heap_frees{0};
+    /// Loop iterations that made progress (drained a command, packet,
+    /// or link event). busy_polls / polls is the utilization gauge
+    /// that stats_snapshot() exposes per proxy.
+    std::atomic<uint64_t> busy_polls{0};
+    /// Endpoint ownership handoffs this proxy executed (as the old
+    /// owner): explicit migrate_endpoint() orders plus rebalancer
+    /// steals.
+    std::atomic<uint64_t> migrations{0};
+    /// Packets re-aimed at another local proxy because they arrived
+    /// at a stale owner during migration (ENQ forwards).
+    std::atomic<uint64_t> pkts_forwarded{0};
+    /// Completion-flag increments coalesced by the cross-proxy
+    /// completion batcher (deferred then flushed in one pass).
+    std::atomic<uint64_t> completions_batched{0};
 };
 
 /// Node-wide counter snapshot: the sum of every proxy's ProxyStats
@@ -278,6 +298,10 @@ struct NodeStats
     uint64_t crc_fail = 0;
     uint64_t pool_returns = 0;
     uint64_t heap_frees = 0;
+    uint64_t busy_polls = 0;
+    uint64_t migrations = 0;
+    uint64_t pkts_forwarded = 0;
+    uint64_t completions_batched = 0;
 };
 
 /// Completion-latency distribution of one op kind, extracted from
@@ -317,6 +341,12 @@ struct NodeSnapshot
     uint64_t trace_recorded = 0;
     uint64_t trace_drops = 0;
     size_t trace_capacity = 0;
+    /// Per-proxy busy-loop fraction (busy_polls / polls, 0 when the
+    /// proxy has not polled yet). Load imbalance in one glance.
+    std::vector<double> utilization;
+    /// Per-proxy count of endpoints currently owned (shard_map scan
+    /// at snapshot time; approximate while migrations are in flight).
+    std::vector<uint32_t> endpoints_owned;
 };
 
 /// Node construction parameters, mirroring rma::SystemConfig for the
@@ -327,8 +357,10 @@ struct NodeConfig
     int id = 0;
     PollMode poll_mode = PollMode::kBitVector;
     /// Proxy threads on this node (1..64). Endpoints and remote
-    /// queues are statically sharded across them: proxy = id mod
-    /// num_proxies, the simulator's partitioning rule.
+    /// queues start sharded across them with the simulator's
+    /// partitioning rule (proxy = id mod num_proxies); endpoint
+    /// ownership can then migrate (see Rebalance and
+    /// Node::migrate_endpoint).
     int num_proxies = 1;
     /// Per-endpoint command-queue depth in entries (rounded up to a
     /// power of two).
@@ -371,6 +403,48 @@ struct NodeConfig
     /// stream sockets between proxies). listen()/connect() addresses
     /// must match the selected backend's schemes.
     net::TransportKind transport = net::TransportKind::kInProc;
+    /// Where proxy threads run and where their hot state lives.
+    struct Placement
+    {
+        enum class Pin : uint8_t
+        {
+            kNone,    ///< no affinity (the historical behavior)
+            kAuto,    ///< NUMA-grouped CPUs from topo::reserve_cpus
+            kExplicit ///< pin proxy i to proxy_cpus[i]
+        };
+        Pin pin = Pin::kNone;
+        /// kExplicit: CPU per proxy (proxy i -> proxy_cpus[i % size]).
+        std::vector<int> proxy_cpus;
+        /// Allocate each proxy's packet slab from its own thread
+        /// (first-touch places the pages on the proxy's NUMA node
+        /// when pinned). Costs one deferred allocation per proxy at
+        /// startup; no effect on the steady-state path.
+        bool numa_first_touch = true;
+    };
+    Placement placement{};
+    /// Slow-path work stealing: proxy 0 periodically compares
+    /// per-proxy drain rates and migrates the hottest endpoint off an
+    /// overloaded proxy. Off by default (explicit migrate_endpoint()
+    /// always works regardless).
+    struct Rebalance
+    {
+        bool enabled = false;
+        /// Rebalance cadence in proxy-0 loop iterations.
+        uint32_t window_polls = 4096;
+        /// Steal only when busiest load >= min_ratio * coolest load.
+        double min_ratio = 2.0;
+        /// ...and the busiest proxy drained at least this many
+        /// commands in the window (don't shuffle idle nodes).
+        uint64_t min_cmds = 256;
+        /// Endpoint moves per rebalance pass.
+        uint32_t max_moves = 1;
+    };
+    Rebalance rebalance{};
+    /// Cross-proxy completion batching: a proxy defers up to this
+    /// many user-visible completion-flag increments per loop
+    /// iteration and flushes them in one pass (mirrors pkt_burst for
+    /// the ack path). 0 completes singly, 1..8 batches; clamped to 8.
+    uint32_t completion_flush = 8;
 };
 
 class Node;
@@ -444,8 +518,9 @@ class Endpoint
     /// Owning node id.
     int node() const;
 
-    /// Index of the proxy thread that serves this endpoint.
-    int proxy() const { return proxy_; }
+    /// Index of the proxy thread that currently serves this endpoint
+    /// (can change via Node::migrate_endpoint / work stealing).
+    int proxy() const;
 
     /// Diagnostic flag bumped on protection faults observed locally.
     Flag& fault_flag() { return faults_; }
@@ -463,10 +538,8 @@ class Endpoint
   private:
     friend class Node;
 
-    Endpoint(Node& node, int id, int proxy, size_t cmd_depth,
-             size_t recv_bytes)
-        : node_(node), id_(id), proxy_(proxy), cmdq_(cmd_depth),
-          recvq_(recv_bytes)
+    Endpoint(Node& node, int id, size_t cmd_depth, size_t recv_bytes)
+        : node_(node), id_(id), cmdq_(cmd_depth), recvq_(recv_bytes)
     {
     }
 
@@ -476,9 +549,17 @@ class Endpoint
 
     Node& node_;
     int id_;
-    int proxy_; ///< owning proxy index (id_ mod num_proxies)
     spsc::DynRingQueue<Command> cmdq_;
     spsc::DynMsgRing recvq_;
+    /// Commands accepted into cmdq_ (single-writer: the user thread;
+    /// relaxed load+store). posted_ - drained_ approximates the
+    /// endpoint's backlog without touching the ring's private cursors
+    /// — the doorbell forward rule and the rebalancer both read it
+    /// from other threads.
+    std::atomic<uint64_t> posted_{0};
+    /// Commands consumed from cmdq_ (single-writer: the owning proxy
+    /// — unique by the shard handoff protocol; relaxed load+store).
+    std::atomic<uint64_t> drained_{0};
     Flag faults_{0};
     /// Lint: the one user thread allowed to produce into cmdq_.
     check::ThreadOwner cmd_owner_;
@@ -505,9 +586,33 @@ class Node : private net::TransportHost
     Node(const Node&) = delete;
     Node& operator=(const Node&) = delete;
 
-    /// Creates a user endpoint (before start()). Endpoint i is
-    /// served by proxy i mod num_proxies.
+    /// Creates a user endpoint (before start()). Endpoint i starts
+    /// on proxy i mod num_proxies; ownership can migrate later.
     MSGPROXY_QUIESCENT Endpoint& create_endpoint();
+
+    /// Current owning proxy of endpoint `ep` — the shard_map read.
+    /// Before start() (no shard map yet) this is the static rule.
+    /// Approximate from non-proxy threads while a migration is in
+    /// flight; every stale answer is corrected by the doorbell
+    /// forward rule.
+    MSGPROXY_HOT_PATH int
+    endpoint_owner(int ep) const
+    {
+        const size_t e = static_cast<size_t>(ep);
+        if (e >= shard_map_size_)
+            return ep % cfg_.num_proxies;
+        return static_cast<int>(shard_map_[e].load(mp::ord::observe));
+    }
+
+    /// Asynchronously moves endpoint `ep` to proxy `to`: posts a
+    /// migration order to the current owner, which quiesces the
+    /// endpoint (drains a bounded burst of its in-flight commands),
+    /// publishes the new owner, and re-aims the doorbell. Safe while
+    /// traffic is in flight from any thread; a no-op when `to`
+    /// already owns `ep` or either index is out of range. Requires a
+    /// running node (orders posted while stopped are consumed at the
+    /// next start()).
+    void migrate_endpoint(int ep, int to);
 
     /// Creates a proxy-managed remote queue on this node (before
     /// start()); returns its id. Any endpoint on any connected node
@@ -636,11 +741,22 @@ class Node : private net::TransportHost
     class PacketPool
     {
       public:
-        explicit PacketPool(size_t cap)
-            : slab_(cap > 0 ? new Packet[cap] : nullptr), cap_(cap)
+        /// Records the capacity only; the slab is allocated by
+        /// build() so the owning proxy thread can first-touch it
+        /// (NUMA locality when pinned). Until build() runs, try_get
+        /// reports empty and callers fall back to the heap.
+        explicit PacketPool(size_t cap) : cap_(cap) {}
+
+        /// Allocates the slab and free list. Idempotent; call from
+        /// the thread whose NUMA node should own the pages.
+        void
+        build()
         {
-            free_.reserve(cap);
-            for (size_t i = 0; i < cap; ++i)
+            if (slab_ != nullptr || cap_ == 0)
+                return;
+            slab_.reset(new Packet[cap_]);
+            free_.reserve(cap_);
+            for (size_t i = 0; i < cap_; ++i)
                 free_.push_back(&slab_[i]);
         }
 
@@ -795,6 +911,10 @@ class Node : private net::TransportHost
         uint64_t crc_fail = 0;
         uint64_t pool_returns = 0;
         uint64_t heap_frees = 0;
+        uint64_t busy_polls = 0;
+        uint64_t migrations = 0;
+        uint64_t pkts_forwarded = 0;
+        uint64_t completions_batched = 0;
     };
 
     /// Per-proxy-thread state: everything exactly one proxy owns.
@@ -861,10 +981,49 @@ class Node : private net::TransportHost
         /// owned by the thread bound at proxy_main entry.
         check::ThreadOwner owner;
         std::thread thread;
+
+        // ----- placement -------------------------------------------
+        /// CPU this proxy pins to at thread start (-1: unpinned).
+        MSGPROXY_PROXY_OWNED int pin_cpu = -1;
+
+        // ----- endpoint migration mailbox --------------------------
+        /// Pending migration orders for this proxy (any thread posts;
+        /// the proxy swaps the vector out under mig_mu). Deliberately
+        /// NOT proxy-owned: it is the one cross-thread door into the
+        /// migration path.
+        std::atomic<uint32_t> mig_pending{0};
+        std::mutex mig_mu;
+        struct MigrationOrder
+        {
+            int ep;
+            int to;
+        };
+        std::vector<MigrationOrder> mig_orders;
+
+        // ----- cross-proxy completion batching ---------------------
+        static constexpr size_t kCompletionSlots = 8;
+        struct PendingCompletion
+        {
+            Flag* flag;
+            uint64_t amount;
+        };
+        /// Completion-flag increments deferred within one loop
+        /// iteration (note_completion), flushed in one pass at
+        /// iteration end or when the slots fill.
+        MSGPROXY_PROXY_OWNED PendingCompletion
+            comp_pend[kCompletionSlots] = {};
+        MSGPROXY_PROXY_OWNED size_t comp_n = 0;
+
+        // ----- work stealing (proxy 0 only) ------------------------
+        /// drained_ counter per endpoint at the last rebalance pass:
+        /// the window-delta baseline.
+        MSGPROXY_PROXY_OWNED std::vector<uint64_t> rebal_seen;
     };
 
-    /// Producer-side half of the bit-vector protocol: marks endpoint
-    /// `user` as having pending commands (no-op in kScanAll mode).
+    /// Rings proxy `proxy`'s doorbell for endpoint `user`. The bit
+    /// index is `user & 63` — owner-independent, so a doorbell stays
+    /// meaningful when the endpoint migrates and any proxy can re-aim
+    /// one at the new owner by calling this again.
     ///
     /// The fast path is a plain load: when the bit is already set the
     /// RMW is skipped entirely, so two producers hammering the same
@@ -878,17 +1037,27 @@ class Node : private net::TransportHost
     /// before the mask probe; the proxy's exchange is an RMW and
     /// therefore already totally ordered against it.
     MSGPROXY_HOT_PATH void
-    note_command_posted(int user)
+    ring_doorbell(int proxy, int user)
     {
-        if (cfg_.poll_mode != PollMode::kBitVector)
-            return;
-        int p = user % cfg_.num_proxies;
-        uint64_t bit = uint64_t{1} << ((user / cfg_.num_proxies) & 63);
-        auto& mask = proxies_[static_cast<size_t>(p)]->cmd_mask;
+        uint64_t bit = uint64_t{1} << (user & 63);
+        auto& mask = proxies_[static_cast<size_t>(proxy)]->cmd_mask;
         std::atomic_thread_fence(mp::ord::barrier);
         if ((mask.load(mp::ord::fenced) & bit) != 0)
             return; // doorbell already rung
         mask.fetch_or(bit, mp::ord::publish);
+    }
+
+    /// Producer-side half of the bit-vector protocol: marks endpoint
+    /// `user` as having pending commands at its current owner (no-op
+    /// in kScanAll mode). A stale owner read races benignly with
+    /// migration: the old owner's drain finds the non-owned doorbell
+    /// and forwards it (see proxy_main's forward rule).
+    MSGPROXY_HOT_PATH void
+    note_command_posted(int user)
+    {
+        if (cfg_.poll_mode != PollMode::kBitVector)
+            return;
+        ring_doorbell(endpoint_owner(user), user);
     }
 
     /// True when dst_node names this node or a connected peer (the
@@ -982,6 +1151,60 @@ class Node : private net::TransportHost
     void on_peer_wired(int peer_node, int peer_proxies) override;
     /// Copies self's LocalStats into the atomic ProxyStats.
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX static void publish_stats(Proxy& self);
+    /// Thread-start placement: pins self to its CPU (if configured)
+    /// and first-touches the packet slab so its pages land on the
+    /// proxy's NUMA node. Runs once per start() per proxy (cold:
+    /// exempt from the hot-path allocation lint).
+    MSGPROXY_HOT_EXEMPT MSGPROXY_PROXY_CTX void
+    setup_proxy_thread(Proxy& self);
+    /// Drops a migration order into `owner`'s mailbox and nudges its
+    /// doorbell path (any thread; cold).
+    void post_migration(int owner, int ep, int to);
+    /// Executes self's pending migration orders: quiesce-and-handoff
+    /// of each named endpoint (bounded courtesy drain, shard_map
+    /// publish, doorbell re-aim). The sanctioned cross-shard
+    /// migration site, like the MSGPROXY_QUIESCENT wiring phase;
+    /// cold, so exempt from the hot-path allocation lint.
+    MSGPROXY_HOT_EXEMPT MSGPROXY_PROXY_CTX void
+    process_migrations(Proxy& self);
+    /// Slow-path work stealing (proxy 0, every
+    /// rebalance.window_polls iterations): migrates the hottest
+    /// endpoint off the most loaded proxy when the imbalance exceeds
+    /// rebalance.min_ratio. Cold by construction (windowed).
+    MSGPROXY_HOT_EXEMPT MSGPROXY_PROXY_CTX void
+    maybe_rebalance(Proxy& self);
+    /// Defers a completion-flag increment into self's batch (or
+    /// applies it directly when batching is off / the flag is null).
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void
+    note_completion(Proxy& self, Flag* flag, uint64_t amount)
+    {
+        if (flag == nullptr)
+            return;
+        if (comp_budget_ == 0) {
+            flag->fetch_add(amount, mp::ord::publish);
+            return;
+        }
+        for (size_t i = 0; i < self.comp_n; ++i) {
+            if (self.comp_pend[i].flag == flag) {
+                self.comp_pend[i].amount += amount;
+                ++self.local.completions_batched;
+                return;
+            }
+        }
+        if (self.comp_n == comp_budget_)
+            flush_completions(self);
+        self.comp_pend[self.comp_n++] = {flag, amount};
+        ++self.local.completions_batched;
+    }
+    /// Applies every deferred completion increment in one pass.
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void
+    flush_completions(Proxy& self)
+    {
+        for (size_t i = 0; i < self.comp_n; ++i)
+            self.comp_pend[i].flag->fetch_add(self.comp_pend[i].amount,
+                                              mp::ord::publish);
+        self.comp_n = 0;
+    }
     /// One proxy's published counters as a NodeStats (the summing /
     /// per-proxy building block of stats() and stats_snapshot()).
     static NodeStats read_proxy_stats(const ProxyStats& s);
@@ -1003,8 +1226,21 @@ class Node : private net::TransportHost
     }
 
     NodeConfig cfg_;
+    /// cfg_.completion_flush clamped to Proxy::kCompletionSlots,
+    /// cached so note_completion branches on a plain member.
+    size_t comp_budget_ = 0;
     std::vector<std::unique_ptr<Proxy>> proxies_;
     std::vector<std::unique_ptr<Endpoint>> endpoints_;
+    /// shard_map_[e]: owning proxy of endpoint e. Sized at start()
+    /// (grows across restarts, ownership survives); endpoint_owner
+    /// falls back to the static rule for endpoints beyond
+    /// shard_map_size_ — i.e. before the first start(). Owners write
+    /// with mp::ord::publish at handoff; everyone reads with observe.
+    std::unique_ptr<std::atomic<uint32_t>[]> shard_map_;
+    size_t shard_map_size_ = 0;
+    /// Resolved CPU per proxy (empty: unpinned), built at first
+    /// start() from cfg_.placement.
+    std::vector<int> pinned_cpus_;
     std::vector<Segment> segments_;
     /// Intra-node cross-proxy rings, flattened producer-major:
     /// loop_[p * num_proxies + q] carries proxy p -> proxy q, null
@@ -1038,6 +1274,12 @@ class Node : private net::TransportHost
     /// Trace-id allocator (make_tid).
     std::atomic<uint64_t> next_tid_{1};
 };
+
+inline int
+Endpoint::proxy() const
+{
+    return node_.endpoint_owner(id_);
+}
 
 } // namespace proxy
 

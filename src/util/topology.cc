@@ -1,0 +1,144 @@
+#include "util/topology.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace topo {
+
+std::vector<int>
+parse_cpulist(const char* s)
+{
+    std::vector<int> out;
+    if (s == nullptr)
+        return out;
+    const char* p = s;
+    while (*p != '\0' && *p != '\n') {
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            return {};
+        char* end = nullptr;
+        long lo = std::strtol(p, &end, 10);
+        long hi = lo;
+        p = end;
+        if (*p == '-') {
+            ++p;
+            if (!std::isdigit(static_cast<unsigned char>(*p)))
+                return {};
+            hi = std::strtol(p, &end, 10);
+            p = end;
+        }
+        if (lo < 0 || hi < lo)
+            return {};
+        for (long c = lo; c <= hi; ++c)
+            out.push_back(static_cast<int>(c));
+        if (*p == ',')
+            ++p;
+        else if (*p != '\0' && *p != '\n')
+            return {};
+    }
+    return out;
+}
+
+namespace {
+
+Topology
+discover()
+{
+    Topology t;
+    const unsigned hw = std::thread::hardware_concurrency();
+    t.ncpu = hw > 0 ? static_cast<int>(hw) : 1;
+#if defined(__linux__)
+    // One directory per NUMA node; each names its CPUs in cpulist
+    // format. Probe node ids densely from 0 — sysfs numbers them
+    // contiguously on every kernel we care about, and a probe miss
+    // simply ends discovery.
+    for (int n = 0;; ++n) {
+        std::ifstream f("/sys/devices/system/node/node" +
+                        std::to_string(n) + "/cpulist");
+        if (!f)
+            break;
+        std::string line;
+        std::getline(f, line);
+        std::vector<int> cpus = parse_cpulist(line.c_str());
+        if (cpus.empty())
+            break;
+        t.node_cpus.push_back(cpus);
+    }
+#endif
+    if (t.node_cpus.empty()) {
+        // Portable fallback: one flat memory node over all CPUs.
+        std::vector<int> all;
+        all.reserve(static_cast<size_t>(t.ncpu));
+        for (int c = 0; c < t.ncpu; ++c)
+            all.push_back(c);
+        t.node_cpus.push_back(std::move(all));
+    }
+    int max_cpu = 0;
+    for (const auto& cpus : t.node_cpus) {
+        for (int c : cpus)
+            max_cpu = std::max(max_cpu, c);
+    }
+    t.ncpu = std::max(t.ncpu, max_cpu + 1);
+    t.numa_of_cpu.assign(static_cast<size_t>(t.ncpu), 0);
+    for (size_t n = 0; n < t.node_cpus.size(); ++n) {
+        for (int c : t.node_cpus[n]) {
+            t.numa_of_cpu[static_cast<size_t>(c)] =
+                static_cast<int>(n);
+            t.cpu_order.push_back(c);
+        }
+    }
+    return t;
+}
+
+} // namespace
+
+const Topology&
+Topology::get()
+{
+    static const Topology t = discover();
+    return t;
+}
+
+bool
+pin_self_to_cpu(int cpu)
+{
+#if defined(__linux__)
+    if (cpu < 0)
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu), &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set),
+                                  &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+std::vector<int>
+reserve_cpus(int count)
+{
+    static std::atomic<uint64_t> cursor{0};
+    const Topology& t = Topology::get();
+    std::vector<int> out;
+    if (count <= 0 || t.cpu_order.empty())
+        return out;
+    const uint64_t base =
+        cursor.fetch_add(static_cast<uint64_t>(count));
+    out.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i)
+        out.push_back(t.cpu_order[(base + static_cast<uint64_t>(i)) %
+                                  t.cpu_order.size()]);
+    return out;
+}
+
+} // namespace topo

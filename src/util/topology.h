@@ -1,0 +1,66 @@
+/// \file
+/// Host CPU/NUMA topology discovery for proxy-thread placement
+/// (NodeConfig::Placement). Linux sysfs is the source of truth
+/// (/sys/devices/system/node/node*/cpulist); every other platform —
+/// and a sysfs-less Linux — degrades to a flat single-NUMA-node view
+/// over hardware_concurrency(), so callers never branch on the OS.
+///
+/// The allocation order (`cpu_order`) groups CPUs by NUMA node: a
+/// Node that pins its P proxies to P consecutive slots of the order
+/// lands them on one memory node whenever one has room, which is the
+/// whole point — a proxy's packet slab, CCB table, and channel ends
+/// are first-touched from the pinned thread and therefore allocated
+/// on the same node (see DESIGN.md "Placement & load balancing").
+
+#ifndef MSGPROXY_UTIL_TOPOLOGY_H
+#define MSGPROXY_UTIL_TOPOLOGY_H
+
+#include <vector>
+
+#include "util/annotations.h"
+
+namespace topo {
+
+/// Immutable snapshot of the host topology, discovered once.
+struct Topology
+{
+    /// Online CPUs (>= 1; hardware_concurrency fallback).
+    int ncpu = 1;
+    /// numa_of_cpu[c]: NUMA node of CPU c (all 0 without sysfs).
+    std::vector<int> numa_of_cpu;
+    /// node_cpus[n]: CPUs of NUMA node n, ascending.
+    std::vector<std::vector<int>> node_cpus;
+    /// CPU ids grouped by NUMA node (node 0's CPUs, then node 1's,
+    /// ...): the placement allocation order.
+    std::vector<int> cpu_order;
+
+    int num_numa_nodes() const
+    {
+        return static_cast<int>(node_cpus.size());
+    }
+
+    /// The process-wide cached instance (discovery runs once).
+    /// Cold startup code, hence exempt from the hot-path allocation
+    /// lint (discovery necessarily reads sysfs and builds vectors).
+    MSGPROXY_HOT_EXEMPT static const Topology& get();
+};
+
+/// Parses a sysfs cpulist string ("0-3,8,10-11") into CPU ids.
+/// Exposed for tests; returns an empty vector on malformed input.
+MSGPROXY_HOT_EXEMPT std::vector<int> parse_cpulist(const char* s);
+
+/// Pins the calling thread to `cpu`. Returns false when pinning is
+/// unsupported on this platform or the syscall fails (never fatal:
+/// placement is an optimization, not a correctness requirement).
+MSGPROXY_HOT_EXEMPT bool pin_self_to_cpu(int cpu);
+
+/// Reserves `count` consecutive slots of Topology::cpu_order from a
+/// process-global cursor and returns the chosen CPUs. Distinct Nodes
+/// in one process get disjoint CPU sets until the host is full, and
+/// one Node's proxies stay NUMA-adjacent (consecutive in the
+/// node-grouped order). Thread-safe.
+MSGPROXY_HOT_EXEMPT std::vector<int> reserve_cpus(int count);
+
+} // namespace topo
+
+#endif // MSGPROXY_UTIL_TOPOLOGY_H

@@ -306,6 +306,98 @@ TEST_P(ChaosTest, EnqDeliversExactlyOnceInOrderPerSender)
     }
 }
 
+TEST_P(ChaosTest, MigrationUnderFaultsDeliversExactlyOnce)
+{
+    // Endpoint migrations race the fault-injected wire: receiving
+    // endpoints flip owners every few PUT bursts while drops, dupes,
+    // reorders and corruption hammer the links. Exactly-once
+    // completion and custody convergence must survive the handoffs
+    // (a stale shard-map read only costs a forwarded packet).
+    const ChaosParam p = GetParam();
+    Node n0(chaos_config(0, p));
+    Node n1(chaos_config(1, p));
+    Endpoint& e0 = n0.create_endpoint(); // proxy 0
+    Endpoint& e1 = n0.create_endpoint(); // proxy 1
+    Endpoint& t0 = n1.create_endpoint(); // proxy 0
+    Endpoint& t1 = n1.create_endpoint(); // proxy 1
+    std::vector<uint8_t> mem(256 * 1024, 0);
+    uint16_t seg = t0.register_segment(mem.data(), mem.size());
+    benchwire::wire(n0, n1);
+    n0.start();
+    n1.start();
+
+    constexpr int kPuts = 96;
+    constexpr uint32_t kLen = 2100; // 3 fragments
+    std::vector<std::vector<uint8_t>> src(kPuts);
+    Flag lsync{0};
+    Flag rsync{0};
+    Flag enq_done{0};
+    for (int i = 0; i < kPuts; ++i) {
+        src[static_cast<size_t>(i)].resize(kLen);
+        for (uint32_t j = 0; j < kLen; ++j)
+            src[static_cast<size_t>(i)][j] =
+                static_cast<uint8_t>(i * 17 + j * 5);
+        Endpoint& ep = (i % 2 == 0) ? e0 : e1;
+        must_submit([&] {
+            return ep.put(src[static_cast<size_t>(i)].data(), 1,
+                          seg, static_cast<uint64_t>(i) * kLen,
+                          kLen, &lsync, &rsync);
+        });
+        // ENQ traffic rides along so the forward rule sees stale
+        // doorbells too.
+        uint32_t tag = static_cast<uint32_t>(i);
+        must_submit(
+            [&] { return e0.enq(&tag, 4, 1, t1.id(), &enq_done); });
+        if (i % 8 == 7) {
+            // Flip both receiving endpoints and one sender.
+            const int flip = (i / 8) % 2;
+            n1.migrate_endpoint(t0.id(), flip);
+            n1.migrate_endpoint(t1.id(), 1 - flip);
+            n0.migrate_endpoint(e0.id(), flip);
+        }
+    }
+    proxy::flag_wait_ge(lsync, kPuts);
+    proxy::flag_wait_ge(rsync, kPuts);
+    proxy::flag_wait_ge(enq_done, kPuts);
+    ASSERT_TRUE(wait_no_leaks(n0, n1));
+
+    EXPECT_EQ(rsync.load(), static_cast<uint64_t>(kPuts));
+    EXPECT_EQ(lsync.load(), static_cast<uint64_t>(kPuts));
+    for (int i = 0; i < kPuts; ++i) {
+        ASSERT_EQ(std::memcmp(mem.data() +
+                                  static_cast<uint64_t>(i) * kLen,
+                              src[static_cast<size_t>(i)].data(),
+                              kLen),
+                  0)
+            << "payload corrupted for put " << i;
+    }
+    // Every ENQ message exactly once (order across receiver
+    // migrations is unordered; the set must be complete).
+    std::vector<int> seen(kPuts, 0);
+    std::vector<uint8_t> msg;
+    int got = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (got < kPuts) {
+        if (!t1.try_recv(msg)) {
+            ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+                << "lost ENQ under migration: got " << got;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            continue;
+        }
+        ASSERT_EQ(msg.size(), 4u);
+        uint32_t tag;
+        std::memcpy(&tag, msg.data(), 4);
+        ASSERT_LT(tag, static_cast<uint32_t>(kPuts));
+        ASSERT_EQ(seen[tag]++, 0) << "duplicate enq " << tag;
+        ++got;
+    }
+    const NodeStats s0 = n0.stats();
+    const NodeStats s1 = n1.stats();
+    EXPECT_EQ(s0.faults + s1.faults, 0u);
+    EXPECT_GE(s0.migrations + s1.migrations, 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SeedsByRates, ChaosTest,
     testing::Values(ChaosParam{1, 0.01}, ChaosParam{2, 0.01},

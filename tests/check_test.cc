@@ -308,6 +308,96 @@ TEST(MsgRingCheck, MutationRelaxedHeaderObserveIsFlagged)
         << res.summary();
 }
 
+// ----------------------------- endpoint quiesce-and-handoff edge
+
+// Model of process_migrations' handoff (proxy/runtime.cc): the old
+// owner drains the endpoint's backlog (consumer-private plain
+// state), publishes the new owner in the shard map, then
+// unconditionally sets the new owner's doorbell bit with a release
+// RMW. The new owner that consumes the bit must (a) observe itself
+// as the owner and (b) happen-after the old owner's drain — the
+// release edges on the shard-map publish and on the doorbell carry
+// that, redundantly by design.
+
+struct HandoffState
+{
+    check::CheckedPlainCell<int> backlog; // cmdq consumer state
+    check::Atomic<int> shard_map;         // owner id, starts 0
+    check::Atomic<unsigned> mask;         // new owner's doorbell word
+};
+
+template <std::memory_order kShardMapOrder,
+          std::memory_order kDoorbellOrder>
+check::Result
+explore_handoff()
+{
+    check::Options opts;
+    return check::explore(opts, [&](check::Sim& sim) {
+        auto st = std::make_shared<HandoffState>();
+        sim.spawn([st] { // old owner: quiesce, publish, ring
+            st->backlog.put(2); // courtesy drain bumps consumer state
+            st->shard_map.store(1, kShardMapOrder);
+            st->mask.store(1u, kDoorbellOrder);
+        });
+        sim.spawn([st] { // new owner: one poll iteration
+            if ((st->mask.load(std::memory_order_acquire) & 1u) ==
+                0u) {
+                return; // bit not visible yet: next poll gets it
+            }
+            // Consuming the bit must come with the ownership edge:
+            // per-location coherence makes the shard map read 1 (it
+            // was stored before the bit), and the acquire on the
+            // doorbell makes the drained backlog state safe to touch.
+            EXPECT_EQ(st->shard_map.load(std::memory_order_acquire),
+                      1);
+            EXPECT_EQ(st->backlog.get(), 2);
+        });
+    });
+}
+
+TEST(CheckHandoff, ShippedProtocolCleanOverAllInterleavings)
+{
+    check::Result res =
+        explore_handoff<std::memory_order_release,
+                        std::memory_order_release>();
+    EXPECT_TRUE(res.exhausted) << res.summary();
+    EXPECT_TRUE(res.ok()) << res.summary();
+    EXPECT_GE(res.executions, 2u);
+}
+
+TEST(CheckHandoff, EitherReleaseEdgeAloneStillProtectsTheDrain)
+{
+    // The protocol is deliberately belt-and-braces: the shard-map
+    // publish and the doorbell RMW each carry a release edge, and
+    // either one alone orders the drain before the new owner's
+    // first touch. Weakening just one must stay clean ...
+    check::Result a =
+        explore_handoff<std::memory_order_relaxed,
+                        std::memory_order_release>();
+    EXPECT_TRUE(a.exhausted) << a.summary();
+    EXPECT_TRUE(a.ok()) << a.summary();
+    check::Result b =
+        explore_handoff<std::memory_order_release,
+                        std::memory_order_relaxed>();
+    EXPECT_TRUE(b.exhausted) << b.summary();
+    EXPECT_TRUE(b.ok()) << b.summary();
+}
+
+TEST(CheckHandoff, MutationFullyRelaxedHandoffIsFlagged)
+{
+    // ... but stripping both release edges leaves the new owner
+    // consuming the bit without happening-after the quiesce drain:
+    // its touch of the endpoint's consumer state is a race the
+    // checker must see in at least one schedule.
+    check::Result res =
+        explore_handoff<std::memory_order_relaxed,
+                        std::memory_order_relaxed>();
+    EXPECT_TRUE(res.exhausted) << res.summary();
+    EXPECT_FALSE(res.races.empty())
+        << "checker missed the fully relaxed handoff: "
+        << res.summary();
+}
+
 // ------------------------------------------------- ownership lint
 
 TEST(OwnershipLint, ReleaseAllowsSequentialHandoff)

@@ -1,0 +1,48 @@
+// Mutation corpus: msgproxy-proxy-owned must flag this TU.
+//
+// Migration-shaped violation: a rebalancer decides what to steal by
+// peeking directly at another proxy's owned load-accounting state
+// (`rebal_window`) instead of going through the atomic per-endpoint
+// backlog counters. The victim proxy mutates that state every poll,
+// so the cross-proxy read is exactly the unsanctioned endpoint touch
+// the shard-map/migration protocol exists to prevent.
+
+#include <cstdint>
+
+#define MSGPROXY_PROXY_OWNED
+#define MSGPROXY_PROXY_CTX
+
+namespace corpus {
+
+class Proxy
+{
+  public:
+    MSGPROXY_PROXY_CTX void poll();
+
+    friend class Rebalancer;
+
+  private:
+    MSGPROXY_PROXY_OWNED uint64_t rebal_window = 0;
+};
+
+class Rebalancer
+{
+  public:
+    bool should_steal(const Proxy& victim) const;
+};
+
+void
+Proxy::poll()
+{
+    ++rebal_window;
+}
+
+bool
+Rebalancer::should_steal(const Proxy& victim) const
+{
+    // Cross-proxy read of proxy-owned state from a method with
+    // neither MSGPROXY_PROXY_CTX nor MSGPROXY_QUIESCENT.
+    return victim.rebal_window > 256;
+}
+
+} // namespace corpus

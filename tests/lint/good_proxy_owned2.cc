@@ -1,0 +1,61 @@
+// Mutation corpus twin: the sanctioned migration shape. The
+// rebalancer reads only the endpoint's atomic backlog counter (a
+// single-writer load published for exactly this purpose), and the
+// quiesce-and-handoff drain of owned state runs inside a
+// MSGPROXY_PROXY_CTX method on the owning proxy. Must produce zero
+// findings.
+
+#include <atomic>
+#include <cstdint>
+
+#define MSGPROXY_PROXY_OWNED
+#define MSGPROXY_PROXY_CTX
+
+namespace corpus {
+
+class Proxy
+{
+  public:
+    MSGPROXY_PROXY_CTX void poll();
+    MSGPROXY_PROXY_CTX void handoff_drain();
+
+    uint64_t
+    backlog_hint() const
+    {
+        return backlog.load();
+    }
+
+  private:
+    MSGPROXY_PROXY_OWNED uint64_t rebal_window = 0;
+    std::atomic<uint64_t> backlog{0};
+};
+
+class Rebalancer
+{
+  public:
+    bool should_steal(const Proxy& victim) const;
+};
+
+void
+Proxy::poll()
+{
+    ++rebal_window;
+    backlog.store(rebal_window);
+}
+
+void
+Proxy::handoff_drain()
+{
+    // The owning proxy quiesces its own endpoint state before
+    // publishing the new owner: a legal proxy-context touch.
+    rebal_window = 0;
+}
+
+bool
+Rebalancer::should_steal(const Proxy& victim) const
+{
+    // Only the published atomic hint crosses the proxy boundary.
+    return victim.backlog_hint() > 256;
+}
+
+} // namespace corpus

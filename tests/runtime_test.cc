@@ -1121,6 +1121,269 @@ TEST(ProxyRuntime, ScanAllModeStillWorks)
     EXPECT_EQ(dst[7], 8);
 }
 
+// --------------------- placement, migration & work stealing
+
+TEST(ProxyRuntime, MigrationRebindsOwnerAndDelivers)
+{
+    // Loopback ENQ traffic to an endpoint before, during, and after
+    // an explicit migration: every message arrives exactly once, in
+    // order, and the shard map settles on the new owner.
+    proxy::Node n(proxy::NodeConfig{.id = 0, .num_proxies = 2});
+    proxy::Endpoint& src = n.create_endpoint(); // ep 0 -> proxy 0
+    proxy::Endpoint& dst = n.create_endpoint(); // ep 1 -> proxy 1
+    n.start();
+    EXPECT_EQ(dst.proxy(), 1);
+
+    auto send_burst = [&](uint32_t base, int count) {
+        for (int i = 0; i < count; ++i) {
+            uint32_t tag = base + static_cast<uint32_t>(i);
+            while (!src.enq(&tag, 4, 0, dst.id()))
+                std::this_thread::yield();
+        }
+    };
+    auto recv_burst = [&](uint32_t base, int count) {
+        std::vector<uint8_t> out;
+        for (int i = 0; i < count; ++i) {
+            while (!dst.try_recv(out))
+                std::this_thread::yield();
+            ASSERT_EQ(out.size(), 4u);
+            uint32_t tag;
+            std::memcpy(&tag, out.data(), 4);
+            ASSERT_EQ(tag, base + static_cast<uint32_t>(i));
+        }
+    };
+    send_burst(100, 32);
+    n.migrate_endpoint(dst.id(), 0);
+    send_burst(200, 32); // posted while the handoff is in flight
+    recv_burst(100, 32);
+    recv_burst(200, 32);
+
+    // The handoff settles: shard map points at proxy 0 and the
+    // migration counter ticks ...
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (dst.proxy() != 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "migration never completed";
+        std::this_thread::yield();
+    }
+    EXPECT_GE(n.stats().migrations, 1u);
+
+    // ... and traffic keeps flowing under the new owner.
+    send_burst(300, 32);
+    recv_burst(300, 32);
+}
+
+TEST(ProxyRuntime, MigrateEndpointIgnoresBadArguments)
+{
+    proxy::Node n(proxy::NodeConfig{.id = 0, .num_proxies = 2});
+    proxy::Endpoint& ep = n.create_endpoint();
+    n.start();
+    n.migrate_endpoint(-1, 1);       // bad endpoint
+    n.migrate_endpoint(ep.id(), -1); // bad proxy
+    n.migrate_endpoint(ep.id(), 7);  // proxy out of range
+    n.migrate_endpoint(ep.id(), 0);  // already the owner: no-op
+    uint32_t v = 42;
+    while (!ep.enq(&v, 4, 0, ep.id()))
+        std::this_thread::yield();
+    std::vector<uint8_t> out;
+    while (!ep.try_recv(out))
+        std::this_thread::yield();
+    EXPECT_EQ(n.stats().migrations, 0u);
+}
+
+TEST(ProxyRuntime, RebalancerMovesHotEndpoint)
+{
+    // Four endpoints over two proxies, all traffic through proxy 0's
+    // two endpoints: the work-stealing pass must migrate one of them
+    // to the idle proxy.
+    proxy::NodeConfig cfg{.id = 0, .num_proxies = 2};
+    cfg.rebalance.enabled = true;
+    cfg.rebalance.window_polls = 256;
+    cfg.rebalance.min_cmds = 32;
+    cfg.rebalance.min_ratio = 2.0;
+    proxy::Node n(cfg);
+    std::vector<proxy::Endpoint*> eps;
+    for (int i = 0; i < 4; ++i)
+        eps.push_back(&n.create_endpoint());
+    n.start();
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    std::vector<uint8_t> out;
+    uint32_t v = 7;
+    while (n.stats().migrations == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "rebalancer never moved an endpoint";
+        for (int rep = 0; rep < 64; ++rep) {
+            while (!eps[0]->enq(&v, 4, 0, eps[0]->id()))
+                std::this_thread::yield();
+            while (!eps[2]->enq(&v, 4, 0, eps[2]->id()))
+                std::this_thread::yield();
+        }
+        while (eps[0]->try_recv(out)) {
+        }
+        while (eps[2]->try_recv(out)) {
+        }
+    }
+    // The steal came off the hot proxy: one of its endpoints now
+    // lives on proxy 1 ...
+    const auto settle =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (eps[0]->proxy() == 0 && eps[2]->proxy() == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), settle)
+            << "migration counted but ownership never changed";
+        std::this_thread::yield();
+    }
+    // ... and both endpoints still deliver afterwards.
+    for (proxy::Endpoint* ep : {eps[0], eps[2]}) {
+        while (!ep->enq(&v, 4, 0, ep->id()))
+            std::this_thread::yield();
+        while (!ep->try_recv(out))
+            std::this_thread::yield();
+        EXPECT_EQ(out.size(), 4u);
+    }
+}
+
+TEST(ProxyRuntime, CompletionBatchingDeliversExactlyOnce)
+{
+    // Default flush budget on: a PUT stream with both flags set must
+    // complete each flag exactly once per operation, and the counter
+    // shows the deferral machinery actually engaged.
+    TwoNodes t;
+    std::vector<uint8_t> dst(64 * 1024, 0);
+    uint16_t seg = t.ep1->register_segment(dst.data(), dst.size());
+    t.start();
+    constexpr int kPuts = 64;
+    std::vector<uint8_t> src(1024, 0x2d);
+    proxy::Flag lsync{0}, rsync{0};
+    for (int i = 0; i < kPuts; ++i) {
+        while (!t.ep0->put(src.data(), 1, seg,
+                           static_cast<uint64_t>(i) * src.size(),
+                           static_cast<uint32_t>(src.size()),
+                           &lsync, &rsync)) {
+            std::this_thread::yield();
+        }
+    }
+    proxy::flag_wait_ge(lsync, kPuts);
+    proxy::flag_wait_ge(rsync, kPuts);
+    EXPECT_EQ(lsync.load(), static_cast<uint64_t>(kPuts));
+    EXPECT_EQ(rsync.load(), static_cast<uint64_t>(kPuts));
+    EXPECT_GT(t.n0.stats().completions_batched +
+                  t.n1.stats().completions_batched,
+              0u);
+}
+
+TEST(ProxyRuntime, CompletionFlushZeroDisablesBatching)
+{
+    proxy::NodeConfig c0{.id = 0};
+    proxy::NodeConfig c1{.id = 1};
+    c0.completion_flush = 0;
+    c1.completion_flush = 0;
+    proxy::Node n0(c0), n1(c1);
+    proxy::Endpoint& a = n0.create_endpoint();
+    proxy::Endpoint& b = n1.create_endpoint();
+    std::vector<uint8_t> dst(4096, 0);
+    uint16_t seg = b.register_segment(dst.data(), dst.size());
+    benchwire::wire(n0, n1);
+    n0.start();
+    n1.start();
+    std::vector<uint8_t> src(512, 0x3c);
+    proxy::Flag rsync{0};
+    for (int i = 0; i < 8; ++i) {
+        while (!a.put(src.data(), 1, seg, 0,
+                      static_cast<uint32_t>(src.size()), nullptr,
+                      &rsync)) {
+            std::this_thread::yield();
+        }
+    }
+    proxy::flag_wait_ge(rsync, 8);
+    EXPECT_EQ(n0.stats().completions_batched +
+                  n1.stats().completions_batched,
+              0u);
+}
+
+TEST(ProxyRuntime, ExplicitPinningSmoke)
+{
+    // Pinning both proxies to CPU 0 is valid on every host; traffic
+    // must flow exactly as unpinned (placement is an optimization,
+    // never a correctness requirement).
+    proxy::NodeConfig cfg{.id = 0, .num_proxies = 2};
+    cfg.placement.pin = proxy::NodeConfig::Placement::Pin::kExplicit;
+    cfg.placement.proxy_cpus = {0};
+    proxy::Node n(cfg);
+    proxy::Endpoint& a = n.create_endpoint();
+    proxy::Endpoint& b = n.create_endpoint();
+    n.start();
+    uint32_t tag = 11;
+    while (!a.enq(&tag, 4, 0, b.id()))
+        std::this_thread::yield();
+    std::vector<uint8_t> out;
+    while (!b.try_recv(out))
+        std::this_thread::yield();
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(ProxyRuntime, AutoPinningSmoke)
+{
+    // kAuto resolves CPUs through topo::reserve_cpus (a no-op on
+    // single-CPU hosts); either way the node runs normally.
+    proxy::NodeConfig cfg{.id = 0, .num_proxies = 2};
+    cfg.placement.pin = proxy::NodeConfig::Placement::Pin::kAuto;
+    proxy::Node n(cfg);
+    proxy::Endpoint& a = n.create_endpoint();
+    proxy::Endpoint& b = n.create_endpoint();
+    n.start();
+    uint32_t tag = 13;
+    while (!a.enq(&tag, 4, 0, b.id()))
+        std::this_thread::yield();
+    std::vector<uint8_t> out;
+    while (!b.try_recv(out))
+        std::this_thread::yield();
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Observability, SnapshotExposesUtilizationAndOwnership)
+{
+    proxy::Node n(proxy::NodeConfig{.id = 0, .num_proxies = 3});
+    std::vector<proxy::Endpoint*> eps;
+    for (int i = 0; i < 5; ++i)
+        eps.push_back(&n.create_endpoint());
+    n.start();
+    uint32_t v = 3;
+    std::vector<uint8_t> out;
+    for (proxy::Endpoint* ep : eps) {
+        while (!ep->enq(&v, 4, 0, ep->id()))
+            std::this_thread::yield();
+        while (!ep->try_recv(out))
+            std::this_thread::yield();
+    }
+
+    const proxy::NodeSnapshot snap = n.stats_snapshot();
+    ASSERT_EQ(snap.utilization.size(), 3u);
+    ASSERT_EQ(snap.endpoints_owned.size(), 3u);
+    for (double u : snap.utilization) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+    uint32_t owned_total = 0;
+    for (uint32_t c : snap.endpoints_owned)
+        owned_total += c;
+    EXPECT_EQ(owned_total, 5u);
+    // Default sharding: 5 endpoints over 3 proxies = 2/2/1.
+    EXPECT_EQ(snap.endpoints_owned[0], 2u);
+    EXPECT_EQ(snap.endpoints_owned[1], 2u);
+    EXPECT_EQ(snap.endpoints_owned[2], 1u);
+
+    std::ostringstream os;
+    n.dump_json(os);
+    const std::string j = os.str();
+    EXPECT_NE(j.find("\"utilization\":["), std::string::npos) << j;
+    EXPECT_NE(j.find("\"endpoints_owned\":[2,2,1]"),
+              std::string::npos)
+        << j;
+}
+
 // --------------------------------------- pooled wire path / backpressure
 
 TEST(ProxyWirePath, SteadyStateUsesPoolOnly)

@@ -357,6 +357,102 @@ TYPED_TEST(TransportSuite, StopStartResume)
     EXPECT_EQ(t.a->stats().faults + t.b->stats().faults, 0u);
 }
 
+TYPED_TEST(TransportSuite, MigrationUnderTraffic)
+{
+    // Endpoints migrate between proxies on both nodes while PUT, GET
+    // and ENQ traffic is in flight on both wire backends: every
+    // completion flag fires exactly once, every ENQ message arrives
+    // exactly once (order across a sender migration is not
+    // guaranteed — the set is), and packet custody balances after
+    // quiescence.
+    Pair<TypeParam> t(NodeConfig{.id = 0, .num_proxies = 2},
+                      NodeConfig{.id = 1, .num_proxies = 2});
+    Endpoint& eb2 = t.b->create_endpoint(); // node 1, proxy 1
+    constexpr int kRounds = 10;
+    constexpr int kPerRound = 6;
+    constexpr uint32_t kLen = 512;
+    std::vector<uint8_t> put_dst(
+        static_cast<size_t>(kRounds * kPerRound) * kLen, 0);
+    uint16_t put_seg = t.epb->register_segment(put_dst.data(),
+                                               put_dst.size());
+    std::vector<uint8_t> get_src(kLen);
+    for (size_t i = 0; i < get_src.size(); ++i)
+        get_src[i] = static_cast<uint8_t>(i * 11 + 5);
+    uint16_t get_seg = eb2.register_segment(get_src.data(),
+                                            get_src.size());
+    t.start();
+
+    std::vector<uint8_t> put_src(kLen);
+    for (size_t i = 0; i < put_src.size(); ++i)
+        put_src[i] = static_cast<uint8_t>(i * 7 + 1);
+    std::vector<std::vector<uint8_t>> get_dst(
+        static_cast<size_t>(kRounds * kPerRound),
+        std::vector<uint8_t>(kLen, 0));
+    Flag put_rsync{0};
+    Flag get_lsync{0};
+    int op = 0;
+    for (int r = 0; r < kRounds; ++r) {
+        for (int i = 0; i < kPerRound; ++i, ++op) {
+            must_submit([&] {
+                return t.epa->put(put_src.data(), 1, put_seg,
+                                  static_cast<uint64_t>(op) * kLen,
+                                  kLen, nullptr, &put_rsync);
+            });
+            must_submit([&] {
+                return t.epa->get(
+                    get_dst[static_cast<size_t>(op)].data(), 1,
+                    get_seg, 0, kLen, &get_lsync);
+            });
+            uint32_t tag = static_cast<uint32_t>(op);
+            must_submit([&] {
+                return t.epa->enq(&tag, 4, 1, t.epb->id());
+            });
+        }
+        // Flip ownership of the source endpoint and both targets
+        // while the round's traffic is still in flight.
+        t.a->migrate_endpoint(t.epa->id(), (r % 2 == 0) ? 1 : 0);
+        t.b->migrate_endpoint(t.epb->id(), (r % 2 == 0) ? 1 : 0);
+        t.b->migrate_endpoint(eb2.id(), (r % 2 == 0) ? 0 : 1);
+    }
+    constexpr uint64_t kOps =
+        static_cast<uint64_t>(kRounds) * kPerRound;
+    proxy::flag_wait_ge(put_rsync, kOps);
+    proxy::flag_wait_ge(get_lsync, kOps);
+    EXPECT_EQ(put_rsync.load(), kOps);
+    EXPECT_EQ(get_lsync.load(), kOps);
+
+    // Every ENQ tag exactly once.
+    std::vector<int> seen(kOps, 0);
+    std::vector<uint8_t> out;
+    for (uint64_t got = 0; got < kOps;) {
+        if (!t.epb->try_recv(out)) {
+            std::this_thread::yield();
+            continue;
+        }
+        ASSERT_EQ(out.size(), 4u);
+        uint32_t tag;
+        std::memcpy(&tag, out.data(), 4);
+        ASSERT_LT(tag, kOps);
+        ASSERT_EQ(seen[tag]++, 0) << "duplicate enq " << tag;
+        ++got;
+    }
+
+    for (int i = 0; i < static_cast<int>(kOps); ++i) {
+        ASSERT_EQ(std::memcmp(put_dst.data() +
+                                  static_cast<uint64_t>(i) * kLen,
+                              put_src.data(), kLen),
+                  0)
+            << "put payload corrupted at op " << i;
+        ASSERT_EQ(get_dst[static_cast<size_t>(i)],
+                  get_src)
+            << "get payload corrupted at op " << i;
+    }
+    EXPECT_EQ(t.a->stats().faults + t.b->stats().faults, 0u);
+    EXPECT_GE(t.a->stats().migrations + t.b->stats().migrations,
+              1u);
+    ASSERT_TRUE(wait_no_leaks(*t.a, *t.b));
+}
+
 // --------------------------------------- teardown ordering (CCBs)
 
 TYPED_TEST(TransportSuite, PeerDeathCompletesPendingCcbs)

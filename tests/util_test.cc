@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/topology.h"
 
 namespace {
 
@@ -242,6 +244,66 @@ TEST(TablePrinter, NumFormatting)
     EXPECT_EQ(mp::TablePrinter::num(1.005, 1), "1.0");
     EXPECT_EQ(mp::TablePrinter::num(static_cast<int64_t>(-7)), "-7");
     EXPECT_EQ(mp::TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(Topology, ParseCpulistFormats)
+{
+    using topo::parse_cpulist;
+    EXPECT_EQ(parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(parse_cpulist("0-2,8,10-11"),
+              (std::vector<int>{0, 1, 2, 8, 10, 11}));
+    EXPECT_EQ(parse_cpulist("5"), (std::vector<int>{5}));
+    EXPECT_EQ(parse_cpulist("0-1,4-5\n"),
+              (std::vector<int>{0, 1, 4, 5}));
+    EXPECT_TRUE(parse_cpulist("").empty());
+    EXPECT_TRUE(parse_cpulist("abc").empty());
+    EXPECT_TRUE(parse_cpulist("3-1").empty()); // inverted range
+}
+
+TEST(Topology, DiscoveredSnapshotIsConsistent)
+{
+    const topo::Topology& t = topo::Topology::get();
+    ASSERT_GE(t.ncpu, 1);
+    ASSERT_GE(t.num_numa_nodes(), 1);
+    ASSERT_EQ(t.numa_of_cpu.size(), static_cast<size_t>(t.ncpu));
+    // cpu_order holds each discovered CPU exactly once (it may be
+    // shorter than ncpu on hosts with offline CPUs, never longer).
+    ASSERT_GE(t.cpu_order.size(), 1u);
+    ASSERT_LE(t.cpu_order.size(), static_cast<size_t>(t.ncpu));
+    std::set<int> order(t.cpu_order.begin(), t.cpu_order.end());
+    EXPECT_EQ(order.size(), t.cpu_order.size());
+    size_t total = 0;
+    for (int node = 0; node < t.num_numa_nodes(); ++node) {
+        for (int cpu : t.node_cpus[static_cast<size_t>(node)]) {
+            ASSERT_GE(cpu, 0);
+            ASSERT_LT(cpu, t.ncpu);
+            EXPECT_EQ(t.numa_of_cpu[static_cast<size_t>(cpu)], node);
+        }
+        total += t.node_cpus[static_cast<size_t>(node)].size();
+    }
+    EXPECT_EQ(total, t.cpu_order.size());
+}
+
+TEST(Topology, ReserveCpusWrapsAndStaysInRange)
+{
+    const topo::Topology& t = topo::Topology::get();
+    // More slots than the host has CPUs: the cursor must wrap
+    // instead of running dry, and every id must be a real CPU.
+    std::vector<int> got = topo::reserve_cpus(t.ncpu + 3);
+    ASSERT_EQ(got.size(), static_cast<size_t>(t.ncpu + 3));
+    for (int cpu : got) {
+        EXPECT_GE(cpu, 0);
+        EXPECT_LT(cpu, t.ncpu);
+    }
+    EXPECT_TRUE(topo::reserve_cpus(0).empty());
+}
+
+TEST(Topology, PinSelfToBadCpuFailsGracefully)
+{
+    // Pinning to a nonexistent CPU must report failure, not crash;
+    // pinning to CPU 0 should succeed wherever pinning is supported.
+    EXPECT_FALSE(topo::pin_self_to_cpu(1 << 20));
+    EXPECT_FALSE(topo::pin_self_to_cpu(-1));
 }
 
 } // namespace

@@ -50,7 +50,12 @@
 #   perf       full runs of bench_runtime_micro + bench_runtime_scaling
 #              and a delta report of the freshly written
 #              BENCH_runtime.json against the committed snapshot
-#              (positive latency delta = slower than committed)
+#              (positive latency delta = slower than committed); on
+#              hosts with >= 4 cores also asserts the saturation
+#              sweeps (enq_sat64, put_sat4k) keep their throughput
+#              non-decreasing across P=1->2->4 within
+#              MSGPROXY_PERF_TOL (default 5%) — explicit SKIP line
+#              on smaller hosts
 #
 # Each mode configures its own build tree (build-<mode>/, except
 # plain which uses build/), so modes never contaminate each other.
@@ -246,8 +251,13 @@ for f in sys.argv[1:]:
 trace = json.load(open(sys.argv[1]))
 assert trace["traceEvents"], "empty trace"
 stats = json.load(open(sys.argv[2]))
-for key in ("counters", "per_proxy", "op_latency_ns", "trace"):
+for key in ("counters", "per_proxy", "op_latency_ns", "trace",
+            "utilization", "endpoints_owned"):
     assert key in stats, f"missing {key} in stats snapshot"
+assert len(stats["utilization"]) == len(stats["endpoints_owned"]), \
+    "utilization / endpoints_owned proxy-count mismatch"
+for u in stats["utilization"]:
+    assert 0.0 <= u <= 1.0, f"utilization {u} outside [0,1]"
 assert any(o["op"] == "get" for o in stats["op_latency_ns"]), \
     "no GET latency histogram in snapshot"
 print("stats snapshot: schema ok")
@@ -277,6 +287,13 @@ PY
                     p = $0;   sub(/.*"P":/, "", p);          sub(/,.*/, "", p)
                     lat = $0; sub(/.*"latency_ns":/, "", lat); sub(/,.*/, "", lat)
                     key = $4 "/" $8 "/P" p
+                    # Fault-sweep rows carry a drop_pct field; fold it
+                    # into the key so loss rates do not collide now
+                    # that P is always the proxy count.
+                    if ($0 ~ /"drop_pct":/) {
+                        dp = $0; sub(/.*"drop_pct":/, "", dp); sub(/[,}].*/, "", dp)
+                        key = key "/drop" dp
+                    }
                     if (FILENAME == ARGV[1]) base_lat[key] = lat
                     else new_lat[key] = lat
                 }
@@ -292,6 +309,55 @@ PY
                     }
                 }' "$committed" BENCH_runtime.json | sort
             rm -f "$committed"
+        fi
+        # Monotone-scaling gate (ISSUE 8): adding proxies must not
+        # lose saturation throughput. Only meaningful when every
+        # proxy of the P=4 sweep can have its own core; smaller
+        # hosts oversubscribe and the numbers say nothing about the
+        # runtime, so the skip is explicit, never silent.
+        if [ "$(nproc)" -lt 4 ]; then
+            echo "perf: monotone-scaling gate SKIPPED (nproc=$(nproc) < 4; P=4 sweep would oversubscribe cores)"
+        else
+            tol="${MSGPROXY_PERF_TOL:-0.05}"
+            banner "monotone-scaling gate (tolerance ${tol}, override with MSGPROXY_PERF_TOL)"
+            if ! awk -v tol="$tol" -F'"' '
+                /"bench":"runtime_scaling"/ {
+                    p = $0; sub(/.*"P":/, "", p); sub(/,.*/, "", p)
+                    r = $0; sub(/.*"msgs_per_sec":/, "", r); sub(/[,}].*/, "", r)
+                    rate[$8 "/" p] = r
+                }
+                END {
+                    ok = 1
+                    nops = split("enq_sat64 put_sat4k", ops, " ")
+                    nps = split("1 2 4", ps, " ")
+                    for (i = 1; i <= nops; ++i) {
+                        op = ops[i]
+                        miss = 0
+                        for (j = 1; j <= nps; ++j)
+                            if (!((op "/" ps[j]) in rate)) miss = 1
+                        if (miss) {
+                            printf "perf: missing %s P-sweep rows in BENCH_runtime.json\n", op
+                            ok = 0
+                            continue
+                        }
+                        for (j = 2; j <= nps; ++j) {
+                            lo = rate[op "/" ps[j - 1]]
+                            hi = rate[op "/" ps[j]]
+                            if (hi + 0 < lo * (1 - tol)) {
+                                printf "perf: %s throughput drops P=%s->%s: %.0f -> %.0f msgs/s (tolerance %.0f%%)\n", \
+                                    op, ps[j - 1], ps[j], lo, hi, tol * 100
+                                ok = 0
+                            }
+                        }
+                        printf "perf: %s P-sweep %.0f / %.0f / %.0f msgs/s (P=1/2/4)%s\n", \
+                            op, rate[op "/1"], rate[op "/2"], rate[op "/4"], \
+                            ok ? " — monotone within tolerance" : ""
+                    }
+                    exit ok ? 0 : 1
+                }' BENCH_runtime.json; then
+                echo "perf: monotone-scaling gate FAILED (widen with MSGPROXY_PERF_TOL=<fraction> only with a written justification)" >&2
+                exit 1
+            fi
         fi
         ;;
       *)
