@@ -1,0 +1,241 @@
+/// \file
+/// Cluster chaos orchestrator implementation. See cluster.h for the
+/// contract; the only subtlety here is ordering at the quiescent
+/// boundaries — destroy-before-forget lets the dying incarnation push
+/// survivor-owned pooled packets back through the shared return rings
+/// before the survivors sweep and drop the channels.
+
+#include "check/cluster.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/log.h"
+
+namespace check {
+
+namespace {
+
+/// Collision-free listen address per incarnation (same scheme as
+/// bench/bench_wiring.h, duplicated so mp_check does not grow a
+/// dependency on the bench tree).
+std::string
+unique_addr(net::TransportKind kind)
+{
+    static std::atomic<uint64_t> ctr{0};
+    const uint64_t n = ctr.fetch_add(1);
+    const std::string tag = std::to_string(::getpid()) + "-" +
+                            std::to_string(n);
+    if (kind == net::TransportKind::kSocket)
+        return "unix:///tmp/msgproxy-cluster-" + tag + ".sock";
+    return "inproc://cluster-" + tag;
+}
+
+uint64_t
+now_ms()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+Cluster::Cluster(const ClusterParams& p)
+    : params_(p), rng_(p.seed)
+{
+    MP_CHECK(params_.nodes >= 2, "a cluster needs at least 2 nodes");
+    const auto n = static_cast<size_t>(params_.nodes);
+    nodes_.resize(n);
+    eps_.resize(n, nullptr);
+    segs_.resize(n);
+    addrs_.resize(n);
+    epochs_.resize(n, 1);
+    for (auto& s : segs_)
+        s.assign(params_.seg_bytes, 0);
+    for (int id = 0; id < params_.nodes; ++id)
+        make_node(id);
+}
+
+Cluster::~Cluster()
+{
+    stop_all();
+}
+
+void
+Cluster::make_node(int id)
+{
+    const auto i = static_cast<size_t>(id);
+    proxy::NodeConfig cfg = params_.base;
+    cfg.id = id;
+    cfg.transport = params_.transport;
+    cfg.epoch = epochs_[i];
+    nodes_[i] = std::make_unique<proxy::Node>(cfg);
+    eps_[i] = &nodes_[i]->create_endpoint();
+    eps_[i]->register_segment(segs_[i].data(), segs_[i].size());
+    addrs_[i] = unique_addr(params_.transport);
+    nodes_[i]->listen(addrs_[i]);
+}
+
+void
+Cluster::start()
+{
+    MP_CHECK(!started_, "cluster already started");
+    for (int j = 1; j < params_.nodes; ++j) {
+        for (int i = 0; i < j; ++i)
+            nodes_[static_cast<size_t>(j)]->connect(
+                addrs_[static_cast<size_t>(i)]);
+    }
+    started_ = true;
+    start_all();
+}
+
+void
+Cluster::start_all()
+{
+    for (auto& nd : nodes_) {
+        if (nd != nullptr)
+            nd->start();
+    }
+}
+
+void
+Cluster::stop_all()
+{
+    for (auto& nd : nodes_) {
+        if (nd != nullptr)
+            nd->stop();
+    }
+}
+
+void
+Cluster::kill(int id)
+{
+    const auto i = static_cast<size_t>(id);
+    MP_CHECK(nodes_[i] != nullptr, "kill(" << id << "): already dead");
+    eps_[i] = nullptr;
+    nodes_[i].reset(); // survivors keep running: crash, not shutdown
+}
+
+void
+Cluster::forget_dead()
+{
+    for (int d = 0; d < params_.nodes; ++d) {
+        if (nodes_[static_cast<size_t>(d)] != nullptr)
+            continue;
+        for (auto& nd : nodes_) {
+            if (nd != nullptr)
+                nd->forget_peer(d);
+        }
+    }
+}
+
+void
+Cluster::restart(int id)
+{
+    const auto i = static_cast<size_t>(id);
+    MP_CHECK(nodes_[i] == nullptr,
+             "restart(" << id << "): node is alive (kill first)");
+    // Quiescent re-wiring: every survivor must be stopped before its
+    // link state toward the dead incarnation can be swept.
+    stop_all();
+    forget_dead();
+    ++epochs_[i]; // the reincarnation rejoins strictly newer
+    make_node(id);
+    for (int p = 0; p < params_.nodes; ++p) {
+        if (p != id && nodes_[static_cast<size_t>(p)] != nullptr)
+            nodes_[static_cast<size_t>(p)]->connect(addrs_[i]);
+    }
+    start_all();
+}
+
+void
+Cluster::partition(int a, int b)
+{
+    if (nodes_[static_cast<size_t>(a)] != nullptr)
+        nodes_[static_cast<size_t>(a)]->set_peer_blackhole(b, true);
+    if (nodes_[static_cast<size_t>(b)] != nullptr)
+        nodes_[static_cast<size_t>(b)]->set_peer_blackhole(a, true);
+}
+
+void
+Cluster::heal(int a, int b)
+{
+    if (nodes_[static_cast<size_t>(a)] != nullptr)
+        nodes_[static_cast<size_t>(a)]->set_peer_blackhole(b, false);
+    if (nodes_[static_cast<size_t>(b)] != nullptr)
+        nodes_[static_cast<size_t>(b)]->set_peer_blackhole(a, false);
+}
+
+Cluster::Custody
+Cluster::settle(uint64_t timeout_ms)
+{
+    const uint64_t deadline = now_ms() + timeout_ms;
+    Custody c;
+    for (;;) {
+        stop_all();
+        forget_dead();
+        c = Custody{};
+        for (auto& nd : nodes_) {
+            if (nd == nullptr)
+                continue;
+            nd->quiesce_returns();
+            const proxy::NodeStats s = nd->stats();
+            c.pool_hits += s.pool_hits;
+            c.pool_returns += s.pool_returns;
+            c.pool_misses += s.pool_misses;
+            c.heap_frees += s.heap_frees;
+        }
+        if (c.leaks() == 0 || now_ms() >= deadline)
+            return c;
+        // Packets still riding the wire (unpopped rings, unflushed
+        // acks, socket buffers): run the survivors briefly so their
+        // proxies drain them home, then re-balance.
+        start_all();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+int64_t
+Cluster::wait_peer_unreachable(int node, int peer,
+                               uint64_t timeout_ms)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto deadline =
+        t0 + std::chrono::milliseconds(timeout_ms);
+    proxy::Node& nd = *nodes_[static_cast<size_t>(node)];
+    while (!nd.peer_unreachable(peer)) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return -1;
+        std::this_thread::yield();
+    }
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+int
+Cluster::alive_count() const
+{
+    int n = 0;
+    for (const auto& nd : nodes_)
+        n += nd != nullptr ? 1 : 0;
+    return n;
+}
+
+int
+Cluster::first_alive() const
+{
+    for (int id = 0; id < params_.nodes; ++id) {
+        if (nodes_[static_cast<size_t>(id)] != nullptr)
+            return id;
+    }
+    MP_CHECK(false, "no live nodes");
+    return -1;
+}
+
+} // namespace check

@@ -1,0 +1,230 @@
+/// \file
+/// Deterministic cluster chaos orchestrator: N in-process proxy::Node
+/// instances wired full-mesh over either wire backend, with seeded
+/// kill / restart / partition / heal controls and the quiescent
+/// custody accounting the crash-fault tests gate on.
+///
+/// The orchestrator owns everything a node needs to be killed and
+/// reincarnated under traffic: per-node segment memory that outlives
+/// the node object, per-node listen addresses (fresh per
+/// incarnation), and the monotone epoch counter each reincarnation
+/// rejoins with. Schedules are driven by the caller from ONE thread
+/// (the chaos tests interleave submits and faults in a seeded loop);
+/// the proxy threads of the surviving nodes race the faults — that is
+/// the point.
+///
+/// Exact accounting contract (see DESIGN.md "Failure detection &
+/// failover"): after the caller has collected every completion flag,
+/// settle() stops the survivors, retires every dead peer's wiring
+/// (Node::forget_peer), drains the return paths
+/// (Node::quiesce_returns), and sums pooled packet custody over the
+/// survivors. Every pooled packet a surviving node ever took from its
+/// pool must be home again: leaks() == 0, printed by the tests as
+/// PKT_LEAKS_TOTAL for tools/check.sh cluster to gate on.
+
+#ifndef MSGPROXY_CHECK_CLUSTER_H
+#define MSGPROXY_CHECK_CLUSTER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proxy/runtime.h"
+
+namespace check {
+
+/// splitmix64: the seeded PRNG behind every chaos schedule. Small,
+/// fast, and stable across platforms, so a failing storm replays
+/// from its seed alone.
+class SplitMix
+{
+  public:
+    explicit SplitMix(uint64_t seed) : s_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (s_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform in [0, n).
+    uint64_t
+    below(uint64_t n)
+    {
+        return n == 0 ? 0 : next() % n;
+    }
+
+    /// Uniform in [0, 1).
+    double
+    unit()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    uint64_t s_;
+};
+
+struct ClusterParams
+{
+    /// Cluster size (node ids 0..nodes-1).
+    int nodes = 3;
+    /// Wire backend for every inter-node link.
+    net::TransportKind transport = net::TransportKind::kInProc;
+    /// Schedule seed (rng() streams from it; print it on failure).
+    uint64_t seed = 1;
+    /// Remote-access segment registered per node (segment id 0).
+    size_t seg_bytes = 256 * 1024;
+    /// Per-node config template. id, transport, and epoch are
+    /// overwritten per node/incarnation; everything else (proxies,
+    /// reliability, fts, pool sizes, fault plan) is taken as given.
+    proxy::NodeConfig base{};
+};
+
+class Cluster
+{
+  public:
+    /// Creates the nodes (epoch 1 each) without wiring or starting
+    /// them. Each node gets one endpoint and one remote-access
+    /// segment (id 0) over cluster-owned memory.
+    MSGPROXY_QUIESCENT explicit Cluster(const ClusterParams& p);
+    MSGPROXY_QUIESCENT ~Cluster();
+
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+
+    /// Wires the full mesh (node j dials every i < j) and starts
+    /// every node.
+    MSGPROXY_QUIESCENT void start();
+
+    /// Crash-kills node `id` mid-flight: the Node is destroyed while
+    /// the survivors run. Sockets observe the close immediately; the
+    /// in-process backend needs the heartbeat detector (base.fts) or
+    /// RTO exhaustion to notice.
+    void kill(int id);
+
+    /// Reincarnates a killed node under a fresh epoch: stops every
+    /// survivor (quiescent re-wiring), retires the dead incarnation's
+    /// wiring from each (forget_peer), constructs the replacement
+    /// with epoch+1 and a fresh listen address, re-dials the mesh,
+    /// and restarts everything. Survivor traffic submitted before the
+    /// stop completes or fails through the normal paths.
+    MSGPROXY_QUIESCENT void restart(int id);
+
+    /// Drops every packet between a and b, both directions, until
+    /// heal(). Retransmissions escalate, so a partition outliving the
+    /// retry budget becomes a (sticky) mutual death verdict.
+    void partition(int a, int b);
+    void heal(int a, int b);
+
+    /// Pooled-packet custody summed over the live nodes, taken
+    /// quiescently by settle().
+    struct Custody
+    {
+        uint64_t pool_hits = 0;
+        uint64_t pool_returns = 0;
+        uint64_t pool_misses = 0;
+        uint64_t heap_frees = 0;
+
+        /// Pooled packets not home: the tests' PKT_LEAKS_TOTAL.
+        uint64_t
+        leaks() const
+        {
+            return pool_hits - pool_returns;
+        }
+    };
+
+    /// Exact accounting after the caller collected its completion
+    /// flags: stop all, forget every dead peer, drain returns, sum
+    /// custody. In-flight acks may need a few drain cycles to come
+    /// home, so a nonzero balance briefly restarts the survivors and
+    /// retries until the deadline. Leaves the cluster stopped.
+    MSGPROXY_QUIESCENT Custody settle(uint64_t timeout_ms = 30000);
+
+    /// Restarts every live node after settle() (wiring is intact).
+    MSGPROXY_QUIESCENT void start_all();
+    MSGPROXY_QUIESCENT void stop_all();
+
+    /// Blocks until `node` declares `peer` unreachable; returns the
+    /// wait in nanoseconds, or -1 on timeout. The detection-latency
+    /// probe of the EXPERIMENTS.md table.
+    int64_t wait_peer_unreachable(int node, int peer,
+                                  uint64_t timeout_ms = 30000);
+
+    bool
+    alive(int id) const
+    {
+        return nodes_[static_cast<size_t>(id)] != nullptr;
+    }
+
+    int alive_count() const;
+
+    /// Any live node id (schedules need a traffic source).
+    int first_alive() const;
+
+    proxy::Node&
+    node(int id)
+    {
+        return *nodes_[static_cast<size_t>(id)];
+    }
+
+    proxy::Endpoint&
+    endpoint(int id)
+    {
+        return *eps_[static_cast<size_t>(id)];
+    }
+
+    /// The node's registered segment memory (segment id 0).
+    uint8_t*
+    seg(int id)
+    {
+        return segs_[static_cast<size_t>(id)].data();
+    }
+
+    size_t
+    seg_size() const
+    {
+        return params_.seg_bytes;
+    }
+
+    /// The schedule PRNG (seeded from params.seed).
+    SplitMix&
+    rng()
+    {
+        return rng_;
+    }
+
+    const ClusterParams&
+    params() const
+    {
+        return params_;
+    }
+
+  private:
+    /// Constructs node `id` at its current epoch and binds its fresh
+    /// listen address. The Node is created stopped and unwired.
+    MSGPROXY_QUIESCENT void make_node(int id);
+    /// Drops every dead peer's wiring from every stopped survivor
+    /// (idempotent; a never-wired or already-forgotten peer is a
+    /// no-op).
+    MSGPROXY_QUIESCENT void forget_dead();
+
+    ClusterParams params_;
+    SplitMix rng_;
+    std::vector<std::unique_ptr<proxy::Node>> nodes_;
+    std::vector<proxy::Endpoint*> eps_;
+    /// Segment memory per node id: outlives node incarnations so a
+    /// kill never invalidates a peer's in-flight PUT target.
+    std::vector<std::vector<uint8_t>> segs_;
+    std::vector<std::string> addrs_;
+    std::vector<uint64_t> epochs_;
+    bool started_ = false;
+};
+
+} // namespace check
+
+#endif // MSGPROXY_CHECK_CLUSTER_H

@@ -1,0 +1,16 @@
+#include "net/fts.h"
+
+namespace net {
+
+const char*
+peer_state_name(PeerState s)
+{
+    switch (s) {
+      case PeerState::kAlive: return "alive";
+      case PeerState::kSuspect: return "suspect";
+      case PeerState::kDead: return "dead";
+    }
+    return "<invalid>";
+}
+
+} // namespace net

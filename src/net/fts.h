@@ -1,0 +1,120 @@
+/// \file
+/// The failure-detection service (FTS) of the inter-node wire
+/// protocol: per-link heartbeat scheduling and liveness assessment,
+/// plus the node-level peer-state machine (alive -> suspect -> dead)
+/// the proxy runtime drives with it.
+///
+/// Design (see DESIGN.md "Failure detection & failover"):
+///  - Heartbeats piggyback on the reliability layer's idle-ack path:
+///    a link that moved data (or an ack) recently owes nothing, so
+///    the hot path never pays for liveness. Only a link idle for a
+///    full interval emits a kHeartbeat packet — an unsequenced,
+///    zero-payload frame carrying the usual piggybacked cumulative
+///    ack, so heartbeats double as ack-refresh traffic.
+///  - Any checksum-valid arrival (data, ack, or heartbeat) counts as
+///    proof of life and refreshes the link's last_rx clock.
+///  - Assessment is pure arithmetic over the caller-supplied clock:
+///    idle past suspect_after intervals -> kSuspect, past dead_after
+///    intervals -> kDead. The state machines here never touch
+///    packets, rings, or real clocks, mirroring reliable.h — which
+///    is what keeps them model-testable.
+///
+/// The runtime unifies this third death path with the existing two
+/// (RTO exhaustion, socket EOF) behind Node::declare_peer_dead().
+
+#ifndef MSGPROXY_NET_FTS_H
+#define MSGPROXY_NET_FTS_H
+
+#include <cstdint>
+
+namespace net {
+
+/// Tuning knobs of the failure detector (proxy::NodeConfig embeds
+/// one as NodeConfig::Fts). Disabled by default: with enabled ==
+/// false the runtime behaves exactly as before this service existed
+/// (no heartbeats, death only via RTO exhaustion or socket EOF).
+struct FtsParams
+{
+    /// Master switch for heartbeat emission and timeout assessment.
+    bool enabled = false;
+    /// Heartbeat cadence per link: an idle link emits one kHeartbeat
+    /// per interval; a link that carried any traffic stays silent.
+    uint64_t interval_ns = 2 * 1000 * 1000;
+    /// Consecutive silent intervals before a peer turns kSuspect.
+    uint32_t suspect_after = 3;
+    /// Consecutive silent intervals before a peer turns kDead. Must
+    /// exceed suspect_after; death fires declare_peer_dead() and is
+    /// sticky until the peer rejoins with a higher epoch.
+    uint32_t dead_after = 10;
+    /// Failover target: endpoint traffic aimed at a dead peer is
+    /// re-homed onto this node id (-1: no survivor configured —
+    /// submits toward dead peers fail kPeerUnreachable as before).
+    int32_t survivor = -1;
+};
+
+/// Node-level liveness verdict for one peer, the monotone state
+/// machine alive -> suspect -> dead (suspect may recover to alive on
+/// fresh traffic; dead is sticky until a higher-epoch rejoin).
+enum class PeerState : uint8_t {
+    kAlive = 0,
+    kSuspect = 1,
+    kDead = 2
+};
+
+/// Human-readable PeerState name (stats/JSON/diagnostics).
+const char* peer_state_name(PeerState s);
+
+/// Per-link liveness clocks, embedded in the runtime's Link and
+/// touched only by the owning proxy thread. All times are the
+/// caller's monotonic nanosecond clock.
+struct LinkFts
+{
+    /// Last checksum-valid arrival from the peer (proof of life).
+    uint64_t last_rx = 0;
+    /// Last transmission toward the peer (data, ack, or heartbeat):
+    /// the heartbeat-suppression clock.
+    uint64_t last_tx = 0;
+    /// highest_sent() snapshot at the previous service pass — data
+    /// sends are detected by window progress so the send path itself
+    /// stays untouched.
+    uint64_t tx_mark = 0;
+    /// This link already contributed a suspect vote (cleared by
+    /// fresh rx so recovery can retract it).
+    bool suspected = false;
+
+    /// (Re)arms both clocks, e.g. at link (re)creation.
+    void
+    reset(uint64_t now)
+    {
+        last_rx = now;
+        last_tx = now;
+        tx_mark = 0;
+        suspected = false;
+    }
+
+    /// True when the link owes a heartbeat: nothing sent for a full
+    /// interval. Callers update last_tx on any send.
+    bool
+    heartbeat_due(uint64_t now, const FtsParams& p) const
+    {
+        return now >= last_tx && now - last_tx >= p.interval_ns;
+    }
+
+    /// Liveness verdict for the peer as seen from this link alone.
+    PeerState
+    assess(uint64_t now, const FtsParams& p) const
+    {
+        if (now < last_rx)
+            return PeerState::kAlive; // clock skew: trust the rx
+        const uint64_t idle = now - last_rx;
+        if (idle >= p.interval_ns * p.dead_after)
+            return PeerState::kDead;
+        if (idle >= p.interval_ns * p.suspect_after)
+            return PeerState::kSuspect;
+        return PeerState::kAlive;
+    }
+};
+
+} // namespace net
+
+#endif // MSGPROXY_NET_FTS_H

@@ -101,6 +101,12 @@ struct TransportParams
     /// Reliability layer on/off — both ends of a link must agree;
     /// transports verify this at wiring time.
     bool reliability = true;
+    /// Incarnation number of the owning node, exchanged in the
+    /// wiring handshake. A restarted node rejoins with a higher
+    /// epoch so peers can tell a fresh sequence space from stale
+    /// pre-crash wiring (see DESIGN.md "Failure detection &
+    /// failover" for the epoch rules).
+    uint64_t epoch = 1;
 };
 
 /// Callbacks a transport makes into its owning Node at wiring time.
@@ -112,10 +118,14 @@ class TransportHost
   public:
     virtual ~TransportHost() = default;
 
-    /// A link to (peer_node, with peer_proxies proxies) was wired.
-    /// Called at least once per peer, possibly once per link;
-    /// idempotent per peer.
-    virtual void on_peer_wired(int peer_node, int peer_proxies) = 0;
+    /// A link to (peer_node, with peer_proxies proxies, incarnation
+    /// `epoch`) was wired. Called at least once per peer, possibly
+    /// once per link; idempotent per (peer, epoch). A known peer
+    /// re-wiring with a *higher* epoch is a rejoin after restart:
+    /// the host revives it (clears dead/suspect verdicts). A lower
+    /// epoch than previously recorded is a wiring error.
+    virtual void on_peer_wired(int peer_node, int peer_proxies,
+                               uint64_t epoch) = 0;
 };
 
 /// One full-duplex framed packet link between a local proxy and one
@@ -225,6 +235,14 @@ class Transport
     /// Appends every link whose local end is proxy `proxy`.
     virtual void links_for(int proxy,
                            std::vector<TransportLink*>& out) = 0;
+
+    /// Drops all wiring toward `peer_node` so the peer can rejoin
+    /// with a fresh epoch (crash-restart recovery). Quiescent only:
+    /// the owning Node is stopped and has already reclaimed every
+    /// packet it had in custody on these links. After this call
+    /// links_for no longer reports the peer's links and a new
+    /// connect() from the peer wires from scratch.
+    virtual void forget_peer(int peer_node) { (void)peer_node; }
 
     /// Stops background machinery (acceptor threads). Links become
     /// unusable; called by the owning Node's destructor.

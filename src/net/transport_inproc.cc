@@ -128,8 +128,20 @@ InProcTransport::wire_pair(InProcTransport& a, InProcTransport& b)
                 a.params_.node_id, static_cast<int>(q),
                 static_cast<int>(p), ba.out[p * pa + q].get(),
                 ba.in[q * pb + p].get());
-    a.host_->on_peer_wired(b.params_.node_id, b.params_.num_proxies);
-    b.host_->on_peer_wired(a.params_.node_id, a.params_.num_proxies);
+    a.host_->on_peer_wired(b.params_.node_id, b.params_.num_proxies,
+                           b.params_.epoch);
+    b.host_->on_peer_wired(a.params_.node_id, a.params_.num_proxies,
+                           a.params_.epoch);
+}
+
+void
+InProcTransport::forget_peer(int peer_node)
+{
+    // Drops the peer's entry (links + our shares of the channels).
+    // The owning Node already swept its custody off these rings, so
+    // the Channel destructors' heap-retire rule handles whatever the
+    // dead peer left behind.
+    peers_.erase(peer_node);
 }
 
 void

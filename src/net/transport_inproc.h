@@ -102,6 +102,10 @@ class InProcTransport final : public Transport
     MSGPROXY_QUIESCENT void links_for(
         int proxy, std::vector<TransportLink*>& out) override;
 
+    /// Crash-restart recovery (quiescent): drops the peer's channel
+    /// matrices and links so a restarted incarnation can re-wire.
+    MSGPROXY_QUIESCENT void forget_peer(int peer_node) override;
+
     /// Wires the full-duplex channel matrices between two in-process
     /// transports directly (no registry) — the implementation behind
     /// connect() and the deprecated Node::connect(Node&, Node&) shim.

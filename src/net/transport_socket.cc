@@ -41,6 +41,10 @@ struct WireHello
     uint16_t peer_proxy = 0; ///< listener-side proxy q
     uint8_t reliability = 0;
     uint8_t pad = 0;
+    /// Connector incarnation: a restarted node rejoins with a
+    /// higher epoch so the listener distinguishes fresh wiring from
+    /// stale pre-crash state.
+    uint64_t epoch = 0;
 };
 
 /// Handshake reply, listener -> connector. Sent after the listener
@@ -53,6 +57,8 @@ struct WireHelloAck
     uint16_t nproxies = 0;
     uint8_t reliability = 0;
     uint8_t ok = 0;
+    /// Listener incarnation (see WireHello::epoch).
+    uint64_t epoch = 0;
 };
 
 /// Blocking exact-size read (handshake only; fds are still blocking
@@ -522,6 +528,7 @@ SocketTransport::acceptor_main()
         ack.node = params_.node_id;
         ack.nproxies = static_cast<uint16_t>(params_.num_proxies);
         ack.reliability = params_.reliability ? 1 : 0;
+        ack.epoch = params_.epoch;
         const bool ok =
             hello.reliability == ack.reliability &&
             hello.node != params_.node_id &&
@@ -537,7 +544,8 @@ SocketTransport::acceptor_main()
         // only after the final ack, so both sides hold the full
         // link matrix by then (the wiring-before-start rule).
         host_->on_peer_wired(hello.node,
-                             static_cast<int>(hello.nproxies));
+                             static_cast<int>(hello.nproxies),
+                             hello.epoch);
         add_link(cfd, hello.node,
                  static_cast<int>(hello.my_proxy),
                  static_cast<int>(hello.peer_proxy));
@@ -564,6 +572,7 @@ SocketTransport::connect(const Addr& addr)
         hello.my_proxy = static_cast<uint16_t>(p);
         hello.peer_proxy = static_cast<uint16_t>(q);
         hello.reliability = params_.reliability ? 1 : 0;
+        hello.epoch = params_.epoch;
         MP_CHECK(write_full(fd, &hello, sizeof(hello)),
                  "handshake write failed: "
                      << std::strerror(errno));
@@ -579,7 +588,8 @@ SocketTransport::connect(const Addr& addr)
         if (peer_node < 0) {
             peer_node = ack.node;
             peer_proxies = static_cast<int>(ack.nproxies);
-            host_->on_peer_wired(peer_node, peer_proxies);
+            host_->on_peer_wired(peer_node, peer_proxies,
+                                 ack.epoch);
         }
         MP_CHECK(ack.node == peer_node,
                  "listen address answered by two different nodes ("
@@ -645,6 +655,32 @@ SocketTransport::links_for(int proxy,
     std::lock_guard<std::mutex> lk(mu_);
     for (SocketLink* l : by_proxy_[static_cast<size_t>(proxy)])
         out.push_back(l);
+}
+
+void
+SocketTransport::forget_peer(int peer_node)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& row : by_proxy_) {
+        for (size_t i = 0; i < row.size();) {
+            SocketLink* l = row[i];
+            if (l->peer_node() != peer_node) {
+                ++i;
+                continue;
+            }
+            // Closing the fd also drops its epoll registration (the
+            // fd is the only reference). The owning Node already
+            // reclaimed its borrowed tx packets via reclaim_tx; the
+            // link's own rx slabs die with the transport.
+            l->mark_closed();
+            if (l->fd_ >= 0) {
+                ::close(l->fd_);
+                l->fd_ = -1;
+            }
+            row[i] = row.back();
+            row.pop_back();
+        }
+    }
 }
 
 void

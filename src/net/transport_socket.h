@@ -136,6 +136,11 @@ class SocketTransport final : public Transport
     bool needs_pump() const override { return true; }
     void links_for(int proxy,
                    std::vector<TransportLink*>& out) override;
+    /// Crash-restart recovery (quiescent): closes and unregisters
+    /// every link toward the peer so a restarted incarnation can
+    /// re-dial. Defunct link objects stay in links_ (stable
+    /// addresses) until transport destruction.
+    void forget_peer(int peer_node) override;
     void stop() override;
 
   private:

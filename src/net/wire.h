@@ -15,6 +15,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "net/reliable.h"
 #include "spsc/ring_queue.h"
@@ -35,7 +38,8 @@ struct Packet
         kRqEnqData, ///< payload -> proxy-managed remote queue
         kRqDeqReq,  ///< dequeue request (ccb identifies requester)
         kRqDeqData, ///< dequeue reply (flags bit1: queue was empty)
-        kAck        ///< standalone cumulative ack (unsequenced)
+        kAck,       ///< standalone cumulative ack (unsequenced)
+        kHeartbeat  ///< liveness probe (unsequenced, carries an ack)
     };
     Kind kind;
     uint8_t flags = 0; ///< bit0: last fragment
@@ -118,7 +122,8 @@ wire_payload_len(const Packet& p)
 {
     if (p.kind == Packet::Kind::kGetReq ||
         p.kind == Packet::Kind::kRqDeqReq ||
-        p.kind == Packet::Kind::kAck)
+        p.kind == Packet::Kind::kAck ||
+        p.kind == Packet::Kind::kHeartbeat)
         return 0;
     return p.len < kMtu ? p.len : kMtu;
 }
@@ -156,10 +161,10 @@ struct Channel
     /// Frees heap-fallback packets still queued at teardown.
     /// Packets still queued here: heap-fallback ones are owned by
     /// whoever retires them — that is now us. Pooled ones belong to
-    /// the producer's slab (freed with its Node); the tag in the
-    /// ring slot lets us tell them apart without touching packet
-    /// memory that may already be gone. Retained packets are owned
-    /// by their sender's window (which frees heap ones in the Node
+    /// the producer's slab, which `retain` pins to this channel's
+    /// lifetime; the tag in the ring slot still lets us skip them
+    /// without a dereference. Retained packets are owned by their
+    /// sender's window (which frees heap ones in the Node
     /// destructor), never by the ring.
     MSGPROXY_QUIESCENT ~Channel()
     {
@@ -170,8 +175,26 @@ struct Channel
         }
     }
 
+    /// Pins producer-owned storage (a packet-pool slab) to this
+    /// channel's lifetime. A crashing producer deposits its slab
+    /// here before dying so the consumer can keep dereferencing
+    /// packets it has not yet popped; the memory is released when
+    /// the last shared_ptr to the channel drops (the survivor's
+    /// forget_peer). Teardown-only, hence the lock is never
+    /// contended on the wire path.
+    MSGPROXY_QUIESCENT void
+    retain(std::shared_ptr<void> storage)
+    {
+        std::lock_guard<std::mutex> lk(keep_mu_);
+        keep_.push_back(std::move(storage));
+    }
+
     spsc::DynRingQueue<PacketRef> ring;
     spsc::DynPtrRing<Packet*> ret;
+
+  private:
+    std::mutex keep_mu_;
+    std::vector<std::shared_ptr<void>> keep_;
 };
 
 } // namespace net

@@ -124,6 +124,10 @@ constexpr StatField kStatFields[] = {
      &ProxyStats::pkts_forwarded, false},
     {"completions_batched", &NodeStats::completions_batched,
      &ProxyStats::completions_batched, false},
+    {"heartbeats_sent", &NodeStats::heartbeats_sent,
+     &ProxyStats::heartbeats_sent, false},
+    {"failovers", &NodeStats::failovers, &ProxyStats::failovers,
+     false},
 };
 
 /// Sums (or maxes) `p` into `acc` field by field.
@@ -270,8 +274,19 @@ Endpoint::submit(Command&& c)
     }
     if (!node_.valid_target(c.dst_node))
         return SubmitStatus::kBadTarget;
-    if (c.dst_node != node_.id() && node_.peer_unreachable(c.dst_node))
-        return SubmitStatus::kPeerUnreachable;
+    if (c.dst_node != node_.id() &&
+        node_.peer_unreachable(c.dst_node)) {
+        // Dead peer: with a resolved failover target the command is
+        // accepted and re-homed by the owning proxy
+        // (handle_command); a configured-but-unusable survivor is a
+        // target error, no survivor keeps the historical verdict.
+        const int fo = node_.failover_target(c.dst_node);
+        if (fo < 0) {
+            return node_.cfg_.fts.survivor >= 0
+                       ? SubmitStatus::kBadTarget
+                       : SubmitStatus::kPeerUnreachable;
+        }
+    }
     // Doorbell timestamp: the command is handed over right here (the
     // push may still fail on a full queue, in which case the whole
     // trace id dies with the rejected command).
@@ -408,14 +423,41 @@ Node::~Node()
     // sweeps below, which walk its links.
     if (transport_ != nullptr)
         transport_->stop();
+    // Pin every proxy's pool slab to every shared outbound channel
+    // before anything is freed: survivors of a crash keep popping
+    // (and dereferencing) this node's pooled packets from those
+    // rings until their forget_peer sweep drops the channel, so the
+    // slab must live exactly as long as the channels do. Every slab
+    // goes into every channel because link rebalancing can route any
+    // proxy's packets through any port.
+    for (auto& pr : proxies_) {
+        std::shared_ptr<Packet[]> slab = pr->pool.slab();
+        if (slab == nullptr)
+            continue;
+        for (auto& pr2 : proxies_) {
+            for (const TxPort& t : pr2->tx) {
+                if (t.ch != nullptr)
+                    t.ch->retain(slab);
+            }
+        }
+    }
     // Deferred packets survive stop() so a restarted node resumes
     // them; at destruction, retire the heap-owned ones (pooled ones
     // die with their slab; retained ones belong to their sender's
     // window, possibly on a peer node we must not touch).
     for (auto& pr : proxies_) {
         for (const Deferred& d : pr->deferred) {
-            if (d.heap && !d.retained)
+            if (d.heap && !d.retained) {
                 delete d.p;
+            } else if (!d.heap && !d.retained &&
+                       d.from.ch != nullptr) {
+                // Pooled packet borrowed from a peer's channel:
+                // hand it back through the shared return ring so a
+                // surviving producer's pool accounting still closes
+                // (the ring outlives either end via shared_ptr; the
+                // push cannot fail by ret_capacity sizing).
+                d.from.ch->ret.try_push(d.p);
+            }
         }
         pr->deferred.clear();
         // Custody sweep for the reliability layer, in an order that
@@ -496,13 +538,14 @@ Node::ensure_transport()
                                       : 0) +
             64;
         tp.reliability = cfg_.reliability.enabled;
+        tp.epoch = cfg_.epoch;
         transport_ = net::make_transport(cfg_.transport, tp, this);
     }
     return *transport_;
 }
 
 void
-Node::on_peer_wired(int peer_node, int peer_proxies)
+Node::on_peer_wired(int peer_node, int peer_proxies, uint64_t epoch)
 {
     std::lock_guard<std::mutex> lk(wiring_mu_);
     MP_CHECK(!running_.load(mp::ord::observe),
@@ -510,15 +553,42 @@ Node::on_peer_wired(int peer_node, int peer_proxies)
     auto n = static_cast<size_t>(peer_node);
     if (peer_proxies_.size() <= n)
         peer_proxies_.resize(n + 1, 0);
-    MP_CHECK(peer_proxies_[n] == 0 ||
-                 peer_proxies_[n] == peer_proxies,
-             "peer " << peer_node
-                     << " changed proxy count across wiring");
-    peer_proxies_[n] = peer_proxies;
-    if (peer_dead_.size() <= n)
+    if (peer_dead_.size() <= n) {
         peer_dead_.resize(n + 1);
-    if (peer_dead_[n] == nullptr)
+        peer_state_.resize(n + 1);
+        failover_.resize(n + 1);
+        blackhole_.resize(n + 1);
+        peer_epoch_.resize(n + 1, 0);
+    }
+    if (peer_dead_[n] == nullptr) {
         peer_dead_[n] = std::make_unique<std::atomic<bool>>(false);
+        peer_state_[n] = std::make_unique<std::atomic<uint8_t>>(0);
+        failover_[n] = std::make_unique<std::atomic<int32_t>>(-1);
+        blackhole_[n] = std::make_unique<std::atomic<bool>>(false);
+    }
+    // Epoch rules: first wiring and higher-epoch rejoins (a restarted
+    // incarnation) are accepted — a rejoin revives the peer (clears
+    // the dead/suspect verdict and may change its proxy count). A
+    // stale lower epoch is wiring from a pre-crash incarnation.
+    MP_CHECK(epoch >= peer_epoch_[n],
+             "peer " << peer_node << " wired with stale epoch "
+                     << epoch << " < " << peer_epoch_[n]);
+    if (epoch > peer_epoch_[n]) {
+        peer_epoch_[n] = epoch;
+        peer_proxies_[n] = peer_proxies;
+        peer_dead_[n]->store(false, mp::ord::publish);
+        peer_state_[n]->store(
+            static_cast<uint8_t>(net::PeerState::kAlive),
+            mp::ord::publish);
+        failover_[n]->store(-1, mp::ord::publish);
+        blackhole_[n]->store(false, mp::ord::publish);
+    } else {
+        // Same epoch (another link of the same incarnation): the
+        // proxy count must agree.
+        MP_CHECK(peer_proxies_[n] == peer_proxies,
+                 "peer " << peer_node
+                         << " changed proxy count across wiring");
+    }
 }
 
 void
@@ -638,6 +708,15 @@ Node::start()
                 // backend (direct ring ops); socket links leave them
                 // null and route through the virtual hooks.
                 lk.out = TxPort{io->chan_out(), io};
+                // Liveness clocks start at "just heard from": the
+                // detector only suspects a peer that stays silent
+                // for suspect_after intervals from here on.
+                lk.fts.reset(now_ns());
+                // Cache the peer's partition switch (chaos hook).
+                lk.bh = (n < blackhole_.size() &&
+                         blackhole_[n] != nullptr)
+                            ? blackhole_[n].get()
+                            : nullptr;
                 pr->rx.push_back(
                     RxEntry{RxPort{io->chan_in(), io}, &lk});
                 pr->tx.push_back(lk.out);
@@ -721,6 +800,184 @@ Node::stop()
             pr->owner.release(); // a restarted proxy thread re-binds
         }
     }
+    // The consumer threads are gone: unbind every command queue's
+    // consumer role so the next start()'s proxies (possibly
+    // different OS threads) re-bind cleanly.
+    for (auto& ep : endpoints_)
+        ep->cmdq_.release_consumer();
+}
+
+void
+Node::forget_peer(int node)
+{
+    MP_CHECK(!running_.load(mp::ord::observe),
+             "forget_peer requires a stopped node");
+    const auto n = static_cast<size_t>(node);
+    if (n >= peer_dead_.size() || peer_dead_[n] == nullptr)
+        return; // never wired: nothing to forget
+    const uint64_t now = now_ns();
+    for (auto& prp : proxies_) {
+        Proxy& pr = *prp;
+        // (1) Parked arrivals FROM the dead peer, identified by
+        // receive port — never by dereference: pooled storage died
+        // with the peer's slab, and its window-retained heap packets
+        // were deleted by its own teardown sweep. Only a packet the
+        // peer fully handed over (heap, unretained) is still valid,
+        // and ours to retire.
+        auto from_dead = [&](const RxPort& f) {
+            if (f.ch == nullptr && f.io == nullptr)
+                return false; // our own packet (loopback)
+            for (const RxEntry& rxe : pr.rx) {
+                if (rxe.link != nullptr &&
+                    rxe.link->peer_node == node &&
+                    rxe.port.ch == f.ch && rxe.port.io == f.io)
+                    return true;
+            }
+            return false;
+        };
+        for (size_t i = 0; i < pr.deferred.size();) {
+            Deferred& d = pr.deferred[i];
+            if (!from_dead(d.from)) {
+                ++i;
+                continue;
+            }
+            if (d.heap && !d.retained) {
+                delete d.p;
+                ++pr.local.heap_frees;
+            }
+            d = pr.deferred.back();
+            pr.deferred.pop_back();
+        }
+        for (Link& lk : pr.links) {
+            if (lk.peer_node != node)
+                continue;
+            // (2) Returned custody: everything the dead consumer
+            // handed back through the return ring, or the socket
+            // surrendered at close (reclaim_tx). recycle_tx applies
+            // the tx_state custody rules throughout this sweep:
+            // window-retained packets only shed their in-flight bit
+            // here, so the abandon below releases each exactly once.
+            Packet* p = nullptr;
+            if (lk.out.ch != nullptr) {
+                while (lk.out.ch->ret.try_pop(p))
+                    recycle_tx(pr, p);
+            } else if (lk.out.io != nullptr) {
+                while (lk.out.io->reclaim_tx(&p, 1) == 1)
+                    recycle_tx(pr, p);
+            }
+            // (3) Sends the dead peer never consumed, still queued
+            // in the forward ring (in-process only: a socket's
+            // queued frames came back via reclaim_tx above).
+            if (lk.out.ch != nullptr) {
+                PacketRef r;
+                while (lk.out.ch->ring.try_pop(r))
+                    recycle_tx(pr, r.p);
+            }
+            // (4) Reorder-injected sends parked in the stash.
+            for (const Link::Stashed& s : lk.stash)
+                recycle_tx(pr, s.ref.p);
+            lk.stash.clear();
+            // (5) The unacked window: after (2)-(4) none of its
+            // packets is in flight anywhere, so the kill_link
+            // custody walk releases each exactly once.
+            lk.win.abandon([&](PacketRef h) {
+                h.p->tx_state &= static_cast<uint8_t>(~kTxRetained);
+                if ((h.p->tx_state & kTxInFlight) == 0)
+                    release_packet(pr, PacketRef{h.p, h.heap, false},
+                                   nullptr);
+            });
+        }
+        // (6) Arrivals the proxy never popped. Same custody split as
+        // the deferred purge; socket in-ports are skipped — their rx
+        // slabs belong to the transport link and are freed wholesale
+        // at transport destruction.
+        for (const RxEntry& rxe : pr.rx) {
+            if (rxe.link == nullptr || rxe.link->peer_node != node ||
+                rxe.port.ch == nullptr)
+                continue;
+            PacketRef r;
+            while (rxe.port.ch->ring.try_pop(r)) {
+                if (r.heap && !r.retained) {
+                    delete r.p;
+                    ++pr.local.heap_frees;
+                }
+            }
+        }
+        // (7) Requests still awaiting the dead peer's reply.
+        fail_ccbs(pr, node);
+        // (8) Drop the peer's ports from the drain lists so
+        // quiesce_returns and teardown never touch channels the
+        // transport is about to free.
+        pr.rx.erase(std::remove_if(pr.rx.begin(), pr.rx.end(),
+                                   [&](const RxEntry& rxe) {
+                                       return rxe.link != nullptr &&
+                                              rxe.link->peer_node ==
+                                                  node;
+                                   }),
+                    pr.rx.end());
+        pr.tx.erase(std::remove_if(
+                        pr.tx.begin(), pr.tx.end(),
+                        [&](const TxPort& t) {
+                            for (const Link& lk : pr.links) {
+                                if (lk.peer_node == node &&
+                                    lk.out.valid() &&
+                                    t.ch == lk.out.ch &&
+                                    t.io == lk.out.io)
+                                    return true;
+                            }
+                            return false;
+                        }),
+                    pr.tx.end());
+        if (n < pr.out_by_node.size()) {
+            for (TxPort& t : pr.out_by_node[n])
+                t = TxPort{};
+        }
+        // (9) Reset protocol state for the peer's next incarnation:
+        // fresh sequence spaces on both sides (a restarted node
+        // starts its receiver at seq 1), fresh liveness clocks, and
+        // no port until start() re-wires. The Link objects stay in
+        // place — link_by_node still points at them — so a rejoin
+        // reuses them exactly like a plain stop()/start() cycle.
+        for (Link& lk : pr.links) {
+            if (lk.peer_node != node)
+                continue;
+            lk.win = net::SenderWindow<PacketRef>(cfg_.reliability);
+            lk.rseq = net::ReceiverSeq{};
+            lk.dead = false;
+            lk.fts.reset(now);
+            lk.out = TxPort{};
+        }
+        publish_stats(pr);
+    }
+    // (10) Let the transport drop its half: in-process channel
+    // matrices (our shared_ptrs kept them valid through the sweeps
+    // above), or socket fds. Then clear the node-level verdicts so a
+    // higher-epoch rejoin starts clean. peer_epoch_ is deliberately
+    // NOT reset: it is the monotone clock that rejects wiring
+    // attempts from pre-crash incarnations.
+    if (transport_ != nullptr)
+        transport_->forget_peer(node);
+    {
+        std::lock_guard<std::mutex> wl(wiring_mu_);
+        peer_proxies_[n] = 0; // not a valid target until re-wired
+        peer_dead_[n]->store(false, mp::ord::publish);
+        peer_state_[n]->store(
+            static_cast<uint8_t>(net::PeerState::kAlive),
+            mp::ord::publish);
+        failover_[n]->store(-1, mp::ord::publish);
+        blackhole_[n]->store(false, mp::ord::publish);
+    }
+}
+
+void
+Node::quiesce_returns()
+{
+    MP_CHECK(!running_.load(mp::ord::observe),
+             "quiesce_returns requires a stopped node");
+    for (auto& pr : proxies_) {
+        drain_returns(*pr);
+        publish_stats(*pr);
+    }
 }
 
 void
@@ -795,6 +1052,10 @@ Node::process_migrations(Proxy& self)
                 break;
             handle_command(self, ep, cmd);
         }
+        // Hand the ring's consumer role to the new owner before it
+        // can legally touch the queue (ownership-checked builds
+        // assert on empty()/try_pop from a non-consumer thread).
+        ep.cmdq_.release_consumer();
         // Handoff: publish the new owner, then unconditionally set
         // the new owner's doorbell bit. The release RMW orders the
         // shard_map store before the bit for whoever consumes it, so
@@ -938,6 +1199,12 @@ Node::stats_snapshot() const
         if (p < snap.endpoints_owned.size())
             ++snap.endpoints_owned[p];
     }
+    snap.peer_state.assign(peer_state_.size(), 0);
+    for (size_t n = 0; n < peer_state_.size(); ++n) {
+        if (peer_state_[n] != nullptr)
+            snap.peer_state[n] =
+                peer_state_[n]->load(mp::ord::observe);
+    }
     return snap;
 }
 
@@ -1041,6 +1308,84 @@ Node::peer_unreachable(int node) const
            peer_dead_[static_cast<size_t>(node)] != nullptr &&
            peer_dead_[static_cast<size_t>(node)]->load(
                mp::ord::observe);
+}
+
+net::PeerState
+Node::peer_state(int node) const
+{
+    if (node < 0 || static_cast<size_t>(node) >= peer_state_.size() ||
+        peer_state_[static_cast<size_t>(node)] == nullptr)
+        return net::PeerState::kAlive;
+    return static_cast<net::PeerState>(
+        peer_state_[static_cast<size_t>(node)]->load(
+            mp::ord::observe));
+}
+
+int
+Node::failover_target(int node) const
+{
+    if (node < 0 || static_cast<size_t>(node) >= failover_.size() ||
+        failover_[static_cast<size_t>(node)] == nullptr)
+        return -1;
+    return failover_[static_cast<size_t>(node)]->load(
+        mp::ord::observe);
+}
+
+void
+Node::set_peer_blackhole(int node, bool on)
+{
+    if (node < 0 || static_cast<size_t>(node) >= blackhole_.size() ||
+        blackhole_[static_cast<size_t>(node)] == nullptr)
+        return;
+    blackhole_[static_cast<size_t>(node)]->store(on,
+                                                 mp::ord::publish);
+}
+
+void
+Node::declare_peer_dead(int node)
+{
+    const auto n = static_cast<size_t>(node);
+    if (node < 0 || n >= peer_state_.size() ||
+        peer_state_[n] == nullptr)
+        return;
+    const uint8_t prev = peer_state_[n]->exchange(
+        static_cast<uint8_t>(net::PeerState::kDead),
+        mp::ord::handoff);
+    if (prev == static_cast<uint8_t>(net::PeerState::kDead))
+        return; // somebody else won the race: exactly-once edge
+    // Resolve the failover target once, at death time: configured,
+    // in range, not ourselves, and itself not already dead.
+    const int fo = cfg_.fts.survivor;
+    if (fo >= 0 && fo != node && fo != cfg_.id && valid_target(fo) &&
+        !peer_unreachable(fo))
+        failover_[n]->store(fo, mp::ord::publish);
+    peer_dead_[n]->store(true, mp::ord::publish);
+    // Wake every proxy's link sweep (one relaxed load per loop on
+    // the hot path; the sweep itself runs only on a change).
+    peer_dead_gen_.fetch_add(1, mp::ord::publish);
+    if (peer_cb_)
+        peer_cb_(node, net::PeerState::kDead);
+}
+
+void
+Node::note_peer_suspect(int node, bool suspected)
+{
+    const auto n = static_cast<size_t>(node);
+    if (node < 0 || n >= peer_state_.size() ||
+        peer_state_[n] == nullptr)
+        return;
+    uint8_t from = static_cast<uint8_t>(
+        suspected ? net::PeerState::kAlive : net::PeerState::kSuspect);
+    uint8_t to = static_cast<uint8_t>(
+        suspected ? net::PeerState::kSuspect : net::PeerState::kAlive);
+    // CAS so a dead verdict is never overwritten and the callback
+    // fires once per edge even with several proxies assessing.
+    if (peer_state_[n]->compare_exchange_strong(from, to,
+                                                mp::ord::handoff,
+                                                mp::ord::observe)) {
+        if (peer_cb_)
+            peer_cb_(node, static_cast<net::PeerState>(to));
+    }
 }
 
 const ProxyStats&
@@ -1216,6 +1561,7 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
     bool progressed = false;
     const auto budget0 = static_cast<int>(cfg_.pkt_burst);
     const bool rel = cfg_.reliability.enabled;
+    const bool fts = cfg_.fts.enabled;
     for (RxEntry& rxe : self.rx) {
         const RxPort& port = rxe.port;
         Link* lk = rxe.link;
@@ -1236,6 +1582,15 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
                     release_packet(self, r, port);
                     continue;
                 }
+                if (fts) {
+                    // Any checksum-valid arrival proves the peer
+                    // alive — data, acks, and heartbeats all count.
+                    lk->fts.last_rx = self.now_cache;
+                    if (lk->fts.suspected) {
+                        lk->fts.suspected = false;
+                        note_peer_suspect(lk->peer_node, false);
+                    }
+                }
                 if (rel && pkt.ack != 0) {
                     lk->win.on_ack(
                         pkt.ack, self.now_cache, [&](PacketRef h) {
@@ -1248,7 +1603,11 @@ Node::drain_inputs(Proxy& self, bool defer_requests)
                                     nullptr);
                         });
                 }
-                if (pkt.kind == Packet::Kind::kAck) {
+                if (pkt.kind == Packet::Kind::kAck ||
+                    pkt.kind == Packet::Kind::kHeartbeat) {
+                    // Both are unsequenced control traffic: the ack
+                    // (and the liveness refresh above) is their whole
+                    // payload; they never enter the sequence space.
                     release_packet(self, r, port);
                     continue;
                 }
@@ -1348,7 +1707,8 @@ Node::clone_packet(Proxy& self, const Packet& src)
     // custody byte).
     const uint32_t n = src.kind == Packet::Kind::kGetReq ||
                                src.kind == Packet::Kind::kRqDeqReq ||
-                               src.kind == Packet::Kind::kAck
+                               src.kind == Packet::Kind::kAck ||
+                               src.kind == Packet::Kind::kHeartbeat
                            ? 0
                            : std::min(src.len, kMtu);
     if (n > 0)
@@ -1359,6 +1719,14 @@ Node::clone_packet(Proxy& self, const Packet& src)
 bool
 Node::inject_push(Proxy& self, Link& lk, PacketRef ref)
 {
+    if (lk.bh != nullptr && lk.bh->load(mp::ord::observe)) {
+        // Partitioned (chaos hook): the wire eats everything. A
+        // retained packet stays with its window, whose RTO will
+        // escalate to link death; a transient one is simply gone.
+        if (!ref.retained)
+            release_packet(self, ref, nullptr);
+        return true;
+    }
     if (!lk.inj.enabled())
         return push_port(self, lk.out, ref);
     const net::FaultAction act = lk.inj.next();
@@ -1464,6 +1832,11 @@ Node::send_packet(Proxy& self, int dst_node, int dst_proxy,
                 release_packet(self, ref, nullptr);
                 return false;
             }
+            // Another proxy (or a user thread) may declare this peer
+            // dead while we stall here; fold that verdict into our
+            // own link so the wait terminates.
+            if (peer_unreachable(lk->peer_node))
+                kill_link(self, *lk);
             // Socket links make ack progress only when their fd is
             // serviced; pump while the window is closed (ring-backed
             // links skip the virtual call).
@@ -1510,6 +1883,28 @@ Node::service_link(Proxy& self, Link& lk)
     if (lk.out.ch == nullptr && lk.out.io != nullptr && !lk.dead &&
         lk.out.io->peer_closed())
         kill_link(self, lk);
+    // Heartbeat failure detection (the third death path, after RTO
+    // exhaustion and stream EOF): a link silent past
+    // interval * suspect_after is suspected, past interval *
+    // dead_after the peer is declared dead node-wide.
+    // Port-less links (a forgotten peer awaiting re-wiring) carry no
+    // liveness clock: assessing them would re-kill the peer's next
+    // incarnation off stale silence.
+    if (cfg_.fts.enabled && !lk.dead && lk.out.valid()) {
+        switch (lk.fts.assess(self.now_cache, cfg_.fts)) {
+          case net::PeerState::kDead:
+            kill_link(self, lk);
+            break;
+          case net::PeerState::kSuspect:
+            if (!lk.fts.suspected) {
+                lk.fts.suspected = true;
+                note_peer_suspect(lk.peer_node, true);
+            }
+            break;
+          case net::PeerState::kAlive:
+            break;
+        }
+    }
     // Age the reorder stash one tick (independent of reliability:
     // fault injection also applies to the raw protocol). Due packets
     // are released with try_push only — a full port just postpones
@@ -1566,6 +1961,10 @@ Node::service_link(Proxy& self, Link& lk)
     lk.win.on_timeout(now, [&](uint64_t, PacketRef& h) {
         if ((h.p->tx_state & kTxInFlight) != 0)
             return;
+        // Partitioned: skip the resend but let the retry counter
+        // escalate, so a sticky partition becomes link death.
+        if (lk.bh != nullptr && lk.bh->load(mp::ord::observe))
+            return;
         if (port_full(lk.out))
             return;
         h.p->ack = lk.rseq.cum_ack();
@@ -1606,8 +2005,10 @@ Node::kill_link(Proxy& self, Link& lk)
         return;
     lk.dead = true;
     ++self.local.faults;
-    auto& dead = peer_dead_[static_cast<size_t>(lk.peer_node)];
-    dead->store(true, mp::ord::publish);
+    // All three death paths (RTO exhaustion, stream EOF, heartbeat
+    // timeout) funnel through the node-level verdict; other proxies
+    // pick it up via the dead-generation sweep.
+    declare_peer_dead(lk.peer_node);
     lk.win.abandon([&](PacketRef h) {
         h.p->tx_state &= static_cast<uint8_t>(~kTxRetained);
         if ((h.p->tx_state & kTxInFlight) == 0)
@@ -1636,6 +2037,20 @@ Node::fail_ccbs(Proxy& self, int peer_node)
 }
 
 void
+Node::sweep_dead_links(Proxy& self)
+{
+    // A death declared elsewhere (another proxy's detector, a stream
+    // EOF, a user thread) reached this proxy via the dead-generation
+    // counter: apply the node-level verdict to the local links so
+    // their windows release and their CCBs fail now, instead of each
+    // waiting out a private RTO/heartbeat verdict of its own.
+    for (Link& lk : self.links) {
+        if (!lk.dead && peer_unreachable(lk.peer_node))
+            kill_link(self, lk);
+    }
+}
+
+void
 Node::service_links(Proxy& self)
 {
     for (Link& lk : self.links)
@@ -1647,18 +2062,37 @@ Node::flush_acks(Proxy& self, bool idle)
 {
     if (!cfg_.reliability.enabled)
         return;
+    const bool fts = cfg_.fts.enabled;
     for (Link& lk : self.links) {
-        if (lk.dead)
+        // A port-less link is a forgotten peer awaiting re-wiring:
+        // nothing to ack, nowhere to send.
+        if (lk.dead || !lk.out.valid())
             continue;
+        bool hb = false;
         if (!lk.rseq.ack_due(cfg_.reliability.ack_every) &&
-            !(idle && lk.rseq.ack_pending()))
-            continue;
-        // Standalone cumulative ack: unsequenced (seq 0), loss-
-        // tolerant — a lost ack is recovered by the next one or by a
-        // duplicate-triggered re-ack.
+            !(idle && lk.rseq.ack_pending())) {
+            if (!fts)
+                continue;
+            // No ack owed: the heartbeat path. Data progress counts
+            // as liveness — when the window advanced since we last
+            // looked, refresh the tx clock instead of emitting.
+            const uint64_t hs = lk.win.highest_sent();
+            if (hs != lk.fts.tx_mark) {
+                lk.fts.tx_mark = hs;
+                lk.fts.last_tx = self.now_cache;
+                continue;
+            }
+            if (!lk.fts.heartbeat_due(self.now_cache, cfg_.fts))
+                continue;
+            hb = true;
+        }
+        // Standalone cumulative ack / liveness probe: unsequenced
+        // (seq 0), loss-tolerant — a lost one is recovered by the
+        // next, and both carry the current cumulative ack.
         PacketRef ref = alloc_packet(self);
         Packet* pkt = ref.p;
-        pkt->kind = Packet::Kind::kAck;
+        pkt->kind = hb ? Packet::Kind::kHeartbeat
+                       : Packet::Kind::kAck;
         pkt->flags = 0;
         pkt->src_node = cfg_.id;
         pkt->src_user = -1;
@@ -1668,16 +2102,21 @@ Node::flush_acks(Proxy& self, bool idle)
         pkt->ccb = 0;
         pkt->seq = 0;
         pkt->ack = lk.rseq.cum_ack();
-        pkt->tid = 0; // acks belong to no traced command
+        pkt->tid = 0; // control traffic belongs to no traced command
         pkt->crc = packet_crc(*pkt);
         lk.rseq.ack_sent();
-        ++self.local.acks_sent;
+        if (hb) {
+            lk.fts.last_tx = self.now_cache;
+            ++self.local.heartbeats_sent;
+        } else {
+            ++self.local.acks_sent;
+        }
         inject_push(self, lk, ref);
     }
 }
 
 void
-Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
+Node::handle_command(Proxy& self, Endpoint& ep, Command& cmd)
 {
     self.owner.assert_owner("Node command handling (proxy thread only)");
     ++self.local.commands;
@@ -1685,6 +2124,18 @@ Node::handle_command(Proxy& self, Endpoint& ep, const Command& cmd)
     // (single-writer while we own the shard; load+store, not RMW).
     ep.drained_.store(ep.drained_.load(mp::ord::counter) + 1,
                       mp::ord::counter);
+    // Failover re-homing: a command aimed at a dead peer whose
+    // failover target resolved is rewritten here, at the single
+    // dispatch point, so routing below (including the remote-queue
+    // shard rule) uniformly sees the survivor. Commands already in
+    // flight past this point fail through the dead-link path.
+    if (cmd.dst_node != cfg_.id && peer_unreachable(cmd.dst_node)) {
+        const int fo = failover_target(cmd.dst_node);
+        if (fo >= 0) {
+            cmd.dst_node = fo;
+            ++self.local.failovers;
+        }
+    }
     const int dst_p = peer_proxy_count(cmd.dst_node);
     const bool traced = cmd.tid != 0 && obs_on();
     const obs::OpKind opk = op_kind(cmd.op);
@@ -2141,6 +2592,10 @@ Node::handle_packet(Proxy& self, Packet& pkt)
         break;
       }
       case Packet::Kind::kAck:
+      case Packet::Kind::kHeartbeat:
+        // Control traffic is intercepted in drain_inputs; nothing
+        // to do if one ever reaches dispatch (loopback never emits
+        // them).
         break;
     }
 }
@@ -2177,6 +2632,8 @@ Node::publish_stats(Proxy& self)
     s.pkts_forwarded.store(l.pkts_forwarded, mp::ord::counter);
     s.completions_batched.store(l.completions_batched,
                                 mp::ord::counter);
+    s.heartbeats_sent.store(l.heartbeats_sent, mp::ord::counter);
+    s.failovers.store(l.failovers, mp::ord::counter);
 }
 
 void
@@ -2295,6 +2752,18 @@ Node::proxy_main(Proxy& self)
         // stays null, so no virtual call).
         if (io_pump_ != nullptr)
             io_pump_->pump(self.index);
+
+        // Peer deaths declared elsewhere (another proxy's detector,
+        // a user thread): one relaxed load per loop; the sweep runs
+        // only when the generation moved.
+        {
+            const uint64_t gen =
+                peer_dead_gen_.load(mp::ord::observe);
+            if (gen != self.dead_gen_seen) {
+                self.dead_gen_seen = gen;
+                sweep_dead_links(self);
+            }
+        }
 
         if (drain_inputs(self, /*defer_requests=*/false))
             progressed = true;

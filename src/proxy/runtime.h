@@ -40,6 +40,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -51,6 +52,7 @@
 #include "util/annotations.h"
 #include "util/orders.h"
 #include "net/fault.h"
+#include "net/fts.h"
 #include "net/reliable.h"
 #include "net/transport.h"
 #include "obs/histogram.h"
@@ -272,6 +274,12 @@ struct ProxyStats
     /// Completion-flag increments coalesced by the cross-proxy
     /// completion batcher (deferred then flushed in one pass).
     std::atomic<uint64_t> completions_batched{0};
+    /// Standalone kHeartbeat probes emitted (idle links only — a
+    /// link moving data never pays for one).
+    std::atomic<uint64_t> heartbeats_sent{0};
+    /// Commands re-homed to a failover target because their original
+    /// destination was declared dead.
+    std::atomic<uint64_t> failovers{0};
 };
 
 /// Node-wide counter snapshot: the sum of every proxy's ProxyStats
@@ -302,6 +310,8 @@ struct NodeStats
     uint64_t migrations = 0;
     uint64_t pkts_forwarded = 0;
     uint64_t completions_batched = 0;
+    uint64_t heartbeats_sent = 0;
+    uint64_t failovers = 0;
 };
 
 /// Completion-latency distribution of one op kind, extracted from
@@ -347,6 +357,9 @@ struct NodeSnapshot
     /// Per-proxy count of endpoints currently owned (shard_map scan
     /// at snapshot time; approximate while migrations are in flight).
     std::vector<uint32_t> endpoints_owned;
+    /// peer_state[n]: net::PeerState of node n as this node sees it
+    /// (kAlive for unconnected slots).
+    std::vector<uint8_t> peer_state;
 };
 
 /// Node construction parameters, mirroring rma::SystemConfig for the
@@ -445,6 +458,16 @@ struct NodeConfig
     /// iteration and flushes them in one pass (mirrors pkt_burst for
     /// the ack path). 0 completes singly, 1..8 batches; clamped to 8.
     uint32_t completion_flush = 8;
+    /// Crash-fault tolerance: heartbeat failure detection (off by
+    /// default — the zero-regression path) plus the optional
+    /// endpoint-failover target. See net/fts.h and DESIGN.md
+    /// "Failure detection & failover".
+    net::FtsParams fts{};
+    /// Incarnation number of this node, exchanged in the wiring
+    /// handshake. A restarted replacement node must rejoin with a
+    /// strictly higher epoch so peers distinguish its fresh sequence
+    /// space from stale pre-crash wiring.
+    uint64_t epoch = 1;
 };
 
 class Node;
@@ -668,6 +691,58 @@ class Node : private net::TransportHost
     /// SubmitStatus::kPeerUnreachable. Readable from any thread.
     bool peer_unreachable(int node) const;
 
+    // ----- crash-fault tolerance (NodeConfig::fts) -----------------
+
+    /// The failure detector's verdict on `node`: kAlive until
+    /// heartbeats go missing, kSuspect after fts.suspect_after
+    /// silent intervals, kDead after fts.dead_after (or on any of
+    /// the other death paths — retry exhaustion, socket EOF).
+    /// Readable from any thread; unconnected nodes report kAlive.
+    net::PeerState peer_state(int node) const;
+
+    /// Registers a callback fired on peer state transitions
+    /// (alive->suspect, suspect->alive, *->dead). Called from a
+    /// proxy thread with no node locks held — keep it cheap and do
+    /// not call back into the node. Set before start().
+    MSGPROXY_QUIESCENT void
+    set_peer_callback(std::function<void(int, net::PeerState)> cb)
+    {
+        peer_cb_ = std::move(cb);
+    }
+
+    /// Declares `node` dead now (all three organic death paths —
+    /// RTO exhaustion, socket EOF, heartbeat timeout — funnel here,
+    /// and tests may force it). Idempotent; thread-safe. Every proxy
+    /// kills its links toward the peer and completes pending CCBs
+    /// with kPeerUnreachable exactly once.
+    void declare_peer_dead(int node);
+
+    /// The node new submits aimed at dead peer `node` are re-homed
+    /// to (-1: none configured / peer not dead, fail instead).
+    int failover_target(int node) const;
+
+    /// Chaos hook: when `on`, every link toward `node` silently
+    /// drops outbound packets (both fresh sends and retransmits), so
+    /// the reliability layer escalates to link death — a one-sided
+    /// network partition. Thread-safe; a no-op for unconnected
+    /// peers. Partitions are sticky until declared dead or healed.
+    void set_peer_blackhole(int node, bool on);
+
+    /// Crash-restart recovery, quiescent only (call between stop()
+    /// and the next start()): reclaims every packet this node still
+    /// holds in custody on links toward `node`, abandons their send
+    /// windows, fails pending CCBs, resets per-link sequence state
+    /// and the peer's dead/suspect/failover verdicts, and drops the
+    /// transport wiring so a restarted incarnation can re-connect
+    /// with a fresh epoch.
+    MSGPROXY_QUIESCENT void forget_peer(int node);
+
+    /// Quiescent custody settling (call while stopped): drains every
+    /// proxy's return paths so in-flight recycles reach the pools,
+    /// then republishes stats. The chaos harness calls this before
+    /// checking pool_hits == pool_returns.
+    MSGPROXY_QUIESCENT void quiesce_returns();
+
     // ----- observability (src/obs) ---------------------------------
 
     /// True when stage tracing / histograms are live. Compile with
@@ -774,8 +849,13 @@ class Node : private net::TransportHost
 
         size_t capacity() const { return cap_; }
 
+        /// Shared handle to the slab so teardown can pin it to the
+        /// channels that may still hold this pool's packets (see
+        /// net::Channel::retain). Null until build() runs.
+        std::shared_ptr<Packet[]> slab() const { return slab_; }
+
       private:
-        std::unique_ptr<Packet[]> slab_;
+        std::shared_ptr<Packet[]> slab_;
         size_t cap_;
         std::vector<Packet*> free_;
     };
@@ -876,6 +956,13 @@ class Node : private net::TransportHost
         /// Set when win exhausted max_retries: the peer is dead, the
         /// window was abandoned, and sends toward it are dropped.
         bool dead = false;
+        /// Per-link liveness clocks of the heartbeat failure
+        /// detector (idle unless cfg_.fts.enabled).
+        net::LinkFts fts;
+        /// The node-level partition switch for this link's peer
+        /// (test-only chaos hook), cached so the hot path pays one
+        /// relaxed load. Null until start() binds it.
+        std::atomic<bool>* bh = nullptr;
     };
 
     /// One input port plus the link owning its sequence state
@@ -915,6 +1002,8 @@ class Node : private net::TransportHost
         uint64_t migrations = 0;
         uint64_t pkts_forwarded = 0;
         uint64_t completions_batched = 0;
+        uint64_t heartbeats_sent = 0;
+        uint64_t failovers = 0;
     };
 
     /// Per-proxy-thread state: everything exactly one proxy owns.
@@ -969,6 +1058,10 @@ class Node : private net::TransportHost
         /// Consecutive no-progress loop iterations (drives the
         /// idle ack flush).
         MSGPROXY_PROXY_OWNED uint64_t idle_polls = 0;
+        /// Last peer_dead_gen_ value this proxy acted on: when the
+        /// node-level generation moves past it, the proxy sweeps its
+        /// links for newly dead peers (one relaxed load per loop).
+        MSGPROXY_PROXY_OWNED uint64_t dead_gen_seen = 0;
         /// Stage-event ring (always allocated so the runtime toggle
         /// works; unused rings cost memory, not time).
         std::unique_ptr<obs::TraceRing> ring;
@@ -1068,8 +1161,10 @@ class Node : private net::TransportHost
     int peer_proxy_count(int dst_node) const;
 
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void proxy_main(Proxy& self);
+    /// Non-const cmd: failover re-homing may rewrite dst_node before
+    /// dispatch (the command was already copied out of the ring).
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void handle_command(Proxy& self, Endpoint& ep,
-                                        const Command& cmd);
+                                        Command& cmd);
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void handle_packet(Proxy& self, Packet& pkt);
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX bool send_packet(Proxy& self, int dst_node,
                                      int dst_proxy, PacketRef ref);
@@ -1144,11 +1239,19 @@ class Node : private net::TransportHost
     MSGPROXY_PROXY_CTX void kill_link(Proxy& self, Link& lk);
     /// Completes (fails) self's live CCBs destined for `peer_node`.
     MSGPROXY_PROXY_CTX void fail_ccbs(Proxy& self, int peer_node);
+    /// Kills self's links toward every peer whose node-level verdict
+    /// turned dead since self last looked (the cross-proxy half of
+    /// declare_peer_dead's exactly-once CCB contract).
+    MSGPROXY_PROXY_CTX void sweep_dead_links(Proxy& self);
+    /// Marks `node` suspected / clears the suspicion, firing the
+    /// peer callback on the transition (proxy threads only).
+    void note_peer_suspect(int node, bool suspected);
     /// Lazily builds the node's transport (cfg_.transport) for
     /// listen()/connect(); wiring-phase only.
     net::Transport& ensure_transport();
     /// TransportHost hook: a peer finished wiring against us.
-    void on_peer_wired(int peer_node, int peer_proxies) override;
+    void on_peer_wired(int peer_node, int peer_proxies,
+                       uint64_t epoch) override;
     /// Copies self's LocalStats into the atomic ProxyStats.
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX static void publish_stats(Proxy& self);
     /// Thread-start placement: pins self to its CPU (if configured)
@@ -1267,6 +1370,27 @@ class Node : private net::TransportHost
     /// when node n is unreachable; read by user threads in submit.
     /// Allocated at connect() time, before any thread runs.
     std::vector<std::unique_ptr<std::atomic<bool>>> peer_dead_;
+    /// peer_state_[n]: the failure detector's verdict on node n
+    /// (net::PeerState as uint8_t). Transitions go through
+    /// declare_peer_dead / note_peer_suspect so the callback fires
+    /// exactly once per edge.
+    std::vector<std::unique_ptr<std::atomic<uint8_t>>> peer_state_;
+    /// failover_[n]: node new submits to dead node n re-home to
+    /// (-1: fail with kPeerUnreachable instead). Resolved once by
+    /// declare_peer_dead from cfg_.fts.survivor.
+    std::vector<std::unique_ptr<std::atomic<int32_t>>> failover_;
+    /// blackhole_[n]: chaos partition switch; links cache the
+    /// pointer (Link::bh) so the hot path never indexes here.
+    std::vector<std::unique_ptr<std::atomic<bool>>> blackhole_;
+    /// peer_epoch_[n]: highest incarnation of node n seen in wiring
+    /// handshakes (0: never wired). Guarded by wiring_mu_.
+    std::vector<uint64_t> peer_epoch_;
+    /// Bumped by declare_peer_dead; proxies compare against their
+    /// dead_gen_seen to notice deaths declared by other proxies (or
+    /// user threads) without scanning peer_dead_ every loop.
+    std::atomic<uint64_t> peer_dead_gen_{0};
+    /// Peer state-transition callback (set_peer_callback).
+    std::function<void(int, net::PeerState)> peer_cb_;
     std::atomic<bool> running_{false};
     /// Observability master switch (NodeConfig::obs.enabled, runtime
     /// togglable via set_obs_enabled).

@@ -32,6 +32,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "check/ownership.h"
 #include "util/annotations.h"
 
 namespace spsc {
@@ -356,12 +357,28 @@ class DynRingQueue
     }
 
     /// Consumer: true when the next slot holds no message.
+    ///
+    /// Reads the consumer-private head_ cursor, so the answer is
+    /// only meaningful on the consumer thread — a result another
+    /// thread acts on is a race on the cursor, not just staleness.
+    /// Ownership-checked builds enforce that: the first caller
+    /// binds the consumer role exactly like try_pop's thread does,
+    /// and release_consumer() hands it off.
     MSGPROXY_HOT_PATH bool
     empty() const
     {
+        consumer_owner_.assert_owner(
+            "DynRingQueue consumer (empty() reads the private head "
+            "cursor)");
         return !slots_[head_ & mask_].full.load(
             std::memory_order_acquire);
     }
+
+    /// Ownership-lint escape hatch (MSGPROXY_CHECK_OWNERSHIP
+    /// builds): unbinds the consumer role so the queue can be
+    /// handed to another consumer thread (endpoint migration, proxy
+    /// restart). Call only while no pop is in flight.
+    void release_consumer() { consumer_owner_.release(); }
 
     /// Producer: true when the next push would fail.
     MSGPROXY_HOT_PATH bool
@@ -383,6 +400,10 @@ class DynRingQueue
 
     size_t mask_;
     std::unique_ptr<Slot[]> slots_;
+    /// Consumer-role lint (dormant atomic unless
+    /// MSGPROXY_CHECK_OWNERSHIP; mutable: empty() is a const read
+    /// on the legit thread).
+    mutable check::ThreadOwner consumer_owner_;
     /// Producer-local cursor (only the producer thread touches it).
     alignas(64) size_t tail_ = 0;
     /// Consumer-local cursor (only the consumer thread touches it).

@@ -1,0 +1,368 @@
+/// \file
+/// Cluster crash-fault storms over the check::Cluster orchestrator:
+/// seeded kill/restart and partition/heal schedules against a 3-node
+/// full mesh on both wire backends, gated on exact completion
+/// accounting (every accepted op completes exactly once) and zero
+/// pooled-packet custody leaks (printed as PKT_LEAKS_TOTAL for
+/// tools/check.sh cluster). Plus the endpoint re-homing test
+/// (NodeConfig::fts.survivor) and the detection-latency probe whose
+/// rows feed the EXPERIMENTS.md heartbeat-interval table.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "check/cluster.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Per-source-node accounting: accepted-op counters owned by the
+/// schedule thread, completion flags bumped by the proxies. Flags
+/// outlive node incarnations, so a restarted node keeps accumulating
+/// into the same ledger.
+struct SrcState
+{
+    proxy::Flag put_ls{0};
+    proxy::Flag get_ls{0};
+    proxy::Flag enq_ls{0};
+    uint64_t put_ok = 0;
+    uint64_t get_ok = 0;
+    uint64_t enq_ok = 0;
+    bool ever_killed = false;
+    std::vector<uint8_t> src;
+    std::vector<uint8_t> scratch;
+};
+
+/// Chaos-storm node config: RTO exhaustion is the fast death verdict
+/// (6 retries at 100..400 us, ~2.4 ms) and the heartbeat detector the
+/// slow backstop (25 ms) for links with nothing in the window — e.g.
+/// a GET whose request was acked before the peer died. The backstop
+/// is deliberately far above the single-core worst case where a
+/// window-stalled sender suppresses its own heartbeats to third
+/// parties, so only genuinely dead peers get the verdict.
+proxy::NodeConfig
+storm_config()
+{
+    proxy::NodeConfig cfg;
+    cfg.num_proxies = 1;
+    cfg.channel_depth = 128;
+    cfg.packet_pool_size = 512;
+    cfg.reliability.window = 32;
+    cfg.reliability.ack_every = 4;
+    cfg.reliability.rto_ns = 100 * 1000;
+    cfg.reliability.rto_max_ns = 400 * 1000;
+    cfg.reliability.max_retries = 6;
+    cfg.fts.enabled = true;
+    cfg.fts.interval_ns = 1 * 1000 * 1000;
+    cfg.fts.suspect_after = 5;
+    cfg.fts.dead_after = 25;
+    return cfg;
+}
+
+/// Submits one op from node `s` toward node `dst`, retrying
+/// kQueueFull briefly. Refusals (kPeerUnreachable toward a detected
+/// death, kBadTarget) are skipped, accepted ops counted: the storm's
+/// invariant is about accepted ops only.
+void
+submit_one(check::Cluster& c, int s, int dst, check::SplitMix& rng,
+           SrcState& st)
+{
+    proxy::Endpoint& ep = c.endpoint(s);
+    const uint64_t pick = rng.below(10);
+    const auto len = static_cast<uint32_t>(8u << rng.below(6));
+    const uint64_t off = rng.below(c.seg_size() - 4096);
+    proxy::SubmitStatus rc = proxy::SubmitStatus::kQueueFull;
+    for (int tries = 0; tries < 2000; ++tries) {
+        if (pick < 5)
+            rc = ep.put(st.src.data(), dst, 0, off, len, &st.put_ls,
+                        nullptr);
+        else if (pick < 9)
+            rc = ep.get(st.scratch.data(), dst, 0, off, len,
+                        &st.get_ls);
+        else
+            rc = ep.enq(st.src.data(), 48, dst, 0, &st.enq_ls);
+        if (rc.code() != proxy::SubmitStatus::kQueueFull)
+            break;
+        std::this_thread::yield();
+    }
+    if (!rc)
+        return;
+    if (pick < 5)
+        ++st.put_ok;
+    else if (pick < 9)
+        ++st.get_ok;
+    else
+        ++st.enq_ok;
+}
+
+/// One seeded storm: 3 nodes, 36 rounds of mixed PUT/GET/ENQ traffic
+/// interleaved with faults. kills=true runs crash/reincarnate events
+/// (node 0 is never killed, so at least one source carries the exact
+/// accounting obligation); kills=false runs partition/heal events
+/// (nobody dies by hand, so every source must account exactly —
+/// partitions may still escalate into sticky mutual death verdicts,
+/// which fail the victims' in-flight ops through the normal paths).
+void
+run_storm(net::TransportKind kind, uint64_t seed, bool kills)
+{
+    SCOPED_TRACE(::testing::Message()
+                 << (kind == net::TransportKind::kSocket ? "socket"
+                                                         : "inproc")
+                 << " seed=" << seed
+                 << (kills ? " kills" : " partitions"));
+    check::ClusterParams p;
+    p.nodes = 3;
+    p.transport = kind;
+    p.seed = seed;
+    p.seg_bytes = 64 * 1024;
+    p.base = storm_config();
+    check::Cluster c(p);
+    check::SplitMix& rng = c.rng();
+
+    std::array<SrcState, 3> led;
+    for (size_t s = 0; s < led.size(); ++s) {
+        led[s].src.resize(4096);
+        led[s].scratch.resize(4096);
+        for (size_t i = 0; i < led[s].src.size(); ++i)
+            led[s].src[i] =
+                static_cast<uint8_t>((s * 131) + i * 7 + 1);
+    }
+
+    c.start();
+    bool part[3][3] = {};
+    for (int round = 0; round < 36; ++round) {
+        if (kills) {
+            if (c.alive_count() == 3 && rng.unit() < 0.15) {
+                const int victim = 1 + static_cast<int>(rng.below(2));
+                led[static_cast<size_t>(victim)].ever_killed = true;
+                c.kill(victim);
+            } else {
+                for (int d = 1; d < 3; ++d) {
+                    if (!c.alive(d) && rng.unit() < 0.30)
+                        c.restart(d);
+                }
+            }
+        } else {
+            if (rng.unit() < 0.20) {
+                const auto a = static_cast<int>(rng.below(3));
+                const auto b = static_cast<int>(rng.below(3));
+                if (a != b && !part[a][b]) {
+                    part[a][b] = part[b][a] = true;
+                    c.partition(a, b);
+                }
+            }
+            for (int a = 0; a < 3; ++a) {
+                for (int b = a + 1; b < 3; ++b) {
+                    if (part[a][b] && rng.unit() < 0.35) {
+                        part[a][b] = part[b][a] = false;
+                        c.heal(a, b);
+                    }
+                }
+            }
+        }
+        for (int s = 0; s < 3; ++s) {
+            if (!c.alive(s))
+                continue;
+            for (int k = 0; k < 6; ++k) {
+                const auto dst = static_cast<int>(rng.below(3));
+                if (dst == s)
+                    continue;
+                submit_one(c, s, dst, rng,
+                           led[static_cast<size_t>(s)]);
+            }
+        }
+        std::this_thread::sleep_for(300us);
+    }
+    // Lift every partition so stragglers on still-alive links can
+    // drain; deaths already declared stay sticky by design.
+    for (int a = 0; a < 3; ++a) {
+        for (int b = a + 1; b < 3; ++b)
+            c.heal(a, b);
+    }
+
+    // Exact accounting: every op a never-killed source accepted must
+    // complete exactly once — normally, or through the failure paths
+    // (handoff completion on a dead link, fail_ccbs, RTO/heartbeat
+    // verdicts). Killed sources may have lost queued commands with
+    // their incarnation: their flags stay <= accepted.
+    const auto deadline =
+        std::chrono::steady_clock::now() + 30s;
+    auto converged = [&] {
+        for (size_t s = 0; s < led.size(); ++s) {
+            if (led[s].ever_killed ||
+                !c.alive(static_cast<int>(s)))
+                continue;
+            if (led[s].put_ls.load() != led[s].put_ok ||
+                led[s].get_ls.load() != led[s].get_ok ||
+                led[s].enq_ls.load() != led[s].enq_ok)
+                return false;
+        }
+        return true;
+    };
+    while (!converged() &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(1ms);
+    for (size_t s = 0; s < led.size(); ++s) {
+        const SrcState& n = led[s];
+        if (!n.ever_killed && c.alive(static_cast<int>(s))) {
+            EXPECT_EQ(n.put_ls.load(), n.put_ok) << "node " << s;
+            EXPECT_EQ(n.get_ls.load(), n.get_ok) << "node " << s;
+            EXPECT_EQ(n.enq_ls.load(), n.enq_ok) << "node " << s;
+        }
+        // Never more than once, killed or not.
+        EXPECT_LE(n.put_ls.load(), n.put_ok) << "node " << s;
+        EXPECT_LE(n.get_ls.load(), n.get_ok) << "node " << s;
+        EXPECT_LE(n.enq_ls.load(), n.enq_ok) << "node " << s;
+    }
+
+    const check::Cluster::Custody cu = c.settle();
+    std::printf("PKT_LEAKS_TOTAL=%llu\n",
+                static_cast<unsigned long long>(cu.leaks()));
+    EXPECT_EQ(cu.leaks(), 0u)
+        << "pool_hits=" << cu.pool_hits
+        << " pool_returns=" << cu.pool_returns;
+}
+
+TEST(ClusterChaos, KillStormInProc)
+{
+    for (uint64_t seed : {11u, 22u, 33u})
+        run_storm(net::TransportKind::kInProc, seed, true);
+}
+
+TEST(ClusterChaos, KillStormSocket)
+{
+    for (uint64_t seed : {11u, 22u, 33u})
+        run_storm(net::TransportKind::kSocket, seed, true);
+}
+
+TEST(ClusterChaos, PartitionStormInProc)
+{
+    for (uint64_t seed : {44u, 55u, 66u})
+        run_storm(net::TransportKind::kInProc, seed, false);
+}
+
+TEST(ClusterChaos, PartitionStormSocket)
+{
+    for (uint64_t seed : {44u, 55u, 66u})
+        run_storm(net::TransportKind::kSocket, seed, false);
+}
+
+bool
+wait_flag_at_least(const proxy::Flag& f, uint64_t want,
+                   std::chrono::milliseconds budget)
+{
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (f.load() < want) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::yield();
+    }
+    return true;
+}
+
+/// Endpoint re-homing: with fts.survivor configured, commands toward
+/// a detected-dead peer are accepted and rewritten onto the survivor
+/// — the PUT's rsync fires there and the data lands in the
+/// survivor's segment; a GET against the dead node's id returns the
+/// survivor's bytes.
+TEST(ClusterChaos, FailoverRehomesTraffic)
+{
+    check::ClusterParams p;
+    p.nodes = 3;
+    p.transport = net::TransportKind::kInProc;
+    p.seed = 7;
+    p.seg_bytes = 64 * 1024;
+    p.base = storm_config();
+    p.base.fts.suspect_after = 3;
+    p.base.fts.dead_after = 8;
+    p.base.fts.survivor = 2;
+    check::Cluster c(p);
+    c.start();
+
+    std::vector<uint8_t> pat_a(256), got(256, 0);
+    for (size_t i = 0; i < pat_a.size(); ++i)
+        pat_a[i] = static_cast<uint8_t>(3 * i + 5);
+
+    // Sanity: the mesh moves data before the fault.
+    proxy::Flag ls0{0}, rs0{0};
+    ASSERT_TRUE(static_cast<bool>(c.endpoint(0).put(
+        pat_a.data(), 1, 0, 0, 256, &ls0, &rs0)));
+    ASSERT_TRUE(wait_flag_at_least(rs0, 1, 10000ms));
+
+    c.kill(1);
+    ASSERT_GT(c.wait_peer_unreachable(0, 1), 0);
+
+    // PUT aimed at the dead node 1 re-homes onto node 2.
+    proxy::Flag ls1{0}, rs1{0};
+    const auto rc = c.endpoint(0).put(pat_a.data(), 1, 0, 1024, 256,
+                                      &ls1, &rs1);
+    ASSERT_EQ(rc.code(), proxy::SubmitStatus::kOk) << rc.name();
+    ASSERT_TRUE(wait_flag_at_least(rs1, 1, 10000ms));
+    EXPECT_EQ(std::memcmp(c.seg(2) + 1024, pat_a.data(), 256), 0);
+
+    // GET against node 1's id reads node 2's (distinct) bytes.
+    for (size_t i = 0; i < 256; ++i)
+        c.seg(2)[4096 + i] = static_cast<uint8_t>(251 - i);
+    proxy::Flag gl{0};
+    ASSERT_TRUE(static_cast<bool>(
+        c.endpoint(0).get(got.data(), 1, 0, 4096, 256, &gl)));
+    ASSERT_TRUE(wait_flag_at_least(gl, 1, 10000ms));
+    EXPECT_EQ(std::memcmp(got.data(), c.seg(2) + 4096, 256), 0);
+
+    EXPECT_GE(c.node(0).stats().failovers, 2u);
+
+    const check::Cluster::Custody cu = c.settle();
+    std::printf("PKT_LEAKS_TOTAL=%llu\n",
+                static_cast<unsigned long long>(cu.leaks()));
+    EXPECT_EQ(cu.leaks(), 0u);
+}
+
+/// Detection latency vs heartbeat interval: a 2-node idle cluster is
+/// crash-killed and the survivor's time-to-verdict measured. Prints
+/// one DETECTLAT row per interval — the raw data behind the
+/// EXPERIMENTS.md table. Idle links mean the heartbeat detector is
+/// the only witness (no window traffic, so no RTO escalation).
+TEST(ClusterChaos, DetectionLatencyVsInterval)
+{
+    for (const double interval_ms : {0.5, 1.0, 2.0, 4.0}) {
+        check::ClusterParams p;
+        p.nodes = 2;
+        p.transport = net::TransportKind::kInProc;
+        p.seed = 1;
+        p.seg_bytes = 16 * 1024;
+        p.base = storm_config();
+        p.base.fts.interval_ns =
+            static_cast<uint64_t>(interval_ms * 1e6);
+        p.base.fts.suspect_after = 3;
+        p.base.fts.dead_after = 10;
+        check::Cluster c(p);
+        c.start();
+        // Let both detectors baseline their idle cadence first.
+        std::this_thread::sleep_for(20ms);
+        c.kill(1);
+        const int64_t ns = c.wait_peer_unreachable(0, 1, 20000);
+        ASSERT_GT(ns, 0) << "interval_ms=" << interval_ms;
+        std::printf(
+            "DETECTLAT interval_ms=%.1f dead_after=10 "
+            "detect_ms=%.3f\n",
+            interval_ms, static_cast<double>(ns) / 1e6);
+        // Generous single-core slop; the point is it fires at all
+        // and in the right order of magnitude.
+        EXPECT_LT(ns, static_cast<int64_t>(3e9));
+
+        const check::Cluster::Custody cu = c.settle();
+        std::printf("PKT_LEAKS_TOTAL=%llu\n",
+                    static_cast<unsigned long long>(cu.leaks()));
+        EXPECT_EQ(cu.leaks(), 0u);
+    }
+}
+
+} // namespace

@@ -538,6 +538,244 @@ TYPED_TEST(TransportSuite, PeerDeathWithInFlightWindow)
               SubmitStatus::kPeerUnreachable);
 }
 
+// ------------------------------------ crash faults (NodeConfig::fts)
+
+/// Bounded completion-flag wait (the death tests cannot lean on
+/// flag_wait_ge: a missed completion would wedge the suite until the
+/// ctest timeout instead of failing with a count).
+bool
+wait_flag_ge(const Flag& f, uint64_t want, int seconds = 20)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(seconds);
+    while (f.load() < want) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::yield();
+    }
+    return true;
+}
+
+/// Three nodes over one transport: node 0 listens, nodes 1 and 2
+/// dial it. There is deliberately no 1<->2 link — the kill-mid-op
+/// tests only need a victim (1) and a bystander (2) as seen from 0.
+template <typename W>
+struct Trio
+{
+    explicit Trio(const NodeConfig& base)
+    {
+        NodeConfig c0 = base, c1 = base, c2 = base;
+        c0.id = 0;
+        c1.id = 1;
+        c2.id = 2;
+        for (NodeConfig* cc : {&c0, &c1, &c2})
+            cc->transport = W::kKind;
+        a = std::make_unique<Node>(c0);
+        b = std::make_unique<Node>(c1);
+        c = std::make_unique<Node>(c2);
+        epa = &a->create_endpoint();
+        epb = &b->create_endpoint();
+        epc = &c->create_endpoint();
+        const std::string addr = benchwire::unique_addr(W::kKind);
+        a->listen(addr);
+        b->connect(addr);
+        c->connect(addr);
+    }
+
+    void
+    start()
+    {
+        a->start();
+        b->start();
+        c->start();
+    }
+
+    std::unique_ptr<Node> a, b, c;
+    Endpoint* epa;
+    Endpoint* epb;
+    Endpoint* epc;
+};
+
+/// Crash-fault config: RTO exhaustion verdicts in ~2.4 ms and the
+/// heartbeat detector backstops links with an empty window. Shared
+/// by the kill-mid-op trio tests and the death-path race test.
+NodeConfig
+crash_config()
+{
+    NodeConfig c;
+    c.reliability.window = 32;
+    c.reliability.ack_every = 4;
+    c.reliability.rto_ns = 100 * 1000;
+    c.reliability.rto_max_ns = 400 * 1000;
+    c.reliability.max_retries = 6;
+    c.fts.enabled = true;
+    c.fts.interval_ns = 1 * 1000 * 1000;
+    c.fts.suspect_after = 3;
+    c.fts.dead_after = 8;
+    return c;
+}
+
+enum class MidOp { kPut, kGet, kEnq };
+
+/// Kill the victim mid-stream: 64 ops toward node 1 with the crash
+/// landing after 16. Every op accepted before or after the crash
+/// must complete (succeed or fail) exactly once, the verdict must
+/// land, and traffic toward the bystander node 2 must be untouched.
+template <typename W>
+void
+run_kill_mid_op(MidOp op)
+{
+    Trio<W> t(crash_config());
+    std::vector<uint8_t> memb(8192, 0), memc(8192, 0);
+    const uint16_t segb =
+        t.epb->register_segment(memb.data(), memb.size());
+    const uint16_t segc =
+        t.epc->register_segment(memc.data(), memc.size());
+    t.start();
+
+    std::vector<uint8_t> buf(256, 0x5a), got(256, 0);
+    Flag pb{0}, pc{0};
+    must_submit([&] {
+        return t.epa->put(buf.data(), 1, segb, 0, 256, nullptr, &pb);
+    });
+    must_submit([&] {
+        return t.epa->put(buf.data(), 2, segc, 0, 256, nullptr, &pc);
+    });
+    ASSERT_TRUE(wait_flag_ge(pb, 1) && wait_flag_ge(pc, 1));
+
+    Flag ls{0};
+    uint64_t accepted = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (i == 16)
+            t.b.reset(); // crash, not shutdown: survivors keep going
+        const uint64_t off =
+            static_cast<uint64_t>(i % 16) * 256;
+        SubmitStatus s = SubmitStatus::kQueueFull;
+        for (int tries = 0; tries < 2000; ++tries) {
+            switch (op) {
+              case MidOp::kPut:
+                s = t.epa->put(buf.data(), 1, segb, off, 256, &ls,
+                               nullptr);
+                break;
+              case MidOp::kGet:
+                s = t.epa->get(got.data(), 1, segb, off, 256, &ls);
+                break;
+              case MidOp::kEnq:
+                s = t.epa->enq(buf.data(), 64, 1, 0, &ls);
+                break;
+            }
+            if (s.code() != SubmitStatus::kQueueFull)
+                break;
+            std::this_thread::yield();
+        }
+        if (s)
+            ++accepted;
+        else
+            EXPECT_EQ(s, SubmitStatus::kPeerUnreachable)
+                << s.name();
+    }
+
+    // Exactly once: every accepted op completes through the normal
+    // or the failure path, and never twice (the settle-and-recheck
+    // catches a double fire).
+    EXPECT_TRUE(wait_flag_ge(ls, accepted))
+        << "completions=" << ls.load() << " accepted=" << accepted;
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(ls.load(), accepted);
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!t.a->peer_unreachable(1)) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "victim never declared unreachable";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // The bystander link is untouched by the victim's death.
+    Flag pc2{0};
+    must_submit([&] {
+        return t.epa->put(buf.data(), 2, segc, 512, 256, nullptr,
+                          &pc2);
+    });
+    EXPECT_TRUE(wait_flag_ge(pc2, 1));
+}
+
+TYPED_TEST(TransportSuite, KillMidPutStream)
+{
+    run_kill_mid_op<TypeParam>(MidOp::kPut);
+}
+
+TYPED_TEST(TransportSuite, KillMidGetStream)
+{
+    run_kill_mid_op<TypeParam>(MidOp::kGet);
+}
+
+TYPED_TEST(TransportSuite, KillMidEnqStream)
+{
+    run_kill_mid_op<TypeParam>(MidOp::kEnq);
+}
+
+// All three death paths race on the socket backend — stream EOF
+// (the destructor closes the fd), RTO exhaustion (unacked GETs in
+// the window), and the heartbeat timeout — and every one funnels
+// into the same declare_peer_dead() verdict. Whichever wins, each
+// pending CCB completes exactly once; run under TSan via the
+// sanitize-ok label to catch racing double-completions.
+TEST(DeathRace, ThreeDetectorsCompleteCcbsOnce)
+{
+    NodeConfig base = crash_config();
+    NodeConfig c0 = base, c1 = base;
+    c0.id = 0;
+    c1.id = 1;
+    Pair<SocketWiring> t(c0, c1);
+    std::vector<uint8_t> mem(8192, 0x3c);
+    const uint16_t seg =
+        t.epb->register_segment(mem.data(), mem.size());
+    t.start();
+
+    std::vector<uint8_t> buf(256, 0);
+    Flag prime{0};
+    must_submit([&] {
+        return t.epa->put(buf.data(), 1, seg, 0, 128, nullptr,
+                          &prime);
+    });
+    ASSERT_TRUE(wait_flag_ge(prime, 1));
+
+    Flag ls{0};
+    uint64_t accepted = 0;
+    for (int i = 0; i < 8; ++i) {
+        SubmitStatus s = SubmitStatus::kQueueFull;
+        for (int tries = 0; tries < 2000; ++tries) {
+            s = t.epa->get(buf.data(), 1, seg,
+                           static_cast<uint64_t>(i) * 256, 256,
+                           &ls);
+            if (s.code() != SubmitStatus::kQueueFull)
+                break;
+            std::this_thread::yield();
+        }
+        if (s)
+            ++accepted;
+    }
+    ASSERT_GT(accepted, 0u);
+    t.b.reset(); // EOF, RTO and heartbeat timeout now race
+
+    EXPECT_TRUE(wait_flag_ge(ls, accepted))
+        << "completions=" << ls.load() << " accepted=" << accepted;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(ls.load(), accepted) << "a CCB completed twice";
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!t.a->peer_unreachable(1)) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Post-verdict submits keep the historical refusal.
+    EXPECT_EQ(t.epa->get(buf.data(), 1, seg, 0, 64, &ls),
+              SubmitStatus::kPeerUnreachable);
+    EXPECT_EQ(ls.load(), accepted);
+}
+
 // ------------------------------------------------- socket chaos run
 
 // Seeded fault injection over real sockets: the injector sits in

@@ -15,7 +15,14 @@
 #              ownership assertions; full ctest suite
 #   chaos      deterministic fault-injection suite (ctest -L chaos:
 #              seeded drop/dup/reorder/corrupt over real 2-node
-#              runtimes) in the plain AND ThreadSanitizer trees
+#              runtimes, plus the cluster crash-fault storms, which
+#              carry the chaos label too) in the plain AND
+#              ThreadSanitizer trees
+#   cluster    cluster crash-fault gate: runs the seeded 3-node
+#              kill/restart and partition/heal storms over both wire
+#              backends (tests/cluster_chaos_test.cc) and asserts
+#              exact completion accounting plus zero pooled-packet
+#              custody leaks (every PKT_LEAKS_TOTAL line must be 0)
 #   lint       project lint (tools/lint/): builds the portable
 #              msgproxy_lint analyzer, runs the mutation corpus
 #              (tests/lint/) and the zero-findings gate over src/,
@@ -67,7 +74,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 MODES=("$@")
-[ ${#MODES[@]} -eq 0 ] && MODES=(plain lint tsan asan ownership tidy bench-smoke sockets obs)
+[ ${#MODES[@]} -eq 0 ] && MODES=(plain lint tsan asan ownership tidy bench-smoke sockets cluster obs)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -222,6 +229,24 @@ for mode in "${MODES[@]}"; do
             fi
         done
         ;;
+      cluster)
+        banner "cluster crash-fault storms: exact accounting + custody"
+        cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+        cmake --build build -j "$JOBS" --target cluster_chaos_test
+        cluster_out=$(./build/tests/cluster_chaos_test | tee /dev/stderr)
+        # Every storm, the failover test and each detection-latency
+        # probe print their pooled-packet balance; all must be zero
+        # and at least one must appear (a silent run is not a pass).
+        if ! grep -q '^PKT_LEAKS_TOTAL=' <<<"$cluster_out"; then
+            echo "cluster: no PKT_LEAKS_TOTAL lines in the storm output" >&2
+            exit 1
+        fi
+        if grep '^PKT_LEAKS_TOTAL=' <<<"$cluster_out" | grep -vq '=0$'; then
+            echo "cluster: pooled packets leaked after settle:" >&2
+            grep '^PKT_LEAKS_TOTAL=' <<<"$cluster_out" | grep -v '=0$' >&2
+            exit 1
+        fi
+        ;;
       obs)
         banner "observability smoke: traced GET breakdown + JSON export"
         cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
@@ -361,7 +386,7 @@ PY
         fi
         ;;
       *)
-        echo "unknown mode: $mode (expected plain|lint|tsan|asan|ownership|chaos|tidy|bench-smoke|sockets|obs|perf)" >&2
+        echo "unknown mode: $mode (expected plain|lint|tsan|asan|ownership|chaos|cluster|tidy|bench-smoke|sockets|obs|perf)" >&2
         exit 2
         ;;
     esac
