@@ -129,7 +129,59 @@ class Atomic
         v_ = v;
     }
 
+    /// Read-modify-write: or `bits` in, return the previous value.
+    /// Acquire side joins the attached clock; release side joins the
+    /// RMW thread's clock *into* the attached clock rather than
+    /// replacing it — an RMW continues the cell's release sequence,
+    /// so earlier release stores keep synchronizing through it (the
+    /// property the doorbell's stacked fetch_or chain leans on). A
+    /// relaxed RMW leaves the attached clock untouched for the same
+    /// reason.
+    T
+    fetch_or(T bits, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        return rmw(mo, [bits](T old) { return static_cast<T>(old | bits); });
+    }
+
+    T
+    fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        return rmw(mo, [d](T old) { return static_cast<T>(old + d); });
+    }
+
+    T
+    exchange(T v, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        return rmw(mo, [v](T) { return v; });
+    }
+
   private:
+    template <typename F>
+    T
+    rmw(std::memory_order mo, F&& f)
+    {
+        Sim* sim = Sim::current();
+        if (sim == nullptr) {
+            const T old = v_;
+            v_ = f(old);
+            return old;
+        }
+        sim->yield(); // schedule point
+        const bool acq = mo == std::memory_order_acquire ||
+                         mo == std::memory_order_acq_rel ||
+                         mo == std::memory_order_seq_cst;
+        const bool rel = mo == std::memory_order_release ||
+                         mo == std::memory_order_acq_rel ||
+                         mo == std::memory_order_seq_cst;
+        if (acq)
+            sim->current_clock().join(rel_);
+        if (rel)
+            rel_.join(sim->current_clock()); // extend, don't replace
+        const T old = v_;
+        v_ = f(old);
+        return old;
+    }
+
     T v_{};
     /// Clock attached by the most recent (release) store.
     VectorClock rel_;

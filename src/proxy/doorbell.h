@@ -1,0 +1,226 @@
+/// \file
+/// Hierarchical doorbell bitmap: event-driven work discovery for one
+/// proxy over up to millions of endpoints.
+///
+/// The PR 2 bit-vector doorbell was a single 64-bit word indexed
+/// `endpoint & 63`: past 64 endpoints the bits alias and every set
+/// bit forces a walk of all endpoints sharing it — O(N) per wakeup,
+/// exactly the polling-delay blowup (the paper's `P` term) the
+/// doorbell was meant to kill. This bitmap gives every endpoint its
+/// own level-0 bit and summarizes 64 words per bit at each level
+/// above, so:
+///
+///   - an idle probe is one load of the top summary word (empty()),
+///   - a wakeup visits only endpoints that actually posted
+///     (consume() walks top-down through set bits),
+///   - a ring is one fenced dedup load plus at most `levels` release
+///     RMWs, early-stopped at the first level whose bit was already
+///     set.
+///
+/// Producer protocol (ring): seq_cst fence, then a fenced (relaxed)
+/// load of the leaf word — when the endpoint's bit is already set the
+/// whole propagation is skipped, the same Dekker-fenced dedup the
+/// flat mask shipped with (see runtime.h ring_doorbell's original
+/// argument: the fence orders the command-queue publish before the
+/// probe; the proxy's exchange is an RMW and therefore totally
+/// ordered against it). Otherwise every level gets an unconditional
+/// fetch_or(release): an RMW reads the latest value in the word's
+/// modification order, so — unlike a plain load — it can never be
+/// satisfied by a stale "bit set" snapshot of a word the proxy has
+/// since consumed. The propagation early-stops only when the RMW's
+/// own return value shows the bit set, which proves, at that point
+/// in modification order, a live chain above:
+///
+///   Invariant: a set bit at level l implies either the covering bit
+///   at level l+1 is set, or the consumer has already consumed that
+///   covering bit and is committed to exchanging this word before
+///   going idle.  Proof sketch (induction on the early-stop): if our
+///   fetch_or at level l returns the bit set, the setter of that bit
+///   either propagated above or early-stopped on the same invariant;
+///   if instead the consumer had already cleared level l before our
+///   RMW, our RMW would have returned the bit clear and we would
+///   have continued upward. Either way our level-(l-1) bits, written
+///   before the level-l RMW, are visible to the consumer's top-down
+///   exchanges: each exchange is an acquire RMW reading after ours
+///   in modification order, and the release-sequence chain through
+///   the stacked fetch_ors carries our earlier writes with it.
+///
+/// Consumer protocol (consume): exchange(0, acquire) each word
+/// top-down, recursing into set bits; single consumer (the owning
+/// proxy). ring_sync() is the migration re-aim variant: it skips the
+/// dedup load and unconditionally propagates, preserving the PR 8
+/// checker-verified property that the shard-map publish and the
+/// doorbell release RMW each protect the drain on their own.
+///
+/// Per-level ring/consume counters feed Node::stats_snapshot(): the
+/// endpoint-sweep bench proves the idle probe is O(1) by watching
+/// the consume counters stay flat across idle polls.
+
+#ifndef MSGPROXY_PROXY_DOORBELL_H
+#define MSGPROXY_PROXY_DOORBELL_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/annotations.h"
+#include "util/orders.h"
+
+namespace proxy {
+
+class Doorbell
+{
+  public:
+    /// Enough for 64^6 = 6.9e10 endpoints; 1M needs 4.
+    static constexpr int kMaxLevels = 6;
+
+    /// Builds the hierarchy over `capacity` endpoint slots (at least
+    /// 1 word per level; capacity <= 64 degenerates to the flat
+    /// single-word mask).
+    explicit Doorbell(size_t capacity)
+    {
+        size_t words = word_count(capacity);
+        nlevels_ = 0;
+        size_t total = 0;
+        while (true) {
+            level_words_[nlevels_] = words;
+            level_off_[nlevels_] = total;
+            total += words;
+            ++nlevels_;
+            if (words == 1)
+                break;
+            words = word_count(words);
+        }
+        words_.reset(new std::atomic<uint64_t>[total]);
+        for (size_t i = 0; i < total; ++i)
+            words_[i].store(0, mp::ord::counter);
+    }
+
+    Doorbell(const Doorbell&) = delete;
+    Doorbell& operator=(const Doorbell&) = delete;
+
+    /// Producer side: announce endpoint `e` (its command queue has
+    /// work). Returns true when the announcement propagated (the
+    /// leaf bit was clear), false when it was deduplicated — the
+    /// doorbell-storm counterpressure the forward rule relies on.
+    MSGPROXY_HOT_PATH bool
+    ring(size_t e)
+    {
+        const uint64_t bit = uint64_t{1} << (e & 63);
+        std::atomic<uint64_t>& leaf = words_[e >> 6];
+        std::atomic_thread_fence(mp::ord::barrier);
+        if ((leaf.load(mp::ord::fenced) & bit) != 0)
+            return false; // already announced; chain above is live
+        propagate(e);
+        return true;
+    }
+
+    /// Migration re-aim: unconditional release propagation, no dedup
+    /// load (callers already ordered their payload — e.g. the
+    /// shard-map publish — before this RMW).
+    void ring_sync(size_t e) { propagate(e); }
+
+    /// The O(1) idle probe: one acquire load of the top summary.
+    MSGPROXY_HOT_PATH bool
+    empty() const
+    {
+        return words_[level_off_[nlevels_ - 1]].load(
+                   mp::ord::observe) == 0;
+    }
+
+    /// Consumer side: harvest every posted endpoint, invoking
+    /// fn(endpoint_id) per set leaf bit, top-down. Single consumer.
+    /// Returns the number of endpoints harvested.
+    template <typename Fn>
+    MSGPROXY_HOT_PATH size_t
+    consume(Fn&& fn)
+    {
+        return consume_word(nlevels_ - 1, 0, fn);
+    }
+
+    int levels() const { return nlevels_; }
+
+    /// Announcements that actually propagated at level l (leaf bit
+    /// transitions 0 -> 1 as seen by the ringing thread). Multiple
+    /// producers bump these; readable from any thread.
+    uint64_t
+    rings(int l) const
+    {
+        return rings_[static_cast<size_t>(l)].load(mp::ord::counter);
+    }
+
+    /// Bits consumed at level l (single writer: the owning proxy).
+    uint64_t
+    consumes(int l) const
+    {
+        return consumed_[static_cast<size_t>(l)].load(
+            mp::ord::counter);
+    }
+
+  private:
+    static size_t
+    word_count(size_t n)
+    {
+        return (n + 63) / 64 == 0 ? 1 : (n + 63) / 64;
+    }
+
+    MSGPROXY_HOT_PATH void
+    propagate(size_t e)
+    {
+        size_t key = e;
+        for (int l = 0; l < nlevels_; ++l) {
+            const uint64_t bit = uint64_t{1} << (key & 63);
+            key >>= 6;
+            std::atomic<uint64_t>& w =
+                words_[level_off_[l] + key];
+            const uint64_t prev = w.fetch_or(bit, mp::ord::publish);
+            if ((prev & bit) != 0)
+                return; // set by a live chain: early-stop is safe
+                        // (see the file comment's invariant)
+            rings_[static_cast<size_t>(l)].fetch_add(
+                1, mp::ord::counter);
+        }
+    }
+
+    template <typename Fn>
+    MSGPROXY_HOT_PATH size_t
+    consume_word(int l, size_t widx, Fn& fn)
+    {
+        uint64_t bits = words_[level_off_[l] + widx].exchange(
+            0, mp::ord::observe);
+        if (bits == 0)
+            return 0;
+        auto& c = consumed_[static_cast<size_t>(l)];
+        c.store(c.load(mp::ord::counter) +
+                    static_cast<uint64_t>(
+                        __builtin_popcountll(bits)),
+                mp::ord::counter);
+        size_t n = 0;
+        while (bits != 0) {
+            const int b = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            const size_t child = widx * 64 + static_cast<size_t>(b);
+            if (l == 0) {
+                fn(child);
+                ++n;
+            } else {
+                n += consume_word(l - 1, child, fn);
+            }
+        }
+        return n;
+    }
+
+    std::unique_ptr<std::atomic<uint64_t>[]> words_;
+    size_t level_off_[kMaxLevels] = {};
+    size_t level_words_[kMaxLevels] = {};
+    int nlevels_ = 1;
+    /// Stats live on their own line: producers RMW rings_ and must
+    /// not ping-pong the proxy's consumed_ counters alongside.
+    alignas(64) std::atomic<uint64_t> rings_[kMaxLevels] = {};
+    alignas(64) std::atomic<uint64_t> consumed_[kMaxLevels] = {};
+};
+
+} // namespace proxy
+
+#endif // MSGPROXY_PROXY_DOORBELL_H

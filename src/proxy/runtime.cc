@@ -128,6 +128,16 @@ constexpr StatField kStatFields[] = {
      &ProxyStats::heartbeats_sent, false},
     {"failovers", &NodeStats::failovers, &ProxyStats::failovers,
      false},
+    {"db_wakeups", &NodeStats::db_wakeups, &ProxyStats::db_wakeups,
+     false},
+    {"db_false_wakeups", &NodeStats::db_false_wakeups,
+     &ProxyStats::db_false_wakeups, false},
+    {"db_forwards", &NodeStats::db_forwards, &ProxyStats::db_forwards,
+     false},
+    {"db_carries", &NodeStats::db_carries, &ProxyStats::db_carries,
+     false},
+    {"db_carry_empty", &NodeStats::db_carry_empty,
+     &ProxyStats::db_carry_empty, false},
 };
 
 /// Sums (or maxes) `p` into `acc` field by field.
@@ -232,6 +242,7 @@ SubmitStatus::name() const
       case kTooLarge: return "kTooLarge";
       case kBadTarget: return "kBadTarget";
       case kPeerUnreachable: return "kPeerUnreachable";
+      case kRetired: return "kRetired";
     }
     return "<invalid>";
 }
@@ -268,6 +279,8 @@ SubmitStatus
 Endpoint::submit(Command&& c)
 {
     cmd_owner_.assert_owner("Endpoint command queue (single producer)");
+    if (retired_.load(mp::ord::counter))
+        return SubmitStatus::kRetired;
     if (node_.obs_on()) {
         c.tid = node_.make_tid();
         c.t_submit = Node::now_ns();
@@ -401,12 +414,27 @@ Node::Node(const NodeConfig& cfg)
 {
     MP_CHECK(cfg_.num_proxies >= 1 && cfg_.num_proxies <= 64,
              "num_proxies must be in [1, 64], got " << cfg_.num_proxies);
+    MP_CHECK(cfg_.max_endpoints >= 1,
+             "max_endpoints must be at least 1");
     obs_enabled_.store(cfg_.obs.enabled, mp::ord::counter);
     comp_budget_ = std::min<size_t>(cfg_.completion_flush,
                                     Proxy::kCompletionSlots);
+    // Endpoint table + shard map at full capacity up front: lazy
+    // registration publishes into pre-sized structures, so a running
+    // proxy never races a reallocation.
+    ep_slots_.reset(new std::atomic<Endpoint*>[cfg_.max_endpoints]);
+    shard_map_.reset(new std::atomic<uint32_t>[cfg_.max_endpoints]);
+    for (size_t e = 0; e < cfg_.max_endpoints; ++e) {
+        ep_slots_[e].store(nullptr, mp::ord::counter);
+        shard_map_[e].store(
+            static_cast<uint32_t>(
+                e % static_cast<size_t>(cfg_.num_proxies)),
+            mp::ord::counter);
+    }
+    shard_map_size_ = cfg_.max_endpoints;
     for (int p = 0; p < cfg_.num_proxies; ++p) {
-        proxies_.push_back(
-            std::make_unique<Proxy>(cfg_.packet_pool_size));
+        proxies_.push_back(std::make_unique<Proxy>(
+            cfg_.packet_pool_size, cfg_.max_endpoints));
         proxies_.back()->index = p;
         // Rings exist even while tracing is off so set_obs_enabled
         // can flip mid-run: idle rings cost memory, not time.
@@ -496,17 +524,148 @@ Node::~Node()
             });
         }
     }
+    // Endpoint teardown: graves die with their unique_ptrs; live
+    // slots are node-owned raw pointers retired here (no proxies
+    // left to hold them).
+    for (size_t e = 0; e < ep_count_.load(mp::ord::counter); ++e)
+        delete ep_slots_[e].load(mp::ord::counter);
 }
 
 Endpoint&
 Node::create_endpoint()
 {
-    MP_CHECK(!running_.load(mp::ord::observe),
-             "endpoints must be created before Node::start()");
-    int id = static_cast<int>(endpoints_.size());
-    endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(
-        *this, id, cfg_.cmd_queue_depth, cfg_.recv_ring_bytes)));
-    return *endpoints_.back();
+    std::lock_guard<std::mutex> lk(ep_mu_);
+    reclaim_endpoints_locked(); // opportunistic slot recycling
+    uint32_t id;
+    if (!ep_free_.empty()) {
+        id = ep_free_.back();
+        ep_free_.pop_back();
+    } else {
+        const size_t n = ep_count_.load(mp::ord::counter);
+        MP_CHECK(n < cfg_.max_endpoints,
+                 "endpoint capacity exhausted ("
+                     << cfg_.max_endpoints
+                     << "): raise NodeConfig::max_endpoints or "
+                        "retire endpoints");
+        id = static_cast<uint32_t>(n);
+    }
+    auto* ep = new Endpoint(*this, static_cast<int>(id),
+                            cfg_.cmd_queue_depth, cfg_.recv_ring_bytes);
+    // Reused ids rejoin at the static rule; the release publishes
+    // below order both stores before any proxy's acquire of the
+    // slot (or of the grown count, for the scan-all walk).
+    shard_map_[id].store(
+        static_cast<uint32_t>(id) %
+            static_cast<uint32_t>(cfg_.num_proxies),
+        mp::ord::publish);
+    ep_slots_[id].store(ep, mp::ord::publish);
+    const size_t n = ep_count_.load(mp::ord::counter);
+    if (id == n)
+        ep_count_.store(n + 1, mp::ord::publish);
+    return *ep;
+}
+
+void
+Node::retire_endpoint(Endpoint& ep)
+{
+    const auto id = static_cast<uint32_t>(ep.id());
+    MP_CHECK(static_cast<size_t>(id) < cfg_.max_endpoints &&
+                 endpoint_at(id) == &ep,
+             "retire_endpoint: endpoint " << ep.id()
+                                          << " is not live on this node");
+    {
+        std::lock_guard<std::mutex> lk(ep_mu_);
+        if (ep.retired_.load(mp::ord::counter))
+            return; // idempotent
+        ep.retired_.store(true, mp::ord::publish);
+        ep_retired_.push_back(id);
+    }
+    // Nudge the owner so a parked backlog drains toward
+    // posted_ == drained_ even if no doorbell is outstanding.
+    if (cfg_.poll_mode == PollMode::kBitVector &&
+        running_.load(mp::ord::observe))
+        proxies_[static_cast<size_t>(endpoint_owner(
+                     static_cast<int>(id)))]
+            ->bell.ring(id);
+}
+
+size_t
+Node::reclaim_endpoints()
+{
+    std::lock_guard<std::mutex> lk(ep_mu_);
+    return reclaim_endpoints_locked();
+}
+
+size_t
+Node::reclaim_endpoints_locked()
+{
+    // Phase B: retired endpoints whose backlog drained leave the
+    // slot table. The release RMW on ep_gen_ orders the slot null
+    // before the generation bump, so a proxy that acknowledges
+    // generation >= G read the null slot for every endpoint buried
+    // at G or earlier.
+    for (size_t i = 0; i < ep_retired_.size();) {
+        const uint32_t id = ep_retired_[i];
+        Endpoint* ep = ep_slots_[id].load(mp::ord::counter);
+        if (ep == nullptr) { // defensive: already buried
+            ep_retired_.erase(ep_retired_.begin() +
+                              static_cast<long>(i));
+            continue;
+        }
+        if (ep->posted_.load(mp::ord::counter) !=
+            ep->drained_.load(mp::ord::counter)) {
+            ++i; // backlog still draining
+            continue;
+        }
+        ep_slots_[id].store(nullptr, mp::ord::publish);
+        const uint64_t gen =
+            ep_gen_.fetch_add(1, mp::ord::handoff) + 1;
+        ep_graves_.push_back(
+            EpGrave{std::unique_ptr<Endpoint>(ep), gen});
+        // The id is reusable the moment the slot is null: no new
+        // traffic can reach the buried object through it, and a
+        // proxy still holding the stale pointer only inspects the
+        // (alive, grave-owned) object itself — it never maps the id
+        // back. Only the memory waits for the generation acks.
+        ep_free_.push_back(id);
+        ep_retired_.erase(ep_retired_.begin() + static_cast<long>(i));
+    }
+    // Phase C: free graves every proxy acknowledged (or all of them
+    // while the proxies are stopped — no thread can hold a stale
+    // pointer across a join).
+    const bool live = running_.load(mp::ord::observe);
+    size_t freed = 0;
+    for (size_t i = 0; i < ep_graves_.size();) {
+        const EpGrave& g = ep_graves_[i];
+        bool acked = true;
+        if (live) {
+            for (const auto& pr : proxies_) {
+                if (pr->ep_gen_seen.load(mp::ord::observe) < g.gen) {
+                    acked = false;
+                    break;
+                }
+            }
+        }
+        if (!acked) {
+            ++i;
+            continue;
+        }
+        ep_graves_.erase(ep_graves_.begin() + static_cast<long>(i));
+        ++freed;
+    }
+    return freed;
+}
+
+size_t
+Node::endpoint_count() const
+{
+    std::lock_guard<std::mutex> lk(ep_mu_);
+    size_t n = 0;
+    for (size_t e = 0; e < ep_count_.load(mp::ord::counter); ++e) {
+        if (ep_slots_[e].load(mp::ord::counter) != nullptr)
+            ++n;
+    }
+    return n;
 }
 
 int
@@ -750,22 +909,10 @@ Node::start()
     io_pump_ = (transport_ != nullptr && transport_->needs_pump())
                    ? transport_.get()
                    : nullptr;
-    // Endpoint->proxy indirection table. Built (or grown) while
-    // quiescent; existing ownership survives a stop()/start() cycle,
-    // endpoints created since default to the static rule.
-    if (shard_map_size_ < endpoints_.size()) {
-        auto grown = std::unique_ptr<std::atomic<uint32_t>[]>(
-            new std::atomic<uint32_t>[endpoints_.size()]);
-        for (size_t e = 0; e < endpoints_.size(); ++e) {
-            uint32_t owner =
-                e < shard_map_size_
-                    ? shard_map_[e].load(mp::ord::counter)
-                    : static_cast<uint32_t>(e % P);
-            grown[e].store(owner, mp::ord::counter);
-        }
-        shard_map_ = std::move(grown);
-        shard_map_size_ = endpoints_.size();
-    }
+    // The endpoint->proxy indirection table is pre-sized to
+    // cfg_.max_endpoints at construction (lazy registration needs
+    // it immutable while proxies run); ownership survives a
+    // stop()/start() cycle in place.
     // Resolve proxy-thread CPUs once (first start()): explicit list
     // or NUMA-grouped auto-reservation; single-CPU hosts never pin.
     if (pinned_cpus_.empty() &&
@@ -782,7 +929,7 @@ Node::start()
         if (!cfg_.placement.numa_first_touch)
             pr->pool.build(); // historical behavior: build here
         if (pr->index == 0 && cfg_.rebalance.enabled)
-            pr->rebal_seen.resize(endpoints_.size(), 0);
+            pr->rebal_seen.resize(cfg_.max_endpoints, 0);
     }
     running_.store(true, mp::ord::publish);
     for (auto& pr : proxies_)
@@ -792,6 +939,11 @@ Node::start()
 void
 Node::stop()
 {
+    // ep_mu_ spans the flag flip and the joins so endpoint
+    // reclamation (phase C under the same mutex) can trust a false
+    // running_: by then the proxy threads are truly gone, not
+    // mid-final-iteration.
+    std::lock_guard<std::mutex> lk(ep_mu_);
     if (!running_.exchange(false))
         return;
     for (auto& pr : proxies_) {
@@ -803,8 +955,11 @@ Node::stop()
     // The consumer threads are gone: unbind every command queue's
     // consumer role so the next start()'s proxies (possibly
     // different OS threads) re-bind cleanly.
-    for (auto& ep : endpoints_)
-        ep->cmdq_.release_consumer();
+    for (size_t e = 0; e < ep_count_.load(mp::ord::counter); ++e) {
+        Endpoint* ep = ep_slots_[e].load(mp::ord::counter);
+        if (ep != nullptr)
+            ep->cmdq_.release_consumer();
+    }
 }
 
 void
@@ -994,7 +1149,7 @@ Node::setup_proxy_thread(Proxy& self)
 void
 Node::migrate_endpoint(int ep, int to)
 {
-    if (ep < 0 || static_cast<size_t>(ep) >= endpoints_.size() ||
+    if (ep < 0 || endpoint_at(static_cast<size_t>(ep)) == nullptr ||
         to < 0 || to >= cfg_.num_proxies)
         return;
     const int owner = endpoint_owner(ep);
@@ -1042,7 +1197,10 @@ Node::process_migrations(Proxy& self)
             post_migration(owner, o.ep, o.to);
             continue;
         }
-        Endpoint& ep = *endpoints_[static_cast<size_t>(o.ep)];
+        Endpoint* epp = endpoint_at(static_cast<size_t>(o.ep));
+        if (epp == nullptr)
+            continue; // retired and reclaimed since the order
+        Endpoint& ep = *epp;
         // Quiesce: a bounded courtesy drain of the backlog. The ring
         // hands over wholesale (FIFO intact), so whatever remains is
         // simply drained by the new owner after the publish below.
@@ -1065,9 +1223,8 @@ Node::process_migrations(Proxy& self)
         shard_map_[static_cast<size_t>(o.ep)].store(
             static_cast<uint32_t>(o.to), mp::ord::publish);
         if (cfg_.poll_mode == PollMode::kBitVector) {
-            const uint64_t bit = uint64_t{1} << (o.ep & 63);
-            proxies_[static_cast<size_t>(o.to)]->cmd_mask.fetch_or(
-                bit, mp::ord::publish);
+            proxies_[static_cast<size_t>(o.to)]->bell.ring_sync(
+                static_cast<size_t>(o.ep));
         }
         ++self.local.migrations;
     }
@@ -1077,17 +1234,23 @@ void
 Node::maybe_rebalance(Proxy& self)
 {
     const auto P = static_cast<size_t>(cfg_.num_proxies);
-    if (P < 2 || endpoints_.empty())
+    const size_t ecount = ep_count_.load(mp::ord::observe);
+    if (P < 2 || ecount == 0)
         return;
-    if (self.rebal_seen.size() < endpoints_.size())
-        self.rebal_seen.resize(endpoints_.size(), 0);
+    if (self.rebal_seen.size() < ecount)
+        self.rebal_seen.resize(cfg_.max_endpoints, 0);
     // Window deltas of the per-endpoint drain counters, accumulated
     // per owning proxy: the load picture since the last pass.
+    // Reclaimed slots are skipped (a reused id restarts its baseline
+    // at whatever the previous incarnation left — one window of
+    // noise at most).
     std::vector<uint64_t> load(P, 0);
-    std::vector<uint64_t> delta(endpoints_.size(), 0);
-    for (size_t e = 0; e < endpoints_.size(); ++e) {
-        const uint64_t d =
-            endpoints_[e]->drained_.load(mp::ord::counter);
+    std::vector<uint64_t> delta(ecount, 0);
+    for (size_t e = 0; e < ecount; ++e) {
+        const Endpoint* ep = endpoint_at(e);
+        if (ep == nullptr)
+            continue;
+        const uint64_t d = ep->drained_.load(mp::ord::counter);
         delta[e] = d - self.rebal_seen[e];
         self.rebal_seen[e] = d;
         load[static_cast<size_t>(endpoint_owner(
@@ -1111,17 +1274,17 @@ Node::maybe_rebalance(Proxy& self)
         // gap, so the move shrinks the imbalance instead of flipping
         // it.
         const uint64_t gap = load[busiest] - load[coolest];
-        size_t pick = endpoints_.size();
-        for (size_t e = 0; e < endpoints_.size(); ++e) {
+        size_t pick = ecount;
+        for (size_t e = 0; e < ecount; ++e) {
             if (delta[e] == 0 || delta[e] >= gap)
                 continue;
             if (endpoint_owner(static_cast<int>(e)) !=
                 static_cast<int>(busiest))
                 continue;
-            if (pick == endpoints_.size() || delta[e] > delta[pick])
+            if (pick == ecount || delta[e] > delta[pick])
                 pick = e;
         }
-        if (pick == endpoints_.size())
+        if (pick == ecount)
             return; // one giant endpoint: moving it cannot help
         post_migration(static_cast<int>(busiest),
                        static_cast<int>(pick),
@@ -1193,11 +1356,25 @@ Node::stats_snapshot() const
                                static_cast<double>(ps.polls)
                          : 0.0);
     snap.endpoints_owned.assign(snap.per_proxy.size(), 0);
-    for (size_t e = 0; e < endpoints_.size(); ++e) {
+    const size_t ecount = ep_count_.load(mp::ord::observe);
+    for (size_t e = 0; e < ecount; ++e) {
+        if (endpoint_at(e) == nullptr)
+            continue; // retired slot
         const auto p = static_cast<size_t>(
             endpoint_owner(static_cast<int>(e)));
         if (p < snap.endpoints_owned.size())
             ++snap.endpoints_owned[p];
+    }
+    for (const auto& pr : proxies_) {
+        NodeSnapshot::DoorbellStats& db = snap.doorbell;
+        db.levels = std::max(db.levels, pr->bell.levels());
+        db.rings.resize(static_cast<size_t>(db.levels), 0);
+        db.consumes.resize(static_cast<size_t>(db.levels), 0);
+        for (int l = 0; l < pr->bell.levels(); ++l) {
+            db.rings[static_cast<size_t>(l)] += pr->bell.rings(l);
+            db.consumes[static_cast<size_t>(l)] +=
+                pr->bell.consumes(l);
+        }
     }
     snap.peer_state.assign(peer_state_.size(), 0);
     for (size_t n = 0; n < peer_state_.size(); ++n) {
@@ -1253,7 +1430,20 @@ Node::dump_json(std::ostream& os) const
             os << ",";
         os << snap.endpoints_owned[p];
     }
-    os << "],\"trace\":{\"recorded\":" << snap.trace_recorded
+    os << "],\"doorbell\":{\"levels\":" << snap.doorbell.levels
+       << ",\"rings\":[";
+    for (size_t l = 0; l < snap.doorbell.rings.size(); ++l) {
+        if (l > 0)
+            os << ",";
+        os << snap.doorbell.rings[l];
+    }
+    os << "],\"consumes\":[";
+    for (size_t l = 0; l < snap.doorbell.consumes.size(); ++l) {
+        if (l > 0)
+            os << ",";
+        os << snap.doorbell.consumes[l];
+    }
+    os << "]},\"trace\":{\"recorded\":" << snap.trace_recorded
        << ",\"drops\":" << snap.trace_drops
        << ",\"capacity\":" << snap.trace_capacity << "}}";
 }
@@ -2252,8 +2442,10 @@ Node::handle_command(Proxy& self, Endpoint& ep, Command& cmd)
         pkt->flags = 1;
         pkt->src_node = cfg_.id;
         pkt->src_user = ep.id();
-        pkt->seg = static_cast<uint16_t>(cmd.dst_user);
-        pkt->off = 0;
+        // Endpoint ids scale past 64k: carry the destination in the
+        // 64-bit offset field, not the uint16 segment id.
+        pkt->seg = 0;
+        pkt->off = static_cast<uint64_t>(cmd.dst_user);
         pkt->len = cmd.len;
         pkt->ccb = 0;
         pkt->tid = cmd.tid;
@@ -2481,9 +2673,18 @@ Node::handle_packet(Proxy& self, Packet& pkt)
         break;
       }
       case Packet::Kind::kEnqData: {
-        auto user = static_cast<size_t>(pkt.seg);
-        if (user >= endpoints_.size()) {
+        // The endpoint id rides in the 64-bit offset field (uint16
+        // seg truncates past 64k endpoints).
+        auto user = static_cast<size_t>(pkt.off);
+        if (user >= cfg_.max_endpoints) {
             ++self.local.faults;
+            return;
+        }
+        Endpoint* dst_ep = endpoint_at(user);
+        if (dst_ep == nullptr) {
+            // Never created, or retired with traffic in flight: the
+            // datagram has nowhere to land.
+            ++self.local.enq_drops;
             return;
         }
         // A migrated endpoint can leave remote senders (static rule)
@@ -2497,7 +2698,7 @@ Node::handle_packet(Proxy& self, Packet& pkt)
             ++self.local.pkts_forwarded;
             break;
         }
-        if (!endpoints_[user]->recvq_.try_push(pkt.payload, pkt.len))
+        if (!dst_ep->recvq_.try_push(pkt.payload, pkt.len))
             ++self.local.enq_drops;
         if (pkt.tid != 0 && obs_on())
             trace_stage(self, now_ns(), pkt.tid,
@@ -2634,6 +2835,68 @@ Node::publish_stats(Proxy& self)
                                 mp::ord::counter);
     s.heartbeats_sent.store(l.heartbeats_sent, mp::ord::counter);
     s.failovers.store(l.failovers, mp::ord::counter);
+    s.db_wakeups.store(l.db_wakeups, mp::ord::counter);
+    s.db_false_wakeups.store(l.db_false_wakeups, mp::ord::counter);
+    s.db_forwards.store(l.db_forwards, mp::ord::counter);
+    s.db_carries.store(l.db_carries, mp::ord::counter);
+    s.db_carry_empty.store(l.db_carry_empty, mp::ord::counter);
+}
+
+void
+Node::visit_endpoint(Proxy& self, uint32_t e, bool from_carry,
+                     uint32_t& spent, bool& progressed)
+{
+    Endpoint* epp = endpoint_at(e);
+    if (epp == nullptr)
+        return; // retired slot: its doorbell bits die here
+    Endpoint& ep = *epp;
+    const int own = endpoint_owner(static_cast<int>(e));
+    if (own != self.index) {
+        // A producer read a stale owner mid-migration (or the bit
+        // predates the handoff): re-aim the live owner's doorbell,
+        // but only when the endpoint actually has backlog, and count
+        // only rings that propagated — the leaf dedup in ring()
+        // absorbs repeats, so persistent backlog cannot become a
+        // doorbell storm.
+        if (ep.posted_.load(mp::ord::counter) !=
+                ep.drained_.load(mp::ord::counter) &&
+            ring_doorbell(own, static_cast<int>(e)))
+            ++self.local.db_forwards;
+        return;
+    }
+    // Owned visit: remember the exact id for the end-of-loop carry
+    // rebuild (duplicates fine — the rebuild dedups by mark).
+    self.wake_ids[self.wake_n++] = e;
+    uint32_t budget = cfg_.cmd_burst;
+    if (cfg_.loop_cmd_budget != 0) {
+        // Per-loop fairness budget: once the iteration's command
+        // quota is spent, later visits drain nothing and their
+        // backlog rides the carry list to the next iteration.
+        const uint32_t left = spent < cfg_.loop_cmd_budget
+                                  ? cfg_.loop_cmd_budget - spent
+                                  : 0;
+        budget = std::min(budget, left);
+    }
+    uint32_t drained = 0;
+    Command cmd;
+    while (drained < budget && ep.cmdq_.try_pop(cmd)) {
+        handle_command(self, ep, cmd);
+        ++drained;
+        progressed = true;
+    }
+    spent += drained;
+    if (!from_carry)
+        ++self.local.db_wakeups;
+    if (drained == 0 && budget != 0) {
+        // The queue was empty on arrival (budget != 0 rules out a
+        // fairness-starved visit). From the doorbell that is the
+        // benign post-consume race; from the carry list it would
+        // mean an inexact revisit — the sweep bench gates it at 0.
+        if (from_carry)
+            ++self.local.db_carry_empty;
+        else
+            ++self.local.db_false_wakeups;
+    }
 }
 
 void
@@ -2657,6 +2920,11 @@ Node::proxy_main(Proxy& self)
         const uint64_t before =
             self.local.commands + self.local.packets_in;
         bool progressed = false;
+        // Endpoint-table epoch: every slot pointer this iteration
+        // dereferences was published no later than this generation;
+        // acknowledging it at the loop bottom tells the reclaimer we
+        // hold no pointer retired before it.
+        const uint64_t egen = ep_gen_.load(mp::ord::observe);
 
         // The RTO clock: one refresh site per loop — every 16th
         // iteration when busy (microsecond-scale staleness against
@@ -2686,58 +2954,62 @@ Node::proxy_main(Proxy& self)
         }
 
         if (cfg_.poll_mode == PollMode::kBitVector) {
-            // One probe covers every command queue of this proxy:
-            // consume the mask, then drain exactly the flagged
-            // queues. A producer that enqueues after the exchange
-            // re-sets its bit, so nothing is lost. Endpoints whose
-            // burst budget ran out carry over to the next iteration
-            // locally — their commands are already queued, no
-            // doorbell will announce them again.
-            uint64_t mask = self.carry_mask;
-            self.carry_mask = 0;
-            // Skip the exchange RMW entirely when the shared mask is
-            // quiescent (the common idle probe).
-            if (self.cmd_mask.load(mp::ord::observe) != 0)
-                mask |= self.cmd_mask.exchange(
-                    0, mp::ord::observe);
-            while (mask != 0) {
-                int b = __builtin_ctzll(mask);
-                mask &= mask - 1;
-                // Bit index is endpoint id mod 64: beyond 64
-                // endpoints the bits alias, so visit every endpoint
-                // sharing this bit. Drain the ones we own; for the
-                // ones we don't (a producer read a stale owner
-                // mid-migration), re-aim the doorbell at the live
-                // owner when the endpoint actually has backlog.
-                for (size_t e = static_cast<size_t>(b);
-                     e < endpoints_.size(); e += 64) {
-                    Endpoint& ep = *endpoints_[e];
-                    const int own =
-                        endpoint_owner(static_cast<int>(e));
-                    if (own != self.index) {
-                        if (ep.posted_.load(mp::ord::counter) !=
-                            ep.drained_.load(mp::ord::counter))
-                            ring_doorbell(own, static_cast<int>(e));
-                        continue;
-                    }
-                    Command cmd;
-                    int budget = cmd_burst;
-                    while (budget-- > 0 && ep.cmdq_.try_pop(cmd)) {
-                        handle_command(self, ep, cmd);
-                        progressed = true;
-                    }
-                    if (!ep.cmdq_.empty())
-                        self.carry_mask |= uint64_t{1} << b;
-                }
+            self.wake_n = 0;
+            uint32_t spent = 0;
+            // Exact-id carry revisits first: endpoints whose burst
+            // budget ran out last iteration. Their commands are
+            // already queued — no doorbell will announce them again
+            // — and the ids are exact, so nothing aliased rides
+            // along (db_carry_empty counts the proof).
+            const uint32_t ncarry = self.carry_n;
+            self.carry_n = 0;
+            for (uint32_t i = 0; i < ncarry; ++i)
+                visit_endpoint(self, self.carry[i],
+                               /*from_carry=*/true, spent,
+                               progressed);
+            // The O(1) idle probe: one acquire load of the top
+            // summary word. On a wakeup, consume() harvests exactly
+            // the endpoints that posted, top-down. A producer that
+            // enqueues after an exchange re-sets its bits (and the
+            // chain above them), so nothing is lost.
+            if (!self.bell.empty())
+                self.bell.consume([&](size_t e) {
+                    visit_endpoint(self, static_cast<uint32_t>(e),
+                                   /*from_carry=*/false, spent,
+                                   progressed);
+                });
+            // Rebuild the carry list from everything visited this
+            // iteration: owned endpoints with verified leftover
+            // backlog, deduplicated per loop (a carry revisit and a
+            // doorbell harvest can both have visited the same id).
+            for (uint32_t i = 0; i < self.wake_n; ++i) {
+                const uint32_t e = self.wake_ids[i];
+                if (self.carry_mark[e] == self.local.polls)
+                    continue; // already carried this loop
+                Endpoint* epp = endpoint_at(e);
+                if (epp == nullptr ||
+                    endpoint_owner(static_cast<int>(e)) !=
+                        self.index)
+                    continue; // retired or migrated mid-iteration
+                if (epp->cmdq_.empty())
+                    continue;
+                self.carry_mark[e] = self.local.polls;
+                self.carry[self.carry_n++] = e;
+                ++self.local.db_carries;
             }
         } else {
-            // Scan-all mode has no doorbells to re-aim: just honor
-            // the live shard map.
-            for (size_t e = 0; e < endpoints_.size(); ++e) {
+            // Scan-all mode has no doorbells: walk every live slot
+            // up to the registration high-water mark, honoring the
+            // live shard map.
+            const size_t ecount = ep_count_.load(mp::ord::observe);
+            for (size_t e = 0; e < ecount; ++e) {
+                Endpoint* epp = endpoint_at(e);
+                if (epp == nullptr)
+                    continue; // retired slot
                 if (endpoint_owner(static_cast<int>(e)) !=
                     self.index)
                     continue;
-                Endpoint& ep = *endpoints_[e];
+                Endpoint& ep = *epp;
                 Command cmd;
                 int budget = cmd_burst;
                 while (budget-- > 0 && ep.cmdq_.try_pop(cmd)) {
@@ -2803,7 +3075,7 @@ Node::proxy_main(Proxy& self)
 
         if (progressed)
             ++self.local.busy_polls;
-        if (progressed || self.carry_mask != 0) {
+        if (progressed || self.carry_n != 0) {
             bo.reset();
             was_idle = false;
             self.idle_polls = 0;
@@ -2812,7 +3084,11 @@ Node::proxy_main(Proxy& self)
             was_idle = true;
         }
         publish_stats(self);
-        if (!progressed && self.carry_mask == 0) {
+        // Acknowledge the endpoint-table epoch read at the loop top:
+        // past this release store, the reclaimer knows this proxy
+        // holds no slot pointer retired at or before `egen`.
+        self.ep_gen_seen.store(egen, mp::ord::publish);
+        if (!progressed && self.carry_n == 0) {
             ++self.idle_polls;
             // Idle housekeeping: recycle returned slots so the leak
             // invariant (pool_hits == pool_returns) converges after

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "check/ownership.h"
+#include "proxy/doorbell.h"
 #include "util/annotations.h"
 #include "util/orders.h"
 #include "net/fault.h"
@@ -68,10 +69,14 @@ using Flag = std::atomic<uint64_t>;
 /// How a proxy discovers non-empty command queues.
 enum class PollMode {
     kScanAll,  ///< probe every queue head each loop (Figure 5)
-    kBitVector ///< cooperative shared bit vector: producers set
-               ///< their bit on enqueue and the proxy probes all its
-               ///< queues in one load (the Section 4.1 acceleration;
-               ///< supports up to 64 endpoints per proxy)
+    kBitVector ///< cooperative hierarchical doorbell bitmap:
+               ///< producers set their endpoint's exact leaf bit on
+               ///< enqueue and propagate summary bits upward, so an
+               ///< idle proxy probes all its queues in one load of
+               ///< the top summary and a wakeup visits only
+               ///< endpoints that actually posted (the Section 4.1
+               ///< acceleration, scaled past 64 endpoints — see
+               ///< proxy/doorbell.h)
 };
 
 /// Idle-backoff parameters of the proxy loop (and of flag_wait_ge):
@@ -189,7 +194,11 @@ class SubmitStatus
         /// to this node and declared it dead; new commands toward it
         /// are refused instead of wedging in a window that will never
         /// drain.
-        kPeerUnreachable
+        kPeerUnreachable,
+        /// The endpoint was retired (Node::retire_endpoint): its
+        /// remaining backlog drains, but no new commands are
+        /// accepted while it awaits reclamation.
+        kRetired
     };
 
     constexpr SubmitStatus(Code code) : code_(code) {}
@@ -280,6 +289,27 @@ struct ProxyStats
     /// Commands re-homed to a failover target because their original
     /// destination was declared dead.
     std::atomic<uint64_t> failovers{0};
+    /// Owned-endpoint visits delivered by the doorbell harvest
+    /// (consume() leaf hits routed to this proxy).
+    std::atomic<uint64_t> db_wakeups{0};
+    /// Doorbell-harvest visits that drained zero commands (benign:
+    /// the backlog was already taken by a carry revisit or a
+    /// migration courtesy drain).
+    std::atomic<uint64_t> db_false_wakeups{0};
+    /// Doorbell announcements this proxy re-aimed at the live owner
+    /// after consuming a bit for an endpoint it no longer owns
+    /// (counted only when the re-ring actually propagated — the
+    /// leaf dedup absorbs the rest, so migration backlog cannot
+    /// generate doorbell storms).
+    std::atomic<uint64_t> db_forwards{0};
+    /// Endpoints carried to the next loop iteration with exact ids
+    /// (burst/fairness budget cut them off mid-backlog).
+    std::atomic<uint64_t> db_carries{0};
+    /// Carry revisits that found an empty command queue. Exact-id
+    /// carries only ever name endpoints with verified backlog, so
+    /// this stays zero — the counter proves the aliased re-walks of
+    /// the flat 64-bit mask are gone.
+    std::atomic<uint64_t> db_carry_empty{0};
 };
 
 /// Node-wide counter snapshot: the sum of every proxy's ProxyStats
@@ -312,6 +342,11 @@ struct NodeStats
     uint64_t completions_batched = 0;
     uint64_t heartbeats_sent = 0;
     uint64_t failovers = 0;
+    uint64_t db_wakeups = 0;
+    uint64_t db_false_wakeups = 0;
+    uint64_t db_forwards = 0;
+    uint64_t db_carries = 0;
+    uint64_t db_carry_empty = 0;
 };
 
 /// Completion-latency distribution of one op kind, extracted from
@@ -360,6 +395,18 @@ struct NodeSnapshot
     /// peer_state[n]: net::PeerState of node n as this node sees it
     /// (kAlive for unconnected slots).
     std::vector<uint8_t> peer_state;
+    /// Doorbell hierarchy accounting, summed across proxies:
+    /// rings[l] / consumes[l] are the 0->1 announcements and the
+    /// bits harvested at level l. An idle node's consumes stay flat
+    /// while polls climb — the O(1) idle-probe proof the
+    /// endpoint-sweep bench gates on.
+    struct DoorbellStats
+    {
+        int levels = 0;
+        std::vector<uint64_t> rings;
+        std::vector<uint64_t> consumes;
+    };
+    DoorbellStats doorbell;
 };
 
 /// Node construction parameters, mirroring rma::SystemConfig for the
@@ -375,6 +422,22 @@ struct NodeConfig
     /// ownership can then migrate (see Rebalance and
     /// Node::migrate_endpoint).
     int num_proxies = 1;
+    /// Endpoint-slot capacity of this node: the doorbell bitmaps,
+    /// shard map, and endpoint table are sized for this many ids at
+    /// construction so create_endpoint() stays legal while the
+    /// proxies run (lazy registration; retired ids are reclaimed and
+    /// reused). Creation beyond the capacity aborts. The default
+    /// keeps the doorbell at two levels (one extra release RMW per
+    /// announcement vs the flat mask); endpoint-scale workloads set
+    /// 1<<20.
+    size_t max_endpoints = 4096;
+    /// Fairness budget of the proxy loop: at most this many commands
+    /// drained per iteration across all owned endpoints, so one hot
+    /// endpoint (or a dense wakeup) cannot starve packet service or
+    /// its neighbors — cut-off endpoints carry to the next iteration
+    /// by exact id. 0 disables the cap (per-endpoint cmd_burst still
+    /// applies).
+    uint32_t loop_cmd_budget = 1024;
     /// Per-endpoint command-queue depth in entries (rounded up to a
     /// power of two).
     size_t cmd_queue_depth = 256;
@@ -548,6 +611,11 @@ class Endpoint
     /// Diagnostic flag bumped on protection faults observed locally.
     Flag& fault_flag() { return faults_; }
 
+    /// True once Node::retire_endpoint was called on this endpoint:
+    /// new submits return SubmitStatus::kRetired while the remaining
+    /// backlog drains toward reclamation.
+    bool retired() const { return retired_.load(mp::ord::observe); }
+
     /// Ownership-lint escape hatch (MSGPROXY_CHECK_OWNERSHIP builds):
     /// unbinds both SPSC roles so the endpoint can be handed to
     /// another thread. Call only while no operation is in flight.
@@ -583,6 +651,11 @@ class Endpoint
     /// Commands consumed from cmdq_ (single-writer: the owning proxy
     /// — unique by the shard handoff protocol; relaxed load+store).
     std::atomic<uint64_t> drained_{0};
+    /// Set by Node::retire_endpoint (under ep_mu_); submit refuses
+    /// new commands once observed. The slot is reclaimed when the
+    /// backlog drains and every proxy acknowledged the generation
+    /// (see Node::reclaim_endpoints).
+    std::atomic<bool> retired_{false};
     Flag faults_{0};
     /// Lint: the one user thread allowed to produce into cmdq_.
     check::ThreadOwner cmd_owner_;
@@ -609,15 +682,41 @@ class Node : private net::TransportHost
     Node(const Node&) = delete;
     Node& operator=(const Node&) = delete;
 
-    /// Creates a user endpoint (before start()). Endpoint i starts
-    /// on proxy i mod num_proxies; ownership can migrate later.
-    MSGPROXY_QUIESCENT Endpoint& create_endpoint();
+    /// Creates a user endpoint — legal before or after start()
+    /// (lazy registration: the slot table, shard map, and doorbells
+    /// are pre-sized to cfg.max_endpoints, so a running proxy picks
+    /// the new endpoint up through its published slot; creation
+    /// beyond the capacity aborts). Endpoint id starts on proxy
+    /// id mod num_proxies; ownership can migrate later. Retired ids
+    /// whose reclamation completed are reused.
+    Endpoint& create_endpoint();
 
-    /// Current owning proxy of endpoint `ep` — the shard_map read.
-    /// Before start() (no shard map yet) this is the static rule.
-    /// Approximate from non-proxy threads while a migration is in
-    /// flight; every stale answer is corrected by the doorbell
-    /// forward rule.
+    /// Retires an endpoint: new submits return kRetired, the owning
+    /// proxy drains the remaining backlog, and once it has and every
+    /// proxy acknowledged the retirement generation the slot is
+    /// reclaimed for reuse (epoch-based: proxies never scan dead
+    /// slots, and a slot is never freed while any proxy could still
+    /// hold its pointer). The caller must be done operating on the
+    /// endpoint (its reference dies here); in-flight traffic toward
+    /// it is dropped (enq_drops) once the slot empties. Idempotent;
+    /// any thread.
+    void retire_endpoint(Endpoint& ep);
+
+    /// Opportunistic reclamation pass (also run by create_endpoint):
+    /// frees retired endpoints whose backlog drained and whose
+    /// generation every proxy acknowledged. Returns the number of
+    /// slots reclaimed. Any thread.
+    size_t reclaim_endpoints();
+
+    /// Live endpoints (created minus reclaimed). Approximate while
+    /// creations race; any thread.
+    size_t endpoint_count() const;
+
+    /// Current owning proxy of endpoint `ep` — the shard_map read
+    /// (sized cfg.max_endpoints at construction; out-of-range ids
+    /// fall back to the static rule). Approximate from non-proxy
+    /// threads while a migration is in flight; every stale answer is
+    /// corrected by the doorbell forward rule.
     MSGPROXY_HOT_PATH int
     endpoint_owner(int ep) const
     {
@@ -637,9 +736,11 @@ class Node : private net::TransportHost
     /// next start()).
     void migrate_endpoint(int ep, int to);
 
-    /// Creates a proxy-managed remote queue on this node (before
-    /// start()); returns its id. Any endpoint on any connected node
-    /// may rq_enq/rq_deq it; the owning proxy (qid mod num_proxies)
+    /// Creates a proxy-managed remote queue on this node (strictly
+    /// before start(): the queue table has no lazy-registration path
+    /// and a call on a running node fails loudly — MP_CHECK abort);
+    /// returns its id. Any endpoint on any connected node may
+    /// rq_enq/rq_deq it; the owning proxy (qid mod num_proxies)
     /// serializes access — this is the paper's Remote Queue with one
     /// proxy as the single trusted manipulator of the queue pointers.
     MSGPROXY_QUIESCENT int create_queue();
@@ -1004,26 +1105,52 @@ class Node : private net::TransportHost
         uint64_t completions_batched = 0;
         uint64_t heartbeats_sent = 0;
         uint64_t failovers = 0;
+        uint64_t db_wakeups = 0;
+        uint64_t db_false_wakeups = 0;
+        uint64_t db_forwards = 0;
+        uint64_t db_carries = 0;
+        uint64_t db_carry_empty = 0;
     };
 
     /// Per-proxy-thread state: everything exactly one proxy owns.
     struct Proxy
     {
-        explicit Proxy(size_t pool_cap) : pool(pool_cap) {}
+        Proxy(size_t pool_cap, size_t max_eps)
+            : bell(max_eps), wake_ids(new uint32_t[2 * max_eps]),
+              carry(new uint32_t[max_eps]),
+              carry_mark(new uint64_t[max_eps]()), pool(pool_cap)
+        {
+        }
 
         int index = 0;
         ProxyStats stats;
         MSGPROXY_PROXY_OWNED LocalStats local;
-        /// Shared command-queue occupancy bits (bit k: this proxy's
-        /// k-th endpoint may have commands). Producers set with
-        /// release; the proxy clears before draining so arrivals are
-        /// never lost. Isolated on its own cache line: producers RMW
-        /// it on submit and must not ping-pong the proxy's private
-        /// state alongside.
-        alignas(64) std::atomic<uint64_t> cmd_mask{0};
-        /// Endpoints whose command burst budget ran out last loop:
-        /// re-drained next iteration without waiting for a doorbell.
-        alignas(64) MSGPROXY_PROXY_OWNED uint64_t carry_mask = 0;
+        /// Hierarchical command doorbell (bit e at level 0: endpoint
+        /// e may have commands). Producers ring with release RMWs;
+        /// the proxy consumes top-down before draining so arrivals
+        /// are never lost. The shared words live on the heap inside,
+        /// isolated from the proxy's private state.
+        alignas(64) Doorbell bell;
+        /// Owned endpoints visited this loop iteration (exact ids,
+        /// may repeat): the candidates for an exact-id carry.
+        MSGPROXY_PROXY_OWNED std::unique_ptr<uint32_t[]> wake_ids;
+        MSGPROXY_PROXY_OWNED uint32_t wake_n = 0;
+        /// Endpoints with verified leftover backlog, re-drained next
+        /// iteration without waiting for a doorbell — exact ids, so
+        /// a carry never re-walks aliased neighbors (db_carry_empty
+        /// proves it).
+        MSGPROXY_PROXY_OWNED std::unique_ptr<uint32_t[]> carry;
+        MSGPROXY_PROXY_OWNED uint32_t carry_n = 0;
+        /// carry_mark[e] == local.polls: e is already carried for
+        /// the next iteration (dedup so one endpoint never enters
+        /// the carry list twice per loop).
+        MSGPROXY_PROXY_OWNED std::unique_ptr<uint64_t[]> carry_mark;
+        /// Endpoint-table generation this proxy acknowledged: read
+        /// from Node::ep_gen_ at the loop top, published at the loop
+        /// end. Reclamation frees a retired slot only after every
+        /// proxy's acknowledgment passes the slot's retirement
+        /// generation — by then no proxy can hold its pointer.
+        std::atomic<uint64_t> ep_gen_seen{0};
         /// This proxy's packet slab (see PacketPool).
         MSGPROXY_PROXY_OWNED PacketPool pool;
         /// CCB table + free list for this proxy's outstanding
@@ -1113,31 +1240,19 @@ class Node : private net::TransportHost
         MSGPROXY_PROXY_OWNED std::vector<uint64_t> rebal_seen;
     };
 
-    /// Rings proxy `proxy`'s doorbell for endpoint `user`. The bit
-    /// index is `user & 63` — owner-independent, so a doorbell stays
-    /// meaningful when the endpoint migrates and any proxy can re-aim
-    /// one at the new owner by calling this again.
-    ///
-    /// The fast path is a plain load: when the bit is already set the
-    /// RMW is skipped entirely, so two producers hammering the same
-    /// proxy stop ping-ponging the mask's cache line on every submit.
-    /// The seq_cst fence makes the load-then-skip safe against the
-    /// Dekker-style lost wakeup: without it, this producer's mask
-    /// load could be satisfied before its own command-queue store is
-    /// globally visible, see a bit the proxy is about to consume
-    /// (exchange to 0), skip the fetch_or — and leave a queued
-    /// command with no doorbell. The fence orders the queue publish
-    /// before the mask probe; the proxy's exchange is an RMW and
-    /// therefore already totally ordered against it.
-    MSGPROXY_HOT_PATH void
+    /// Rings proxy `proxy`'s doorbell for endpoint `user`. The leaf
+    /// bit is exact (bit `user` of the level-0 bitmap) and
+    /// owner-independent, so a doorbell stays meaningful when the
+    /// endpoint migrates and any proxy can re-aim one at the new
+    /// owner by calling this again. The Dekker-fenced dedup load,
+    /// the release propagation up the summary levels, and their
+    /// lost-wakeup arguments live in proxy/doorbell.h. Returns true
+    /// when the announcement propagated (false: deduplicated).
+    MSGPROXY_HOT_PATH bool
     ring_doorbell(int proxy, int user)
     {
-        uint64_t bit = uint64_t{1} << (user & 63);
-        auto& mask = proxies_[static_cast<size_t>(proxy)]->cmd_mask;
-        std::atomic_thread_fence(mp::ord::barrier);
-        if ((mask.load(mp::ord::fenced) & bit) != 0)
-            return; // doorbell already rung
-        mask.fetch_or(bit, mp::ord::publish);
+        return proxies_[static_cast<size_t>(proxy)]->bell.ring(
+            static_cast<size_t>(user));
     }
 
     /// Producer-side half of the bit-vector protocol: marks endpoint
@@ -1161,6 +1276,30 @@ class Node : private net::TransportHost
     int peer_proxy_count(int dst_node) const;
 
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void proxy_main(Proxy& self);
+    /// One doorbell-guided endpoint visit: dead-slot skip, the
+    /// non-owner forward rule (deduplicated re-aim), then a drain
+    /// bounded by cmd_burst and the loop fairness budget (`spent`
+    /// counts the iteration's drained commands). Owned visits are
+    /// recorded in self.wake_ids for the end-of-iteration exact-id carry
+    /// check.
+    MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void
+    visit_endpoint(Proxy& self, uint32_t e, bool from_carry,
+                   uint32_t& spent, bool& progressed);
+    /// The endpoint in slot `e`, or null (never created, retired and
+    /// reclaimed, or out of range). Any thread; the acquire load
+    /// pairs with create_endpoint's release publish of the slot.
+    MSGPROXY_HOT_PATH Endpoint*
+    endpoint_at(size_t e) const
+    {
+        if (e >= cfg_.max_endpoints)
+            return nullptr;
+        return ep_slots_[e].load(mp::ord::observe);
+    }
+    /// Reclamation passes (caller holds ep_mu_): phase B nulls the
+    /// slots of retired endpoints whose backlog drained and stamps
+    /// them with a fresh generation; phase C frees graves every
+    /// proxy acknowledged. Returns slots freed.
+    size_t reclaim_endpoints_locked();
     /// Non-const cmd: failover re-homing may rewrite dst_node before
     /// dispatch (the command was already copied out of the ring).
     MSGPROXY_HOT_PATH MSGPROXY_PROXY_CTX void handle_command(Proxy& self, Endpoint& ep,
@@ -1333,12 +1472,41 @@ class Node : private net::TransportHost
     /// cached so note_completion branches on a plain member.
     size_t comp_budget_ = 0;
     std::vector<std::unique_ptr<Proxy>> proxies_;
-    std::vector<std::unique_ptr<Endpoint>> endpoints_;
-    /// shard_map_[e]: owning proxy of endpoint e. Sized at start()
-    /// (grows across restarts, ownership survives); endpoint_owner
-    /// falls back to the static rule for endpoints beyond
-    /// shard_map_size_ — i.e. before the first start(). Owners write
-    /// with mp::ord::publish at handoff; everyone reads with observe.
+    /// Endpoint slot table, sized cfg_.max_endpoints at
+    /// construction. A slot holds null (never created / reclaimed)
+    /// or a node-owned Endpoint published with release by
+    /// create_endpoint; proxies re-load it per visit (endpoint_at)
+    /// so a reclaimed slot is skipped, never scanned. Slots are only
+    /// nulled under ep_mu_ by reclamation, and the pointee is freed
+    /// only after every proxy acknowledged the retirement generation
+    /// (Proxy::ep_gen_seen) — the epoch-based reclamation contract.
+    std::unique_ptr<std::atomic<Endpoint*>[]> ep_slots_;
+    /// High-water slot count: slots [0, ep_count_) may be live.
+    /// Published with release after the slot itself so scan-all
+    /// proxies that see the count also see the endpoint.
+    std::atomic<size_t> ep_count_{0};
+    /// Serializes create/retire/reclaim (cold path only).
+    mutable std::mutex ep_mu_;
+    /// Reclaimed ids available for reuse (guarded by ep_mu_).
+    std::vector<uint32_t> ep_free_;
+    /// Retired ids whose backlog has not drained yet (ep_mu_).
+    std::vector<uint32_t> ep_retired_;
+    /// Retired endpoints awaiting every proxy's generation ack
+    /// before the memory is freed (ep_mu_).
+    struct EpGrave
+    {
+        std::unique_ptr<Endpoint> ep;
+        uint64_t gen;
+    };
+    std::vector<EpGrave> ep_graves_;
+    /// Endpoint-table generation: bumped (release) after each slot
+    /// null; proxies acknowledge via Proxy::ep_gen_seen.
+    std::atomic<uint64_t> ep_gen_{0};
+    /// shard_map_[e]: owning proxy of endpoint e, sized
+    /// cfg_.max_endpoints at construction (endpoint_owner falls back
+    /// to the static rule beyond it — ids from a misconfigured
+    /// wire). Owners write with mp::ord::publish at handoff;
+    /// everyone reads with observe.
     std::unique_ptr<std::atomic<uint32_t>[]> shard_map_;
     size_t shard_map_size_ = 0;
     /// Resolved CPU per proxy (empty: unpinned), built at first

@@ -398,6 +398,129 @@ TEST(CheckHandoff, MutationFullyRelaxedHandoffIsFlagged)
         << res.summary();
 }
 
+// ------------------------- hierarchical doorbell leaf→summary edges
+
+// Model of proxy/doorbell.h's two-level propagate/consume pair. The
+// producer publishes backlog (the command-queue payload), sets the
+// leaf bit, then the summary bit above it — each an unconditional
+// fetch_or. The consumer harvests top-down with acquire exchanges
+// and may only touch the backlog after consuming both bits. The
+// shipped protocol releases at every level; the leaf release alone
+// must also protect the drain (the consumer's last hop into the
+// payload crosses the leaf edge), while a fully relaxed propagation
+// is the lost-ordering bug the checker must flag.
+
+struct DoorbellState
+{
+    check::CheckedPlainCell<int> backlog; // cmdq payload
+    check::Atomic<uint64_t> leaf;         // level-0 word
+    check::Atomic<uint64_t> summary;      // level-1 word
+};
+
+template <std::memory_order kLeafOrder, std::memory_order kSummaryOrder>
+check::Result
+explore_doorbell()
+{
+    check::Options opts;
+    return check::explore(opts, [&](check::Sim& sim) {
+        auto st = std::make_shared<DoorbellState>();
+        sim.spawn([st] { // producer: post, then propagate up
+            st->backlog.put(7);
+            st->leaf.fetch_or(1, kLeafOrder);
+            st->summary.fetch_or(1, kSummaryOrder);
+        });
+        sim.spawn([st] { // consumer: one top-down harvest
+            if (st->summary.exchange(0, std::memory_order_acquire) ==
+                0)
+                return; // idle probe: nothing posted yet
+            if (st->leaf.exchange(0, std::memory_order_acquire) == 0)
+                return; // summary won the race to the leaf's bit
+            EXPECT_EQ(st->backlog.get(), 7);
+        });
+    });
+}
+
+TEST(CheckDoorbell, ShippedPropagationCleanOverAllInterleavings)
+{
+    check::Result res =
+        explore_doorbell<std::memory_order_release,
+                         std::memory_order_release>();
+    EXPECT_TRUE(res.exhausted) << res.summary();
+    EXPECT_TRUE(res.ok()) << res.summary();
+    EXPECT_GE(res.executions, 2u);
+}
+
+TEST(CheckDoorbell, LeafReleaseAloneProtectsTheDrain)
+{
+    // The consumer's path to the payload always crosses the leaf
+    // exchange: the leaf's release edge alone is sufficient, the
+    // summary levels only need to deliver the wakeup.
+    check::Result res =
+        explore_doorbell<std::memory_order_release,
+                         std::memory_order_relaxed>();
+    EXPECT_TRUE(res.exhausted) << res.summary();
+    EXPECT_TRUE(res.ok()) << res.summary();
+}
+
+TEST(CheckDoorbell, MutationFullyRelaxedPropagationIsFlagged)
+{
+    check::Result res =
+        explore_doorbell<std::memory_order_relaxed,
+                         std::memory_order_relaxed>();
+    EXPECT_TRUE(res.exhausted) << res.summary();
+    EXPECT_FALSE(res.races.empty())
+        << "checker missed the relaxed doorbell propagation: "
+        << res.summary();
+}
+
+TEST(CheckDoorbell, RmwContinuesTheReleaseSequence)
+{
+    // Two producers stack fetch_ors on one leaf word — the shape the
+    // doorbell's early-stop proof leans on. Producer B's relaxed RMW
+    // must not sever producer A's release edge: an RMW continues the
+    // release sequence headed by A's fetch_or, so the consumer's
+    // acquire exchange still happens-after A's payload write even
+    // when it reads B's update. B's own payload, published with no
+    // release edge of its own, must still be flagged.
+    struct State
+    {
+        check::CheckedPlainCell<int> data_a;
+        check::CheckedPlainCell<int> data_b;
+        check::Atomic<uint64_t> leaf;
+    };
+    auto run = [](bool touch_b) {
+        check::Options opts;
+        return check::explore(opts, [&, touch_b](check::Sim& sim) {
+            auto st = std::make_shared<State>();
+            sim.spawn([st] {
+                st->data_a.put(1);
+                st->leaf.fetch_or(1, std::memory_order_release);
+            });
+            sim.spawn([st] {
+                st->data_b.put(2);
+                st->leaf.fetch_or(2, std::memory_order_relaxed);
+            });
+            sim.spawn([st, touch_b] {
+                const uint64_t bits =
+                    st->leaf.exchange(0, std::memory_order_acquire);
+                if ((bits & 1) != 0) {
+                    EXPECT_EQ(st->data_a.get(), 1);
+                }
+                if (touch_b && (bits & 2) != 0)
+                    (void)st->data_b.get();
+            });
+        });
+    };
+    // data_a's edge survives B's relaxed RMW in every schedule.
+    check::Result clean = run(/*touch_b=*/false);
+    EXPECT_TRUE(clean.exhausted) << clean.summary();
+    EXPECT_TRUE(clean.ok()) << clean.summary();
+    // data_b itself rode a relaxed RMW: no edge, flagged.
+    check::Result flagged = run(/*touch_b=*/true);
+    EXPECT_TRUE(flagged.exhausted) << flagged.summary();
+    EXPECT_FALSE(flagged.races.empty()) << flagged.summary();
+}
+
 // ------------------------------------------------- ownership lint
 
 TEST(OwnershipLint, ReleaseAllowsSequentialHandoff)

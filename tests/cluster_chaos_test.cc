@@ -255,6 +255,171 @@ TEST(ClusterChaos, PartitionStormSocket)
         run_storm(net::TransportKind::kSocket, seed, false);
 }
 
+/// Wide-endpoint storm: every node grows to >64 endpoints *after*
+/// start() (lazy registration under live traffic), ENQ datagrams fan
+/// out across the whole id range while partitions come and go, and
+/// random endpoints get retired + epoch-reclaimed mid-storm. The
+/// hierarchical doorbell has to discover work beyond the old 64-bit
+/// horizon; retired/reclaimed destinations must degrade to counted
+/// drops, never faults or custody leaks. num_proxies=2 keeps the
+/// cross-proxy doorbell forward path in the mix.
+void
+run_wide_storm(net::TransportKind kind, uint64_t seed)
+{
+    SCOPED_TRACE(::testing::Message()
+                 << (kind == net::TransportKind::kSocket ? "socket"
+                                                         : "inproc")
+                 << " wide seed=" << seed);
+    check::ClusterParams p;
+    p.nodes = 3;
+    p.transport = kind;
+    p.seed = seed;
+    p.seg_bytes = 64 * 1024;
+    p.base = storm_config();
+    p.base.num_proxies = 2;
+    p.base.max_endpoints = 128;
+    p.base.cmd_queue_depth = 64;
+    p.base.recv_ring_bytes = 4096;
+    check::Cluster c(p);
+    check::SplitMix& rng = c.rng();
+
+    std::array<SrcState, 3> led;
+    for (size_t s = 0; s < led.size(); ++s) {
+        led[s].src.resize(4096);
+        for (size_t i = 0; i < led[s].src.size(); ++i)
+            led[s].src[i] =
+                static_cast<uint8_t>((s * 131) + i * 7 + 1);
+    }
+
+    c.start();
+    // Lazy registration: the cluster harness made endpoint 0; the
+    // other 71 per node are created on live nodes, most up front,
+    // a trickle during the storm.
+    std::vector<std::vector<proxy::Endpoint*>> extra(3);
+    std::vector<std::vector<bool>> retired(3);
+    auto grow = [&](int n) {
+        extra[static_cast<size_t>(n)].push_back(
+            &c.node(n).create_endpoint());
+        retired[static_cast<size_t>(n)].push_back(false);
+    };
+    for (int n = 0; n < 3; ++n) {
+        for (int i = 0; i < 64; ++i)
+            grow(n);
+    }
+
+    bool part[3][3] = {};
+    for (int round = 0; round < 28; ++round) {
+        if (rng.unit() < 0.20) {
+            const auto a = static_cast<int>(rng.below(3));
+            const auto b = static_cast<int>(rng.below(3));
+            if (a != b && !part[a][b]) {
+                part[a][b] = part[b][a] = true;
+                c.partition(a, b);
+            }
+        }
+        for (int a = 0; a < 3; ++a) {
+            for (int b = a + 1; b < 3; ++b) {
+                if (part[a][b] && rng.unit() < 0.35) {
+                    part[a][b] = part[b][a] = false;
+                    c.heal(a, b);
+                }
+            }
+        }
+        for (int n = 0; n < 3; ++n) {
+            auto& ex = extra[static_cast<size_t>(n)];
+            auto& re = retired[static_cast<size_t>(n)];
+            if (ex.size() < 71 && rng.unit() < 0.25)
+                grow(n);
+            // Retire a random live extra endpoint; its pointer is
+            // dead to us from here on (reclaim may free it).
+            if (rng.unit() < 0.10) {
+                const auto i = rng.below(ex.size());
+                if (!re[i]) {
+                    re[i] = true;
+                    c.node(n).retire_endpoint(*ex[i]);
+                }
+            }
+            if (rng.unit() < 0.25)
+                c.node(n).reclaim_endpoints();
+        }
+        for (int s = 0; s < 3; ++s) {
+            SrcState& st = led[static_cast<size_t>(s)];
+            for (int k = 0; k < 8; ++k) {
+                const auto dst = static_cast<int>(rng.below(3));
+                if (dst == s)
+                    continue;
+                // Aim across the whole wide id range — including
+                // retired ids (must land as drops, not faults).
+                const auto did = static_cast<int>(
+                    1 + rng.below(
+                            extra[static_cast<size_t>(dst)].size()));
+                proxy::SubmitStatus rc =
+                    proxy::SubmitStatus::kQueueFull;
+                for (int tries = 0; tries < 2000; ++tries) {
+                    rc = c.endpoint(s).enq(st.src.data(), 48, dst,
+                                           did, &st.enq_ls);
+                    if (rc.code() !=
+                        proxy::SubmitStatus::kQueueFull)
+                        break;
+                    std::this_thread::yield();
+                }
+                if (rc)
+                    ++st.enq_ok;
+            }
+        }
+        std::this_thread::sleep_for(300us);
+    }
+    for (int a = 0; a < 3; ++a) {
+        for (int b = a + 1; b < 3; ++b)
+            c.heal(a, b);
+    }
+
+    // ENQ completes at wire-out, so every accepted op must complete
+    // exactly once even when the destination endpoint was retired or
+    // the payload dropped on a severed link.
+    const auto deadline = std::chrono::steady_clock::now() + 30s;
+    auto converged = [&] {
+        for (auto& st : led) {
+            if (st.enq_ls.load() != st.enq_ok)
+                return false;
+        }
+        return true;
+    };
+    while (!converged() &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(1ms);
+    uint64_t wakeups = 0;
+    for (int n = 0; n < 3; ++n) {
+        const proxy::NodeStats st = c.node(n).stats();
+        EXPECT_EQ(st.db_carry_empty, 0u) << "node " << n;
+        wakeups += st.db_wakeups;
+    }
+    EXPECT_GT(wakeups, 0u);
+    for (size_t s = 0; s < led.size(); ++s) {
+        EXPECT_EQ(led[s].enq_ls.load(), led[s].enq_ok)
+            << "node " << s;
+    }
+
+    const check::Cluster::Custody cu = c.settle();
+    std::printf("PKT_LEAKS_TOTAL=%llu\n",
+                static_cast<unsigned long long>(cu.leaks()));
+    EXPECT_EQ(cu.leaks(), 0u)
+        << "pool_hits=" << cu.pool_hits
+        << " pool_returns=" << cu.pool_returns;
+}
+
+TEST(ClusterChaos, WideEndpointPartitionStormInProc)
+{
+    for (uint64_t seed : {77u, 88u})
+        run_wide_storm(net::TransportKind::kInProc, seed);
+}
+
+TEST(ClusterChaos, WideEndpointPartitionStormSocket)
+{
+    for (uint64_t seed : {77u, 88u})
+        run_wide_storm(net::TransportKind::kSocket, seed);
+}
+
 bool
 wait_flag_at_least(const proxy::Flag& f, uint64_t want,
                    std::chrono::milliseconds budget)

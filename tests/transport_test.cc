@@ -453,6 +453,72 @@ TYPED_TEST(TransportSuite, MigrationUnderTraffic)
     ASSERT_TRUE(wait_no_leaks(*t.a, *t.b));
 }
 
+TYPED_TEST(TransportSuite, RetireEndpointUnderInFlightTraffic)
+{
+    // Retire the receiving endpoint while the sender still streams
+    // ENQs at it over the wire: submits keep succeeding (the sender
+    // side is alive), late arrivals land as enq_drops rather than
+    // faults, epoch reclamation frees the slot while both nodes keep
+    // running, and a reincarnation under the same id receives again.
+    // Packet custody balances through all of it.
+    Pair<TypeParam> p;
+    p.start();
+    const int dst = p.epb->id();
+
+    uint32_t seq = 0;
+    for (int i = 0; i < 64; ++i) {
+        const uint32_t tag = seq++;
+        must_submit([&] { return p.epa->enq(&tag, 4, 1, dst); });
+    }
+    std::vector<uint8_t> out;
+    for (int i = 0; i < 16; ++i) {
+        while (!p.epb->try_recv(out))
+            std::this_thread::yield();
+    }
+
+    // Retire mid-stream; `p.epb` must not be touched once the
+    // reclaim loop below starts.
+    p.b->retire_endpoint(*p.epb);
+    uint8_t refuse[4] = {0};
+    EXPECT_EQ(p.epb->enq(refuse, 4, 0, dst),
+              SubmitStatus::kRetired);
+    for (int i = 0; i < 64; ++i) {
+        const uint32_t tag = seq++;
+        must_submit([&] { return p.epa->enq(&tag, 4, 1, dst); });
+    }
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (p.b->endpoint_count() != 0) {
+        p.b->reclaim_endpoints();
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "retired endpoint never reclaimed under traffic";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // The id is reused; stragglers from the old stream may still
+    // land in the fresh ring, so drain until the probe shows up.
+    Endpoint& fresh = p.b->create_endpoint();
+    ASSERT_EQ(fresh.id(), dst);
+    const uint32_t probe = 0xabcd1234u;
+    must_submit([&] { return p.epa->enq(&probe, 4, 1, dst); });
+    bool seen = false;
+    while (!seen) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "reincarnated endpoint never received";
+        if (!fresh.try_recv(out)) {
+            std::this_thread::yield();
+            continue;
+        }
+        uint32_t tag = 0;
+        if (out.size() == 4)
+            std::memcpy(&tag, out.data(), 4);
+        seen = tag == probe;
+    }
+    EXPECT_EQ(p.a->stats().faults + p.b->stats().faults, 0u);
+    ASSERT_TRUE(wait_no_leaks(*p.a, *p.b));
+}
+
 // --------------------------------------- teardown ordering (CCBs)
 
 TYPED_TEST(TransportSuite, PeerDeathCompletesPendingCcbs)

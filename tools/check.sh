@@ -54,6 +54,15 @@
 #              MSGPROXY_TRANSPORT=socket and asserts the same
 #              custody invariants as bench-smoke hold over the wire
 #              (POOL_MISSES_TOTAL=0, PKT_LEAKS_TOTAL=0)
+#   endpoints  endpoint-scale gate: runs bench_endpoint_sweep --quick
+#              (1k -> 64k endpoints, fixed active fraction) and
+#              asserts flat p99 submit->wire-out across the sweep
+#              (ENDPOINT_P99_FLAT=1, tolerance via
+#              MSGPROXY_ENDPOINT_TOL), an O(1) idle probe
+#              (IDLE_PROBE_O1=1), zero aliased doorbell re-visits
+#              (DB_CARRY_EMPTY_TOTAL=0), and the usual allocation +
+#              custody invariants (POOL_MISSES_TOTAL=0,
+#              PKT_LEAKS_TOTAL=0)
 #   perf       full runs of bench_runtime_micro + bench_runtime_scaling
 #              and a delta report of the freshly written
 #              BENCH_runtime.json against the committed snapshot
@@ -74,7 +83,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 MODES=("$@")
-[ ${#MODES[@]} -eq 0 ] && MODES=(plain lint tsan asan ownership tidy bench-smoke sockets cluster obs)
+[ ${#MODES[@]} -eq 0 ] && MODES=(plain lint tsan asan ownership tidy bench-smoke sockets cluster endpoints obs)
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -247,6 +256,27 @@ for mode in "${MODES[@]}"; do
             exit 1
         fi
         ;;
+      endpoints)
+        banner "endpoint scale: hierarchical-doorbell sweep gates"
+        cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+        cmake --build build -j "$JOBS" --target bench_endpoint_sweep
+        ep_out=$( (cd build/bench && ./bench_endpoint_sweep --quick) |
+            tee /dev/stderr )
+        # Flat p99 at fixed active fraction is the whole point of the
+        # hierarchical doorbell: discovery cost follows the ringing
+        # set, not the id space. The idle probe must stay one summary
+        # load (consumes frozen while polls climb) and no carry may
+        # ever re-visit an endpoint without backlog.
+        for gate in ENDPOINT_P99_FLAT=1 IDLE_PROBE_O1=1 \
+                    DB_CARRY_EMPTY_TOTAL=0 POOL_MISSES_TOTAL=0 \
+                    PKT_LEAKS_TOTAL=0; do
+            if ! grep -q "^$gate$" <<<"$ep_out"; then
+                echo "endpoints: expected $gate over the sweep:" >&2
+                grep "^${gate%%=*}=" <<<"$ep_out" >&2 || true
+                exit 1
+            fi
+        done
+        ;;
       obs)
         banner "observability smoke: traced GET breakdown + JSON export"
         cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
@@ -386,7 +416,7 @@ PY
         fi
         ;;
       *)
-        echo "unknown mode: $mode (expected plain|lint|tsan|asan|ownership|chaos|cluster|tidy|bench-smoke|sockets|obs|perf)" >&2
+        echo "unknown mode: $mode (expected plain|lint|tsan|asan|ownership|chaos|cluster|tidy|bench-smoke|sockets|endpoints|obs|perf)" >&2
         exit 2
         ;;
     esac

@@ -405,12 +405,27 @@ window_is_scope(const std::vector<Tok>& t, size_t begin, size_t brace)
 }
 
 // The declarator name of a field declaration window (for
-// MSGPROXY_PROXY_OWNED): the identifier before '=', '[', or the end.
+// MSGPROXY_PROXY_OWNED): the identifier before '=', '[', or the end
+// — ignoring tokens inside template angle brackets, so
+// `std::unique_ptr<uint32_t[]> wake` names `wake`, not `uint32_t`.
 std::string
 field_name(const std::vector<Tok>& t, size_t begin, size_t end)
 {
     size_t stop = end;
+    int angle = 0;
     for (size_t i = begin; i < end; ++i) {
+        if (t[i].s == "<") {
+            ++angle;
+            continue;
+        }
+        if (t[i].s == ">" || t[i].s == ">>") {
+            angle -= t[i].s == ">>" ? 2 : 1;
+            if (angle < 0)
+                angle = 0;
+            continue;
+        }
+        if (angle != 0)
+            continue;
         if (t[i].s == "=" || t[i].s == "[" || t[i].s == "{") {
             stop = i;
             break;
